@@ -1,0 +1,73 @@
+// E12 (Condition 4 + the paper's headline thesis): how many (v, k) pairs
+// admit layouts within the ~10,000-units-per-disk budget under each
+// construction route.  The paper's point: complete designs die early,
+// known BIBDs are sparse, and the new constructions (reduced/subfield
+// designs, single-copy flow balancing, ring layouts, removal, stairway)
+// "greatly increase the number of feasible layouts".
+
+#include <cstdio>
+#include <optional>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "layout/feasibility.hpp"
+
+int main() {
+  using namespace pdl;
+  bench::header("E12 / feasible (v, k) pairs under the 10,000-unit budget",
+                "the new constructions greatly increase the number of "
+                "feasible parity-declustered layouts");
+
+  constexpr std::uint64_t kBudget = layout::kDefaultUnitBudget;
+  const std::vector<std::pair<std::uint32_t, std::uint32_t>> v_ranges = {
+      {10, 50}, {51, 150}, {151, 400}, {401, 1000}};
+  const std::vector<std::uint32_t> ks = {3, 5, 8, 11};
+
+  std::printf("counting (v, k) pairs with k in {3, 5, 8, 11}, layout size "
+              "<= %llu units/disk:\n\n",
+              static_cast<unsigned long long>(kBudget));
+  std::printf("%-12s %-10s %-10s %-10s %-10s %-10s %-10s %s\n", "v range",
+              "complete", "BIBD+HG", "BIBD+flow", "ring", "removal",
+              "stairway", "any");
+  bench::rule();
+
+  for (const auto& [lo, hi] : v_ranges) {
+    std::uint64_t complete = 0, hg = 0, flow = 0, ring = 0, removal = 0,
+                  stairway = 0, any = 0, total = 0;
+    for (std::uint32_t v = lo; v <= hi; ++v) {
+      for (const std::uint32_t k : ks) {
+        if (k >= v) continue;
+        ++total;
+        const auto feas = layout::summarize_feasibility(v, k);
+        const auto within = [&](const std::optional<std::uint64_t>& s) {
+          return s && *s <= kBudget;
+        };
+        complete += within(feas.complete_hg);
+        hg += within(feas.bibd_hg);
+        flow += within(feas.bibd_flow);
+        ring += within(feas.ring_layout);
+        removal += within(feas.removal);
+        stairway += within(feas.stairway);
+        any += within(feas.complete_hg) || within(feas.bibd_hg) ||
+               within(feas.bibd_flow) || within(feas.ring_layout) ||
+               within(feas.removal) || within(feas.stairway);
+      }
+    }
+    std::printf("%4u-%-7u %-10llu %-10llu %-10llu %-10llu %-10llu %-10llu "
+                "%llu/%llu\n",
+                lo, hi, static_cast<unsigned long long>(complete),
+                static_cast<unsigned long long>(hg),
+                static_cast<unsigned long long>(flow),
+                static_cast<unsigned long long>(ring),
+                static_cast<unsigned long long>(removal),
+                static_cast<unsigned long long>(stairway),
+                static_cast<unsigned long long>(any),
+                static_cast<unsigned long long>(total));
+  }
+
+  std::printf("\nexpected shape: 'complete' collapses to 0 as v grows; "
+              "'BIBD+flow' extends the exact range k-fold beyond 'BIBD+HG'; "
+              "removal+stairway keep coverage near-total (paper Secs 1, 3, "
+              "4)\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// E2 (Figure 2): the parity-declustered layout for v = 4, k = 3.
+// Regenerates the figure as an ASCII grid and reports the quality metrics
+// the paper reads off it (parity overhead 1/3, reconstruction workload 2/3,
+// versus RAID5's 1/4 and 1).
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "design/complete_design.hpp"
+#include "layout/bibd_layout.hpp"
+#include "layout/metrics.hpp"
+#include "layout/raid.hpp"
+
+int main() {
+  using namespace pdl;
+  bench::header("E2 / Figure 2: parity-declustered layout, v=4, k=3",
+                "4 stripes of 3 units over 4 disks; parity overhead 1/3; "
+                "reconstruction reads 2/3 of each survivor (vs 1 for RAID5)");
+
+  const auto design = design::make_complete_design(4, 3);
+  const auto layout = layout::flow_balanced_layout(design, 1);
+  std::printf("%s\n", layout::render_layout(layout).c_str());
+
+  const auto m = layout::compute_metrics(layout);
+  const auto raid5 = layout::compute_metrics(layout::raid5_layout(4, 4));
+
+  std::printf("%-28s %-16s %-16s\n", "metric", "declustered k=3", "RAID5 k=4");
+  bench::rule();
+  std::printf("%-28s %-16u %-16u\n", "units per disk", m.units_per_disk,
+              raid5.units_per_disk);
+  std::printf("%-28s %-16.4f %-16.4f\n", "parity overhead (max)",
+              m.max_parity_overhead, raid5.max_parity_overhead);
+  std::printf("%-28s %-16.4f %-16.4f\n", "recon workload (max)",
+              m.max_recon_workload, raid5.max_recon_workload);
+  std::printf("\npaper-vs-measured: overhead %s (expect 0.3333), workload %s "
+              "(expect 0.6667)\n",
+              bench::okbad(m.max_parity_overhead > 0.33 &&
+                           m.max_parity_overhead < 0.34),
+              bench::okbad(m.max_recon_workload > 0.66 &&
+                           m.max_recon_workload < 0.67));
+  return 0;
+}

@@ -1,0 +1,75 @@
+// E15 (Section 4 method cost): the parity-assignment flow solve must be
+// cheap enough to run at layout-construction time.  Benchmarks
+// assign_parity_balanced on single copies of designs with growing b, and
+// full layout constructions end to end.
+
+#include <benchmark/benchmark.h>
+
+#include "core/pdl.hpp"
+
+namespace {
+
+using namespace pdl;
+
+std::vector<std::vector<std::uint32_t>> stripes_of(
+    const design::BlockDesign& d) {
+  return {d.blocks.begin(), d.blocks.end()};
+}
+
+void BM_ParityAssign(benchmark::State& state) {
+  const auto v = static_cast<std::uint32_t>(state.range(0));
+  const auto k = static_cast<std::uint32_t>(state.range(1));
+  const auto design = design::build_best_design(v, k);
+  const auto stripes = stripes_of(design);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        flow::assign_parity_balanced(stripes, design.v));
+  }
+  state.counters["b"] = static_cast<double>(design.b());
+}
+BENCHMARK(BM_ParityAssign)
+    ->Args({9, 3})
+    ->Args({16, 4})
+    ->Args({25, 5})
+    ->Args({49, 7})
+    ->Args({64, 8})
+    ->Args({81, 9})
+    ->Args({121, 11});
+
+void BM_RingDesignConstruction(benchmark::State& state) {
+  const auto v = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(design::make_ring_design(v, 5));
+  }
+}
+BENCHMARK(BM_RingDesignConstruction)->Arg(16)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_RingLayoutConstruction(benchmark::State& state) {
+  const auto v = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(layout::ring_based_layout(v, 5));
+  }
+}
+BENCHMARK(BM_RingLayoutConstruction)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_StairwayConstruction(benchmark::State& state) {
+  // q -> q+3 keeps c moderate; construction is dominated by stripe emission.
+  const auto q = static_cast<std::uint32_t>(state.range(0));
+  const auto rd = design::make_ring_design(q, 4);
+  const auto plan = layout::plan_stairway(q, q + 3, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(layout::build_stairway_layout(rd, *plan));
+  }
+}
+BENCHMARK(BM_StairwayConstruction)->Arg(16)->Arg(25)->Arg(49);
+
+void BM_BuildLayoutEndToEnd(benchmark::State& state) {
+  const auto v = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::build_layout({.num_disks = v, .stripe_size = 5}));
+  }
+}
+BENCHMARK(BM_BuildLayoutEndToEnd)->Arg(17)->Arg(50)->Arg(100);
+
+}  // namespace

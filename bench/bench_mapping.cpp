@@ -1,0 +1,75 @@
+// E14 (Condition 4): the mapping must be one table lookup plus a constant
+// number of arithmetic operations.  Benchmarks AddressMapper::map /
+// parity_of / logical_at on layouts of increasing size, and reports the
+// lookup-table memory footprint per configuration.
+
+#include <benchmark/benchmark.h>
+
+#include "core/pdl.hpp"
+
+namespace {
+
+using namespace pdl;
+
+const layout::Layout& layout_for(std::int64_t which) {
+  static const layout::Layout ring_small = layout::ring_based_layout(9, 3);
+  static const layout::Layout ring_mid = layout::ring_based_layout(17, 5);
+  static const layout::Layout ring_big = layout::ring_based_layout(64, 8);
+  static const layout::Layout stairway =
+      layout::stairway_layout(16, 20, 4);
+  switch (which) {
+    case 0: return ring_small;
+    case 1: return ring_mid;
+    case 2: return ring_big;
+    default: return stairway;
+  }
+}
+
+void BM_Map(benchmark::State& state) {
+  const layout::AddressMapper mapper(layout_for(state.range(0)));
+  const std::uint64_t d = mapper.data_units_per_iteration();
+  std::uint64_t logical = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mapper.map(logical % (4 * d)));
+    logical += 7919;
+  }
+  state.counters["table_bytes"] =
+      static_cast<double>(mapper.table_bytes());
+}
+BENCHMARK(BM_Map)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_ParityOf(benchmark::State& state) {
+  const layout::AddressMapper mapper(layout_for(state.range(0)));
+  const std::uint64_t d = mapper.data_units_per_iteration();
+  std::uint64_t logical = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mapper.parity_of(logical % (4 * d)));
+    logical += 104729;
+  }
+}
+BENCHMARK(BM_ParityOf)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_LogicalAt(benchmark::State& state) {
+  const layout::AddressMapper mapper(layout_for(state.range(0)));
+  const std::uint32_t v = mapper.num_disks();
+  const std::uint32_t s = mapper.units_per_disk();
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const layout::AddressMapper::Physical pos{
+        static_cast<std::uint32_t>(i % v), (i * 31) % (4 * s)};
+    benchmark::DoNotOptimize(mapper.logical_at(pos));
+    ++i;
+  }
+}
+BENCHMARK(BM_LogicalAt)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_MapperConstruction(benchmark::State& state) {
+  const layout::Layout& layout = layout_for(state.range(0));
+  for (auto _ : state) {
+    const layout::AddressMapper mapper(layout);
+    benchmark::DoNotOptimize(mapper.data_units_per_iteration());
+  }
+}
+BENCHMARK(BM_MapperConstruction)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+}  // namespace

@@ -1,0 +1,24 @@
+#pragma once
+// Shared formatting helpers for the experiment regeneration binaries.
+
+#include <cstdio>
+#include <string>
+
+namespace pdl::bench {
+
+inline void header(const std::string& experiment, const std::string& claim) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("paper: %s\n", claim.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void rule() {
+  std::printf("----------------------------------------------------------------\n");
+}
+
+inline const char* yesno(bool b) { return b ? "yes" : "no"; }
+
+inline const char* okbad(bool ok) { return ok ? "OK " : "BAD"; }
+
+}  // namespace pdl::bench

@@ -1,0 +1,47 @@
+// Array designer: sweep the stripe size k for a fixed array of v disks and
+// tabulate the trade-off the paper's introduction describes -- parity
+// capacity overhead (1/k) against reconstruction read fraction
+// ((k-1)/(v-1)) against mapping-table size.
+//
+//   $ ./array_designer [v]        (default: v = 25)
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/pdl.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pdl;
+  const std::uint32_t v = argc > 1 ? std::atoi(argv[1]) : 25;
+  if (v < 3) {
+    std::fprintf(stderr, "need v >= 3\n");
+    return 1;
+  }
+
+  std::printf("stripe-size trade-off for a %u-disk array "
+              "(budget %llu units/disk):\n\n",
+              v, static_cast<unsigned long long>(layout::kDefaultUnitBudget));
+  std::printf("%-4s %-30s %-8s %-10s %-10s %-10s\n", "k", "construction",
+              "size", "overhead", "recon", "table KiB");
+  std::printf("------------------------------------------------------------"
+              "--------------\n");
+
+  for (std::uint32_t k = 2; k <= v; ++k) {
+    const auto built = core::build_layout({.num_disks = v, .stripe_size = k});
+    if (!built) {
+      std::printf("%-4u %-30s\n", k, "(nothing fits the budget)");
+      continue;
+    }
+    const layout::AddressMapper mapper(built->layout);
+    std::printf("%-4u %-30s %-8u %-10.4f %-10.4f %-10.1f\n", k,
+                construction_name(built->construction).c_str(),
+                built->metrics.units_per_disk,
+                built->metrics.max_parity_overhead,
+                built->metrics.max_recon_workload,
+                mapper.table_bytes() / 1024.0);
+  }
+  std::printf("\nsmall k: cheap rebuilds, more capacity spent on parity.\n");
+  std::printf("large k: less parity overhead, rebuilds touch more of every "
+              "disk.\n");
+  return 0;
+}

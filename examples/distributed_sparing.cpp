@@ -1,0 +1,53 @@
+// Distributed sparing demo (the paper's Section 5 direction): reserve one
+// spare unit per stripe, balanced across disks by the same network-flow
+// machinery as parity, and rebuild a failed disk into the spares -- no
+// dedicated spare disk, declustered rebuild writes.
+//
+//   $ ./distributed_sparing [v] [k]   (defaults: v = 17, k = 4)
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/pdl.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pdl;
+  const std::uint32_t v = argc > 1 ? std::atoi(argv[1]) : 17;
+  const std::uint32_t k = argc > 2 ? std::atoi(argv[2]) : 4;
+  if (!design::ring_design_exists(v, k)) {
+    std::fprintf(stderr, "need k <= M(v); try a prime-power v\n");
+    return 1;
+  }
+
+  const auto base = layout::ring_based_layout(v, k);
+  const auto spared = layout::add_distributed_sparing(base);
+
+  const auto spares = spared.spares_per_disk();
+  const auto [lo, hi] = std::minmax_element(spares.begin(), spares.end());
+  std::printf("array: v=%u, k=%u, %u units/disk\n", v, k,
+              base.units_per_disk());
+  std::printf("spares per disk: %u..%u (balanced by the generalized "
+              "Theorem 14 flow)\n",
+              *lo, *hi);
+
+  const layout::DiskId failed = 0;
+  const auto writes = layout::distributed_rebuild_writes(spared, failed);
+  const auto max_w = *std::max_element(writes.begin(), writes.end());
+  std::printf("\nafter disk %u fails, rebuild writes per survivor: max %u "
+              "(dedicated spare would take all %u)\n",
+              failed, max_w, base.units_per_disk());
+
+  const sim::ArraySimulator simulator(
+      base, sim::ArrayConfig{.disk = {}, .rebuild_depth = 4,
+                             .iterations = 1});
+  const auto distributed =
+      simulator.run_rebuild_distributed({}, failed, spared.spare_pos);
+  const auto dedicated = simulator.run_rebuild({}, failed);
+  std::printf("\nsimulated rebuild: distributed %.0f ms vs dedicated spare "
+              "%.0f ms\n",
+              distributed.rebuild_ms, dedicated.rebuild_ms);
+  std::printf("(and the distributed array has no idle spare disk burning a "
+              "slot)\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Layout explorer: for a given (v, k), show every construction this
+// library can produce -- predicted design sizes, feasibility under the
+// unit budget, and measured layout metrics for the ones cheap enough to
+// materialize.
+//
+//   $ ./layout_explorer [v] [k]   (defaults: v = 16, k = 4)
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/pdl.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pdl;
+  const std::uint32_t v = argc > 1 ? std::atoi(argv[1]) : 16;
+  const std::uint32_t k = argc > 2 ? std::atoi(argv[2]) : 4;
+  if (v < 2 || k < 2 || k > v) {
+    std::fprintf(stderr, "need 2 <= k <= v\n");
+    return 1;
+  }
+
+  std::printf("=== BIBD constructions at (v=%u, k=%u) ===\n", v, k);
+  std::printf("%-22s %-12s %-10s %-10s\n", "method", "b", "r", "lambda");
+  const auto methods = design::applicable_methods(v, k);
+  if (methods.empty()) std::printf("  (none)\n");
+  for (const auto m : methods) {
+    const auto params = design::predicted_params(m, v, k);
+    std::printf("%-22s %-12llu %-10llu %-10llu\n",
+                design::method_name(m).c_str(),
+                static_cast<unsigned long long>(params->b),
+                static_cast<unsigned long long>(params->r),
+                static_cast<unsigned long long>(params->lambda));
+  }
+  std::printf("Theorem 7 lower bound on b: %llu\n\n",
+              static_cast<unsigned long long>(
+                  design::theorem7_lower_bound(v, k)));
+
+  std::printf("=== layout routes (sizes in units/disk; budget %llu) ===\n",
+              static_cast<unsigned long long>(layout::kDefaultUnitBudget));
+  const auto feas = layout::summarize_feasibility(v, k);
+  auto show = [](const char* name, const std::optional<std::uint64_t>& size,
+                 std::uint32_t q) {
+    if (size) {
+      std::printf("%-28s %10llu%s%s\n", name,
+                  static_cast<unsigned long long>(*size),
+                  q ? "   from q=" : "",
+                  q ? std::to_string(q).c_str() : "");
+    } else {
+      std::printf("%-28s %10s\n", name, "--");
+    }
+  };
+  show("complete + HG k-copy", feas.complete_hg, 0);
+  show("best BIBD + HG k-copy", feas.bibd_hg, 0);
+  show("best BIBD + flow (1 copy)", feas.bibd_flow, 0);
+  show("best BIBD + perfect (lcm)", feas.bibd_perfect, 0);
+  show("ring layout", feas.ring_layout, 0);
+  show("removal (Thm 8/9)", feas.removal, feas.removal_q);
+  show("stairway (Thm 10-12)", feas.stairway, feas.stairway_q);
+
+  std::printf("\n=== chosen layout ===\n");
+  const auto built = core::build_layout({.num_disks = v, .stripe_size = k});
+  if (!built) {
+    std::printf("nothing fits the budget\n");
+    return 0;
+  }
+  std::printf("%s -- %s\n", construction_name(built->construction).c_str(),
+              built->description.c_str());
+  std::printf("%s\n", built->metrics.to_string().c_str());
+  if (built->layout.units_per_disk() <= 12 &&
+      built->layout.num_disks() <= 16) {
+    std::printf("\n%s", layout::render_layout(built->layout).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Reconstruction simulation: fail a disk under live load and watch the
+// rebuild race, comparing a parity-declustered layout against RAID5 on the
+// event-driven simulator.
+//
+//   $ ./reconstruction_sim [v] [k] [arrival_per_sec]
+//     (defaults: v = 17, k = 5, 20 req/s)
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/pdl.hpp"
+
+namespace {
+
+void report(const char* name, const pdl::layout::Layout& layout,
+            double arrival_per_ms) {
+  using namespace pdl;
+  const sim::ArrayConfig config{
+      .disk = {}, .rebuild_depth = 4, .iterations = 1};
+  const sim::ArraySimulator simulator(layout, config);
+  const sim::WorkloadConfig wconfig{
+      .arrival_per_ms = arrival_per_ms,
+      .write_fraction = 0.3,
+      .working_set = simulator.working_set(),
+      .duration_ms = 5000.0,
+      .seed = 17};
+  const auto requests = sim::generate_workload(wconfig);
+
+  const auto healthy = simulator.run_normal(requests);
+  const auto rebuild = simulator.run_rebuild(requests, /*failed=*/0);
+  const auto analysis = sim::analyze_reconstruction(layout, 0);
+
+  auto healthy_user = healthy.user;
+  auto rebuild_user = rebuild.run.user;
+  std::printf("%s\n", name);
+  std::printf("  size %u units/disk; busiest survivor reads %.1f%% of "
+              "itself\n",
+              layout.units_per_disk(), 100.0 * analysis.max_fraction());
+  std::printf("  rebuild: %.0f ms (%llu stripes)\n", rebuild.rebuild_ms,
+              static_cast<unsigned long long>(rebuild.stripes_rebuilt));
+  std::printf("  user read latency: healthy %.1f ms -> during rebuild "
+              "%.1f ms (p95 %.1f ms)\n\n",
+              healthy_user.read_latency_ms.mean(),
+              rebuild_user.read_latency_ms.mean(),
+              rebuild_user.read_latency_ms.percentile(0.95));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pdl;
+  const std::uint32_t v = argc > 1 ? std::atoi(argv[1]) : 17;
+  const std::uint32_t k = argc > 2 ? std::atoi(argv[2]) : 5;
+  const double per_sec = argc > 3 ? std::atof(argv[3]) : 20.0;
+
+  const auto built = core::build_layout({.num_disks = v, .stripe_size = k});
+  if (!built) {
+    std::fprintf(stderr, "no declustered layout for v=%u k=%u\n", v, k);
+    return 1;
+  }
+  std::printf("failing disk 0 at t=0 under %.0f req/s (30%% writes)...\n\n",
+              per_sec);
+  const std::string name =
+      "declustered: " + construction_name(built->construction);
+  report(name.c_str(), built->layout, per_sec / 1000.0);
+  report("RAID5 baseline (k = v)",
+         layout::raid5_layout(v, built->layout.units_per_disk()),
+         per_sec / 1000.0);
+  std::printf("declustering spreads the rebuild load over all survivors: "
+              "each reads only (k-1)/(v-1) of itself instead of 100%%.\n");
+  return 0;
+}

@@ -1,0 +1,185 @@
+#include "algebra/gf.hpp"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+#include "algebra/numtheory.hpp"
+
+namespace pdl::algebra {
+
+GaloisField::GaloisField(Elem q) : q_(q), modulus_(2) {
+  const PrimePower pp = prime_power_decomposition(q);
+  if (pp.prime == 0)
+    throw std::invalid_argument("GaloisField: order " + std::to_string(q) +
+                                " is not a prime power");
+  p_ = static_cast<Elem>(pp.prime);
+  m_ = pp.exponent;
+  modulus_ = (m_ == 1) ? Polynomial::monomial(p_, 1)
+                       : find_irreducible(p_, m_);
+  build_tables();
+}
+
+Elem GaloisField::add(Elem a, Elem b) const {
+  if (p_ == 2) return a ^ b;  // characteristic 2: digit-wise sum is XOR
+  if (m_ == 1) {
+    const std::uint64_t s = static_cast<std::uint64_t>(a) + b;
+    return static_cast<Elem>(s >= p_ ? s - p_ : s);
+  }
+  Elem result = 0;
+  Elem stride = 1;
+  for (std::uint32_t i = 0; i < m_; ++i) {
+    Elem d = a % p_ + b % p_;
+    if (d >= p_) d -= p_;
+    result += d * stride;
+    a /= p_;
+    b /= p_;
+    stride *= p_;
+  }
+  return result;
+}
+
+Elem GaloisField::neg(Elem a) const {
+  if (p_ == 2) return a;
+  if (m_ == 1) return a == 0 ? 0 : p_ - a;
+  Elem result = 0;
+  Elem stride = 1;
+  for (std::uint32_t i = 0; i < m_; ++i) {
+    const Elem d = a % p_;
+    result += (d == 0 ? 0 : p_ - d) * stride;
+    a /= p_;
+    stride *= p_;
+  }
+  return result;
+}
+
+Elem GaloisField::mul_slow(Elem a, Elem b) const {
+  if (a == 0 || b == 0) return 0;
+  if (m_ == 1)
+    return static_cast<Elem>(static_cast<std::uint64_t>(a) * b % p_);
+  auto decode = [&](Elem e) {
+    std::vector<std::uint32_t> coeffs(m_);
+    for (std::uint32_t i = 0; i < m_; ++i) {
+      coeffs[i] = e % p_;
+      e /= p_;
+    }
+    return Polynomial(p_, std::move(coeffs));
+  };
+  const Polynomial prod = (decode(a) * decode(b)).mod(modulus_);
+  Elem result = 0;
+  Elem stride = 1;
+  for (std::uint32_t i = 0; i < m_; ++i) {
+    result += prod.coeff(i) * stride;
+    stride *= p_;
+  }
+  return result;
+}
+
+Elem GaloisField::mul(Elem a, Elem b) const {
+  if (a == 0 || b == 0) return 0;
+  const std::uint64_t s =
+      static_cast<std::uint64_t>(log_[a]) + log_[b];
+  return exp_[s % (q_ - 1)];
+}
+
+std::optional<Elem> GaloisField::inverse(Elem a) const {
+  if (a == 0) return std::nullopt;
+  return exp_[(q_ - 1 - log_[a]) % (q_ - 1)];
+}
+
+std::uint32_t GaloisField::log(Elem a) const {
+  if (a == 0) throw std::invalid_argument("GaloisField::log: log of zero");
+  if (a >= q_) throw std::invalid_argument("GaloisField::log: out of range");
+  return log_[a];
+}
+
+std::string GaloisField::name() const {
+  return "GF(" + std::to_string(q_) + ")";
+}
+
+void GaloisField::build_tables() {
+  // Find a primitive element by testing multiplicative orders with the
+  // slow (table-free) multiply; then fill exp/log tables in one sweep.
+  const std::uint64_t group_order = q_ - 1;
+  const auto factors = factorize(group_order);
+
+  auto pow_slow = [&](Elem a, std::uint64_t e) {
+    Elem result = 1;
+    while (e > 0) {
+      if (e & 1) result = mul_slow(result, a);
+      a = mul_slow(a, a);
+      e >>= 1;
+    }
+    return result;
+  };
+
+  Elem generator = 0;
+  for (Elem cand = 1; cand < q_; ++cand) {
+    bool primitive = true;
+    for (const PrimePower& f : factors) {
+      if (pow_slow(cand, group_order / f.prime) == 1) {
+        primitive = false;
+        break;
+      }
+    }
+    if (primitive) {
+      generator = cand;
+      break;
+    }
+  }
+  if (generator == 0 && q_ > 2)
+    throw std::logic_error("GaloisField: no primitive element found");
+  if (q_ == 2) generator = 1;
+
+  exp_.resize(group_order);
+  log_.assign(q_, 0);
+  Elem acc = 1;
+  for (std::uint64_t i = 0; i < group_order; ++i) {
+    exp_[i] = acc;
+    log_[acc] = static_cast<std::uint32_t>(i);
+    acc = mul_slow(acc, generator);
+  }
+  if (acc != 1)
+    throw std::logic_error("GaloisField: exp table did not close (g^(q-1)!=1)");
+}
+
+Elem GaloisField::element_of_multiplicative_order(std::uint32_t n) const {
+  if (n == 0 || (q_ - 1) % n != 0)
+    throw std::invalid_argument(
+        "element_of_multiplicative_order: n must divide q-1");
+  // For n = 1 the exponent (q-1)/n wraps to 0 (the element is 1).
+  return exp_[((q_ - 1) / n) % (q_ - 1)];
+}
+
+std::vector<Elem> GaloisField::subfield(Elem k) const {
+  const PrimePower pp = prime_power_decomposition(k);
+  if (pp.prime != p_ || m_ % pp.exponent != 0)
+    throw std::invalid_argument("subfield: GF(" + std::to_string(k) +
+                                ") is not a subfield of " + name());
+  // The subfield of order k is {0} plus the unique multiplicative subgroup
+  // of order k-1: powers of g^((q-1)/(k-1)).
+  std::vector<Elem> elems;
+  elems.reserve(k);
+  elems.push_back(0);
+  const std::uint64_t step = (q_ - 1) / (k - 1);
+  for (Elem j = 0; j + 1 < k; ++j) {
+    elems.push_back(exp_[(static_cast<std::uint64_t>(j) * step) % (q_ - 1)]);
+  }
+  std::sort(elems.begin(), elems.end());
+  return elems;
+}
+
+std::shared_ptr<const GaloisField> get_field(Elem q) {
+  static std::mutex mutex;
+  static std::map<Elem, std::weak_ptr<const GaloisField>> cache;
+  std::lock_guard<std::mutex> lock(mutex);
+  if (auto it = cache.find(q); it != cache.end()) {
+    if (auto field = it->second.lock()) return field;
+  }
+  auto field = std::make_shared<const GaloisField>(q);
+  cache[q] = field;
+  return field;
+}
+
+}  // namespace pdl::algebra

@@ -1,0 +1,160 @@
+#include "algebra/numtheory.hpp"
+
+#include <stdexcept>
+
+namespace pdl::algebra {
+
+std::uint64_t PrimePower::value() const noexcept {
+  std::uint64_t v = 1;
+  for (std::uint32_t i = 0; i < exponent; ++i) v *= prime;
+  return v;
+}
+
+std::uint64_t mulmod(std::uint64_t a, std::uint64_t b,
+                     std::uint64_t m) noexcept {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wpedantic"
+  using uint128 = unsigned __int128;
+#pragma GCC diagnostic pop
+  return static_cast<std::uint64_t>((static_cast<uint128>(a) * b) % m);
+}
+
+std::uint64_t powmod(std::uint64_t a, std::uint64_t e,
+                     std::uint64_t m) noexcept {
+  std::uint64_t result = 1 % m;
+  a %= m;
+  while (e > 0) {
+    if (e & 1) result = mulmod(result, a, m);
+    a = mulmod(a, a, m);
+    e >>= 1;
+  }
+  return result;
+}
+
+namespace {
+
+// One Miller-Rabin round for witness a; returns true if n passes.
+bool miller_rabin_round(std::uint64_t n, std::uint64_t a, std::uint64_t d,
+                        std::uint32_t s) noexcept {
+  std::uint64_t x = powmod(a, d, n);
+  if (x == 1 || x == n - 1) return true;
+  for (std::uint32_t i = 1; i < s; ++i) {
+    x = mulmod(x, x, n);
+    if (x == n - 1) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool is_prime(std::uint64_t n) noexcept {
+  if (n < 2) return false;
+  for (std::uint64_t p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL,
+                          23ULL, 29ULL, 31ULL, 37ULL}) {
+    if (n == p) return true;
+    if (n % p == 0) return false;
+  }
+  // n is odd and > 37; write n-1 = d * 2^s.
+  std::uint64_t d = n - 1;
+  std::uint32_t s = 0;
+  while ((d & 1) == 0) {
+    d >>= 1;
+    ++s;
+  }
+  // This witness set is deterministic for all n < 2^64.
+  for (std::uint64_t a : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL,
+                          23ULL, 29ULL, 31ULL, 37ULL}) {
+    if (!miller_rabin_round(n, a, d, s)) return false;
+  }
+  return true;
+}
+
+std::vector<PrimePower> factorize(std::uint64_t n) {
+  if (n == 0) throw std::invalid_argument("factorize: n must be >= 1");
+  std::vector<PrimePower> factors;
+  auto take = [&](std::uint64_t p) {
+    std::uint32_t e = 0;
+    while (n % p == 0) {
+      n /= p;
+      ++e;
+    }
+    if (e > 0) factors.push_back({p, e});
+  };
+  take(2);
+  take(3);
+  for (std::uint64_t p = 5; p * p <= n; p += 6) {
+    take(p);
+    take(p + 2);
+  }
+  if (n > 1) factors.push_back({n, 1});
+  return factors;
+}
+
+bool is_prime_power(std::uint64_t n) noexcept {
+  return prime_power_decomposition(n).prime != 0;
+}
+
+PrimePower prime_power_decomposition(std::uint64_t n) noexcept {
+  if (n < 2) return {0, 0};
+  // Extract the smallest prime factor by trial division; n is a prime power
+  // iff dividing it out completely leaves 1.
+  std::uint64_t p = 0;
+  if (n % 2 == 0) {
+    p = 2;
+  } else {
+    for (std::uint64_t c = 3; c * c <= n; c += 2) {
+      if (n % c == 0) {
+        p = c;
+        break;
+      }
+    }
+    if (p == 0) return {n, 1};  // n itself is prime
+  }
+  std::uint32_t e = 0;
+  while (n % p == 0) {
+    n /= p;
+    ++e;
+  }
+  if (n != 1) return {0, 0};
+  return {p, e};
+}
+
+std::uint64_t min_prime_power_factor(std::uint64_t v) {
+  if (v < 2) throw std::invalid_argument("min_prime_power_factor: v >= 2");
+  std::uint64_t m = v;
+  for (const PrimePower& pp : factorize(v)) m = std::min(m, pp.value());
+  return m;
+}
+
+std::uint64_t largest_prime_power_leq(std::uint64_t n) noexcept {
+  for (std::uint64_t q = n; q >= 2; --q) {
+    if (is_prime_power(q)) return q;
+  }
+  return 0;
+}
+
+std::uint64_t smallest_prime_power_geq(std::uint64_t n) noexcept {
+  if (n < 2) return 2;
+  for (std::uint64_t q = n;; ++q) {
+    if (is_prime_power(q)) return q;
+  }
+}
+
+std::vector<std::uint64_t> prime_powers_in(std::uint64_t lo,
+                                           std::uint64_t hi) {
+  std::vector<std::uint64_t> result;
+  for (std::uint64_t q = std::max<std::uint64_t>(lo, 2); q <= hi; ++q) {
+    if (is_prime_power(q)) result.push_back(q);
+  }
+  return result;
+}
+
+std::uint64_t euler_phi(std::uint64_t n) {
+  std::uint64_t result = n;
+  for (const PrimePower& pp : factorize(n)) {
+    result -= result / pp.prime;
+  }
+  return result;
+}
+
+}  // namespace pdl::algebra

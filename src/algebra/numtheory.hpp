@@ -1,0 +1,71 @@
+#pragma once
+// Elementary number theory used throughout the layout constructions:
+// primality, integer factorization, prime powers, and the quantity
+// M(v) = min_i p_i^{e_i} from Theorem 2 of Schwabe & Sutherland.
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace pdl::algebra {
+
+/// One prime-power factor p^e of an integer.
+struct PrimePower {
+  std::uint64_t prime = 0;
+  std::uint32_t exponent = 0;
+
+  /// The value p^e of this factor.
+  [[nodiscard]] std::uint64_t value() const noexcept;
+
+  friend bool operator==(const PrimePower&, const PrimePower&) = default;
+};
+
+/// Deterministic Miller-Rabin primality test, exact for all 64-bit inputs.
+[[nodiscard]] bool is_prime(std::uint64_t n) noexcept;
+
+/// Factorization of n >= 1 into prime powers, sorted by prime.
+/// factorize(1) is empty. Trial division; intended for n up to ~10^12.
+[[nodiscard]] std::vector<PrimePower> factorize(std::uint64_t n);
+
+/// True iff n = p^e for a single prime p (e >= 1).
+[[nodiscard]] bool is_prime_power(std::uint64_t n) noexcept;
+
+/// If n = p^e, returns {p, e}; otherwise returns {0, 0}.
+[[nodiscard]] PrimePower prime_power_decomposition(std::uint64_t n) noexcept;
+
+/// M(v) = min{ p_i^{e_i} } over the prime-power factorization of v >= 2.
+/// Theorem 2: a ring-based block design on v elements with tuples of size k
+/// exists iff k <= M(v).  M(v) = v when v is a prime power.
+[[nodiscard]] std::uint64_t min_prime_power_factor(std::uint64_t v);
+
+/// Largest prime power q with q <= n, or 0 if n < 2.
+[[nodiscard]] std::uint64_t largest_prime_power_leq(std::uint64_t n) noexcept;
+
+/// Smallest prime power q with q >= n (n >= 2).
+[[nodiscard]] std::uint64_t smallest_prime_power_geq(std::uint64_t n) noexcept;
+
+/// All prime powers in [lo, hi], ascending.
+[[nodiscard]] std::vector<std::uint64_t> prime_powers_in(std::uint64_t lo,
+                                                         std::uint64_t hi);
+
+/// Euler's totient.
+[[nodiscard]] std::uint64_t euler_phi(std::uint64_t n);
+
+/// (a * b) mod m without overflow for 64-bit operands.
+[[nodiscard]] std::uint64_t mulmod(std::uint64_t a, std::uint64_t b,
+                                   std::uint64_t m) noexcept;
+
+/// (a ^ e) mod m without overflow for 64-bit operands.
+[[nodiscard]] std::uint64_t powmod(std::uint64_t a, std::uint64_t e,
+                                   std::uint64_t m) noexcept;
+
+using std::gcd;
+using std::lcm;
+
+/// Ceiling division for nonnegative integers.
+[[nodiscard]] constexpr std::uint64_t ceil_div(std::uint64_t a,
+                                               std::uint64_t b) noexcept {
+  return (a + b - 1) / b;
+}
+
+}  // namespace pdl::algebra

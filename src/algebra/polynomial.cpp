@@ -1,0 +1,210 @@
+#include "algebra/polynomial.hpp"
+
+#include <stdexcept>
+
+#include "algebra/numtheory.hpp"
+
+namespace pdl::algebra {
+
+namespace {
+
+std::uint32_t inverse_mod_prime(std::uint32_t a, std::uint32_t p) {
+  // Fermat: a^(p-2) mod p; p is prime and a != 0 mod p.
+  return static_cast<std::uint32_t>(powmod(a, p - 2, p));
+}
+
+}  // namespace
+
+Polynomial::Polynomial(std::uint32_t p) : p_(p) {
+  if (p < 2) throw std::invalid_argument("Polynomial: modulus must be >= 2");
+}
+
+Polynomial::Polynomial(std::uint32_t p, std::vector<std::uint32_t> coefficients)
+    : p_(p), coeffs_(std::move(coefficients)) {
+  if (p < 2) throw std::invalid_argument("Polynomial: modulus must be >= 2");
+  for (auto& c : coeffs_) c %= p_;
+  normalize();
+}
+
+Polynomial Polynomial::constant(std::uint32_t p, std::uint32_t c) {
+  return Polynomial(p, {c});
+}
+
+Polynomial Polynomial::monomial(std::uint32_t p, std::uint32_t degree) {
+  std::vector<std::uint32_t> coeffs(degree + 1, 0);
+  coeffs[degree] = 1;
+  return Polynomial(p, std::move(coeffs));
+}
+
+void Polynomial::normalize() {
+  while (!coeffs_.empty() && coeffs_.back() == 0) coeffs_.pop_back();
+}
+
+Polynomial Polynomial::operator+(const Polynomial& rhs) const {
+  if (p_ != rhs.p_) throw std::invalid_argument("Polynomial: modulus mismatch");
+  std::vector<std::uint32_t> out(std::max(coeffs_.size(), rhs.coeffs_.size()));
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = (coeff(i) + rhs.coeff(i)) % p_;
+  }
+  return Polynomial(p_, std::move(out));
+}
+
+Polynomial Polynomial::operator-(const Polynomial& rhs) const {
+  if (p_ != rhs.p_) throw std::invalid_argument("Polynomial: modulus mismatch");
+  std::vector<std::uint32_t> out(std::max(coeffs_.size(), rhs.coeffs_.size()));
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = (coeff(i) + p_ - rhs.coeff(i)) % p_;
+  }
+  return Polynomial(p_, std::move(out));
+}
+
+Polynomial Polynomial::operator*(const Polynomial& rhs) const {
+  if (p_ != rhs.p_) throw std::invalid_argument("Polynomial: modulus mismatch");
+  if (is_zero() || rhs.is_zero()) return Polynomial(p_);
+  std::vector<std::uint32_t> out(coeffs_.size() + rhs.coeffs_.size() - 1, 0);
+  for (std::size_t i = 0; i < coeffs_.size(); ++i) {
+    if (coeffs_[i] == 0) continue;
+    for (std::size_t j = 0; j < rhs.coeffs_.size(); ++j) {
+      out[i + j] = static_cast<std::uint32_t>(
+          (out[i + j] +
+           static_cast<std::uint64_t>(coeffs_[i]) * rhs.coeffs_[j]) %
+          p_);
+    }
+  }
+  return Polynomial(p_, std::move(out));
+}
+
+Polynomial Polynomial::mod(const Polynomial& divisor) const {
+  if (p_ != divisor.p_)
+    throw std::invalid_argument("Polynomial: modulus mismatch");
+  if (divisor.is_zero())
+    throw std::invalid_argument("Polynomial::mod: division by zero");
+  std::vector<std::uint32_t> rem = coeffs_;
+  const auto& d = divisor.coeffs_;
+  const std::uint32_t lead_inv = inverse_mod_prime(d.back(), p_);
+  while (rem.size() >= d.size()) {
+    const std::uint32_t factor =
+        static_cast<std::uint32_t>(
+            static_cast<std::uint64_t>(rem.back()) * lead_inv % p_);
+    const std::size_t shift = rem.size() - d.size();
+    if (factor != 0) {
+      for (std::size_t i = 0; i < d.size(); ++i) {
+        const std::uint64_t sub =
+            static_cast<std::uint64_t>(factor) * d[i] % p_;
+        rem[shift + i] = static_cast<std::uint32_t>(
+            (rem[shift + i] + p_ - sub) % p_);
+      }
+    }
+    rem.pop_back();
+    while (!rem.empty() && rem.back() == 0) rem.pop_back();
+    if (rem.size() < d.size()) break;
+  }
+  return Polynomial(p_, std::move(rem));
+}
+
+Polynomial Polynomial::powmod(std::uint64_t e, const Polynomial& divisor) const {
+  Polynomial result = constant(p_, 1).mod(divisor);
+  Polynomial base = mod(divisor);
+  while (e > 0) {
+    if (e & 1) result = (result * base).mod(divisor);
+    base = (base * base).mod(divisor);
+    e >>= 1;
+  }
+  return result;
+}
+
+Polynomial Polynomial::gcd(Polynomial a, Polynomial b) {
+  while (!b.is_zero()) {
+    Polynomial r = a.mod(b);
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a.monic();
+}
+
+Polynomial Polynomial::monic() const {
+  if (is_zero()) return *this;
+  const std::uint32_t inv = inverse_mod_prime(coeffs_.back(), p_);
+  std::vector<std::uint32_t> out(coeffs_.size());
+  for (std::size_t i = 0; i < coeffs_.size(); ++i) {
+    out[i] = static_cast<std::uint32_t>(
+        static_cast<std::uint64_t>(coeffs_[i]) * inv % p_);
+  }
+  return Polynomial(p_, std::move(out));
+}
+
+std::uint32_t Polynomial::evaluate(std::uint32_t x) const noexcept {
+  std::uint64_t acc = 0;
+  for (std::size_t i = coeffs_.size(); i-- > 0;) {
+    acc = (acc * x + coeffs_[i]) % p_;
+  }
+  return static_cast<std::uint32_t>(acc);
+}
+
+std::string Polynomial::to_string() const {
+  if (is_zero()) return "0 (mod " + std::to_string(p_) + ")";
+  std::string out;
+  for (std::size_t i = coeffs_.size(); i-- > 0;) {
+    if (coeffs_[i] == 0) continue;
+    if (!out.empty()) out += " + ";
+    if (i == 0) {
+      out += std::to_string(coeffs_[i]);
+    } else {
+      if (coeffs_[i] != 1) out += std::to_string(coeffs_[i]);
+      out += "x";
+      if (i > 1) out += "^" + std::to_string(i);
+    }
+  }
+  return out + " (mod " + std::to_string(p_) + ")";
+}
+
+bool is_irreducible(const Polynomial& f) {
+  const int n = f.degree();
+  if (n < 1) return false;
+  if (n == 1) return true;
+  const std::uint32_t p = f.modulus();
+  const Polynomial x = Polynomial::monomial(p, 1);
+
+  // Rabin's test: f (degree n) is irreducible over Z_p iff
+  //   x^(p^n) == x (mod f), and
+  //   gcd(x^(p^(n/q)) - x, f) == 1 for every prime q dividing n.
+  auto x_pow_p_tower = [&](std::uint32_t height) {
+    // Computes x^(p^height) mod f by iterated powering.
+    Polynomial acc = x.mod(f);
+    for (std::uint32_t i = 0; i < height; ++i) acc = acc.powmod(p, f);
+    return acc;
+  };
+
+  for (const PrimePower& q : factorize(n)) {
+    const auto h = x_pow_p_tower(
+        static_cast<std::uint32_t>(n) / static_cast<std::uint32_t>(q.prime));
+    const Polynomial g = Polynomial::gcd(h - x.mod(f), f);
+    if (g.degree() != 0) return false;
+  }
+  return x_pow_p_tower(static_cast<std::uint32_t>(n)) == x.mod(f);
+}
+
+Polynomial find_irreducible(std::uint32_t p, std::uint32_t degree) {
+  if (degree == 0)
+    throw std::invalid_argument("find_irreducible: degree must be >= 1");
+  if (degree == 1) return Polynomial::monomial(p, 1);
+  // Enumerate monic polynomials x^degree + c_{degree-1} x^{degree-1} + ...
+  // + c_0 in lexicographic order of (c_0, ..., c_{degree-1}).
+  std::vector<std::uint32_t> coeffs(degree + 1, 0);
+  coeffs[degree] = 1;
+  while (true) {
+    Polynomial f(p, coeffs);
+    if (is_irreducible(f)) return f;
+    // Increment the low coefficients as a base-p counter.
+    std::size_t i = 0;
+    while (i < degree) {
+      if (++coeffs[i] < p) break;
+      coeffs[i] = 0;
+      ++i;
+    }
+    if (i == degree)
+      throw std::logic_error("find_irreducible: search exhausted");
+  }
+}
+
+}  // namespace pdl::algebra

@@ -1,0 +1,89 @@
+#pragma once
+// Dense univariate polynomials over the prime field Z_p, used to construct
+// the finite fields GF(p^m) that underlie ring-based block designs.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pdl::algebra {
+
+/// A polynomial over Z_p with coefficients stored low-degree-first.
+/// The zero polynomial has an empty coefficient vector; otherwise the
+/// leading coefficient is nonzero (the representation is normalized).
+class Polynomial {
+ public:
+  /// The zero polynomial over Z_p.
+  explicit Polynomial(std::uint32_t p);
+
+  /// Polynomial with the given coefficients (low-degree-first); the
+  /// coefficients are reduced mod p and trailing zeros are trimmed.
+  Polynomial(std::uint32_t p, std::vector<std::uint32_t> coefficients);
+
+  /// The constant polynomial c.
+  static Polynomial constant(std::uint32_t p, std::uint32_t c);
+
+  /// The monomial x^degree.
+  static Polynomial monomial(std::uint32_t p, std::uint32_t degree);
+
+  [[nodiscard]] std::uint32_t modulus() const noexcept { return p_; }
+  [[nodiscard]] bool is_zero() const noexcept { return coeffs_.empty(); }
+
+  /// Degree of the polynomial; the zero polynomial has degree -1.
+  [[nodiscard]] int degree() const noexcept {
+    return static_cast<int>(coeffs_.size()) - 1;
+  }
+
+  /// Coefficient of x^i (0 for i beyond the degree).
+  [[nodiscard]] std::uint32_t coeff(std::size_t i) const noexcept {
+    return i < coeffs_.size() ? coeffs_[i] : 0;
+  }
+
+  [[nodiscard]] const std::vector<std::uint32_t>& coefficients()
+      const noexcept {
+    return coeffs_;
+  }
+
+  [[nodiscard]] Polynomial operator+(const Polynomial& rhs) const;
+  [[nodiscard]] Polynomial operator-(const Polynomial& rhs) const;
+  [[nodiscard]] Polynomial operator*(const Polynomial& rhs) const;
+
+  /// Remainder of this polynomial modulo divisor (divisor must be nonzero).
+  [[nodiscard]] Polynomial mod(const Polynomial& divisor) const;
+
+  /// (this ^ e) mod divisor, by repeated squaring.
+  [[nodiscard]] Polynomial powmod(std::uint64_t e,
+                                  const Polynomial& divisor) const;
+
+  /// Monic greatest common divisor.
+  [[nodiscard]] static Polynomial gcd(Polynomial a, Polynomial b);
+
+  /// Scales so the leading coefficient is 1 (no-op for the zero polynomial).
+  [[nodiscard]] Polynomial monic() const;
+
+  /// Evaluates the polynomial at x in Z_p.
+  [[nodiscard]] std::uint32_t evaluate(std::uint32_t x) const noexcept;
+
+  /// Human-readable form such as "x^2 + 2x + 1 (mod 3)".
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Polynomial&, const Polynomial&) = default;
+
+ private:
+  void normalize();
+
+  std::uint32_t p_;
+  std::vector<std::uint32_t> coeffs_;
+};
+
+/// True iff f is irreducible over Z_p (f must have degree >= 1).
+/// Uses the Rabin irreducibility test.
+[[nodiscard]] bool is_irreducible(const Polynomial& f);
+
+/// Finds a monic irreducible polynomial of the given degree over Z_p by
+/// deterministic search in lexicographic order of coefficient vectors.
+/// degree >= 1; for degree 1 returns x.
+[[nodiscard]] Polynomial find_irreducible(std::uint32_t p,
+                                          std::uint32_t degree);
+
+}  // namespace pdl::algebra

@@ -1,0 +1,142 @@
+#include "algebra/product_ring.hpp"
+
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "algebra/gf.hpp"
+#include "algebra/numtheory.hpp"
+
+namespace pdl::algebra {
+
+ProductRing::ProductRing(std::vector<std::unique_ptr<const Ring>> components)
+    : components_(std::move(components)) {
+  if (components_.empty())
+    throw std::invalid_argument("ProductRing: needs at least one component");
+  strides_.reserve(components_.size());
+  std::uint64_t order = 1;
+  for (const auto& c : components_) {
+    if (!c) throw std::invalid_argument("ProductRing: null component");
+    strides_.push_back(static_cast<Elem>(order));
+    order *= c->order();
+    if (order > std::numeric_limits<Elem>::max())
+      throw std::invalid_argument("ProductRing: order overflows element type");
+  }
+  order_ = static_cast<Elem>(order);
+  // one = (1, 1, ..., 1)
+  std::vector<Elem> ones;
+  ones.reserve(components_.size());
+  for (const auto& c : components_) ones.push_back(c->one());
+  one_ = compose(ones);
+}
+
+std::vector<Elem> ProductRing::decompose(Elem a) const {
+  std::vector<Elem> parts(components_.size());
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    parts[i] = (a / strides_[i]) % components_[i]->order();
+  }
+  return parts;
+}
+
+Elem ProductRing::compose(std::span<const Elem> parts) const {
+  if (parts.size() != components_.size())
+    throw std::invalid_argument("ProductRing::compose: arity mismatch");
+  Elem a = 0;
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    if (parts[i] >= components_[i]->order())
+      throw std::invalid_argument("ProductRing::compose: index out of range");
+    a += parts[i] * strides_[i];
+  }
+  return a;
+}
+
+Elem ProductRing::add(Elem a, Elem b) const {
+  Elem result = 0;
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    const Elem n = components_[i]->order();
+    const Elem ai = (a / strides_[i]) % n;
+    const Elem bi = (b / strides_[i]) % n;
+    result += components_[i]->add(ai, bi) * strides_[i];
+  }
+  return result;
+}
+
+Elem ProductRing::neg(Elem a) const {
+  Elem result = 0;
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    const Elem n = components_[i]->order();
+    const Elem ai = (a / strides_[i]) % n;
+    result += components_[i]->neg(ai) * strides_[i];
+  }
+  return result;
+}
+
+Elem ProductRing::mul(Elem a, Elem b) const {
+  Elem result = 0;
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    const Elem n = components_[i]->order();
+    const Elem ai = (a / strides_[i]) % n;
+    const Elem bi = (b / strides_[i]) % n;
+    result += components_[i]->mul(ai, bi) * strides_[i];
+  }
+  return result;
+}
+
+std::optional<Elem> ProductRing::inverse(Elem a) const {
+  // Invertible iff every component is invertible (noted after Lemma 3).
+  Elem result = 0;
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    const Elem n = components_[i]->order();
+    const Elem ai = (a / strides_[i]) % n;
+    const auto inv = components_[i]->inverse(ai);
+    if (!inv) return std::nullopt;
+    result += *inv * strides_[i];
+  }
+  return result;
+}
+
+std::string ProductRing::name() const {
+  std::string out;
+  for (const auto& c : components_) {
+    if (!out.empty()) out += " x ";
+    out += c->name();
+  }
+  return out;
+}
+
+RingWithGenerators make_ring_with_generators(std::uint64_t v) {
+  if (v < 2)
+    throw std::invalid_argument("make_ring_with_generators: v must be >= 2");
+  if (v > std::numeric_limits<Elem>::max())
+    throw std::invalid_argument("make_ring_with_generators: v too large");
+
+  const auto factors = factorize(v);
+  const std::uint64_t max_k = min_prime_power_factor(v);
+
+  if (factors.size() == 1) {
+    // v is a prime power: GF(v); any k distinct elements are generators.
+    auto field = get_field(static_cast<Elem>(v));
+    std::vector<Elem> gens(v);
+    std::iota(gens.begin(), gens.end(), 0);
+    return {std::move(field), std::move(gens)};
+  }
+
+  // Lemma 3: cross product of the prime-power fields; the j-th generator is
+  // (e_j, ..., e_j) where e_j is the j-th element of each component field.
+  std::vector<std::unique_ptr<const Ring>> components;
+  components.reserve(factors.size());
+  for (const PrimePower& pp : factors) {
+    components.push_back(
+        std::make_unique<GaloisField>(static_cast<Elem>(pp.value())));
+  }
+  auto ring = std::make_shared<const ProductRing>(std::move(components));
+  std::vector<Elem> gens;
+  gens.reserve(max_k);
+  for (Elem j = 0; j < max_k; ++j) {
+    std::vector<Elem> parts(factors.size(), j);
+    gens.push_back(ring->compose(parts));
+  }
+  return {std::move(ring), std::move(gens)};
+}
+
+}  // namespace pdl::algebra

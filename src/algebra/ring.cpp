@@ -1,0 +1,88 @@
+#include "algebra/ring.hpp"
+
+#include <stdexcept>
+
+namespace pdl::algebra {
+
+Elem Ring::pow(Elem a, std::uint64_t e) const {
+  Elem result = one();
+  while (e > 0) {
+    if (e & 1) result = mul(result, a);
+    a = mul(a, a);
+    e >>= 1;
+  }
+  return result;
+}
+
+std::uint32_t Ring::additive_order(Elem a) const {
+  Elem acc = a;
+  std::uint32_t m = 1;
+  while (acc != zero()) {
+    acc = add(acc, a);
+    ++m;
+    if (m > order())
+      throw std::logic_error("additive_order: exceeded ring order");
+  }
+  return m;
+}
+
+std::uint32_t Ring::multiplicative_order(Elem a) const {
+  if (!is_unit(a))
+    throw std::invalid_argument("multiplicative_order: element is not a unit");
+  Elem acc = a;
+  std::uint32_t m = 1;
+  while (acc != one()) {
+    acc = mul(acc, a);
+    ++m;
+    if (m > order())
+      throw std::logic_error("multiplicative_order: exceeded ring order");
+  }
+  return m;
+}
+
+bool is_generator_set(const Ring& ring, std::span<const Elem> generators) {
+  for (std::size_t i = 0; i < generators.size(); ++i) {
+    for (std::size_t j = i + 1; j < generators.size(); ++j) {
+      if (!ring.is_unit(ring.sub(generators[i], generators[j]))) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::string> check_ring_axioms(const Ring& ring) {
+  std::vector<std::string> violations;
+  const Elem n = ring.order();
+  auto fail = [&](const std::string& msg) {
+    if (violations.size() < 16) violations.push_back(msg);
+  };
+
+  if (ring.one() == ring.zero()) fail("1 == 0");
+
+  for (Elem a = 0; a < n; ++a) {
+    if (ring.add(a, ring.zero()) != a) fail("a + 0 != a");
+    if (ring.add(a, ring.neg(a)) != ring.zero()) fail("a + (-a) != 0");
+    if (ring.mul(a, ring.one()) != a) fail("a * 1 != a");
+    if (auto inv = ring.inverse(a)) {
+      if (ring.mul(a, *inv) != ring.one()) fail("a * a^-1 != 1");
+    }
+    for (Elem b = 0; b < n; ++b) {
+      if (ring.add(a, b) != ring.add(b, a)) fail("+ not commutative");
+      if (ring.mul(a, b) != ring.mul(b, a)) fail("* not commutative");
+      if (ring.add(a, b) >= n) fail("+ out of range");
+      if (ring.mul(a, b) >= n) fail("* out of range");
+      for (Elem c = 0; c < n; ++c) {
+        if (ring.add(ring.add(a, b), c) != ring.add(a, ring.add(b, c)))
+          fail("+ not associative");
+        if (ring.mul(ring.mul(a, b), c) != ring.mul(a, ring.mul(b, c)))
+          fail("* not associative");
+        if (ring.mul(a, ring.add(b, c)) !=
+            ring.add(ring.mul(a, b), ring.mul(a, c)))
+          fail("* does not distribute over +");
+      }
+      if (!violations.empty()) return violations;  // fail fast
+    }
+  }
+  return violations;
+}
+
+}  // namespace pdl::algebra

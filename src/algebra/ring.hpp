@@ -1,0 +1,76 @@
+#pragma once
+// Abstract interface for finite commutative rings with unit.  Block-design
+// constructions (Theorem 1) are written against this interface so that the
+// same code serves prime fields, extension fields GF(p^m), modular rings
+// Z_m, and cross products of these (Lemma 3).
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pdl::algebra {
+
+/// Ring elements are dense indices 0 .. order()-1.  Index 0 is always the
+/// additive identity.
+using Elem = std::uint32_t;
+
+/// A finite commutative ring with a multiplicative unit (1 != 0).
+class Ring {
+ public:
+  virtual ~Ring() = default;
+
+  /// Number of elements in the ring (the ring's order); always >= 2.
+  [[nodiscard]] virtual Elem order() const noexcept = 0;
+
+  /// a + b.
+  [[nodiscard]] virtual Elem add(Elem a, Elem b) const = 0;
+
+  /// -a (additive inverse).
+  [[nodiscard]] virtual Elem neg(Elem a) const = 0;
+
+  /// a * b.
+  [[nodiscard]] virtual Elem mul(Elem a, Elem b) const = 0;
+
+  /// The multiplicative identity.
+  [[nodiscard]] virtual Elem one() const noexcept = 0;
+
+  /// Multiplicative inverse of a, or nullopt if a is not a unit.
+  [[nodiscard]] virtual std::optional<Elem> inverse(Elem a) const = 0;
+
+  /// Short human-readable description, e.g. "GF(8)" or "Z_6 x GF(25)".
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// The additive identity (always index 0).
+  [[nodiscard]] Elem zero() const noexcept { return 0; }
+
+  /// a - b.
+  [[nodiscard]] Elem sub(Elem a, Elem b) const { return add(a, neg(b)); }
+
+  /// True iff a has a multiplicative inverse.
+  [[nodiscard]] bool is_unit(Elem a) const { return inverse(a).has_value(); }
+
+  /// a ^ e by repeated squaring (e >= 0; a^0 = 1).
+  [[nodiscard]] Elem pow(Elem a, std::uint64_t e) const;
+
+  /// Additive order of a: the least m >= 1 with m*a = 0.
+  [[nodiscard]] std::uint32_t additive_order(Elem a) const;
+
+  /// Multiplicative order of a unit a: the least m >= 1 with a^m = 1.
+  /// Throws std::invalid_argument if a is not a unit.
+  [[nodiscard]] std::uint32_t multiplicative_order(Elem a) const;
+};
+
+/// True iff all pairwise differences of the given elements are units --
+/// i.e. the elements form a valid generator set for a ring-based block
+/// design (Section 2.1).
+[[nodiscard]] bool is_generator_set(const Ring& ring,
+                                    std::span<const Elem> generators);
+
+/// Exhaustively verifies the commutative-ring-with-unit axioms; intended for
+/// tests on small rings (O(order^3) work).  Returns a human-readable list of
+/// violated axioms (empty if the axioms hold).
+[[nodiscard]] std::vector<std::string> check_ring_axioms(const Ring& ring);
+
+}  // namespace pdl::algebra

@@ -1,0 +1,49 @@
+#include "algebra/zmod.hpp"
+
+#include <stdexcept>
+
+namespace pdl::algebra {
+
+namespace {
+
+// Extended Euclid: returns gcd(a, b) and x with a*x === gcd (mod b).
+std::int64_t ext_gcd(std::int64_t a, std::int64_t b, std::int64_t& x) {
+  std::int64_t x0 = 1, x1 = 0;
+  while (b != 0) {
+    const std::int64_t q = a / b;
+    a -= q * b;
+    std::swap(a, b);
+    x0 -= q * x1;
+    std::swap(x0, x1);
+  }
+  x = x0;
+  return a;
+}
+
+}  // namespace
+
+ZmodRing::ZmodRing(Elem m) : m_(m) {
+  if (m < 2) throw std::invalid_argument("ZmodRing: modulus must be >= 2");
+}
+
+Elem ZmodRing::add(Elem a, Elem b) const {
+  const std::uint64_t s = static_cast<std::uint64_t>(a) + b;
+  return static_cast<Elem>(s >= m_ ? s - m_ : s);
+}
+
+Elem ZmodRing::neg(Elem a) const { return a == 0 ? 0 : m_ - a; }
+
+Elem ZmodRing::mul(Elem a, Elem b) const {
+  return static_cast<Elem>(static_cast<std::uint64_t>(a) * b % m_);
+}
+
+std::optional<Elem> ZmodRing::inverse(Elem a) const {
+  std::int64_t x = 0;
+  if (ext_gcd(a, m_, x) != 1) return std::nullopt;
+  const std::int64_t r = ((x % m_) + m_) % m_;
+  return static_cast<Elem>(r);
+}
+
+std::string ZmodRing::name() const { return "Z_" + std::to_string(m_); }
+
+}  // namespace pdl::algebra

@@ -1,0 +1,26 @@
+#pragma once
+// The modular ring Z_m of integers mod m.
+
+#include "algebra/ring.hpp"
+
+namespace pdl::algebra {
+
+/// Z_m: integers modulo m (m >= 2), a commutative ring with unit.
+/// Element i represents the residue class of i.
+class ZmodRing final : public Ring {
+ public:
+  explicit ZmodRing(Elem m);
+
+  [[nodiscard]] Elem order() const noexcept override { return m_; }
+  [[nodiscard]] Elem add(Elem a, Elem b) const override;
+  [[nodiscard]] Elem neg(Elem a) const override;
+  [[nodiscard]] Elem mul(Elem a, Elem b) const override;
+  [[nodiscard]] Elem one() const noexcept override { return 1; }
+  [[nodiscard]] std::optional<Elem> inverse(Elem a) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  Elem m_;
+};
+
+}  // namespace pdl::algebra

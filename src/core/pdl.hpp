@@ -1,0 +1,39 @@
+#pragma once
+// Umbrella header for the parity-declustered-layouts library.
+//
+// Quick start:
+//
+//   #include "core/pdl.hpp"
+//   auto built = pdl::core::build_layout({.num_disks = 15, .stripe_size = 5});
+//   pdl::layout::AddressMapper mapper(built->layout);
+//   auto where = mapper.map(/*logical=*/12345);
+
+#include "algebra/gf.hpp"
+#include "algebra/numtheory.hpp"
+#include "algebra/product_ring.hpp"
+#include "core/declustered_array.hpp"
+#include "core/recovery.hpp"
+#include "core/xor_codec.hpp"
+#include "design/bounds.hpp"
+#include "design/catalog.hpp"
+#include "design/complete_design.hpp"
+#include "design/reduced_design.hpp"
+#include "design/ring_design.hpp"
+#include "design/subfield_design.hpp"
+#include "flow/parity_assign.hpp"
+#include "layout/bibd_layout.hpp"
+#include "layout/disk_removal.hpp"
+#include "layout/feasibility.hpp"
+#include "layout/mapping.hpp"
+#include "layout/metrics.hpp"
+#include "layout/migration.hpp"
+#include "layout/parallelism.hpp"
+#include "layout/raid.hpp"
+#include "layout/randomized.hpp"
+#include "layout/ring_layout.hpp"
+#include "layout/serialize.hpp"
+#include "layout/sparing.hpp"
+#include "layout/stairway.hpp"
+#include "sim/array_sim.hpp"
+#include "sim/reconstruction.hpp"
+#include "sim/workload.hpp"

@@ -1,0 +1,34 @@
+#include "core/recovery.hpp"
+
+#include <stdexcept>
+
+namespace pdl::core {
+
+RecoveryPlan plan_recovery(const layout::Layout& layout,
+                           layout::DiskId failed) {
+  if (failed >= layout.num_disks())
+    throw std::invalid_argument("plan_recovery: bad disk");
+
+  RecoveryPlan plan;
+  plan.failed = failed;
+  plan.analysis = sim::analyze_reconstruction(layout, failed);
+
+  for (std::uint32_t si = 0; si < layout.num_stripes(); ++si) {
+    const layout::Stripe& st = layout.stripes()[si];
+    StripeRepair repair;
+    repair.stripe = si;
+    bool crosses = false;
+    for (const layout::StripeUnit& u : st.units) {
+      if (u.disk == failed) {
+        repair.lost = u;
+        crosses = true;
+      } else {
+        repair.reads.push_back(u);
+      }
+    }
+    if (crosses) plan.repairs.push_back(std::move(repair));
+  }
+  return plan;
+}
+
+}  // namespace pdl::core

@@ -1,0 +1,32 @@
+#pragma once
+// Recovery planning: the concrete read/write schedule that rebuilds a
+// failed disk, derived from the layout structure.
+
+#include <vector>
+
+#include "layout/layout.hpp"
+#include "sim/reconstruction.hpp"
+
+namespace pdl::core {
+
+/// One stripe's repair: read `reads`, XOR them, write the result to the
+/// failed disk's replacement at `lost.offset`.
+struct StripeRepair {
+  std::uint32_t stripe = 0;
+  layout::StripeUnit lost;                 ///< the unit on the failed disk
+  std::vector<layout::StripeUnit> reads;   ///< all surviving units
+};
+
+/// The full rebuild schedule for one failed disk.
+struct RecoveryPlan {
+  layout::DiskId failed = 0;
+  std::vector<StripeRepair> repairs;       ///< one per lost unit
+  sim::ReconstructionAnalysis analysis;    ///< per-disk read totals
+};
+
+/// Plans recovery of `failed`.  Every unit of the failed disk is covered by
+/// exactly one repair (layouts are hole-free).
+[[nodiscard]] RecoveryPlan plan_recovery(const layout::Layout& layout,
+                                         layout::DiskId failed);
+
+}  // namespace pdl::core

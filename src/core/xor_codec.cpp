@@ -1,0 +1,27 @@
+#include "core/xor_codec.hpp"
+
+#include <stdexcept>
+
+namespace pdl::core {
+
+void xor_into(std::span<std::uint8_t> dst,
+              std::span<const std::uint8_t> src) {
+  if (dst.size() != src.size())
+    throw std::invalid_argument("xor_into: size mismatch");
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] ^= src[i];
+}
+
+std::vector<std::uint8_t> xor_parity(
+    std::span<const std::vector<std::uint8_t>> units) {
+  if (units.empty()) throw std::invalid_argument("xor_parity: no units");
+  std::vector<std::uint8_t> parity(units.front().size(), 0);
+  for (const auto& unit : units) xor_into(parity, unit);
+  return parity;
+}
+
+std::vector<std::uint8_t> xor_reconstruct(
+    std::span<const std::vector<std::uint8_t>> survivors) {
+  return xor_parity(survivors);
+}
+
+}  // namespace pdl::core

@@ -1,0 +1,26 @@
+#pragma once
+// The parity code itself (Figure 1): parity = XOR of the stripe's data
+// units; any single lost unit is the XOR of the survivors.  Provided so
+// examples and tests can demonstrate end-to-end data recovery, not just
+// unit counting.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace pdl::core {
+
+/// XOR-accumulates `src` into `dst`; both must have the same size.
+void xor_into(std::span<std::uint8_t> dst, std::span<const std::uint8_t> src);
+
+/// Parity of a set of equal-sized data units.
+[[nodiscard]] std::vector<std::uint8_t> xor_parity(
+    std::span<const std::vector<std::uint8_t>> units);
+
+/// Reconstructs the missing unit from the k-1 survivors (data or parity --
+/// XOR is self-inverse, so the same call serves both directions).
+[[nodiscard]] std::vector<std::uint8_t> xor_reconstruct(
+    std::span<const std::vector<std::uint8_t>> survivors);
+
+}  // namespace pdl::core

@@ -1,0 +1,140 @@
+#include "design/bibd.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <stdexcept>
+
+namespace pdl::design {
+
+std::string DesignParams::to_string() const {
+  return "BIBD(v=" + std::to_string(v) + ", k=" + std::to_string(k) +
+         ", b=" + std::to_string(b) + ", r=" + std::to_string(r) +
+         ", lambda=" + std::to_string(lambda) + ")";
+}
+
+BibdCheck verify_bibd(const BlockDesign& design) {
+  BibdCheck check;
+  auto fail = [&](std::string msg) {
+    if (check.errors.size() < 16) check.errors.push_back(std::move(msg));
+  };
+
+  const std::uint32_t v = design.v;
+  const std::uint32_t k = design.k;
+  if (v < 2) fail("v must be >= 2");
+  if (k < 2 || k > v) fail("k must satisfy 2 <= k <= v");
+  if (design.blocks.empty()) fail("design has no blocks");
+  if (!check.errors.empty()) return check;
+
+  std::vector<std::uint64_t> replication(v, 0);
+  // Triangular pair-count array: pair (i < j) at index j*(j-1)/2 + i.
+  std::vector<std::uint64_t> pair_count(
+      static_cast<std::size_t>(v) * (v - 1) / 2, 0);
+
+  std::vector<Elem> sorted;
+  for (std::size_t bi = 0; bi < design.blocks.size(); ++bi) {
+    const auto& block = design.blocks[bi];
+    if (block.size() != k) {
+      fail("block " + std::to_string(bi) + " has size " +
+           std::to_string(block.size()) + ", expected " + std::to_string(k));
+      continue;
+    }
+    sorted.assign(block.begin(), block.end());
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.back() >= v) {
+      fail("block " + std::to_string(bi) + " has element out of range");
+      continue;
+    }
+    if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+      fail("block " + std::to_string(bi) + " has a repeated element");
+      continue;
+    }
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+      ++replication[sorted[i]];
+      for (std::size_t j = i + 1; j < sorted.size(); ++j) {
+        ++pair_count[static_cast<std::size_t>(sorted[j]) * (sorted[j] - 1) / 2 +
+                     sorted[i]];
+      }
+    }
+  }
+  if (!check.errors.empty()) return check;
+
+  const std::uint64_t r = replication[0];
+  for (std::uint32_t x = 0; x < v; ++x) {
+    if (replication[x] != r) {
+      fail("element " + std::to_string(x) + " has replication " +
+           std::to_string(replication[x]) + " != r = " + std::to_string(r));
+    }
+  }
+  const std::uint64_t lambda = pair_count[0];
+  for (std::size_t idx = 0; idx < pair_count.size(); ++idx) {
+    if (pair_count[idx] != lambda) {
+      fail("a pair appears " + std::to_string(pair_count[idx]) +
+           " times != lambda = " + std::to_string(lambda));
+      break;
+    }
+  }
+  if (!check.errors.empty()) return check;
+
+  check.ok = true;
+  check.params = {v, k, design.b(), r, lambda};
+  return check;
+}
+
+DesignParams design_params(const BlockDesign& design) {
+  DesignParams params;
+  params.v = design.v;
+  params.k = design.k;
+  params.b = design.b();
+  // r = b*k/v and lambda = r*(k-1)/(v-1) for a BIBD.
+  params.r = params.b * design.k / design.v;
+  params.lambda = params.r * (design.k - 1) / (design.v - 1);
+  return params;
+}
+
+std::vector<std::pair<std::vector<Elem>, std::uint64_t>> block_multiplicities(
+    const BlockDesign& design) {
+  std::map<std::vector<Elem>, std::uint64_t> counts;
+  std::vector<Elem> sorted;
+  for (const auto& block : design.blocks) {
+    sorted.assign(block.begin(), block.end());
+    std::sort(sorted.begin(), sorted.end());
+    ++counts[sorted];
+  }
+  return {counts.begin(), counts.end()};
+}
+
+ReductionResult reduce_redundancy(const BlockDesign& design) {
+  const auto counts = block_multiplicities(design);
+  std::uint64_t g = 0;
+  for (const auto& [block, count] : counts) g = std::gcd(g, count);
+  if (g == 0) g = 1;
+
+  ReductionResult result;
+  result.factor = g;
+  result.design.v = design.v;
+  result.design.k = design.k;
+  for (const auto& [block, count] : counts) {
+    for (std::uint64_t i = 0; i < count / g; ++i) {
+      result.design.blocks.push_back(block);
+    }
+  }
+  return result;
+}
+
+BlockDesign reduce_by_factor(const BlockDesign& design, std::uint64_t f) {
+  if (f == 0) throw std::invalid_argument("reduce_by_factor: f must be >= 1");
+  BlockDesign out;
+  out.v = design.v;
+  out.k = design.k;
+  for (const auto& [block, count] : block_multiplicities(design)) {
+    if (count % f != 0)
+      throw std::invalid_argument(
+          "reduce_by_factor: block multiplicity " + std::to_string(count) +
+          " not divisible by " + std::to_string(f));
+    for (std::uint64_t i = 0; i < count / f; ++i) out.blocks.push_back(block);
+  }
+  return out;
+}
+
+}  // namespace pdl::design

@@ -1,0 +1,81 @@
+#pragma once
+// Balanced incomplete block designs (BIBDs): the combinatorial substrate of
+// parity-declustered layouts.  A BIBD is a collection of b k-element blocks
+// over a v-element point set such that every point lies in exactly r blocks
+// and every pair of points lies in exactly lambda blocks.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "algebra/ring.hpp"
+
+namespace pdl::design {
+
+using pdl::algebra::Elem;
+
+/// BIBD parameters (v, k, b, r, lambda).  The admissibility identities are
+/// b*k = v*r and r*(k-1) = lambda*(v-1).
+struct DesignParams {
+  std::uint32_t v = 0;
+  std::uint32_t k = 0;
+  std::uint64_t b = 0;
+  std::uint64_t r = 0;
+  std::uint64_t lambda = 0;
+
+  friend bool operator==(const DesignParams&, const DesignParams&) = default;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// A block design: a multiset of k-element blocks over points 0..v-1.
+/// Within a block, element order is construction-defined (ring-based designs
+/// store the g_i-th element at position i); treat blocks as sets unless a
+/// construction documents otherwise.
+struct BlockDesign {
+  std::uint32_t v = 0;
+  std::uint32_t k = 0;
+  std::vector<std::vector<Elem>> blocks;
+
+  [[nodiscard]] std::uint64_t b() const noexcept { return blocks.size(); }
+};
+
+/// Result of verifying the BIBD conditions on a block design.
+struct BibdCheck {
+  bool ok = false;
+  DesignParams params;               ///< valid only when ok
+  std::vector<std::string> errors;   ///< human-readable violations (capped)
+};
+
+/// Exhaustively checks that the design is a BIBD: block sizes, element
+/// ranges, per-element replication r, and per-pair balance lambda.
+[[nodiscard]] BibdCheck verify_bibd(const BlockDesign& design);
+
+/// Computes (v, k, b, r, lambda) assuming the design is a BIBD (r and lambda
+/// are read off the first element/pair); use verify_bibd to validate.
+[[nodiscard]] DesignParams design_params(const BlockDesign& design);
+
+/// Redundancy removal (Section 2.2): if every distinct block appears a
+/// number of times divisible by f, the design can be shrunk by factor f.
+struct ReductionResult {
+  BlockDesign design;      ///< the reduced design
+  std::uint64_t factor = 1;  ///< the factor removed (gcd of multiplicities)
+};
+
+/// Removes the maximum uniform redundancy: computes the gcd g of all block
+/// multiplicities and keeps multiplicity/g copies of each distinct block.
+/// The result is a BIBD with b, r, lambda divided by g whenever the input
+/// was a BIBD.
+[[nodiscard]] ReductionResult reduce_redundancy(const BlockDesign& design);
+
+/// Removes redundancy by an exact factor f; throws std::invalid_argument if
+/// some block multiplicity is not divisible by f.
+[[nodiscard]] BlockDesign reduce_by_factor(const BlockDesign& design,
+                                           std::uint64_t f);
+
+/// The number of times each distinct block appears, keyed by sorted block.
+[[nodiscard]] std::vector<std::pair<std::vector<Elem>, std::uint64_t>>
+block_multiplicities(const BlockDesign& design);
+
+}  // namespace pdl::design

@@ -1,0 +1,41 @@
+#include "design/bounds.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace pdl::design {
+
+std::uint64_t theorem7_lower_bound(std::uint64_t v, std::uint64_t k) {
+  if (v < 2 || k < 2 || k > v)
+    throw std::invalid_argument("theorem7_lower_bound: need 2 <= k <= v");
+  const std::uint64_t vv = v * (v - 1);
+  const std::uint64_t kk = k * (k - 1);
+  return vv / std::gcd(vv, kk);
+}
+
+std::uint64_t fisher_lower_bound(std::uint64_t v) { return v; }
+
+bool is_admissible(std::uint64_t v, std::uint64_t k, std::uint64_t lambda) {
+  if (v < 2 || k < 2 || k > v || lambda < 1) return false;
+  if ((lambda * (v - 1)) % (k - 1) != 0) return false;
+  const std::uint64_t r = lambda * (v - 1) / (k - 1);
+  return (v * r) % k == 0;
+}
+
+std::uint64_t min_admissible_lambda(std::uint64_t v, std::uint64_t k) {
+  if (v < 2 || k < 2 || k > v)
+    throw std::invalid_argument("min_admissible_lambda: need 2 <= k <= v");
+  for (std::uint64_t lambda = 1;; ++lambda) {
+    if (is_admissible(v, k, lambda)) return lambda;
+    if (lambda > k * (k - 1))
+      throw std::logic_error(
+          "min_admissible_lambda: exceeded k(k-1) without admissibility");
+  }
+}
+
+std::uint64_t blocks_for_lambda(std::uint64_t v, std::uint64_t k,
+                                std::uint64_t lambda) {
+  return lambda * v * (v - 1) / (k * (k - 1));
+}
+
+}  // namespace pdl::design

@@ -1,0 +1,31 @@
+#pragma once
+// Size bounds and admissibility conditions for BIBDs (Theorem 7 and the
+// classical counting identities).
+
+#include <cstdint>
+
+namespace pdl::design {
+
+/// Theorem 7: any BIBD on v points with blocks of size k has
+///   b >= v(v-1) / gcd(v(v-1), k(k-1)).
+[[nodiscard]] std::uint64_t theorem7_lower_bound(std::uint64_t v,
+                                                 std::uint64_t k);
+
+/// Fisher's inequality: a BIBD with k < v has b >= v.
+[[nodiscard]] std::uint64_t fisher_lower_bound(std::uint64_t v);
+
+/// True iff (v, k, lambda) satisfies the integrality conditions
+/// r = lambda(v-1)/(k-1) and b = vr/k both integral.
+[[nodiscard]] bool is_admissible(std::uint64_t v, std::uint64_t k,
+                                 std::uint64_t lambda);
+
+/// The smallest lambda >= 1 for which (v, k, lambda) is admissible.
+[[nodiscard]] std::uint64_t min_admissible_lambda(std::uint64_t v,
+                                                  std::uint64_t k);
+
+/// b for a given admissible (v, k, lambda): lambda*v*(v-1)/(k*(k-1)).
+[[nodiscard]] std::uint64_t blocks_for_lambda(std::uint64_t v,
+                                              std::uint64_t k,
+                                              std::uint64_t lambda);
+
+}  // namespace pdl::design

@@ -1,0 +1,51 @@
+#pragma once
+// A catalog over all BIBD constructions in this library: given (v, k) it
+// reports which constructions apply, their predicted sizes, and builds the
+// smallest applicable design.  This is the "effective, easily implemented
+// construction" front-end the paper argues for over published design tables.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "design/bibd.hpp"
+
+namespace pdl::design {
+
+/// The BIBD constructions implemented by this library.
+enum class Method {
+  kComplete,    ///< all C(v,k) subsets (baseline)
+  kRing,        ///< Theorem 1 over the canonical ring of order v
+  kTheorem4,    ///< symmetric generators, factor gcd(v-1, k-1) (Hanani)
+  kTheorem5,    ///< symmetric generators, factor gcd(v-1, k)
+  kSubfield,    ///< Theorem 6, optimally small (lambda = 1)
+};
+
+[[nodiscard]] std::string method_name(Method method);
+
+/// Predicted parameters of a method at (v, k), or nullopt if the method
+/// does not apply there.
+[[nodiscard]] std::optional<DesignParams> predicted_params(Method method,
+                                                           std::uint32_t v,
+                                                           std::uint32_t k);
+
+/// All methods applicable at (v, k), in enum order.
+[[nodiscard]] std::vector<Method> applicable_methods(std::uint32_t v,
+                                                     std::uint32_t k);
+
+/// Builds the design for an applicable method.  Throws if inapplicable.
+[[nodiscard]] BlockDesign build_design(Method method, std::uint32_t v,
+                                       std::uint32_t k);
+
+/// The applicable method with the smallest b, if any method applies.
+struct CatalogChoice {
+  Method method;
+  DesignParams params;
+};
+[[nodiscard]] std::optional<CatalogChoice> best_method(std::uint32_t v,
+                                                       std::uint32_t k);
+
+/// Builds the design chosen by best_method.  Throws if nothing applies.
+[[nodiscard]] BlockDesign build_best_design(std::uint32_t v, std::uint32_t k);
+
+}  // namespace pdl::design

@@ -1,0 +1,60 @@
+#include "design/complete_design.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace pdl::design {
+
+std::uint64_t binomial(std::uint64_t n, std::uint64_t r) {
+  if (r > n) return 0;
+  r = std::min(r, n - r);
+  std::uint64_t result = 1;
+  for (std::uint64_t i = 1; i <= r; ++i) {
+    const std::uint64_t factor = n - r + i;
+    // result = result * factor / i, guarding overflow.
+    if (result > std::numeric_limits<std::uint64_t>::max() / factor)
+      return std::numeric_limits<std::uint64_t>::max();
+    result = result * factor / i;
+  }
+  return result;
+}
+
+BlockDesign make_complete_design(std::uint32_t v, std::uint32_t k,
+                                 std::uint64_t max_blocks) {
+  if (k < 2 || k > v)
+    throw std::invalid_argument("make_complete_design: need 2 <= k <= v");
+  const std::uint64_t b = binomial(v, k);
+  if (b > max_blocks)
+    throw std::invalid_argument("make_complete_design: C(v,k) = " +
+                                std::to_string(b) + " exceeds limit");
+  BlockDesign out;
+  out.v = v;
+  out.k = k;
+  out.blocks.reserve(b);
+
+  // Standard lexicographic combination enumeration.
+  std::vector<Elem> block(k);
+  for (std::uint32_t i = 0; i < k; ++i) block[i] = i;
+  while (true) {
+    out.blocks.push_back(block);
+    // Advance to the next combination.
+    int i = static_cast<int>(k) - 1;
+    while (i >= 0 && block[i] == v - k + i) --i;
+    if (i < 0) break;
+    ++block[i];
+    for (std::uint32_t j = i + 1; j < k; ++j) block[j] = block[j - 1] + 1;
+  }
+  return out;
+}
+
+DesignParams complete_design_params(std::uint32_t v, std::uint32_t k) {
+  DesignParams p;
+  p.v = v;
+  p.k = k;
+  p.b = binomial(v, k);
+  p.r = binomial(v - 1, k - 1);
+  p.lambda = binomial(v - 2, k - 2);
+  return p;
+}
+
+}  // namespace pdl::design

@@ -1,0 +1,23 @@
+#pragma once
+// The complete block design: all C(v, k) k-subsets of a v-set.  Always a
+// BIBD (b = C(v,k), r = C(v-1,k-1), lambda = C(v-2,k-2)), but so large that
+// Condition 4 rules it out for all but tiny arrays -- it is the baseline the
+// paper's constructions are measured against.
+
+#include "design/bibd.hpp"
+
+namespace pdl::design {
+
+/// C(n, r) with overflow saturation to UINT64_MAX.
+[[nodiscard]] std::uint64_t binomial(std::uint64_t n, std::uint64_t r);
+
+/// Builds the complete design.  Throws std::invalid_argument if
+/// C(v, k) > max_blocks (guard against accidental explosion).
+[[nodiscard]] BlockDesign make_complete_design(
+    std::uint32_t v, std::uint32_t k, std::uint64_t max_blocks = 10'000'000);
+
+/// Expected parameters: b = C(v,k), r = C(v-1,k-1), lambda = C(v-2,k-2).
+[[nodiscard]] DesignParams complete_design_params(std::uint32_t v,
+                                                  std::uint32_t k);
+
+}  // namespace pdl::design

@@ -1,0 +1,131 @@
+#include "design/reduced_design.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "algebra/gf.hpp"
+#include "algebra/numtheory.hpp"
+
+namespace pdl::design {
+
+using algebra::GaloisField;
+
+namespace {
+
+std::shared_ptr<const GaloisField> field_for(std::uint32_t v,
+                                             std::uint32_t k,
+                                             const char* who) {
+  if (!algebra::is_prime_power(v))
+    throw std::invalid_argument(std::string(who) +
+                                ": v must be a prime power");
+  if (k < 2 || k > v)
+    throw std::invalid_argument(std::string(who) + ": need 2 <= k <= v");
+  return algebra::get_field(v);
+}
+
+}  // namespace
+
+std::vector<Elem> theorem4_generators(std::uint32_t v, std::uint32_t k) {
+  auto field = field_for(v, k, "theorem4_generators");
+  const std::uint32_t f = std::gcd(v - 1, k - 1);
+
+  // The multiplicative subgroup H = <a> of order f consists of
+  // exp(j*(v-1)/f); the coset of exp(t) is {exp(t + j*(v-1)/f)}.  Cosets are
+  // indexed by t in [0, (v-1)/f); we take the first (k-1)/f cosets.
+  const std::uint32_t num_cosets = (k - 1) / f;
+  std::vector<Elem> gens;
+  gens.reserve(k);
+  gens.push_back(0);  // the fixed point {0} of x -> a*x, required as g_0
+  for (std::uint32_t t = 0; t < num_cosets; ++t) {
+    for (std::uint32_t j = 0; j < f; ++j) {
+      gens.push_back(field->exp(t + static_cast<std::uint64_t>(j) *
+                                        ((v - 1) / f)));
+    }
+  }
+  return gens;
+}
+
+BlockDesign make_theorem4_design(std::uint32_t v, std::uint32_t k) {
+  auto field = field_for(v, k, "make_theorem4_design");
+  const std::uint32_t f = std::gcd(v - 1, k - 1);
+  RingDesign rd = make_ring_design(field, theorem4_generators(v, k));
+  return reduce_by_factor(rd.design, f);
+}
+
+DesignParams theorem4_params(std::uint32_t v, std::uint32_t k) {
+  const std::uint64_t f = std::gcd(v - 1, k - 1);
+  DesignParams p;
+  p.v = v;
+  p.k = k;
+  p.b = static_cast<std::uint64_t>(v) * (v - 1) / f;
+  p.r = static_cast<std::uint64_t>(k) * (v - 1) / f;
+  p.lambda = static_cast<std::uint64_t>(k) * (k - 1) / f;
+  return p;
+}
+
+std::vector<Elem> theorem5_generators(std::uint32_t v, std::uint32_t k) {
+  auto field = field_for(v, k, "theorem5_generators");
+  const std::uint32_t f = std::gcd(v - 1, k);
+
+  // pi(x) = z + a(x - z) with ord(a) = f fixes z and otherwise has cycles
+  // {z + a^j (w - z)} of size f.  Generators: k/f such cycles, the cycle
+  // through 0 first (so g_0 = 0), z excluded automatically.
+  const Elem z = field->one();
+  const Elem a = field->element_of_multiplicative_order(f);
+  auto pi = [&](Elem x) {
+    return field->add(z, field->mul(a, field->sub(x, z)));
+  };
+
+  const std::uint32_t num_cycles = k / f;
+  std::vector<bool> used(v, false);
+  used[z] = true;
+  std::vector<Elem> gens;
+  gens.reserve(k);
+
+  auto take_cycle = [&](Elem w) {
+    Elem x = w;
+    for (std::uint32_t j = 0; j < f; ++j) {
+      if (used[x])
+        throw std::logic_error("theorem5_generators: cycle overlap");
+      used[x] = true;
+      gens.push_back(x);
+      x = pi(x);
+    }
+    if (x != w) throw std::logic_error("theorem5_generators: bad cycle size");
+  };
+
+  take_cycle(0);  // the cycle through 0, starting at 0 so that g_0 = 0
+  std::uint32_t cycles = 1;
+  for (Elem w = 0; w < v && cycles < num_cycles; ++w) {
+    if (used[w]) continue;
+    take_cycle(w);
+    ++cycles;
+  }
+  if (cycles < num_cycles)
+    throw std::logic_error("theorem5_generators: not enough cycles");
+  return gens;
+}
+
+BlockDesign make_theorem5_design(std::uint32_t v, std::uint32_t k) {
+  auto field = field_for(v, k, "make_theorem5_design");
+  if (k == v)
+    throw std::invalid_argument(
+        "make_theorem5_design: k must be < v (the permutation's fixed point "
+        "cannot be a generator)");
+  const std::uint32_t f = std::gcd(v - 1, k);
+  RingDesign rd = make_ring_design(field, theorem5_generators(v, k));
+  return reduce_by_factor(rd.design, f);
+}
+
+DesignParams theorem5_params(std::uint32_t v, std::uint32_t k) {
+  const std::uint64_t f = std::gcd(v - 1, k);
+  DesignParams p;
+  p.v = v;
+  p.k = k;
+  p.b = static_cast<std::uint64_t>(v) * (v - 1) / f;
+  p.r = static_cast<std::uint64_t>(k) * (v - 1) / f;
+  p.lambda = static_cast<std::uint64_t>(k) * (k - 1) / f;
+  return p;
+}
+
+}  // namespace pdl::design

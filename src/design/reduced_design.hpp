@@ -1,0 +1,45 @@
+#pragma once
+// Redundancy-reduced ring designs via symmetric generators (Section 2.2.1,
+// Theorems 4 and 5).  Both require v to be a prime power; the design is a
+// Theorem-1 design over GF(v) whose generators are chosen as unions of
+// cycles of a field permutation, making every block appear a multiple of
+// f times, after which the design is shrunk by factor f.
+
+#include "design/bibd.hpp"
+#include "design/ring_design.hpp"
+
+namespace pdl::design {
+
+/// Theorem 4: BIBD for prime-power v and any k (2 <= k <= v) with
+///   f = gcd(v-1, k-1),
+///   b = v(v-1)/f, r = k(v-1)/f, lambda = k(k-1)/f.
+/// Generators: {0} plus (k-1)/f cosets of the order-f multiplicative
+/// subgroup.
+[[nodiscard]] BlockDesign make_theorem4_design(std::uint32_t v,
+                                               std::uint32_t k);
+
+/// Expected parameters of the Theorem 4 design.
+[[nodiscard]] DesignParams theorem4_params(std::uint32_t v, std::uint32_t k);
+
+/// Theorem 5: BIBD for prime-power v and any k (2 <= k <= v, k < v required
+/// so that the fixed point z of the permutation is outside the generators)
+/// with
+///   f = gcd(v-1, k),
+///   b = v(v-1)/f, r = k(v-1)/f, lambda = k(k-1)/f.
+/// Generators: union of k/f cycles of x -> z + a(x-z), including the cycle
+/// through 0, where a has multiplicative order f.
+[[nodiscard]] BlockDesign make_theorem5_design(std::uint32_t v,
+                                               std::uint32_t k);
+
+/// Expected parameters of the Theorem 5 design.
+[[nodiscard]] DesignParams theorem5_params(std::uint32_t v, std::uint32_t k);
+
+/// The generator sets used by the two constructions (exposed for tests and
+/// for building the un-reduced RingDesign when the (x, y) indexing is
+/// needed).  g_0 = 0 in both.
+[[nodiscard]] std::vector<Elem> theorem4_generators(std::uint32_t v,
+                                                    std::uint32_t k);
+[[nodiscard]] std::vector<Elem> theorem5_generators(std::uint32_t v,
+                                                    std::uint32_t k);
+
+}  // namespace pdl::design

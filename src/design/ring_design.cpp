@@ -1,0 +1,94 @@
+#include "design/ring_design.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "algebra/numtheory.hpp"
+
+namespace pdl::design {
+
+using algebra::Ring;
+
+std::vector<Elem> ring_design_tuple(const Ring& ring,
+                                    std::span<const Elem> generators, Elem x,
+                                    Elem y) {
+  if (y == ring.zero())
+    throw std::invalid_argument("ring_design_tuple: y must be nonzero");
+  std::vector<Elem> tuple;
+  tuple.reserve(generators.size());
+  const Elem g0 = generators[0];
+  for (const Elem gi : generators) {
+    tuple.push_back(ring.add(x, ring.mul(y, ring.sub(gi, g0))));
+  }
+  return tuple;
+}
+
+RingDesign make_ring_design(std::shared_ptr<const Ring> ring,
+                            std::vector<Elem> generators) {
+  if (!ring) throw std::invalid_argument("make_ring_design: null ring");
+  if (generators.size() < 2)
+    throw std::invalid_argument("make_ring_design: need at least 2 generators");
+  if (generators.size() > ring->order())
+    throw std::invalid_argument("make_ring_design: more generators than elements");
+  if (!algebra::is_generator_set(*ring, generators))
+    throw std::invalid_argument(
+        "make_ring_design: some pairwise generator difference is not a unit");
+
+  const Elem v = ring->order();
+  const auto k = static_cast<std::uint32_t>(generators.size());
+
+  RingDesign rd;
+  rd.ring = ring;
+  rd.generators = generators;
+  rd.design.v = v;
+  rd.design.k = k;
+  rd.design.blocks.reserve(static_cast<std::size_t>(v) * (v - 1));
+
+  // Precompute the offsets y*(g_i - g_0) once per y, then emit blocks in
+  // canonical x-major order.
+  const Elem g0 = generators[0];
+  std::vector<std::vector<Elem>> offsets_by_y(v);
+  for (Elem y = 1; y < v; ++y) {
+    auto& off = offsets_by_y[y];
+    off.resize(k);
+    for (std::uint32_t i = 0; i < k; ++i) {
+      off[i] = ring->mul(y, ring->sub(generators[i], g0));
+    }
+  }
+  for (Elem x = 0; x < v; ++x) {
+    for (Elem y = 1; y < v; ++y) {
+      std::vector<Elem> tuple(k);
+      const auto& off = offsets_by_y[y];
+      for (std::uint32_t i = 0; i < k; ++i) tuple[i] = ring->add(x, off[i]);
+      rd.design.blocks.push_back(std::move(tuple));
+    }
+  }
+  return rd;
+}
+
+bool ring_design_exists(std::uint64_t v, std::uint64_t k) {
+  if (v < 2 || k < 2 || k > v) return false;
+  return k <= algebra::min_prime_power_factor(v);
+}
+
+RingDesign make_ring_design(std::uint32_t v, std::uint32_t k) {
+  if (!ring_design_exists(v, k))
+    throw std::invalid_argument(
+        "make_ring_design: no ring-based design for v=" + std::to_string(v) +
+        ", k=" + std::to_string(k) + " (Theorem 2 requires k <= M(v))");
+  auto [ring, gens] = algebra::make_ring_with_generators(v);
+  gens.resize(k);
+  return make_ring_design(std::move(ring), std::move(gens));
+}
+
+DesignParams ring_design_params(std::uint32_t v, std::uint32_t k) {
+  DesignParams params;
+  params.v = v;
+  params.k = k;
+  params.b = static_cast<std::uint64_t>(v) * (v - 1);
+  params.r = static_cast<std::uint64_t>(k) * (v - 1);
+  params.lambda = static_cast<std::uint64_t>(k) * (k - 1);
+  return params;
+}
+
+}  // namespace pdl::design

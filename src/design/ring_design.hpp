@@ -1,0 +1,71 @@
+#pragma once
+// Ring-based block designs (Section 2.1, Theorems 1 and 2).
+//
+// Given a finite commutative ring R with unit and generators g_0..g_{k-1}
+// whose pairwise differences are units, the design's tuples are
+//     T(x, y) = { x + y*(g_i - g_0) : i = 0..k-1 }
+// over all pairs (x, y) with y != 0.  Theorem 1: this is a BIBD with
+// b = v(v-1), r = k(v-1), lambda = k(k-1).
+
+#include <memory>
+
+#include "algebra/product_ring.hpp"
+#include "algebra/ring.hpp"
+#include "design/bibd.hpp"
+
+namespace pdl::design {
+
+/// A ring-based block design, retaining the (x, y) block indexing that the
+/// layout constructions of Section 3 rely on.
+///
+/// Blocks are stored in canonical order: block_index(x, y) = x*(v-1)+(y-1).
+/// Within block (x, y), position i holds the "g_i-th element" x + y(g_i-g_0);
+/// in particular position 0 holds x itself (the ring-based layout places the
+/// stripe's parity unit on disk x).
+struct RingDesign {
+  std::shared_ptr<const algebra::Ring> ring;
+  std::vector<Elem> generators;  ///< the k generators used
+  BlockDesign design;
+
+  [[nodiscard]] std::uint32_t v() const noexcept { return design.v; }
+  [[nodiscard]] std::uint32_t k() const noexcept { return design.k; }
+
+  /// Index of block (x, y), y != 0.
+  [[nodiscard]] std::size_t block_index(Elem x, Elem y) const {
+    return static_cast<std::size_t>(x) * (v() - 1) + (y - 1);
+  }
+  /// x coordinate of the block at the given index.
+  [[nodiscard]] Elem block_x(std::size_t index) const {
+    return static_cast<Elem>(index / (v() - 1));
+  }
+  /// y coordinate (always nonzero) of the block at the given index.
+  [[nodiscard]] Elem block_y(std::size_t index) const {
+    return static_cast<Elem>(index % (v() - 1)) + 1;
+  }
+};
+
+/// The tuple T(x, y) for explicit ring and generators, in generator order.
+[[nodiscard]] std::vector<Elem> ring_design_tuple(
+    const algebra::Ring& ring, std::span<const Elem> generators, Elem x,
+    Elem y);
+
+/// Theorem 1 construction over an explicit ring and generator set.
+/// Throws std::invalid_argument if the generators are invalid (fewer than 2,
+/// duplicates, or some pairwise difference not a unit).
+[[nodiscard]] RingDesign make_ring_design(
+    std::shared_ptr<const algebra::Ring> ring, std::vector<Elem> generators);
+
+/// Theorem 2 feasibility: a ring-based design for (v, k) exists iff
+/// 2 <= k <= M(v).
+[[nodiscard]] bool ring_design_exists(std::uint64_t v, std::uint64_t k);
+
+/// Convenience: Theorem 1 over the canonical ring of order v (Lemma 3) with
+/// the first k canonical generators.  Requires ring_design_exists(v, k).
+[[nodiscard]] RingDesign make_ring_design(std::uint32_t v, std::uint32_t k);
+
+/// Expected parameters of a Theorem 1 design: b = v(v-1), r = k(v-1),
+/// lambda = k(k-1).
+[[nodiscard]] DesignParams ring_design_params(std::uint32_t v,
+                                              std::uint32_t k);
+
+}  // namespace pdl::design

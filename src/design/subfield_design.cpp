@@ -1,0 +1,86 @@
+#include "design/subfield_design.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "algebra/gf.hpp"
+#include "algebra/numtheory.hpp"
+
+namespace pdl::design {
+
+bool subfield_design_exists(std::uint64_t v, std::uint64_t k) {
+  if (k < 2 || v < k) return false;
+  if (!algebra::is_prime_power(k)) return false;
+  // v must be k^m for some m >= 1.
+  std::uint64_t power = k;
+  while (power < v) {
+    if (power > v / k) return false;  // next multiply would overflow past v
+    power *= k;
+  }
+  return power == v;
+}
+
+BlockDesign make_subfield_design(std::uint32_t v, std::uint32_t k) {
+  if (!subfield_design_exists(v, k))
+    throw std::invalid_argument(
+        "make_subfield_design: requires k a prime power and v = k^m");
+  auto field = algebra::get_field(v);
+  const std::vector<Elem> G = field->subfield(k);
+
+  // Equivalence classes of pairs (x, y) under (x, y) ~ (x + g_i y, g_j y):
+  // keep (x, y) iff y is minimal in its multiplicative coset y*(G\{0}) and
+  // x is minimal in its additive coset x + yG.  The emitted block is the
+  // coset x + yG itself (generators are G with g_0 = 0).
+  BlockDesign out;
+  out.v = v;
+  out.k = k;
+  const auto expected_b =
+      static_cast<std::uint64_t>(v) * (v - 1) /
+      (static_cast<std::uint64_t>(k) * (k - 1));
+  out.blocks.reserve(expected_b);
+
+  std::vector<Elem> coset(k);
+  for (Elem y = 1; y < v; ++y) {
+    // Is y minimal in { g*y : g in G, g != 0 }?
+    bool y_min = true;
+    for (const Elem g : G) {
+      if (g == 0) continue;
+      if (field->mul(g, y) < y) {
+        y_min = false;
+        break;
+      }
+    }
+    if (!y_min) continue;
+
+    // Precompute the subspace yG.
+    std::vector<Elem> yG(k);
+    for (std::uint32_t i = 0; i < k; ++i) yG[i] = field->mul(y, G[i]);
+
+    std::vector<bool> seen(v, false);
+    for (Elem x = 0; x < v; ++x) {
+      if (seen[x]) continue;  // x is in an already-emitted coset of yG
+      for (std::uint32_t i = 0; i < k; ++i) {
+        coset[i] = field->add(x, yG[i]);
+        seen[coset[i]] = true;
+      }
+      std::sort(coset.begin(), coset.end());
+      out.blocks.push_back(coset);
+    }
+  }
+  if (out.b() != expected_b)
+    throw std::logic_error("make_subfield_design: block count mismatch");
+  return out;
+}
+
+DesignParams subfield_design_params(std::uint32_t v, std::uint32_t k) {
+  DesignParams p;
+  p.v = v;
+  p.k = k;
+  p.b = static_cast<std::uint64_t>(v) * (v - 1) /
+        (static_cast<std::uint64_t>(k) * (k - 1));
+  p.r = (static_cast<std::uint64_t>(v) - 1) / (k - 1);
+  p.lambda = 1;
+  return p;
+}
+
+}  // namespace pdl::design

@@ -1,0 +1,30 @@
+#pragma once
+// Subfield block designs (Section 2.2.2, Theorems 6 and 7).
+//
+// When k is a prime power and v is a power of k, taking the generators to be
+// the unique subfield G of GF(v) of order k makes the Theorem-1 design carry
+// a factor k(k-1) of redundancy; removing it yields a BIBD with
+//   b = v(v-1)/(k(k-1)), r = (v-1)/(k-1), lambda = 1,
+// which meets the Theorem 7 lower bound exactly (optimally small).
+//
+// The blocks of the reduced design are precisely the additive cosets x + yG
+// of the (v-1)/(k-1) distinct G-subspaces yG.
+
+#include "design/bibd.hpp"
+
+namespace pdl::design {
+
+/// True iff the Theorem 6 construction applies: k a prime power >= 2 and
+/// v = k^m for some m >= 1.
+[[nodiscard]] bool subfield_design_exists(std::uint64_t v, std::uint64_t k);
+
+/// Theorem 6 construction.  Throws std::invalid_argument unless
+/// subfield_design_exists(v, k).
+[[nodiscard]] BlockDesign make_subfield_design(std::uint32_t v,
+                                               std::uint32_t k);
+
+/// Expected parameters: b = v(v-1)/(k(k-1)), r = (v-1)/(k-1), lambda = 1.
+[[nodiscard]] DesignParams subfield_design_params(std::uint32_t v,
+                                                  std::uint32_t k);
+
+}  // namespace pdl::design

@@ -1,0 +1,77 @@
+#include "flow/bounded_flow.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace pdl::flow {
+
+BoundedFlowProblem::BoundedFlowProblem(std::size_t num_nodes)
+    : num_nodes_(num_nodes) {}
+
+std::size_t BoundedFlowProblem::add_node() { return num_nodes_++; }
+
+std::size_t BoundedFlowProblem::add_edge(std::size_t from, std::size_t to,
+                                         FlowValue lower, FlowValue upper) {
+  if (from >= num_nodes_ || to >= num_nodes_)
+    throw std::invalid_argument("BoundedFlowProblem: node out of range");
+  if (lower < 0 || lower > upper)
+    throw std::invalid_argument("BoundedFlowProblem: need 0 <= lower <= upper");
+  edges_.push_back({from, to, lower, upper});
+  return edges_.size() - 1;
+}
+
+std::optional<FlowValue> BoundedFlowProblem::solve_max_flow(std::size_t s,
+                                                            std::size_t t) {
+  if (s >= num_nodes_ || t >= num_nodes_ || s == t)
+    throw std::invalid_argument("BoundedFlowProblem: bad terminals");
+
+  // Transformed network: original nodes, plus super source S and super
+  // sink T.  Each edge (u, v, [l, u_cap]) becomes (u, v, u_cap - l) with
+  // node imbalances excess[v] += l, excess[u] -= l.  A circulation edge
+  // t -> s with infinite capacity turns the s-t flow problem into a
+  // circulation problem.
+  FlowNetwork net(num_nodes_ + 2);
+  const std::size_t super_s = num_nodes_;
+  const std::size_t super_t = num_nodes_ + 1;
+  constexpr FlowValue kInf = std::numeric_limits<FlowValue>::max() / 4;
+
+  std::vector<FlowValue> excess(num_nodes_, 0);
+  for (auto& e : edges_) {
+    e.inner_edge_id = net.add_edge(e.from, e.to, e.upper - e.lower);
+    excess[e.to] += e.lower;
+    excess[e.from] -= e.lower;
+  }
+  const std::size_t circulation_edge = net.add_edge(t, s, kInf);
+
+  FlowValue required = 0;
+  for (std::size_t node = 0; node < num_nodes_; ++node) {
+    if (excess[node] > 0) {
+      net.add_edge(super_s, node, excess[node]);
+      required += excess[node];
+    } else if (excess[node] < 0) {
+      net.add_edge(node, super_t, -excess[node]);
+    }
+  }
+
+  if (net.max_flow(super_s, super_t) != required) return std::nullopt;
+
+  // Feasible.  The flow on the circulation edge is the current s->t value;
+  // freeze it (both residual directions) and augment s->t directly to
+  // maximize.  Freezing is essential: leaving the reverse residual open
+  // would let the augmenting search "find" s->t flow by cancelling the
+  // circulation, double-counting the base value.
+  const FlowValue base = net.flow_on(circulation_edge);
+  net.freeze_edge(circulation_edge);
+  const FlowValue extra = net.max_flow(s, t);
+
+  solved_ = std::move(net);
+  return base + extra;
+}
+
+FlowValue BoundedFlowProblem::flow_on(std::size_t edge_id) const {
+  if (!solved_) throw std::logic_error("BoundedFlowProblem: not solved");
+  const BoundedEdge& e = edges_.at(edge_id);
+  return e.lower + solved_->flow_on(e.inner_edge_id);
+}
+
+}  // namespace pdl::flow

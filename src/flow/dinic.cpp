@@ -1,0 +1,113 @@
+#include "flow/dinic.hpp"
+
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace pdl::flow {
+
+FlowNetwork::FlowNetwork(std::size_t num_nodes) : adjacency_(num_nodes) {}
+
+std::size_t FlowNetwork::add_node() {
+  adjacency_.emplace_back();
+  return adjacency_.size() - 1;
+}
+
+std::size_t FlowNetwork::add_edge(std::size_t from, std::size_t to,
+                                  FlowValue capacity) {
+  if (from >= num_nodes() || to >= num_nodes())
+    throw std::invalid_argument("FlowNetwork::add_edge: node out of range");
+  if (capacity < 0)
+    throw std::invalid_argument("FlowNetwork::add_edge: negative capacity");
+  adjacency_[from].push_back(
+      {to, adjacency_[to].size(), capacity, capacity});
+  adjacency_[to].push_back(
+      {from, adjacency_[from].size() - 1, 0, 0});
+  edge_index_.emplace_back(from, adjacency_[from].size() - 1);
+  return edge_index_.size() - 1;
+}
+
+bool FlowNetwork::bfs_level_graph(std::size_t source, std::size_t sink) {
+  level_.assign(num_nodes(), -1);
+  std::queue<std::size_t> queue;
+  level_[source] = 0;
+  queue.push(source);
+  while (!queue.empty()) {
+    const std::size_t u = queue.front();
+    queue.pop();
+    for (const Edge& e : adjacency_[u]) {
+      if (e.capacity > 0 && level_[e.to] < 0) {
+        level_[e.to] = level_[u] + 1;
+        queue.push(e.to);
+      }
+    }
+  }
+  return level_[sink] >= 0;
+}
+
+FlowValue FlowNetwork::dfs_augment(std::size_t node, std::size_t sink,
+                                   FlowValue limit) {
+  if (node == sink) return limit;
+  for (std::size_t& i = iter_[node]; i < adjacency_[node].size(); ++i) {
+    Edge& e = adjacency_[node][i];
+    if (e.capacity <= 0 || level_[e.to] != level_[node] + 1) continue;
+    const FlowValue pushed =
+        dfs_augment(e.to, sink, std::min(limit, e.capacity));
+    if (pushed > 0) {
+      e.capacity -= pushed;
+      adjacency_[e.to][e.rev].capacity += pushed;
+      return pushed;
+    }
+  }
+  return 0;
+}
+
+FlowValue FlowNetwork::max_flow(std::size_t source, std::size_t sink) {
+  if (source >= num_nodes() || sink >= num_nodes())
+    throw std::invalid_argument("FlowNetwork::max_flow: node out of range");
+  if (source == sink)
+    throw std::invalid_argument("FlowNetwork::max_flow: source == sink");
+  FlowValue total = 0;
+  while (bfs_level_graph(source, sink)) {
+    iter_.assign(num_nodes(), 0);
+    while (true) {
+      const FlowValue pushed = dfs_augment(
+          source, sink, std::numeric_limits<FlowValue>::max());
+      if (pushed == 0) break;
+      total += pushed;
+    }
+  }
+  return total;
+}
+
+FlowValue FlowNetwork::flow_on(std::size_t edge_id) const {
+  const auto [node, slot] = edge_index_.at(edge_id);
+  const Edge& e = adjacency_[node][slot];
+  return e.original_capacity - e.capacity;
+}
+
+FlowValue FlowNetwork::capacity_of(std::size_t edge_id) const {
+  const auto [node, slot] = edge_index_.at(edge_id);
+  return adjacency_[node][slot].original_capacity;
+}
+
+void FlowNetwork::set_capacity(std::size_t edge_id, FlowValue capacity) {
+  if (capacity < 0)
+    throw std::invalid_argument("FlowNetwork::set_capacity: negative");
+  const auto [node, slot] = edge_index_.at(edge_id);
+  Edge& e = adjacency_[node][slot];
+  const FlowValue flow = e.original_capacity - e.capacity;
+  e.original_capacity = capacity;
+  e.capacity = capacity - flow;
+}
+
+void FlowNetwork::freeze_edge(std::size_t edge_id) {
+  const auto [node, slot] = edge_index_.at(edge_id);
+  Edge& e = adjacency_[node][slot];
+  const FlowValue flow = e.original_capacity - e.capacity;
+  e.original_capacity = flow;  // flow_on still reports `flow`
+  e.capacity = 0;              // no more forward flow
+  adjacency_[e.to][e.rev].capacity = 0;  // and no cancellation
+}
+
+}  // namespace pdl::flow

@@ -1,0 +1,67 @@
+#pragma once
+// Dinic's maximum-flow algorithm on integer capacities.  Used for the
+// parity-assignment graphs of Section 4 (where it returns the integral
+// maximum flows Theorems 13/14 rely on) and for the bipartite matchings of
+// Theorem 9.
+
+#include <cstdint>
+#include <vector>
+
+namespace pdl::flow {
+
+using FlowValue = std::int64_t;
+
+/// A directed flow network with integer capacities.  Nodes are dense
+/// indices; edges are added once and retain stable ids so callers can read
+/// per-edge flow after solving.
+class FlowNetwork {
+ public:
+  explicit FlowNetwork(std::size_t num_nodes = 0);
+
+  /// Adds an isolated node, returning its index.
+  std::size_t add_node();
+
+  [[nodiscard]] std::size_t num_nodes() const noexcept {
+    return adjacency_.size();
+  }
+
+  /// Adds an edge with the given capacity (>= 0); returns its edge id.
+  std::size_t add_edge(std::size_t from, std::size_t to, FlowValue capacity);
+
+  /// Computes a maximum flow from source to sink (Dinic).  May be called
+  /// again after adding edges; flow accumulates on the existing solution.
+  FlowValue max_flow(std::size_t source, std::size_t sink);
+
+  /// Flow currently assigned to an edge (valid after max_flow).
+  [[nodiscard]] FlowValue flow_on(std::size_t edge_id) const;
+
+  /// The capacity the edge was created with.
+  [[nodiscard]] FlowValue capacity_of(std::size_t edge_id) const;
+
+  /// Overwrites an edge's capacity (flow is preserved; callers are
+  /// responsible for keeping flow <= capacity).
+  void set_capacity(std::size_t edge_id, FlowValue capacity);
+
+  /// Freezes an edge at its current flow: subsequent max_flow calls can
+  /// neither add flow to it nor cancel flow already on it (both residual
+  /// directions are zeroed).  flow_on keeps reporting the frozen amount.
+  void freeze_edge(std::size_t edge_id);
+
+ private:
+  struct Edge {
+    std::size_t to;
+    std::size_t rev;  // index of the reverse edge in adjacency_[to]
+    FlowValue capacity;
+    FlowValue original_capacity;
+  };
+
+  bool bfs_level_graph(std::size_t source, std::size_t sink);
+  FlowValue dfs_augment(std::size_t node, std::size_t sink, FlowValue limit);
+
+  std::vector<std::vector<Edge>> adjacency_;
+  std::vector<std::pair<std::size_t, std::size_t>> edge_index_;  // node, slot
+  std::vector<int> level_;
+  std::vector<std::size_t> iter_;
+};
+
+}  // namespace pdl::flow

@@ -1,0 +1,42 @@
+#include "flow/matching.hpp"
+
+namespace pdl::flow {
+
+namespace {
+
+bool try_augment(std::size_t left,
+                 std::span<const std::vector<std::uint32_t>> adjacency,
+                 std::vector<std::int64_t>& match_right,
+                 std::vector<bool>& visited) {
+  for (const std::uint32_t right : adjacency[left]) {
+    if (visited[right]) continue;
+    visited[right] = true;
+    if (match_right[right] < 0 ||
+        try_augment(static_cast<std::size_t>(match_right[right]), adjacency,
+                    match_right, visited)) {
+      match_right[right] = static_cast<std::int64_t>(left);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<std::int64_t> max_bipartite_matching(
+    std::span<const std::vector<std::uint32_t>> adjacency,
+    std::uint32_t num_right) {
+  std::vector<std::int64_t> match_right(num_right, -1);
+  std::vector<std::int64_t> match_left(adjacency.size(), -1);
+  std::vector<bool> visited(num_right);
+  for (std::size_t l = 0; l < adjacency.size(); ++l) {
+    visited.assign(num_right, false);
+    try_augment(l, adjacency, match_right, visited);
+  }
+  for (std::uint32_t r = 0; r < num_right; ++r) {
+    if (match_right[r] >= 0) match_left[match_right[r]] = r;
+  }
+  return match_left;
+}
+
+}  // namespace pdl::flow

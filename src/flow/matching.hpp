@@ -1,0 +1,19 @@
+#pragma once
+// Maximum bipartite matching (Kuhn's augmenting-path algorithm).  Used by
+// Theorem 9's disk-removal construction to re-place the i(i-1) orphaned
+// parity units so that no surviving disk receives more than one of them.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace pdl::flow {
+
+/// Computes a maximum matching in the bipartite graph where left vertex l
+/// is adjacent to the right vertices in adjacency[l].  Returns, per left
+/// vertex, the matched right vertex or -1 if unmatched.
+[[nodiscard]] std::vector<std::int64_t> max_bipartite_matching(
+    std::span<const std::vector<std::uint32_t>> adjacency,
+    std::uint32_t num_right);
+
+}  // namespace pdl::flow

@@ -1,0 +1,113 @@
+#include "flow/parity_assign.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "flow/bounded_flow.hpp"
+
+namespace pdl::flow {
+
+ParityLoads parity_loads(std::span<const std::vector<std::uint32_t>> stripes,
+                         std::uint32_t num_disks,
+                         std::span<const std::uint32_t> cs) {
+  if (!cs.empty() && cs.size() != stripes.size())
+    throw std::invalid_argument("parity_loads: cs size mismatch");
+
+  // Common denominator: lcm of the distinct stripe sizes.
+  std::uint64_t denom = 1;
+  for (const auto& stripe : stripes) {
+    if (stripe.empty()) throw std::invalid_argument("parity_loads: empty stripe");
+    denom = std::lcm(denom, static_cast<std::uint64_t>(stripe.size()));
+  }
+
+  ParityLoads loads;
+  loads.denominator = denom;
+  loads.numerators.assign(num_disks, 0);
+  for (std::size_t s = 0; s < stripes.size(); ++s) {
+    const std::uint64_t c = cs.empty() ? 1 : cs[s];
+    const std::uint64_t share = c * (denom / stripes[s].size());
+    for (const std::uint32_t d : stripes[s]) {
+      if (d >= num_disks)
+        throw std::invalid_argument("parity_loads: disk id out of range");
+      loads.numerators[d] += share;
+    }
+  }
+  return loads;
+}
+
+ParityAssignment assign_distinguished_balanced(
+    std::span<const std::vector<std::uint32_t>> stripes,
+    std::uint32_t num_disks, std::span<const std::uint32_t> cs) {
+  if (!cs.empty() && cs.size() != stripes.size())
+    throw std::invalid_argument("assign_distinguished_balanced: cs mismatch");
+  const ParityLoads loads = parity_loads(stripes, num_disks, cs);
+
+  // Node layout: 0 = source, 1..b = stripes, b+1..b+v = disks, b+v+1 = sink.
+  const std::size_t b = stripes.size();
+  BoundedFlowProblem problem(b + num_disks + 2);
+  const std::size_t source = 0;
+  const std::size_t sink = b + num_disks + 1;
+  auto stripe_node = [&](std::size_t s) { return 1 + s; };
+  auto disk_node = [&](std::uint32_t d) { return 1 + b + d; };
+
+  std::uint64_t total = 0;
+  for (std::size_t s = 0; s < b; ++s) {
+    const FlowValue c = cs.empty() ? 1 : cs[s];
+    if (c < 0 || static_cast<std::size_t>(c) > stripes[s].size())
+      throw std::invalid_argument(
+          "assign_distinguished_balanced: cs[s] must be <= stripe size");
+    problem.add_edge(source, stripe_node(s), c, c);
+    total += static_cast<std::uint64_t>(c);
+  }
+
+  // Incidence edges; remember edge ids to read the assignment back.
+  std::vector<std::vector<std::size_t>> incidence_edges(b);
+  for (std::size_t s = 0; s < b; ++s) {
+    incidence_edges[s].reserve(stripes[s].size());
+    for (const std::uint32_t d : stripes[s]) {
+      incidence_edges[s].push_back(
+          problem.add_edge(stripe_node(s), disk_node(d), 0, 1));
+    }
+  }
+  for (std::uint32_t d = 0; d < num_disks; ++d) {
+    problem.add_edge(disk_node(d), sink,
+                     static_cast<FlowValue>(loads.floor_of(d)),
+                     static_cast<FlowValue>(loads.ceil_of(d)));
+  }
+
+  const auto value = problem.solve_max_flow(source, sink);
+  if (!value || static_cast<std::uint64_t>(*value) != total)
+    throw std::logic_error(
+        "assign_distinguished_balanced: flow infeasible (violates Thm 13)");
+
+  ParityAssignment out;
+  out.chosen.resize(b);
+  out.per_disk.assign(num_disks, 0);
+  for (std::size_t s = 0; s < b; ++s) {
+    for (std::size_t pos = 0; pos < stripes[s].size(); ++pos) {
+      if (problem.flow_on(incidence_edges[s][pos]) == 1) {
+        out.chosen[s].push_back(static_cast<std::uint32_t>(pos));
+        ++out.per_disk[stripes[s][pos]];
+      }
+    }
+    const std::uint64_t expect = cs.empty() ? 1 : cs[s];
+    if (out.chosen[s].size() != expect)
+      throw std::logic_error(
+          "assign_distinguished_balanced: stripe received wrong unit count");
+  }
+  return out;
+}
+
+ParityAssignment assign_parity_balanced(
+    std::span<const std::vector<std::uint32_t>> stripes,
+    std::uint32_t num_disks) {
+  return assign_distinguished_balanced(stripes, num_disks, {});
+}
+
+std::uint64_t copies_for_perfect_balance(std::uint64_t b, std::uint64_t v) {
+  if (b == 0 || v == 0)
+    throw std::invalid_argument("copies_for_perfect_balance: b, v >= 1");
+  return std::lcm(b, v) / b;
+}
+
+}  // namespace pdl::flow

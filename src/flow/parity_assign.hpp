@@ -1,0 +1,71 @@
+#pragma once
+// The paper's network-flow parity-distribution method (Section 4).
+//
+// Given any partition of a disk array into stripes (each crossing a disk at
+// most once), build the parity assignment graph -- source->stripe edges of
+// capacity 1, stripe->disk incidence edges of capacity 1, and disk->sink
+// edges bounded by [floor(L(d)), ceil(L(d))] where L(d) = sum_{s crossing d}
+// 1/k_s -- and read a parity unit per stripe off an integral maximum flow.
+//
+// Theorem 14: every disk then holds floor(L(d)) or ceil(L(d)) parity units.
+// Corollary 16: with a fixed stripe size, every disk holds floor(b/v) or
+// ceil(b/v).  Corollary 17: perfect balance is possible iff v | b, which
+// proves Holland & Gibson's lcm conjecture.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace pdl::flow {
+
+/// Result of a balanced distinguished-unit assignment.
+struct ParityAssignment {
+  /// chosen[s] lists, per stripe s, the positions (indices into the
+  /// stripe's disk list) selected to hold distinguished (parity) units.
+  std::vector<std::vector<std::uint32_t>> chosen;
+  /// per_disk[d] is the number of distinguished units assigned to disk d.
+  std::vector<std::uint32_t> per_disk;
+};
+
+/// The parity load L(d) of each disk, as exact rationals with a common
+/// denominator: returns {numerators, denominator} with
+/// L(d) = numerators[d] / denominator.
+struct ParityLoads {
+  std::vector<std::uint64_t> numerators;
+  std::uint64_t denominator = 1;
+
+  [[nodiscard]] std::uint64_t floor_of(std::size_t d) const {
+    return numerators[d] / denominator;
+  }
+  [[nodiscard]] std::uint64_t ceil_of(std::size_t d) const {
+    return (numerators[d] + denominator - 1) / denominator;
+  }
+};
+
+/// Computes L(d) (optionally with per-stripe counts c_s; cs empty = all 1).
+[[nodiscard]] ParityLoads parity_loads(
+    std::span<const std::vector<std::uint32_t>> stripes,
+    std::uint32_t num_disks, std::span<const std::uint32_t> cs = {});
+
+/// Theorem 14: chooses one parity unit per stripe such that disk d receives
+/// floor(L(d)) or ceil(L(d)) parity units.  Stripes are given as lists of
+/// distinct disk ids < num_disks.  Throws std::logic_error if the flow
+/// solver fails (cannot happen for valid input, per Theorem 13).
+[[nodiscard]] ParityAssignment assign_parity_balanced(
+    std::span<const std::vector<std::uint32_t>> stripes,
+    std::uint32_t num_disks);
+
+/// The extension after Theorem 14: chooses cs[s] distinguished units from
+/// each stripe s with the same per-disk floor/ceil guarantee on
+/// L(d) = sum cs[s]/k_s.  Used e.g. for distributed sparing studies.
+[[nodiscard]] ParityAssignment assign_distinguished_balanced(
+    std::span<const std::vector<std::uint32_t>> stripes,
+    std::uint32_t num_disks, std::span<const std::uint32_t> cs);
+
+/// Corollary 17 / the Holland-Gibson lcm conjecture: the number of copies of
+/// a b-block design needed before parity can be balanced perfectly over v
+/// disks, namely lcm(b, v)/b.
+[[nodiscard]] std::uint64_t copies_for_perfect_balance(std::uint64_t b,
+                                                       std::uint64_t v);
+
+}  // namespace pdl::flow

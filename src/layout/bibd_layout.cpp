@@ -1,0 +1,81 @@
+#include "layout/bibd_layout.hpp"
+
+#include <stdexcept>
+
+#include "flow/parity_assign.hpp"
+
+namespace pdl::layout {
+
+namespace {
+
+// Units per disk for `copies` copies of the design: copies * r.
+std::uint32_t layout_size(const design::BlockDesign& design,
+                          std::uint32_t copies) {
+  const auto params = design::design_params(design);
+  return static_cast<std::uint32_t>(copies * params.r);
+}
+
+Layout stack_copies(const design::BlockDesign& design, std::uint32_t copies) {
+  Layout layout(design.v, layout_size(design, copies));
+  for (std::uint32_t c = 0; c < copies; ++c) {
+    for (const auto& block : design.blocks) {
+      layout.append_stripe(block, 0);  // parity fixed up by the caller
+    }
+  }
+  return layout;
+}
+
+}  // namespace
+
+Layout holland_gibson_layout(const design::BlockDesign& design) {
+  // k copies; in copy c the parity unit is tuple position c.
+  Layout layout(design.v, layout_size(design, design.k));
+  for (std::uint32_t c = 0; c < design.k; ++c) {
+    for (const auto& block : design.blocks) {
+      layout.append_stripe(block, c);
+    }
+  }
+  return layout;
+}
+
+Layout flow_balanced_layout(const design::BlockDesign& design,
+                            std::uint32_t copies) {
+  if (copies == 0)
+    throw std::invalid_argument("flow_balanced_layout: copies >= 1");
+  Layout layout = stack_copies(design, copies);
+
+  std::vector<std::vector<std::uint32_t>> stripes;
+  stripes.reserve(layout.num_stripes());
+  for (const Stripe& s : layout.stripes()) {
+    std::vector<std::uint32_t> disks;
+    disks.reserve(s.units.size());
+    for (const StripeUnit& u : s.units) disks.push_back(u.disk);
+    stripes.push_back(std::move(disks));
+  }
+  const auto assignment =
+      flow::assign_parity_balanced(stripes, design.v);
+  for (std::size_t i = 0; i < layout.num_stripes(); ++i) {
+    layout.set_parity_pos(i, assignment.chosen[i].front());
+  }
+  return layout;
+}
+
+Layout perfectly_balanced_layout(const design::BlockDesign& design) {
+  const std::uint64_t copies =
+      flow::copies_for_perfect_balance(design.b(), design.v);
+  return flow_balanced_layout(design, static_cast<std::uint32_t>(copies));
+}
+
+Layout round_robin_parity_layout(const design::BlockDesign& design,
+                                 std::uint32_t copies) {
+  if (copies == 0)
+    throw std::invalid_argument("round_robin_parity_layout: copies >= 1");
+  Layout layout = stack_copies(design, copies);
+  for (std::size_t i = 0; i < layout.num_stripes(); ++i) {
+    layout.set_parity_pos(
+        i, static_cast<std::uint32_t>(i % design.k));
+  }
+  return layout;
+}
+
+}  // namespace pdl::layout

@@ -1,0 +1,36 @@
+#pragma once
+// Layouts derived from BIBDs.
+//
+// * holland_gibson_layout: the construction of [Holland & Gibson 1992]
+//   described in Section 1 -- replicate the design k times, rotating which
+//   tuple position holds parity, giving a size k*r layout with perfectly
+//   balanced parity.
+// * flow_balanced_layout: the paper's Section 4 improvement -- any number of
+//   copies (down to one) with parity assigned by the network-flow method;
+//   per-disk parity counts differ by at most one (Corollary 16), and are
+//   perfectly balanced iff v | (copies * b) (Corollary 17).
+
+#include "design/bibd.hpp"
+#include "layout/layout.hpp"
+
+namespace pdl::layout {
+
+/// Holland-Gibson layout: k rotated copies of the design; size = k * r.
+[[nodiscard]] Layout holland_gibson_layout(const design::BlockDesign& design);
+
+/// `copies` stacked copies of the design with flow-balanced parity
+/// (Theorem 14 / Corollary 16); size = copies * r.  copies >= 1.
+[[nodiscard]] Layout flow_balanced_layout(const design::BlockDesign& design,
+                                          std::uint32_t copies = 1);
+
+/// The minimum number of copies for which perfect parity balance is
+/// achievable, lcm(b, v)/b (Corollary 17), and the layout built with it.
+[[nodiscard]] Layout perfectly_balanced_layout(
+    const design::BlockDesign& design);
+
+/// Baseline for ablation: parity assigned greedily round-robin over block
+/// positions (no flow).  Same size as flow_balanced_layout(design, copies).
+[[nodiscard]] Layout round_robin_parity_layout(
+    const design::BlockDesign& design, std::uint32_t copies = 1);
+
+}  // namespace pdl::layout

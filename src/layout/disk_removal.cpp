@@ -1,0 +1,157 @@
+#include "layout/disk_removal.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "flow/matching.hpp"
+#include "layout/ring_layout.hpp"
+
+namespace pdl::layout {
+
+Layout remove_one_disk(const design::RingDesign& rd, design::Elem removed) {
+  const std::uint32_t v = rd.v();
+  const std::uint32_t k = rd.k();
+  if (removed >= v)
+    throw std::invalid_argument("remove_one_disk: disk out of range");
+
+  // Dense relabeling of survivors.
+  auto relabel = [&](design::Elem d) { return d < removed ? d : d - 1; };
+
+  Layout layout(v - 1, k * (v - 1));
+  for (const RingStripeSpec& spec : ring_copy_stripes(rd, removed)) {
+    std::vector<DiskId> disks;
+    disks.reserve(spec.disks.size());
+    for (const DiskId d : spec.disks) disks.push_back(relabel(d));
+    layout.append_stripe(disks, spec.parity_pos);
+  }
+  return layout;
+}
+
+Layout remove_disks(const design::RingDesign& rd,
+                    std::span<const design::Elem> removed) {
+  const std::uint32_t v = rd.v();
+  const std::uint32_t k = rd.k();
+  const auto i = static_cast<std::uint32_t>(removed.size());
+  if (i == 0)
+    throw std::invalid_argument("remove_disks: nothing to remove");
+  if (i * i > k)
+    throw std::invalid_argument(
+        "remove_disks: Theorem 9 requires i <= sqrt(k)");
+
+  std::vector<bool> is_removed(v, false);
+  for (const design::Elem d : removed) {
+    if (d >= v) throw std::invalid_argument("remove_disks: disk out of range");
+    if (is_removed[d])
+      throw std::invalid_argument("remove_disks: duplicate disk");
+    is_removed[d] = true;
+  }
+
+  // Dense relabeling of survivors.
+  std::vector<DiskId> relabel(v, 0);
+  {
+    DiskId next = 0;
+    for (design::Elem d = 0; d < v; ++d) {
+      if (!is_removed[d]) relabel[d] = next++;
+    }
+  }
+
+  // Pass 1: apply the Theorem 8 rule per block and collect orphans (blocks
+  // (x, y) with x removed whose reassignment target is also removed).
+  struct PendingStripe {
+    std::vector<DiskId> disks;   // surviving members, original ids
+    std::int64_t parity_disk;    // original id, or -1 for orphans
+  };
+  std::vector<PendingStripe> pending;
+  pending.reserve(rd.design.blocks.size());
+  std::vector<std::size_t> orphan_stripes;
+
+  for (std::size_t bi = 0; bi < rd.design.blocks.size(); ++bi) {
+    const auto& block = rd.design.blocks[bi];
+    const design::Elem x = rd.block_x(bi);
+
+    PendingStripe ps;
+    ps.disks.reserve(k);
+    for (const design::Elem d : block) {
+      if (!is_removed[d]) ps.disks.push_back(d);
+    }
+    if (ps.disks.empty())
+      throw std::logic_error("remove_disks: stripe fully removed");
+
+    if (!is_removed[x]) {
+      ps.parity_disk = x;
+    } else if (!is_removed[block[1]]) {
+      ps.parity_disk = block[1];  // Theorem 8 rule
+    } else {
+      ps.parity_disk = -1;  // orphan: both x and its target are gone
+      orphan_stripes.push_back(pending.size());
+    }
+    pending.push_back(std::move(ps));
+  }
+
+  if (orphan_stripes.size() !=
+      static_cast<std::size_t>(i) * (i - 1))
+    throw std::logic_error("remove_disks: expected i(i-1) orphans, got " +
+                           std::to_string(orphan_stripes.size()));
+
+  // Pass 2: match orphans to distinct surviving member disks, excluding
+  // disks that already received a reassigned (Theorem 8 rule) parity unit
+  // beyond their quota.  Per the paper each surviving disk may take at most
+  // one orphan; the matching enforces exactly that.
+  std::vector<std::vector<std::uint32_t>> adjacency(orphan_stripes.size());
+  for (std::size_t oi = 0; oi < orphan_stripes.size(); ++oi) {
+    for (const DiskId d : pending[orphan_stripes[oi]].disks) {
+      adjacency[oi].push_back(relabel[d]);
+    }
+  }
+  const auto match =
+      flow::max_bipartite_matching(adjacency, v - i);
+  for (std::size_t oi = 0; oi < orphan_stripes.size(); ++oi) {
+    if (match[oi] < 0)
+      throw std::logic_error(
+          "remove_disks: matching failed (violates Theorem 9 bound)");
+  }
+
+  // Emit the layout.
+  Layout layout(v - i, k * (v - 1));
+  for (std::size_t si = 0; si < pending.size(); ++si) {
+    const PendingStripe& ps = pending[si];
+    std::vector<DiskId> disks;
+    disks.reserve(ps.disks.size());
+    for (const DiskId d : ps.disks) disks.push_back(relabel[d]);
+
+    std::uint32_t parity_pos = 0;
+    if (ps.parity_disk >= 0) {
+      const DiskId target = relabel[static_cast<DiskId>(ps.parity_disk)];
+      const auto it = std::find(disks.begin(), disks.end(), target);
+      if (it == disks.end())
+        throw std::logic_error("remove_disks: parity disk not in stripe");
+      parity_pos = static_cast<std::uint32_t>(it - disks.begin());
+    }
+    layout.append_stripe(disks, parity_pos);
+  }
+  // Fix up orphan parities from the matching (done after append so stripe
+  // indices line up with `pending`).
+  for (std::size_t oi = 0; oi < orphan_stripes.size(); ++oi) {
+    const std::size_t si = orphan_stripes[oi];
+    const auto target = static_cast<DiskId>(match[oi]);
+    const Stripe& st = layout.stripes()[si];
+    for (std::uint32_t pos = 0; pos < st.units.size(); ++pos) {
+      if (st.units[pos].disk == target) {
+        layout.set_parity_pos(si, pos);
+        break;
+      }
+    }
+  }
+  return layout;
+}
+
+Layout removal_layout(std::uint32_t v, std::uint32_t k, std::uint32_t i) {
+  const design::RingDesign rd = design::make_ring_design(v, k);
+  if (i == 1) return remove_one_disk(rd, 0);
+  std::vector<design::Elem> removed(i);
+  std::iota(removed.begin(), removed.end(), 0);
+  return remove_disks(rd, removed);
+}
+
+}  // namespace pdl::layout

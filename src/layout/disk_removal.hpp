@@ -1,0 +1,40 @@
+#pragma once
+// Disk removal from ring-based layouts (Section 3.1, Theorems 8 and 9):
+// approximately-balanced layouts for v-i disks built by deleting i disks
+// from the ring-based layout for v disks and re-placing the parity units
+// that lived on them.
+//
+// Theorem 8 (i = 1): the v-1 orphaned parity units of stripes (removed, y)
+// move to disk removed + y(g_1 - g_0) -- one per surviving disk -- keeping
+// parity perfectly balanced at v parity units per disk; size stays k(v-1).
+//
+// Theorem 9 (i <= sqrt(k)): applying the same rule per removed disk leaves
+// i(i-1) parity units whose target was itself removed; a bipartite matching
+// places each on a distinct surviving member disk, so every disk ends with
+// v+i-1 or v+i parity units; parity overhead lands in
+// [(v+i-1)/(k(v-1)), (v+i)/(k(v-1))].
+
+#include <span>
+
+#include "design/ring_design.hpp"
+#include "layout/layout.hpp"
+
+namespace pdl::layout {
+
+/// Theorem 8: layout for v-1 disks from the ring design, removing `removed`.
+/// Surviving disks are relabeled densely (ids above `removed` shift down).
+[[nodiscard]] Layout remove_one_disk(const design::RingDesign& rd,
+                                     design::Elem removed);
+
+/// Theorem 9: layout for v-i disks, removing the given distinct disks.
+/// Requires i*i <= k (the paper's i <= sqrt(k) condition, which guarantees
+/// the matching exists).  Surviving disks are relabeled densely.
+[[nodiscard]] Layout remove_disks(const design::RingDesign& rd,
+                                  std::span<const design::Elem> removed);
+
+/// Convenience: build the ring design for (v, k) and remove the first i
+/// disks.  Result has v - i disks.
+[[nodiscard]] Layout removal_layout(std::uint32_t v, std::uint32_t k,
+                                    std::uint32_t i);
+
+}  // namespace pdl::layout

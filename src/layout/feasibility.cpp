@@ -1,0 +1,143 @@
+#include "layout/feasibility.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "algebra/numtheory.hpp"
+#include "design/catalog.hpp"
+#include "design/complete_design.hpp"
+#include "design/ring_design.hpp"
+#include "flow/parity_assign.hpp"
+
+namespace pdl::layout {
+
+namespace {
+
+std::optional<std::uint64_t> min_opt(std::optional<std::uint64_t> a,
+                                     std::optional<std::uint64_t> b) {
+  if (!a) return b;
+  if (!b) return a;
+  return std::min(*a, *b);
+}
+
+}  // namespace
+
+std::optional<std::uint64_t> FeasibilitySummary::best_approximate() const {
+  return min_opt(min_opt(ring_layout, removal), stairway);
+}
+
+std::optional<std::uint64_t> FeasibilitySummary::best_exact() const {
+  return min_opt(min_opt(bibd_hg, bibd_flow),
+                 min_opt(bibd_perfect, complete_hg));
+}
+
+std::optional<std::uint64_t> stairway_size(std::uint32_t q, std::uint32_t v,
+                                           std::uint32_t k) {
+  if (v <= q || q < 2 || k < 2 || k > q) return std::nullopt;
+  const std::uint32_t W = v - q;
+  for (std::uint32_t c = std::max<std::uint32_t>(2, v / (W + 1)); c <= v / W;
+       ++c) {
+    const std::int64_t w =
+        static_cast<std::int64_t>(v) - static_cast<std::int64_t>(c) * W;
+    if (w < 0 || w >= c) continue;
+    return static_cast<std::uint64_t>(k) * (c - 1) * (q - 1);
+  }
+  return std::nullopt;
+}
+
+FeasibilitySummary summarize_feasibility(std::uint32_t v, std::uint32_t k) {
+  FeasibilitySummary out;
+  out.v = v;
+  out.k = k;
+  if (v < 2 || k < 2 || k > v) return out;
+
+  // Complete design route.
+  const std::uint64_t complete_r = design::binomial(v - 1, k - 1);
+  if (complete_r != std::numeric_limits<std::uint64_t>::max())
+    out.complete_hg = k * complete_r;
+
+  // Best catalog BIBD routes.
+  if (const auto choice = design::best_method(v, k)) {
+    out.bibd_hg = static_cast<std::uint64_t>(k) * choice->params.r;
+    out.bibd_flow = choice->params.r;
+    const std::uint64_t copies =
+        flow::copies_for_perfect_balance(choice->params.b, v);
+    out.bibd_perfect = copies * choice->params.r;
+  }
+
+  // Ring-based layout (needs k <= M(v)).
+  if (design::ring_design_exists(v, k))
+    out.ring_layout = static_cast<std::uint64_t>(k) * (v - 1);
+
+  // Removal from the nearest larger base with a ring design.
+  const auto max_i = static_cast<std::uint32_t>(std::sqrt(double(k)));
+  for (std::uint32_t i = 1; i <= max_i; ++i) {
+    const std::uint32_t q = v + i;
+    if (design::ring_design_exists(q, k)) {
+      out.removal = static_cast<std::uint64_t>(k) * (q - 1);
+      out.removal_q = q;
+      break;  // smallest q gives the smallest size
+    }
+  }
+
+  // Stairway from the best prime-power-like base q < v.
+  for (std::uint32_t q = k; q < v; ++q) {
+    if (!design::ring_design_exists(q, k)) continue;
+    if (const auto size = stairway_size(q, v, k)) {
+      if (!out.stairway || *size < *out.stairway) {
+        out.stairway = size;
+        out.stairway_q = q;
+      }
+    }
+  }
+  return out;
+}
+
+CoverageResult stairway_coverage(std::uint32_t v, std::uint32_t k) {
+  CoverageResult result;
+  if (v < 2 || k < 2 || k > v) return result;
+
+  // Exact: v itself supports a ring layout.
+  if (design::ring_design_exists(v, k)) {
+    result.covered = true;
+    result.route = "exact";
+    result.q = v;
+    result.size = static_cast<std::uint64_t>(k) * (v - 1);
+    return result;
+  }
+  // Removal from q = v + i.
+  const auto max_i = static_cast<std::uint32_t>(std::sqrt(double(k)));
+  for (std::uint32_t i = 1; i <= max_i; ++i) {
+    if (design::ring_design_exists(v + i, k)) {
+      result.covered = true;
+      result.route = "removal";
+      result.q = v + i;
+      result.size = static_cast<std::uint64_t>(k) * (v + i - 1);
+      return result;
+    }
+  }
+  // Stairway from the best q < v (the paper's Section 3.2 claim restricts
+  // to prime powers q; ring_design_exists(q, k) is the slight
+  // generalization k <= M(q) and subsumes prime powers).
+  std::optional<std::uint64_t> best;
+  std::uint32_t best_q = 0;
+  for (std::uint32_t q = k; q < v; ++q) {
+    if (!design::ring_design_exists(q, k)) continue;
+    if (const auto size = stairway_size(q, v, k)) {
+      if (!best || *size < *best) {
+        best = size;
+        best_q = q;
+      }
+    }
+  }
+  if (best) {
+    result.covered = true;
+    result.route = "stairway";
+    result.q = best_q;
+    result.size = *best;
+  }
+  return result;
+}
+
+}  // namespace pdl::layout

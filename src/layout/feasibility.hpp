@@ -1,0 +1,69 @@
+#pragma once
+// Feasibility enumeration (Condition 4): which (v, k) pairs admit layouts
+// of size at most a given unit budget, under each construction in this
+// library.  All computations here are closed-form -- no layout is actually
+// materialized -- so sweeps to v = 10,000 (the paper's Section 3.2 coverage
+// computation) are cheap.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace pdl::layout {
+
+/// The paper's default feasibility budget: about 10,000 units per disk.
+inline constexpr std::uint64_t kDefaultUnitBudget = 10'000;
+
+/// Layout sizes (units per disk) achievable at (v, k) by each route;
+/// nullopt when the route does not apply.  Sizes are exact closed forms.
+struct FeasibilitySummary {
+  std::uint32_t v = 0;
+  std::uint32_t k = 0;
+
+  /// Complete design + Holland-Gibson k-copy parity: k * C(v-1, k-1).
+  std::optional<std::uint64_t> complete_hg;
+  /// Best catalog BIBD + Holland-Gibson k-copy parity: k * r.
+  std::optional<std::uint64_t> bibd_hg;
+  /// Best catalog BIBD + flow-balanced parity, single copy (Section 4): r.
+  std::optional<std::uint64_t> bibd_flow;
+  /// Best catalog BIBD + flow parity, lcm(b,v)/b copies (perfect balance).
+  std::optional<std::uint64_t> bibd_perfect;
+  /// Ring-based layout (Section 3.1): k(v-1), requires k <= M(v).
+  std::optional<std::uint64_t> ring_layout;
+  /// Disk removal (Thms 8/9) from the closest q = v+i, i^2 <= k: k(q-1).
+  std::optional<std::uint64_t> removal;
+  std::uint32_t removal_q = 0;  ///< the q used (0 if none)
+  /// Stairway (Thms 10-12) from the best q < v: min over q of k(c-1)(q-1).
+  std::optional<std::uint64_t> stairway;
+  std::uint32_t stairway_q = 0;  ///< the q achieving the min (0 if none)
+
+  /// Smallest size over all approximate routes (ring/removal/stairway).
+  [[nodiscard]] std::optional<std::uint64_t> best_approximate() const;
+  /// Smallest size over all exact-BIBD routes.
+  [[nodiscard]] std::optional<std::uint64_t> best_exact() const;
+};
+
+/// Closed-form stairway feasibility: the size of the minimal-c plan for
+/// q -> v with stripe size k, or nullopt (no (c, w) satisfying (8), (9)).
+[[nodiscard]] std::optional<std::uint64_t> stairway_size(std::uint32_t q,
+                                                         std::uint32_t v,
+                                                         std::uint32_t k);
+
+/// Computes every route's size at (v, k).
+[[nodiscard]] FeasibilitySummary summarize_feasibility(std::uint32_t v,
+                                                       std::uint32_t k);
+
+/// Section 3.2 coverage claim: true iff some prime power q <= v yields a
+/// layout for (v, k) -- exactly (q == v), by removal (q in (v, v+sqrt(k)]),
+/// or by stairway (q < v with feasible (c, w)).  The paper reports this
+/// holds for every v <= 10,000.
+struct CoverageResult {
+  bool covered = false;
+  std::string route;           ///< "exact", "removal", or "stairway"
+  std::uint32_t q = 0;
+  std::uint64_t size = 0;      ///< layout size of the found route
+};
+[[nodiscard]] CoverageResult stairway_coverage(std::uint32_t v,
+                                               std::uint32_t k);
+
+}  // namespace pdl::layout

@@ -1,0 +1,133 @@
+#include "layout/layout.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace pdl::layout {
+
+Layout::Layout(std::uint32_t num_disks, std::uint32_t units_per_disk)
+    : v_(num_disks), s_(units_per_disk) {
+  if (num_disks < 2)
+    throw std::invalid_argument("Layout: need at least 2 disks");
+  if (units_per_disk == 0)
+    throw std::invalid_argument("Layout: need at least 1 unit per disk");
+  occupancy_.assign(v_, std::vector<Occupant>(s_));
+  next_free_.assign(v_, 0);
+}
+
+std::size_t Layout::append_stripe(const std::vector<DiskId>& disks,
+                                  std::uint32_t parity_pos) {
+  std::vector<StripeUnit> units;
+  units.reserve(disks.size());
+  for (const DiskId d : disks) {
+    if (d >= v_) throw std::invalid_argument("append_stripe: disk out of range");
+    if (next_free_[d] >= s_)
+      throw std::invalid_argument("append_stripe: disk " + std::to_string(d) +
+                                  " is full");
+    units.push_back({d, next_free_[d]});
+  }
+  return add_stripe_at(std::move(units), parity_pos);
+}
+
+std::size_t Layout::add_stripe_at(std::vector<StripeUnit> units,
+                                  std::uint32_t parity_pos) {
+  if (units.empty())
+    throw std::invalid_argument("add_stripe_at: empty stripe");
+  if (parity_pos >= units.size())
+    throw std::invalid_argument("add_stripe_at: parity_pos out of range");
+  // Validate before mutating anything (strong exception safety).
+  std::unordered_set<DiskId> seen;
+  for (const StripeUnit& u : units) {
+    if (u.disk >= v_ || u.offset >= s_)
+      throw std::invalid_argument("add_stripe_at: unit out of range");
+    if (!seen.insert(u.disk).second)
+      throw std::invalid_argument(
+          "add_stripe_at: stripe visits a disk twice (Condition 1)");
+    if (occupancy_[u.disk][u.offset].used())
+      throw std::invalid_argument("add_stripe_at: slot already occupied");
+  }
+  const auto index = static_cast<std::uint32_t>(stripes_.size());
+  for (std::size_t pos = 0; pos < units.size(); ++pos) {
+    const StripeUnit& u = units[pos];
+    occupancy_[u.disk][u.offset] = {index, static_cast<std::uint32_t>(pos)};
+    if (u.offset >= next_free_[u.disk]) next_free_[u.disk] = u.offset + 1;
+  }
+  stripes_.push_back({std::move(units), parity_pos});
+  return index;
+}
+
+void Layout::set_parity_pos(std::size_t stripe, std::uint32_t parity_pos) {
+  if (stripe >= stripes_.size())
+    throw std::invalid_argument("set_parity_pos: stripe out of range");
+  if (parity_pos >= stripes_[stripe].units.size())
+    throw std::invalid_argument("set_parity_pos: position out of range");
+  stripes_[stripe].parity_pos = parity_pos;
+}
+
+const Occupant& Layout::at(DiskId disk, std::uint32_t offset) const {
+  if (disk >= v_ || offset >= s_)
+    throw std::invalid_argument("Layout::at: out of range");
+  return occupancy_[disk][offset];
+}
+
+std::vector<std::uint32_t> Layout::parity_units_per_disk() const {
+  std::vector<std::uint32_t> counts(v_, 0);
+  for (const Stripe& s : stripes_) ++counts[s.parity_unit().disk];
+  return counts;
+}
+
+std::vector<std::string> Layout::validate(bool allow_holes) const {
+  std::vector<std::string> errors;
+  auto fail = [&](std::string msg) {
+    if (errors.size() < 16) errors.push_back(std::move(msg));
+  };
+
+  // Occupancy must exactly mirror the stripe table.
+  std::uint64_t used_slots = 0;
+  for (DiskId d = 0; d < v_; ++d) {
+    for (std::uint32_t o = 0; o < s_; ++o) {
+      const Occupant& occ = occupancy_[d][o];
+      if (!occ.used()) continue;
+      ++used_slots;
+      if (occ.stripe >= stripes_.size()) {
+        fail("occupancy references missing stripe");
+        continue;
+      }
+      const Stripe& st = stripes_[occ.stripe];
+      if (occ.pos >= st.units.size() || st.units[occ.pos].disk != d ||
+          st.units[occ.pos].offset != o) {
+        fail("occupancy/stripe mismatch at disk " + std::to_string(d) +
+             " offset " + std::to_string(o));
+      }
+    }
+  }
+
+  std::uint64_t stripe_units = 0;
+  for (std::size_t i = 0; i < stripes_.size(); ++i) {
+    const Stripe& st = stripes_[i];
+    stripe_units += st.units.size();
+    if (st.parity_pos >= st.units.size())
+      fail("stripe " + std::to_string(i) + ": parity position out of range");
+    std::unordered_set<DiskId> seen;
+    for (const StripeUnit& u : st.units) {
+      if (u.disk >= v_ || u.offset >= s_) {
+        fail("stripe " + std::to_string(i) + ": unit out of range");
+        continue;
+      }
+      if (!seen.insert(u.disk).second)
+        fail("stripe " + std::to_string(i) +
+             " visits a disk twice (Condition 1)");
+    }
+  }
+  if (stripe_units != used_slots)
+    fail("stripe units (" + std::to_string(stripe_units) +
+         ") != occupied slots (" + std::to_string(used_slots) + ")");
+  if (!allow_holes &&
+      used_slots != static_cast<std::uint64_t>(v_) * s_)
+    fail("layout has holes: " + std::to_string(used_slots) + " of " +
+         std::to_string(static_cast<std::uint64_t>(v_) * s_) +
+         " slots used");
+  return errors;
+}
+
+}  // namespace pdl::layout

@@ -1,0 +1,101 @@
+#pragma once
+// The data-layout container: v disks, each divided into `size` units,
+// partitioned into parity stripes.  This is the object the paper's four
+// conditions are evaluated on (Section 1):
+//   1. each stripe touches a disk at most once,
+//   2. parity units are spread evenly over disks,
+//   3. reconstruction workload is spread evenly over disk pairs,
+//   4. the mapping table (proportional to v * size) is small.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pdl::layout {
+
+using DiskId = std::uint32_t;
+
+/// One unit of one stripe: a (disk, offset) position in the array.
+struct StripeUnit {
+  DiskId disk = 0;
+  std::uint32_t offset = 0;
+
+  friend bool operator==(const StripeUnit&, const StripeUnit&) = default;
+};
+
+/// A parity stripe: its units (on distinct disks) and which of them holds
+/// parity.
+struct Stripe {
+  std::vector<StripeUnit> units;
+  std::uint32_t parity_pos = 0;  ///< index into units
+
+  [[nodiscard]] std::uint32_t size() const noexcept {
+    return static_cast<std::uint32_t>(units.size());
+  }
+  [[nodiscard]] const StripeUnit& parity_unit() const {
+    return units[parity_pos];
+  }
+};
+
+/// What occupies a given (disk, offset) slot.
+struct Occupant {
+  static constexpr std::uint32_t kUnused = 0xffffffffu;
+  std::uint32_t stripe = kUnused;  ///< stripe index, or kUnused
+  std::uint32_t pos = 0;           ///< position within the stripe
+  [[nodiscard]] bool used() const noexcept { return stripe != kUnused; }
+};
+
+/// A complete data layout.  Build it by appending stripes; offsets can be
+/// assigned automatically (next free slot per disk) or explicitly.
+class Layout {
+ public:
+  /// An array of num_disks disks with units_per_disk units each.
+  Layout(std::uint32_t num_disks, std::uint32_t units_per_disk);
+
+  [[nodiscard]] std::uint32_t num_disks() const noexcept { return v_; }
+
+  /// The layout size s: units per disk (the Condition 4 cost driver).
+  [[nodiscard]] std::uint32_t units_per_disk() const noexcept { return s_; }
+
+  [[nodiscard]] const std::vector<Stripe>& stripes() const noexcept {
+    return stripes_;
+  }
+  [[nodiscard]] std::size_t num_stripes() const noexcept {
+    return stripes_.size();
+  }
+
+  /// Appends a stripe whose units go to the next free offset of each listed
+  /// disk.  Disks must be distinct.  Returns the stripe index.
+  std::size_t append_stripe(const std::vector<DiskId>& disks,
+                            std::uint32_t parity_pos);
+
+  /// Appends a stripe with fully explicit unit positions; every position
+  /// must be free.  Returns the stripe index.
+  std::size_t add_stripe_at(std::vector<StripeUnit> units,
+                            std::uint32_t parity_pos);
+
+  /// Re-designates the parity unit of a stripe.
+  void set_parity_pos(std::size_t stripe, std::uint32_t parity_pos);
+
+  /// The occupant of a slot.
+  [[nodiscard]] const Occupant& at(DiskId disk, std::uint32_t offset) const;
+
+  /// Number of parity units currently on each disk.
+  [[nodiscard]] std::vector<std::uint32_t> parity_units_per_disk() const;
+
+  /// Structural validation: unit positions in range, stripes hit each disk
+  /// at most once (Condition 1), occupancy is consistent, and (unless
+  /// allow_holes) every slot of every disk is covered exactly once.
+  /// Returns human-readable violations; empty means valid.
+  [[nodiscard]] std::vector<std::string> validate(
+      bool allow_holes = false) const;
+
+ private:
+  std::uint32_t v_;
+  std::uint32_t s_;
+  std::vector<Stripe> stripes_;
+  std::vector<std::vector<Occupant>> occupancy_;  // [disk][offset]
+  std::vector<std::uint32_t> next_free_;          // per disk
+};
+
+}  // namespace pdl::layout

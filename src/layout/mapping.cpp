@@ -1,0 +1,80 @@
+#include "layout/mapping.hpp"
+
+#include <stdexcept>
+
+namespace pdl::layout {
+
+AddressMapper::AddressMapper(const Layout& layout)
+    : v_(layout.num_disks()),
+      s_(layout.units_per_disk()),
+      stripes_(layout.stripes()) {
+  const auto errors = layout.validate();
+  if (!errors.empty())
+    throw std::invalid_argument("AddressMapper: invalid layout: " +
+                                errors.front());
+
+  inverse_.assign(static_cast<std::size_t>(v_) * s_, kParity);
+  // Logical data units are numbered stripe-major, skipping parity units, so
+  // that consecutive logical units land in the same stripe (good for large
+  // sequential writes, cf. the Large Write Optimization discussion).
+  for (std::uint32_t si = 0; si < stripes_.size(); ++si) {
+    const Stripe& st = stripes_[si];
+    for (std::uint32_t pos = 0; pos < st.units.size(); ++pos) {
+      if (pos == st.parity_pos) continue;
+      const StripeUnit& u = st.units[pos];
+      inverse_[static_cast<std::size_t>(u.disk) * s_ + u.offset] =
+          data_units_.size();
+      data_units_.push_back({u.disk, u.offset, si});
+    }
+  }
+}
+
+AddressMapper::Physical AddressMapper::map(std::uint64_t logical) const {
+  const std::uint64_t d = data_units_per_iteration();
+  const std::uint64_t iteration = logical / d;
+  const TableEntry& e = data_units_[logical % d];
+  return {e.disk, iteration * s_ + e.offset};
+}
+
+AddressMapper::Physical AddressMapper::parity_of(std::uint64_t logical) const {
+  const std::uint64_t d = data_units_per_iteration();
+  const std::uint64_t iteration = logical / d;
+  const TableEntry& e = data_units_[logical % d];
+  const StripeUnit& p = stripes_[e.stripe].parity_unit();
+  return {p.disk, iteration * s_ + p.offset};
+}
+
+std::vector<AddressMapper::Physical> AddressMapper::stripe_of(
+    std::uint64_t logical) const {
+  const std::uint64_t d = data_units_per_iteration();
+  const std::uint64_t iteration = logical / d;
+  const TableEntry& e = data_units_[logical % d];
+  std::vector<Physical> result;
+  result.reserve(stripes_[e.stripe].units.size());
+  for (const StripeUnit& u : stripes_[e.stripe].units) {
+    result.push_back({u.disk, iteration * s_ + u.offset});
+  }
+  return result;
+}
+
+std::uint64_t AddressMapper::logical_at(Physical position) const {
+  if (position.disk >= v_)
+    throw std::invalid_argument("logical_at: disk out of range");
+  const std::uint64_t iteration = position.offset / s_;
+  const std::uint64_t within = position.offset % s_;
+  const std::uint64_t base =
+      inverse_[static_cast<std::size_t>(position.disk) * s_ + within];
+  if (base == kParity) return kParity;
+  return iteration * data_units_per_iteration() + base;
+}
+
+std::uint64_t AddressMapper::table_bytes() const noexcept {
+  std::uint64_t bytes = data_units_.size() * sizeof(TableEntry) +
+                        inverse_.size() * sizeof(std::uint64_t);
+  for (const Stripe& st : stripes_) {
+    bytes += st.units.size() * sizeof(StripeUnit) + sizeof(std::uint32_t);
+  }
+  return bytes;
+}
+
+}  // namespace pdl::layout

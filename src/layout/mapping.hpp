@@ -1,0 +1,71 @@
+#pragma once
+// Logical-to-physical address mapping (Condition 4): one table lookup plus
+// a constant number of arithmetic operations.  The layout's stripe table
+// covers one "iteration" of units_per_disk() units per disk; larger disks
+// are covered by repeating the layout vertically, exactly as the paper
+// prescribes for arrays of larger disks.
+
+#include <cstdint>
+#include <vector>
+
+#include "layout/layout.hpp"
+
+namespace pdl::layout {
+
+/// Maps logical data-unit numbers to physical (disk, offset) positions and
+/// back, and locates parity.  Built once from a Layout; lookups are O(1).
+class AddressMapper {
+ public:
+  explicit AddressMapper(const Layout& layout);
+
+  /// A physical position on an arbitrarily large disk.
+  struct Physical {
+    DiskId disk = 0;
+    std::uint64_t offset = 0;
+
+    friend bool operator==(const Physical&, const Physical&) = default;
+  };
+
+  /// Data units per layout iteration (total units minus parity units).
+  [[nodiscard]] std::uint64_t data_units_per_iteration() const noexcept {
+    return data_units_.size();
+  }
+
+  /// Total units per disk per iteration (the layout size s).
+  [[nodiscard]] std::uint32_t units_per_disk() const noexcept { return s_; }
+
+  [[nodiscard]] std::uint32_t num_disks() const noexcept { return v_; }
+
+  /// Physical position of a logical data unit.
+  [[nodiscard]] Physical map(std::uint64_t logical) const;
+
+  /// Physical position of the parity unit protecting a logical data unit.
+  [[nodiscard]] Physical parity_of(std::uint64_t logical) const;
+
+  /// All physical positions in the stripe of a logical data unit (the units
+  /// to read for degraded-mode reconstruction of one of them).
+  [[nodiscard]] std::vector<Physical> stripe_of(std::uint64_t logical) const;
+
+  /// Inverse map: the logical data unit at a physical position, or
+  /// kParity if the position holds parity.
+  static constexpr std::uint64_t kParity = ~0ull;
+  [[nodiscard]] std::uint64_t logical_at(Physical position) const;
+
+  /// Memory footprint of the lookup tables in bytes (Condition 4 metric).
+  [[nodiscard]] std::uint64_t table_bytes() const noexcept;
+
+ private:
+  struct TableEntry {
+    DiskId disk;
+    std::uint32_t offset;      // within one iteration
+    std::uint32_t stripe;      // stripe index within the layout
+  };
+  std::uint32_t v_;
+  std::uint32_t s_;
+  std::vector<TableEntry> data_units_;       // logical (mod D) -> position
+  std::vector<std::uint64_t> inverse_;       // disk*s+offset -> logical mod D
+                                             // or kParityMark
+  std::vector<Stripe> stripes_;              // copy of the stripe table
+};
+
+}  // namespace pdl::layout

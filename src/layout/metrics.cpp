@@ -1,0 +1,113 @@
+#include "layout/metrics.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+namespace pdl::layout {
+
+std::vector<std::uint32_t> reconstruction_matrix(const Layout& layout) {
+  const std::uint32_t v = layout.num_disks();
+  std::vector<std::uint32_t> matrix(static_cast<std::size_t>(v) * v, 0);
+  for (const Stripe& stripe : layout.stripes()) {
+    for (const StripeUnit& a : stripe.units) {
+      for (const StripeUnit& b : stripe.units) {
+        if (a.disk != b.disk)
+          ++matrix[static_cast<std::size_t>(a.disk) * v + b.disk];
+      }
+    }
+  }
+  return matrix;
+}
+
+LayoutMetrics compute_metrics(const Layout& layout) {
+  LayoutMetrics m;
+  m.num_disks = layout.num_disks();
+  m.units_per_disk = layout.units_per_disk();
+  m.num_stripes = layout.num_stripes();
+
+  m.min_stripe_size = std::numeric_limits<std::uint32_t>::max();
+  for (const Stripe& s : layout.stripes()) {
+    m.min_stripe_size = std::min(m.min_stripe_size, s.size());
+    m.max_stripe_size = std::max(m.max_stripe_size, s.size());
+  }
+  if (layout.num_stripes() == 0) m.min_stripe_size = 0;
+
+  const auto parity = layout.parity_units_per_disk();
+  m.min_parity_units = *std::min_element(parity.begin(), parity.end());
+  m.max_parity_units = *std::max_element(parity.begin(), parity.end());
+  m.min_parity_overhead =
+      static_cast<double>(m.min_parity_units) / m.units_per_disk;
+  m.max_parity_overhead =
+      static_cast<double>(m.max_parity_units) / m.units_per_disk;
+
+  const auto matrix = reconstruction_matrix(layout);
+  m.min_recon_units = std::numeric_limits<std::uint32_t>::max();
+  const std::uint32_t v = m.num_disks;
+  for (std::uint32_t f = 0; f < v; ++f) {
+    for (std::uint32_t d = 0; d < v; ++d) {
+      if (f == d) continue;
+      const std::uint32_t c = matrix[static_cast<std::size_t>(f) * v + d];
+      m.min_recon_units = std::min(m.min_recon_units, c);
+      m.max_recon_units = std::max(m.max_recon_units, c);
+    }
+  }
+  if (v < 2) m.min_recon_units = 0;
+  m.min_recon_workload =
+      static_cast<double>(m.min_recon_units) / m.units_per_disk;
+  m.max_recon_workload =
+      static_cast<double>(m.max_recon_units) / m.units_per_disk;
+  return m;
+}
+
+std::string LayoutMetrics::to_string() const {
+  std::ostringstream os;
+  os << "v=" << num_disks << " size=" << units_per_disk
+     << " stripes=" << num_stripes << " k=[" << min_stripe_size << ","
+     << max_stripe_size << "]"
+     << " parity/disk=[" << min_parity_units << "," << max_parity_units << "]"
+     << " overhead=[" << min_parity_overhead << "," << max_parity_overhead
+     << "]"
+     << " recon=[" << min_recon_workload << "," << max_recon_workload << "]";
+  return os.str();
+}
+
+std::string render_layout(const Layout& layout) {
+  std::ostringstream os;
+  const std::uint32_t v = layout.num_disks();
+  const std::uint32_t s = layout.units_per_disk();
+
+  // Column width from the largest stripe id.
+  const std::size_t digits =
+      std::to_string(std::max<std::size_t>(layout.num_stripes(), 1) - 1)
+          .size();
+  const std::size_t w = digits + 3;  // "S<id>.D"
+
+  auto pad = [&](std::string cell) {
+    cell.resize(std::max(cell.size(), w), ' ');
+    return cell;
+  };
+
+  os << pad("") << " ";
+  for (DiskId d = 0; d < v; ++d) os << pad("disk" + std::to_string(d)) << " ";
+  os << "\n";
+  for (std::uint32_t o = 0; o < s; ++o) {
+    os << pad("u" + std::to_string(o)) << " ";
+    for (DiskId d = 0; d < v; ++d) {
+      const Occupant& occ = layout.at(d, o);
+      if (!occ.used()) {
+        os << pad("-") << " ";
+        continue;
+      }
+      const Stripe& st = layout.stripes()[occ.stripe];
+      const bool is_parity = st.parity_pos == occ.pos;
+      os << pad("S" + std::to_string(occ.stripe) +
+                (is_parity ? ".P" : ".D"))
+         << " ";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace pdl::layout

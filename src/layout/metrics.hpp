@@ -1,0 +1,59 @@
+#pragma once
+// Quality metrics for data layouts: the measures the paper attaches to
+// Conditions 2 (parity-overhead balance), 3 (reconstruction-workload
+// balance) and 4 (mapping table size).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "layout/layout.hpp"
+
+namespace pdl::layout {
+
+/// Quality report for a layout.  Fractions are exact integer counts paired
+/// with the denominators the paper uses (units per disk).
+struct LayoutMetrics {
+  std::uint32_t num_disks = 0;
+  std::uint32_t units_per_disk = 0;   ///< layout size s (Condition 4 metric)
+  std::uint64_t num_stripes = 0;
+
+  std::uint32_t min_stripe_size = 0;
+  std::uint32_t max_stripe_size = 0;
+
+  // Condition 2: parity units per disk, and overhead = count / s.
+  std::uint32_t min_parity_units = 0;
+  std::uint32_t max_parity_units = 0;
+  double min_parity_overhead = 0.0;
+  double max_parity_overhead = 0.0;
+
+  // Condition 3: over ordered pairs (failed, survivor), the number of units
+  // of the survivor that reconstruction of the failed disk reads
+  // (= stripes crossing both), and the fraction = count / s.
+  std::uint32_t min_recon_units = 0;
+  std::uint32_t max_recon_units = 0;
+  double min_recon_workload = 0.0;
+  double max_recon_workload = 0.0;
+
+  /// Lookup-table entries for the mapping (Condition 4): v * s slots.
+  [[nodiscard]] std::uint64_t table_entries() const noexcept {
+    return static_cast<std::uint64_t>(num_disks) * units_per_disk;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Computes all metrics.  O(v^2 + total stripe units) time, O(v^2) memory.
+[[nodiscard]] LayoutMetrics compute_metrics(const Layout& layout);
+
+/// The full (failed, survivor) reconstruction matrix: entry [f*v + d] is the
+/// number of units read from disk d when disk f fails (0 on the diagonal).
+[[nodiscard]] std::vector<std::uint32_t> reconstruction_matrix(
+    const Layout& layout);
+
+/// Renders small layouts as an ASCII grid (disks as columns, offsets as
+/// rows; entries "S<id>.D"/"S<id>.P" for data/parity), as in the paper's
+/// Figures 2 and 3.
+[[nodiscard]] std::string render_layout(const Layout& layout);
+
+}  // namespace pdl::layout

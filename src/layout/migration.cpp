@@ -1,0 +1,32 @@
+#include "layout/migration.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "layout/mapping.hpp"
+
+namespace pdl::layout {
+
+MigrationPlan plan_migration(const Layout& from, const Layout& to) {
+  if (to.num_disks() < from.num_disks())
+    throw std::invalid_argument(
+        "plan_migration: target must not shrink the array");
+  const AddressMapper mapper_from(from);
+  const AddressMapper mapper_to(to);
+
+  MigrationPlan plan;
+  plan.writes_per_disk.assign(to.num_disks(), 0);
+  plan.compared_units = std::min(mapper_from.data_units_per_iteration(),
+                                 mapper_to.data_units_per_iteration());
+  for (std::uint64_t logical = 0; logical < plan.compared_units; ++logical) {
+    const auto a = mapper_from.map(logical);
+    const auto b = mapper_to.map(logical);
+    if (a.disk != b.disk || a.offset != b.offset) {
+      ++plan.moved_units;
+      ++plan.writes_per_disk[b.disk];
+    }
+  }
+  return plan;
+}
+
+}  // namespace pdl::layout

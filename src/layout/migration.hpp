@@ -1,0 +1,37 @@
+#pragma once
+// Extendible layouts (Section 5 open problem): when disks are added to an
+// array, how much existing data must move?  We quantify reconfiguration
+// cost as the fraction of logical data units whose physical location
+// differs between the old and new layouts, which is exactly the data an
+// online migration must copy.
+
+#include <cstdint>
+#include <vector>
+
+#include "layout/layout.hpp"
+
+namespace pdl::layout {
+
+/// Cost of migrating from one layout to another.
+struct MigrationPlan {
+  std::uint64_t compared_units = 0;  ///< logical data units compared
+  std::uint64_t moved_units = 0;     ///< units whose (disk, offset) changed
+  /// Units that must be WRITTEN to each destination disk during migration
+  /// (new-layout disks; includes data landing on the added disks).
+  std::vector<std::uint64_t> writes_per_disk;
+
+  [[nodiscard]] double moved_fraction() const {
+    return compared_units == 0
+               ? 0.0
+               : static_cast<double>(moved_units) /
+                     static_cast<double>(compared_units);
+  }
+};
+
+/// Compares the physical placement of the common prefix of logical data
+/// units under both layouts (over the first iteration of the smaller
+/// mapping).  `to` must have at least as many disks as `from`.
+[[nodiscard]] MigrationPlan plan_migration(const Layout& from,
+                                           const Layout& to);
+
+}  // namespace pdl::layout

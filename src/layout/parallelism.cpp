@@ -1,0 +1,87 @@
+#include "layout/parallelism.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "layout/mapping.hpp"
+
+namespace pdl::layout {
+
+double large_write_contiguity(const Layout& layout) {
+  const AddressMapper mapper(layout);
+  // Logical numbers are assigned stripe-major, so stripe s's data units
+  // are contiguous iff the mapper visits stripes in order -- which it
+  // does by construction.  Verify rather than assume: collect per-stripe
+  // min/max logical and check max - min == count - 1.
+  const std::uint64_t d = mapper.data_units_per_iteration();
+  std::vector<std::uint64_t> lo(layout.num_stripes(),
+                                std::numeric_limits<std::uint64_t>::max());
+  std::vector<std::uint64_t> hi(layout.num_stripes(), 0);
+  std::vector<std::uint64_t> count(layout.num_stripes(), 0);
+  for (std::uint64_t logical = 0; logical < d; ++logical) {
+    const auto phys = mapper.map(logical);
+    const Occupant& occ = layout.at(phys.disk,
+                                    static_cast<std::uint32_t>(phys.offset));
+    lo[occ.stripe] = std::min(lo[occ.stripe], logical);
+    hi[occ.stripe] = std::max(hi[occ.stripe], logical);
+    ++count[occ.stripe];
+  }
+  std::uint64_t contiguous = 0;
+  for (std::size_t s = 0; s < layout.num_stripes(); ++s) {
+    if (count[s] > 0 && hi[s] - lo[s] + 1 == count[s]) ++contiguous;
+  }
+  return static_cast<double>(contiguous) /
+         static_cast<double>(layout.num_stripes());
+}
+
+namespace {
+
+template <typename Fold>
+void for_each_window(const Layout& layout, std::uint32_t window,
+                     Fold&& fold) {
+  const AddressMapper mapper(layout);
+  const std::uint64_t d = mapper.data_units_per_iteration();
+  const std::uint32_t w = window == 0 ? layout.num_disks() : window;
+  std::vector<std::uint32_t> seen(layout.num_disks(), 0);
+  std::uint32_t stamp = 0;
+  for (std::uint64_t start = 0; start < d; start += w) {
+    ++stamp;
+    std::uint32_t distinct = 0;
+    for (std::uint64_t l = start; l < std::min<std::uint64_t>(start + w, d);
+         ++l) {
+      const auto disk = mapper.map(l).disk;
+      if (seen[disk] != stamp) {
+        seen[disk] = stamp;
+        ++distinct;
+      }
+    }
+    fold(distinct);
+  }
+}
+
+}  // namespace
+
+std::uint32_t min_window_parallelism(const Layout& layout,
+                                     std::uint32_t window) {
+  std::uint32_t min_distinct = std::numeric_limits<std::uint32_t>::max();
+  for_each_window(layout, window, [&](std::uint32_t distinct) {
+    min_distinct = std::min(min_distinct, distinct);
+  });
+  return min_distinct == std::numeric_limits<std::uint32_t>::max()
+             ? 0
+             : min_distinct;
+}
+
+double mean_window_parallelism(const Layout& layout, std::uint32_t window) {
+  std::uint64_t total = 0, windows = 0;
+  for_each_window(layout, window, [&](std::uint32_t distinct) {
+    total += distinct;
+    ++windows;
+  });
+  return windows == 0 ? 0.0
+                      : static_cast<double>(total) /
+                            static_cast<double>(windows);
+}
+
+}  // namespace pdl::layout

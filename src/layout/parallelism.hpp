@@ -1,0 +1,36 @@
+#pragma once
+// Holland & Gibson's fifth and sixth layout conditions (studied for these
+// layouts by Stockmeyer [15]; the paper defers them, we measure them):
+//
+//  * Condition 5, Large Write Optimization: a logically contiguous write
+//    of one stripe's worth of data should cover whole stripes, so parity
+//    can be computed from the new data alone (no read-modify-write).
+//  * Condition 6, Maximal Parallelism: a read of v contiguous data units
+//    should engage all v disks.
+//
+// Both depend on the logical numbering the AddressMapper induces
+// (stripe-major, parity skipped).
+
+#include <cstdint>
+
+#include "layout/layout.hpp"
+
+namespace pdl::layout {
+
+/// Condition 5 metric: the fraction of stripes whose data units occupy a
+/// contiguous logical address range (1.0 = every full-stripe write avoids
+/// read-modify-write).
+[[nodiscard]] double large_write_contiguity(const Layout& layout);
+
+/// Condition 6 metric: the minimum number of distinct disks touched by any
+/// aligned window of `window` consecutive logical data units (window = 0
+/// means v).  v is perfect; small values mean contiguous reads serialize.
+[[nodiscard]] std::uint32_t min_window_parallelism(const Layout& layout,
+                                                   std::uint32_t window = 0);
+
+/// Mean over all aligned windows of the distinct-disk count (same window
+/// convention); between 1 and min(window, v).
+[[nodiscard]] double mean_window_parallelism(const Layout& layout,
+                                             std::uint32_t window = 0);
+
+}  // namespace pdl::layout

@@ -1,0 +1,33 @@
+#include "layout/raid.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace pdl::layout {
+
+namespace {
+
+Layout full_stripe_layout(std::uint32_t v, std::uint32_t rows,
+                          bool rotate_parity) {
+  if (rows == 0) throw std::invalid_argument("need at least one row");
+  Layout layout(v, rows);
+  std::vector<DiskId> disks(v);
+  std::iota(disks.begin(), disks.end(), 0);
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    const std::uint32_t parity_pos = rotate_parity ? (v - 1 - r % v) : (v - 1);
+    layout.append_stripe(disks, parity_pos);
+  }
+  return layout;
+}
+
+}  // namespace
+
+Layout raid5_layout(std::uint32_t v, std::uint32_t rows) {
+  return full_stripe_layout(v, rows, /*rotate_parity=*/true);
+}
+
+Layout raid4_layout(std::uint32_t v, std::uint32_t rows) {
+  return full_stripe_layout(v, rows, /*rotate_parity=*/false);
+}
+
+}  // namespace pdl::layout

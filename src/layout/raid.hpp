@@ -1,0 +1,21 @@
+#pragma once
+// Classic RAID layouts used as baselines: RAID5 with rotated parity is the
+// k = v extreme of parity declustering (every stripe spans the whole
+// array), and RAID4 concentrates parity on one disk (the bottleneck that
+// motivates Condition 2).
+
+#include "layout/layout.hpp"
+
+namespace pdl::layout {
+
+/// RAID5, left-symmetric rotated parity: `rows` full-width stripes; stripe
+/// r's parity is on disk (v-1 - r mod v).  With rows a multiple of v the
+/// parity is perfectly balanced.  Reconstruction reads *all* of every
+/// surviving disk -- the worst case parity declustering improves on.
+[[nodiscard]] Layout raid5_layout(std::uint32_t v, std::uint32_t rows);
+
+/// RAID4: all parity on the last disk.  Maximally imbalanced parity
+/// (Condition 2 pathology) for ablation benches.
+[[nodiscard]] Layout raid4_layout(std::uint32_t v, std::uint32_t rows);
+
+}  // namespace pdl::layout

@@ -1,0 +1,98 @@
+#include "layout/randomized.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <optional>
+#include <random>
+#include <stdexcept>
+
+#include "flow/parity_assign.hpp"
+
+namespace pdl::layout {
+
+Layout randomized_layout(std::uint32_t v, std::uint32_t k,
+                         std::uint32_t rounds, std::uint64_t seed) {
+  if (v < 2 || k < 2 || k > v)
+    throw std::invalid_argument("randomized_layout: need 2 <= k <= v");
+  if (rounds == 0)
+    throw std::invalid_argument("randomized_layout: rounds >= 1");
+  if ((static_cast<std::uint64_t>(v) * rounds) % k != 0)
+    throw std::invalid_argument(
+        "randomized_layout: k must divide v * rounds");
+
+  // One attempt: consume a shuffled queue that yields each disk exactly
+  // once per round, drawing k distinct disks per stripe and deferring
+  // duplicates (possible only across a round boundary).  The tail stripe
+  // can get stuck if only duplicates remain; the caller retries with a
+  // derived seed (vanishingly rare for k << v).
+  const std::uint64_t total_stripes =
+      static_cast<std::uint64_t>(v) * rounds / k;
+  auto attempt_draw =
+      [&](std::uint64_t attempt_seed)
+      -> std::optional<std::vector<std::vector<DiskId>>> {
+    std::mt19937_64 rng(attempt_seed);
+    std::vector<DiskId> queue;
+    std::vector<DiskId> deferred;
+    std::uint32_t rounds_started = 0;
+    auto refill = [&]() {
+      queue.resize(v);
+      std::iota(queue.begin(), queue.end(), 0);
+      std::shuffle(queue.begin(), queue.end(), rng);
+      ++rounds_started;  // queue is consumed from the back
+    };
+    refill();
+
+    std::vector<std::vector<DiskId>> stripes;
+    std::vector<bool> in_stripe(v, false);
+    for (std::uint64_t s = 0; s < total_stripes; ++s) {
+      std::vector<DiskId> stripe;
+      stripe.reserve(k);
+      while (stripe.size() < k) {
+        if (queue.empty()) {
+          if (rounds_started == rounds) return std::nullopt;  // stuck tail
+          refill();
+          // Previously deferred disks are drawn first next, keeping
+          // per-round consumption exact.
+          for (const DiskId d : deferred) queue.push_back(d);
+          deferred.clear();
+        }
+        const DiskId d = queue.back();
+        queue.pop_back();
+        if (in_stripe[d]) {
+          deferred.push_back(d);
+          continue;
+        }
+        in_stripe[d] = true;
+        stripe.push_back(d);
+      }
+      for (const DiskId d : deferred) queue.push_back(d);
+      deferred.clear();
+      for (const DiskId d : stripe) in_stripe[d] = false;
+      stripes.push_back(std::move(stripe));
+    }
+    if (!queue.empty() || !deferred.empty()) return std::nullopt;
+    return stripes;
+  };
+
+  std::optional<std::vector<std::vector<DiskId>>> drawn;
+  for (std::uint64_t attempt = 0; attempt < 64 && !drawn; ++attempt) {
+    drawn = attempt_draw(seed + attempt * 0x9e3779b97f4a7c15ull);
+  }
+  if (!drawn)
+    throw std::logic_error("randomized_layout: draw failed repeatedly");
+  const auto& stripes = *drawn;
+
+  // Per-disk unit counts are exactly `rounds` by construction; place
+  // stripes and balance parity with the Section 4 flow method.
+  Layout layout(v, rounds);
+  for (const auto& stripe : stripes) layout.append_stripe(stripe, 0);
+  const auto assignment = flow::assign_parity_balanced(
+      std::vector<std::vector<std::uint32_t>>(stripes.begin(), stripes.end()),
+      v);
+  for (std::size_t s = 0; s < layout.num_stripes(); ++s) {
+    layout.set_parity_pos(s, assignment.chosen[s].front());
+  }
+  return layout;
+}
+
+}  // namespace pdl::layout

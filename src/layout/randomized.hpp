@@ -1,0 +1,29 @@
+#pragma once
+// Randomized declustered layouts in the spirit of Merchant & Yu [10],
+// which the paper's Section 5 proposes to compare against BIBD-based
+// layouts: stripes are drawn from random disk permutations rather than a
+// block design, and parity is then balanced independently by the
+// Section 4 flow method -- exactly the decoupling of stripe partitioning
+// from parity placement that the paper highlights.
+//
+// Construction: a shuffled queue of disk ids is consumed k at a time
+// (skipping duplicates within a stripe and reshuffling when exhausted),
+// so after `rounds` full passes every disk holds exactly `rounds` units.
+// Reconstruction workload is then balanced only in expectation; the bench
+// E19 measures its spread against the BIBD layouts' exact balance.
+
+#include <cstdint>
+
+#include "layout/layout.hpp"
+
+namespace pdl::layout {
+
+/// Builds a randomized layout on v disks with stripes of k units, where
+/// every disk holds exactly `rounds` units.  Requires 2 <= k <= v and
+/// k | v*rounds (so the final stripe is full); parity is assigned by the
+/// flow method.  Deterministic in `seed`.
+[[nodiscard]] Layout randomized_layout(std::uint32_t v, std::uint32_t k,
+                                       std::uint32_t rounds,
+                                       std::uint64_t seed = 1);
+
+}  // namespace pdl::layout

@@ -1,0 +1,54 @@
+#include "layout/ring_layout.hpp"
+
+#include <stdexcept>
+
+namespace pdl::layout {
+
+std::vector<RingStripeSpec> ring_copy_stripes(
+    const design::RingDesign& rd, std::optional<design::Elem> removed) {
+  const std::uint32_t v = rd.v();
+  const std::uint32_t k = rd.k();
+  if (removed && *removed >= v)
+    throw std::invalid_argument("ring_copy_stripes: removed disk out of range");
+
+  std::vector<RingStripeSpec> specs;
+  specs.reserve(rd.design.blocks.size());
+  for (std::size_t bi = 0; bi < rd.design.blocks.size(); ++bi) {
+    const auto& block = rd.design.blocks[bi];
+    const design::Elem x = rd.block_x(bi);  // tuple position 0 is disk x
+
+    RingStripeSpec spec;
+    spec.disks.reserve(k);
+    // The parity disk: x, unless x was removed, in which case Theorem 8
+    // reassigns it to the g_1-th element of the tuple (position 1), which
+    // is distinct from x and hits each surviving disk exactly once per
+    // removed disk.
+    const design::Elem parity_disk =
+        (removed && *removed == x) ? block[1] : x;
+
+    for (std::uint32_t pos = 0; pos < k; ++pos) {
+      if (removed && block[pos] == *removed) continue;
+      if (block[pos] == parity_disk)
+        spec.parity_pos = static_cast<std::uint32_t>(spec.disks.size());
+      spec.disks.push_back(block[pos]);
+    }
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+Layout ring_based_layout(const design::RingDesign& rd) {
+  const std::uint32_t v = rd.v();
+  const std::uint32_t k = rd.k();
+  Layout layout(v, k * (v - 1));
+  for (const RingStripeSpec& spec : ring_copy_stripes(rd)) {
+    layout.append_stripe(spec.disks, spec.parity_pos);
+  }
+  return layout;
+}
+
+Layout ring_based_layout(std::uint32_t v, std::uint32_t k) {
+  return ring_based_layout(design::make_ring_design(v, k));
+}
+
+}  // namespace pdl::layout

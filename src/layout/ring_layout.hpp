@@ -1,0 +1,41 @@
+#pragma once
+// Ring-based layouts (opening of Section 3.1): a single copy of the
+// Theorem-1 ring design in which the parity unit of the stripe for block
+// (x, y) is placed on disk x.  Each disk x then carries exactly one parity
+// unit per pair (x, y), y != 0, i.e. exactly v-1 parity units: parity and
+// reconstruction workload are perfectly balanced with NO replication of the
+// design.  Size = r = k(v-1).
+
+#include <optional>
+
+#include "design/ring_design.hpp"
+#include "layout/layout.hpp"
+
+namespace pdl::layout {
+
+/// One stripe of a ring layout in "disk list + parity position" form, over
+/// the original disk ids of the design.  Used both to build standalone
+/// layouts and as the per-copy building block of the stairway
+/// transformation (Section 3.2).
+struct RingStripeSpec {
+  std::vector<DiskId> disks;   ///< member disks, in tuple (generator) order
+  std::uint32_t parity_pos = 0;  ///< index into disks
+};
+
+/// The stripes of a ring-based layout in canonical block order, optionally
+/// with one disk removed per Theorem 8: units on the removed disk are
+/// dropped, and stripes whose parity lived on it (blocks (removed, y))
+/// move their parity to the tuple's g_1-th element, disk removed+y(g_1-g_0),
+/// which restores perfect balance over the survivors.
+[[nodiscard]] std::vector<RingStripeSpec> ring_copy_stripes(
+    const design::RingDesign& rd,
+    std::optional<design::Elem> removed = std::nullopt);
+
+/// The single-copy ring-based layout for the design: v disks of k(v-1)
+/// units, parity of stripe (x, y) on disk x.
+[[nodiscard]] Layout ring_based_layout(const design::RingDesign& rd);
+
+/// Convenience: ring_based_layout over the canonical ring for (v, k).
+[[nodiscard]] Layout ring_based_layout(std::uint32_t v, std::uint32_t k);
+
+}  // namespace pdl::layout

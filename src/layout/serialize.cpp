@@ -1,0 +1,129 @@
+#include "layout/serialize.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pdl::layout {
+
+namespace {
+
+constexpr int kFormatVersion = 1;
+
+[[noreturn]] void parse_error(std::size_t line, const std::string& what) {
+  throw std::invalid_argument("parse_layout: line " + std::to_string(line) +
+                              ": " + what);
+}
+
+}  // namespace
+
+void write_layout(std::ostream& out, const Layout& layout) {
+  out << "pdl-layout " << kFormatVersion << "\n";
+  out << "disks " << layout.num_disks() << " units "
+      << layout.units_per_disk() << "\n";
+  out << "stripes " << layout.num_stripes() << "\n";
+  for (const Stripe& st : layout.stripes()) {
+    out << st.parity_pos;
+    for (const StripeUnit& u : st.units) {
+      out << ' ' << u.disk << ':' << u.offset;
+    }
+    out << "\n";
+  }
+}
+
+std::string serialize_layout(const Layout& layout) {
+  std::ostringstream os;
+  write_layout(os, layout);
+  return os.str();
+}
+
+Layout read_layout(std::istream& in) {
+  std::string line;
+  std::size_t line_no = 0;
+  auto next_line = [&]() -> std::string& {
+    if (!std::getline(in, line)) parse_error(line_no + 1, "unexpected EOF");
+    ++line_no;
+    return line;
+  };
+
+  {
+    std::istringstream header(next_line());
+    std::string magic;
+    int version = 0;
+    if (!(header >> magic >> version) || magic != "pdl-layout")
+      parse_error(line_no, "expected 'pdl-layout <version>'");
+    if (version != kFormatVersion)
+      parse_error(line_no,
+                  "unsupported format version " + std::to_string(version));
+  }
+
+  std::uint32_t v = 0, s = 0;
+  {
+    std::istringstream dims(next_line());
+    std::string kw1, kw2;
+    if (!(dims >> kw1 >> v >> kw2 >> s) || kw1 != "disks" || kw2 != "units")
+      parse_error(line_no, "expected 'disks <v> units <s>'");
+  }
+  std::uint64_t num_stripes = 0;
+  {
+    std::istringstream count(next_line());
+    std::string kw;
+    if (!(count >> kw >> num_stripes) || kw != "stripes")
+      parse_error(line_no, "expected 'stripes <n>'");
+  }
+
+  Layout layout(v, s);
+  for (std::uint64_t i = 0; i < num_stripes; ++i) {
+    std::istringstream row(next_line());
+    std::uint32_t parity_pos = 0;
+    if (!(row >> parity_pos)) parse_error(line_no, "missing parity position");
+    std::vector<StripeUnit> units;
+    std::string token;
+    while (row >> token) {
+      const auto colon = token.find(':');
+      if (colon == std::string::npos)
+        parse_error(line_no, "expected <disk>:<offset>, got '" + token + "'");
+      try {
+        const auto disk =
+            static_cast<DiskId>(std::stoul(token.substr(0, colon)));
+        const auto offset = static_cast<std::uint32_t>(
+            std::stoul(token.substr(colon + 1)));
+        units.push_back({disk, offset});
+      } catch (const std::exception&) {
+        parse_error(line_no, "bad unit token '" + token + "'");
+      }
+    }
+    if (units.empty()) parse_error(line_no, "stripe has no units");
+    try {
+      layout.add_stripe_at(std::move(units), parity_pos);
+    } catch (const std::invalid_argument& e) {
+      parse_error(line_no, e.what());
+    }
+  }
+
+  const auto errors = layout.validate(/*allow_holes=*/true);
+  if (!errors.empty())
+    throw std::invalid_argument("parse_layout: invalid layout: " +
+                                errors.front());
+  return layout;
+}
+
+Layout parse_layout(const std::string& text) {
+  std::istringstream is(text);
+  return read_layout(is);
+}
+
+void save_layout(const std::string& path, const Layout& layout) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_layout: cannot open " + path);
+  write_layout(out, layout);
+  if (!out) throw std::runtime_error("save_layout: write failed: " + path);
+}
+
+Layout load_layout(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_layout: cannot open " + path);
+  return read_layout(in);
+}
+
+}  // namespace pdl::layout

@@ -1,0 +1,36 @@
+#pragma once
+// Layout (de)serialization: the mapping table must survive restarts (it IS
+// the array's metadata), so layouts round-trip through a small, versioned,
+// human-readable text format:
+//
+//   pdl-layout 1
+//   disks <v> units <s>
+//   stripes <n>
+//   <parity_pos> <disk>:<offset> <disk>:<offset> ...    (one line per stripe)
+
+#include <iosfwd>
+#include <string>
+
+#include "layout/layout.hpp"
+
+namespace pdl::layout {
+
+/// Serializes a layout to the text format above.
+void write_layout(std::ostream& out, const Layout& layout);
+
+/// Convenience: serialize to a string.
+[[nodiscard]] std::string serialize_layout(const Layout& layout);
+
+/// Parses a layout; throws std::invalid_argument with a line-numbered
+/// message on malformed input, and validates the result structurally
+/// (Condition 1, occupancy) before returning.
+[[nodiscard]] Layout read_layout(std::istream& in);
+
+/// Convenience: parse from a string.
+[[nodiscard]] Layout parse_layout(const std::string& text);
+
+/// File helpers.
+void save_layout(const std::string& path, const Layout& layout);
+[[nodiscard]] Layout load_layout(const std::string& path);
+
+}  // namespace pdl::layout

@@ -1,0 +1,73 @@
+#include "layout/sparing.hpp"
+
+#include <stdexcept>
+
+#include "flow/parity_assign.hpp"
+
+namespace pdl::layout {
+
+std::vector<std::uint32_t> SparedLayout::spares_per_disk() const {
+  std::vector<std::uint32_t> counts(layout.num_disks(), 0);
+  for (std::size_t s = 0; s < layout.num_stripes(); ++s) {
+    counts[layout.stripes()[s].units[spare_pos[s]].disk]++;
+  }
+  return counts;
+}
+
+SparedLayout add_distributed_sparing(const Layout& base) {
+  // Build the spare-assignment problem over the non-parity units of each
+  // stripe, then translate chosen positions back to full-stripe positions.
+  std::vector<std::vector<std::uint32_t>> candidates;  // disks, per stripe
+  std::vector<std::vector<std::uint32_t>> positions;   // stripe positions
+  candidates.reserve(base.num_stripes());
+  positions.reserve(base.num_stripes());
+  for (const Stripe& st : base.stripes()) {
+    if (st.units.size() < 2)
+      throw std::invalid_argument(
+          "add_distributed_sparing: stripes must have >= 2 units");
+    std::vector<std::uint32_t> disks;
+    std::vector<std::uint32_t> pos;
+    for (std::uint32_t p = 0; p < st.units.size(); ++p) {
+      if (p == st.parity_pos) continue;
+      disks.push_back(st.units[p].disk);
+      pos.push_back(p);
+    }
+    candidates.push_back(std::move(disks));
+    positions.push_back(std::move(pos));
+  }
+
+  const auto assignment =
+      flow::assign_parity_balanced(candidates, base.num_disks());
+
+  SparedLayout spared{base, {}};
+  spared.spare_pos.reserve(base.num_stripes());
+  for (std::size_t s = 0; s < base.num_stripes(); ++s) {
+    spared.spare_pos.push_back(
+        positions[s][assignment.chosen[s].front()]);
+  }
+  return spared;
+}
+
+std::vector<std::uint32_t> distributed_rebuild_writes(
+    const SparedLayout& spared, DiskId failed) {
+  const Layout& layout = spared.layout;
+  if (failed >= layout.num_disks())
+    throw std::invalid_argument("distributed_rebuild_writes: bad disk");
+  std::vector<std::uint32_t> writes(layout.num_disks(), 0);
+  for (std::size_t s = 0; s < layout.num_stripes(); ++s) {
+    const Stripe& st = layout.stripes()[s];
+    const StripeUnit& spare = st.units[spared.spare_pos[s]];
+    bool lost_non_spare = false;
+    for (std::uint32_t p = 0; p < st.units.size(); ++p) {
+      if (st.units[p].disk == failed && p != spared.spare_pos[s]) {
+        lost_non_spare = true;
+      }
+    }
+    // If the spare itself was on the failed disk, the stripe lost only
+    // (empty) spare capacity; nothing is written.
+    if (lost_non_spare && spare.disk != failed) ++writes[spare.disk];
+  }
+  return writes;
+}
+
+}  // namespace pdl::layout

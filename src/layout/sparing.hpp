@@ -1,0 +1,44 @@
+#pragma once
+// Distributed sparing (Section 5, and the extension after Theorem 14):
+// instead of a dedicated spare disk, every stripe designates one of its
+// units as a spare, with the spares balanced over disks by the same
+// network-flow machinery that balances parity ("selecting some number of
+// distinguished units ... from each stripe, and balancing them among the
+// disks").  After a failure, each lost unit is rebuilt into its own
+// stripe's spare unit, so rebuild WRITES are declustered exactly like
+// rebuild reads.
+//
+// Capacity: one unit per stripe, i.e. a 1/k fraction of the array -- the
+// same fraction as parity.  Each stripe then carries k-2 data units, one
+// parity unit, and one (empty) spare unit.
+
+#include <vector>
+
+#include "layout/layout.hpp"
+
+namespace pdl::layout {
+
+/// A layout plus a balanced spare-unit designation.
+struct SparedLayout {
+  Layout layout;
+  /// spare_pos[s]: position (index into units) of stripe s's spare unit;
+  /// always distinct from the stripe's parity position.
+  std::vector<std::uint32_t> spare_pos;
+
+  /// Number of spare units on each disk.
+  [[nodiscard]] std::vector<std::uint32_t> spares_per_disk() const;
+};
+
+/// Designates one spare unit per stripe (never the parity unit), balanced
+/// so that every disk's spare count is within one of the flow bound
+/// (floor/ceil of its spare load).  Requires every stripe size >= 2.
+[[nodiscard]] SparedLayout add_distributed_sparing(const Layout& base);
+
+/// Rebuild write targets under distributed sparing: for each stripe
+/// crossing the failed disk whose lost unit is NOT the spare, one write
+/// lands on the spare unit's disk.  Returns per-disk write counts
+/// (the distributed analogue of "the spare disk absorbs everything").
+[[nodiscard]] std::vector<std::uint32_t> distributed_rebuild_writes(
+    const SparedLayout& spared, DiskId failed);
+
+}  // namespace pdl::layout

@@ -1,0 +1,212 @@
+#include "layout/stairway.hpp"
+
+#include <stdexcept>
+
+#include "layout/ring_layout.hpp"
+
+namespace pdl::layout {
+
+double StairwayPlan::parity_overhead_lo() const noexcept {
+  const double base = 1.0 / k;
+  if (wide_steps == 0) return base;
+  return base + static_cast<double>(wide_steps - 1) /
+                    (static_cast<double>(k) * (copies - 1) * (q - 1));
+}
+
+double StairwayPlan::parity_overhead_hi() const noexcept {
+  const double base = 1.0 / k;
+  if (wide_steps == 0) return base;
+  return base + static_cast<double>(wide_steps) /
+                    (static_cast<double>(k) * (copies - 1) * (q - 1));
+}
+
+double StairwayPlan::recon_workload_lo() const noexcept {
+  return (static_cast<double>(copies) - 2) / (copies - 1) *
+         (static_cast<double>(k) - 1) / (q - 1);
+}
+
+double StairwayPlan::recon_workload_hi() const noexcept {
+  return (static_cast<double>(k) - 1) / (q - 1);
+}
+
+namespace {
+
+std::vector<std::uint32_t> make_step_widths(std::uint32_t q, std::uint32_t W,
+                                            std::uint32_t c, std::uint32_t w,
+                                            WideStepPlacement placement) {
+  // c-1 steps, w of width W+1 and c-1-w of width W; sum = (c-1)W + w = q.
+  std::vector<std::uint32_t> widths(c - 1, W);
+  switch (placement) {
+    case WideStepPlacement::kFirst:
+      for (std::uint32_t i = 0; i < w; ++i) widths[i] = W + 1;
+      break;
+    case WideStepPlacement::kLast:
+      for (std::uint32_t i = 0; i < w; ++i) widths[c - 2 - i] = W + 1;
+      break;
+    case WideStepPlacement::kSpread:
+      for (std::uint32_t i = 0; i < w; ++i) {
+        // Evenly spaced indices in [0, c-1).
+        widths[static_cast<std::size_t>(i) * (c - 1) / w] = W + 1;
+      }
+      break;
+  }
+  std::uint64_t sum = 0;
+  for (const auto x : widths) sum += x;
+  if (sum != q) throw std::logic_error("make_step_widths: widths do not sum to q");
+  return widths;
+}
+
+}  // namespace
+
+std::vector<StairwayPlan> all_stairway_plans(std::uint32_t q, std::uint32_t v,
+                                             std::uint32_t k,
+                                             WideStepPlacement placement) {
+  std::vector<StairwayPlan> plans;
+  if (v <= q || q < 2 || k < 2 || k > q) return plans;
+  const std::uint32_t W = v - q;
+  // v = c*W + w with 0 <= w < c and c >= 2 (c = 1 would give an empty
+  // layout).  c ranges over (v/(W+1), v/W].
+  for (std::uint32_t c = std::max<std::uint32_t>(2, v / (W + 1)); c <= v / W;
+       ++c) {
+    const std::int64_t w = static_cast<std::int64_t>(v) -
+                           static_cast<std::int64_t>(c) * W;
+    if (w < 0 || w >= c) continue;
+    StairwayPlan plan;
+    plan.q = q;
+    plan.v = v;
+    plan.k = k;
+    plan.width = W;
+    plan.copies = c;
+    plan.wide_steps = static_cast<std::uint32_t>(w);
+    plan.step_widths =
+        make_step_widths(q, W, c, plan.wide_steps, placement);
+    plans.push_back(std::move(plan));
+  }
+  return plans;
+}
+
+std::optional<StairwayPlan> plan_stairway(std::uint32_t q, std::uint32_t v,
+                                          std::uint32_t k,
+                                          WideStepPlacement placement) {
+  auto plans = all_stairway_plans(q, v, k, placement);
+  if (plans.empty()) return std::nullopt;
+  return std::move(plans.front());  // smallest c = smallest layout
+}
+
+std::optional<StairwayPlan> plan_stairway_perfect_parity(std::uint32_t q,
+                                                         std::uint32_t v,
+                                                         std::uint32_t k) {
+  for (auto& plan : all_stairway_plans(q, v, k)) {
+    if (plan.wide_steps == 0) return std::move(plan);
+  }
+  return std::nullopt;
+}
+
+Layout build_stairway_layout(const design::RingDesign& base,
+                             const StairwayPlan& plan) {
+  const std::uint32_t q = plan.q;
+  const std::uint32_t k = plan.k;
+  const std::uint32_t W = plan.width;
+  const std::uint32_t c = plan.copies;
+  if (base.v() != q || base.k() != k)
+    throw std::invalid_argument(
+        "build_stairway_layout: design does not match plan");
+  if (plan.step_widths.size() != c - 1)
+    throw std::invalid_argument("build_stairway_layout: bad step widths");
+
+  // cum[i] = total width of steps 0..i; step(col) = least i with col < cum[i].
+  std::vector<std::uint32_t> cum(c - 1);
+  std::uint32_t acc = 0;
+  for (std::uint32_t i = 0; i + 1 < c; ++i) {
+    acc += plan.step_widths[i];
+    cum[i] = acc;
+  }
+  std::vector<std::uint32_t> step_of(q);
+  {
+    std::uint32_t step = 0;
+    for (std::uint32_t col = 0; col < q; ++col) {
+      while (col >= cum[step]) ++step;
+      step_of[col] = step;
+    }
+  }
+
+  // Wide step i collides at (row i+1, column cum[i]-1); resolve by removing
+  // that disk from that copy (Theorem 8).
+  constexpr std::uint32_t kNone = 0xffffffffu;
+  std::vector<std::uint32_t> removed_in_row(c, kNone);
+  for (std::uint32_t i = 0; i + 1 < c; ++i) {
+    if (plan.step_widths[i] == W + 1) removed_in_row[i + 1] = cum[i] - 1;
+  }
+
+  // Piece geometry: pieces are h = k(q-1) units tall; each new column holds
+  // pieces at slots 1..c-1, compacted to offsets (slot-1)*h.
+  const std::uint32_t h = k * (q - 1);
+  const std::uint32_t size = (c - 1) * h;
+  Layout layout(plan.v, size);
+
+  // new_disk(row, col) and base offset of each piece.
+  auto piece_target = [&](std::uint32_t row,
+                          std::uint32_t col) -> std::pair<DiskId, std::uint32_t> {
+    if (row <= step_of[col]) {
+      // Top part: moves right W and down one slot.
+      return {col + W, (row + 1 - 1) * h};  // slot = row+1, offset (slot-1)*h
+    }
+    return {col, (row - 1) * h};  // bottom part stays: slot = row
+  };
+
+  // Sanity: every new column receives exactly c-1 pieces at distinct slots.
+  {
+    std::vector<std::vector<bool>> slot_used(
+        plan.v, std::vector<bool>(c - 1, false));
+    for (std::uint32_t row = 0; row < c; ++row) {
+      for (std::uint32_t col = 0; col < q; ++col) {
+        if (removed_in_row[row] == col) continue;
+        const auto [disk, offset] = piece_target(row, col);
+        const std::uint32_t slot = offset / h;
+        if (disk >= plan.v || slot >= c - 1 || slot_used[disk][slot])
+          throw std::logic_error(
+              "build_stairway_layout: piece collision (internal error)");
+        slot_used[disk][slot] = true;
+      }
+    }
+    for (DiskId d = 0; d < plan.v; ++d) {
+      for (std::uint32_t slot = 0; slot + 1 < c; ++slot) {
+        if (!slot_used[d][slot])
+          throw std::logic_error(
+              "build_stairway_layout: uncovered slot (internal error)");
+      }
+    }
+  }
+
+  // Emit stripes row by row.  Within a row, each surviving column's piece
+  // receives its units in stripe-iteration order.
+  std::vector<std::uint32_t> fill(q);
+  for (std::uint32_t row = 0; row < c; ++row) {
+    const std::optional<design::Elem> removed =
+        removed_in_row[row] == kNone
+            ? std::nullopt
+            : std::optional<design::Elem>(removed_in_row[row]);
+    fill.assign(q, 0);
+    for (const RingStripeSpec& spec : ring_copy_stripes(base, removed)) {
+      std::vector<StripeUnit> units;
+      units.reserve(spec.disks.size());
+      for (const DiskId col : spec.disks) {
+        const auto [disk, base_offset] = piece_target(row, col);
+        units.push_back({disk, base_offset + fill[col]++});
+      }
+      layout.add_stripe_at(std::move(units), spec.parity_pos);
+    }
+  }
+  return layout;
+}
+
+Layout stairway_layout(std::uint32_t q, std::uint32_t v, std::uint32_t k) {
+  const auto plan = plan_stairway(q, v, k);
+  if (!plan)
+    throw std::invalid_argument(
+        "stairway_layout: no feasible (c, w) for q=" + std::to_string(q) +
+        " -> v=" + std::to_string(v));
+  return build_stairway_layout(design::make_ring_design(q, k), *plan);
+}
+
+}  // namespace pdl::layout

@@ -1,0 +1,85 @@
+#pragma once
+// The "stairway" transformation (Section 3.2, Theorems 10-12, Figures 4-6):
+// turn a ring-based layout for a prime-power q into an approximately
+// balanced layout for v > q disks.
+//
+// Construction: stack c copies of the q-disk ring layout (rows), divide the
+// q columns into c-1 steps of width W = v-q (with w of them widened to W+1
+// when W does not divide v), and move the "top part" -- the cells above the
+// staircase -- right by W columns and down by one row.  Every new column
+// then holds exactly c-1 pieces, each piece being one disk's worth
+// (k(q-1) units) of one copy.  Wide steps make one top piece and one bottom
+// piece collide; the colliding bottom piece is eliminated by removing its
+// disk from that copy via Theorem 8, which keeps that copy's parity
+// balanced.
+//
+// Feasibility (conditions (8) and (9) of the paper): nonnegative integers
+// c, w with  v = c(v-q) + w  and  w < c.
+//
+// Resulting guarantees:
+//   size = k(c-1)(q-1)
+//   stripe sizes in {k-1, k} (k-1 only when w > 0)
+//   parity overhead in [1/k + (w-1)/(k(c-1)(q-1)), 1/k + w/(k(c-1)(q-1))]
+//   reconstruction workload in [(c-2)/(c-1), 1] * (k-1)/(q-1).
+
+#include <optional>
+#include <vector>
+
+#include "design/ring_design.hpp"
+#include "layout/layout.hpp"
+
+namespace pdl::layout {
+
+/// Where the w wide steps are placed among the c-1 steps.  The theorem's
+/// bounds are placement-invariant; this is exposed for ablation.
+enum class WideStepPlacement : std::uint8_t { kFirst, kLast, kSpread };
+
+/// A feasible stairway transformation q -> v.
+struct StairwayPlan {
+  std::uint32_t q = 0;       ///< base (prime-power) array size
+  std::uint32_t v = 0;       ///< target array size
+  std::uint32_t k = 0;       ///< stripe size
+  std::uint32_t width = 0;   ///< W = v - q
+  std::uint32_t copies = 0;  ///< c
+  std::uint32_t wide_steps = 0;  ///< w
+  std::vector<std::uint32_t> step_widths;  ///< c-1 entries in {W, W+1}
+
+  /// Layout size k(c-1)(q-1).
+  [[nodiscard]] std::uint64_t size() const noexcept {
+    return static_cast<std::uint64_t>(k) * (copies - 1) * (q - 1);
+  }
+  /// Theorem 12 parity-overhead interval [lo, hi].
+  [[nodiscard]] double parity_overhead_lo() const noexcept;
+  [[nodiscard]] double parity_overhead_hi() const noexcept;
+  /// Theorem 11/12 reconstruction-workload interval [lo, hi].
+  [[nodiscard]] double recon_workload_lo() const noexcept;
+  [[nodiscard]] double recon_workload_hi() const noexcept;
+};
+
+/// All feasible (c, w) choices for transforming q into v with stripe size k
+/// (smaller c = smaller layout but more imbalance), ordered by increasing c.
+/// Empty if v <= q or no (c, w) satisfies (8) and (9).
+[[nodiscard]] std::vector<StairwayPlan> all_stairway_plans(
+    std::uint32_t q, std::uint32_t v, std::uint32_t k,
+    WideStepPlacement placement = WideStepPlacement::kFirst);
+
+/// The feasible plan with the smallest c (hence smallest size), if any.
+[[nodiscard]] std::optional<StairwayPlan> plan_stairway(
+    std::uint32_t q, std::uint32_t v, std::uint32_t k,
+    WideStepPlacement placement = WideStepPlacement::kFirst);
+
+/// The feasible plan with perfectly balanced parity (w = 0, Theorems 10/11),
+/// if one exists -- requires (v-q) | v.
+[[nodiscard]] std::optional<StairwayPlan> plan_stairway_perfect_parity(
+    std::uint32_t q, std::uint32_t v, std::uint32_t k);
+
+/// Builds the layout for a plan from the base ring design (which must match
+/// the plan's q and k).
+[[nodiscard]] Layout build_stairway_layout(const design::RingDesign& base,
+                                           const StairwayPlan& plan);
+
+/// Convenience: plan (minimal c) and build for the canonical ring design.
+[[nodiscard]] Layout stairway_layout(std::uint32_t q, std::uint32_t v,
+                                     std::uint32_t k);
+
+}  // namespace pdl::layout

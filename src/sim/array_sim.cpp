@@ -1,0 +1,328 @@
+#include "sim/array_sim.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "sim/event_queue.hpp"
+
+namespace pdl::sim {
+
+double RunResult::max_disk_utilization() const {
+  if (horizon_ms <= 0.0) return 0.0;
+  double max_busy = 0.0;
+  for (const double b : disk_busy_ms) max_busy = std::max(max_busy, b);
+  return max_busy / horizon_ms;
+}
+
+ArraySimulator::ArraySimulator(const layout::Layout& layout,
+                               ArrayConfig config)
+    : layout_(layout), mapper_(layout), config_(config) {
+  if (config_.iterations == 0)
+    throw std::invalid_argument("ArraySimulator: iterations >= 1");
+  if (config_.rebuild_depth == 0)
+    throw std::invalid_argument("ArraySimulator: rebuild_depth >= 1");
+}
+
+std::uint64_t ArraySimulator::working_set() const noexcept {
+  return mapper_.data_units_per_iteration() * config_.iterations;
+}
+
+namespace {
+
+using layout::AddressMapper;
+using layout::DiskId;
+
+// Shared per-run state: the disks, the event queue, and result collection.
+struct RunContext {
+  explicit RunContext(std::uint32_t num_disks, const ArrayConfig& config)
+      : config(config) {
+    disks.reserve(num_disks);
+    for (std::uint32_t d = 0; d < num_disks; ++d)
+      disks.emplace_back(config.disk);
+  }
+
+  const ArrayConfig& config;
+  EventQueue queue;
+  std::vector<Disk> disks;
+  UserStats user;
+
+  void finish(RunResult& result) {
+    result.horizon_ms = queue.now();
+    result.disk_busy_ms.reserve(disks.size());
+    result.disk_accesses.reserve(disks.size());
+    for (const Disk& d : disks) {
+      result.disk_busy_ms.push_back(d.busy_ms());
+      result.disk_accesses.push_back(d.accesses());
+    }
+  }
+};
+
+constexpr DiskId kNoFailure = 0xffffffffu;
+
+// Issues one user request at its arrival time.  `failed` = kNoFailure for
+// normal mode.  Latency is recorded when the slowest constituent access
+// completes; two-phase writes chain through a scheduled event.
+void issue_request(RunContext& ctx, const AddressMapper& mapper,
+                   const Request& req, DiskId failed) {
+  const auto record = [&ctx, is_write = req.is_write,
+                       arrival = req.arrival_ms](SimTime done) {
+    if (is_write) {
+      ctx.user.write_latency_ms.add(done - arrival);
+    } else {
+      ctx.user.read_latency_ms.add(done - arrival);
+    }
+  };
+
+  const AddressMapper::Physical data = mapper.map(req.logical);
+  const AddressMapper::Physical parity = mapper.parity_of(req.logical);
+  const SimTime now = req.arrival_ms;
+
+  if (!req.is_write) {
+    if (data.disk != failed) {
+      record(ctx.disks[data.disk].submit(now));
+      return;
+    }
+    // Degraded read: reconstruct from all surviving stripe units.
+    SimTime done = now;
+    for (const auto& unit : mapper.stripe_of(req.logical)) {
+      if (unit.disk == failed) continue;
+      done = std::max(done, ctx.disks[unit.disk].submit(now));
+    }
+    record(done);
+    return;
+  }
+
+  // Writes.
+  if (data.disk != failed && parity.disk != failed) {
+    // Small write: read old data + old parity, then write both.
+    const SimTime r1 = ctx.disks[data.disk].submit(now);
+    const SimTime r2 = ctx.disks[parity.disk].submit(now);
+    const SimTime reads_done = std::max(r1, r2);
+    ctx.queue.schedule(reads_done, [&ctx, data, parity, record](SimTime t) {
+      const SimTime w1 = ctx.disks[data.disk].submit(t);
+      const SimTime w2 = ctx.disks[parity.disk].submit(t);
+      record(std::max(w1, w2));
+    });
+    return;
+  }
+  if (data.disk == failed) {
+    // The data unit is lost: fold the new value into parity by reading all
+    // surviving data units of the stripe, then writing the parity unit.
+    SimTime reads_done = now;
+    for (const auto& unit : mapper.stripe_of(req.logical)) {
+      if (unit.disk == failed || unit == parity) continue;
+      reads_done = std::max(reads_done, ctx.disks[unit.disk].submit(now));
+    }
+    ctx.queue.schedule(reads_done, [&ctx, parity, record](SimTime t) {
+      record(ctx.disks[parity.disk].submit(t));
+    });
+    return;
+  }
+  // Parity disk failed: the stripe is unprotected; just write the data.
+  record(ctx.disks[data.disk].submit(now));
+}
+
+}  // namespace
+
+RunResult ArraySimulator::run_normal(std::span<const Request> requests) const {
+  RunContext ctx(layout_.num_disks(), config_);
+  for (const Request& req : requests) {
+    if (req.logical >= working_set())
+      throw std::invalid_argument("run_normal: request beyond working set");
+    ctx.queue.schedule(req.arrival_ms, [&ctx, &req, this](SimTime) {
+      issue_request(ctx, mapper_, req, kNoFailure);
+    });
+  }
+  ctx.queue.run();
+  RunResult result;
+  result.user = std::move(ctx.user);
+  ctx.finish(result);
+  return result;
+}
+
+RunResult ArraySimulator::run_degraded(std::span<const Request> requests,
+                                       layout::DiskId failed) const {
+  if (failed >= layout_.num_disks())
+    throw std::invalid_argument("run_degraded: bad disk");
+  RunContext ctx(layout_.num_disks(), config_);
+  for (const Request& req : requests) {
+    if (req.logical >= working_set())
+      throw std::invalid_argument("run_degraded: request beyond working set");
+    ctx.queue.schedule(req.arrival_ms, [&ctx, &req, failed, this](SimTime) {
+      issue_request(ctx, mapper_, req, failed);
+    });
+  }
+  ctx.queue.run();
+  RunResult result;
+  result.user = std::move(ctx.user);
+  ctx.finish(result);
+  return result;
+}
+
+RebuildResult ArraySimulator::run_rebuild(std::span<const Request> requests,
+                                          layout::DiskId failed) const {
+  if (failed >= layout_.num_disks())
+    throw std::invalid_argument("run_rebuild: bad disk");
+  RunContext ctx(layout_.num_disks(), config_);
+  // The spare is written sequentially (a streaming reconstruction sweep),
+  // so it pays transfer time only; survivors pay full random-access cost
+  // for their reads, which is where declustering helps.
+  Disk spare(DiskParams{0.0, config_.disk.transfer_ms_per_unit});
+
+  // Rebuild jobs: every (stripe crossing the failed disk) x (iteration).
+  struct Job {
+    std::uint32_t stripe;
+    std::uint32_t iteration;
+  };
+  std::vector<Job> jobs;
+  for (std::uint32_t si = 0; si < layout_.num_stripes(); ++si) {
+    const layout::Stripe& st = layout_.stripes()[si];
+    const bool crosses = std::any_of(
+        st.units.begin(), st.units.end(),
+        [&](const layout::StripeUnit& u) { return u.disk == failed; });
+    if (!crosses) continue;
+    for (std::uint32_t it = 0; it < config_.iterations; ++it)
+      jobs.push_back({si, it});
+  }
+
+  RebuildResult result;
+  result.rebuild_reads_per_disk.assign(layout_.num_disks(), 0);
+
+  auto next_job = std::make_shared<std::size_t>(0);
+  auto done_jobs = std::make_shared<std::size_t>(0);
+
+  // One stripe-rebuild: read all surviving units (in parallel), then write
+  // the reconstructed unit to the spare; on completion, start the next
+  // pending job.
+  std::function<void(SimTime)> start_job = [&, next_job,
+                                            done_jobs](SimTime now) {
+    if (*next_job >= jobs.size()) return;
+    const Job job = jobs[(*next_job)++];
+    const layout::Stripe& st = layout_.stripes()[job.stripe];
+
+    SimTime reads_done = now;
+    for (const layout::StripeUnit& u : st.units) {
+      if (u.disk == failed) continue;
+      reads_done = std::max(reads_done, ctx.disks[u.disk].submit(now));
+      ++result.rebuild_reads_per_disk[u.disk];
+    }
+    ctx.queue.schedule(reads_done, [&, done_jobs](SimTime t) {
+      const SimTime written = spare.submit(t);
+      ++(*done_jobs);
+      ++result.stripes_rebuilt;
+      result.rebuild_ms = std::max(result.rebuild_ms, written);
+      ctx.queue.schedule(written, start_job);
+    });
+  };
+
+  // Kick off the initial window of concurrent jobs at t = 0.
+  const std::size_t window =
+      std::min<std::size_t>(config_.rebuild_depth, jobs.size());
+  for (std::size_t i = 0; i < window; ++i) ctx.queue.schedule(0.0, start_job);
+
+  // User traffic runs degraded throughout.
+  for (const Request& req : requests) {
+    if (req.logical >= working_set())
+      throw std::invalid_argument("run_rebuild: request beyond working set");
+    ctx.queue.schedule(req.arrival_ms, [&ctx, &req, failed, this](SimTime) {
+      issue_request(ctx, mapper_, req, failed);
+    });
+  }
+
+  ctx.queue.run();
+  if (*done_jobs != jobs.size())
+    throw std::logic_error("run_rebuild: rebuild did not complete");
+  result.run.user = std::move(ctx.user);
+  ctx.finish(result.run);
+  return result;
+}
+
+RebuildResult ArraySimulator::run_rebuild_distributed(
+    std::span<const Request> requests, layout::DiskId failed,
+    std::span<const std::uint32_t> spare_pos) const {
+  if (failed >= layout_.num_disks())
+    throw std::invalid_argument("run_rebuild_distributed: bad disk");
+  if (spare_pos.size() != layout_.num_stripes())
+    throw std::invalid_argument(
+        "run_rebuild_distributed: spare_pos size mismatch");
+  RunContext ctx(layout_.num_disks(), config_);
+
+  // Jobs: stripes that lost a non-spare unit, per iteration.  The spare
+  // holds no data, so it is neither read nor lost.
+  struct Job {
+    std::uint32_t stripe;
+    std::uint32_t iteration;
+  };
+  std::vector<Job> jobs;
+  for (std::uint32_t si = 0; si < layout_.num_stripes(); ++si) {
+    const layout::Stripe& st = layout_.stripes()[si];
+    if (spare_pos[si] >= st.units.size() ||
+        spare_pos[si] == st.parity_pos)
+      throw std::invalid_argument(
+          "run_rebuild_distributed: invalid spare position");
+    bool lost_non_spare = false;
+    for (std::uint32_t p = 0; p < st.units.size(); ++p) {
+      if (st.units[p].disk == failed && p != spare_pos[si])
+        lost_non_spare = true;
+    }
+    if (!lost_non_spare) continue;
+    if (st.units[spare_pos[si]].disk == failed)
+      throw std::logic_error(
+          "run_rebuild_distributed: spare and lost unit on one disk");
+    for (std::uint32_t it = 0; it < config_.iterations; ++it)
+      jobs.push_back({si, it});
+  }
+
+  RebuildResult result;
+  result.rebuild_reads_per_disk.assign(layout_.num_disks(), 0);
+
+  auto next_job = std::make_shared<std::size_t>(0);
+  auto done_jobs = std::make_shared<std::size_t>(0);
+
+  std::function<void(SimTime)> start_job = [&, next_job,
+                                            done_jobs](SimTime now) {
+    if (*next_job >= jobs.size()) return;
+    const Job job = jobs[(*next_job)++];
+    const layout::Stripe& st = layout_.stripes()[job.stripe];
+    const std::uint32_t spare = spare_pos[job.stripe];
+
+    SimTime reads_done = now;
+    for (std::uint32_t p = 0; p < st.units.size(); ++p) {
+      const layout::StripeUnit& u = st.units[p];
+      if (u.disk == failed || p == spare) continue;
+      reads_done = std::max(reads_done, ctx.disks[u.disk].submit(now));
+      ++result.rebuild_reads_per_disk[u.disk];
+    }
+    const layout::DiskId spare_disk = st.units[spare].disk;
+    ctx.queue.schedule(reads_done, [&, spare_disk, done_jobs](SimTime t) {
+      const SimTime written = ctx.disks[spare_disk].submit(t);
+      ++(*done_jobs);
+      ++result.stripes_rebuilt;
+      result.rebuild_ms = std::max(result.rebuild_ms, written);
+      ctx.queue.schedule(written, start_job);
+    });
+  };
+
+  const std::size_t window =
+      std::min<std::size_t>(config_.rebuild_depth, jobs.size());
+  for (std::size_t i = 0; i < window; ++i) ctx.queue.schedule(0.0, start_job);
+
+  for (const Request& req : requests) {
+    if (req.logical >= working_set())
+      throw std::invalid_argument(
+          "run_rebuild_distributed: request beyond working set");
+    ctx.queue.schedule(req.arrival_ms, [&ctx, &req, failed, this](SimTime) {
+      issue_request(ctx, mapper_, req, failed);
+    });
+  }
+
+  ctx.queue.run();
+  if (*done_jobs != jobs.size())
+    throw std::logic_error("run_rebuild_distributed: rebuild incomplete");
+  result.run.user = std::move(ctx.user);
+  ctx.finish(result.run);
+  return result;
+}
+
+}  // namespace pdl::sim

@@ -1,0 +1,2 @@
+// Disk is header-only; this translation unit anchors the library target.
+#include "sim/disk.hpp"

@@ -1,0 +1,59 @@
+#pragma once
+// A simple magnetic-disk service model: each access pays a positioning time
+// (seek + rotational latency) plus a per-unit transfer time, and disks
+// serve one request at a time in FCFS order.  All paper claims under test
+// are ratios of unit counts, which any work-conserving model preserves; see
+// DESIGN.md (substitutions).
+
+#include <cstdint>
+
+#include "sim/event_queue.hpp"
+
+namespace pdl::sim {
+
+/// Disk timing parameters (defaults roughly match an early-90s 3.5" drive,
+/// the hardware context of the paper: ~10 ms positioning, ~2 ms to transfer
+/// one stripe unit).
+struct DiskParams {
+  double positioning_ms = 10.0;
+  double transfer_ms_per_unit = 2.0;
+
+  [[nodiscard]] double access_ms(std::uint32_t units) const noexcept {
+    return positioning_ms + transfer_ms_per_unit * units;
+  }
+};
+
+/// One disk: a FCFS queue in closed form.  submit() returns the completion
+/// time of an access issued at `now`; the disk is busy until then.
+class Disk {
+ public:
+  explicit Disk(DiskParams params) : params_(params) {}
+
+  /// Issues an access of `units` contiguous units at time `now` (must be
+  /// non-decreasing across calls, which event-ordered callers guarantee).
+  SimTime submit(SimTime now, std::uint32_t units = 1) {
+    const SimTime start = now > busy_until_ ? now : busy_until_;
+    const double service = params_.access_ms(units);
+    busy_until_ = start + service;
+    busy_ms_ += service;
+    ++accesses_;
+    units_transferred_ += units;
+    return busy_until_;
+  }
+
+  [[nodiscard]] SimTime busy_until() const noexcept { return busy_until_; }
+  [[nodiscard]] double busy_ms() const noexcept { return busy_ms_; }
+  [[nodiscard]] std::uint64_t accesses() const noexcept { return accesses_; }
+  [[nodiscard]] std::uint64_t units_transferred() const noexcept {
+    return units_transferred_;
+  }
+
+ private:
+  DiskParams params_;
+  SimTime busy_until_ = 0.0;
+  double busy_ms_ = 0.0;
+  std::uint64_t accesses_ = 0;
+  std::uint64_t units_transferred_ = 0;
+};
+
+}  // namespace pdl::sim

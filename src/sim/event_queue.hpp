@@ -1,0 +1,63 @@
+#pragma once
+// A minimal discrete-event engine.  Events fire in (time, insertion order);
+// callbacks may schedule further events.  This is the substrate for the
+// disk-array simulator that stands in for Holland & Gibson's simulator [6]
+// (see DESIGN.md, substitutions).
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+namespace pdl::sim {
+
+/// Simulated time in milliseconds.
+using SimTime = double;
+
+/// A time-ordered event queue with deterministic tie-breaking.
+class EventQueue {
+ public:
+  using Callback = std::function<void(SimTime)>;
+
+  /// Schedules a callback at an absolute time >= now().
+  void schedule(SimTime time, Callback callback) {
+    if (time < now_)
+      throw std::invalid_argument("EventQueue: scheduling into the past");
+    heap_.push(Event{time, next_seq_++, std::move(callback)});
+  }
+
+  /// Runs until no events remain (or max_events fire, as a runaway guard).
+  void run(std::uint64_t max_events = 500'000'000) {
+    std::uint64_t fired = 0;
+    while (!heap_.empty()) {
+      if (++fired > max_events)
+        throw std::runtime_error("EventQueue: event budget exhausted");
+      Event event = heap_.top();
+      heap_.pop();
+      now_ = event.time;
+      event.callback(now_);
+    }
+  }
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    Callback callback;
+
+    bool operator>(const Event& other) const noexcept {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+  std::uint64_t next_seq_ = 0;
+  SimTime now_ = 0.0;
+};
+
+}  // namespace pdl::sim

@@ -1,0 +1,50 @@
+#include "sim/reconstruction.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "layout/metrics.hpp"
+
+namespace pdl::sim {
+
+ReconstructionAnalysis analyze_reconstruction(const layout::Layout& layout,
+                                              layout::DiskId failed) {
+  const std::uint32_t v = layout.num_disks();
+  if (failed >= v)
+    throw std::invalid_argument("analyze_reconstruction: bad disk");
+
+  ReconstructionAnalysis analysis;
+  analysis.failed = failed;
+  analysis.units_per_disk = layout.units_per_disk();
+  analysis.units_to_read.assign(v, 0);
+
+  for (const layout::Stripe& st : layout.stripes()) {
+    const bool crosses = std::any_of(
+        st.units.begin(), st.units.end(),
+        [&](const layout::StripeUnit& u) { return u.disk == failed; });
+    if (!crosses) continue;
+    for (const layout::StripeUnit& u : st.units) {
+      if (u.disk != failed) ++analysis.units_to_read[u.disk];
+    }
+  }
+
+  analysis.min_units = std::numeric_limits<std::uint32_t>::max();
+  for (layout::DiskId d = 0; d < v; ++d) {
+    if (d == failed) continue;
+    analysis.min_units = std::min(analysis.min_units, analysis.units_to_read[d]);
+    analysis.max_units = std::max(analysis.max_units, analysis.units_to_read[d]);
+    analysis.total_units += analysis.units_to_read[d];
+  }
+  return analysis;
+}
+
+double worst_case_reconstruction_fraction(const layout::Layout& layout) {
+  double worst = 0.0;
+  for (layout::DiskId f = 0; f < layout.num_disks(); ++f) {
+    worst = std::max(worst, analyze_reconstruction(layout, f).max_fraction());
+  }
+  return worst;
+}
+
+}  // namespace pdl::sim

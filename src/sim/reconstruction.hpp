@@ -1,0 +1,50 @@
+#pragma once
+// Offline reconstruction-workload analysis: exact unit counts each
+// surviving disk must read to rebuild a failed disk, straight from the
+// layout structure (no simulation).  This is the quantity Condition 3
+// bounds, and the denominator of the paper's reconstruction-workload
+// fractions.
+
+#include <cstdint>
+#include <vector>
+
+#include "layout/layout.hpp"
+#include "sim/disk.hpp"
+
+namespace pdl::sim {
+
+/// Exact per-disk read load for rebuilding one failed disk.
+struct ReconstructionAnalysis {
+  layout::DiskId failed = 0;
+  std::uint32_t units_per_disk = 0;
+  /// units_to_read[d]: stripe units disk d contributes to the rebuild
+  /// (0 for the failed disk itself).
+  std::vector<std::uint32_t> units_to_read;
+  std::uint32_t min_units = 0;  ///< over surviving disks
+  std::uint32_t max_units = 0;
+  std::uint64_t total_units = 0;
+
+  /// Fraction of the busiest surviving disk that must be read.
+  [[nodiscard]] double max_fraction() const {
+    return static_cast<double>(max_units) / units_per_disk;
+  }
+  [[nodiscard]] double min_fraction() const {
+    return static_cast<double>(min_units) / units_per_disk;
+  }
+
+  /// Time to read the busiest disk's share back-to-back: a lower bound on
+  /// rebuild time when reads are the bottleneck and perfectly overlapped.
+  [[nodiscard]] double read_bound_ms(const DiskParams& disk) const {
+    return max_units * disk.access_ms(1);
+  }
+};
+
+/// Analyzes reconstruction of `failed` under the layout.
+[[nodiscard]] ReconstructionAnalysis analyze_reconstruction(
+    const layout::Layout& layout, layout::DiskId failed);
+
+/// max_fraction over all possible failed disks (the array's worst case).
+[[nodiscard]] double worst_case_reconstruction_fraction(
+    const layout::Layout& layout);
+
+}  // namespace pdl::sim

@@ -1,0 +1,29 @@
+#include "sim/workload.hpp"
+
+#include <stdexcept>
+
+namespace pdl::sim {
+
+std::vector<Request> generate_workload(const WorkloadConfig& config) {
+  if (config.working_set == 0)
+    throw std::invalid_argument("generate_workload: empty working set");
+  if (config.arrival_per_ms <= 0.0)
+    throw std::invalid_argument("generate_workload: arrival rate must be > 0");
+
+  std::mt19937_64 rng(config.seed);
+  std::exponential_distribution<double> interarrival(config.arrival_per_ms);
+  std::uniform_int_distribution<std::uint64_t> address(
+      0, config.working_set - 1);
+  std::bernoulli_distribution is_write(config.write_fraction);
+
+  std::vector<Request> requests;
+  double t = 0.0;
+  while (true) {
+    t += interarrival(rng);
+    if (t >= config.duration_ms) break;
+    requests.push_back({t, address(rng), is_write(rng)});
+  }
+  return requests;
+}
+
+}  // namespace pdl::sim

@@ -1,0 +1,33 @@
+#pragma once
+// Synthetic open-loop workloads: Poisson arrivals of single-unit reads and
+// writes over a uniformly random working set, the OLTP-style small-access
+// pattern Holland & Gibson evaluate declustering under.
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace pdl::sim {
+
+/// One user request.
+struct Request {
+  double arrival_ms = 0.0;
+  std::uint64_t logical = 0;  ///< logical data-unit address
+  bool is_write = false;
+};
+
+/// Workload parameters.
+struct WorkloadConfig {
+  double arrival_per_ms = 0.1;     ///< Poisson arrival rate (requests/ms)
+  double write_fraction = 0.5;     ///< fraction of requests that are writes
+  std::uint64_t working_set = 0;   ///< addresses drawn from [0, working_set)
+  double duration_ms = 10'000.0;   ///< generation horizon
+  std::uint64_t seed = 42;
+};
+
+/// Generates the full arrival sequence for a config (deterministic in the
+/// seed).
+[[nodiscard]] std::vector<Request> generate_workload(
+    const WorkloadConfig& config);
+
+}  // namespace pdl::sim

@@ -1,0 +1,187 @@
+#include "sim/array_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "layout/raid.hpp"
+#include "layout/ring_layout.hpp"
+#include "sim/reconstruction.hpp"
+
+namespace pdl::sim {
+namespace {
+
+const DiskParams kDisk{10.0, 2.0};  // 12 ms per single-unit access
+
+ArrayConfig config_with(std::uint32_t iterations = 1,
+                        std::uint32_t depth = 2) {
+  return ArrayConfig{kDisk, depth, iterations};
+}
+
+TEST(ArraySim, WorkingSetScalesWithIterations) {
+  const auto layout = layout::raid5_layout(4, 4);
+  const ArraySimulator sim1(layout, config_with(1));
+  const ArraySimulator sim3(layout, config_with(3));
+  EXPECT_EQ(sim1.working_set(), 12u);
+  EXPECT_EQ(sim3.working_set(), 36u);
+}
+
+TEST(ArraySim, IdleReadLatencyIsOneAccess) {
+  const auto layout = layout::raid5_layout(4, 4);
+  const ArraySimulator sim(layout, config_with());
+  const std::vector<Request> reqs = {{0.0, 0, false}};
+  auto result = sim.run_normal(reqs);
+  EXPECT_EQ(result.user.read_latency_ms.count(), 1u);
+  EXPECT_DOUBLE_EQ(result.user.read_latency_ms.mean(), 12.0);
+}
+
+TEST(ArraySim, IdleWriteLatencyIsTwoPhases) {
+  // Small write: parallel reads (12 ms), then parallel writes (12 ms).
+  const auto layout = layout::raid5_layout(4, 4);
+  const ArraySimulator sim(layout, config_with());
+  const std::vector<Request> reqs = {{0.0, 0, true}};
+  auto result = sim.run_normal(reqs);
+  EXPECT_EQ(result.user.write_latency_ms.count(), 1u);
+  EXPECT_DOUBLE_EQ(result.user.write_latency_ms.mean(), 24.0);
+}
+
+TEST(ArraySim, QueueingDelaysShowUp) {
+  // Two simultaneous reads of the same unit serialize on one disk.
+  const auto layout = layout::raid5_layout(4, 4);
+  const ArraySimulator sim(layout, config_with());
+  const std::vector<Request> reqs = {{0.0, 0, false}, {0.0, 0, false}};
+  auto result = sim.run_normal(reqs);
+  EXPECT_DOUBLE_EQ(result.user.read_latency_ms.max(), 24.0);
+  EXPECT_DOUBLE_EQ(result.user.read_latency_ms.min(), 12.0);
+}
+
+TEST(ArraySim, DegradedReadFansOutToSurvivors) {
+  const auto layout = layout::ring_based_layout(5, 3);
+  const ArraySimulator sim(layout, config_with());
+  const layout::AddressMapper& mapper = sim.mapper();
+  // Find a logical unit living on disk 0.
+  std::uint64_t on_disk0 = 0;
+  for (std::uint64_t l = 0; l < sim.working_set(); ++l) {
+    if (mapper.map(l).disk == 0) {
+      on_disk0 = l;
+      break;
+    }
+  }
+  const std::vector<Request> reqs = {{0.0, on_disk0, false}};
+  auto degraded = sim.run_degraded(reqs, 0);
+  // k-1 = 2 parallel reads on two different disks: latency = 12 ms, and
+  // two disks were touched.
+  EXPECT_DOUBLE_EQ(degraded.user.read_latency_ms.mean(), 12.0);
+  std::uint64_t touched = 0;
+  for (const auto a : degraded.disk_accesses) touched += a;
+  EXPECT_EQ(touched, 2u);
+  // The failed disk itself was never accessed.
+  EXPECT_EQ(degraded.disk_accesses[0], 0u);
+}
+
+TEST(ArraySim, DegradedModeNeverTouchesFailedDisk) {
+  const auto layout = layout::ring_based_layout(7, 3);
+  const ArraySimulator sim(layout, config_with(2));
+  const WorkloadConfig wconfig{.arrival_per_ms = 0.05,
+                               .write_fraction = 0.5,
+                               .working_set = sim.working_set(),
+                               .duration_ms = 2000.0,
+                               .seed = 11};
+  const auto reqs = generate_workload(wconfig);
+  const auto result = sim.run_degraded(reqs, 3);
+  EXPECT_EQ(result.disk_accesses[3], 0u);
+}
+
+TEST(ArraySim, RebuildCompletesAndCountsMatchAnalysis) {
+  const auto layout = layout::ring_based_layout(5, 3);
+  const ArraySimulator sim(layout, config_with(2, 4));
+  const auto result = sim.run_rebuild({}, /*failed=*/1);
+
+  const auto analysis = analyze_reconstruction(layout, 1);
+  // Jobs: stripes crossing disk 1, times 2 iterations.
+  const std::uint64_t expected_stripes =
+      static_cast<std::uint64_t>(analysis.total_units) /
+      2 *  // each stripe contributes k-1 = 2 survivor units
+      2;   // iterations
+  EXPECT_EQ(result.stripes_rebuilt, expected_stripes);
+  EXPECT_GT(result.rebuild_ms, 0.0);
+  // Per-disk rebuild reads = analysis counts x iterations.
+  for (layout::DiskId d = 0; d < 5; ++d) {
+    EXPECT_EQ(result.rebuild_reads_per_disk[d],
+              2ull * analysis.units_to_read[d])
+        << "disk " << d;
+  }
+}
+
+TEST(ArraySim, RebuildDepthSpeedsUpRebuild) {
+  const auto layout = layout::ring_based_layout(9, 4);
+  const ArraySimulator sim_slow(layout, config_with(1, 1));
+  const ArraySimulator sim_fast(layout, config_with(1, 8));
+  const auto slow = sim_slow.run_rebuild({}, 0);
+  const auto fast = sim_fast.run_rebuild({}, 0);
+  EXPECT_LT(fast.rebuild_ms, slow.rebuild_ms);
+}
+
+TEST(ArraySim, DeclusteringReducesRebuildTime) {
+  // RAID5 (k = v) vs declustered (k = 3) on 9 disks with the same size:
+  // the declustered rebuild reads (k-1)/(v-1) of each survivor.
+  const auto declustered = layout::ring_based_layout(9, 3);  // size 24
+  const auto raid5 = layout::raid5_layout(9, 24);
+  const ArraySimulator sim_d(declustered, config_with(1, 4));
+  const ArraySimulator sim_r(raid5, config_with(1, 4));
+  const auto d = sim_d.run_rebuild({}, 0);
+  const auto r = sim_r.run_rebuild({}, 0);
+  EXPECT_LT(d.rebuild_ms, r.rebuild_ms)
+      << "declustered rebuild must beat RAID5";
+}
+
+TEST(ArraySim, UserLatencyDuringRebuildDegradesLessWhenDeclustered) {
+  const auto declustered = layout::ring_based_layout(9, 3);
+  const auto raid5 = layout::raid5_layout(9, 24);
+  const WorkloadConfig wconfig{.arrival_per_ms = 0.02,
+                               .write_fraction = 0.3,
+                               .working_set = 9 * 24 * 2 / 3,  // lower bound
+                               .duration_ms = 3000.0,
+                               .seed = 21};
+  // Use each sim's own working set.
+  const ArraySimulator sim_d(declustered, config_with(1, 2));
+  const ArraySimulator sim_r(raid5, config_with(1, 2));
+  auto wd = wconfig;
+  wd.working_set = sim_d.working_set();
+  auto wr = wconfig;
+  wr.working_set = sim_r.working_set();
+  const auto d = sim_d.run_rebuild(generate_workload(wd), 0);
+  const auto r = sim_r.run_rebuild(generate_workload(wr), 0);
+  EXPECT_LT(d.run.user.read_latency_ms.mean(),
+            r.run.user.read_latency_ms.mean());
+}
+
+TEST(ArraySim, RejectsInvalidArguments) {
+  const auto layout = layout::raid5_layout(4, 4);
+  EXPECT_THROW(ArraySimulator(layout, ArrayConfig{kDisk, 0, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(ArraySimulator(layout, ArrayConfig{kDisk, 1, 0}),
+               std::invalid_argument);
+  const ArraySimulator sim(layout, config_with());
+  const std::vector<Request> beyond = {{0.0, sim.working_set(), false}};
+  EXPECT_THROW(sim.run_normal(beyond), std::invalid_argument);
+  EXPECT_THROW(sim.run_degraded({}, 9), std::invalid_argument);
+  EXPECT_THROW(sim.run_rebuild({}, 9), std::invalid_argument);
+}
+
+TEST(ArraySim, ParityFailedWriteIsSingleAccess) {
+  const auto layout = layout::raid5_layout(4, 4);
+  const ArraySimulator sim(layout, config_with());
+  const layout::AddressMapper& mapper = sim.mapper();
+  // Find a logical whose parity is on disk 2 but data is elsewhere.
+  for (std::uint64_t l = 0; l < sim.working_set(); ++l) {
+    if (mapper.parity_of(l).disk == 2 && mapper.map(l).disk != 2) {
+      const std::vector<Request> reqs = {{0.0, l, true}};
+      const auto result = sim.run_degraded(reqs, 2);
+      EXPECT_DOUBLE_EQ(result.user.write_latency_ms.mean(), 12.0);
+      return;
+    }
+  }
+  FAIL() << "no suitable logical unit found";
+}
+
+}  // namespace
+}  // namespace pdl::sim

@@ -1,0 +1,157 @@
+#include "design/bibd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace pdl::design {
+namespace {
+
+// The Fano plane: the unique (7, 3, 1) design.
+BlockDesign fano_plane() {
+  BlockDesign d;
+  d.v = 7;
+  d.k = 3;
+  d.blocks = {{0, 1, 2}, {0, 3, 4}, {0, 5, 6}, {1, 3, 5},
+              {1, 4, 6}, {2, 3, 6}, {2, 4, 5}};
+  return d;
+}
+
+TEST(Bibd, VerifiesFanoPlane) {
+  const auto check = verify_bibd(fano_plane());
+  ASSERT_TRUE(check.ok) << (check.errors.empty() ? "" : check.errors[0]);
+  EXPECT_EQ(check.params.v, 7u);
+  EXPECT_EQ(check.params.k, 3u);
+  EXPECT_EQ(check.params.b, 7u);
+  EXPECT_EQ(check.params.r, 3u);
+  EXPECT_EQ(check.params.lambda, 1u);
+}
+
+TEST(Bibd, DesignParamsFormula) {
+  const auto params = design_params(fano_plane());
+  EXPECT_EQ(params.b, 7u);
+  EXPECT_EQ(params.r, 3u);
+  EXPECT_EQ(params.lambda, 1u);
+  EXPECT_EQ(params.to_string(), "BIBD(v=7, k=3, b=7, r=3, lambda=1)");
+}
+
+TEST(Bibd, RejectsWrongBlockSize) {
+  auto d = fano_plane();
+  d.blocks[2] = {0, 5};
+  const auto check = verify_bibd(d);
+  EXPECT_FALSE(check.ok);
+  EXPECT_FALSE(check.errors.empty());
+}
+
+TEST(Bibd, RejectsElementOutOfRange) {
+  auto d = fano_plane();
+  d.blocks[0] = {0, 1, 7};
+  EXPECT_FALSE(verify_bibd(d).ok);
+}
+
+TEST(Bibd, RejectsRepeatedElementInBlock) {
+  auto d = fano_plane();
+  d.blocks[0] = {0, 1, 1};
+  EXPECT_FALSE(verify_bibd(d).ok);
+}
+
+TEST(Bibd, RejectsUnbalancedReplication) {
+  auto d = fano_plane();
+  d.blocks.pop_back();
+  EXPECT_FALSE(verify_bibd(d).ok);
+}
+
+TEST(Bibd, RejectsUnbalancedPairs) {
+  auto d = fano_plane();
+  d.blocks[6] = d.blocks[0];
+  EXPECT_FALSE(verify_bibd(d).ok);
+}
+
+TEST(Bibd, RejectsEmptyOrDegenerate) {
+  BlockDesign d;
+  d.v = 5;
+  d.k = 3;
+  EXPECT_FALSE(verify_bibd(d).ok);  // no blocks
+  d.k = 1;
+  d.blocks = {{0}};
+  EXPECT_FALSE(verify_bibd(d).ok);  // k < 2
+  d.v = 1;
+  EXPECT_FALSE(verify_bibd(d).ok);
+}
+
+TEST(Bibd, AcceptsUnsortedBlocks) {
+  auto d = fano_plane();
+  for (auto& block : d.blocks) std::reverse(block.begin(), block.end());
+  EXPECT_TRUE(verify_bibd(d).ok);
+}
+
+TEST(Bibd, BlockMultiplicities) {
+  auto d = fano_plane();
+  d.blocks.push_back({2, 1, 0});  // duplicate of block 0, different order
+  const auto counts = block_multiplicities(d);
+  std::uint64_t total = 0;
+  bool found_double = false;
+  for (const auto& [block, count] : counts) {
+    total += count;
+    if (block == std::vector<algebra::Elem>{0, 1, 2}) {
+      EXPECT_EQ(count, 2u);
+      found_double = true;
+    }
+  }
+  EXPECT_TRUE(found_double);
+  EXPECT_EQ(total, d.blocks.size());
+}
+
+TEST(Bibd, ReduceRedundancyRemovesUniformDuplication) {
+  auto d = fano_plane();
+  BlockDesign tripled;
+  tripled.v = d.v;
+  tripled.k = d.k;
+  for (int copy = 0; copy < 3; ++copy) {
+    for (const auto& block : d.blocks) tripled.blocks.push_back(block);
+  }
+  const auto result = reduce_redundancy(tripled);
+  EXPECT_EQ(result.factor, 3u);
+  EXPECT_EQ(result.design.b(), 7u);
+  EXPECT_TRUE(verify_bibd(result.design).ok);
+}
+
+TEST(Bibd, ReduceRedundancyOnIrreducibleDesignIsIdentityUpToOrder) {
+  const auto result = reduce_redundancy(fano_plane());
+  EXPECT_EQ(result.factor, 1u);
+  EXPECT_EQ(result.design.b(), 7u);
+}
+
+TEST(Bibd, ReduceByFactorValidatesDivisibility) {
+  auto d = fano_plane();
+  BlockDesign doubled;
+  doubled.v = d.v;
+  doubled.k = d.k;
+  for (int copy = 0; copy < 2; ++copy) {
+    for (const auto& block : d.blocks) doubled.blocks.push_back(block);
+  }
+  EXPECT_EQ(reduce_by_factor(doubled, 2).b(), 7u);
+  EXPECT_EQ(reduce_by_factor(doubled, 1).b(), 14u);
+  EXPECT_THROW(reduce_by_factor(doubled, 4), std::invalid_argument);
+  EXPECT_THROW(reduce_by_factor(doubled, 0), std::invalid_argument);
+}
+
+TEST(Bibd, ReductionPreservesBibdParameters) {
+  auto d = fano_plane();
+  BlockDesign doubled;
+  doubled.v = d.v;
+  doubled.k = d.k;
+  for (int copy = 0; copy < 2; ++copy) {
+    for (const auto& block : d.blocks) doubled.blocks.push_back(block);
+  }
+  const auto before = verify_bibd(doubled);
+  ASSERT_TRUE(before.ok);
+  EXPECT_EQ(before.params.lambda, 2u);
+  const auto after = verify_bibd(reduce_by_factor(doubled, 2));
+  ASSERT_TRUE(after.ok);
+  EXPECT_EQ(after.params.lambda, 1u);
+  EXPECT_EQ(after.params.r, before.params.r / 2);
+}
+
+}  // namespace
+}  // namespace pdl::design

@@ -1,0 +1,117 @@
+#include "flow/bounded_flow.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pdl::flow {
+namespace {
+
+TEST(BoundedFlow, NoLowerBoundsReducesToMaxFlow) {
+  BoundedFlowProblem p(4);
+  p.add_edge(0, 1, 0, 4);
+  p.add_edge(1, 3, 0, 4);
+  p.add_edge(0, 2, 0, 6);
+  p.add_edge(2, 3, 0, 5);
+  const auto value = p.solve_max_flow(0, 3);
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(*value, 9);
+}
+
+TEST(BoundedFlow, RespectsLowerBounds) {
+  // Two parallel s->t paths; the lower path is forced to carry >= 2.
+  BoundedFlowProblem p(4);
+  const auto top = p.add_edge(0, 1, 0, 10);
+  const auto top2 = p.add_edge(1, 3, 0, 10);
+  const auto bottom = p.add_edge(0, 2, 2, 3);
+  const auto bottom2 = p.add_edge(2, 3, 2, 3);
+  const auto value = p.solve_max_flow(0, 3);
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(*value, 13);
+  EXPECT_GE(p.flow_on(bottom), 2);
+  EXPECT_LE(p.flow_on(bottom), 3);
+  EXPECT_EQ(p.flow_on(bottom), p.flow_on(bottom2));
+  EXPECT_EQ(p.flow_on(top), p.flow_on(top2));
+}
+
+TEST(BoundedFlow, DetectsInfeasibility) {
+  // Edge requires >= 5 but downstream capacity is 2.
+  BoundedFlowProblem p(3);
+  p.add_edge(0, 1, 5, 10);
+  p.add_edge(1, 2, 0, 2);
+  EXPECT_FALSE(p.solve_max_flow(0, 2).has_value());
+}
+
+TEST(BoundedFlow, InfeasibleWhenInternalNodeCannotAbsorbLowerBound) {
+  BoundedFlowProblem p(4);
+  p.add_edge(0, 1, 3, 3);
+  p.add_edge(1, 3, 0, 2);  // node 1 cannot forward 3
+  p.add_edge(0, 2, 0, 5);
+  p.add_edge(2, 3, 0, 5);
+  EXPECT_FALSE(p.solve_max_flow(0, 3).has_value());
+}
+
+TEST(BoundedFlow, ExactLowerEqualsUpperPinsFlow) {
+  BoundedFlowProblem p(3);
+  const auto e1 = p.add_edge(0, 1, 4, 4);
+  const auto e2 = p.add_edge(1, 2, 0, 10);
+  const auto value = p.solve_max_flow(0, 2);
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(*value, 4);
+  EXPECT_EQ(p.flow_on(e1), 4);
+  EXPECT_EQ(p.flow_on(e2), 4);
+}
+
+TEST(BoundedFlow, MaximizesBeyondFeasibility) {
+  // A feasible flow exists with value 1, but the maximum is 7.
+  BoundedFlowProblem p(2);
+  p.add_edge(0, 1, 1, 7);
+  const auto value = p.solve_max_flow(0, 1);
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(*value, 7) << "solver must maximize, not just find feasible";
+}
+
+TEST(BoundedFlow, DiamondWithMixedBounds) {
+  BoundedFlowProblem p(4);
+  const auto a = p.add_edge(0, 1, 1, 2);
+  const auto b = p.add_edge(0, 2, 0, 5);
+  const auto c = p.add_edge(1, 3, 1, 2);
+  const auto d = p.add_edge(2, 3, 2, 4);
+  const auto value = p.solve_max_flow(0, 3);
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(*value, 6);
+  EXPECT_GE(p.flow_on(a), 1);
+  EXPECT_LE(p.flow_on(a), 2);
+  EXPECT_GE(p.flow_on(c), 1);
+  EXPECT_LE(p.flow_on(c), 2);
+  EXPECT_GE(p.flow_on(d), 2);
+  EXPECT_LE(p.flow_on(d), 4);
+  EXPECT_LE(p.flow_on(b), 5);
+}
+
+TEST(BoundedFlow, FlowOnBeforeSolveThrows) {
+  BoundedFlowProblem p(2);
+  p.add_edge(0, 1, 0, 1);
+  EXPECT_THROW(p.flow_on(0), std::logic_error);
+}
+
+TEST(BoundedFlow, InvalidArguments) {
+  BoundedFlowProblem p(2);
+  EXPECT_THROW(p.add_edge(0, 5, 0, 1), std::invalid_argument);
+  EXPECT_THROW(p.add_edge(0, 1, 3, 2), std::invalid_argument);
+  EXPECT_THROW(p.add_edge(0, 1, -1, 2), std::invalid_argument);
+  EXPECT_THROW(p.solve_max_flow(0, 0), std::invalid_argument);
+}
+
+TEST(BoundedFlow, ConservationAtJunction) {
+  BoundedFlowProblem p(5);
+  const auto in1 = p.add_edge(0, 2, 1, 3);
+  const auto in2 = p.add_edge(1, 2, 0, 3);
+  const auto out = p.add_edge(2, 3, 2, 5);
+  p.add_edge(0, 1, 0, 3);
+  p.add_edge(3, 4, 0, 10);
+  const auto value = p.solve_max_flow(0, 4);
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(p.flow_on(in1) + p.flow_on(in2), p.flow_on(out));
+}
+
+}  // namespace
+}  // namespace pdl::flow

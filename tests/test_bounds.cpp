@@ -1,0 +1,79 @@
+#include "design/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include "design/catalog.hpp"
+#include "design/subfield_design.hpp"
+
+namespace pdl::design {
+namespace {
+
+TEST(Bounds, Theorem7KnownValues) {
+  // Fano plane: v=7, k=3: 42/gcd(42,6) = 7.
+  EXPECT_EQ(theorem7_lower_bound(7, 3), 7u);
+  // v=16, k=4: 240/gcd(240,12) = 20.
+  EXPECT_EQ(theorem7_lower_bound(16, 4), 20u);
+  // v=64, k=8: 4032/gcd(4032,56) = 72.
+  EXPECT_EQ(theorem7_lower_bound(64, 8), 72u);
+  EXPECT_THROW(theorem7_lower_bound(3, 4), std::invalid_argument);
+}
+
+TEST(Bounds, Theorem7HoldsForEveryConstruction) {
+  // Every design the library can build must respect the bound.
+  for (std::uint32_t v : {7u, 9u, 13u, 16u, 25u, 27u}) {
+    for (std::uint32_t k = 2; k <= 6 && k < v; ++k) {
+      for (const Method m : applicable_methods(v, k)) {
+        const auto params = predicted_params(m, v, k);
+        ASSERT_TRUE(params.has_value());
+        EXPECT_GE(params->b, theorem7_lower_bound(v, k))
+            << method_name(m) << " at v=" << v << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(Bounds, SubfieldDesignsAreOptimal) {
+  for (const auto& [v, k] :
+       std::vector<std::pair<std::uint32_t, std::uint32_t>>{
+           {4, 2}, {9, 3}, {16, 4}, {25, 5}, {27, 3}, {64, 8}, {81, 9}}) {
+    EXPECT_EQ(subfield_design_params(v, k).b, theorem7_lower_bound(v, k));
+  }
+}
+
+TEST(Bounds, Admissibility) {
+  // Fano parameters are admissible with lambda = 1.
+  EXPECT_TRUE(is_admissible(7, 3, 1));
+  // (v=8, k=3): r = 7*lambda/2 requires lambda even.
+  EXPECT_FALSE(is_admissible(8, 3, 1));
+  // lambda = 6 gives r = 21, b = 8*21/3 = 56: both integral.
+  EXPECT_TRUE(is_admissible(8, 3, 6));
+  EXPECT_FALSE(is_admissible(5, 3, 0));
+}
+
+TEST(Bounds, MinAdmissibleLambda) {
+  EXPECT_EQ(min_admissible_lambda(7, 3), 1u);
+  // v=4, k=3: lambda*3 % 2 == 0 forces lambda even; lambda=2 gives r=3,
+  // b=4 -- admissible.
+  EXPECT_EQ(min_admissible_lambda(4, 3), 2u);
+  // Cross-check against the definition.
+  for (std::uint32_t v : {4u, 5u, 6u, 7u, 8u, 9u, 10u, 11u, 12u}) {
+    for (std::uint32_t k = 2; k < v; ++k) {
+      const auto lambda = min_admissible_lambda(v, k);
+      EXPECT_TRUE(is_admissible(v, k, lambda));
+      for (std::uint64_t smaller = 1; smaller < lambda; ++smaller) {
+        EXPECT_FALSE(is_admissible(v, k, smaller));
+      }
+    }
+  }
+}
+
+TEST(Bounds, BlocksForLambda) {
+  EXPECT_EQ(blocks_for_lambda(7, 3, 1), 7u);
+  EXPECT_EQ(blocks_for_lambda(16, 4, 1), 20u);
+  EXPECT_EQ(blocks_for_lambda(16, 4, 3), 60u);
+}
+
+TEST(Bounds, FisherBound) { EXPECT_EQ(fisher_lower_bound(42), 42u); }
+
+}  // namespace
+}  // namespace pdl::design

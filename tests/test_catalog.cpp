@@ -1,0 +1,97 @@
+#include "design/catalog.hpp"
+
+#include <gtest/gtest.h>
+
+#include "design/bounds.hpp"
+
+namespace pdl::design {
+namespace {
+
+TEST(Catalog, MethodNames) {
+  EXPECT_EQ(method_name(Method::kComplete), "complete");
+  EXPECT_EQ(method_name(Method::kSubfield), "subfield (Thm 6)");
+}
+
+TEST(Catalog, ApplicabilityRules) {
+  // v = 12 (composite, M = 3): ring applies for k <= 3, Thm 4/5 never.
+  auto methods = applicable_methods(12, 3);
+  EXPECT_NE(std::find(methods.begin(), methods.end(), Method::kRing),
+            methods.end());
+  EXPECT_EQ(std::find(methods.begin(), methods.end(), Method::kTheorem4),
+            methods.end());
+  methods = applicable_methods(12, 4);
+  EXPECT_EQ(std::find(methods.begin(), methods.end(), Method::kRing),
+            methods.end());
+  // Complete always applies.
+  EXPECT_NE(std::find(methods.begin(), methods.end(), Method::kComplete),
+            methods.end());
+  // v = 16, k = 4: everything applies.
+  methods = applicable_methods(16, 4);
+  EXPECT_EQ(methods.size(), 5u);
+}
+
+TEST(Catalog, PredictedParamsMatchBuiltDesigns) {
+  for (const auto& [v, k] :
+       std::vector<std::pair<std::uint32_t, std::uint32_t>>{
+           {7, 3}, {9, 3}, {13, 4}, {16, 4}, {12, 3}, {8, 4}}) {
+    for (const Method m : applicable_methods(v, k)) {
+      const auto predicted = predicted_params(m, v, k);
+      ASSERT_TRUE(predicted.has_value());
+      const BlockDesign built = build_design(m, v, k);
+      const auto check = verify_bibd(built);
+      ASSERT_TRUE(check.ok) << method_name(m) << " v=" << v << " k=" << k;
+      EXPECT_EQ(check.params, *predicted)
+          << method_name(m) << " v=" << v << " k=" << k;
+    }
+  }
+}
+
+TEST(Catalog, BestMethodMinimizesB) {
+  // v=16, k=4: subfield (b=20) beats Thm4 (gcd(15,3)=3 -> b=80), Thm5
+  // (gcd(15,4)=1 -> b=240), ring (240), complete (1820).
+  const auto best = best_method(16, 4);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->method, Method::kSubfield);
+  EXPECT_EQ(best->params.b, 20u);
+
+  // v=13, k=5: Thm4 (gcd(12,4)=4 -> b=39) is best.
+  const auto best2 = best_method(13, 5);
+  ASSERT_TRUE(best2.has_value());
+  EXPECT_EQ(best2->method, Method::kTheorem4);
+  EXPECT_EQ(best2->params.b, 39u);
+}
+
+TEST(Catalog, BestIsNeverWorseThanAnyApplicableMethod) {
+  for (std::uint32_t v : {5u, 8u, 9u, 12u, 13u, 16u, 25u, 20u}) {
+    for (std::uint32_t k = 2; k <= v && k <= 8; ++k) {
+      const auto best = best_method(v, k);
+      ASSERT_TRUE(best.has_value()) << "complete always applies";
+      for (const Method m : applicable_methods(v, k)) {
+        EXPECT_LE(best->params.b, predicted_params(m, v, k)->b);
+      }
+      EXPECT_GE(best->params.b, theorem7_lower_bound(v, k));
+    }
+  }
+}
+
+TEST(Catalog, BuildBestProducesVerifiedBibd) {
+  const BlockDesign d = build_best_design(16, 4);
+  const auto check = verify_bibd(d);
+  ASSERT_TRUE(check.ok);
+  EXPECT_EQ(check.params.b, 20u);
+}
+
+TEST(Catalog, BuildRejectsInapplicable) {
+  EXPECT_THROW(build_design(Method::kSubfield, 12, 3), std::invalid_argument);
+  EXPECT_THROW(build_design(Method::kRing, 12, 5), std::invalid_argument);
+  EXPECT_THROW(build_best_design(3, 7), std::invalid_argument);
+}
+
+TEST(Catalog, DegenerateInputs) {
+  EXPECT_FALSE(best_method(1, 1).has_value());
+  EXPECT_FALSE(predicted_params(Method::kRing, 5, 1).has_value());
+  EXPECT_FALSE(predicted_params(Method::kRing, 5, 6).has_value());
+}
+
+}  // namespace
+}  // namespace pdl::design

@@ -1,0 +1,67 @@
+#include "design/complete_design.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pdl::design {
+namespace {
+
+TEST(Binomial, KnownValues) {
+  EXPECT_EQ(binomial(5, 2), 10u);
+  EXPECT_EQ(binomial(10, 0), 1u);
+  EXPECT_EQ(binomial(10, 10), 1u);
+  EXPECT_EQ(binomial(10, 11), 0u);
+  EXPECT_EQ(binomial(52, 5), 2'598'960u);
+  EXPECT_EQ(binomial(0, 0), 1u);
+}
+
+TEST(Binomial, PascalIdentity) {
+  for (std::uint64_t n = 1; n <= 30; ++n) {
+    for (std::uint64_t r = 1; r <= n; ++r) {
+      EXPECT_EQ(binomial(n, r), binomial(n - 1, r - 1) + binomial(n - 1, r));
+    }
+  }
+}
+
+TEST(Binomial, SaturatesInsteadOfOverflowing) {
+  EXPECT_EQ(binomial(200, 100), std::numeric_limits<std::uint64_t>::max());
+}
+
+class CompleteDesignSweep
+    : public ::testing::TestWithParam<std::pair<std::uint32_t, std::uint32_t>> {
+};
+
+TEST_P(CompleteDesignSweep, IsABibdWithBinomialParameters) {
+  const auto [v, k] = GetParam();
+  const BlockDesign design = make_complete_design(v, k);
+  const auto check = verify_bibd(design);
+  ASSERT_TRUE(check.ok);
+  EXPECT_EQ(check.params, complete_design_params(v, k));
+  EXPECT_EQ(check.params.b, binomial(v, k));
+  EXPECT_EQ(check.params.r, binomial(v - 1, k - 1));
+  EXPECT_EQ(check.params.lambda, binomial(v - 2, k - 2));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, CompleteDesignSweep,
+    ::testing::Values(std::pair{4u, 2u}, std::pair{4u, 3u}, std::pair{5u, 3u},
+                      std::pair{6u, 3u}, std::pair{7u, 4u}, std::pair{8u, 2u},
+                      std::pair{9u, 5u}, std::pair{10u, 3u},
+                      std::pair{12u, 4u}, std::pair{6u, 6u}));
+
+TEST(CompleteDesign, BlocksAreLexicographicAndDistinct) {
+  const BlockDesign design = make_complete_design(6, 3);
+  ASSERT_EQ(design.b(), 20u);
+  for (std::size_t i = 1; i < design.blocks.size(); ++i) {
+    EXPECT_LT(design.blocks[i - 1], design.blocks[i]);
+  }
+}
+
+TEST(CompleteDesign, GuardsAgainstExplosion) {
+  EXPECT_THROW(make_complete_design(64, 32), std::invalid_argument);
+  EXPECT_THROW(make_complete_design(64, 32, 1000), std::invalid_argument);
+  EXPECT_THROW(make_complete_design(5, 1), std::invalid_argument);
+  EXPECT_THROW(make_complete_design(5, 6), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pdl::design

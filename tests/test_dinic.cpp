@@ -1,0 +1,149 @@
+#include "flow/dinic.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pdl::flow {
+namespace {
+
+TEST(Dinic, SingleEdge) {
+  FlowNetwork net(2);
+  const auto e = net.add_edge(0, 1, 5);
+  EXPECT_EQ(net.max_flow(0, 1), 5);
+  EXPECT_EQ(net.flow_on(e), 5);
+  EXPECT_EQ(net.capacity_of(e), 5);
+}
+
+TEST(Dinic, SeriesBottleneck) {
+  FlowNetwork net(3);
+  net.add_edge(0, 1, 10);
+  net.add_edge(1, 2, 3);
+  EXPECT_EQ(net.max_flow(0, 2), 3);
+}
+
+TEST(Dinic, ParallelPaths) {
+  FlowNetwork net(4);
+  net.add_edge(0, 1, 4);
+  net.add_edge(1, 3, 4);
+  net.add_edge(0, 2, 6);
+  net.add_edge(2, 3, 5);
+  EXPECT_EQ(net.max_flow(0, 3), 9);
+}
+
+TEST(Dinic, ClassicCLRSNetwork) {
+  // The standard textbook example with max flow 23.
+  FlowNetwork net(6);
+  net.add_edge(0, 1, 16);
+  net.add_edge(0, 2, 13);
+  net.add_edge(1, 2, 10);
+  net.add_edge(2, 1, 4);
+  net.add_edge(1, 3, 12);
+  net.add_edge(3, 2, 9);
+  net.add_edge(2, 4, 14);
+  net.add_edge(4, 3, 7);
+  net.add_edge(3, 5, 20);
+  net.add_edge(4, 5, 4);
+  EXPECT_EQ(net.max_flow(0, 5), 23);
+}
+
+TEST(Dinic, RequiresAugmentingThroughReverseEdges) {
+  // The classic "cross" network where a greedy path must be undone.
+  FlowNetwork net(4);
+  net.add_edge(0, 1, 1);
+  net.add_edge(0, 2, 1);
+  net.add_edge(1, 2, 1);
+  net.add_edge(1, 3, 1);
+  net.add_edge(2, 3, 1);
+  EXPECT_EQ(net.max_flow(0, 3), 2);
+}
+
+TEST(Dinic, DisconnectedSinkGivesZero) {
+  FlowNetwork net(4);
+  net.add_edge(0, 1, 7);
+  EXPECT_EQ(net.max_flow(0, 3), 0);
+}
+
+TEST(Dinic, FlowConservationHolds) {
+  FlowNetwork net(6);
+  std::vector<std::size_t> edges;
+  struct E { std::size_t from, to; };
+  const std::vector<E> topo = {{0, 1}, {0, 2}, {1, 3}, {2, 3},
+                               {1, 4}, {2, 4}, {3, 5}, {4, 5}};
+  for (const auto& [from, to] : topo) edges.push_back(net.add_edge(from, to, 3));
+  const FlowValue total = net.max_flow(0, 5);
+  EXPECT_EQ(total, 6);
+  // Conservation at internal nodes.
+  for (std::size_t node = 1; node <= 4; ++node) {
+    FlowValue in = 0, out = 0;
+    for (std::size_t i = 0; i < topo.size(); ++i) {
+      if (topo[i].to == node) in += net.flow_on(edges[i]);
+      if (topo[i].from == node) out += net.flow_on(edges[i]);
+    }
+    EXPECT_EQ(in, out) << "node " << node;
+  }
+}
+
+TEST(Dinic, UnitCapacityBipartiteMatchingShape) {
+  // 3x3 bipartite graph, perfect matching exists.
+  FlowNetwork net(8);  // 0 = s, 1..3 = left, 4..6 = right, 7 = t
+  for (std::size_t l = 1; l <= 3; ++l) net.add_edge(0, l, 1);
+  for (std::size_t r = 4; r <= 6; ++r) net.add_edge(r, 7, 1);
+  net.add_edge(1, 4, 1);
+  net.add_edge(1, 5, 1);
+  net.add_edge(2, 4, 1);
+  net.add_edge(3, 6, 1);
+  EXPECT_EQ(net.max_flow(0, 7), 3);
+}
+
+TEST(Dinic, AddNodeGrowsNetwork) {
+  FlowNetwork net;
+  const auto a = net.add_node();
+  const auto b = net.add_node();
+  EXPECT_EQ(net.num_nodes(), 2u);
+  net.add_edge(a, b, 2);
+  EXPECT_EQ(net.max_flow(a, b), 2);
+}
+
+TEST(Dinic, InvalidArguments) {
+  FlowNetwork net(3);
+  EXPECT_THROW(net.add_edge(0, 5, 1), std::invalid_argument);
+  EXPECT_THROW(net.add_edge(0, 1, -2), std::invalid_argument);
+  EXPECT_THROW(net.max_flow(0, 0), std::invalid_argument);
+  EXPECT_THROW(net.max_flow(0, 9), std::invalid_argument);
+}
+
+TEST(Dinic, FreezeEdgePreventsFurtherUseInBothDirections) {
+  FlowNetwork net(2);
+  const auto e1 = net.add_edge(0, 1, 5);
+  EXPECT_EQ(net.max_flow(0, 1), 5);
+  net.freeze_edge(e1);
+  EXPECT_EQ(net.flow_on(e1), 5) << "frozen flow still reported";
+  // A second parallel edge: new max-flow runs cannot reroute through e1.
+  net.add_edge(0, 1, 2);
+  EXPECT_EQ(net.max_flow(0, 1), 2);
+  EXPECT_EQ(net.flow_on(e1), 5);
+}
+
+TEST(Dinic, LargeLayeredGraphStress) {
+  // 50 layers of 10 nodes, full bipartite between layers, capacity 1.
+  const std::size_t layers = 50, width = 10;
+  FlowNetwork net(2 + layers * width);
+  const std::size_t s = 0, t = 1;
+  auto node = [&](std::size_t layer, std::size_t i) {
+    return 2 + layer * width + i;
+  };
+  for (std::size_t i = 0; i < width; ++i) {
+    net.add_edge(s, node(0, i), 1);
+    net.add_edge(node(layers - 1, i), t, 1);
+  }
+  for (std::size_t l = 0; l + 1 < layers; ++l) {
+    for (std::size_t i = 0; i < width; ++i) {
+      for (std::size_t j = 0; j < width; ++j) {
+        net.add_edge(node(l, i), node(l + 1, j), 1);
+      }
+    }
+  }
+  EXPECT_EQ(net.max_flow(s, t), static_cast<FlowValue>(width));
+}
+
+}  // namespace
+}  // namespace pdl::flow

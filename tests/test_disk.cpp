@@ -1,0 +1,53 @@
+#include "sim/disk.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pdl::sim {
+namespace {
+
+TEST(DiskParams, AccessTime) {
+  const DiskParams p{.positioning_ms = 10.0, .transfer_ms_per_unit = 2.0};
+  EXPECT_DOUBLE_EQ(p.access_ms(1), 12.0);
+  EXPECT_DOUBLE_EQ(p.access_ms(5), 20.0);
+}
+
+TEST(Disk, IdleDiskServesImmediately) {
+  Disk d(DiskParams{10.0, 2.0});
+  EXPECT_DOUBLE_EQ(d.submit(100.0), 112.0);
+  EXPECT_DOUBLE_EQ(d.busy_until(), 112.0);
+}
+
+TEST(Disk, FcfsQueueing) {
+  Disk d(DiskParams{10.0, 2.0});
+  EXPECT_DOUBLE_EQ(d.submit(0.0), 12.0);
+  // Second request at t=5 waits for the first.
+  EXPECT_DOUBLE_EQ(d.submit(5.0), 24.0);
+  // Third request after the queue drains starts fresh.
+  EXPECT_DOUBLE_EQ(d.submit(50.0), 62.0);
+}
+
+TEST(Disk, MultiUnitTransfers) {
+  Disk d(DiskParams{10.0, 2.0});
+  EXPECT_DOUBLE_EQ(d.submit(0.0, 10), 30.0);
+  EXPECT_EQ(d.units_transferred(), 10u);
+}
+
+TEST(Disk, AccountingAccumulates) {
+  Disk d(DiskParams{10.0, 2.0});
+  d.submit(0.0);
+  d.submit(0.0);
+  d.submit(100.0);
+  EXPECT_EQ(d.accesses(), 3u);
+  EXPECT_DOUBLE_EQ(d.busy_ms(), 36.0);
+  EXPECT_EQ(d.units_transferred(), 3u);
+}
+
+TEST(Disk, UtilizationIsBusyOverHorizon) {
+  Disk d(DiskParams{5.0, 1.0});
+  d.submit(0.0);
+  d.submit(94.0);  // completes at 100
+  EXPECT_DOUBLE_EQ(d.busy_ms() / d.busy_until(), 12.0 / 100.0);
+}
+
+}  // namespace
+}  // namespace pdl::sim

@@ -1,0 +1,150 @@
+#include "layout/disk_removal.hpp"
+
+#include <gtest/gtest.h>
+
+#include "layout/metrics.hpp"
+
+namespace pdl::layout {
+namespace {
+
+using Param = std::pair<std::uint32_t, std::uint32_t>;
+
+class Theorem8Sweep : public ::testing::TestWithParam<Param> {};
+
+TEST_P(Theorem8Sweep, RemoveOneDiskKeepsPerfectBalance) {
+  const auto [v, k] = GetParam();
+  const auto rd = design::make_ring_design(v, k);
+  const Layout l = remove_one_disk(rd, /*removed=*/v / 2);
+
+  EXPECT_EQ(l.num_disks(), v - 1);
+  EXPECT_EQ(l.units_per_disk(), k * (v - 1)) << "size stays k(v-1)";
+  EXPECT_TRUE(l.validate().empty());
+
+  const auto m = compute_metrics(l);
+  // Stripe sizes k and k-1.
+  EXPECT_EQ(m.min_stripe_size, k - 1);
+  EXPECT_EQ(m.max_stripe_size, k);
+  // Parity: exactly v per disk -> overhead (1/k) * (v/(v-1)).
+  EXPECT_EQ(m.min_parity_units, v);
+  EXPECT_EQ(m.max_parity_units, v);
+  EXPECT_DOUBLE_EQ(m.max_parity_overhead,
+                   (1.0 / k) * (static_cast<double>(v) / (v - 1)));
+  // Reconstruction workload exactly (k-1)/(v-1).
+  EXPECT_EQ(m.min_recon_units, k * (k - 1));
+  EXPECT_EQ(m.max_recon_units, k * (k - 1));
+  EXPECT_DOUBLE_EQ(m.max_recon_workload,
+                   static_cast<double>(k - 1) / (v - 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, Theorem8Sweep,
+                         ::testing::Values(Param{5, 3}, Param{7, 3},
+                                           Param{8, 4}, Param{9, 4},
+                                           Param{11, 4}, Param{13, 5},
+                                           Param{16, 4}, Param{17, 6},
+                                           Param{25, 5}));
+
+TEST(Theorem8, EveryRemovedDiskChoiceWorks) {
+  const auto rd = design::make_ring_design(9, 4);
+  for (design::Elem removed = 0; removed < 9; ++removed) {
+    const Layout l = remove_one_disk(rd, removed);
+    const auto m = compute_metrics(l);
+    ASSERT_EQ(m.min_parity_units, 9u) << "removed=" << removed;
+    ASSERT_EQ(m.max_parity_units, 9u) << "removed=" << removed;
+  }
+}
+
+struct T9Case {
+  std::uint32_t v, k, i;
+};
+
+class Theorem9Sweep : public ::testing::TestWithParam<T9Case> {};
+
+TEST_P(Theorem9Sweep, MultiRemovalWithinTheoremBounds) {
+  const auto [v, k, i] = GetParam();
+  ASSERT_LE(i * i, k) << "test case must satisfy i <= sqrt(k)";
+  const Layout l = removal_layout(v, k, i);
+
+  EXPECT_EQ(l.num_disks(), v - i);
+  EXPECT_EQ(l.units_per_disk(), k * (v - 1));
+  EXPECT_TRUE(l.validate().empty());
+
+  const auto m = compute_metrics(l);
+  EXPECT_GE(m.min_stripe_size, k - i);
+  if (k < v) {
+    EXPECT_EQ(m.max_stripe_size, k);
+  } else {
+    // k = v: every stripe contains every removed disk, so all stripes
+    // shrink to exactly k - i.
+    EXPECT_EQ(m.max_stripe_size, k - i);
+  }
+  // Parity counts in {v+i-1, v+i}.
+  EXPECT_GE(m.min_parity_units, v + i - 1);
+  EXPECT_LE(m.max_parity_units, v + i);
+  // Reconstruction workload exactly (k-1)/(v-1) (all pairs still share
+  // lambda stripes).
+  EXPECT_EQ(m.min_recon_units, k * (k - 1));
+  EXPECT_EQ(m.max_recon_units, k * (k - 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, Theorem9Sweep,
+                         ::testing::Values(T9Case{9, 4, 2}, T9Case{11, 4, 2},
+                                           T9Case{13, 9, 3}, T9Case{16, 9, 3},
+                                           T9Case{17, 4, 2}, T9Case{25, 9, 3},
+                                           T9Case{16, 16, 4},
+                                           T9Case{27, 16, 4}));
+
+TEST(Theorem9, OrphanCountIsIByIMinus1) {
+  // For i removed disks there are exactly i(i-1) stripes whose Theorem-8
+  // parity target is also removed; indirectly visible as parity spread:
+  // with i(i-1) > 0 orphans matched one-per-disk, some disks get v+i and
+  // the rest v+i-1; the number at v+i must be exactly i(i-1).
+  const std::uint32_t v = 16, k = 9, i = 3;
+  const Layout l = removal_layout(v, k, i);
+  const auto parity = l.parity_units_per_disk();
+  std::uint32_t at_hi = 0;
+  for (const auto c : parity) {
+    if (c == v + i) ++at_hi;
+  }
+  EXPECT_EQ(at_hi, i * (i - 1));
+}
+
+TEST(Theorem9, RejectsTooManyRemovals) {
+  const auto rd = design::make_ring_design(16, 4);
+  const std::vector<design::Elem> three = {0, 1, 2};  // 3*3 > 4
+  EXPECT_THROW(remove_disks(rd, three), std::invalid_argument);
+}
+
+TEST(Theorem9, RejectsDuplicatesAndOutOfRange) {
+  const auto rd = design::make_ring_design(16, 9);
+  const std::vector<design::Elem> dup = {1, 1};
+  EXPECT_THROW(remove_disks(rd, dup), std::invalid_argument);
+  const std::vector<design::Elem> oob = {1, 77};
+  EXPECT_THROW(remove_disks(rd, oob), std::invalid_argument);
+  EXPECT_THROW(remove_disks(rd, {}), std::invalid_argument);
+}
+
+TEST(Theorem9, ArbitraryRemovalSetsWork) {
+  const auto rd = design::make_ring_design(13, 9);
+  for (const auto& removed : std::vector<std::vector<design::Elem>>{
+           {0, 12}, {3, 7}, {0, 5, 11}, {2, 6, 9}}) {
+    const Layout l = remove_disks(rd, removed);
+    EXPECT_TRUE(l.validate().empty());
+    const auto m = compute_metrics(l);
+    const auto i = static_cast<std::uint32_t>(removed.size());
+    EXPECT_GE(m.min_parity_units, 13 + i - 1);
+    EXPECT_LE(m.max_parity_units, 13 + i);
+  }
+}
+
+TEST(RemovalLayout, ConvenienceWrapperMatchesDirectCalls) {
+  const Layout a = removal_layout(9, 4, 1);
+  const auto rd = design::make_ring_design(9, 4);
+  const Layout b = remove_one_disk(rd, 0);
+  EXPECT_EQ(a.num_disks(), b.num_disks());
+  EXPECT_EQ(a.units_per_disk(), b.units_per_disk());
+  EXPECT_EQ(compute_metrics(a).max_parity_units,
+            compute_metrics(b).max_parity_units);
+}
+
+}  // namespace
+}  // namespace pdl::layout

@@ -1,0 +1,77 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pdl::sim {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&](SimTime) { order.push_back(3); });
+  q.schedule(1.0, [&](SimTime) { order.push_back(1); });
+  q.schedule(2.0, [&](SimTime) { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(1.0, [&](SimTime) { order.push_back(0); });
+  q.schedule(1.0, [&](SimTime) { order.push_back(1); });
+  q.schedule(1.0, [&](SimTime) { order.push_back(2); });
+  q.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueue, CallbacksCanScheduleMoreEvents) {
+  EventQueue q;
+  int fired = 0;
+  std::function<void(SimTime)> chain = [&](SimTime t) {
+    ++fired;
+    if (fired < 5) q.schedule(t + 1.0, chain);
+  };
+  q.schedule(0.0, chain);
+  q.run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_DOUBLE_EQ(q.now(), 4.0);
+}
+
+TEST(EventQueue, SchedulingIntoThePastThrows) {
+  EventQueue q;
+  q.schedule(5.0, [&](SimTime) {
+    EXPECT_THROW(q.schedule(1.0, [](SimTime) {}), std::invalid_argument);
+  });
+  q.run();
+}
+
+TEST(EventQueue, SchedulingAtNowIsAllowed) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(2.0, [&](SimTime t) {
+    q.schedule(t, [&](SimTime) { ++fired; });
+  });
+  q.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, RunawayGuard) {
+  EventQueue q;
+  std::function<void(SimTime)> forever = [&](SimTime t) {
+    q.schedule(t + 1.0, forever);
+  };
+  q.schedule(0.0, forever);
+  EXPECT_THROW(q.run(/*max_events=*/1000), std::runtime_error);
+}
+
+TEST(EventQueue, EmptyRunIsNoop) {
+  EventQueue q;
+  q.run();
+  EXPECT_TRUE(q.empty());
+  EXPECT_DOUBLE_EQ(q.now(), 0.0);
+}
+
+}  // namespace
+}  // namespace pdl::sim

@@ -1,0 +1,74 @@
+// Reproductions of the paper's Figures 1-3 as executable checks.
+// (Figures 4-6, the stairway diagrams, are covered structurally in
+// test_stairway.cpp; Figure 7, the parity assignment graph, in
+// test_parity_assign.cpp.)
+
+#include <gtest/gtest.h>
+
+#include "core/xor_codec.hpp"
+#include "design/complete_design.hpp"
+#include "layout/bibd_layout.hpp"
+#include "layout/metrics.hpp"
+
+namespace pdl {
+namespace {
+
+TEST(Figure1, OneParityStripeEncodeAndReconstruct) {
+  // Figure 1: v-1 data units and one parity unit; the parity is the XOR of
+  // the data, and any lost unit is recoverable.
+  std::vector<std::vector<std::uint8_t>> data = {
+      {0xde, 0xad}, {0xbe, 0xef}, {0x12, 0x34}};
+  const auto parity = core::xor_parity(data);
+  EXPECT_EQ(parity[0], 0xde ^ 0xbe ^ 0x12);
+  EXPECT_EQ(parity[1], 0xad ^ 0xef ^ 0x34);
+  std::vector<std::vector<std::uint8_t>> survivors = {data[0], data[2],
+                                                      parity};
+  EXPECT_EQ(core::xor_reconstruct(survivors), data[1]);
+}
+
+TEST(Figure2, ParityDeclusteredLayoutV4K3) {
+  // Figure 2: the parity-declustered layout for v = 4, k = 3 -- the four
+  // 3-subsets of 4 disks, one parity unit each, 3 units per disk.
+  const auto design = design::make_complete_design(4, 3);
+  const layout::Layout l = layout::flow_balanced_layout(design, 1);
+  EXPECT_EQ(l.num_disks(), 4u);
+  EXPECT_EQ(l.units_per_disk(), 3u);
+  EXPECT_EQ(l.num_stripes(), 4u);
+  EXPECT_TRUE(l.validate().empty());
+  const auto m = layout::compute_metrics(l);
+  // One parity unit per disk (b = v = 4), overhead 1/3.
+  EXPECT_EQ(m.min_parity_units, 1u);
+  EXPECT_EQ(m.max_parity_units, 1u);
+  // Reconstruction: each pair shares 2 of 3 units.
+  EXPECT_DOUBLE_EQ(m.max_recon_workload, 2.0 / 3.0);
+}
+
+TEST(Figure3, HollandGibsonBibdLayoutV4K3) {
+  // Figure 3: the same BIBD replicated k = 3 times with rotated parity.
+  const auto design = design::make_complete_design(4, 3);
+  const layout::Layout l = layout::holland_gibson_layout(design);
+  EXPECT_EQ(l.num_disks(), 4u);
+  EXPECT_EQ(l.units_per_disk(), 9u);  // k * r = 3 * 3
+  EXPECT_EQ(l.num_stripes(), 12u);
+  const auto m = layout::compute_metrics(l);
+  EXPECT_EQ(m.min_parity_units, 3u);  // = r
+  EXPECT_EQ(m.max_parity_units, 3u);
+  // The rendered grid shows twelve stripes over 36 slots.
+  const std::string grid = layout::render_layout(l);
+  EXPECT_NE(grid.find("S11"), std::string::npos);
+}
+
+TEST(Figures, Fig2VersusFig3SizeRatioIsK) {
+  // The Section 4 point in miniature: Figure 3 is k times larger than
+  // Figure 2 for the same balance.
+  const auto design = design::make_complete_design(4, 3);
+  const auto fig2 = layout::flow_balanced_layout(design, 1);
+  const auto fig3 = layout::holland_gibson_layout(design);
+  EXPECT_EQ(fig3.units_per_disk(), 3 * fig2.units_per_disk());
+  const auto m2 = layout::compute_metrics(fig2);
+  const auto m3 = layout::compute_metrics(fig3);
+  EXPECT_DOUBLE_EQ(m2.max_parity_overhead, m3.max_parity_overhead);
+}
+
+}  // namespace
+}  // namespace pdl

@@ -1,0 +1,182 @@
+#include "algebra/gf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "algebra/numtheory.hpp"
+
+namespace pdl::algebra {
+namespace {
+
+TEST(GaloisField, RejectsNonPrimePowers) {
+  EXPECT_THROW(GaloisField(6), std::invalid_argument);
+  EXPECT_THROW(GaloisField(12), std::invalid_argument);
+  EXPECT_THROW(GaloisField(1), std::invalid_argument);
+  EXPECT_THROW(GaloisField(0), std::invalid_argument);
+}
+
+// Exhaustive ring-axiom check on small fields.
+class GfAxioms : public ::testing::TestWithParam<Elem> {};
+
+TEST_P(GfAxioms, SatisfiesRingAxioms) {
+  const GaloisField field(GetParam());
+  EXPECT_TRUE(check_ring_axioms(field).empty());
+}
+
+TEST_P(GfAxioms, EveryNonzeroElementIsAUnit) {
+  const GaloisField field(GetParam());
+  EXPECT_FALSE(field.inverse(0).has_value());
+  for (Elem a = 1; a < field.order(); ++a) {
+    const auto inv = field.inverse(a);
+    ASSERT_TRUE(inv.has_value());
+    EXPECT_EQ(field.mul(a, *inv), field.one());
+  }
+}
+
+TEST_P(GfAxioms, PrimitiveElementGeneratesTheGroup) {
+  const GaloisField field(GetParam());
+  const Elem g = field.primitive_element();
+  std::set<Elem> seen;
+  Elem acc = field.one();
+  for (Elem i = 0; i + 1 < field.order(); ++i) {
+    seen.insert(acc);
+    acc = field.mul(acc, g);
+  }
+  EXPECT_EQ(acc, field.one()) << "g^(q-1) must be 1";
+  EXPECT_EQ(seen.size(), field.order() - 1u);
+}
+
+TEST_P(GfAxioms, CharacteristicIsTheAdditiveOrderOfOne) {
+  const GaloisField field(GetParam());
+  EXPECT_EQ(field.additive_order(field.one()), field.characteristic());
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallFields, GfAxioms,
+                         ::testing::Values(2, 3, 4, 5, 7, 8, 9, 11, 13, 16,
+                                           25, 27, 32));
+
+// Larger fields: sampled consistency checks instead of O(q^3) axioms.
+class GfLarge : public ::testing::TestWithParam<Elem> {};
+
+TEST_P(GfLarge, LogExpRoundTripAndDistributivitySamples) {
+  const GaloisField field(GetParam());
+  const Elem q = field.order();
+  for (Elem a = 1; a < q; ++a) {
+    ASSERT_EQ(field.exp(field.log(a)), a);
+  }
+  // Deterministic sample of triples.
+  for (Elem i = 1; i < 200; ++i) {
+    const Elem a = (i * 7919) % q;
+    const Elem b = (i * 104729) % q;
+    const Elem c = (i * 1299709) % q;
+    ASSERT_EQ(field.mul(a, field.add(b, c)),
+              field.add(field.mul(a, b), field.mul(a, c)));
+    ASSERT_EQ(field.mul(a, b), field.mul(b, a));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fields, GfLarge,
+                         ::testing::Values(49, 64, 81, 121, 125, 128, 243,
+                                           256, 343, 512, 625, 1024));
+
+TEST(GaloisField, ElementOfMultiplicativeOrder) {
+  const GaloisField field(16);
+  for (const std::uint32_t n : {1u, 3u, 5u, 15u}) {
+    const Elem a = field.element_of_multiplicative_order(n);
+    EXPECT_EQ(field.multiplicative_order(a), n);
+  }
+  EXPECT_THROW(field.element_of_multiplicative_order(7),
+               std::invalid_argument);
+  EXPECT_THROW(field.element_of_multiplicative_order(0),
+               std::invalid_argument);
+}
+
+TEST(GaloisField, SubfieldStructure) {
+  const GaloisField field(64);  // GF(64) contains GF(2), GF(4), GF(8)
+  for (const Elem k : {2u, 4u, 8u, 64u}) {
+    const auto sub = field.subfield(k);
+    ASSERT_EQ(sub.size(), k);
+    const std::set<Elem> elems(sub.begin(), sub.end());
+    ASSERT_EQ(elems.size(), k) << "subfield elements must be distinct";
+    EXPECT_TRUE(elems.count(0));
+    EXPECT_TRUE(elems.count(field.one()));
+    // Closure under both operations, and under inverses.
+    for (const Elem a : sub) {
+      for (const Elem b : sub) {
+        EXPECT_TRUE(elems.count(field.add(a, b)));
+        EXPECT_TRUE(elems.count(field.mul(a, b)));
+      }
+      if (a != 0) EXPECT_TRUE(elems.count(*field.inverse(a)));
+    }
+  }
+  // GF(16) is not a subfield of GF(64) (4 does not divide 6).
+  EXPECT_THROW(field.subfield(16), std::invalid_argument);
+  EXPECT_THROW(field.subfield(3), std::invalid_argument);
+}
+
+TEST(GaloisField, SubfieldOfPrimeFieldIsWholeField) {
+  const GaloisField field(7);
+  const auto sub = field.subfield(7);
+  EXPECT_EQ(sub.size(), 7u);
+}
+
+TEST(GaloisField, PrimeFieldMatchesModularArithmetic) {
+  const GaloisField field(13);
+  for (Elem a = 0; a < 13; ++a) {
+    for (Elem b = 0; b < 13; ++b) {
+      EXPECT_EQ(field.add(a, b), (a + b) % 13);
+      EXPECT_EQ(field.mul(a, b), (a * b) % 13);
+    }
+    EXPECT_EQ(field.neg(a), (13 - a) % 13);
+  }
+}
+
+TEST(GaloisField, Characteristic2AdditionIsXor) {
+  const GaloisField field(16);
+  for (Elem a = 0; a < 16; ++a) {
+    for (Elem b = 0; b < 16; ++b) {
+      EXPECT_EQ(field.add(a, b), a ^ b);
+    }
+    EXPECT_EQ(field.neg(a), a);  // -a = a in characteristic 2
+  }
+}
+
+TEST(GaloisField, FrobeniusFixesPrimeSubfield) {
+  // a -> a^p fixes exactly the prime subfield GF(p).
+  const GaloisField field(27);
+  const auto prime_subfield = field.subfield(3);
+  const std::set<Elem> fixed_expected(prime_subfield.begin(),
+                                      prime_subfield.end());
+  std::set<Elem> fixed;
+  for (Elem a = 0; a < 27; ++a) {
+    if (field.pow(a, 3) == a) fixed.insert(a);
+  }
+  EXPECT_EQ(fixed, fixed_expected);
+}
+
+TEST(GaloisField, GetFieldCachesInstances) {
+  auto f1 = get_field(81);
+  auto f2 = get_field(81);
+  EXPECT_EQ(f1.get(), f2.get());
+  EXPECT_EQ(f1->order(), 81u);
+}
+
+TEST(GaloisField, GeneratorSetAnySubsetOfField) {
+  // In a field every set of distinct elements is a generator set (all
+  // nonzero differences are invertible).
+  const GaloisField field(9);
+  std::vector<Elem> all(9);
+  std::iota(all.begin(), all.end(), 0);
+  EXPECT_TRUE(is_generator_set(field, all));
+}
+
+TEST(GaloisField, LogOfZeroThrows) {
+  const GaloisField field(8);
+  EXPECT_THROW(field.log(0), std::invalid_argument);
+  EXPECT_THROW(field.log(8), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pdl::algebra

@@ -1,0 +1,108 @@
+#include "layout/layout.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pdl::layout {
+namespace {
+
+TEST(Layout, ConstructionValidation) {
+  EXPECT_THROW(Layout(1, 5), std::invalid_argument);
+  EXPECT_THROW(Layout(4, 0), std::invalid_argument);
+  const Layout l(4, 3);
+  EXPECT_EQ(l.num_disks(), 4u);
+  EXPECT_EQ(l.units_per_disk(), 3u);
+  EXPECT_EQ(l.num_stripes(), 0u);
+}
+
+TEST(Layout, AppendStripeAssignsNextFreeOffsets) {
+  Layout l(4, 2);
+  const auto s0 = l.append_stripe({0, 1, 2}, 0);
+  const auto s1 = l.append_stripe({1, 2, 3}, 2);
+  EXPECT_EQ(s0, 0u);
+  EXPECT_EQ(s1, 1u);
+  // Disk 1's units: offset 0 in stripe 0, offset 1 in stripe 1.
+  EXPECT_EQ(l.at(1, 0).stripe, 0u);
+  EXPECT_EQ(l.at(1, 1).stripe, 1u);
+  EXPECT_EQ(l.at(3, 0).stripe, 1u);
+  EXPECT_FALSE(l.at(0, 1).used());
+}
+
+TEST(Layout, AppendStripeRejectsDuplicateDisk) {
+  Layout l(4, 4);
+  EXPECT_THROW(l.append_stripe({0, 1, 0}, 0), std::invalid_argument);
+}
+
+TEST(Layout, AppendStripeRejectsFullDisk) {
+  Layout l(3, 1);
+  l.append_stripe({0, 1}, 0);
+  EXPECT_THROW(l.append_stripe({0, 2}, 0), std::invalid_argument);
+}
+
+TEST(Layout, AddStripeAtExplicitPositions) {
+  Layout l(3, 2);
+  l.add_stripe_at({{0, 1}, {1, 0}}, 1);
+  EXPECT_EQ(l.at(0, 1).stripe, 0u);
+  EXPECT_EQ(l.at(1, 0).stripe, 0u);
+  EXPECT_FALSE(l.at(0, 0).used());
+  // Occupied slot rejected.
+  EXPECT_THROW(l.add_stripe_at({{0, 1}, {2, 0}}, 0), std::invalid_argument);
+  // Out-of-range rejected.
+  EXPECT_THROW(l.add_stripe_at({{0, 0}, {2, 5}}, 0), std::invalid_argument);
+  EXPECT_THROW(l.add_stripe_at({{5, 0}}, 0), std::invalid_argument);
+}
+
+TEST(Layout, AddStripeAtIsAtomicOnFailure) {
+  Layout l(3, 2);
+  l.add_stripe_at({{0, 0}}, 0);
+  // This stripe conflicts at its second unit; the first must not be placed.
+  EXPECT_THROW(l.add_stripe_at({{1, 0}, {0, 0}}, 0), std::invalid_argument);
+  EXPECT_FALSE(l.at(1, 0).used());
+}
+
+TEST(Layout, ParityReassignmentAndCounts) {
+  Layout l(3, 2);
+  l.append_stripe({0, 1, 2}, 0);
+  l.append_stripe({0, 1, 2}, 0);
+  auto counts = l.parity_units_per_disk();
+  EXPECT_EQ(counts, (std::vector<std::uint32_t>{2, 0, 0}));
+  l.set_parity_pos(1, 2);
+  counts = l.parity_units_per_disk();
+  EXPECT_EQ(counts, (std::vector<std::uint32_t>{1, 0, 1}));
+  EXPECT_THROW(l.set_parity_pos(5, 0), std::invalid_argument);
+  EXPECT_THROW(l.set_parity_pos(0, 3), std::invalid_argument);
+}
+
+TEST(Layout, ValidateDetectsHoles) {
+  Layout l(2, 2);
+  l.append_stripe({0, 1}, 0);
+  EXPECT_FALSE(l.validate().empty()) << "half the slots are unused";
+  EXPECT_TRUE(l.validate(/*allow_holes=*/true).empty());
+  l.append_stripe({0, 1}, 1);
+  EXPECT_TRUE(l.validate().empty());
+}
+
+TEST(Layout, ValidateOkOnCompleteLayout) {
+  Layout l(4, 3);
+  // Three full-width stripes fill every slot.
+  for (int i = 0; i < 3; ++i) l.append_stripe({0, 1, 2, 3}, i);
+  EXPECT_TRUE(l.validate().empty());
+  EXPECT_EQ(l.stripes()[2].parity_unit().disk, 2u);
+}
+
+TEST(Layout, StripeAccessors) {
+  Layout l(4, 1);
+  l.append_stripe({2, 0, 3}, 1);
+  const Stripe& st = l.stripes()[0];
+  EXPECT_EQ(st.size(), 3u);
+  EXPECT_EQ(st.parity_unit().disk, 0u);
+  EXPECT_EQ(st.units[0].disk, 2u);
+}
+
+TEST(Layout, AtOutOfRangeThrows) {
+  const Layout l(2, 2);
+  EXPECT_THROW(l.at(2, 0), std::invalid_argument);
+  EXPECT_THROW(l.at(0, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pdl::layout

@@ -1,0 +1,119 @@
+#include "layout/mapping.hpp"
+
+#include <gtest/gtest.h>
+
+#include "layout/raid.hpp"
+#include "layout/ring_layout.hpp"
+
+namespace pdl::layout {
+namespace {
+
+TEST(AddressMapper, RejectsInvalidLayouts) {
+  Layout holey(3, 2);
+  holey.append_stripe({0, 1, 2}, 0);
+  EXPECT_THROW(AddressMapper m(holey), std::invalid_argument);
+}
+
+TEST(AddressMapper, DataUnitsExcludeParity) {
+  const Layout l = raid5_layout(4, 4);  // 16 units, 4 parity
+  const AddressMapper mapper(l);
+  EXPECT_EQ(mapper.data_units_per_iteration(), 12u);
+  EXPECT_EQ(mapper.units_per_disk(), 4u);
+  EXPECT_EQ(mapper.num_disks(), 4u);
+}
+
+TEST(AddressMapper, MapInverseRoundTripOneIteration) {
+  const Layout l = ring_based_layout(7, 3);
+  const AddressMapper mapper(l);
+  for (std::uint64_t logical = 0; logical < mapper.data_units_per_iteration();
+       ++logical) {
+    const auto phys = mapper.map(logical);
+    EXPECT_LT(phys.disk, 7u);
+    EXPECT_LT(phys.offset, mapper.units_per_disk());
+    EXPECT_EQ(mapper.logical_at(phys), logical);
+  }
+}
+
+TEST(AddressMapper, MultiIterationArithmetic) {
+  const Layout l = raid5_layout(4, 4);
+  const AddressMapper mapper(l);
+  const std::uint64_t d = mapper.data_units_per_iteration();
+  for (const std::uint64_t logical : {d, d + 5, 3 * d + 11, 100 * d}) {
+    const auto phys = mapper.map(logical);
+    const auto base = mapper.map(logical % d);
+    EXPECT_EQ(phys.disk, base.disk) << "same disk across iterations";
+    EXPECT_EQ(phys.offset % mapper.units_per_disk(), base.offset);
+    EXPECT_EQ(phys.offset / mapper.units_per_disk(), logical / d);
+    EXPECT_EQ(mapper.logical_at(phys), logical);
+  }
+}
+
+TEST(AddressMapper, ParityPositionsReportKParity) {
+  const Layout l = raid5_layout(4, 4);
+  const AddressMapper mapper(l);
+  std::uint32_t parity_slots = 0;
+  for (DiskId d = 0; d < 4; ++d) {
+    for (std::uint32_t o = 0; o < 4; ++o) {
+      if (mapper.logical_at({d, o}) == AddressMapper::kParity) ++parity_slots;
+    }
+  }
+  EXPECT_EQ(parity_slots, 4u);
+}
+
+TEST(AddressMapper, ParityOfIsInSameStripe) {
+  const Layout l = ring_based_layout(8, 3);
+  const AddressMapper mapper(l);
+  for (std::uint64_t logical = 0; logical < mapper.data_units_per_iteration();
+       logical += 7) {
+    const auto stripe = mapper.stripe_of(logical);
+    const auto parity = mapper.parity_of(logical);
+    const auto self = mapper.map(logical);
+    bool parity_found = false, self_found = false;
+    for (const auto& unit : stripe) {
+      if (unit == parity) parity_found = true;
+      if (unit == self) self_found = true;
+    }
+    EXPECT_TRUE(parity_found);
+    EXPECT_TRUE(self_found);
+    EXPECT_NE(parity, self) << "a data unit is never its own parity";
+  }
+}
+
+TEST(AddressMapper, StripeOfCrossesDistinctDisks) {
+  const Layout l = ring_based_layout(8, 3);
+  const AddressMapper mapper(l);
+  const auto stripe = mapper.stripe_of(5);
+  std::set<DiskId> disks;
+  for (const auto& unit : stripe) disks.insert(unit.disk);
+  EXPECT_EQ(disks.size(), stripe.size()) << "Condition 1";
+  EXPECT_EQ(stripe.size(), 3u);
+}
+
+TEST(AddressMapper, ConsecutiveLogicalUnitsFillStripes) {
+  // Logical numbering is stripe-major: units 0..k-2 share a stripe.
+  const Layout l = raid5_layout(5, 5);
+  const AddressMapper mapper(l);
+  const auto s0 = mapper.stripe_of(0);
+  for (std::uint64_t logical = 1; logical < 4; ++logical) {
+    EXPECT_EQ(mapper.stripe_of(logical), s0);
+  }
+  EXPECT_NE(mapper.stripe_of(4), s0);
+}
+
+TEST(AddressMapper, TableBytesIsPlausible) {
+  const Layout l = ring_based_layout(7, 3);
+  const AddressMapper mapper(l);
+  // At least one entry per slot; bounded by a small constant per slot.
+  const std::uint64_t slots = 7ull * mapper.units_per_disk();
+  EXPECT_GE(mapper.table_bytes(), slots * 8);
+  EXPECT_LE(mapper.table_bytes(), slots * 64);
+}
+
+TEST(AddressMapper, LogicalAtRejectsBadDisk) {
+  const Layout l = raid5_layout(4, 4);
+  const AddressMapper mapper(l);
+  EXPECT_THROW(mapper.logical_at({9, 0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pdl::layout

@@ -1,0 +1,69 @@
+#include "flow/matching.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace pdl::flow {
+namespace {
+
+std::size_t matching_size(const std::vector<std::int64_t>& match) {
+  std::size_t size = 0;
+  std::set<std::int64_t> used;
+  for (const auto m : match) {
+    if (m >= 0) {
+      ++size;
+      EXPECT_TRUE(used.insert(m).second) << "right vertex matched twice";
+    }
+  }
+  return size;
+}
+
+TEST(Matching, PerfectMatchingExists) {
+  const std::vector<std::vector<std::uint32_t>> adj = {
+      {0, 1}, {0, 2}, {1, 2}};
+  const auto match = max_bipartite_matching(adj, 3);
+  EXPECT_EQ(matching_size(match), 3u);
+}
+
+TEST(Matching, AugmentingPathRequired) {
+  // Greedy (0->0, 1->?) fails; augmentation finds 0->1, 1->0.
+  const std::vector<std::vector<std::uint32_t>> adj = {{0, 1}, {0}};
+  const auto match = max_bipartite_matching(adj, 2);
+  EXPECT_EQ(matching_size(match), 2u);
+  EXPECT_EQ(match[1], 0);
+  EXPECT_EQ(match[0], 1);
+}
+
+TEST(Matching, DeficientGraph) {
+  // Three left vertices all adjacent only to right vertex 0.
+  const std::vector<std::vector<std::uint32_t>> adj = {{0}, {0}, {0}};
+  const auto match = max_bipartite_matching(adj, 1);
+  EXPECT_EQ(matching_size(match), 1u);
+}
+
+TEST(Matching, EmptyCases) {
+  EXPECT_TRUE(max_bipartite_matching({}, 5).empty());
+  const std::vector<std::vector<std::uint32_t>> adj = {{}};
+  const auto match = max_bipartite_matching(adj, 3);
+  EXPECT_EQ(match[0], -1);
+}
+
+TEST(Matching, HallViolatorDetected) {
+  // Left {0,1,2} all map into right {0,1}: max matching 2.
+  const std::vector<std::vector<std::uint32_t>> adj = {{0, 1}, {0, 1}, {0, 1}};
+  EXPECT_EQ(matching_size(max_bipartite_matching(adj, 2)), 2u);
+}
+
+TEST(Matching, LargeRegularGraphIsPerfect) {
+  // 100x100, left i adjacent to {i, i+1, i+2 mod 100}: 3-regular bipartite
+  // graphs always have perfect matchings.
+  std::vector<std::vector<std::uint32_t>> adj(100);
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    adj[i] = {i, (i + 1) % 100, (i + 2) % 100};
+  }
+  EXPECT_EQ(matching_size(max_bipartite_matching(adj, 100)), 100u);
+}
+
+}  // namespace
+}  // namespace pdl::flow

@@ -1,0 +1,104 @@
+#include "layout/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pdl::layout {
+namespace {
+
+// The paper's Figure 2 layout: v = 4 disks, k = 3, built from the complete
+// design on 4 points with 3-element blocks.
+Layout figure2_layout() {
+  Layout l(4, 3);
+  l.append_stripe({0, 1, 2}, 2);  // parity on disk 2
+  l.append_stripe({0, 1, 3}, 2);  // parity on disk 3
+  l.append_stripe({0, 2, 3}, 0);  // parity on disk 0
+  l.append_stripe({1, 2, 3}, 0);  // parity on disk 1
+  return l;
+}
+
+TEST(Metrics, Figure2LayoutIsPerfectlyBalanced) {
+  const auto m = compute_metrics(figure2_layout());
+  EXPECT_EQ(m.num_disks, 4u);
+  EXPECT_EQ(m.units_per_disk, 3u);
+  EXPECT_EQ(m.num_stripes, 4u);
+  EXPECT_EQ(m.min_stripe_size, 3u);
+  EXPECT_EQ(m.max_stripe_size, 3u);
+  // One parity unit per disk.
+  EXPECT_EQ(m.min_parity_units, 1u);
+  EXPECT_EQ(m.max_parity_units, 1u);
+  EXPECT_DOUBLE_EQ(m.max_parity_overhead, 1.0 / 3.0);
+  // Every pair of disks shares exactly lambda = 2 stripes.
+  EXPECT_EQ(m.min_recon_units, 2u);
+  EXPECT_EQ(m.max_recon_units, 2u);
+  EXPECT_DOUBLE_EQ(m.max_recon_workload, 2.0 / 3.0);
+  EXPECT_EQ(m.table_entries(), 12u);
+}
+
+TEST(Metrics, ReconstructionMatrixIsSymmetricForEqualSizedStripes) {
+  const auto matrix = reconstruction_matrix(figure2_layout());
+  for (std::uint32_t a = 0; a < 4; ++a) {
+    EXPECT_EQ(matrix[a * 4 + a], 0u);
+    for (std::uint32_t b = 0; b < 4; ++b) {
+      EXPECT_EQ(matrix[a * 4 + b], matrix[b * 4 + a]);
+    }
+  }
+}
+
+TEST(Metrics, DetectsImbalancedParity) {
+  Layout l(3, 2);
+  l.append_stripe({0, 1, 2}, 0);
+  l.append_stripe({0, 1, 2}, 0);  // both parity units on disk 0
+  const auto m = compute_metrics(l);
+  EXPECT_EQ(m.max_parity_units, 2u);
+  EXPECT_EQ(m.min_parity_units, 0u);
+  EXPECT_DOUBLE_EQ(m.max_parity_overhead, 1.0);
+}
+
+TEST(Metrics, DetectsImbalancedReconstruction) {
+  // Disks 0,1 share two stripes; disks 0,2 share one.
+  Layout l(4, 2);
+  l.append_stripe({0, 1}, 0);
+  l.append_stripe({0, 1}, 1);
+  l.append_stripe({2, 3}, 0);
+  l.append_stripe({2, 3}, 1);
+  const auto m = compute_metrics(l);
+  EXPECT_EQ(m.max_recon_units, 2u);
+  EXPECT_EQ(m.min_recon_units, 0u);
+}
+
+TEST(Metrics, MixedStripeSizes) {
+  Layout l(3, 2);
+  l.append_stripe({0, 1, 2}, 0);
+  l.append_stripe({0, 1}, 0);
+  l.append_stripe({2}, 0);
+  const auto m = compute_metrics(l);
+  EXPECT_EQ(m.min_stripe_size, 1u);
+  EXPECT_EQ(m.max_stripe_size, 3u);
+}
+
+TEST(Metrics, ToStringMentionsKeyNumbers) {
+  const auto m = compute_metrics(figure2_layout());
+  const std::string s = m.to_string();
+  EXPECT_NE(s.find("v=4"), std::string::npos);
+  EXPECT_NE(s.find("size=3"), std::string::npos);
+}
+
+TEST(Metrics, RenderLayoutShowsGrid) {
+  const std::string grid = render_layout(figure2_layout());
+  // 3 offset rows plus a header.
+  EXPECT_NE(grid.find("disk0"), std::string::npos);
+  EXPECT_NE(grid.find("S0.P"), std::string::npos);
+  EXPECT_NE(grid.find("S0.D"), std::string::npos);
+  // Figure 2's stripe 0 has parity on disk 2.
+  EXPECT_NE(grid.find("u0"), std::string::npos);
+}
+
+TEST(Metrics, RenderLayoutShowsHoles) {
+  Layout l(2, 2);
+  l.append_stripe({0, 1}, 0);
+  const std::string grid = render_layout(l);
+  EXPECT_NE(grid.find("-"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pdl::layout

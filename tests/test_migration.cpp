@@ -1,0 +1,68 @@
+#include "layout/migration.hpp"
+
+#include <gtest/gtest.h>
+
+#include "layout/raid.hpp"
+#include "layout/ring_layout.hpp"
+#include "layout/stairway.hpp"
+
+namespace pdl::layout {
+namespace {
+
+TEST(Migration, IdenticalLayoutsMoveNothing) {
+  const auto layout = ring_based_layout(9, 3);
+  const auto plan = plan_migration(layout, layout);
+  EXPECT_EQ(plan.moved_units, 0u);
+  EXPECT_DOUBLE_EQ(plan.moved_fraction(), 0.0);
+  EXPECT_GT(plan.compared_units, 0u);
+}
+
+TEST(Migration, GrowingRaid5MovesMostData) {
+  // Restriping RAID5 from 5 to 6 disks reshuffles nearly everything:
+  // stripe boundaries change, so unit positions shift.
+  const auto plan = plan_migration(raid5_layout(5, 12), raid5_layout(6, 12));
+  EXPECT_GT(plan.moved_fraction(), 0.5);
+}
+
+TEST(Migration, WritesPerDiskAccountsMovedUnits) {
+  const auto from = raid5_layout(5, 12);
+  const auto to = raid5_layout(6, 12);
+  const auto plan = plan_migration(from, to);
+  std::uint64_t writes = 0;
+  for (const auto w : plan.writes_per_disk) writes += w;
+  EXPECT_EQ(writes, plan.moved_units);
+  EXPECT_EQ(plan.writes_per_disk.size(), 6u);
+  // The added disk receives some of the data.
+  EXPECT_GT(plan.writes_per_disk[5], 0u);
+}
+
+TEST(Migration, ShrinkingRejected) {
+  EXPECT_THROW(plan_migration(raid5_layout(6, 6), raid5_layout(5, 5)),
+               std::invalid_argument);
+}
+
+TEST(Migration, StairwayReplanFractionIsMeasurable) {
+  // Extending v=10 -> v=11 by replanning the stairway from the same base
+  // q=8: quantifies the Section 5 "extendible layouts" open problem.
+  const auto from = stairway_layout(8, 10, 3);
+  const auto to = stairway_layout(8, 11, 3);
+  const auto plan = plan_migration(from, to);
+  EXPECT_GT(plan.compared_units, 0u);
+  // Some data moves (the layouts differ)...
+  EXPECT_GT(plan.moved_units, 0u);
+  // ...but the plan is well-formed: moved <= compared.
+  EXPECT_LE(plan.moved_units, plan.compared_units);
+}
+
+TEST(Migration, ComparedUnitsIsCommonPrefix) {
+  const auto small = ring_based_layout(8, 3);   // 8 * 21 * 2/3 data units
+  const auto large = ring_based_layout(9, 3);
+  const auto plan = plan_migration(small, large);
+  // Compared = min of the two data-unit counts.
+  EXPECT_EQ(plan.compared_units,
+            std::min(static_cast<std::uint64_t>(8 * 21 * 2 / 3 * 1),
+                     static_cast<std::uint64_t>(9 * 24 * 2 / 3 * 1)));
+}
+
+}  // namespace
+}  // namespace pdl::layout

@@ -1,0 +1,145 @@
+#include "algebra/numtheory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace pdl::algebra {
+namespace {
+
+TEST(NumTheory, SmallPrimes) {
+  const std::set<std::uint64_t> primes = {2,  3,  5,  7,  11, 13, 17, 19,
+                                          23, 29, 31, 37, 41, 43, 47};
+  for (std::uint64_t n = 0; n <= 48; ++n) {
+    EXPECT_EQ(is_prime(n), primes.count(n) == 1) << "n=" << n;
+  }
+}
+
+TEST(NumTheory, PrimesAgreeWithTrialDivisionUpTo10000) {
+  for (std::uint64_t n = 2; n <= 10'000; ++n) {
+    bool composite = false;
+    for (std::uint64_t d = 2; d * d <= n; ++d) {
+      if (n % d == 0) {
+        composite = true;
+        break;
+      }
+    }
+    ASSERT_EQ(is_prime(n), !composite) << "n=" << n;
+  }
+}
+
+TEST(NumTheory, LargePrimes) {
+  EXPECT_TRUE(is_prime(1'000'000'007ULL));
+  EXPECT_TRUE(is_prime(1'000'000'009ULL));
+  EXPECT_FALSE(is_prime(1'000'000'007ULL * 3));
+  // Carmichael numbers must be rejected.
+  EXPECT_FALSE(is_prime(561));
+  EXPECT_FALSE(is_prime(1105));
+  EXPECT_FALSE(is_prime(41041));
+}
+
+TEST(NumTheory, FactorizeRoundTrip) {
+  for (std::uint64_t n = 1; n <= 5'000; ++n) {
+    std::uint64_t product = 1;
+    std::uint64_t last_prime = 0;
+    for (const PrimePower& pp : factorize(n)) {
+      EXPECT_TRUE(is_prime(pp.prime));
+      EXPECT_GT(pp.prime, last_prime) << "factors must be sorted";
+      last_prime = pp.prime;
+      product *= pp.value();
+    }
+    ASSERT_EQ(product, n);
+  }
+}
+
+TEST(NumTheory, FactorizeRejectsZero) {
+  EXPECT_THROW(factorize(0), std::invalid_argument);
+}
+
+TEST(NumTheory, PrimePowerDecomposition) {
+  EXPECT_EQ(prime_power_decomposition(8), (PrimePower{2, 3}));
+  EXPECT_EQ(prime_power_decomposition(81), (PrimePower{3, 4}));
+  EXPECT_EQ(prime_power_decomposition(17), (PrimePower{17, 1}));
+  EXPECT_EQ(prime_power_decomposition(1).prime, 0u);
+  EXPECT_EQ(prime_power_decomposition(12).prime, 0u);
+  EXPECT_EQ(prime_power_decomposition(1024), (PrimePower{2, 10}));
+}
+
+TEST(NumTheory, IsPrimePowerMatchesFactorize) {
+  for (std::uint64_t n = 2; n <= 3'000; ++n) {
+    const auto factors = factorize(n);
+    EXPECT_EQ(is_prime_power(n), factors.size() == 1) << "n=" << n;
+  }
+}
+
+TEST(NumTheory, MinPrimePowerFactor) {
+  EXPECT_EQ(min_prime_power_factor(12), 3u);   // 4 * 3 -> min 3
+  EXPECT_EQ(min_prime_power_factor(72), 8u);   // 8 * 9 -> min 8
+  EXPECT_EQ(min_prime_power_factor(30), 2u);   // 2 * 3 * 5
+  EXPECT_EQ(min_prime_power_factor(49), 49u);  // prime power: itself
+  EXPECT_EQ(min_prime_power_factor(97), 97u);
+  EXPECT_EQ(min_prime_power_factor(100), 4u);  // 4 * 25
+  EXPECT_THROW(min_prime_power_factor(1), std::invalid_argument);
+}
+
+TEST(NumTheory, PrimePowerNeighbors) {
+  EXPECT_EQ(largest_prime_power_leq(100), 97u);
+  EXPECT_EQ(largest_prime_power_leq(128), 128u);
+  EXPECT_EQ(largest_prime_power_leq(1), 0u);
+  EXPECT_EQ(smallest_prime_power_geq(100), 101u);
+  EXPECT_EQ(smallest_prime_power_geq(124), 125u);
+  EXPECT_EQ(smallest_prime_power_geq(2), 2u);
+}
+
+TEST(NumTheory, PrimePowersInRange) {
+  const auto pps = prime_powers_in(2, 32);
+  const std::vector<std::uint64_t> expected = {2,  3,  4,  5,  7,  8,  9, 11,
+                                               13, 16, 17, 19, 23, 25, 27, 29,
+                                               31, 32};
+  EXPECT_EQ(pps, expected);
+}
+
+TEST(NumTheory, EulerPhi) {
+  EXPECT_EQ(euler_phi(1), 1u);
+  EXPECT_EQ(euler_phi(12), 4u);
+  EXPECT_EQ(euler_phi(97), 96u);
+  EXPECT_EQ(euler_phi(100), 40u);
+  // Multiplicativity spot check.
+  EXPECT_EQ(euler_phi(35), euler_phi(5) * euler_phi(7));
+}
+
+TEST(NumTheory, MulmodPowmodLarge) {
+  const std::uint64_t m = 0xffffffffffffffc5ULL;  // large prime
+  EXPECT_EQ(mulmod(m - 1, m - 1, m), 1u);         // (-1)^2 = 1
+  EXPECT_EQ(powmod(2, 10, 1'000'000), 1024u);
+  // Fermat's little theorem for the large prime.
+  EXPECT_EQ(powmod(123456789, m - 1, m), 1u);
+}
+
+TEST(NumTheory, CeilDiv) {
+  EXPECT_EQ(ceil_div(10, 3), 4u);
+  EXPECT_EQ(ceil_div(9, 3), 3u);
+  EXPECT_EQ(ceil_div(1, 5), 1u);
+}
+
+// Property sweep: M(v) <= every prime-power factor, and divides v's shape.
+class MinPrimePowerSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MinPrimePowerSweep, IsAPrimePowerFactorLowerBound) {
+  const std::uint64_t v = GetParam();
+  const std::uint64_t m = min_prime_power_factor(v);
+  EXPECT_TRUE(is_prime_power(m));
+  for (const PrimePower& pp : factorize(v)) {
+    EXPECT_LE(m, pp.value());
+  }
+  // M(v) = v exactly when v is a prime power.
+  EXPECT_EQ(m == v, is_prime_power(v));
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, MinPrimePowerSweep,
+                         ::testing::Values(2, 4, 6, 12, 24, 36, 60, 97, 100,
+                                           128, 210, 243, 360, 720, 1000,
+                                           1024, 2310, 4096, 9973, 10000));
+
+}  // namespace
+}  // namespace pdl::algebra

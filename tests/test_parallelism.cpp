@@ -1,0 +1,67 @@
+#include "layout/parallelism.hpp"
+
+#include <gtest/gtest.h>
+
+#include "layout/bibd_layout.hpp"
+#include "layout/raid.hpp"
+#include "layout/ring_layout.hpp"
+#include "layout/stairway.hpp"
+
+#include "design/catalog.hpp"
+
+namespace pdl::layout {
+namespace {
+
+TEST(Condition5, StripeMajorNumberingIsFullyContiguous) {
+  // The AddressMapper numbers data units stripe-major, so every layout
+  // built by this library satisfies the Large Write Optimization exactly.
+  for (const auto& layout :
+       {raid5_layout(5, 10), ring_based_layout(9, 3),
+        stairway_layout(8, 10, 3)}) {
+    EXPECT_DOUBLE_EQ(large_write_contiguity(layout), 1.0);
+  }
+}
+
+TEST(Condition6, Raid5HasPerfectWindowParallelism) {
+  // RAID5's v-1 data units per stripe roll across all disks; windows of
+  // v-1 hit v-1 distinct disks.
+  const auto layout = raid5_layout(8, 8);
+  EXPECT_EQ(min_window_parallelism(layout, 7), 7u);
+}
+
+TEST(Condition6, WindowBounds) {
+  for (const auto& layout : {ring_based_layout(9, 3), raid5_layout(6, 6)}) {
+    const auto v = layout.num_disks();
+    const auto min_par = min_window_parallelism(layout);
+    const auto mean_par = mean_window_parallelism(layout);
+    EXPECT_GE(min_par, 1u);
+    EXPECT_LE(min_par, v);
+    EXPECT_GE(mean_par, static_cast<double>(min_par));
+    EXPECT_LE(mean_par, static_cast<double>(v));
+  }
+}
+
+TEST(Condition6, DeclusteredLayoutsLoseSomeParallelism) {
+  // Stockmeyer's observation: BIBD-based layouts do not generally achieve
+  // maximal parallelism -- a window of v consecutive units spans v/(k-1)
+  // stripes whose disk sets may overlap.
+  const auto ring = ring_based_layout(9, 3);
+  EXPECT_LT(min_window_parallelism(ring), 9u);
+  // But parallelism is still substantially above a single stripe's k.
+  EXPECT_GT(mean_window_parallelism(ring), 3.0);
+}
+
+TEST(Condition6, SmallWindowsSaturate) {
+  // A window of k-1 units lies within one stripe: exactly k-1 disks.
+  const auto ring = ring_based_layout(9, 4);
+  EXPECT_EQ(min_window_parallelism(ring, 3), 3u);
+}
+
+TEST(Condition6, WindowLargerThanArrayIsCappedByV) {
+  const auto layout = raid5_layout(4, 8);
+  EXPECT_LE(min_window_parallelism(layout, 24), 4u);
+  EXPECT_EQ(min_window_parallelism(layout, 24), 4u);
+}
+
+}  // namespace
+}  // namespace pdl::layout

@@ -1,0 +1,199 @@
+#include "flow/parity_assign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+
+namespace pdl::flow {
+namespace {
+
+using Stripes = std::vector<std::vector<std::uint32_t>>;
+
+// Random fixed-size stripes over `v` disks, each stripe hitting distinct
+// disks.
+Stripes random_stripes(std::uint32_t v, std::uint32_t k, std::size_t count,
+                       std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  Stripes stripes;
+  std::vector<std::uint32_t> disks(v);
+  std::iota(disks.begin(), disks.end(), 0);
+  for (std::size_t s = 0; s < count; ++s) {
+    std::shuffle(disks.begin(), disks.end(), rng);
+    stripes.emplace_back(disks.begin(), disks.begin() + k);
+  }
+  return stripes;
+}
+
+TEST(ParityLoads, ExactRationalArithmetic) {
+  // Two stripes of size 3 and one of size 2 over 4 disks.
+  const Stripes stripes = {{0, 1, 2}, {1, 2, 3}, {0, 3}};
+  const auto loads = parity_loads(stripes, 4);
+  EXPECT_EQ(loads.denominator, 6u);
+  // L(0) = 1/3 + 1/2 = 5/6; L(1) = 2/3 = 4/6.
+  EXPECT_EQ(loads.numerators[0], 5u);
+  EXPECT_EQ(loads.numerators[1], 4u);
+  EXPECT_EQ(loads.floor_of(0), 0u);
+  EXPECT_EQ(loads.ceil_of(0), 1u);
+}
+
+TEST(ParityAssign, EveryStripeGetsExactlyOneParityUnit) {
+  const Stripes stripes = random_stripes(10, 4, 57, 1);
+  const auto assignment = assign_parity_balanced(stripes, 10);
+  ASSERT_EQ(assignment.chosen.size(), stripes.size());
+  for (const auto& chosen : assignment.chosen) {
+    ASSERT_EQ(chosen.size(), 1u);
+  }
+  // per_disk must sum to the number of stripes.
+  std::uint64_t total = 0;
+  for (const auto c : assignment.per_disk) total += c;
+  EXPECT_EQ(total, stripes.size());
+}
+
+// Theorem 14: every disk holds floor(L(d)) or ceil(L(d)).
+class Theorem14Sweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Theorem14Sweep, PerDiskCountsWithinFloorCeil) {
+  const std::uint64_t seed = GetParam();
+  std::mt19937_64 rng(seed);
+  const std::uint32_t v = 5 + static_cast<std::uint32_t>(seed % 13);
+  // Mixed stripe sizes to exercise the rational arithmetic.
+  Stripes stripes;
+  std::vector<std::uint32_t> disks(v);
+  std::iota(disks.begin(), disks.end(), 0);
+  const std::size_t count = 20 + seed % 50;
+  for (std::size_t s = 0; s < count; ++s) {
+    std::shuffle(disks.begin(), disks.end(), rng);
+    const std::uint32_t k =
+        2 + static_cast<std::uint32_t>(rng() % (v - 2));
+    stripes.emplace_back(disks.begin(), disks.begin() + k);
+  }
+  const auto loads = parity_loads(stripes, v);
+  const auto assignment = assign_parity_balanced(stripes, v);
+  for (std::uint32_t d = 0; d < v; ++d) {
+    EXPECT_GE(assignment.per_disk[d], loads.floor_of(d)) << "disk " << d;
+    EXPECT_LE(assignment.per_disk[d], loads.ceil_of(d)) << "disk " << d;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Theorem14Sweep,
+                         ::testing::Range<std::uint64_t>(0, 20));
+
+// Regular fixed-size stripes: every disk participates in exactly b*k/v
+// stripes (the layout setting Corollary 16 assumes: each disk has exactly
+// r units).  Requires v | b*k.
+Stripes regular_stripes(std::uint32_t v, std::uint32_t k, std::size_t b) {
+  EXPECT_EQ((b * k) % v, 0u) << "test configuration must be regular";
+  Stripes stripes;
+  for (std::size_t s = 0; s < b; ++s) {
+    std::vector<std::uint32_t> stripe;
+    for (std::uint32_t j = 0; j < k; ++j) {
+      stripe.push_back(static_cast<std::uint32_t>((s * k + j) % v));
+    }
+    stripes.push_back(std::move(stripe));
+  }
+  return stripes;
+}
+
+// Corollary 16: fixed stripe size over size-r disks -> per-disk parity
+// counts within {floor(b/v), ceil(b/v)}.
+class Corollary16Sweep
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t,
+                                                 std::size_t>> {};
+
+TEST_P(Corollary16Sweep, FixedSizeCountsWithinOne) {
+  const auto [v, k, b] = GetParam();
+  const Stripes stripes = regular_stripes(v, k, b);
+  const auto assignment = assign_parity_balanced(stripes, v);
+  const std::uint64_t lo = b / v;
+  const std::uint64_t hi = (b + v - 1) / v;
+  for (std::uint32_t d = 0; d < v; ++d) {
+    EXPECT_GE(assignment.per_disk[d], lo);
+    EXPECT_LE(assignment.per_disk[d], hi);
+  }
+}
+
+// All cases satisfy v | b*k; half have v | b (perfect balance possible).
+INSTANTIATE_TEST_SUITE_P(
+    Cases, Corollary16Sweep,
+    ::testing::Values(std::tuple{6u, 3u, 20u}, std::tuple{6u, 3u, 24u},
+                      std::tuple{10u, 4u, 55u}, std::tuple{10u, 4u, 60u},
+                      std::tuple{7u, 3u, 7u}, std::tuple{13u, 5u, 13u},
+                      std::tuple{8u, 2u, 28u}, std::tuple{15u, 5u, 21u}));
+
+TEST(ParityAssign, Corollary17PerfectBalanceIffDivisible) {
+  // b = 20 stripes over v = 5 disks (v | b): perfectly balanced, 4 each.
+  {
+    const Stripes stripes = regular_stripes(5, 3, 20);
+    const auto a = assign_parity_balanced(stripes, 5);
+    for (const auto c : a.per_disk) EXPECT_EQ(c, 4u);
+  }
+  // b = 21 over v = 6 (v | bk but not v | b): counts must be 3 or 4, with
+  // exactly b mod v = 3 disks at the ceiling.
+  {
+    const Stripes stripes = regular_stripes(6, 2, 21);
+    const auto a = assign_parity_balanced(stripes, 6);
+    std::uint32_t threes = 0, fours = 0;
+    for (const auto c : a.per_disk) {
+      EXPECT_TRUE(c == 3 || c == 4);
+      c == 3 ? ++threes : ++fours;
+    }
+    EXPECT_EQ(fours, 3u);
+    EXPECT_EQ(threes, 3u);
+  }
+}
+
+TEST(ParityAssign, LcmConjectureFormula) {
+  EXPECT_EQ(copies_for_perfect_balance(7, 7), 1u);
+  EXPECT_EQ(copies_for_perfect_balance(7, 14), 2u);
+  EXPECT_EQ(copies_for_perfect_balance(39, 13), 1u);
+  EXPECT_EQ(copies_for_perfect_balance(20, 16), 4u);
+  EXPECT_EQ(copies_for_perfect_balance(9, 6), 2u);
+  EXPECT_THROW(copies_for_perfect_balance(0, 5), std::invalid_argument);
+}
+
+TEST(ParityAssign, GeneralizedDistinguishedUnits) {
+  // Select 2 distinguished units per stripe (the distributed-sparing
+  // extension after Theorem 14).
+  const Stripes stripes = random_stripes(9, 4, 30, 99);
+  const std::vector<std::uint32_t> cs(stripes.size(), 2);
+  const auto loads = parity_loads(stripes, 9, cs);
+  const auto assignment = assign_distinguished_balanced(stripes, 9, cs);
+  std::uint64_t total = 0;
+  for (std::size_t s = 0; s < stripes.size(); ++s) {
+    ASSERT_EQ(assignment.chosen[s].size(), 2u);
+    // Chosen positions must be distinct.
+    EXPECT_NE(assignment.chosen[s][0], assignment.chosen[s][1]);
+  }
+  for (std::uint32_t d = 0; d < 9; ++d) {
+    total += assignment.per_disk[d];
+    EXPECT_GE(assignment.per_disk[d], loads.floor_of(d));
+    EXPECT_LE(assignment.per_disk[d], loads.ceil_of(d));
+  }
+  EXPECT_EQ(total, 2 * stripes.size());
+}
+
+TEST(ParityAssign, HeterogeneousPerStripeCounts) {
+  const Stripes stripes = {{0, 1, 2, 3}, {1, 2, 4}, {0, 3, 4}, {2, 3, 4}};
+  const std::vector<std::uint32_t> cs = {2, 1, 1, 3};
+  const auto assignment = assign_distinguished_balanced(stripes, 5, cs);
+  for (std::size_t s = 0; s < stripes.size(); ++s) {
+    EXPECT_EQ(assignment.chosen[s].size(), cs[s]);
+  }
+}
+
+TEST(ParityAssign, InvalidInputs) {
+  const Stripes stripes = {{0, 1}, {1, 2}};
+  EXPECT_THROW(parity_loads(stripes, 2), std::invalid_argument);  // disk 2
+  const std::vector<std::uint32_t> bad_cs = {3, 1};  // 3 > stripe size 2
+  EXPECT_THROW(assign_distinguished_balanced(stripes, 3, bad_cs),
+               std::invalid_argument);
+  const std::vector<std::uint32_t> wrong_len = {1};
+  EXPECT_THROW(assign_distinguished_balanced(stripes, 3, wrong_len),
+               std::invalid_argument);
+  const Stripes with_empty = {{}};
+  EXPECT_THROW(parity_loads(with_empty, 3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pdl::flow

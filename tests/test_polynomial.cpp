@@ -1,0 +1,148 @@
+#include "algebra/polynomial.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pdl::algebra {
+namespace {
+
+TEST(Polynomial, NormalizesTrailingZeros) {
+  const Polynomial p(5, {1, 2, 0, 0});
+  EXPECT_EQ(p.degree(), 1);
+  EXPECT_EQ(p.coeff(0), 1u);
+  EXPECT_EQ(p.coeff(1), 2u);
+  EXPECT_EQ(p.coeff(7), 0u);
+}
+
+TEST(Polynomial, ZeroPolynomial) {
+  const Polynomial z(3);
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_EQ(z.degree(), -1);
+  EXPECT_EQ(Polynomial(3, {0, 0, 0}), z);
+}
+
+TEST(Polynomial, AdditionAndSubtraction) {
+  const Polynomial a(3, {1, 2, 1});  // 1 + 2x + x^2
+  const Polynomial b(3, {2, 1, 2});  // 2 + x + 2x^2
+  EXPECT_EQ(a + b, Polynomial(3, {0, 0, 0}));  // coefficients cancel mod 3
+  EXPECT_EQ(a - a, Polynomial(3));
+  EXPECT_EQ((a - b) + b, a);
+}
+
+TEST(Polynomial, MultiplicationKnownProduct) {
+  // (x + 1)^2 = x^2 + 2x + 1 over Z_5.
+  const Polynomial x_plus_1(5, {1, 1});
+  EXPECT_EQ(x_plus_1 * x_plus_1, Polynomial(5, {1, 2, 1}));
+  // Over Z_2, (x+1)^2 = x^2 + 1.
+  const Polynomial f(2, {1, 1});
+  EXPECT_EQ(f * f, Polynomial(2, {1, 0, 1}));
+}
+
+TEST(Polynomial, MultiplicationByZero) {
+  const Polynomial a(7, {3, 1, 4});
+  EXPECT_TRUE((a * Polynomial(7)).is_zero());
+}
+
+TEST(Polynomial, ModEuclidean) {
+  // x^2 + 1 mod (x + 1) over Z_2: remainder is 0 since x^2+1 = (x+1)^2.
+  EXPECT_TRUE(Polynomial(2, {1, 0, 1}).mod(Polynomial(2, {1, 1})).is_zero());
+  // x^3 mod (x^2 + 1) over Z_5: x^3 = x * (x^2+1) - x -> remainder -x = 4x.
+  EXPECT_EQ(Polynomial(5, {0, 0, 0, 1}).mod(Polynomial(5, {1, 0, 1})),
+            Polynomial(5, {0, 4}));
+}
+
+TEST(Polynomial, ModRejectsZeroDivisor) {
+  EXPECT_THROW(Polynomial(3, {1}).mod(Polynomial(3)), std::invalid_argument);
+}
+
+TEST(Polynomial, PowmodMatchesRepeatedMultiplication) {
+  const Polynomial x(7, {0, 1});
+  const Polynomial mod(7, {3, 1, 1});  // x^2 + x + 3
+  Polynomial expected = Polynomial::constant(7, 1);
+  for (int i = 0; i < 11; ++i) expected = (expected * x).mod(mod);
+  EXPECT_EQ(x.powmod(11, mod), expected);
+}
+
+TEST(Polynomial, GcdKnownValues) {
+  // gcd((x+1)(x+2), (x+1)(x+3)) = x+1 over Z_5.
+  const Polynomial a = Polynomial(5, {1, 1}) * Polynomial(5, {2, 1});
+  const Polynomial b = Polynomial(5, {1, 1}) * Polynomial(5, {3, 1});
+  EXPECT_EQ(Polynomial::gcd(a, b), Polynomial(5, {1, 1}));
+  // Coprime polynomials have gcd 1.
+  EXPECT_EQ(Polynomial::gcd(Polynomial(5, {1, 1}), Polynomial(5, {2, 1})),
+            Polynomial::constant(5, 1));
+}
+
+TEST(Polynomial, MonicScalesLeadingCoefficient) {
+  const Polynomial p(7, {2, 4, 3});
+  const Polynomial m = p.monic();
+  EXPECT_EQ(m.coeff(2), 1u);
+  // monic(p) = (1/3) * p; 3 * 5 = 15 = 1 mod 7.
+  EXPECT_EQ(m, Polynomial(7, {2 * 5 % 7, 4 * 5 % 7, 1}));
+}
+
+TEST(Polynomial, Evaluate) {
+  const Polynomial p(11, {1, 2, 3});  // 1 + 2x + 3x^2
+  EXPECT_EQ(p.evaluate(0), 1u);
+  EXPECT_EQ(p.evaluate(1), 6u);
+  EXPECT_EQ(p.evaluate(2), (1 + 4 + 12) % 11);
+}
+
+TEST(Polynomial, IrreducibilityKnownCases) {
+  // x^2 + x + 1 is irreducible over Z_2; x^2 + 1 = (x+1)^2 is not.
+  EXPECT_TRUE(is_irreducible(Polynomial(2, {1, 1, 1})));
+  EXPECT_FALSE(is_irreducible(Polynomial(2, {1, 0, 1})));
+  // x^2 + 1 is irreducible over Z_3 (no root: 0,1,2 -> 1,2,2).
+  EXPECT_TRUE(is_irreducible(Polynomial(3, {1, 0, 1})));
+  // x^2 - 1 factors everywhere.
+  EXPECT_FALSE(is_irreducible(Polynomial(7, {6, 0, 1})));
+  // Degree-1 polynomials are always irreducible.
+  EXPECT_TRUE(is_irreducible(Polynomial(5, {3, 1})));
+  // x^3 + x + 1 over Z_2 (classic GF(8) modulus).
+  EXPECT_TRUE(is_irreducible(Polynomial(2, {1, 1, 0, 1})));
+}
+
+TEST(Polynomial, IrreducibleHasNoRootsDegree2and3) {
+  // For degrees 2 and 3, irreducible <=> no roots; cross-check the Rabin
+  // test against exhaustive root search.
+  for (std::uint32_t p : {2u, 3u, 5u, 7u}) {
+    for (std::uint32_t c0 = 0; c0 < p; ++c0) {
+      for (std::uint32_t c1 = 0; c1 < p; ++c1) {
+        const Polynomial f(p, {c0, c1, 1});
+        bool has_root = false;
+        for (std::uint32_t x = 0; x < p; ++x) {
+          if (f.evaluate(x) == 0) has_root = true;
+        }
+        ASSERT_EQ(is_irreducible(f), !has_root)
+            << "p=" << p << " f=" << f.to_string();
+      }
+    }
+  }
+}
+
+class FindIrreducibleSweep
+    : public ::testing::TestWithParam<std::pair<std::uint32_t, std::uint32_t>> {
+};
+
+TEST_P(FindIrreducibleSweep, FindsAnIrreducibleOfRightDegree) {
+  const auto [p, degree] = GetParam();
+  const Polynomial f = find_irreducible(p, degree);
+  EXPECT_EQ(f.degree(), static_cast<int>(degree));
+  EXPECT_EQ(f.coeff(degree), 1u) << "must be monic";
+  EXPECT_TRUE(is_irreducible(f)) << f.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, FindIrreducibleSweep,
+    ::testing::Values(std::pair{2u, 1u}, std::pair{2u, 2u}, std::pair{2u, 3u},
+                      std::pair{2u, 4u}, std::pair{2u, 8u}, std::pair{3u, 2u},
+                      std::pair{3u, 3u}, std::pair{3u, 4u}, std::pair{5u, 2u},
+                      std::pair{5u, 3u}, std::pair{7u, 2u}, std::pair{11u, 2u},
+                      std::pair{13u, 2u}));
+
+TEST(Polynomial, ToStringReadable) {
+  EXPECT_EQ(Polynomial(3, {1, 2, 1}).to_string(), "x^2 + 2x + 1 (mod 3)");
+  EXPECT_EQ(Polynomial(3).to_string(), "0 (mod 3)");
+}
+
+}  // namespace
+}  // namespace pdl::algebra

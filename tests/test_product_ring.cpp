@@ -1,0 +1,130 @@
+#include "algebra/product_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algebra/gf.hpp"
+#include "algebra/numtheory.hpp"
+#include "algebra/zmod.hpp"
+
+namespace pdl::algebra {
+namespace {
+
+std::unique_ptr<const Ring> gf(Elem q) {
+  return std::make_unique<GaloisField>(q);
+}
+
+TEST(ProductRing, ComposeDecomposeRoundTrip) {
+  std::vector<std::unique_ptr<const Ring>> comps;
+  comps.push_back(gf(4));
+  comps.push_back(gf(3));
+  comps.push_back(gf(5));
+  const ProductRing ring(std::move(comps));
+  EXPECT_EQ(ring.order(), 60u);
+  for (Elem a = 0; a < 60; ++a) {
+    const auto parts = ring.decompose(a);
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_LT(parts[0], 4u);
+    EXPECT_LT(parts[1], 3u);
+    EXPECT_LT(parts[2], 5u);
+    EXPECT_EQ(ring.compose(parts), a);
+  }
+}
+
+TEST(ProductRing, SatisfiesRingAxiomsSmall) {
+  std::vector<std::unique_ptr<const Ring>> comps;
+  comps.push_back(gf(2));
+  comps.push_back(gf(3));
+  const ProductRing ring(std::move(comps));  // order 6, iso to Z_6
+  EXPECT_TRUE(check_ring_axioms(ring).empty());
+}
+
+TEST(ProductRing, AxiomsWithExtensionFieldComponent) {
+  std::vector<std::unique_ptr<const Ring>> comps;
+  comps.push_back(gf(4));
+  comps.push_back(gf(3));
+  const ProductRing ring(std::move(comps));  // order 12
+  EXPECT_TRUE(check_ring_axioms(ring).empty());
+}
+
+TEST(ProductRing, UnitsAreComponentwiseUnits) {
+  std::vector<std::unique_ptr<const Ring>> comps;
+  comps.push_back(gf(4));
+  comps.push_back(gf(5));
+  const ProductRing ring(std::move(comps));
+  std::uint32_t units = 0;
+  for (Elem a = 0; a < ring.order(); ++a) {
+    const auto parts = ring.decompose(a);
+    const bool expect_unit = parts[0] != 0 && parts[1] != 0;
+    ASSERT_EQ(ring.is_unit(a), expect_unit);
+    if (ring.is_unit(a)) ++units;
+  }
+  EXPECT_EQ(units, 3u * 4u);  // (4-1)(5-1)
+}
+
+TEST(ProductRing, OperationsAreComponentwise) {
+  std::vector<std::unique_ptr<const Ring>> comps;
+  comps.push_back(gf(8));
+  comps.push_back(gf(9));
+  const ProductRing ring(std::move(comps));
+  const GaloisField f8(8);
+  const GaloisField f9(9);
+  for (Elem a = 0; a < ring.order(); a += 5) {
+    for (Elem b = 0; b < ring.order(); b += 7) {
+      const auto pa = ring.decompose(a);
+      const auto pb = ring.decompose(b);
+      const auto sum = ring.decompose(ring.add(a, b));
+      const auto prod = ring.decompose(ring.mul(a, b));
+      EXPECT_EQ(sum[0], f8.add(pa[0], pb[0]));
+      EXPECT_EQ(sum[1], f9.add(pa[1], pb[1]));
+      EXPECT_EQ(prod[0], f8.mul(pa[0], pb[0]));
+      EXPECT_EQ(prod[1], f9.mul(pa[1], pb[1]));
+    }
+  }
+}
+
+TEST(ProductRing, Name) {
+  std::vector<std::unique_ptr<const Ring>> comps;
+  comps.push_back(gf(4));
+  comps.push_back(gf(25));
+  const ProductRing ring(std::move(comps));
+  EXPECT_EQ(ring.name(), "GF(4) x GF(25)");
+}
+
+TEST(ProductRing, RejectsEmpty) {
+  EXPECT_THROW(ProductRing({}), std::invalid_argument);
+}
+
+class MakeRingSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MakeRingSweep, ProducesMaximumGeneratorSet) {
+  const std::uint64_t v = GetParam();
+  const auto [ring, gens] = make_ring_with_generators(v);
+  ASSERT_NE(ring, nullptr);
+  EXPECT_EQ(ring->order(), v);
+  EXPECT_EQ(gens.size(), min_prime_power_factor(v))
+      << "generator set must achieve the Theorem 2 maximum M(v)";
+  EXPECT_TRUE(is_generator_set(*ring, gens));
+  // g_0 must be 0 so that tuple position 0 of block (x, y) is x itself.
+  EXPECT_EQ(gens[0], 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, MakeRingSweep,
+                         ::testing::Values(2, 3, 4, 6, 8, 9, 10, 12, 15, 20,
+                                           30, 36, 49, 60, 72, 100, 144, 210,
+                                           1000));
+
+TEST(MakeRing, PrimePowerGivesField) {
+  const auto [ring, gens] = make_ring_with_generators(27);
+  EXPECT_EQ(gens.size(), 27u);
+  EXPECT_EQ(ring->name(), "GF(27)");
+  // Every nonzero element is a unit.
+  for (Elem a = 1; a < 27; ++a) EXPECT_TRUE(ring->is_unit(a));
+}
+
+TEST(MakeRing, RejectsDegenerate) {
+  EXPECT_THROW(make_ring_with_generators(0), std::invalid_argument);
+  EXPECT_THROW(make_ring_with_generators(1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pdl::algebra

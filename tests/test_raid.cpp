@@ -1,0 +1,61 @@
+#include "layout/raid.hpp"
+
+#include <gtest/gtest.h>
+
+#include "layout/metrics.hpp"
+
+namespace pdl::layout {
+namespace {
+
+TEST(Raid5, RotatedParityPerfectlyBalancedWhenRowsMultipleOfV) {
+  const Layout l = raid5_layout(5, 10);
+  EXPECT_EQ(l.num_disks(), 5u);
+  EXPECT_EQ(l.units_per_disk(), 10u);
+  EXPECT_TRUE(l.validate().empty());
+  const auto m = compute_metrics(l);
+  EXPECT_EQ(m.min_parity_units, 2u);
+  EXPECT_EQ(m.max_parity_units, 2u);
+  EXPECT_DOUBLE_EQ(m.max_parity_overhead, 1.0 / 5);
+}
+
+TEST(Raid5, ReconstructionReadsEverythingFromEveryDisk) {
+  // The k = v extreme: every stripe crosses every disk, so rebuilding one
+  // disk reads 100% of every survivor -- the pathology declustering fixes.
+  const Layout l = raid5_layout(6, 6);
+  const auto m = compute_metrics(l);
+  EXPECT_DOUBLE_EQ(m.max_recon_workload, 1.0);
+  EXPECT_DOUBLE_EQ(m.min_recon_workload, 1.0);
+}
+
+TEST(Raid5, ParityRotatesAcrossRows) {
+  const Layout l = raid5_layout(4, 4);
+  std::set<DiskId> parity_disks;
+  for (const Stripe& st : l.stripes()) {
+    parity_disks.insert(st.parity_unit().disk);
+  }
+  EXPECT_EQ(parity_disks.size(), 4u) << "each disk takes one parity turn";
+}
+
+TEST(Raid5, UnevenRowsWithinOne) {
+  const Layout l = raid5_layout(4, 6);
+  const auto m = compute_metrics(l);
+  EXPECT_LE(m.max_parity_units - m.min_parity_units, 1u);
+}
+
+TEST(Raid4, AllParityOnLastDisk) {
+  const Layout l = raid4_layout(5, 8);
+  const auto m = compute_metrics(l);
+  EXPECT_EQ(m.max_parity_units, 8u);
+  EXPECT_EQ(m.min_parity_units, 0u);
+  for (const Stripe& st : l.stripes()) {
+    EXPECT_EQ(st.parity_unit().disk, 4u);
+  }
+}
+
+TEST(Raid, RejectsZeroRows) {
+  EXPECT_THROW(raid5_layout(4, 0), std::invalid_argument);
+  EXPECT_THROW(raid4_layout(4, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pdl::layout

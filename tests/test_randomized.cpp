@@ -1,0 +1,83 @@
+#include "layout/randomized.hpp"
+
+#include <gtest/gtest.h>
+
+#include "layout/metrics.hpp"
+
+namespace pdl::layout {
+namespace {
+
+TEST(Randomized, ProducesValidHoleFreeLayout) {
+  const Layout l = randomized_layout(10, 5, 20, /*seed=*/7);
+  EXPECT_EQ(l.num_disks(), 10u);
+  EXPECT_EQ(l.units_per_disk(), 20u);
+  EXPECT_EQ(l.num_stripes(), 10u * 20 / 5);
+  EXPECT_TRUE(l.validate().empty());
+}
+
+TEST(Randomized, AllStripesHaveSizeK) {
+  const Layout l = randomized_layout(13, 4, 16, 3);
+  for (const Stripe& st : l.stripes()) {
+    EXPECT_EQ(st.size(), 4u);
+  }
+}
+
+TEST(Randomized, DeterministicInSeed) {
+  const Layout a = randomized_layout(9, 3, 12, 42);
+  const Layout b = randomized_layout(9, 3, 12, 42);
+  ASSERT_EQ(a.num_stripes(), b.num_stripes());
+  for (std::size_t s = 0; s < a.num_stripes(); ++s) {
+    EXPECT_EQ(a.stripes()[s].units, b.stripes()[s].units);
+  }
+  const Layout c = randomized_layout(9, 3, 12, 43);
+  bool any_diff = false;
+  for (std::size_t s = 0; s < a.num_stripes(); ++s) {
+    if (a.stripes()[s].units != c.stripes()[s].units) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff) << "different seeds must differ";
+}
+
+TEST(Randomized, ParityIsFlowBalanced) {
+  // b = v*rounds/k stripes; per-disk parity within floor/ceil of b/v.
+  const std::uint32_t v = 12, k = 4, rounds = 16;
+  const Layout l = randomized_layout(v, k, rounds, 5);
+  const std::uint64_t b = static_cast<std::uint64_t>(v) * rounds / k;
+  const auto m = compute_metrics(l);
+  EXPECT_GE(m.min_parity_units, b / v);
+  EXPECT_LE(m.max_parity_units, (b + v - 1) / v);
+}
+
+TEST(Randomized, ReconstructionOnlyApproximatelyBalanced) {
+  // The point of the comparison: random stripes do NOT give the exact
+  // pairwise balance of a BIBD; spread must exist but stay moderate.
+  const Layout l = randomized_layout(15, 5, 56, 11);
+  const auto m = compute_metrics(l);
+  EXPECT_GT(m.max_recon_units, m.min_recon_units)
+      << "randomized layouts should not be perfectly balanced";
+  EXPECT_GT(m.min_recon_units, 0u)
+      << "every pair should co-occur at this density";
+}
+
+TEST(Randomized, InvalidArguments) {
+  EXPECT_THROW(randomized_layout(5, 6, 10), std::invalid_argument);
+  EXPECT_THROW(randomized_layout(5, 1, 10), std::invalid_argument);
+  EXPECT_THROW(randomized_layout(10, 4, 0), std::invalid_argument);
+  // k must divide v * rounds.
+  EXPECT_THROW(randomized_layout(10, 4, 3), std::invalid_argument);
+}
+
+TEST(Randomized, ManySeedsAlwaysValid) {
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    const Layout l = randomized_layout(11, 4, 8, seed);
+    ASSERT_TRUE(l.validate().empty()) << "seed " << seed;
+  }
+}
+
+TEST(Randomized, KEqualsVDegeneratesToFullStripes) {
+  const Layout l = randomized_layout(6, 6, 6, 1);
+  for (const Stripe& st : l.stripes()) EXPECT_EQ(st.size(), 6u);
+  EXPECT_TRUE(l.validate().empty());
+}
+
+}  // namespace
+}  // namespace pdl::layout

@@ -1,0 +1,80 @@
+#include "sim/reconstruction.hpp"
+
+#include <gtest/gtest.h>
+
+#include "layout/raid.hpp"
+#include "layout/ring_layout.hpp"
+#include "layout/stairway.hpp"
+
+namespace pdl::sim {
+namespace {
+
+TEST(Reconstruction, RingLayoutReadsExactFraction) {
+  const auto layout = layout::ring_based_layout(9, 3);
+  const auto analysis = analyze_reconstruction(layout, 4);
+  EXPECT_EQ(analysis.failed, 4u);
+  EXPECT_EQ(analysis.units_per_disk, 24u);
+  EXPECT_EQ(analysis.units_to_read[4], 0u);
+  // Every survivor reads lambda = k(k-1) = 6 units = (k-1)/(v-1) of itself.
+  for (layout::DiskId d = 0; d < 9; ++d) {
+    if (d == 4) continue;
+    EXPECT_EQ(analysis.units_to_read[d], 6u);
+  }
+  EXPECT_DOUBLE_EQ(analysis.max_fraction(), 2.0 / 8.0);
+  EXPECT_DOUBLE_EQ(analysis.min_fraction(), 2.0 / 8.0);
+  EXPECT_EQ(analysis.total_units, 8u * 6u);
+}
+
+TEST(Reconstruction, Raid5ReadsWholeArray) {
+  const auto layout = layout::raid5_layout(5, 10);
+  const auto analysis = analyze_reconstruction(layout, 0);
+  EXPECT_DOUBLE_EQ(analysis.max_fraction(), 1.0);
+  EXPECT_DOUBLE_EQ(analysis.min_fraction(), 1.0);
+}
+
+TEST(Reconstruction, ReadBoundScalesWithMaxUnits) {
+  const auto layout = layout::ring_based_layout(9, 3);
+  const auto analysis = analyze_reconstruction(layout, 0);
+  const DiskParams disk{10.0, 2.0};
+  EXPECT_DOUBLE_EQ(analysis.read_bound_ms(disk), 6 * 12.0);
+}
+
+TEST(Reconstruction, WorstCaseOverAllFailures) {
+  const auto ring = layout::ring_based_layout(9, 3);
+  EXPECT_DOUBLE_EQ(worst_case_reconstruction_fraction(ring), 0.25);
+  const auto raid5 = layout::raid5_layout(9, 9);
+  EXPECT_DOUBLE_EQ(worst_case_reconstruction_fraction(raid5), 1.0);
+}
+
+TEST(Reconstruction, StairwayWithinTheoremBounds) {
+  const auto plan = layout::plan_stairway(9, 12, 3);
+  ASSERT_TRUE(plan.has_value());
+  const auto layout = layout::build_stairway_layout(
+      design::make_ring_design(9, 3), *plan);
+  for (layout::DiskId f = 0; f < 12; ++f) {
+    const auto analysis = analyze_reconstruction(layout, f);
+    EXPECT_LE(analysis.max_fraction(), plan->recon_workload_hi() + 1e-12);
+    EXPECT_GE(analysis.min_fraction(), plan->recon_workload_lo() - 1e-12);
+  }
+}
+
+TEST(Reconstruction, DeclusteringRatioDrivesTheFraction) {
+  // Holland-Gibson's declustering ratio alpha = (k-1)/(v-1): the fraction
+  // read from each survivor.  Check monotonicity in k at fixed v.
+  double last = 0.0;
+  for (const std::uint32_t k : {2u, 3u, 5u, 7u, 9u}) {
+    const auto layout = layout::ring_based_layout(13, k);
+    const double f = worst_case_reconstruction_fraction(layout);
+    EXPECT_DOUBLE_EQ(f, static_cast<double>(k - 1) / 12.0);
+    EXPECT_GT(f, last);
+    last = f;
+  }
+}
+
+TEST(Reconstruction, BadDiskRejected) {
+  const auto layout = layout::raid5_layout(4, 4);
+  EXPECT_THROW(analyze_reconstruction(layout, 4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pdl::sim

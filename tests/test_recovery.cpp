@@ -1,0 +1,58 @@
+#include "core/recovery.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "layout/ring_layout.hpp"
+
+namespace pdl::core {
+namespace {
+
+TEST(Recovery, PlanCoversEveryLostUnitExactlyOnce) {
+  const auto layout = layout::ring_based_layout(7, 3);
+  const layout::DiskId failed = 2;
+  const auto plan = plan_recovery(layout, failed);
+  EXPECT_EQ(plan.failed, failed);
+  // One repair per unit of the failed disk.
+  EXPECT_EQ(plan.repairs.size(), layout.units_per_disk());
+  std::set<std::uint32_t> offsets;
+  for (const auto& repair : plan.repairs) {
+    EXPECT_EQ(repair.lost.disk, failed);
+    EXPECT_TRUE(offsets.insert(repair.lost.offset).second);
+    // Reads = the other k-1 units of the stripe, none on the failed disk.
+    EXPECT_EQ(repair.reads.size(), 2u);
+    for (const auto& read : repair.reads) {
+      EXPECT_NE(read.disk, failed);
+    }
+  }
+}
+
+TEST(Recovery, AnalysisMatchesRepairReads) {
+  const auto layout = layout::ring_based_layout(8, 3);
+  const auto plan = plan_recovery(layout, 0);
+  std::vector<std::uint32_t> reads(8, 0);
+  for (const auto& repair : plan.repairs) {
+    for (const auto& read : repair.reads) ++reads[read.disk];
+  }
+  EXPECT_EQ(reads, plan.analysis.units_to_read);
+}
+
+TEST(Recovery, RepairStripeIndicesAreValid) {
+  const auto layout = layout::ring_based_layout(5, 3);
+  const auto plan = plan_recovery(layout, 4);
+  for (const auto& repair : plan.repairs) {
+    ASSERT_LT(repair.stripe, layout.num_stripes());
+    const auto& stripe = layout.stripes()[repair.stripe];
+    // lost + reads together are exactly the stripe's units.
+    EXPECT_EQ(repair.reads.size() + 1, stripe.units.size());
+  }
+}
+
+TEST(Recovery, BadDiskRejected) {
+  const auto layout = layout::ring_based_layout(5, 3);
+  EXPECT_THROW(plan_recovery(layout, 5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pdl::core

@@ -1,0 +1,119 @@
+#include "design/reduced_design.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "algebra/gf.hpp"
+
+namespace pdl::design {
+namespace {
+
+using Param = std::pair<std::uint32_t, std::uint32_t>;
+
+class Theorem4Sweep : public ::testing::TestWithParam<Param> {};
+
+TEST_P(Theorem4Sweep, ProducesBibdWithReducedParameters) {
+  const auto [v, k] = GetParam();
+  const BlockDesign design = make_theorem4_design(v, k);
+  const auto check = verify_bibd(design);
+  ASSERT_TRUE(check.ok) << (check.errors.empty() ? "" : check.errors[0]);
+  EXPECT_EQ(check.params, theorem4_params(v, k))
+      << "v=" << v << " k=" << k;
+}
+
+TEST_P(Theorem4Sweep, GeneratorsAreValidAndStartAtZero) {
+  const auto [v, k] = GetParam();
+  const auto gens = theorem4_generators(v, k);
+  ASSERT_EQ(gens.size(), k);
+  EXPECT_EQ(gens[0], 0u);
+  auto field = algebra::get_field(v);
+  EXPECT_TRUE(algebra::is_generator_set(*field, gens));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, Theorem4Sweep,
+    ::testing::Values(Param{5, 3}, Param{7, 3}, Param{7, 4}, Param{8, 3},
+                      Param{9, 3}, Param{9, 5}, Param{11, 5}, Param{11, 6},
+                      Param{13, 4}, Param{13, 5}, Param{16, 4}, Param{16, 6},
+                      Param{17, 5}, Param{19, 7}, Param{25, 5}, Param{25, 7},
+                      Param{27, 3}, Param{31, 6}, Param{32, 5}, Param{49, 5},
+                      Param{64, 10}));
+
+class Theorem5Sweep : public ::testing::TestWithParam<Param> {};
+
+TEST_P(Theorem5Sweep, ProducesBibdWithReducedParameters) {
+  const auto [v, k] = GetParam();
+  const BlockDesign design = make_theorem5_design(v, k);
+  const auto check = verify_bibd(design);
+  ASSERT_TRUE(check.ok) << (check.errors.empty() ? "" : check.errors[0]);
+  EXPECT_EQ(check.params, theorem5_params(v, k))
+      << "v=" << v << " k=" << k;
+}
+
+TEST_P(Theorem5Sweep, GeneratorsAreValidAndStartAtZero) {
+  const auto [v, k] = GetParam();
+  const auto gens = theorem5_generators(v, k);
+  ASSERT_EQ(gens.size(), k);
+  EXPECT_EQ(gens[0], 0u);
+  auto field = algebra::get_field(v);
+  EXPECT_TRUE(algebra::is_generator_set(*field, gens));
+  // The permutation's fixed point z = 1 is never a generator.
+  for (const auto g : gens) EXPECT_NE(g, field->one());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, Theorem5Sweep,
+    ::testing::Values(Param{5, 2}, Param{5, 4}, Param{7, 2}, Param{7, 3},
+                      Param{8, 7}, Param{9, 4}, Param{9, 8}, Param{11, 5},
+                      Param{13, 3}, Param{13, 4}, Param{16, 3}, Param{16, 5},
+                      Param{17, 4}, Param{19, 6}, Param{25, 4}, Param{25, 6},
+                      Param{27, 13}, Param{31, 5}, Param{32, 31},
+                      Param{49, 4}, Param{64, 9}));
+
+TEST(ReducedDesign, Theorem4ReductionFactorIsGcd) {
+  // v=13, k=5: gcd(12, 4) = 4, so b = 13*12/4 = 39.
+  EXPECT_EQ(theorem4_params(13, 5).b, 39u);
+  EXPECT_EQ(make_theorem4_design(13, 5).b(), 39u);
+  // gcd = 1 degenerates to the full Theorem 1 design.
+  EXPECT_EQ(theorem4_params(8, 4).b, 8u * 7u / std::gcd(7u, 3u));
+}
+
+TEST(ReducedDesign, Theorem5ReductionFactorIsGcd) {
+  // v=13, k=4: gcd(12, 4) = 4, so b = 39.
+  EXPECT_EQ(theorem5_params(13, 4).b, 39u);
+  EXPECT_EQ(make_theorem5_design(13, 4).b(), 39u);
+}
+
+TEST(ReducedDesign, TheoremsRejectNonPrimePowerV) {
+  EXPECT_THROW(make_theorem4_design(6, 3), std::invalid_argument);
+  EXPECT_THROW(make_theorem5_design(10, 3), std::invalid_argument);
+  EXPECT_THROW(theorem4_generators(12, 3), std::invalid_argument);
+}
+
+TEST(ReducedDesign, Theorem5RejectsKEqualsV) {
+  EXPECT_THROW(make_theorem5_design(7, 7), std::invalid_argument);
+}
+
+TEST(ReducedDesign, Theorem4CanBeSmallerThanTheorem5AndViceVersa) {
+  // k-1 | v-1 favors Theorem 4; k | v-1 favors Theorem 5.
+  const auto t4_a = theorem4_params(13, 5);  // gcd(12,4)=4
+  const auto t5_a = theorem5_params(13, 5);  // gcd(12,5)=1
+  EXPECT_LT(t4_a.b, t5_a.b);
+  const auto t4_b = theorem4_params(13, 4);  // gcd(12,3)=3
+  const auto t5_b = theorem5_params(13, 4);  // gcd(12,4)=4
+  EXPECT_LT(t5_b.b, t4_b.b);
+}
+
+TEST(ReducedDesign, GenericReducerConfirmsTheClaimedRedundancy) {
+  // Build the unreduced Theorem-1 design over the Theorem 4 generators and
+  // check that its uniform redundancy factor is a multiple of the gcd.
+  const std::uint32_t v = 13, k = 5;
+  auto field = algebra::get_field(v);
+  const RingDesign rd = make_ring_design(field, theorem4_generators(v, k));
+  const auto reduced = reduce_redundancy(rd.design);
+  EXPECT_EQ(reduced.factor % std::gcd(v - 1, k - 1), 0u);
+}
+
+}  // namespace
+}  // namespace pdl::design

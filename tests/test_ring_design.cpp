@@ -1,0 +1,133 @@
+#include "design/ring_design.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algebra/gf.hpp"
+#include "algebra/numtheory.hpp"
+#include "algebra/zmod.hpp"
+
+namespace pdl::design {
+namespace {
+
+// Theorem 1 sweep: construct and fully verify ring designs for a range of
+// (v, k), both prime-power and composite v.
+class RingDesignSweep
+    : public ::testing::TestWithParam<std::pair<std::uint32_t, std::uint32_t>> {
+};
+
+TEST_P(RingDesignSweep, IsABibdWithTheorem1Parameters) {
+  const auto [v, k] = GetParam();
+  ASSERT_TRUE(ring_design_exists(v, k));
+  const RingDesign rd = make_ring_design(v, k);
+  EXPECT_EQ(rd.v(), v);
+  EXPECT_EQ(rd.k(), k);
+  EXPECT_EQ(rd.generators.size(), k);
+
+  const auto check = verify_bibd(rd.design);
+  ASSERT_TRUE(check.ok) << (check.errors.empty() ? "" : check.errors[0]);
+  EXPECT_EQ(check.params, ring_design_params(v, k));
+}
+
+TEST_P(RingDesignSweep, BlockIndexingRoundTrips) {
+  const auto [v, k] = GetParam();
+  const RingDesign rd = make_ring_design(v, k);
+  for (algebra::Elem x = 0; x < v; ++x) {
+    for (algebra::Elem y = 1; y < v; ++y) {
+      const std::size_t idx = rd.block_index(x, y);
+      ASSERT_EQ(rd.block_x(idx), x);
+      ASSERT_EQ(rd.block_y(idx), y);
+      // Position 0 of the tuple is the g_0-th element = x (g_0 = 0).
+      ASSERT_EQ(rd.design.blocks[idx][0], x);
+    }
+  }
+}
+
+TEST_P(RingDesignSweep, TupleFormulaMatchesStoredBlocks) {
+  const auto [v, k] = GetParam();
+  const RingDesign rd = make_ring_design(v, k);
+  // Spot-check a diagonal of (x, y) pairs.
+  for (algebra::Elem t = 1; t < v; ++t) {
+    const algebra::Elem x = t % v;
+    const algebra::Elem y = t;
+    const auto tuple =
+        ring_design_tuple(*rd.ring, rd.generators, x, y);
+    ASSERT_EQ(tuple, rd.design.blocks[rd.block_index(x, y)]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PrimePowerV, RingDesignSweep,
+    ::testing::Values(std::pair{4u, 2u}, std::pair{4u, 3u}, std::pair{5u, 3u},
+                      std::pair{7u, 3u}, std::pair{8u, 5u}, std::pair{9u, 4u},
+                      std::pair{13u, 5u}, std::pair{16u, 7u},
+                      std::pair{17u, 5u}, std::pair{25u, 6u},
+                      std::pair{27u, 9u}, std::pair{32u, 8u},
+                      std::pair{49u, 10u}, std::pair{64u, 5u}));
+
+INSTANTIATE_TEST_SUITE_P(
+    CompositeV, RingDesignSweep,
+    ::testing::Values(std::pair{6u, 2u}, std::pair{12u, 3u},
+                      std::pair{15u, 3u}, std::pair{20u, 4u},
+                      std::pair{21u, 3u}, std::pair{35u, 5u},
+                      std::pair{36u, 4u}, std::pair{45u, 5u},
+                      std::pair{72u, 8u}));
+
+TEST(RingDesign, Theorem2Characterization) {
+  // k <= M(v) exactly.
+  EXPECT_TRUE(ring_design_exists(12, 3));
+  EXPECT_FALSE(ring_design_exists(12, 4));   // M(12) = 3
+  EXPECT_TRUE(ring_design_exists(72, 8));
+  EXPECT_FALSE(ring_design_exists(72, 9));   // M(72) = 8
+  EXPECT_TRUE(ring_design_exists(30, 2));
+  EXPECT_FALSE(ring_design_exists(30, 3));   // M(30) = 2
+  EXPECT_TRUE(ring_design_exists(49, 49));   // prime power: any k <= v
+  EXPECT_FALSE(ring_design_exists(49, 50));
+  EXPECT_FALSE(ring_design_exists(5, 1));    // k >= 2
+  EXPECT_FALSE(ring_design_exists(1, 1));
+}
+
+TEST(RingDesign, ConstructionRejectsInfeasible) {
+  EXPECT_THROW(make_ring_design(12, 4), std::invalid_argument);
+  EXPECT_THROW(make_ring_design(30, 3), std::invalid_argument);
+}
+
+TEST(RingDesign, RejectsBadGeneratorSets) {
+  auto field = algebra::get_field(7);
+  // Duplicate generators: difference 0 is not a unit.
+  EXPECT_THROW(make_ring_design(field, {0, 3, 3}), std::invalid_argument);
+  // Too few.
+  EXPECT_THROW(make_ring_design(field, {0}), std::invalid_argument);
+  // In Z_6, {0, 2} has difference 2, not a unit.
+  auto z6 = std::make_shared<const algebra::ZmodRing>(6);
+  EXPECT_THROW(make_ring_design(z6, {0, 2}), std::invalid_argument);
+  // But {0, 1} works.
+  EXPECT_NO_THROW(make_ring_design(z6, {0, 1}));
+}
+
+TEST(RingDesign, ExplicitZmodConstruction) {
+  // Z_10 with generators {0, 1}: b = 90, r = 2*9, lambda = 2.
+  auto z10 = std::make_shared<const algebra::ZmodRing>(10);
+  const RingDesign rd = make_ring_design(z10, {0, 1});
+  const auto check = verify_bibd(rd.design);
+  ASSERT_TRUE(check.ok);
+  EXPECT_EQ(check.params.b, 90u);
+  EXPECT_EQ(check.params.r, 18u);
+  EXPECT_EQ(check.params.lambda, 2u);
+}
+
+TEST(RingDesign, TupleRejectsZeroY) {
+  const RingDesign rd = make_ring_design(5, 3);
+  EXPECT_THROW(ring_design_tuple(*rd.ring, rd.generators, 0, 0),
+               std::invalid_argument);
+}
+
+TEST(RingDesign, EachTupleContainsItsX) {
+  const RingDesign rd = make_ring_design(9, 3);
+  for (std::size_t i = 0; i < rd.design.blocks.size(); ++i) {
+    const auto& block = rd.design.blocks[i];
+    EXPECT_EQ(block[0], rd.block_x(i));
+  }
+}
+
+}  // namespace
+}  // namespace pdl::design

@@ -1,0 +1,99 @@
+#include "layout/ring_layout.hpp"
+
+#include <gtest/gtest.h>
+
+#include "layout/metrics.hpp"
+
+namespace pdl::layout {
+namespace {
+
+using Param = std::pair<std::uint32_t, std::uint32_t>;
+
+class RingLayoutSweep : public ::testing::TestWithParam<Param> {};
+
+TEST_P(RingLayoutSweep, HasPaperStatedSizeAndPerfectBalance) {
+  const auto [v, k] = GetParam();
+  const Layout l = ring_based_layout(v, k);
+  EXPECT_EQ(l.num_disks(), v);
+  EXPECT_EQ(l.units_per_disk(), k * (v - 1)) << "size k(v-1)";
+  EXPECT_EQ(l.num_stripes(), static_cast<std::size_t>(v) * (v - 1));
+  EXPECT_TRUE(l.validate().empty());
+
+  const auto m = compute_metrics(l);
+  // Exactly v-1 parity units per disk: parity overhead exactly 1/k.
+  EXPECT_EQ(m.min_parity_units, v - 1);
+  EXPECT_EQ(m.max_parity_units, v - 1);
+  EXPECT_DOUBLE_EQ(m.max_parity_overhead, 1.0 / k);
+  // Every ordered pair shares lambda = k(k-1) stripes: reconstruction
+  // workload exactly (k-1)/(v-1).
+  EXPECT_EQ(m.min_recon_units, k * (k - 1));
+  EXPECT_EQ(m.max_recon_units, k * (k - 1));
+  EXPECT_DOUBLE_EQ(m.max_recon_workload,
+                   static_cast<double>(k - 1) / (v - 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, RingLayoutSweep,
+                         ::testing::Values(Param{4, 3}, Param{5, 3},
+                                           Param{7, 3}, Param{8, 4},
+                                           Param{9, 3}, Param{11, 5},
+                                           Param{13, 4}, Param{16, 5},
+                                           Param{17, 3}, Param{25, 5},
+                                           // composite v with k <= M(v)
+                                           Param{12, 3}, Param{15, 3},
+                                           Param{20, 4}, Param{36, 4}));
+
+TEST(RingLayout, ParityIsOnDiskX) {
+  const auto rd = design::make_ring_design(7, 3);
+  const Layout l = ring_based_layout(rd);
+  // Stripe (x, y) is block index x*(v-1)+(y-1) and its parity disk is x.
+  for (std::size_t i = 0; i < l.num_stripes(); ++i) {
+    EXPECT_EQ(l.stripes()[i].parity_unit().disk, rd.block_x(i));
+  }
+}
+
+TEST(RingLayout, StripeSpecsMatchLayout) {
+  const auto rd = design::make_ring_design(8, 3);
+  const auto specs = ring_copy_stripes(rd);
+  const Layout l = ring_based_layout(rd);
+  ASSERT_EQ(specs.size(), l.num_stripes());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    ASSERT_EQ(specs[i].disks.size(), l.stripes()[i].units.size());
+    for (std::size_t j = 0; j < specs[i].disks.size(); ++j) {
+      EXPECT_EQ(specs[i].disks[j], l.stripes()[i].units[j].disk);
+    }
+    EXPECT_EQ(specs[i].parity_pos, l.stripes()[i].parity_pos);
+  }
+}
+
+TEST(RingLayout, RemovedSpecsDropTheDiskAndReassignParity) {
+  const auto rd = design::make_ring_design(7, 3);
+  const design::Elem removed = 2;
+  const auto specs = ring_copy_stripes(rd, removed);
+  std::size_t shrunk = 0;
+  std::vector<std::uint32_t> parity_per_disk(7, 0);
+  for (const auto& spec : specs) {
+    for (const auto d : spec.disks) ASSERT_NE(d, removed);
+    if (spec.disks.size() == 2) ++shrunk;
+    ASSERT_LT(spec.parity_pos, spec.disks.size());
+    ++parity_per_disk[spec.disks[spec.parity_pos]];
+  }
+  // The removed disk appeared in r = k(v-1) stripes.
+  EXPECT_EQ(shrunk, 3u * 6u);
+  // Theorem 8: each surviving disk now holds exactly v parity units.
+  for (design::Elem d = 0; d < 7; ++d) {
+    if (d == removed) {
+      EXPECT_EQ(parity_per_disk[d], 0u);
+    } else {
+      EXPECT_EQ(parity_per_disk[d], 7u);
+    }
+  }
+}
+
+TEST(RingLayout, InfeasiblePairsRejected) {
+  EXPECT_THROW(ring_based_layout(12, 4), std::invalid_argument);
+  EXPECT_THROW(ring_copy_stripes(design::make_ring_design(7, 3), 9),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pdl::layout

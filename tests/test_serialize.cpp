@@ -1,0 +1,130 @@
+#include "layout/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "layout/disk_removal.hpp"
+#include "layout/metrics.hpp"
+#include "layout/raid.hpp"
+#include "layout/ring_layout.hpp"
+#include "layout/stairway.hpp"
+
+namespace pdl::layout {
+namespace {
+
+void expect_same_layout(const Layout& a, const Layout& b) {
+  ASSERT_EQ(a.num_disks(), b.num_disks());
+  ASSERT_EQ(a.units_per_disk(), b.units_per_disk());
+  ASSERT_EQ(a.num_stripes(), b.num_stripes());
+  for (std::size_t s = 0; s < a.num_stripes(); ++s) {
+    EXPECT_EQ(a.stripes()[s].parity_pos, b.stripes()[s].parity_pos);
+    EXPECT_EQ(a.stripes()[s].units, b.stripes()[s].units);
+  }
+}
+
+TEST(Serialize, RoundTripAcrossLayoutFamilies) {
+  const std::vector<Layout> layouts = {
+      raid5_layout(5, 10),
+      ring_based_layout(9, 3),
+      removal_layout(9, 4, 1),
+      removal_layout(16, 9, 3),
+      stairway_layout(8, 10, 3),
+  };
+  for (const Layout& original : layouts) {
+    const Layout restored = parse_layout(serialize_layout(original));
+    expect_same_layout(original, restored);
+    // Metrics agree too (belt and braces).
+    EXPECT_EQ(compute_metrics(original).to_string(),
+              compute_metrics(restored).to_string());
+  }
+}
+
+TEST(Serialize, FormatIsStable) {
+  Layout l(2, 1);
+  l.append_stripe({0, 1}, 1);
+  EXPECT_EQ(serialize_layout(l),
+            "pdl-layout 1\n"
+            "disks 2 units 1\n"
+            "stripes 1\n"
+            "1 0:0 1:0\n");
+}
+
+TEST(Serialize, FileRoundTrip) {
+  const Layout original = ring_based_layout(7, 3);
+  const std::string path = ::testing::TempDir() + "/pdl_layout_test.txt";
+  save_layout(path, original);
+  const Layout restored = load_layout(path);
+  expect_same_layout(original, restored);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsBadMagic) {
+  EXPECT_THROW(parse_layout("nonsense 1\n"), std::invalid_argument);
+}
+
+TEST(Serialize, RejectsWrongVersion) {
+  EXPECT_THROW(parse_layout("pdl-layout 99\ndisks 2 units 1\nstripes 0\n"),
+               std::invalid_argument);
+}
+
+TEST(Serialize, RejectsTruncatedInput) {
+  const std::string good = serialize_layout(raid5_layout(4, 4));
+  const std::string truncated = good.substr(0, good.size() / 2);
+  EXPECT_THROW(parse_layout(truncated), std::invalid_argument);
+}
+
+TEST(Serialize, RejectsMalformedUnits) {
+  EXPECT_THROW(parse_layout("pdl-layout 1\n"
+                            "disks 2 units 1\n"
+                            "stripes 1\n"
+                            "0 0:0 banana\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_layout("pdl-layout 1\n"
+                            "disks 2 units 1\n"
+                            "stripes 1\n"
+                            "0 0:0 1-0\n"),
+               std::invalid_argument);
+}
+
+TEST(Serialize, RejectsConditionOneViolation) {
+  // Two units of one stripe on the same disk.
+  EXPECT_THROW(parse_layout("pdl-layout 1\n"
+                            "disks 2 units 2\n"
+                            "stripes 1\n"
+                            "0 0:0 0:1\n"),
+               std::invalid_argument);
+}
+
+TEST(Serialize, RejectsOverlappingStripes) {
+  EXPECT_THROW(parse_layout("pdl-layout 1\n"
+                            "disks 2 units 1\n"
+                            "stripes 2\n"
+                            "0 0:0 1:0\n"
+                            "0 0:0\n"),
+               std::invalid_argument);
+}
+
+TEST(Serialize, RejectsBadParityPosition) {
+  EXPECT_THROW(parse_layout("pdl-layout 1\n"
+                            "disks 2 units 1\n"
+                            "stripes 1\n"
+                            "5 0:0 1:0\n"),
+               std::invalid_argument);
+}
+
+TEST(Serialize, ErrorsCarryLineNumbers) {
+  try {
+    parse_layout("pdl-layout 1\n"
+                 "disks 2 units 1\n"
+                 "stripes 1\n"
+                 "0 0:0 9:0\n");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos)
+        << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace pdl::layout

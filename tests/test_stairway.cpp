@@ -1,0 +1,171 @@
+#include "layout/stairway.hpp"
+
+#include <gtest/gtest.h>
+
+#include "layout/metrics.hpp"
+
+namespace pdl::layout {
+namespace {
+
+TEST(StairwayPlan, ConditionsEightAndNine) {
+  // q=8 -> v=9: W=1, smallest c with w = v - cW in [0, c) is c=5 (w=4).
+  const auto plan = plan_stairway(8, 9, 3);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->width, 1u);
+  EXPECT_EQ(plan->v, plan->copies * plan->width + plan->wide_steps);
+  EXPECT_LT(plan->wide_steps, plan->copies);
+  // Step widths sum to q.
+  std::uint32_t sum = 0;
+  for (const auto w : plan->step_widths) sum += w;
+  EXPECT_EQ(sum, 8u);
+}
+
+TEST(StairwayPlan, PerfectParityPlanMatchesTheorem10) {
+  // Theorem 10: v = q+1 with c = q+1 copies, w = 0.
+  const auto plan = plan_stairway_perfect_parity(8, 9, 3);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->copies, 9u);
+  EXPECT_EQ(plan->wide_steps, 0u);
+  EXPECT_EQ(plan->size(), 3u * 8u * 7u) << "size kq(q-1)";
+}
+
+TEST(StairwayPlan, PerfectParityRequiresDivisibility) {
+  // v = 12, q = 9: W = 3 divides 12 -> perfect plan exists (c = 4).
+  ASSERT_TRUE(plan_stairway_perfect_parity(9, 12, 3).has_value());
+  // v = 13, q = 9: W = 4 does not divide 13 -> no perfect plan.
+  EXPECT_FALSE(plan_stairway_perfect_parity(9, 13, 3).has_value());
+}
+
+TEST(StairwayPlan, AllPlansOrderedBySize) {
+  // q=9 -> v=10 (W=1): c can be 6..10, five distinct plans.
+  const auto plans = all_stairway_plans(9, 10, 3);
+  ASSERT_GE(plans.size(), 2u);
+  for (std::size_t i = 1; i < plans.size(); ++i) {
+    EXPECT_LT(plans[i - 1].copies, plans[i].copies);
+    EXPECT_LT(plans[i - 1].size(), plans[i].size());
+  }
+}
+
+TEST(StairwayPlan, InfeasibleCases) {
+  EXPECT_TRUE(all_stairway_plans(9, 9, 3).empty()) << "v must exceed q";
+  EXPECT_TRUE(all_stairway_plans(9, 5, 3).empty());
+  EXPECT_TRUE(all_stairway_plans(3, 100, 5).empty()) << "k > q";
+}
+
+struct StairCase {
+  std::uint32_t q, v, k;
+};
+
+class StairwaySweep : public ::testing::TestWithParam<StairCase> {};
+
+TEST_P(StairwaySweep, BuildsValidLayoutWithTheoremMetrics) {
+  const auto [q, v, k] = GetParam();
+  const auto plan = plan_stairway(q, v, k);
+  ASSERT_TRUE(plan.has_value()) << "q=" << q << " v=" << v;
+  const auto rd = design::make_ring_design(q, k);
+  const Layout l = build_stairway_layout(rd, *plan);
+
+  EXPECT_EQ(l.num_disks(), v);
+  EXPECT_EQ(l.units_per_disk(), plan->size()) << "size k(c-1)(q-1)";
+  EXPECT_TRUE(l.validate().empty());
+
+  const auto m = compute_metrics(l);
+  const std::uint32_t c = plan->copies;
+  const std::uint32_t w = plan->wide_steps;
+  const std::uint32_t piece_parity = (c - 1) * (q - 1);
+
+  // Stripe sizes: k, and k-1 only when overlap removal happened (w > 0).
+  EXPECT_EQ(m.max_stripe_size, k);
+  EXPECT_EQ(m.min_stripe_size, w > 0 ? k - 1 : k);
+
+  // Parity units per disk: (c-1)(q-1) + w or + w-1 (Theorem 12); exactly
+  // (c-1)(q-1) when w = 0 (Theorems 10/11).
+  if (w == 0) {
+    EXPECT_EQ(m.min_parity_units, piece_parity);
+    EXPECT_EQ(m.max_parity_units, piece_parity);
+  } else {
+    EXPECT_EQ(m.min_parity_units, piece_parity + w - 1);
+    EXPECT_EQ(m.max_parity_units, piece_parity + w);
+  }
+  EXPECT_GE(m.min_parity_overhead, plan->parity_overhead_lo() - 1e-12);
+  EXPECT_LE(m.max_parity_overhead, plan->parity_overhead_hi() + 1e-12);
+
+  // Reconstruction workload: every ordered pair shares either lambda(c-1)
+  // or lambda(c-2) stripes, where lambda = k(k-1).
+  const std::uint32_t lambda = k * (k - 1);
+  EXPECT_EQ(m.max_recon_units, lambda * (c - 1));
+  EXPECT_EQ(m.min_recon_units, lambda * (c - 2));
+  EXPECT_LE(m.max_recon_workload, plan->recon_workload_hi() + 1e-12);
+  EXPECT_GE(m.min_recon_workload, plan->recon_workload_lo() - 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, StairwaySweep,
+    ::testing::Values(StairCase{8, 9, 3},     // W=1 with wide steps
+                      StairCase{8, 10, 3},    // W=2
+                      StairCase{9, 12, 3},    // W=3 divides v: w=0
+                      StairCase{9, 13, 4},    // W=4, w>0
+                      StairCase{11, 14, 4},   // W=3, w=2
+                      StairCase{13, 17, 5},   // W=4, w=1
+                      StairCase{16, 21, 5},   // W=5, w=1
+                      StairCase{16, 20, 4},   // W=4 divides v: w=0
+                      StairCase{17, 20, 3},   // W=3, w=2
+                      StairCase{25, 30, 5})); // W=5 divides v: w=0
+
+TEST(Stairway, Theorem10ExactReconstructionWorkload) {
+  // v = q+1 with the perfect-parity plan: all pairs read exactly (k-1)/q.
+  const std::uint32_t q = 8, k = 3;
+  const auto plan = plan_stairway_perfect_parity(q, q + 1, k);
+  ASSERT_TRUE(plan.has_value());
+  const Layout l = build_stairway_layout(design::make_ring_design(q, k), *plan);
+  const auto m = compute_metrics(l);
+  EXPECT_DOUBLE_EQ(m.max_recon_workload, static_cast<double>(k - 1) / q);
+  EXPECT_DOUBLE_EQ(m.min_recon_workload, static_cast<double>(k - 1) / q);
+  // Parity overhead exactly 1/k.
+  EXPECT_DOUBLE_EQ(m.max_parity_overhead, 1.0 / k);
+  EXPECT_DOUBLE_EQ(m.min_parity_overhead, 1.0 / k);
+}
+
+TEST(Stairway, PlacementInvariance) {
+  // Theorem 12's bounds hold wherever the wide steps are placed.
+  const std::uint32_t q = 13, v = 17, k = 4;
+  for (const auto placement :
+       {WideStepPlacement::kFirst, WideStepPlacement::kLast,
+        WideStepPlacement::kSpread}) {
+    const auto plan = plan_stairway(q, v, k, placement);
+    ASSERT_TRUE(plan.has_value());
+    const Layout l =
+        build_stairway_layout(design::make_ring_design(q, k), *plan);
+    EXPECT_TRUE(l.validate().empty());
+    const auto m = compute_metrics(l);
+    EXPECT_GE(m.min_parity_overhead, plan->parity_overhead_lo() - 1e-12);
+    EXPECT_LE(m.max_parity_overhead, plan->parity_overhead_hi() + 1e-12);
+  }
+}
+
+TEST(Stairway, MismatchedDesignRejected) {
+  const auto plan = plan_stairway(8, 10, 3);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_THROW(
+      build_stairway_layout(design::make_ring_design(9, 3), *plan),
+      std::invalid_argument);
+}
+
+TEST(Stairway, ConvenienceBuilder) {
+  const Layout l = stairway_layout(9, 12, 3);
+  EXPECT_EQ(l.num_disks(), 12u);
+  EXPECT_TRUE(l.validate().empty());
+  EXPECT_THROW(stairway_layout(9, 9, 3), std::invalid_argument);
+}
+
+TEST(Stairway, LargerConfiguration) {
+  // q=53 -> v=60 with k=7 (c=8, w=4): a mid-sized array, fast to build.
+  const Layout l = stairway_layout(53, 60, 7);
+  EXPECT_EQ(l.num_disks(), 60u);
+  EXPECT_TRUE(l.validate().empty());
+  const auto m = compute_metrics(l);
+  EXPECT_LE(m.max_parity_overhead, 1.0 / 7 + 0.01);
+}
+
+}  // namespace
+}  // namespace pdl::layout

@@ -1,0 +1,93 @@
+#include "design/subfield_design.hpp"
+
+#include <gtest/gtest.h>
+
+#include "design/bounds.hpp"
+
+namespace pdl::design {
+namespace {
+
+using Param = std::pair<std::uint32_t, std::uint32_t>;
+
+TEST(SubfieldDesign, ExistencePredicate) {
+  EXPECT_TRUE(subfield_design_exists(4, 2));
+  EXPECT_TRUE(subfield_design_exists(8, 2));
+  EXPECT_TRUE(subfield_design_exists(16, 4));
+  EXPECT_TRUE(subfield_design_exists(27, 3));
+  EXPECT_TRUE(subfield_design_exists(64, 8));
+  EXPECT_TRUE(subfield_design_exists(64, 4));
+  EXPECT_TRUE(subfield_design_exists(81, 9));
+  EXPECT_TRUE(subfield_design_exists(9, 9));  // m = 1 edge case
+  EXPECT_FALSE(subfield_design_exists(16, 8));  // 16 is not a power of 8
+  EXPECT_FALSE(subfield_design_exists(12, 2));  // v not a power of k
+  EXPECT_FALSE(subfield_design_exists(36, 6));  // k = 6 not a prime power
+  EXPECT_FALSE(subfield_design_exists(8, 1));
+}
+
+class SubfieldSweep : public ::testing::TestWithParam<Param> {};
+
+TEST_P(SubfieldSweep, ProducesLambda1Bibd) {
+  const auto [v, k] = GetParam();
+  const BlockDesign design = make_subfield_design(v, k);
+  const auto check = verify_bibd(design);
+  ASSERT_TRUE(check.ok) << (check.errors.empty() ? "" : check.errors[0]);
+  EXPECT_EQ(check.params, subfield_design_params(v, k));
+  EXPECT_EQ(check.params.lambda, 1u) << "Theorem 6 designs have lambda = 1";
+}
+
+TEST_P(SubfieldSweep, MeetsTheorem7LowerBoundExactly) {
+  const auto [v, k] = GetParam();
+  const auto params = subfield_design_params(v, k);
+  EXPECT_EQ(params.b, theorem7_lower_bound(v, k))
+      << "Theorem 6 designs are optimally small";
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, SubfieldSweep,
+                         ::testing::Values(Param{4, 2}, Param{8, 2},
+                                           Param{16, 2}, Param{16, 4},
+                                           Param{9, 3}, Param{27, 3},
+                                           Param{81, 3}, Param{81, 9},
+                                           Param{25, 5}, Param{49, 7},
+                                           Param{64, 2}, Param{64, 4},
+                                           Param{64, 8}, Param{121, 11},
+                                           Param{128, 2}, Param{256, 4},
+                                           Param{256, 16}, Param{243, 3}));
+
+TEST(SubfieldDesign, RejectsInapplicablePairs) {
+  EXPECT_THROW(make_subfield_design(12, 2), std::invalid_argument);
+  EXPECT_THROW(make_subfield_design(16, 8), std::invalid_argument);
+  EXPECT_THROW(make_subfield_design(36, 6), std::invalid_argument);
+}
+
+TEST(SubfieldDesign, BlocksAreAffineSubspaces) {
+  // Every block of the (16, 4) design is a coset of a 1-dimensional
+  // GF(4)-subspace: closed under u - w + z for u, w, z in the block.
+  // Spot-check: all blocks have pairwise XOR-differences forming a closed
+  // set of size k (in characteristic 2, the difference set of a coset of a
+  // subspace is the subspace itself).
+  const BlockDesign design = make_subfield_design(16, 4);
+  for (const auto& block : design.blocks) {
+    std::set<algebra::Elem> diffs;
+    for (const auto a : block) {
+      for (const auto b : block) diffs.insert(a ^ b);
+    }
+    EXPECT_EQ(diffs.size(), 4u) << "difference set must be the subspace";
+  }
+}
+
+TEST(SubfieldDesign, EdgeCaseVEqualsK) {
+  // v = k: exactly one block, the whole point set.
+  const BlockDesign design = make_subfield_design(8, 8);
+  ASSERT_EQ(design.b(), 1u);
+  EXPECT_EQ(design.blocks[0].size(), 8u);
+}
+
+TEST(SubfieldDesign, DeepTower) {
+  // v = 2^6 with k = 2: b = v(v-1)/2 pairs -- the complete 2-design.
+  const BlockDesign design = make_subfield_design(64, 2);
+  EXPECT_EQ(design.b(), 64u * 63u / 2);
+  EXPECT_TRUE(verify_bibd(design).ok);
+}
+
+}  // namespace
+}  // namespace pdl::design

@@ -1,0 +1,89 @@
+#include "sim/workload.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pdl::sim {
+namespace {
+
+TEST(Workload, DeterministicInSeed) {
+  const WorkloadConfig config{.arrival_per_ms = 0.5,
+                              .write_fraction = 0.3,
+                              .working_set = 1000,
+                              .duration_ms = 1000.0,
+                              .seed = 7};
+  const auto a = generate_workload(config);
+  const auto b = generate_workload(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].arrival_ms, b[i].arrival_ms);
+    EXPECT_EQ(a[i].logical, b[i].logical);
+    EXPECT_EQ(a[i].is_write, b[i].is_write);
+  }
+  // A different seed gives a different stream.
+  auto config2 = config;
+  config2.seed = 8;
+  const auto c = generate_workload(config2);
+  EXPECT_NE(a.size() == c.size() && a[0].logical == c[0].logical, true);
+}
+
+TEST(Workload, ArrivalsSortedAndWithinHorizon) {
+  const WorkloadConfig config{.arrival_per_ms = 1.0,
+                              .write_fraction = 0.5,
+                              .working_set = 100,
+                              .duration_ms = 500.0,
+                              .seed = 1};
+  const auto requests = generate_workload(config);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_LT(requests[i].arrival_ms, 500.0);
+    EXPECT_LT(requests[i].logical, 100u);
+    if (i > 0) EXPECT_GE(requests[i].arrival_ms, requests[i - 1].arrival_ms);
+  }
+}
+
+TEST(Workload, RateApproximatelyPoisson) {
+  const WorkloadConfig config{.arrival_per_ms = 0.2,
+                              .write_fraction = 0.5,
+                              .working_set = 10,
+                              .duration_ms = 100'000.0,
+                              .seed = 3};
+  const auto requests = generate_workload(config);
+  const double expected = 0.2 * 100'000.0;
+  EXPECT_NEAR(static_cast<double>(requests.size()), expected,
+              5 * std::sqrt(expected));
+}
+
+TEST(Workload, WriteFractionRespected) {
+  const WorkloadConfig config{.arrival_per_ms = 0.5,
+                              .write_fraction = 0.25,
+                              .working_set = 10,
+                              .duration_ms = 50'000.0,
+                              .seed = 4};
+  const auto requests = generate_workload(config);
+  std::size_t writes = 0;
+  for (const auto& r : requests) writes += r.is_write;
+  const double fraction = static_cast<double>(writes) / requests.size();
+  EXPECT_NEAR(fraction, 0.25, 0.02);
+}
+
+TEST(Workload, AllReadsAllWritesExtremes) {
+  WorkloadConfig config{.arrival_per_ms = 0.5,
+                        .write_fraction = 0.0,
+                        .working_set = 10,
+                        .duration_ms = 1000.0,
+                        .seed = 5};
+  for (const auto& r : generate_workload(config)) EXPECT_FALSE(r.is_write);
+  config.write_fraction = 1.0;
+  for (const auto& r : generate_workload(config)) EXPECT_TRUE(r.is_write);
+}
+
+TEST(Workload, InvalidConfigRejected) {
+  WorkloadConfig config;
+  config.working_set = 0;
+  EXPECT_THROW(generate_workload(config), std::invalid_argument);
+  config.working_set = 10;
+  config.arrival_per_ms = 0.0;
+  EXPECT_THROW(generate_workload(config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pdl::sim

@@ -1,0 +1,75 @@
+#include "core/xor_codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace pdl::core {
+namespace {
+
+std::vector<std::uint8_t> random_unit(std::size_t size, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<std::uint8_t> unit(size);
+  for (auto& byte : unit) byte = static_cast<std::uint8_t>(rng());
+  return unit;
+}
+
+TEST(XorCodec, ParityOfIdenticalUnitsCancels) {
+  const std::vector<std::vector<std::uint8_t>> units = {
+      {1, 2, 3}, {1, 2, 3}};
+  EXPECT_EQ(xor_parity(units), (std::vector<std::uint8_t>{0, 0, 0}));
+}
+
+TEST(XorCodec, RoundTripRecoversAnyLostUnit) {
+  const std::size_t unit_size = 64;
+  std::vector<std::vector<std::uint8_t>> data;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    data.push_back(random_unit(unit_size, i));
+  }
+  const auto parity = xor_parity(data);
+
+  for (std::size_t lost = 0; lost < data.size(); ++lost) {
+    std::vector<std::vector<std::uint8_t>> survivors;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      if (i != lost) survivors.push_back(data[i]);
+    }
+    survivors.push_back(parity);
+    EXPECT_EQ(xor_reconstruct(survivors), data[lost])
+        << "lost unit " << lost;
+  }
+}
+
+TEST(XorCodec, LostParityIsRecomputable) {
+  std::vector<std::vector<std::uint8_t>> data;
+  for (std::uint64_t i = 0; i < 3; ++i) data.push_back(random_unit(32, 10 + i));
+  const auto parity = xor_parity(data);
+  EXPECT_EQ(xor_reconstruct(data), parity);
+}
+
+TEST(XorCodec, XorIntoSizeMismatchThrows) {
+  std::vector<std::uint8_t> a = {1, 2, 3};
+  const std::vector<std::uint8_t> b = {1, 2};
+  EXPECT_THROW(xor_into(a, b), std::invalid_argument);
+}
+
+TEST(XorCodec, EmptyInputThrows) {
+  EXPECT_THROW(xor_parity({}), std::invalid_argument);
+}
+
+TEST(XorCodec, SmallWriteParityUpdateIdentity) {
+  // The RMW identity used by the simulator's small writes:
+  // new_parity = old_parity XOR old_data XOR new_data.
+  const auto d0 = random_unit(16, 1), d1 = random_unit(16, 2),
+             d2 = random_unit(16, 3), d1_new = random_unit(16, 4);
+  const auto old_parity =
+      xor_parity(std::vector<std::vector<std::uint8_t>>{d0, d1, d2});
+  auto incremental = old_parity;
+  xor_into(incremental, d1);
+  xor_into(incremental, d1_new);
+  const auto recomputed =
+      xor_parity(std::vector<std::vector<std::uint8_t>>{d0, d1_new, d2});
+  EXPECT_EQ(incremental, recomputed);
+}
+
+}  // namespace
+}  // namespace pdl::core

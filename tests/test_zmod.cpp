@@ -1,0 +1,87 @@
+#include "algebra/zmod.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "algebra/numtheory.hpp"
+
+namespace pdl::algebra {
+namespace {
+
+class ZmodAxioms : public ::testing::TestWithParam<Elem> {};
+
+TEST_P(ZmodAxioms, SatisfiesRingAxioms) {
+  const ZmodRing ring(GetParam());
+  EXPECT_TRUE(check_ring_axioms(ring).empty());
+}
+
+TEST_P(ZmodAxioms, UnitsAreExactlyTheCoprimeResidues) {
+  const ZmodRing ring(GetParam());
+  const Elem m = ring.order();
+  std::uint32_t units = 0;
+  for (Elem a = 0; a < m; ++a) {
+    const bool coprime = std::gcd(a, m) == 1;
+    ASSERT_EQ(ring.is_unit(a), coprime) << "a=" << a << " m=" << m;
+    if (coprime) {
+      ++units;
+      EXPECT_EQ(ring.mul(a, *ring.inverse(a)), ring.one());
+    }
+  }
+  EXPECT_EQ(units, euler_phi(m));
+}
+
+INSTANTIATE_TEST_SUITE_P(Moduli, ZmodAxioms,
+                         ::testing::Values(2, 3, 4, 6, 8, 9, 12, 15, 16, 21,
+                                           30));
+
+TEST(ZmodRing, RejectsTrivialModuli) {
+  EXPECT_THROW(ZmodRing(0), std::invalid_argument);
+  EXPECT_THROW(ZmodRing(1), std::invalid_argument);
+}
+
+TEST(ZmodRing, KnownArithmetic) {
+  const ZmodRing ring(10);
+  EXPECT_EQ(ring.add(7, 8), 5u);
+  EXPECT_EQ(ring.mul(7, 8), 6u);
+  EXPECT_EQ(ring.neg(3), 7u);
+  EXPECT_EQ(ring.sub(3, 7), 6u);
+  EXPECT_EQ(ring.pow(3, 4), 1u);  // 81 mod 10
+  EXPECT_EQ(*ring.inverse(3), 7u);  // 21 = 1 mod 10
+  EXPECT_FALSE(ring.inverse(5).has_value());
+  EXPECT_EQ(ring.name(), "Z_10");
+}
+
+TEST(ZmodRing, AdditiveOrder) {
+  const ZmodRing ring(12);
+  EXPECT_EQ(ring.additive_order(1), 12u);
+  EXPECT_EQ(ring.additive_order(4), 3u);
+  EXPECT_EQ(ring.additive_order(6), 2u);
+}
+
+TEST(ZmodRing, MultiplicativeOrderOfUnits) {
+  const ZmodRing ring(7);
+  EXPECT_EQ(ring.multiplicative_order(3), 6u);  // 3 generates Z_7*
+  EXPECT_EQ(ring.multiplicative_order(2), 3u);
+  EXPECT_EQ(ring.multiplicative_order(6), 2u);
+  EXPECT_THROW(ZmodRing(6).multiplicative_order(2), std::invalid_argument);
+}
+
+TEST(ZmodRing, GeneratorSetsBoundedByTheorem2) {
+  // In Z_6, M(6) = 2: {0, 1} works but no 3-element generator set exists.
+  const ZmodRing ring(6);
+  const std::vector<Elem> two = {0, 1};
+  EXPECT_TRUE(is_generator_set(ring, two));
+  for (Elem a = 0; a < 6; ++a) {
+    for (Elem b = a + 1; b < 6; ++b) {
+      for (Elem c = b + 1; c < 6; ++c) {
+        const std::vector<Elem> cand = {a, b, c};
+        EXPECT_FALSE(is_generator_set(ring, cand))
+            << a << "," << b << "," << c;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pdl::algebra
