@@ -65,11 +65,24 @@ BENCHMARK(BM_StairwayConstruction)->Arg(16)->Arg(25)->Arg(49);
 
 void BM_BuildLayoutEndToEnd(benchmark::State& state) {
   const auto v = static_cast<std::uint32_t>(state.range(0));
+  const engine::ConstructionPlanner& planner =
+      engine::ConstructionPlanner::default_planner();
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        core::build_layout({.num_disks = v, .stripe_size = 5}));
+        planner.build_best({.num_disks = v, .stripe_size = 5}));
   }
 }
 BENCHMARK(BM_BuildLayoutEndToEnd)->Arg(17)->Arg(50)->Arg(100);
+
+void BM_BuildLayoutCached(benchmark::State& state) {
+  // The LayoutCache turns repeated sweep points into one hash lookup.
+  const auto v = static_cast<std::uint32_t>(state.range(0));
+  engine::LayoutCache cache;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cache.get({.num_disks = v, .stripe_size = 5}));
+  }
+}
+BENCHMARK(BM_BuildLayoutCached)->Arg(17)->Arg(50)->Arg(100);
 
 }  // namespace

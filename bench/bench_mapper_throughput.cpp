@@ -1,0 +1,193 @@
+// Mapper serving-path throughput: AddressMapper vs CompiledMapper on the
+// same layouts.  Condition 4 promises "one table lookup plus a constant
+// number of arithmetic operations"; this bench measures what each mapper
+// actually delivers per lookup for
+//
+//   * single map()           (random logical -> physical)
+//   * single parity_of()
+//   * stripe_of()            (AddressMapper allocates; CompiledMapper
+//                             writes into caller storage)
+//   * batched map            (per-call loop vs CompiledMapper::map_batch)
+//
+// and emits one machine-readable "JSON {...}" line per measurement for the
+// perf trajectory.
+
+#include <chrono>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/pdl.hpp"
+
+namespace {
+
+using namespace pdl;
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kBatch = 4096;
+constexpr std::size_t kLookups = 1 << 21;  // per timed repetition
+constexpr int kRepetitions = 3;            // best-of
+
+std::vector<std::uint64_t> random_logicals(std::uint64_t working_set,
+                                           std::size_t count) {
+  std::vector<std::uint64_t> logicals(count);
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;  // splitmix64, fixed seed
+  for (auto& l : logicals) {
+    state += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    l = (z ^ (z >> 31)) % working_set;
+  }
+  return logicals;
+}
+
+/// Times fn() over kRepetitions and returns the best lookups/sec; the
+/// checksum accumulation keeps the compiler honest.
+template <typename Fn>
+double best_rate(std::size_t lookups_per_rep, std::uint64_t& checksum,
+                 Fn&& fn) {
+  double best_sec = 1e300;
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    const auto start = Clock::now();
+    checksum += fn();
+    const std::chrono::duration<double> elapsed = Clock::now() - start;
+    best_sec = std::min(best_sec, elapsed.count());
+  }
+  return static_cast<double>(lookups_per_rep) / best_sec;
+}
+
+struct Case {
+  std::string name;
+  layout::Layout layout;
+};
+
+void run_case(const Case& c) {
+  const layout::AddressMapper address(c.layout);
+  const layout::CompiledMapper compiled(c.layout);
+  const std::uint64_t working_set = 4 * compiled.data_units_per_iteration();
+  const auto logicals = random_logicals(working_set, kLookups);
+  std::uint64_t checksum = 0;
+
+  const auto sum_physical = [](const auto& p) {
+    return static_cast<std::uint64_t>(p.disk) + p.offset;
+  };
+
+  // --- single map ---------------------------------------------------------
+  const double addr_map = best_rate(kLookups, checksum, [&] {
+    std::uint64_t acc = 0;
+    for (const std::uint64_t l : logicals) acc += sum_physical(address.map(l));
+    return acc;
+  });
+  const double comp_map = best_rate(kLookups, checksum, [&] {
+    std::uint64_t acc = 0;
+    for (const std::uint64_t l : logicals)
+      acc += sum_physical(compiled.map(l));
+    return acc;
+  });
+
+  // --- single parity_of ---------------------------------------------------
+  const double addr_parity = best_rate(kLookups, checksum, [&] {
+    std::uint64_t acc = 0;
+    for (const std::uint64_t l : logicals)
+      acc += sum_physical(address.parity_of(l));
+    return acc;
+  });
+  const double comp_parity = best_rate(kLookups, checksum, [&] {
+    std::uint64_t acc = 0;
+    for (const std::uint64_t l : logicals)
+      acc += sum_physical(compiled.parity_of(l));
+    return acc;
+  });
+
+  // --- stripe_of ----------------------------------------------------------
+  const double addr_stripe = best_rate(kLookups, checksum, [&] {
+    std::uint64_t acc = 0;
+    for (const std::uint64_t l : logicals) {
+      for (const auto& u : address.stripe_of(l)) acc += sum_physical(u);
+    }
+    return acc;
+  });
+  std::vector<layout::CompiledMapper::Physical> scratch(
+      compiled.max_stripe_size());
+  const double comp_stripe = best_rate(kLookups, checksum, [&] {
+    std::uint64_t acc = 0;
+    for (const std::uint64_t l : logicals) {
+      const std::uint32_t n = compiled.stripe_of(l, scratch);
+      for (std::uint32_t i = 0; i < n; ++i) acc += sum_physical(scratch[i]);
+    }
+    return acc;
+  });
+
+  // --- batched map --------------------------------------------------------
+  // Baseline: the only batch an AddressMapper user can write -- a loop of
+  // out-of-line map() calls filling an output buffer.
+  std::vector<layout::CompiledMapper::Physical> out(kBatch);
+  const double addr_batch = best_rate(kLookups, checksum, [&] {
+    std::uint64_t acc = 0;
+    for (std::size_t base = 0; base < logicals.size(); base += kBatch) {
+      const std::size_t n = std::min(kBatch, logicals.size() - base);
+      for (std::size_t i = 0; i < n; ++i)
+        out[i] = address.map(logicals[base + i]);
+      acc += sum_physical(out[n - 1]);
+    }
+    return acc;
+  });
+  const double comp_batch = best_rate(kLookups, checksum, [&] {
+    std::uint64_t acc = 0;
+    for (std::size_t base = 0; base < logicals.size(); base += kBatch) {
+      const std::size_t n = std::min(kBatch, logicals.size() - base);
+      compiled.map_batch(std::span(logicals).subspan(base, n),
+                         std::span(out).first(n));
+      acc += sum_physical(out[n - 1]);
+    }
+    return acc;
+  });
+
+  const auto row = [&](const char* op, double addr, double comp) {
+    std::printf("%-28s %-10s %12.1f %12.1f %8.2fx\n", c.name.c_str(), op,
+                addr / 1e6, comp / 1e6, comp / addr);
+    pdl::bench::json_result("mapper_throughput")
+        .field("layout", c.name)
+        .field("op", op)
+        .field("address_mapper_per_sec", addr)
+        .field("compiled_mapper_per_sec", comp)
+        .field("speedup", comp / addr)
+        .field("table_bytes_address", address.table_bytes())
+        .field("table_bytes_compiled", compiled.table_bytes())
+        .emit();
+  };
+  row("map", addr_map, comp_map);
+  row("parity_of", addr_parity, comp_parity);
+  row("stripe_of", addr_stripe, comp_stripe);
+  row("map_batch", addr_batch, comp_batch);
+  std::printf("  (checksum %llu)\n",
+              static_cast<unsigned long long>(checksum));
+}
+
+}  // namespace
+
+int main() {
+  pdl::bench::header(
+      "mapper serving-path throughput",
+      "Condition 4: one table lookup + constant arithmetic per access");
+  std::printf("%-28s %-10s %12s %12s %9s\n", "layout", "op",
+              "Address M/s", "Compiled M/s", "speedup");
+  pdl::bench::rule();
+
+  std::vector<Case> cases;
+  cases.push_back({"ring v=17 k=5", layout::ring_based_layout(17, 5)});
+  cases.push_back({"ring v=64 k=8", layout::ring_based_layout(64, 8)});
+  cases.push_back({"stairway q=16 v=20 k=4", layout::stairway_layout(16, 20, 4)});
+  cases.push_back(
+      {"raid5 v=12", layout::raid5_layout(12, 12)});
+  for (const Case& c : cases) run_case(c);
+
+  pdl::bench::rule();
+  std::printf("expected shape: map/parity within ~1.5x of each other per "
+              "mapper; CompiledMapper ahead on every op, with the largest "
+              "wins on stripe_of (no allocation) and map_batch (inlined "
+              "loop over the flat table).\n");
+  return 0;
+}

@@ -86,8 +86,8 @@ int main() {
           design::make_ring_design(16, 4), *plan);
       run_row("stairway q=16 k=4", stairway, 0.02);
     }
-    const auto exactish = core::build_layout({.num_disks = 18,
-                                              .stripe_size = 4});
+    const auto exactish =
+        engine::Engine::global().build({.num_disks = 18, .stripe_size = 4});
     if (exactish) {
       run_row(("auto: " + exactish->description).c_str(), exactish->layout,
               0.02);

@@ -1,6 +1,8 @@
 #pragma once
 // Shared formatting helpers for the experiment regeneration binaries.
 
+#include <cinttypes>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 
@@ -20,5 +22,67 @@ inline void rule() {
 inline const char* yesno(bool b) { return b ? "yes" : "no"; }
 
 inline const char* okbad(bool ok) { return ok ? "OK " : "BAD"; }
+
+/// Machine-readable result emission: accumulates fields and prints one
+/// JSON object per line, prefixed so downstream tooling can grep it out of
+/// the human-readable tables ("JSON {...}").  Keys are emitted in insertion
+/// order; values are numbers or strings (quotes/backslashes escaped).
+///
+///   json_result("mapper_throughput")
+///       .field("layout", "ring v=17 k=5")
+///       .field("lookups_per_sec", 1.8e8)
+///       .emit();
+class json_result {
+ public:
+  explicit json_result(const std::string& benchmark) {
+    body_ = "{\"benchmark\":\"" + escape(benchmark) + "\"";
+  }
+
+  json_result& field(const std::string& key, const std::string& value) {
+    body_ += ",\"" + escape(key) + "\":\"" + escape(value) + "\"";
+    return *this;
+  }
+  json_result& field(const std::string& key, const char* value) {
+    return field(key, std::string(value));
+  }
+  json_result& field(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", value);
+    body_ += ",\"" + escape(key) + "\":" + buf;
+    return *this;
+  }
+  json_result& field(const std::string& key, std::uint64_t value) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%" PRIu64, value);
+    body_ += ",\"" + escape(key) + "\":" + buf;
+    return *this;
+  }
+  json_result& field(const std::string& key, std::int64_t value) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%" PRId64, value);
+    body_ += ",\"" + escape(key) + "\":" + buf;
+    return *this;
+  }
+  json_result& field(const std::string& key, bool value) {
+    body_ += ",\"" + escape(key) + "\":" + (value ? "true" : "false");
+    return *this;
+  }
+
+  /// Prints the object as one "JSON {...}" line on stdout.
+  void emit() const { std::printf("JSON %s}\n", body_.c_str()); }
+
+ private:
+  static std::string escape(const std::string& raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (const char c : raw) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  }
+
+  std::string body_;
+};
 
 }  // namespace pdl::bench

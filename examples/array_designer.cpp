@@ -27,12 +27,13 @@ int main(int argc, char** argv) {
               "--------------\n");
 
   for (std::uint32_t k = 2; k <= v; ++k) {
-    const auto built = core::build_layout({.num_disks = v, .stripe_size = k});
+    const auto built =
+        engine::Engine::global().build({.num_disks = v, .stripe_size = k});
     if (!built) {
       std::printf("%-4u %-30s\n", k, "(nothing fits the budget)");
       continue;
     }
-    const layout::AddressMapper mapper(built->layout);
+    const layout::CompiledMapper mapper(built->layout);
     std::printf("%-4u %-30s %-8u %-10.4f %-10.4f %-10.1f\n", k,
                 construction_name(built->construction).c_str(),
                 built->metrics.units_per_disk,

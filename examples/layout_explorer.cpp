@@ -57,8 +57,21 @@ int main(int argc, char** argv) {
   show("removal (Thm 8/9)", feas.removal, feas.removal_q);
   show("stairway (Thm 10-12)", feas.stairway, feas.stairway_q);
 
+  std::printf("\n=== engine plan ranking ===\n");
+  auto& eng = engine::Engine::global();
+  const auto plans = eng.rank_plans({.num_disks = v, .stripe_size = k});
+  if (plans.empty()) std::printf("  (no admissible plan)\n");
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    const auto& plan = plans[i];
+    std::printf("%2zu. %-28s %10llu units/disk  %-12s %s\n", i + 1,
+                construction_name(plan.construction).c_str(),
+                static_cast<unsigned long long>(plan.units_per_disk),
+                std::string(engine::balance_class_name(plan.balance)).c_str(),
+                plan.description.c_str());
+  }
+
   std::printf("\n=== chosen layout ===\n");
-  const auto built = core::build_layout({.num_disks = v, .stripe_size = k});
+  const auto built = eng.build({.num_disks = v, .stripe_size = k});
   if (!built) {
     std::printf("nothing fits the budget\n");
     return 0;

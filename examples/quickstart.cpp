@@ -12,9 +12,16 @@ int main(int argc, char** argv) {
   using namespace pdl;
   const std::uint32_t v = argc > 1 ? std::atoi(argv[1]) : 16;
   const std::uint32_t k = argc > 2 ? std::atoi(argv[2]) : 4;
+  if (v < 2 || k < 2 || k > v) {
+    std::fprintf(stderr, "need 2 <= k <= v\n");
+    return 1;
+  }
 
   // 1. Build the best layout for v disks with parity stripes of k units.
-  const auto built = core::build_layout({.num_disks = v, .stripe_size = k});
+  //    The engine ranks every registered construction's plan and memoizes
+  //    the built result.
+  const auto built =
+      engine::Engine::global().build({.num_disks = v, .stripe_size = k});
   if (!built) {
     std::fprintf(stderr, "no layout for v=%u k=%u fits the unit budget\n", v,
                  k);
@@ -26,8 +33,9 @@ int main(int argc, char** argv) {
   std::printf("metrics:      %s\n\n", built->metrics.to_string().c_str());
 
   // 2. Map logical data units to physical positions (Condition 4: one
-  //    table lookup + constant arithmetic).
-  const layout::AddressMapper mapper(built->layout);
+  //    table lookup + constant arithmetic).  CompiledMapper is the flat,
+  //    allocation-free serving-path form.
+  const layout::CompiledMapper mapper(built->layout);
   std::printf("logical -> physical (disk, offset); parity location:\n");
   for (const std::uint64_t logical : {0ull, 1ull, 1000ull, 123456ull}) {
     const auto data = mapper.map(logical);

@@ -51,9 +51,14 @@ int main(int argc, char** argv) {
   using namespace pdl;
   const std::uint32_t v = argc > 1 ? std::atoi(argv[1]) : 17;
   const std::uint32_t k = argc > 2 ? std::atoi(argv[2]) : 5;
+  if (v < 2 || k < 2 || k > v) {
+    std::fprintf(stderr, "need 2 <= k <= v\n");
+    return 1;
+  }
   const double per_sec = argc > 3 ? std::atof(argv[3]) : 20.0;
 
-  const auto built = core::build_layout({.num_disks = v, .stripe_size = k});
+  const auto built =
+      engine::Engine::global().build({.num_disks = v, .stripe_size = k});
   if (!built) {
     std::fprintf(stderr, "no declustered layout for v=%u k=%u\n", v, k);
     return 1;

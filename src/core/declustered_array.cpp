@@ -1,16 +1,6 @@
 #include "core/declustered_array.hpp"
 
-#include <cmath>
-#include <stdexcept>
-
-#include "design/catalog.hpp"
-#include "design/ring_design.hpp"
-#include "flow/parity_assign.hpp"
-#include "layout/bibd_layout.hpp"
-#include "layout/disk_removal.hpp"
-#include "layout/raid.hpp"
-#include "layout/ring_layout.hpp"
-#include "layout/stairway.hpp"
+#include "engine/planner.hpp"
 
 namespace pdl::core {
 
@@ -26,115 +16,14 @@ std::string construction_name(Construction construction) {
   return "unknown";
 }
 
-namespace {
-
-BuiltLayout finish(layout::Layout layout, Construction construction,
-                   std::string description) {
-  auto metrics = layout::compute_metrics(layout);
-  return {std::move(layout), construction, std::move(description),
-          std::move(metrics)};
-}
-
-/// A candidate construction: predicted size plus a thunk that builds it.
-struct Candidate {
-  std::uint64_t size;
-  bool perfect_parity;
-  int tier;  // lower = stronger guarantees; tie-broken by size
-  Construction construction;
-  std::string description;
-};
-
-}  // namespace
-
+// Compatibility shim: all construction selection lives in the engine's
+// ConstructionPlanner registry (src/engine/); this function only forwards
+// to the default planner.  New code should prefer engine::Engine, which
+// additionally memoizes builds.
 std::optional<BuiltLayout> build_layout(const ArraySpec& spec,
                                         const BuildOptions& options) {
-  const std::uint32_t v = spec.num_disks;
-  const std::uint32_t k = spec.stripe_size;
-  if (v < 2 || k < 2 || k > v)
-    throw std::invalid_argument("build_layout: need 2 <= k <= v");
-
-  if (k == v) {
-    // Parity stripes span the whole array: classic RAID5 (rows = v keeps
-    // parity perfectly balanced).
-    if (v > options.unit_budget) return std::nullopt;
-    return finish(layout::raid5_layout(v, v), Construction::kRaid5,
-                  "RAID5 rotated parity, v=" + std::to_string(v));
-  }
-
-  const layout::FeasibilitySummary feas =
-      layout::summarize_feasibility(v, k);
-
-  // Tiered candidates (tier 0 = perfect parity & perfect reconstruction
-  // balance, tier 1 = parity within one unit, tier 2 = approximate).
-  std::vector<Candidate> candidates;
-
-  if (feas.ring_layout && *feas.ring_layout <= options.unit_budget) {
-    candidates.push_back({*feas.ring_layout, true, 0,
-                          Construction::kRingLayout,
-                          "ring layout, size k(v-1)"});
-  }
-  if (feas.bibd_perfect && *feas.bibd_perfect <= options.unit_budget) {
-    candidates.push_back({*feas.bibd_perfect, true, 0,
-                          Construction::kBibdPerfect,
-                          "BIBD with lcm(b,v)/b copies"});
-  }
-  if (!options.require_perfect_parity && feas.bibd_flow &&
-      *feas.bibd_flow <= options.unit_budget) {
-    candidates.push_back({*feas.bibd_flow, false, 1, Construction::kBibdFlow,
-                          "single-copy BIBD, flow-balanced parity"});
-  }
-  if (options.allow_approximate) {
-    if (feas.removal && *feas.removal <= options.unit_budget) {
-      const bool perfect = feas.removal_q == v + 1;  // Thm 8 keeps balance
-      if (perfect || !options.require_perfect_parity)
-        candidates.push_back({*feas.removal, perfect, 2,
-                              Construction::kRemoval,
-                              "removal from q=" +
-                                  std::to_string(feas.removal_q)});
-    }
-    if (!options.require_perfect_parity && feas.stairway &&
-        *feas.stairway <= options.unit_budget) {
-      candidates.push_back({*feas.stairway, false, 2,
-                            Construction::kStairway,
-                            "stairway from q=" +
-                                std::to_string(feas.stairway_q)});
-    }
-  }
-
-  if (candidates.empty()) return std::nullopt;
-  const Candidate* best = &candidates.front();
-  for (const Candidate& c : candidates) {
-    if (c.tier != best->tier ? c.tier < best->tier : c.size < best->size)
-      best = &c;
-  }
-
-  switch (best->construction) {
-    case Construction::kRingLayout:
-      return finish(layout::ring_based_layout(v, k),
-                    Construction::kRingLayout, best->description);
-    case Construction::kBibdPerfect: {
-      auto design = design::build_best_design(v, k);
-      return finish(layout::perfectly_balanced_layout(design),
-                    Construction::kBibdPerfect, best->description);
-    }
-    case Construction::kBibdFlow: {
-      auto design = design::build_best_design(v, k);
-      return finish(layout::flow_balanced_layout(design, 1),
-                    Construction::kBibdFlow, best->description);
-    }
-    case Construction::kRemoval: {
-      const std::uint32_t q = feas.removal_q;
-      return finish(layout::removal_layout(q, k, q - v),
-                    Construction::kRemoval, best->description);
-    }
-    case Construction::kStairway: {
-      return finish(layout::stairway_layout(feas.stairway_q, v, k),
-                    Construction::kStairway, best->description);
-    }
-    case Construction::kRaid5:
-      break;  // handled above
-  }
-  throw std::logic_error("build_layout: unreachable");
+  return engine::ConstructionPlanner::default_planner().build_best(spec,
+                                                                   options);
 }
 
 }  // namespace pdl::core

@@ -4,6 +4,12 @@
 // exact BIBD-based constructions when they exist and fit the unit budget
 // (Condition 4), approximately-balanced constructions (Section 3)
 // otherwise.
+//
+// Selection is delegated to the construction-engine registry in
+// src/engine/ (engine::ConstructionPlanner); build_layout is a thin,
+// uncached shim kept for compatibility.  New code should prefer
+// engine::Engine, which memoizes builds, and layout::CompiledMapper for
+// the serving path.
 
 #include <optional>
 #include <string>

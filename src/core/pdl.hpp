@@ -4,9 +4,13 @@
 // Quick start:
 //
 //   #include "core/pdl.hpp"
-//   auto built = pdl::core::build_layout({.num_disks = 15, .stripe_size = 5});
-//   pdl::layout::AddressMapper mapper(built->layout);
+//   auto built = pdl::engine::Engine::global().build(
+//       {.num_disks = 15, .stripe_size = 5});
+//   pdl::layout::CompiledMapper mapper(built->layout);
 //   auto where = mapper.map(/*logical=*/12345);
+//
+// (pdl::core::build_layout remains as an uncached one-shot shim over the
+// same construction registry.)
 
 #include "algebra/gf.hpp"
 #include "algebra/numtheory.hpp"
@@ -20,8 +24,12 @@
 #include "design/reduced_design.hpp"
 #include "design/ring_design.hpp"
 #include "design/subfield_design.hpp"
+#include "engine/engine.hpp"
+#include "engine/layout_cache.hpp"
+#include "engine/planner.hpp"
 #include "flow/parity_assign.hpp"
 #include "layout/bibd_layout.hpp"
+#include "layout/compiled_mapper.hpp"
 #include "layout/disk_removal.hpp"
 #include "layout/feasibility.hpp"
 #include "layout/mapping.hpp"

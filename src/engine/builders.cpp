@@ -1,0 +1,234 @@
+#include <string>
+
+#include "design/catalog.hpp"
+#include "engine/planner.hpp"
+#include "layout/bibd_layout.hpp"
+#include "layout/disk_removal.hpp"
+#include "layout/feasibility.hpp"
+#include "layout/metrics.hpp"
+#include "layout/raid.hpp"
+#include "layout/ring_layout.hpp"
+#include "layout/stairway.hpp"
+
+// The six built-in constructions as LayoutBuilders.  Each plan() is a
+// closed form straight out of layout::summarize_feasibility; each build()
+// materializes the corresponding construction.  This file is the single
+// registration point for the engine: a new construction is one more class
+// and one more line in register_default_builders().
+
+namespace pdl::engine {
+
+namespace {
+
+using core::ArraySpec;
+using core::BuildOptions;
+using core::BuiltLayout;
+using core::Construction;
+
+BuiltLayout finish(layout::Layout layout, const LayoutPlan& plan) {
+  auto metrics = layout::compute_metrics(layout);
+  return {std::move(layout), plan.construction, plan.description,
+          std::move(metrics)};
+}
+
+/// Feasibility summary shared across the builders of one planning pass.
+/// rank_plans asks every builder about the same (v, k) back to back; a
+/// one-entry thread-local memo keeps that a single summarize_feasibility
+/// computation, like the pre-engine monolith.
+const layout::FeasibilitySummary& shared_feasibility(std::uint32_t v,
+                                                     std::uint32_t k) {
+  thread_local layout::FeasibilitySummary cached{};
+  if (cached.v != v || cached.k != k)
+    cached = layout::summarize_feasibility(v, k);
+  return cached;
+}
+
+LayoutPlan base_plan(const ArraySpec& spec, Construction construction,
+                     std::uint64_t units_per_disk, bool perfect_parity,
+                     BalanceClass balance, std::string description,
+                     std::uint32_t base_q = 0) {
+  LayoutPlan plan;
+  plan.spec = spec;
+  plan.construction = construction;
+  plan.units_per_disk = units_per_disk;
+  plan.perfect_parity = perfect_parity;
+  plan.balance = balance;
+  plan.base_q = base_q;
+  plan.description = std::move(description);
+  return plan;
+}
+
+/// k == v: classic RAID5 with v rotated-parity rows (perfect balance).
+class Raid5Builder final : public LayoutBuilder {
+ public:
+  Construction construction() const noexcept override {
+    return Construction::kRaid5;
+  }
+  std::string_view name() const noexcept override { return "raid5"; }
+
+  std::optional<LayoutPlan> plan(const ArraySpec& spec,
+                                 const BuildOptions&) const override {
+    if (spec.stripe_size != spec.num_disks) return std::nullopt;
+    return base_plan(spec, Construction::kRaid5, spec.num_disks, true,
+                     BalanceClass::kPerfect,
+                     "RAID5 rotated parity, v=" +
+                         std::to_string(spec.num_disks));
+  }
+
+  BuiltLayout build(const LayoutPlan& plan) const override {
+    return finish(
+        layout::raid5_layout(plan.spec.num_disks, plan.spec.num_disks),
+        plan);
+  }
+};
+
+/// Section 3.1 single-copy ring layout: size k(v-1), perfect balance.
+class RingLayoutBuilder final : public LayoutBuilder {
+ public:
+  Construction construction() const noexcept override {
+    return Construction::kRingLayout;
+  }
+  std::string_view name() const noexcept override { return "ring-layout"; }
+
+  std::optional<LayoutPlan> plan(const ArraySpec& spec,
+                                 const BuildOptions&) const override {
+    if (spec.stripe_size >= spec.num_disks) return std::nullopt;
+    const auto& feas =
+        shared_feasibility(spec.num_disks, spec.stripe_size);
+    if (!feas.ring_layout) return std::nullopt;
+    return base_plan(spec, Construction::kRingLayout, *feas.ring_layout,
+                     true, BalanceClass::kPerfect,
+                     "ring layout, size k(v-1)");
+  }
+
+  BuiltLayout build(const LayoutPlan& plan) const override {
+    return finish(layout::ring_based_layout(plan.spec.num_disks,
+                                            plan.spec.stripe_size),
+                  plan);
+  }
+};
+
+/// Catalog BIBD replicated to lcm(b,v)/b copies: perfect parity balance.
+class BibdPerfectBuilder final : public LayoutBuilder {
+ public:
+  Construction construction() const noexcept override {
+    return Construction::kBibdPerfect;
+  }
+  std::string_view name() const noexcept override { return "bibd-perfect"; }
+
+  std::optional<LayoutPlan> plan(const ArraySpec& spec,
+                                 const BuildOptions&) const override {
+    if (spec.stripe_size >= spec.num_disks) return std::nullopt;
+    const auto& feas =
+        shared_feasibility(spec.num_disks, spec.stripe_size);
+    if (!feas.bibd_perfect) return std::nullopt;
+    return base_plan(spec, Construction::kBibdPerfect, *feas.bibd_perfect,
+                     true, BalanceClass::kPerfect,
+                     "BIBD with lcm(b,v)/b copies");
+  }
+
+  BuiltLayout build(const LayoutPlan& plan) const override {
+    auto design = design::build_best_design(plan.spec.num_disks,
+                                            plan.spec.stripe_size);
+    return finish(layout::perfectly_balanced_layout(design), plan);
+  }
+};
+
+/// Single-copy catalog BIBD with Section 4 flow-balanced parity: smallest
+/// exact route, parity within one unit per disk.
+class BibdFlowBuilder final : public LayoutBuilder {
+ public:
+  Construction construction() const noexcept override {
+    return Construction::kBibdFlow;
+  }
+  std::string_view name() const noexcept override { return "bibd-flow"; }
+
+  std::optional<LayoutPlan> plan(const ArraySpec& spec,
+                                 const BuildOptions&) const override {
+    if (spec.stripe_size >= spec.num_disks) return std::nullopt;
+    const auto& feas =
+        shared_feasibility(spec.num_disks, spec.stripe_size);
+    if (!feas.bibd_flow) return std::nullopt;
+    return base_plan(spec, Construction::kBibdFlow, *feas.bibd_flow, false,
+                     BalanceClass::kNearPerfect,
+                     "single-copy BIBD, flow-balanced parity");
+  }
+
+  BuiltLayout build(const LayoutPlan& plan) const override {
+    auto design = design::build_best_design(plan.spec.num_disks,
+                                            plan.spec.stripe_size);
+    return finish(layout::flow_balanced_layout(design, 1), plan);
+  }
+};
+
+/// Theorems 8/9: remove q - v disks from the ring layout for the closest
+/// prime power q > v.  Thm 8 (q == v+1) keeps parity perfectly balanced.
+class RemovalBuilder final : public LayoutBuilder {
+ public:
+  Construction construction() const noexcept override {
+    return Construction::kRemoval;
+  }
+  std::string_view name() const noexcept override { return "removal"; }
+
+  std::optional<LayoutPlan> plan(const ArraySpec& spec,
+                                 const BuildOptions&) const override {
+    if (spec.stripe_size >= spec.num_disks) return std::nullopt;
+    const auto& feas =
+        shared_feasibility(spec.num_disks, spec.stripe_size);
+    if (!feas.removal) return std::nullopt;
+    const bool perfect = feas.removal_q == spec.num_disks + 1;
+    return base_plan(spec, Construction::kRemoval, *feas.removal, perfect,
+                     BalanceClass::kApproximate,
+                     "removal from q=" + std::to_string(feas.removal_q),
+                     feas.removal_q);
+  }
+
+  BuiltLayout build(const LayoutPlan& plan) const override {
+    return finish(layout::removal_layout(plan.base_q, plan.spec.stripe_size,
+                                         plan.base_q - plan.spec.num_disks),
+                  plan);
+  }
+};
+
+/// Theorems 10-12: the stairway transformation from the best prime power
+/// q < v.
+class StairwayBuilder final : public LayoutBuilder {
+ public:
+  Construction construction() const noexcept override {
+    return Construction::kStairway;
+  }
+  std::string_view name() const noexcept override { return "stairway"; }
+
+  std::optional<LayoutPlan> plan(const ArraySpec& spec,
+                                 const BuildOptions&) const override {
+    if (spec.stripe_size >= spec.num_disks) return std::nullopt;
+    const auto& feas =
+        shared_feasibility(spec.num_disks, spec.stripe_size);
+    if (!feas.stairway) return std::nullopt;
+    return base_plan(spec, Construction::kStairway, *feas.stairway, false,
+                     BalanceClass::kApproximate,
+                     "stairway from q=" + std::to_string(feas.stairway_q),
+                     feas.stairway_q);
+  }
+
+  BuiltLayout build(const LayoutPlan& plan) const override {
+    return finish(layout::stairway_layout(plan.base_q, plan.spec.num_disks,
+                                          plan.spec.stripe_size),
+                  plan);
+  }
+};
+
+}  // namespace
+
+void register_default_builders(ConstructionPlanner& planner) {
+  // Registration order is the ranking tie-breaker: perfect-balance routes
+  // first, then the near-perfect flow route, then the approximate ones.
+  planner.register_builder(std::make_unique<Raid5Builder>());
+  planner.register_builder(std::make_unique<RingLayoutBuilder>());
+  planner.register_builder(std::make_unique<BibdPerfectBuilder>());
+  planner.register_builder(std::make_unique<BibdFlowBuilder>());
+  planner.register_builder(std::make_unique<RemovalBuilder>());
+  planner.register_builder(std::make_unique<StairwayBuilder>());
+}
+
+}  // namespace pdl::engine

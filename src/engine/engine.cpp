@@ -1,0 +1,10 @@
+#include "engine/engine.hpp"
+
+namespace pdl::engine {
+
+Engine& Engine::global() {
+  static Engine* engine = new Engine(ConstructionPlanner::default_planner());
+  return *engine;
+}
+
+}  // namespace pdl::engine

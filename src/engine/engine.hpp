@@ -1,0 +1,57 @@
+#pragma once
+// The engine facade: planner registry + layout cache behind one object.
+// This is the intended front door for applications -- examples, benches
+// and the simulator all obtain layouts here -- while core::build_layout
+// remains as a thin uncached compatibility shim over the same planner.
+//
+//   auto& engine = pdl::engine::Engine::global();
+//   auto built = engine.build({.num_disks = 33, .stripe_size = 5});
+//   pdl::layout::CompiledMapper mapper(built->layout);
+
+#include <memory>
+
+#include "engine/layout_cache.hpp"
+#include "engine/planner.hpp"
+
+namespace pdl::engine {
+
+/// Facade combining a ConstructionPlanner with a LayoutCache.
+class Engine {
+ public:
+  /// An engine over the given planner, which must outlive the engine.
+  explicit Engine(const ConstructionPlanner& planner =
+                      ConstructionPlanner::default_planner())
+      : planner_(planner), cache_(planner) {}
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  [[nodiscard]] const ConstructionPlanner& planner() const noexcept {
+    return planner_;
+  }
+  [[nodiscard]] LayoutCache& cache() noexcept { return cache_; }
+
+  /// The (cached) best layout for the spec, or nullptr if no construction
+  /// fits the options.
+  [[nodiscard]] std::shared_ptr<const core::BuiltLayout> build(
+      const core::ArraySpec& spec, const core::BuildOptions& options = {}) {
+    return cache_.get(spec, options);
+  }
+
+  /// Candidate plans for a spec, ranked best-first (uncached; planning is
+  /// closed-form and cheap).
+  [[nodiscard]] std::vector<LayoutPlan> rank_plans(
+      const core::ArraySpec& spec,
+      const core::BuildOptions& options = {}) const {
+    return planner_.rank_plans(spec, options);
+  }
+
+  /// The process-wide engine over the default planner.
+  [[nodiscard]] static Engine& global();
+
+ private:
+  const ConstructionPlanner& planner_;
+  LayoutCache cache_;
+};
+
+}  // namespace pdl::engine

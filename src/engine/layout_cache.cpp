@@ -1,0 +1,42 @@
+#include "engine/layout_cache.hpp"
+
+namespace pdl::engine {
+
+std::shared_ptr<const core::BuiltLayout> LayoutCache::get(
+    const core::ArraySpec& spec, const core::BuildOptions& options) {
+  const Key key{spec.num_disks, spec.stripe_size, options.unit_budget,
+                options.require_perfect_parity, options.allow_approximate};
+  {
+    std::lock_guard lock(mutex_);
+    if (const auto it = cache_.find(key); it != cache_.end()) {
+      ++hits_;
+      return it->second;
+    }
+  }
+  // Build outside the lock: derivations can take milliseconds and callers
+  // on other keys should not serialize behind them.  A racing duplicate
+  // build is harmless -- first insert wins and both callers share it.
+  auto built = planner_.build_best(spec, options);
+  std::shared_ptr<const core::BuiltLayout> entry;
+  if (built)
+    entry = std::make_shared<const core::BuiltLayout>(std::move(*built));
+
+  std::lock_guard lock(mutex_);
+  ++misses_;
+  const auto [it, inserted] = cache_.emplace(key, std::move(entry));
+  return it->second;
+}
+
+LayoutCache::Stats LayoutCache::stats() const {
+  std::lock_guard lock(mutex_);
+  return {hits_, misses_, cache_.size()};
+}
+
+void LayoutCache::clear() {
+  std::lock_guard lock(mutex_);
+  cache_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace pdl::engine

@@ -1,0 +1,76 @@
+#pragma once
+// Memoization of built layouts.  Deriving a layout (catalog search, flow
+// balancing, stairway assembly, metrics) is orders of magnitude more
+// expensive than looking one up, and simulation / benchmark sweeps rebuild
+// the same (v, k) points over and over.  The cache keys on the full
+// (spec, options) tuple and hands out shared_ptr<const BuiltLayout> so
+// concurrent users share one immutable instance.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "engine/planner.hpp"
+
+namespace pdl::engine {
+
+/// Thread-safe memo of ConstructionPlanner::build_best results.  Negative
+/// results (no construction fits) are cached too, as null pointers.
+class LayoutCache {
+ public:
+  /// Caches builds from the given planner, which must outlive the cache.
+  explicit LayoutCache(
+      const ConstructionPlanner& planner =
+          ConstructionPlanner::default_planner())
+      : planner_(planner) {}
+
+  LayoutCache(const LayoutCache&) = delete;
+  LayoutCache& operator=(const LayoutCache&) = delete;
+
+  /// The cached layout for (spec, options), building it on first use.
+  /// Returns nullptr when no construction fits the options.  Throws
+  /// std::invalid_argument for invalid specs (never cached).
+  [[nodiscard]] std::shared_ptr<const core::BuiltLayout> get(
+      const core::ArraySpec& spec, const core::BuildOptions& options = {});
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::size_t entries = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+  void clear();
+
+ private:
+  struct Key {
+    std::uint32_t v;
+    std::uint32_t k;
+    std::uint64_t unit_budget;
+    bool require_perfect_parity;
+    bool allow_approximate;
+
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& key) const noexcept {
+      std::uint64_t h = key.v;
+      h = h * 0x9e3779b97f4a7c15ull + key.k;
+      h = h * 0x9e3779b97f4a7c15ull + key.unit_budget;
+      h = h * 0x9e3779b97f4a7c15ull +
+          (static_cast<std::uint64_t>(key.require_perfect_parity) << 1 |
+           static_cast<std::uint64_t>(key.allow_approximate));
+      return static_cast<std::size_t>(h ^ (h >> 32));
+    }
+  };
+
+  const ConstructionPlanner& planner_;
+  mutable std::mutex mutex_;
+  std::unordered_map<Key, std::shared_ptr<const core::BuiltLayout>, KeyHash>
+      cache_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace pdl::engine

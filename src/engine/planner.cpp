@@ -1,0 +1,116 @@
+#include "engine/planner.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pdl::engine {
+
+std::string_view balance_class_name(BalanceClass balance) {
+  switch (balance) {
+    case BalanceClass::kPerfect: return "perfect";
+    case BalanceClass::kNearPerfect: return "near-perfect";
+    case BalanceClass::kApproximate: return "approximate";
+  }
+  return "unknown";
+}
+
+void ConstructionPlanner::register_builder(
+    std::unique_ptr<LayoutBuilder> builder) {
+  if (!builder)
+    throw std::invalid_argument("register_builder: null builder");
+  if (find(builder->construction()) != nullptr)
+    throw std::invalid_argument(
+        "register_builder: construction already registered: " +
+        core::construction_name(builder->construction()));
+  builders_.push_back(std::move(builder));
+}
+
+const LayoutBuilder* ConstructionPlanner::find(
+    core::Construction construction) const noexcept {
+  for (const auto& b : builders_) {
+    if (b->construction() == construction) return b.get();
+  }
+  return nullptr;
+}
+
+namespace {
+
+void validate_spec(const core::ArraySpec& spec) {
+  if (spec.num_disks < 2 || spec.stripe_size < 2 ||
+      spec.stripe_size > spec.num_disks)
+    throw std::invalid_argument("ConstructionPlanner: need 2 <= k <= v");
+}
+
+/// The options' generic policy filters; construction-agnostic.
+bool admissible(const LayoutPlan& plan, const core::BuildOptions& options) {
+  if (plan.units_per_disk > options.unit_budget) return false;
+  if (options.require_perfect_parity && !plan.perfect_parity) return false;
+  if (!options.allow_approximate &&
+      plan.balance == BalanceClass::kApproximate)
+    return false;
+  return true;
+}
+
+}  // namespace
+
+std::vector<LayoutPlan> ConstructionPlanner::rank_plans(
+    const core::ArraySpec& spec, const core::BuildOptions& options) const {
+  validate_spec(spec);
+  std::vector<LayoutPlan> plans;
+  plans.reserve(builders_.size());
+  for (const auto& builder : builders_) {
+    auto plan = builder->plan(spec, options);
+    if (plan && admissible(*plan, options)) plans.push_back(std::move(*plan));
+  }
+  // Stable sort keeps registration order as the tie-breaker.
+  std::stable_sort(plans.begin(), plans.end(),
+                   [](const LayoutPlan& a, const LayoutPlan& b) {
+                     if (a.balance != b.balance) return a.balance < b.balance;
+                     return a.units_per_disk < b.units_per_disk;
+                   });
+  return plans;
+}
+
+std::optional<core::BuiltLayout> ConstructionPlanner::build_best(
+    const core::ArraySpec& spec, const core::BuildOptions& options) const {
+  const std::vector<LayoutPlan> plans = rank_plans(spec, options);
+  std::exception_ptr first_failure;
+  for (const LayoutPlan& plan : plans) {
+    const LayoutBuilder* builder = find(plan.construction);
+    try {
+      return builder->build(plan);
+    } catch (const std::exception&) {
+      // A construction that planned but failed to build falls back to the
+      // next-ranked plan; the failure is only swallowed if a fallback
+      // succeeds.
+      if (!first_failure) first_failure = std::current_exception();
+      continue;
+    }
+  }
+  // Every admissible plan failed to build: that is a builder bug, not a
+  // "nothing fits the budget" condition -- surface it.
+  if (first_failure) std::rethrow_exception(first_failure);
+  return std::nullopt;
+}
+
+std::optional<core::BuiltLayout> ConstructionPlanner::build_with(
+    core::Construction construction, const core::ArraySpec& spec,
+    const core::BuildOptions& options) const {
+  validate_spec(spec);
+  const LayoutBuilder* builder = find(construction);
+  if (builder == nullptr) return std::nullopt;
+  auto plan = builder->plan(spec, options);
+  if (!plan || !admissible(*plan, options)) return std::nullopt;
+  return builder->build(*plan);
+}
+
+const ConstructionPlanner& ConstructionPlanner::default_planner() {
+  static const ConstructionPlanner* planner = [] {
+    auto* p = new ConstructionPlanner;
+    register_default_builders(*p);
+    return p;
+  }();
+  return *planner;
+}
+
+}  // namespace pdl::engine

@@ -1,0 +1,81 @@
+#include "layout/compiled_mapper.hpp"
+
+#include <stdexcept>
+
+namespace pdl::layout {
+
+CompiledMapper::CompiledMapper(const AddressMapper& mapper)
+    : v_(mapper.num_disks()),
+      s_(mapper.units_per_disk()),
+      d_(mapper.data_units_per_iteration()) {
+  const std::vector<Stripe>& stripes = mapper.stripes();
+  if (d_ == 0)
+    throw std::invalid_argument("CompiledMapper: layout has no data units");
+  div_.init(d_);
+
+  std::size_t total_units = 0;
+  for (const Stripe& st : stripes) {
+    total_units += st.units.size();
+    max_stripe_ = std::max<std::uint32_t>(max_stripe_, st.size());
+  }
+
+  // Carve the single word table into its sections.
+  const std::size_t d = static_cast<std::size_t>(d_);
+  data_disk_ = 0;
+  data_offset_ = data_disk_ + d;
+  parity_disk_ = data_offset_ + d;
+  parity_offset_ = parity_disk_ + d;
+  stripe_begin_ = parity_offset_ + d;
+  stripe_len_ = stripe_begin_ + d;
+  unit_disk_ = stripe_len_ + d;
+  unit_offset_ = unit_disk_ + total_units;
+  words_.assign(unit_offset_ + total_units, 0);
+  inverse_.assign(static_cast<std::size_t>(v_) * s_, kParity);
+
+  // Flatten the stripe units in layout order, then walk the stripes in the
+  // same stripe-major order AddressMapper numbers logical units in, filling
+  // the per-data-unit columns.
+  std::vector<std::uint32_t> stripe_flat_begin(stripes.size(), 0);
+  std::size_t next_unit = 0;
+  for (std::size_t si = 0; si < stripes.size(); ++si) {
+    stripe_flat_begin[si] = static_cast<std::uint32_t>(next_unit);
+    for (const StripeUnit& u : stripes[si].units) {
+      words_[unit_disk_ + next_unit] = u.disk;
+      words_[unit_offset_ + next_unit] = u.offset;
+      ++next_unit;
+    }
+  }
+
+  std::uint64_t logical = 0;
+  for (std::size_t si = 0; si < stripes.size(); ++si) {
+    const Stripe& st = stripes[si];
+    const StripeUnit& parity = st.parity_unit();
+    for (std::uint32_t pos = 0; pos < st.units.size(); ++pos) {
+      if (pos == st.parity_pos) continue;
+      const StripeUnit& u = st.units[pos];
+      words_[data_disk_ + logical] = u.disk;
+      words_[data_offset_ + logical] = u.offset;
+      words_[parity_disk_ + logical] = parity.disk;
+      words_[parity_offset_ + logical] = parity.offset;
+      words_[stripe_begin_ + logical] = stripe_flat_begin[si];
+      words_[stripe_len_ + logical] = st.size();
+      inverse_[static_cast<std::size_t>(u.disk) * s_ + u.offset] = logical;
+      ++logical;
+    }
+  }
+  if (logical != d_)
+    throw std::logic_error("CompiledMapper: data unit count mismatch");
+}
+
+std::uint64_t CompiledMapper::logical_at(Physical position) const {
+  if (position.disk >= v_)
+    throw std::invalid_argument("logical_at: disk out of range");
+  const std::uint64_t iteration = position.offset / s_;
+  const std::uint64_t within = position.offset % s_;
+  const std::uint64_t base =
+      inverse_[static_cast<std::size_t>(position.disk) * s_ + within];
+  if (base == kParity) return kParity;
+  return iteration * d_ + base;
+}
+
+}  // namespace pdl::layout

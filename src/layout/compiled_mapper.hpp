@@ -1,0 +1,168 @@
+#pragma once
+// CompiledMapper: the serving-path form of AddressMapper.
+//
+// AddressMapper keeps the layout's stripe table as nested vectors and
+// allocates a fresh vector on every stripe_of() call -- fine for
+// construction-time work, hostile to the hot path the paper's Condition 4
+// promises ("one table lookup plus a constant number of arithmetic
+// operations").  CompiledMapper flattens everything into one contiguous
+// struct-of-arrays word table at construction time:
+//
+//   data_disk[D] | data_offset[D] | parity_disk[D] | parity_offset[D] |
+//   stripe_begin[D] | stripe_len[D] | unit_disk[U] | unit_offset[U]
+//
+// (D = data units per iteration, U = total stripe units).  map() and
+// parity_of() are then a single indexed load each plus the iteration
+// arithmetic, with no pointer chasing through Stripe objects;
+// stripe_of() writes into caller-provided storage; map_batch() resolves a
+// whole span of logical addresses in one inlined loop.  All hot-path
+// methods are defined inline in this header so call sites compile to the
+// table access itself.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "layout/mapping.hpp"
+
+namespace pdl::layout {
+
+namespace detail {
+
+/// Division-free floor(n / d) for a runtime-constant divisor, exact for
+/// every 64-bit n and d >= 1.  Uses the round-down magic m = (2^64-1)/d:
+/// the mulhi estimate is floor(n/d) or floor(n/d) - 1, fixed by a single
+/// compare -- a multiply instead of the hardware divide that otherwise
+/// dominates the mapping arithmetic.
+struct U64Divisor {
+  std::uint64_t d = 1;
+  std::uint64_t magic = ~0ull;
+
+  void init(std::uint64_t divisor) noexcept {
+    d = divisor;
+    magic = ~0ull / divisor;
+  }
+
+  struct QuotRem {
+    std::uint64_t quot;
+    std::uint64_t rem;
+  };
+  [[nodiscard]] QuotRem divide(std::uint64_t n) const noexcept {
+    std::uint64_t q = static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(n) * magic) >> 64);
+    std::uint64_t r = n - q * d;
+    if (r >= d) {  // compiles to a conditional move, not a branch
+      ++q;
+      r -= d;
+    }
+    return {q, r};
+  }
+};
+
+}  // namespace detail
+
+class CompiledMapper {
+ public:
+  using Physical = AddressMapper::Physical;
+  static constexpr std::uint64_t kParity = AddressMapper::kParity;
+
+  /// Compiles the tables of an existing AddressMapper.  The logical
+  /// numbering is taken from the mapper, so the two agree everywhere.
+  explicit CompiledMapper(const AddressMapper& mapper);
+
+  /// Convenience: compile straight from a layout.
+  explicit CompiledMapper(const Layout& layout)
+      : CompiledMapper(AddressMapper(layout)) {}
+
+  [[nodiscard]] std::uint64_t data_units_per_iteration() const noexcept {
+    return d_;
+  }
+  [[nodiscard]] std::uint32_t units_per_disk() const noexcept { return s_; }
+  [[nodiscard]] std::uint32_t num_disks() const noexcept { return v_; }
+  [[nodiscard]] std::uint32_t max_stripe_size() const noexcept {
+    return max_stripe_;
+  }
+
+  /// Physical position of a logical data unit.
+  [[nodiscard]] Physical map(std::uint64_t logical) const noexcept {
+    const auto [it, r] = div_.divide(logical);
+    const std::uint32_t* w = words_.data();
+    return {w[data_disk_ + r], it * s_ + w[data_offset_ + r]};
+  }
+
+  /// Physical position of the parity unit protecting a logical data unit.
+  /// One load from the precompiled parity columns -- no stripe
+  /// indirection.
+  [[nodiscard]] Physical parity_of(std::uint64_t logical) const noexcept {
+    const auto [it, r] = div_.divide(logical);
+    const std::uint32_t* w = words_.data();
+    return {w[parity_disk_ + r], it * s_ + w[parity_offset_ + r]};
+  }
+
+  /// Number of units in the stripe of a logical data unit.
+  [[nodiscard]] std::uint32_t stripe_size_of(
+      std::uint64_t logical) const noexcept {
+    return words_[stripe_len_ + div_.divide(logical).rem];
+  }
+
+  /// Writes the stripe of a logical data unit (same order as
+  /// AddressMapper::stripe_of) into `out` and returns the unit count.
+  /// `out.size()` must be at least stripe_size_of(logical);
+  /// max_stripe_size() bounds it for any logical.  No allocation.
+  std::uint32_t stripe_of(std::uint64_t logical,
+                          std::span<Physical> out) const noexcept {
+    const auto [it, r] = div_.divide(logical);
+    const std::uint32_t* w = words_.data();
+    const std::uint32_t begin = w[stripe_begin_ + r];
+    const std::uint32_t len = w[stripe_len_ + r];
+    const std::uint64_t lift = it * s_;
+    for (std::uint32_t i = 0; i < len; ++i) {
+      out[i] = {w[unit_disk_ + begin + i], lift + w[unit_offset_ + begin + i]};
+    }
+    return len;
+  }
+
+  /// Resolves a whole batch of logical addresses: out[i] = map(in[i]).
+  /// `out.size()` must be at least `logicals.size()`.
+  void map_batch(std::span<const std::uint64_t> logicals,
+                 std::span<Physical> out) const noexcept {
+    const std::uint32_t* disks = words_.data() + data_disk_;
+    const std::uint32_t* offsets = words_.data() + data_offset_;
+    for (std::size_t i = 0; i < logicals.size(); ++i) {
+      const auto [it, r] = div_.divide(logicals[i]);
+      out[i] = {disks[r], it * s_ + offsets[r]};
+    }
+  }
+
+  /// Inverse map; kParity for parity positions.  Same contract as
+  /// AddressMapper::logical_at.
+  [[nodiscard]] std::uint64_t logical_at(Physical position) const;
+
+  /// Memory footprint of the compiled tables in bytes.
+  [[nodiscard]] std::uint64_t table_bytes() const noexcept {
+    return words_.size() * sizeof(std::uint32_t) +
+           inverse_.size() * sizeof(std::uint64_t);
+  }
+
+ private:
+  std::uint32_t v_ = 0;
+  std::uint32_t s_ = 0;
+  std::uint64_t d_ = 0;           ///< data units per iteration
+  detail::U64Divisor div_;        ///< division-free split by d_
+  std::uint32_t max_stripe_ = 0;
+
+  // Section offsets into words_ (see header comment for the table shape).
+  std::size_t data_disk_ = 0;
+  std::size_t data_offset_ = 0;
+  std::size_t parity_disk_ = 0;
+  std::size_t parity_offset_ = 0;
+  std::size_t stripe_begin_ = 0;
+  std::size_t stripe_len_ = 0;
+  std::size_t unit_disk_ = 0;
+  std::size_t unit_offset_ = 0;
+
+  std::vector<std::uint32_t> words_;   ///< the flattened SoA table
+  std::vector<std::uint64_t> inverse_; ///< disk*s+offset -> logical mod D
+};
+
+}  // namespace pdl::layout

@@ -54,6 +54,11 @@ class AddressMapper {
   /// Memory footprint of the lookup tables in bytes (Condition 4 metric).
   [[nodiscard]] std::uint64_t table_bytes() const noexcept;
 
+  /// The stripe table the mapper was built from, in layout order.
+  [[nodiscard]] const std::vector<Stripe>& stripes() const noexcept {
+    return stripes_;
+  }
+
  private:
   struct TableEntry {
     DiskId disk;

@@ -30,13 +30,15 @@ std::uint64_t ArraySimulator::working_set() const noexcept {
 
 namespace {
 
-using layout::AddressMapper;
+using layout::CompiledMapper;
 using layout::DiskId;
 
-// Shared per-run state: the disks, the event queue, and result collection.
+// Shared per-run state: the disks, the event queue, result collection, and
+// a reusable stripe buffer so the hot path never allocates.
 struct RunContext {
-  explicit RunContext(std::uint32_t num_disks, const ArrayConfig& config)
-      : config(config) {
+  RunContext(std::uint32_t num_disks, std::uint32_t max_stripe_size,
+             const ArrayConfig& config)
+      : config(config), stripe_scratch(max_stripe_size) {
     disks.reserve(num_disks);
     for (std::uint32_t d = 0; d < num_disks; ++d)
       disks.emplace_back(config.disk);
@@ -45,6 +47,7 @@ struct RunContext {
   const ArrayConfig& config;
   EventQueue queue;
   std::vector<Disk> disks;
+  std::vector<CompiledMapper::Physical> stripe_scratch;
   UserStats user;
 
   void finish(RunResult& result) {
@@ -63,7 +66,7 @@ constexpr DiskId kNoFailure = 0xffffffffu;
 // Issues one user request at its arrival time.  `failed` = kNoFailure for
 // normal mode.  Latency is recorded when the slowest constituent access
 // completes; two-phase writes chain through a scheduled event.
-void issue_request(RunContext& ctx, const AddressMapper& mapper,
+void issue_request(RunContext& ctx, const CompiledMapper& mapper,
                    const Request& req, DiskId failed) {
   const auto record = [&ctx, is_write = req.is_write,
                        arrival = req.arrival_ms](SimTime done) {
@@ -74,8 +77,8 @@ void issue_request(RunContext& ctx, const AddressMapper& mapper,
     }
   };
 
-  const AddressMapper::Physical data = mapper.map(req.logical);
-  const AddressMapper::Physical parity = mapper.parity_of(req.logical);
+  const CompiledMapper::Physical data = mapper.map(req.logical);
+  const CompiledMapper::Physical parity = mapper.parity_of(req.logical);
   const SimTime now = req.arrival_ms;
 
   if (!req.is_write) {
@@ -84,8 +87,11 @@ void issue_request(RunContext& ctx, const AddressMapper& mapper,
       return;
     }
     // Degraded read: reconstruct from all surviving stripe units.
+    const std::uint32_t n =
+        mapper.stripe_of(req.logical, ctx.stripe_scratch);
     SimTime done = now;
-    for (const auto& unit : mapper.stripe_of(req.logical)) {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const auto& unit = ctx.stripe_scratch[i];
       if (unit.disk == failed) continue;
       done = std::max(done, ctx.disks[unit.disk].submit(now));
     }
@@ -109,8 +115,11 @@ void issue_request(RunContext& ctx, const AddressMapper& mapper,
   if (data.disk == failed) {
     // The data unit is lost: fold the new value into parity by reading all
     // surviving data units of the stripe, then writing the parity unit.
+    const std::uint32_t n =
+        mapper.stripe_of(req.logical, ctx.stripe_scratch);
     SimTime reads_done = now;
-    for (const auto& unit : mapper.stripe_of(req.logical)) {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const auto& unit = ctx.stripe_scratch[i];
       if (unit.disk == failed || unit == parity) continue;
       reads_done = std::max(reads_done, ctx.disks[unit.disk].submit(now));
     }
@@ -126,7 +135,7 @@ void issue_request(RunContext& ctx, const AddressMapper& mapper,
 }  // namespace
 
 RunResult ArraySimulator::run_normal(std::span<const Request> requests) const {
-  RunContext ctx(layout_.num_disks(), config_);
+  RunContext ctx(layout_.num_disks(), mapper_.max_stripe_size(), config_);
   for (const Request& req : requests) {
     if (req.logical >= working_set())
       throw std::invalid_argument("run_normal: request beyond working set");
@@ -145,7 +154,7 @@ RunResult ArraySimulator::run_degraded(std::span<const Request> requests,
                                        layout::DiskId failed) const {
   if (failed >= layout_.num_disks())
     throw std::invalid_argument("run_degraded: bad disk");
-  RunContext ctx(layout_.num_disks(), config_);
+  RunContext ctx(layout_.num_disks(), mapper_.max_stripe_size(), config_);
   for (const Request& req : requests) {
     if (req.logical >= working_set())
       throw std::invalid_argument("run_degraded: request beyond working set");
@@ -164,7 +173,7 @@ RebuildResult ArraySimulator::run_rebuild(std::span<const Request> requests,
                                           layout::DiskId failed) const {
   if (failed >= layout_.num_disks())
     throw std::invalid_argument("run_rebuild: bad disk");
-  RunContext ctx(layout_.num_disks(), config_);
+  RunContext ctx(layout_.num_disks(), mapper_.max_stripe_size(), config_);
   // The spare is written sequentially (a streaming reconstruction sweep),
   // so it pays transfer time only; survivors pay full random-access cost
   // for their reads, which is where declustering helps.
@@ -246,7 +255,7 @@ RebuildResult ArraySimulator::run_rebuild_distributed(
   if (spare_pos.size() != layout_.num_stripes())
     throw std::invalid_argument(
         "run_rebuild_distributed: spare_pos size mismatch");
-  RunContext ctx(layout_.num_disks(), config_);
+  RunContext ctx(layout_.num_disks(), mapper_.max_stripe_size(), config_);
 
   // Jobs: stripes that lost a non-spare unit, per iteration.  The spare
   // holds no data, so it is neither read nor lost.

@@ -1,6 +1,6 @@
 #pragma once
 // Event-driven disk-array simulator.  Drives a Layout (through its
-// AddressMapper) under synthetic workloads in three modes:
+// CompiledMapper) under synthetic workloads in three modes:
 //
 //  * normal    -- reads are 1 access; writes are small read-modify-writes
 //                 (read data + read parity, then write data + write parity);
@@ -16,8 +16,8 @@
 
 #include <span>
 
+#include "layout/compiled_mapper.hpp"
 #include "layout/layout.hpp"
-#include "layout/mapping.hpp"
 #include "sim/disk.hpp"
 #include "sim/stats.hpp"
 #include "sim/workload.hpp"
@@ -67,7 +67,7 @@ class ArraySimulator {
   /// Logical data units addressable by workloads for this configuration.
   [[nodiscard]] std::uint64_t working_set() const noexcept;
 
-  [[nodiscard]] const layout::AddressMapper& mapper() const noexcept {
+  [[nodiscard]] const layout::CompiledMapper& mapper() const noexcept {
     return mapper_;
   }
 
@@ -92,7 +92,7 @@ class ArraySimulator {
 
  private:
   layout::Layout layout_;
-  layout::AddressMapper mapper_;
+  layout::CompiledMapper mapper_;
   ArrayConfig config_;
 };
 

@@ -56,7 +56,7 @@ TEST(ArraySim, QueueingDelaysShowUp) {
 TEST(ArraySim, DegradedReadFansOutToSurvivors) {
   const auto layout = layout::ring_based_layout(5, 3);
   const ArraySimulator sim(layout, config_with());
-  const layout::AddressMapper& mapper = sim.mapper();
+  const layout::CompiledMapper& mapper = sim.mapper();
   // Find a logical unit living on disk 0.
   std::uint64_t on_disk0 = 0;
   for (std::uint64_t l = 0; l < sim.working_set(); ++l) {
@@ -170,7 +170,7 @@ TEST(ArraySim, RejectsInvalidArguments) {
 TEST(ArraySim, ParityFailedWriteIsSingleAccess) {
   const auto layout = layout::raid5_layout(4, 4);
   const ArraySimulator sim(layout, config_with());
-  const layout::AddressMapper& mapper = sim.mapper();
+  const layout::CompiledMapper& mapper = sim.mapper();
   // Find a logical whose parity is on disk 2 but data is elsewhere.
   for (std::uint64_t l = 0; l < sim.working_set(); ++l) {
     if (mapper.parity_of(l).disk == 2 && mapper.map(l).disk != 2) {

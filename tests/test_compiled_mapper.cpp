@@ -1,0 +1,170 @@
+#include "layout/compiled_mapper.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "design/catalog.hpp"
+#include "layout/bibd_layout.hpp"
+#include "layout/disk_removal.hpp"
+#include "layout/raid.hpp"
+#include "layout/ring_layout.hpp"
+#include "layout/stairway.hpp"
+
+namespace pdl::layout {
+namespace {
+
+std::vector<std::pair<std::string, Layout>> sample_layouts() {
+  std::vector<std::pair<std::string, Layout>> layouts;
+  layouts.emplace_back("raid5 v=6", raid5_layout(6, 6));
+  layouts.emplace_back("ring v=9 k=3", ring_based_layout(9, 3));
+  layouts.emplace_back("ring v=17 k=5", ring_based_layout(17, 5));
+  layouts.emplace_back("removal q=17 k=4 i=1", removal_layout(17, 4, 1));
+  layouts.emplace_back("stairway q=16 v=20 k=4", stairway_layout(16, 20, 4));
+  layouts.emplace_back(
+      "bibd-flow v=16 k=4",
+      flow_balanced_layout(design::build_best_design(16, 4), 1));
+  return layouts;
+}
+
+// The headline equivalence: CompiledMapper must agree with AddressMapper
+// everywhere, across several constructions and multiple iterations.
+TEST(CompiledMapper, AgreesWithAddressMapperEverywhere) {
+  for (const auto& [name, layout] : sample_layouts()) {
+    const AddressMapper reference(layout);
+    const CompiledMapper compiled(layout);
+
+    EXPECT_EQ(compiled.num_disks(), reference.num_disks()) << name;
+    EXPECT_EQ(compiled.units_per_disk(), reference.units_per_disk()) << name;
+    EXPECT_EQ(compiled.data_units_per_iteration(),
+              reference.data_units_per_iteration())
+        << name;
+
+    const std::uint64_t d = reference.data_units_per_iteration();
+    std::vector<CompiledMapper::Physical> scratch(
+        compiled.max_stripe_size());
+    // Two full iterations plus a far-out block exercise the arithmetic.
+    std::vector<std::uint64_t> logicals;
+    for (std::uint64_t l = 0; l < 2 * d; ++l) logicals.push_back(l);
+    logicals.push_back(17 * d + 3);
+
+    for (const std::uint64_t logical : logicals) {
+      EXPECT_EQ(compiled.map(logical), reference.map(logical))
+          << name << " logical=" << logical;
+      EXPECT_EQ(compiled.parity_of(logical), reference.parity_of(logical))
+          << name << " logical=" << logical;
+
+      const auto expected = reference.stripe_of(logical);
+      ASSERT_GE(scratch.size(), expected.size()) << name;
+      const std::uint32_t n = compiled.stripe_of(logical, scratch);
+      ASSERT_EQ(n, expected.size()) << name << " logical=" << logical;
+      EXPECT_EQ(compiled.stripe_size_of(logical), n)
+          << name << " logical=" << logical;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        EXPECT_EQ(scratch[i], expected[i])
+            << name << " logical=" << logical << " unit=" << i;
+      }
+    }
+  }
+}
+
+TEST(CompiledMapper, InverseAgreesOverAllPhysicalPositions) {
+  for (const auto& [name, layout] : sample_layouts()) {
+    const AddressMapper reference(layout);
+    const CompiledMapper compiled(layout);
+    const std::uint32_t s = reference.units_per_disk();
+    for (std::uint32_t disk = 0; disk < reference.num_disks(); ++disk) {
+      for (std::uint32_t offset = 0; offset < 2 * s; ++offset) {
+        const AddressMapper::Physical pos{disk, offset};
+        EXPECT_EQ(compiled.logical_at(pos), reference.logical_at(pos))
+            << name << " disk=" << disk << " offset=" << offset;
+      }
+    }
+    EXPECT_THROW((void)compiled.logical_at({reference.num_disks(), 0}),
+                 std::invalid_argument)
+        << name;
+  }
+}
+
+TEST(CompiledMapper, MapBatchMatchesScalarMap) {
+  const Layout layout = ring_based_layout(17, 5);
+  const CompiledMapper compiled(layout);
+  const std::uint64_t d = compiled.data_units_per_iteration();
+
+  std::vector<std::uint64_t> logicals;
+  for (std::uint64_t l = 0; l < 3 * d; l += 7) logicals.push_back(l);
+  std::vector<CompiledMapper::Physical> batch(logicals.size());
+  compiled.map_batch(logicals, batch);
+  for (std::size_t i = 0; i < logicals.size(); ++i) {
+    EXPECT_EQ(batch[i], compiled.map(logicals[i])) << "i=" << i;
+  }
+}
+
+TEST(CompiledMapper, RoundTripThroughInverse) {
+  const Layout layout = stairway_layout(16, 20, 4);
+  const CompiledMapper compiled(layout);
+  const std::uint64_t d = compiled.data_units_per_iteration();
+  for (std::uint64_t logical = 0; logical < 2 * d; ++logical) {
+    EXPECT_EQ(compiled.logical_at(compiled.map(logical)), logical);
+  }
+}
+
+TEST(CompiledMapper, ConstructsFromExistingAddressMapper) {
+  const Layout layout = ring_based_layout(9, 3);
+  const AddressMapper reference(layout);
+  const CompiledMapper compiled(reference);
+  EXPECT_EQ(compiled.map(5), reference.map(5));
+  EXPECT_EQ(compiled.table_bytes() > 0, true);
+}
+
+TEST(CompiledMapper, MaxStripeSizeBoundsEveryStripe) {
+  for (const auto& [name, layout] : sample_layouts()) {
+    const CompiledMapper compiled(layout);
+    const std::uint64_t d = compiled.data_units_per_iteration();
+    std::uint32_t seen_max = 0;
+    for (std::uint64_t l = 0; l < d; ++l) {
+      seen_max = std::max(seen_max, compiled.stripe_size_of(l));
+      EXPECT_LE(compiled.stripe_size_of(l), compiled.max_stripe_size())
+          << name;
+    }
+    EXPECT_EQ(seen_max, compiled.max_stripe_size()) << name;
+  }
+}
+
+// The magic-reciprocal divider underpins every hot-path method; it must be
+// exact, not approximate, including at d = 1 and near-overflow numerators.
+TEST(CompiledMapper, MagicDividerIsExact) {
+  std::uint64_t state = 12345;
+  const auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  std::vector<std::uint64_t> divisors = {1, 2, 3, 5, 7, 48, 272, 960,
+                                         4096, 99991, 1ull << 32,
+                                         (1ull << 63) + 1, ~0ull};
+  std::vector<std::uint64_t> numerators = {0, 1, 2, 47, 48, 49,
+                                           ~0ull, ~0ull - 1, 1ull << 63};
+  for (int i = 0; i < 1000; ++i) numerators.push_back(next());
+  for (int i = 0; i < 20; ++i) divisors.push_back(next() | 1);
+
+  for (const std::uint64_t d : divisors) {
+    detail::U64Divisor divider;
+    divider.init(d);
+    for (const std::uint64_t n : numerators) {
+      const auto [quot, rem] = divider.divide(n);
+      EXPECT_EQ(quot, n / d) << "n=" << n << " d=" << d;
+      EXPECT_EQ(rem, n % d) << "n=" << n << " d=" << d;
+    }
+  }
+}
+
+TEST(CompiledMapper, RejectsInvalidLayouts) {
+  Layout holey(4, 3);
+  holey.append_stripe({0, 1, 2}, 0);
+  EXPECT_THROW(CompiledMapper m(holey), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pdl::layout
