@@ -43,5 +43,8 @@
 #include "layout/sparing.hpp"
 #include "layout/stairway.hpp"
 #include "sim/array_sim.hpp"
+#include "sim/fault_timeline.hpp"
+#include "sim/rebuild_scheduler.hpp"
 #include "sim/reconstruction.hpp"
+#include "sim/scenario.hpp"
 #include "sim/workload.hpp"

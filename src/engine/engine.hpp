@@ -38,6 +38,15 @@ class Engine {
     return cache_.get(spec, options);
   }
 
+  /// The (cached) best layout for the spec with a balanced distributed-
+  /// sparing overlay (layout::add_distributed_sparing), or nullptr.  The
+  /// base layout derivation is shared with build(); fault-scenario sweeps
+  /// reuse one immutable SparedLayout across runs.
+  [[nodiscard]] std::shared_ptr<const layout::SparedLayout> build_spared(
+      const core::ArraySpec& spec, const core::BuildOptions& options = {}) {
+    return cache_.get_spared(spec, options);
+  }
+
   /// Candidate plans for a spec, ranked best-first (uncached; planning is
   /// closed-form and cheap).
   [[nodiscard]] std::vector<LayoutPlan> rank_plans(

@@ -4,12 +4,18 @@ namespace pdl::engine {
 
 std::shared_ptr<const core::BuiltLayout> LayoutCache::get(
     const core::ArraySpec& spec, const core::BuildOptions& options) {
+  return get_impl(spec, options, /*count_stats=*/true);
+}
+
+std::shared_ptr<const core::BuiltLayout> LayoutCache::get_impl(
+    const core::ArraySpec& spec, const core::BuildOptions& options,
+    bool count_stats) {
   const Key key{spec.num_disks, spec.stripe_size, options.unit_budget,
                 options.require_perfect_parity, options.allow_approximate};
   {
     std::lock_guard lock(mutex_);
     if (const auto it = cache_.find(key); it != cache_.end()) {
-      ++hits_;
+      if (count_stats) ++hits_;
       return it->second;
     }
   }
@@ -22,19 +28,46 @@ std::shared_ptr<const core::BuiltLayout> LayoutCache::get(
     entry = std::make_shared<const core::BuiltLayout>(std::move(*built));
 
   std::lock_guard lock(mutex_);
-  ++misses_;
+  if (count_stats) ++misses_;
   const auto [it, inserted] = cache_.emplace(key, std::move(entry));
+  return it->second;
+}
+
+std::shared_ptr<const layout::SparedLayout> LayoutCache::get_spared(
+    const core::ArraySpec& spec, const core::BuildOptions& options) {
+  const Key key{spec.num_disks, spec.stripe_size, options.unit_budget,
+                options.require_perfect_parity, options.allow_approximate};
+  {
+    std::lock_guard lock(mutex_);
+    if (const auto it = spared_cache_.find(key); it != spared_cache_.end()) {
+      ++hits_;
+      return it->second;
+    }
+  }
+  // The base layout comes through the same memo, so the derivation is
+  // shared; the inner lookup is not counted (each public call records
+  // exactly one hit or miss, against its own cache).
+  const auto built = get_impl(spec, options, /*count_stats=*/false);
+  std::shared_ptr<const layout::SparedLayout> entry;
+  if (built)
+    entry = std::make_shared<const layout::SparedLayout>(
+        layout::add_distributed_sparing(built->layout));
+
+  std::lock_guard lock(mutex_);
+  ++misses_;
+  const auto [it, inserted] = spared_cache_.emplace(key, std::move(entry));
   return it->second;
 }
 
 LayoutCache::Stats LayoutCache::stats() const {
   std::lock_guard lock(mutex_);
-  return {hits_, misses_, cache_.size()};
+  return {hits_, misses_, cache_.size() + spared_cache_.size()};
 }
 
 void LayoutCache::clear() {
   std::lock_guard lock(mutex_);
   cache_.clear();
+  spared_cache_.clear();
   hits_ = 0;
   misses_ = 0;
 }

@@ -12,6 +12,7 @@
 #include <unordered_map>
 
 #include "engine/planner.hpp"
+#include "layout/sparing.hpp"
 
 namespace pdl::engine {
 
@@ -34,6 +35,17 @@ class LayoutCache {
   [[nodiscard]] std::shared_ptr<const core::BuiltLayout> get(
       const core::ArraySpec& spec, const core::BuildOptions& options = {});
 
+  /// The cached distributed-sparing overlay of get(spec, options):
+  /// layout::add_distributed_sparing runs a network flow per call, and
+  /// scenario sweeps replay the same spared layout across many
+  /// (timeline, scheduler) combinations.  Returns nullptr when no
+  /// construction fits.  Shares the underlying Layout derivation with
+  /// get() through the same planner.
+  [[nodiscard]] std::shared_ptr<const layout::SparedLayout> get_spared(
+      const core::ArraySpec& spec, const core::BuildOptions& options = {});
+
+  /// Each public get*/get_spared call counts as exactly one hit or miss
+  /// against its own cache; entries spans both maps.
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
@@ -44,6 +56,10 @@ class LayoutCache {
   void clear();
 
  private:
+  [[nodiscard]] std::shared_ptr<const core::BuiltLayout> get_impl(
+      const core::ArraySpec& spec, const core::BuildOptions& options,
+      bool count_stats);
+
   struct Key {
     std::uint32_t v;
     std::uint32_t k;
@@ -69,6 +85,9 @@ class LayoutCache {
   mutable std::mutex mutex_;
   std::unordered_map<Key, std::shared_ptr<const core::BuiltLayout>, KeyHash>
       cache_;
+  std::unordered_map<Key, std::shared_ptr<const layout::SparedLayout>,
+                     KeyHash>
+      spared_cache_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
 };

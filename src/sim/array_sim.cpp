@@ -197,6 +197,9 @@ RebuildResult ArraySimulator::run_rebuild(std::span<const Request> requests,
 
   RebuildResult result;
   result.rebuild_reads_per_disk.assign(layout_.num_disks(), 0);
+  // The dedicated spare is not an array disk; its writes never land on a
+  // surviving disk's counter.
+  result.rebuild_writes_per_disk.assign(layout_.num_disks(), 0);
 
   auto next_job = std::make_shared<std::size_t>(0);
   auto done_jobs = std::make_shared<std::size_t>(0);
@@ -285,6 +288,7 @@ RebuildResult ArraySimulator::run_rebuild_distributed(
 
   RebuildResult result;
   result.rebuild_reads_per_disk.assign(layout_.num_disks(), 0);
+  result.rebuild_writes_per_disk.assign(layout_.num_disks(), 0);
 
   auto next_job = std::make_shared<std::size_t>(0);
   auto done_jobs = std::make_shared<std::size_t>(0);
@@ -306,6 +310,7 @@ RebuildResult ArraySimulator::run_rebuild_distributed(
     const layout::DiskId spare_disk = st.units[spare].disk;
     ctx.queue.schedule(reads_done, [&, spare_disk, done_jobs](SimTime t) {
       const SimTime written = ctx.disks[spare_disk].submit(t);
+      ++result.rebuild_writes_per_disk[spare_disk];
       ++(*done_jobs);
       ++result.stripes_rebuilt;
       result.rebuild_ms = std::max(result.rebuild_ms, written);

@@ -50,11 +50,22 @@ struct RunResult {
   [[nodiscard]] double max_disk_utilization() const;
 };
 
-/// Result of a rebuild-mode run.
+/// Result of a rebuild-mode run.  Read and write traffic are accounted
+/// separately: `rebuild_reads_per_disk` counts ONLY the survivor reads of
+/// the reconstruction sweep (never rebuild writes, never user traffic), and
+/// `rebuild_writes_per_disk` counts the rebuilt-unit writes landing on each
+/// array disk.  Under a dedicated spare the writes leave the array (the
+/// spare is not an array disk), so `rebuild_writes_per_disk` is all zero
+/// and the per-disk split of `RunResult::disk_accesses` into user traffic
+/// plus rebuild reads plus rebuild writes stays exact in both modes --
+/// previously a distributed-sparing run folded the spare's writes into the
+/// same per-disk access totals that user traffic lands in, with no way to
+/// separate them.
 struct RebuildResult {
   RunResult run;
   double rebuild_ms = 0.0;  ///< failure (t = 0) to last rebuilt unit
   std::vector<std::uint64_t> rebuild_reads_per_disk;  ///< surviving disks
+  std::vector<std::uint64_t> rebuild_writes_per_disk; ///< spare-unit writes
   std::uint64_t stripes_rebuilt = 0;
 };
 

@@ -1,0 +1,53 @@
+#include "sim/fault_timeline.hpp"
+
+#include <algorithm>
+#include <random>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace pdl::sim {
+
+FaultTimeline FaultTimeline::scripted(std::vector<FaultEvent> events) {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.time_ms < b.time_ms;
+                   });
+  std::unordered_set<layout::DiskId> seen;
+  for (const FaultEvent& e : events) {
+    if (e.time_ms < 0.0)
+      throw std::invalid_argument("FaultTimeline: negative failure time");
+    if (!seen.insert(e.disk).second)
+      throw std::invalid_argument("FaultTimeline: disk fails twice");
+  }
+  return FaultTimeline(std::move(events));
+}
+
+FaultTimeline FaultTimeline::random(const RandomFaultConfig& config) {
+  if (config.num_disks == 0)
+    throw std::invalid_argument("FaultTimeline: num_disks >= 1");
+  if (config.mean_arrival_ms <= 0.0)
+    throw std::invalid_argument("FaultTimeline: mean_arrival_ms > 0");
+
+  std::mt19937_64 rng(config.seed);
+  std::exponential_distribution<double> gap(1.0 / config.mean_arrival_ms);
+
+  std::vector<layout::DiskId> pool(config.num_disks);
+  for (std::uint32_t d = 0; d < config.num_disks; ++d) pool[d] = d;
+
+  std::vector<FaultEvent> events;
+  double t = 0.0;
+  while (!pool.empty()) {
+    if (config.max_failures != 0 && events.size() >= config.max_failures)
+      break;
+    t += gap(rng);
+    if (t > config.horizon_ms) break;
+    std::uniform_int_distribution<std::size_t> pick(0, pool.size() - 1);
+    const std::size_t i = pick(rng);
+    events.push_back({t, pool[i]});
+    pool[i] = pool.back();
+    pool.pop_back();
+  }
+  return FaultTimeline(std::move(events));
+}
+
+}  // namespace pdl::sim

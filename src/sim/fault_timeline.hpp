@@ -1,0 +1,66 @@
+#pragma once
+// Fault timelines for multi-failure scenarios: the sequence of disk
+// failures injected into a ScenarioSimulator run.  A timeline carries the
+// failure *arrivals* only -- scripted explicitly or drawn from a seeded
+// Poisson process; the matching repair completions are produced by the
+// rebuild engine during the run and reported back in the scenario's event
+// log (ScenarioEventKind::kRepairComplete).
+//
+// Each disk fails at most once per timeline: the regime of interest is a
+// burst of failures racing one or more rebuilds (the second failure
+// mid-rebuild is what turns balanced-rebuild guarantees into data-loss
+// probabilities), not a renewal process over repaired disks.
+
+#include <cstdint>
+#include <vector>
+
+#include "layout/layout.hpp"
+
+namespace pdl::sim {
+
+/// One failure arrival.
+struct FaultEvent {
+  double time_ms = 0.0;
+  layout::DiskId disk = 0;
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+/// Parameters of a random (Poisson) failure process.
+struct RandomFaultConfig {
+  std::uint32_t num_disks = 0;
+  /// Mean time between array-wide failure arrivals (exponential).
+  double mean_arrival_ms = 10'000.0;
+  /// Arrivals past the horizon are discarded.
+  double horizon_ms = 10'000.0;
+  /// Hard cap on the number of failures (0 = horizon only).
+  std::uint32_t max_failures = 2;
+  std::uint64_t seed = 1;
+};
+
+/// An immutable, time-sorted failure sequence with distinct disks.
+class FaultTimeline {
+ public:
+  /// A timeline from explicit events (sorted on construction).  Throws
+  /// std::invalid_argument on negative times or repeated disks.
+  [[nodiscard]] static FaultTimeline scripted(std::vector<FaultEvent> events);
+
+  /// A seeded Poisson failure process: exponential inter-arrival times with
+  /// the configured mean, each failure hitting a uniformly random
+  /// not-yet-failed disk.  Deterministic in the seed.
+  [[nodiscard]] static FaultTimeline random(const RandomFaultConfig& config);
+
+  [[nodiscard]] const std::vector<FaultEvent>& failures() const noexcept {
+    return failures_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return failures_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return failures_.size(); }
+
+ private:
+  explicit FaultTimeline(std::vector<FaultEvent> failures)
+      : failures_(std::move(failures)) {}
+
+  std::vector<FaultEvent> failures_;
+};
+
+}  // namespace pdl::sim

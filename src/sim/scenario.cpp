@@ -1,0 +1,621 @@
+#include "sim/scenario.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <deque>
+#include <stdexcept>
+
+#include "core/recovery.hpp"
+#include "sim/event_queue.hpp"
+
+namespace pdl::sim {
+
+std::string_view phase_name(ScenarioPhase phase) noexcept {
+  switch (phase) {
+    case ScenarioPhase::kNormal: return "normal";
+    case ScenarioPhase::kDegraded: return "degraded";
+    case ScenarioPhase::kRebuilding: return "rebuilding";
+    case ScenarioPhase::kRestored: return "restored";
+  }
+  return "?";
+}
+
+std::string_view event_kind_name(ScenarioEventKind kind) noexcept {
+  switch (kind) {
+    case ScenarioEventKind::kFailure: return "failure";
+    case ScenarioEventKind::kRebuildStart: return "rebuild_start";
+    case ScenarioEventKind::kRepairComplete: return "repair_complete";
+    case ScenarioEventKind::kDataLoss: return "data_loss";
+  }
+  return "?";
+}
+
+double PhaseRecord::utilization(layout::DiskId disk) const {
+  const double span = duration_ms();
+  if (span <= 0.0) return 0.0;
+  return disk_busy_ms[disk] / span;
+}
+
+double PhaseRecord::max_disk_utilization() const {
+  const double span = duration_ms();
+  if (span <= 0.0) return 0.0;
+  double max_busy = 0.0;
+  for (const double b : disk_busy_ms) max_busy = std::max(max_busy, b);
+  return max_busy / span;
+}
+
+ScenarioSimulator::ScenarioSimulator(const layout::Layout& layout,
+                                     ScenarioConfig config)
+    : layout_(layout), config_(config) {
+  compile_tables();
+}
+
+ScenarioSimulator::ScenarioSimulator(const layout::SparedLayout& spared,
+                                     ScenarioConfig config)
+    : layout_(spared.layout), spare_pos_(spared.spare_pos), config_(config) {
+  if (spare_pos_.size() != layout_.num_stripes())
+    throw std::invalid_argument("ScenarioSimulator: spare_pos size mismatch");
+  compile_tables();
+}
+
+void ScenarioSimulator::compile_tables() {
+  if (config_.iterations == 0)
+    throw std::invalid_argument("ScenarioSimulator: iterations >= 1");
+  if (config_.rebuild_depth == 0)
+    throw std::invalid_argument("ScenarioSimulator: rebuild_depth >= 1");
+  if (config_.rebuild_delay_ms < 0.0)
+    throw std::invalid_argument("ScenarioSimulator: rebuild_delay_ms >= 0");
+  const auto errors = layout_.validate();
+  if (!errors.empty())
+    throw std::invalid_argument("ScenarioSimulator: invalid layout: " +
+                                errors.front());
+
+  for (std::uint32_t s = 0; s < layout_.num_stripes(); ++s) {
+    const layout::Stripe& st = layout_.stripes()[s];
+    if (st.units.size() < 2 || st.units.size() > 64)
+      throw std::invalid_argument(
+          "ScenarioSimulator: stripe sizes must be in [2, 64]");
+    if (!spare_pos_.empty()) {
+      if (spare_pos_[s] >= st.units.size() || spare_pos_[s] == st.parity_pos)
+        throw std::invalid_argument(
+            "ScenarioSimulator: invalid spare position");
+    }
+  }
+
+  // Logical numbering matches AddressMapper (stripe-major, parity skipped)
+  // except that spare units, which hold no data, are skipped too.
+  for (std::uint32_t s = 0; s < layout_.num_stripes(); ++s) {
+    const layout::Stripe& st = layout_.stripes()[s];
+    for (std::uint32_t p = 0; p < st.units.size(); ++p) {
+      if (p == st.parity_pos) continue;
+      if (!spare_pos_.empty() && p == spare_pos_[s]) continue;
+      data_units_.push_back({s, p});
+    }
+  }
+  if (data_units_.empty())
+    throw std::invalid_argument("ScenarioSimulator: layout holds no data");
+}
+
+std::uint64_t ScenarioSimulator::working_set() const noexcept {
+  return data_units_.size() * static_cast<std::uint64_t>(config_.iterations);
+}
+
+namespace {
+
+using layout::DiskId;
+
+constexpr std::uint32_t kNone = 0xffffffffu;
+
+/// All mutable state of one scenario run.
+struct Runner {
+  // -- immutable inputs ---------------------------------------------------
+  const layout::Layout& layout;
+  const std::vector<std::uint32_t>& spare_pos;  // empty = dedicated mode
+  const ScenarioConfig& config;
+  const RebuildScheduler& scheduler;
+  const std::uint32_t num_stripes;
+  const std::uint32_t num_disks;
+
+  // -- array state --------------------------------------------------------
+  EventQueue queue;
+  std::vector<Disk> disks;
+  std::vector<std::uint8_t> alive;
+  // Per stripe instance si = iteration * num_stripes + stripe:
+  std::vector<std::uint64_t> lost_mask;     // bit per lost content position
+  std::vector<std::uint8_t> unrecoverable;  // >= 2 units lost at once
+  std::vector<std::uint32_t> redirect;      // position living in the spare
+  std::vector<std::uint8_t> job_pending;    // rebuild queued or in flight
+
+  // -- rebuild machinery --------------------------------------------------
+  struct QueuedJob {
+    RebuildJob job;
+    DiskId failed;  ///< failure this job belongs to
+  };
+  std::deque<QueuedJob> pending;
+  std::uint32_t in_flight = 0;
+  double dispatch_gate_ms = 0.0;  ///< pacing: no dispatch before this time
+  std::vector<double> ready_ms;            // per disk: dispatch-eligible time
+  std::vector<std::int64_t> jobs_open;     // per disk: queued + in-flight
+  std::vector<std::int32_t> span_index;    // per disk: index into rebuilds
+  std::uint32_t failed_unrepaired = 0;
+  bool any_failure = false;
+
+  // -- phase machinery ----------------------------------------------------
+  ScenarioPhase cur_phase = ScenarioPhase::kNormal;
+  std::vector<double> snap_busy;
+  std::vector<std::uint64_t> snap_acc;
+
+  ScenarioResult result;
+
+  Runner(const layout::Layout& layout,
+         const std::vector<std::uint32_t>& spare_pos,
+         const ScenarioConfig& config, const RebuildScheduler& scheduler)
+      : layout(layout),
+        spare_pos(spare_pos),
+        config(config),
+        scheduler(scheduler),
+        num_stripes(static_cast<std::uint32_t>(layout.num_stripes())),
+        num_disks(layout.num_disks()) {
+    disks.reserve(num_disks);
+    for (std::uint32_t d = 0; d < num_disks; ++d)
+      disks.emplace_back(config.disk);
+    alive.assign(num_disks, 1);
+    const std::size_t instances =
+        static_cast<std::size_t>(num_stripes) * config.iterations;
+    lost_mask.assign(instances, 0);
+    unrecoverable.assign(instances, 0);
+    redirect.assign(instances, kNone);
+    job_pending.assign(instances, 0);
+    ready_ms.assign(num_disks, 0.0);
+    jobs_open.assign(num_disks, -1);
+    span_index.assign(num_disks, -1);
+    result.rebuild_reads_per_disk.assign(num_disks, 0);
+    result.rebuild_writes_per_disk.assign(num_disks, 0);
+    snap_busy.assign(num_disks, 0.0);
+    snap_acc.assign(num_disks, 0);
+    open_phase(ScenarioPhase::kNormal, 0.0);
+  }
+
+  [[nodiscard]] bool spared() const noexcept { return !spare_pos.empty(); }
+
+  [[nodiscard]] std::size_t instance(std::uint32_t stripe,
+                                     std::uint32_t iteration) const noexcept {
+    return static_cast<std::size_t>(iteration) * num_stripes + stripe;
+  }
+
+  [[nodiscard]] bool is_lost(std::size_t si, std::uint32_t pos) const {
+    return (lost_mask[si] >> pos) & 1u;
+  }
+
+  /// True when position `pos` of the stripe can hold content (everything
+  /// but an unconsumed spare slot; a consumed spare slot hosts the
+  /// redirected unit, which is enumerated under its own position).
+  [[nodiscard]] bool is_content(std::uint32_t stripe,
+                                std::uint32_t pos) const {
+    return spare_pos.empty() || pos != spare_pos[stripe];
+  }
+
+  /// The disk currently holding content position `pos` of instance `si`.
+  [[nodiscard]] DiskId cur_disk(std::uint32_t stripe, std::size_t si,
+                                std::uint32_t pos) const {
+    if (spared() && redirect[si] == pos)
+      return layout.stripes()[stripe].units[spare_pos[stripe]].disk;
+    return layout.stripes()[stripe].units[pos].disk;
+  }
+
+  // ---------------------------------------------------------------- phases
+
+  void open_phase(ScenarioPhase phase, SimTime t) {
+    PhaseRecord rec;
+    rec.phase = phase;
+    rec.start_ms = t;
+    rec.end_ms = t;
+    rec.failed_disks = failed_unrepaired;
+    result.phases.push_back(std::move(rec));
+    for (std::uint32_t d = 0; d < num_disks; ++d) {
+      snap_busy[d] = disks[d].busy_ms();
+      snap_acc[d] = disks[d].accesses();
+    }
+    cur_phase = phase;
+  }
+
+  void close_phase(SimTime t) {
+    PhaseRecord& rec = result.phases.back();
+    rec.end_ms = t;
+    rec.disk_busy_ms.resize(num_disks);
+    rec.disk_accesses.resize(num_disks);
+    for (std::uint32_t d = 0; d < num_disks; ++d) {
+      rec.disk_busy_ms[d] = disks[d].busy_ms() - snap_busy[d];
+      rec.disk_accesses[d] = disks[d].accesses() - snap_acc[d];
+    }
+  }
+
+  [[nodiscard]] bool any_ready_job(SimTime now) const {
+    for (const QueuedJob& q : pending) {
+      if (!unrecoverable[instance(q.job.stripe, q.job.iteration)] &&
+          ready_ms[q.failed] <= now)
+        return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] ScenarioPhase current_label(SimTime now) const {
+    if (failed_unrepaired == 0)
+      return any_failure ? ScenarioPhase::kRestored : ScenarioPhase::kNormal;
+    if (in_flight > 0 || any_ready_job(now)) return ScenarioPhase::kRebuilding;
+    return ScenarioPhase::kDegraded;
+  }
+
+  void maybe_transition(SimTime t) {
+    const ScenarioPhase want = current_label(t);
+    if (want == cur_phase) return;
+    close_phase(t);
+    open_phase(want, t);
+  }
+
+  // ----------------------------------------------------------- user serving
+
+  void record_latency(bool is_write, std::size_t phase_idx, double arrival,
+                      SimTime done) {
+    UserStats& phase_user = result.phases[phase_idx].user;
+    if (is_write) {
+      result.user.write_latency_ms.add(done - arrival);
+      phase_user.write_latency_ms.add(done - arrival);
+    } else {
+      result.user.read_latency_ms.add(done - arrival);
+      phase_user.read_latency_ms.add(done - arrival);
+    }
+  }
+
+  void serve(const Request& req, std::uint32_t stripe, std::uint32_t pos,
+             std::uint32_t iteration) {
+    const SimTime now = req.arrival_ms;
+    const std::size_t si = instance(stripe, iteration);
+    const std::size_t phase_idx = result.phases.size() - 1;
+    const layout::Stripe& st = layout.stripes()[stripe];
+    const std::uint32_t parity = st.parity_pos;
+
+    if (!req.is_write) {
+      if (!is_lost(si, pos)) {
+        record_latency(false, phase_idx, now,
+                       disks[cur_disk(stripe, si, pos)].submit(now));
+        return;
+      }
+      if (unrecoverable[si]) {
+        ++result.unserved_reads;
+        return;
+      }
+      // Degraded read: reconstruct from the surviving stripe content.
+      SimTime done = now;
+      for (std::uint32_t p = 0; p < st.units.size(); ++p) {
+        if (p == pos || !is_content(stripe, p)) continue;
+        done = std::max(done, disks[cur_disk(stripe, si, p)].submit(now));
+      }
+      record_latency(false, phase_idx, now, done);
+      return;
+    }
+
+    // Writes.
+    const bool data_lost = is_lost(si, pos);
+    const bool parity_lost = is_lost(si, parity);
+    if (data_lost && unrecoverable[si]) {
+      ++result.unserved_writes;
+      return;
+    }
+    const auto arrival = req.arrival_ms;
+    if (!data_lost && !parity_lost) {
+      // Small write: read old data + old parity, then write both.
+      const DiskId dd = cur_disk(stripe, si, pos);
+      const DiskId pd = cur_disk(stripe, si, parity);
+      const SimTime reads_done =
+          std::max(disks[dd].submit(now), disks[pd].submit(now));
+      queue.schedule(reads_done, [this, dd, pd, phase_idx, arrival](SimTime t) {
+        record_latency(true, phase_idx, arrival,
+                       std::max(disks[dd].submit(t), disks[pd].submit(t)));
+      });
+      return;
+    }
+    if (data_lost) {
+      // Fold the new value into parity: read the other surviving content,
+      // then write the parity unit.
+      SimTime reads_done = now;
+      for (std::uint32_t p = 0; p < st.units.size(); ++p) {
+        if (p == pos || p == parity || !is_content(stripe, p)) continue;
+        reads_done =
+            std::max(reads_done, disks[cur_disk(stripe, si, p)].submit(now));
+      }
+      const DiskId pd = cur_disk(stripe, si, parity);
+      queue.schedule(reads_done, [this, pd, phase_idx, arrival](SimTime t) {
+        record_latency(true, phase_idx, arrival, disks[pd].submit(t));
+      });
+      return;
+    }
+    // Parity lost, data intact: the stripe is unprotected; write the data.
+    record_latency(true, phase_idx, now,
+                   disks[cur_disk(stripe, si, pos)].submit(now));
+  }
+
+  // -------------------------------------------------------------- failures
+
+  void mark_lost(std::uint32_t stripe, std::uint32_t iteration,
+                 std::uint32_t pos, DiskId failed, SimTime t,
+                 bool& caused_data_loss) {
+    const std::size_t si = instance(stripe, iteration);
+    lost_mask[si] |= 1ull << pos;
+    if (std::popcount(lost_mask[si]) >= 2) {
+      if (!unrecoverable[si]) {
+        unrecoverable[si] = 1;
+        ++result.stripe_instances_lost;
+        if (!result.data_loss) {
+          result.data_loss = true;
+          result.first_data_loss_ms = t;
+        }
+        caused_data_loss = true;
+      }
+      return;
+    }
+    if (!job_pending[si]) {
+      job_pending[si] = 1;
+      ++jobs_open[failed];
+      pending.push_back({{stripe, iteration}, failed});
+    }
+  }
+
+  void on_failure(SimTime t, DiskId failed) {
+    if (!alive[failed]) return;  // FaultTimeline forbids this; be safe
+    alive[failed] = 0;
+    any_failure = true;
+    ++failed_unrepaired;
+    jobs_open[failed] = 0;
+    ready_ms[failed] = t + config.rebuild_delay_ms;
+    result.events.push_back({t, ScenarioEventKind::kFailure, failed});
+
+    // plan_recovery enumerates exactly the stripes with a unit on the
+    // failed disk, one (stripe, position) each; instances then classify the
+    // loss against their current content placement (redirects, spares).
+    const core::RecoveryPlan plan = core::plan_recovery(layout, failed);
+    const std::size_t batch_start = pending.size();
+    bool caused_data_loss = false;
+    for (const core::StripeRepair& repair : plan.repairs) {
+      const layout::Occupant& occ =
+          layout.at(failed, repair.lost.offset);
+      const std::uint32_t stripe = repair.stripe;
+      const std::uint32_t pos = occ.pos;
+      for (std::uint32_t it = 0; it < config.iterations; ++it) {
+        const std::size_t si = instance(stripe, it);
+        if (spared() && pos == spare_pos[stripe]) {
+          // The stripe's unit on the failed disk is its spare slot.  If a
+          // rebuilt unit lived there, that content is lost again; an empty
+          // spare costs only capacity.
+          if (redirect[si] != kNone) {
+            const std::uint32_t q = redirect[si];
+            redirect[si] = kNone;
+            mark_lost(stripe, it, q, failed, t, caused_data_loss);
+          }
+          continue;
+        }
+        if (spared() && redirect[si] == pos)
+          continue;  // content moved to the spare earlier; home slot empty
+        mark_lost(stripe, it, pos, failed, t, caused_data_loss);
+      }
+    }
+    if (caused_data_loss)
+      result.events.push_back({t, ScenarioEventKind::kDataLoss, failed});
+
+    // Order this failure's batch, in place, via the pluggable policy.
+    if (pending.size() > batch_start) {
+      std::vector<RebuildJob> batch;
+      batch.reserve(pending.size() - batch_start);
+      for (std::size_t i = batch_start; i < pending.size(); ++i)
+        batch.push_back(pending[i].job);
+      scheduler.order(layout, failed, batch);
+      for (std::size_t i = 0; i < batch.size(); ++i)
+        pending[batch_start + i] = {batch[i], failed};
+    }
+
+    queue.schedule(ready_ms[failed], [this, failed](SimTime now) {
+      dispatch(now);
+      if (jobs_open[failed] == 0) repair_complete(failed, now);
+      maybe_transition(now);
+    });
+    maybe_transition(t);
+  }
+
+  // --------------------------------------------------------------- rebuild
+
+  void job_done(const QueuedJob& q, SimTime t) {
+    --jobs_open[q.failed];
+    job_pending[instance(q.job.stripe, q.job.iteration)] = 0;
+    if (jobs_open[q.failed] == 0 && t >= ready_ms[q.failed])
+      repair_complete(q.failed, t);
+  }
+
+  void repair_complete(DiskId disk, SimTime t) {
+    if (alive[disk]) return;  // already repaired (job drop raced the check)
+    alive[disk] = 1;
+    --failed_unrepaired;
+    result.events.push_back({t, ScenarioEventKind::kRepairComplete, disk});
+    if (span_index[disk] >= 0) result.rebuilds[span_index[disk]].end_ms = t;
+  }
+
+  void dispatch(SimTime now) {
+    // The pacing gate is global: a throttled scheduler must slow the whole
+    // rebuild stream, not just each job's immediate successor (with
+    // rebuild_depth > 1 any other completion would otherwise refill the
+    // window instantly and nullify the throttle).
+    if (now < dispatch_gate_ms) {
+      if (!pending.empty()) {
+        queue.schedule(dispatch_gate_ms, [this](SimTime t) {
+          dispatch(t);
+          maybe_transition(t);
+        });
+      }
+      return;
+    }
+    while (in_flight < config.rebuild_depth) {
+      bool started = false;
+      for (auto it = pending.begin(); it != pending.end();) {
+        const QueuedJob q = *it;
+        if (unrecoverable[instance(q.job.stripe, q.job.iteration)]) {
+          it = pending.erase(it);
+          job_done(q, now);
+          continue;
+        }
+        if (ready_ms[q.failed] <= now) {
+          pending.erase(it);
+          start_job(q, now);
+          started = true;
+          break;
+        }
+        ++it;
+      }
+      if (!started) break;
+    }
+  }
+
+  void start_job(const QueuedJob& q, SimTime now) {
+    ++in_flight;
+    if (span_index[q.failed] < 0) {
+      span_index[q.failed] = static_cast<std::int32_t>(result.rebuilds.size());
+      result.rebuilds.push_back({q.failed, now, now, 0});
+      result.events.push_back(
+          {now, ScenarioEventKind::kRebuildStart, q.failed});
+    }
+
+    const std::uint32_t stripe = q.job.stripe;
+    const std::size_t si = instance(stripe, q.job.iteration);
+    const std::uint32_t lost_pos =
+        static_cast<std::uint32_t>(std::countr_zero(lost_mask[si]));
+    const layout::Stripe& st = layout.stripes()[stripe];
+
+    SimTime reads_done = now;
+    for (std::uint32_t p = 0; p < st.units.size(); ++p) {
+      if (p == lost_pos || !is_content(stripe, p)) continue;
+      const DiskId d = cur_disk(stripe, si, p);
+      reads_done = std::max(reads_done, disks[d].submit(now));
+      ++result.rebuild_reads_per_disk[d];
+    }
+
+    queue.schedule(reads_done, [this, q, si, stripe, lost_pos,
+                                now](SimTime t) {
+      if (unrecoverable[si]) {  // second loss raced the reads
+        finish_job(q, t, now);
+        return;
+      }
+      // Target: the stripe's own spare when it is usable, the failed
+      // disk's in-place replacement otherwise.
+      bool to_spare = false;
+      DiskId target = layout.stripes()[stripe].units[lost_pos].disk;
+      if (spared()) {
+        const std::uint32_t sp = spare_pos[stripe];
+        const DiskId spare_disk = layout.stripes()[stripe].units[sp].disk;
+        if (redirect[si] == kNone && alive[spare_disk]) {
+          to_spare = true;
+          target = spare_disk;
+        }
+      }
+      const SimTime written = disks[target].submit(t);
+      ++result.rebuild_writes_per_disk[target];
+      queue.schedule(written, [this, q, si, stripe, lost_pos, to_spare,
+                               target, now](SimTime w) {
+        if (unrecoverable[si]) {
+          finish_job(q, w, now);
+          return;
+        }
+        if (to_spare && !alive[target]) {
+          // The spare's disk failed while the write was in flight; the
+          // rebuilt copy died with it.  Retry the job.
+          --in_flight;
+          pending.push_back(q);
+          queue.schedule(w, [this](SimTime t2) {
+            dispatch(t2);
+            maybe_transition(t2);
+          });
+          maybe_transition(w);
+          return;
+        }
+        lost_mask[si] &= ~(1ull << lost_pos);
+        if (to_spare) redirect[si] = lost_pos;
+        ++result.rebuilds[span_index[q.failed]].stripes_rebuilt;
+        finish_job(q, w, now);
+      });
+    });
+  }
+
+  void finish_job(const QueuedJob& q, SimTime t, SimTime started) {
+    --in_flight;
+    job_done(q, t);
+    const double pace = scheduler.pacing_delay_ms(t - started);
+    if (pace > 0.0)
+      dispatch_gate_ms = std::max(dispatch_gate_ms, t + pace);
+    queue.schedule(t, [this](SimTime t2) {
+      dispatch(t2);
+      maybe_transition(t2);
+    });
+    maybe_transition(t);
+  }
+
+  // ------------------------------------------------------------------- run
+
+  void finalize() {
+    result.horizon_ms = queue.now();
+    close_phase(result.horizon_ms);
+    // Drop inert zero-duration records (cuts where several transitions
+    // fired at one instant); labels may legitimately repeat afterwards.
+    std::vector<PhaseRecord> kept;
+    kept.reserve(result.phases.size());
+    for (PhaseRecord& rec : result.phases) {
+      bool inert = rec.duration_ms() == 0.0 &&
+                   rec.user.read_latency_ms.count() == 0 &&
+                   rec.user.write_latency_ms.count() == 0;
+      if (inert) {
+        for (const std::uint64_t a : rec.disk_accesses) inert = inert && a == 0;
+      }
+      if (!inert) kept.push_back(std::move(rec));
+    }
+    result.phases = std::move(kept);
+    result.disk_busy_ms.reserve(num_disks);
+    result.disk_accesses.reserve(num_disks);
+    for (const Disk& d : disks) {
+      result.disk_busy_ms.push_back(d.busy_ms());
+      result.disk_accesses.push_back(d.accesses());
+    }
+  }
+};
+
+}  // namespace
+
+ScenarioResult ScenarioSimulator::run(const FaultTimeline& timeline,
+                                      std::span<const Request> requests,
+                                      const RebuildScheduler& scheduler) const {
+  for (const FaultEvent& e : timeline.failures()) {
+    if (e.disk >= layout_.num_disks())
+      throw std::invalid_argument("ScenarioSimulator::run: bad failed disk");
+  }
+  const std::uint64_t ws = working_set();
+  const std::uint64_t per_iter = data_units_.size();
+
+  Runner runner(layout_, spare_pos_, config_, scheduler);
+  for (const FaultEvent& e : timeline.failures()) {
+    runner.queue.schedule(e.time_ms, [&runner, e](SimTime t) {
+      runner.on_failure(t, e.disk);
+    });
+  }
+  for (const Request& req : requests) {
+    if (req.logical >= ws)
+      throw std::invalid_argument(
+          "ScenarioSimulator::run: request beyond working set");
+    const UnitRef ref = data_units_[req.logical % per_iter];
+    const auto iteration =
+        static_cast<std::uint32_t>(req.logical / per_iter);
+    runner.queue.schedule(req.arrival_ms,
+                          [&runner, &req, ref, iteration](SimTime) {
+                            runner.serve(req, ref.stripe, ref.pos, iteration);
+                          });
+  }
+  runner.queue.run();
+  runner.finalize();
+  return std::move(runner.result);
+}
+
+}  // namespace pdl::sim

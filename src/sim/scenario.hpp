@@ -1,0 +1,180 @@
+#pragma once
+// Multi-failure scenario simulation: the generalization of ArraySimulator
+// from "one failed disk, one hard-coded rebuild sweep" to an arbitrary
+// FaultTimeline served by a pluggable RebuildScheduler.
+//
+// The engine tracks unit state at (stripe, iteration, position)
+// granularity.  Reads and writes are served correctly with ANY set of
+// failed disks: intact units are one access, units lost from a
+// single-degraded stripe are reconstructed on the fly from the survivors,
+// and a stripe instance that has lost two units (e.g. a second failure
+// arriving mid-rebuild) is unrecoverable -- the scenario flags data loss,
+// counts the lost stripe instances, and tallies requests that addressed
+// them.
+//
+// Rebuild targets:
+//  * dedicated replacement (Layout constructor): lost units are rewritten
+//    in place on the failed disk's hot-swapped replacement, which serves
+//    rebuilt units immediately and returns the disk to service when its
+//    last job completes;
+//  * distributed sparing (SparedLayout constructor): each lost unit is
+//    rebuilt into its own stripe's spare unit on a surviving disk
+//    (layout/sparing), so rebuild writes are declustered like the reads;
+//    subsequent accesses follow the unit to its new home.  If a stripe's
+//    spare is gone (consumed by an earlier rebuild, or it sat on a failed
+//    disk), the engine falls back to in-place replacement for that stripe.
+//
+// The run is cut into phases at every service-state transition
+// (normal -> degraded -> rebuilding -> restored; a later failure reenters
+// degraded/rebuilding).  Each PhaseRecord carries the per-disk busy time
+// and access counts accrued in the phase (attributed at submit time) and
+// the latency of user requests that ARRIVED in the phase.  Results are
+// bit-identical across runs for the same inputs: the engine draws no
+// randomness and never reads the clock.
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "layout/layout.hpp"
+#include "layout/sparing.hpp"
+#include "sim/array_sim.hpp"
+#include "sim/disk.hpp"
+#include "sim/fault_timeline.hpp"
+#include "sim/rebuild_scheduler.hpp"
+#include "sim/stats.hpp"
+#include "sim/workload.hpp"
+
+namespace pdl::sim {
+
+/// Service state of the array during a phase.
+enum class ScenarioPhase : std::uint8_t {
+  kNormal = 0,      ///< no failures so far
+  kDegraded = 1,    ///< >= 1 failed disk, rebuild not dispatching
+  kRebuilding = 2,  ///< >= 1 failed disk, rebuild jobs in flight or queued
+  kRestored = 3,    ///< all failures repaired (recoverable data rebuilt)
+};
+
+[[nodiscard]] std::string_view phase_name(ScenarioPhase phase) noexcept;
+
+/// One contiguous span of a single service state.
+struct PhaseRecord {
+  ScenarioPhase phase = ScenarioPhase::kNormal;
+  double start_ms = 0.0;
+  double end_ms = 0.0;
+  std::uint32_t failed_disks = 0;  ///< unrepaired failures when it opened
+  UserStats user;                  ///< requests that arrived in this phase
+  std::vector<double> disk_busy_ms;            ///< accrued within the phase
+  std::vector<std::uint64_t> disk_accesses;    ///< accrued within the phase
+
+  [[nodiscard]] double duration_ms() const noexcept {
+    return end_ms - start_ms;
+  }
+  /// Busy fraction of one disk over the phase (0 for empty phases).
+  [[nodiscard]] double utilization(layout::DiskId disk) const;
+  [[nodiscard]] double max_disk_utilization() const;
+};
+
+enum class ScenarioEventKind : std::uint8_t {
+  kFailure = 0,
+  kRebuildStart = 1,    ///< first job of a failure's batch dispatched
+  kRepairComplete = 2,  ///< last job of a failure's batch finished
+  kDataLoss = 3,        ///< a stripe instance lost its second unit
+};
+
+[[nodiscard]] std::string_view event_kind_name(
+    ScenarioEventKind kind) noexcept;
+
+struct ScenarioEvent {
+  double time_ms = 0.0;
+  ScenarioEventKind kind = ScenarioEventKind::kFailure;
+  layout::DiskId disk = 0;
+
+  friend bool operator==(const ScenarioEvent&, const ScenarioEvent&) = default;
+};
+
+/// One failure's rebuild, start of first job to completion of the last.
+struct RebuildSpan {
+  layout::DiskId disk = 0;
+  double start_ms = 0.0;
+  double end_ms = 0.0;
+  std::uint64_t stripes_rebuilt = 0;  ///< stripe instances restored
+};
+
+/// Everything a scenario run produced.
+struct ScenarioResult {
+  std::vector<PhaseRecord> phases;    ///< the normal->...->restored timeline
+  std::vector<ScenarioEvent> events;  ///< time-ordered state transitions
+  std::vector<RebuildSpan> rebuilds;  ///< one per failure with lost data
+
+  UserStats user;          ///< all phases together
+  double horizon_ms = 0.0; ///< completion time of the last event
+
+  bool data_loss = false;
+  double first_data_loss_ms = 0.0;
+  std::uint64_t stripe_instances_lost = 0;  ///< unrecoverable (stripe, iter)s
+  std::uint64_t unserved_reads = 0;   ///< reads addressing unrecoverable data
+  std::uint64_t unserved_writes = 0;  ///< writes addressing unrecoverable data
+
+  std::vector<std::uint64_t> rebuild_reads_per_disk;
+  std::vector<std::uint64_t> rebuild_writes_per_disk;
+  std::vector<double> disk_busy_ms;          ///< whole run
+  std::vector<std::uint64_t> disk_accesses;  ///< whole run
+};
+
+/// Scenario parameters.  `rebuild_delay_ms` models failure detection plus
+/// replacement hot-swap: the window between a failure and its first rebuild
+/// job, during which the array serves purely degraded (the kDegraded
+/// phase).
+struct ScenarioConfig {
+  DiskParams disk;
+  std::uint32_t rebuild_depth = 4;
+  std::uint32_t iterations = 1;
+  double rebuild_delay_ms = 0.0;
+};
+
+/// Simulates fault/rebuild scenarios over one layout.  Stateless across
+/// runs; each run() replays its inputs from time zero.
+class ScenarioSimulator {
+ public:
+  /// Dedicated-replacement mode over a plain layout.
+  ScenarioSimulator(const layout::Layout& layout, ScenarioConfig config);
+
+  /// Distributed-sparing mode: spare units (which hold no data and are
+  /// excluded from the logical address space) absorb rebuild writes.
+  ScenarioSimulator(const layout::SparedLayout& spared, ScenarioConfig config);
+
+  /// Logical data units addressable by workloads (excludes parity and, in
+  /// distributed-sparing mode, spare units).
+  [[nodiscard]] std::uint64_t working_set() const noexcept;
+
+  [[nodiscard]] bool distributed_sparing() const noexcept {
+    return !spare_pos_.empty();
+  }
+  [[nodiscard]] const layout::Layout& layout() const noexcept {
+    return layout_;
+  }
+
+  /// Runs the scenario: user requests served under the failure timeline,
+  /// with every failure's rebuild batch ordered and paced by `scheduler`.
+  [[nodiscard]] ScenarioResult run(const FaultTimeline& timeline,
+                                   std::span<const Request> requests,
+                                   const RebuildScheduler& scheduler) const;
+
+ private:
+  void compile_tables();
+
+  layout::Layout layout_;
+  std::vector<std::uint32_t> spare_pos_;  ///< empty = dedicated replacement
+  ScenarioConfig config_;
+
+  /// logical (mod data units per iteration) -> (stripe, position).
+  struct UnitRef {
+    std::uint32_t stripe = 0;
+    std::uint32_t pos = 0;
+  };
+  std::vector<UnitRef> data_units_;
+};
+
+}  // namespace pdl::sim

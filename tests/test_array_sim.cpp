@@ -4,6 +4,7 @@
 
 #include "layout/raid.hpp"
 #include "layout/ring_layout.hpp"
+#include "layout/sparing.hpp"
 #include "sim/reconstruction.hpp"
 
 namespace pdl::sim {
@@ -165,6 +166,77 @@ TEST(ArraySim, RejectsInvalidArguments) {
   EXPECT_THROW(sim.run_normal(beyond), std::invalid_argument);
   EXPECT_THROW(sim.run_degraded({}, 9), std::invalid_argument);
   EXPECT_THROW(sim.run_rebuild({}, 9), std::invalid_argument);
+}
+
+// Regression: rebuild accounting splits reads from spare writes.  Before
+// the split, a distributed-sparing run folded the spare-unit writes into
+// the same per-disk access totals user traffic lands in, so "rebuild load
+// on disk d" could not be separated from the user traffic the spare also
+// serves.  Pin (a) reads-only semantics of rebuild_reads_per_disk,
+// (b) writes matching layout/sparing's offline analysis, and (c) both
+// being independent of concurrent user traffic.
+TEST(ArraySim, DistributedRebuildSplitsReadAndWriteAccounting) {
+  const auto base = layout::ring_based_layout(9, 3);
+  const auto spared = layout::add_distributed_sparing(base);
+  const ArraySimulator sim(spared.layout, config_with(2, 4));
+  const layout::DiskId failed = 1;
+
+  const auto quiet =
+      sim.run_rebuild_distributed({}, failed, spared.spare_pos);
+
+  // Expected reads: for each stripe that lost a non-spare unit, every unit
+  // that is neither on the failed disk nor the (empty) spare is read once
+  // per iteration.
+  std::vector<std::uint64_t> want_reads(9, 0);
+  for (std::size_t s = 0; s < spared.layout.num_stripes(); ++s) {
+    const layout::Stripe& st = spared.layout.stripes()[s];
+    bool lost_non_spare = false;
+    for (std::uint32_t p = 0; p < st.units.size(); ++p) {
+      if (st.units[p].disk == failed && p != spared.spare_pos[s])
+        lost_non_spare = true;
+    }
+    if (!lost_non_spare) continue;
+    for (std::uint32_t p = 0; p < st.units.size(); ++p) {
+      if (st.units[p].disk == failed || p == spared.spare_pos[s]) continue;
+      want_reads[st.units[p].disk] += 2;  // iterations
+    }
+  }
+  const auto want_writes = layout::distributed_rebuild_writes(spared, failed);
+  for (layout::DiskId d = 0; d < 9; ++d) {
+    EXPECT_EQ(quiet.rebuild_reads_per_disk[d], want_reads[d]) << "disk " << d;
+    EXPECT_EQ(quiet.rebuild_writes_per_disk[d], 2ull * want_writes[d])
+        << "disk " << d;
+    // With no user traffic the per-disk access totals decompose exactly.
+    EXPECT_EQ(quiet.run.disk_accesses[d],
+              quiet.rebuild_reads_per_disk[d] +
+                  quiet.rebuild_writes_per_disk[d])
+        << "disk " << d;
+  }
+  EXPECT_EQ(quiet.rebuild_writes_per_disk[failed], 0u);
+
+  // The same rebuild under heavy user traffic (which the spare disks also
+  // serve) must report identical rebuild read/write counters.
+  const WorkloadConfig wconfig{.arrival_per_ms = 0.2,
+                               .write_fraction = 0.5,
+                               .working_set = sim.working_set(),
+                               .duration_ms = 2000.0,
+                               .seed = 5};
+  const auto busy =
+      sim.run_rebuild_distributed(generate_workload(wconfig), failed,
+                                  spared.spare_pos);
+  EXPECT_EQ(busy.rebuild_reads_per_disk, quiet.rebuild_reads_per_disk);
+  EXPECT_EQ(busy.rebuild_writes_per_disk, quiet.rebuild_writes_per_disk);
+}
+
+TEST(ArraySim, DedicatedSpareRebuildWritesStayOffTheArray) {
+  const auto layout = layout::ring_based_layout(5, 3);
+  const ArraySimulator sim(layout, config_with(1, 2));
+  const auto result = sim.run_rebuild({}, 0);
+  for (layout::DiskId d = 0; d < 5; ++d) {
+    EXPECT_EQ(result.rebuild_writes_per_disk[d], 0u) << "disk " << d;
+    EXPECT_EQ(result.run.disk_accesses[d], result.rebuild_reads_per_disk[d])
+        << "disk " << d;
+  }
 }
 
 TEST(ArraySim, ParityFailedWriteIsSingleAccess) {

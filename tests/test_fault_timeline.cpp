@@ -1,0 +1,365 @@
+// Multi-failure regression tests for the fault-injection scenario engine:
+// deterministic timelines with exact expectations -- a second failure
+// mid-rebuild flags data loss exactly when an unrecovered stripe instance
+// loses two units, distributed sparing declusters rebuild writes within one
+// unit of the flow bound, and fixed seeds reproduce bit-identical
+// ScenarioResults.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "layout/metrics.hpp"
+#include "layout/ring_layout.hpp"
+#include "layout/sparing.hpp"
+#include "sim/fault_timeline.hpp"
+#include "sim/reconstruction.hpp"
+#include "sim/rebuild_scheduler.hpp"
+#include "sim/scenario.hpp"
+
+namespace pdl::sim {
+namespace {
+
+const DiskParams kDisk{10.0, 2.0};  // 12 ms per single-unit access
+
+ScenarioConfig config_with(std::uint32_t iterations = 1,
+                           std::uint32_t depth = 4, double delay = 0.0) {
+  return ScenarioConfig{kDisk, depth, iterations, delay};
+}
+
+/// The complete design on 4 disks with k = 3: stripes {0,1,2}, {0,1,3},
+/// {0,2,3}, {1,2,3}.  Disks 0 and 1 share exactly two stripes, so failing
+/// both loses exactly two stripe instances per iteration.
+layout::Layout tiny_layout() {
+  layout::Layout l(4, 3);
+  l.append_stripe({0, 1, 2}, 0);
+  l.append_stripe({0, 1, 3}, 1);
+  l.append_stripe({0, 2, 3}, 2);
+  l.append_stripe({1, 2, 3}, 0);
+  return l;
+}
+
+TEST(FaultTimeline, ScriptedSortsAndValidates) {
+  const auto t =
+      FaultTimeline::scripted({{50.0, 3}, {10.0, 1}, {30.0, 2}});
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.failures()[0], (FaultEvent{10.0, 1}));
+  EXPECT_EQ(t.failures()[1], (FaultEvent{30.0, 2}));
+  EXPECT_EQ(t.failures()[2], (FaultEvent{50.0, 3}));
+  EXPECT_THROW(FaultTimeline::scripted({{-1.0, 0}}), std::invalid_argument);
+  EXPECT_THROW(FaultTimeline::scripted({{0.0, 0}, {5.0, 0}}),
+               std::invalid_argument);
+}
+
+TEST(FaultTimeline, RandomIsDeterministicAndBounded) {
+  const RandomFaultConfig cfg{
+      .num_disks = 12, .mean_arrival_ms = 100.0, .horizon_ms = 1000.0,
+      .max_failures = 4, .seed = 99};
+  const auto a = FaultTimeline::random(cfg);
+  const auto b = FaultTimeline::random(cfg);
+  EXPECT_EQ(a.failures(), b.failures());
+  EXPECT_LE(a.size(), 4u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_LE(a.failures()[i].time_ms, 1000.0);
+    EXPECT_LT(a.failures()[i].disk, 12u);
+    if (i > 0)
+      EXPECT_GE(a.failures()[i].time_ms, a.failures()[i - 1].time_ms);
+  }
+  const auto c = FaultTimeline::random(
+      {.num_disks = 12, .mean_arrival_ms = 100.0, .horizon_ms = 1000.0,
+       .max_failures = 4, .seed = 100});
+  EXPECT_NE(a.failures(), c.failures());
+}
+
+TEST(Scenario, SingleFailureMatchesReconstructionAnalysis) {
+  const auto layout = layout::ring_based_layout(9, 3);
+  const ScenarioSimulator sim(layout, config_with(/*iterations=*/2));
+  const auto fifo = make_fifo_scheduler();
+  const auto result =
+      sim.run(FaultTimeline::scripted({{0.0, 2}}), {}, *fifo);
+
+  const auto analysis = analyze_reconstruction(layout, 2);
+  // Every stripe crossing disk 2 is rebuilt once per iteration.
+  const std::uint64_t crossing = analysis.total_units / 2;  // k-1 reads each
+  ASSERT_EQ(result.rebuilds.size(), 1u);
+  EXPECT_EQ(result.rebuilds[0].disk, 2u);
+  EXPECT_EQ(result.rebuilds[0].stripes_rebuilt, crossing * 2);
+  EXPECT_GT(result.rebuilds[0].end_ms, 0.0);
+  EXPECT_FALSE(result.data_loss);
+  EXPECT_EQ(result.stripe_instances_lost, 0u);
+
+  for (layout::DiskId d = 0; d < 9; ++d) {
+    EXPECT_EQ(result.rebuild_reads_per_disk[d],
+              2ull * analysis.units_to_read[d])
+        << "disk " << d;
+  }
+  // Dedicated mode: every rebuilt unit is written in place on the failed
+  // disk's replacement.
+  for (layout::DiskId d = 0; d < 9; ++d) {
+    EXPECT_EQ(result.rebuild_writes_per_disk[d], d == 2 ? crossing * 2 : 0u);
+  }
+
+  // Timeline: failure -> rebuild_start -> repair_complete, phases pure
+  // rebuilding (normal and restored spans are empty without user traffic).
+  ASSERT_GE(result.events.size(), 3u);
+  EXPECT_EQ(result.events[0].kind, ScenarioEventKind::kFailure);
+  EXPECT_EQ(result.events[1].kind, ScenarioEventKind::kRebuildStart);
+  EXPECT_EQ(result.events.back().kind, ScenarioEventKind::kRepairComplete);
+  ASSERT_EQ(result.phases.size(), 1u);
+  EXPECT_EQ(result.phases[0].phase, ScenarioPhase::kRebuilding);
+  EXPECT_DOUBLE_EQ(result.phases[0].end_ms, result.rebuilds[0].end_ms);
+}
+
+TEST(Scenario, RebuildDelayOpensADegradedPhase) {
+  const auto layout = layout::ring_based_layout(9, 3);
+  const ScenarioSimulator sim(layout, config_with(1, 4, /*delay=*/50.0));
+  const auto fifo = make_fifo_scheduler();
+  const auto result =
+      sim.run(FaultTimeline::scripted({{0.0, 0}}), {}, *fifo);
+  ASSERT_GE(result.phases.size(), 2u);
+  EXPECT_EQ(result.phases[0].phase, ScenarioPhase::kDegraded);
+  EXPECT_DOUBLE_EQ(result.phases[0].start_ms, 0.0);
+  EXPECT_DOUBLE_EQ(result.phases[0].end_ms, 50.0);
+  EXPECT_EQ(result.phases[1].phase, ScenarioPhase::kRebuilding);
+  ASSERT_EQ(result.rebuilds.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.rebuilds[0].start_ms, 50.0);
+}
+
+TEST(Scenario, SequentialFailuresAfterRestoreLoseNothing) {
+  const auto layout = layout::ring_based_layout(9, 3);
+  const ScenarioSimulator sim(layout, config_with());
+  const auto fifo = make_fifo_scheduler();
+  const auto first =
+      sim.run(FaultTimeline::scripted({{0.0, 0}}), {}, *fifo);
+  const double restored_at = first.rebuilds[0].end_ms;
+
+  const auto result = sim.run(
+      FaultTimeline::scripted({{0.0, 0}, {restored_at + 1.0, 5}}), {}, *fifo);
+  EXPECT_FALSE(result.data_loss);
+  EXPECT_EQ(result.stripe_instances_lost, 0u);
+  ASSERT_EQ(result.rebuilds.size(), 2u);
+  EXPECT_EQ(result.rebuilds[1].disk, 5u);
+  // Between the two rebuilds the array sat restored.
+  ASSERT_GE(result.phases.size(), 3u);
+  EXPECT_EQ(result.phases[0].phase, ScenarioPhase::kRebuilding);
+  EXPECT_EQ(result.phases[1].phase, ScenarioPhase::kRestored);
+  EXPECT_EQ(result.phases[2].phase, ScenarioPhase::kRebuilding);
+}
+
+TEST(Scenario, ConcurrentDoubleFailureLosesExactlySharedStripes) {
+  const auto layout = tiny_layout();
+  const ScenarioSimulator sim(layout, config_with(/*iterations=*/2));
+  const auto fifo = make_fifo_scheduler();
+  const auto result = sim.run(
+      FaultTimeline::scripted({{0.0, 0}, {0.0, 1}}), {}, *fifo);
+
+  // Disks 0 and 1 share stripes {0,1,2} and {0,1,3}: exactly those two
+  // instances per iteration are unrecoverable; stripes {0,2,3} and {1,2,3}
+  // each lost one unit and rebuild fine.
+  EXPECT_TRUE(result.data_loss);
+  EXPECT_DOUBLE_EQ(result.first_data_loss_ms, 0.0);
+  EXPECT_EQ(result.stripe_instances_lost, 2u * 2u);
+  std::uint64_t rebuilt = 0;
+  for (const RebuildSpan& span : result.rebuilds) rebuilt += span.stripes_rebuilt;
+  EXPECT_EQ(rebuilt, 2u * 2u);
+  const bool has_data_loss_event =
+      std::any_of(result.events.begin(), result.events.end(),
+                  [](const ScenarioEvent& e) {
+                    return e.kind == ScenarioEventKind::kDataLoss;
+                  });
+  EXPECT_TRUE(has_data_loss_event);
+}
+
+TEST(Scenario, SecondFailureMidRebuildLosesOnlyUnrecoveredSharedStripes) {
+  // Fail disk 0 at t = 0 and disk 1 while the first rebuild is running:
+  // shared stripe instances already rebuilt survive, unrebuilt ones are
+  // lost -- data loss happens exactly when an unrecovered stripe loses its
+  // second unit.
+  const auto layout = layout::ring_based_layout(9, 3);
+  const ScenarioSimulator sim(layout, config_with(1, /*depth=*/1));
+  const auto fifo = make_fifo_scheduler();
+  const auto solo = sim.run(FaultTimeline::scripted({{0.0, 0}}), {}, *fifo);
+  const double mid = solo.rebuilds[0].end_ms / 2.0;
+
+  const auto result =
+      sim.run(FaultTimeline::scripted({{0.0, 0}, {mid, 1}}), {}, *fifo);
+  const auto matrix = layout::reconstruction_matrix(layout);
+  const std::uint64_t shared = matrix[0 * 9 + 1];  // stripes with both disks
+  EXPECT_TRUE(result.data_loss);
+  EXPECT_GT(result.stripe_instances_lost, 0u);
+  EXPECT_LT(result.stripe_instances_lost, shared);
+  EXPECT_DOUBLE_EQ(result.first_data_loss_ms, mid);
+
+  // Exactness: every stripe crossing disk 0 is rebuilt or lost once, every
+  // stripe crossing disk 1 is rebuilt or lost once, and each lost shared
+  // stripe accounts for one unrebuilt unit on each side -- so
+  //   rebuilt + 2 * lost == crossings(0) + crossings(1).
+  std::uint64_t rebuilt = 0;
+  for (const RebuildSpan& span : result.rebuilds) rebuilt += span.stripes_rebuilt;
+  const auto crossings = [&layout](layout::DiskId disk) {
+    std::uint64_t n = 0;
+    for (const layout::Stripe& st : layout.stripes()) {
+      for (const layout::StripeUnit& u : st.units) {
+        if (u.disk == disk) {
+          ++n;
+          break;
+        }
+      }
+    }
+    return n;
+  };
+  EXPECT_EQ(rebuilt + 2 * result.stripe_instances_lost,
+            crossings(0) + crossings(1));
+}
+
+TEST(Scenario, DistributedSparingDeclustersRebuildWrites) {
+  const auto base = layout::ring_based_layout(9, 3);
+  const auto spared = layout::add_distributed_sparing(base);
+  const ScenarioSimulator sim(spared, config_with());
+  ASSERT_TRUE(sim.distributed_sparing());
+  const auto fifo = make_fifo_scheduler();
+  const layout::DiskId failed = 3;
+  const auto result =
+      sim.run(FaultTimeline::scripted({{0.0, failed}}), {}, *fifo);
+
+  EXPECT_FALSE(result.data_loss);
+  // Rebuild writes land exactly where layout/sparing's offline analysis
+  // says the spare units are -- never on the failed disk.
+  const auto expected = layout::distributed_rebuild_writes(spared, failed);
+  for (layout::DiskId d = 0; d < 9; ++d) {
+    EXPECT_EQ(result.rebuild_writes_per_disk[d], expected[d]) << "disk " << d;
+  }
+  EXPECT_EQ(result.rebuild_writes_per_disk[failed], 0u);
+
+  // Within one unit of the mean write load over the surviving disks.
+  std::uint64_t total = 0, max_w = 0;
+  for (layout::DiskId d = 0; d < 9; ++d) {
+    if (d == failed) continue;
+    total += result.rebuild_writes_per_disk[d];
+    max_w = std::max(max_w, result.rebuild_writes_per_disk[d]);
+  }
+  const double mean = static_cast<double>(total) / 8.0;
+  EXPECT_LE(static_cast<double>(max_w), mean + 1.0);
+
+  // The failed disk is never accessed after t = 0 (no user traffic).
+  EXPECT_EQ(result.disk_accesses[failed], 0u);
+}
+
+TEST(Scenario, ThrottledSchedulerStretchesTheRebuild) {
+  const auto layout = layout::ring_based_layout(9, 3);
+  const ScenarioSimulator sim(layout, config_with());
+  const auto fifo = make_fifo_scheduler();
+  const auto throttled = make_throttled_scheduler(0.5);
+  const auto fast = sim.run(FaultTimeline::scripted({{0.0, 0}}), {}, *fifo);
+  const auto slow =
+      sim.run(FaultTimeline::scripted({{0.0, 0}}), {}, *throttled);
+  EXPECT_EQ(fast.rebuilds[0].stripes_rebuilt, slow.rebuilds[0].stripes_rebuilt);
+  EXPECT_GT(slow.rebuilds[0].end_ms, fast.rebuilds[0].end_ms);
+}
+
+TEST(Scenario, MaxParallelismSchedulerMatchesReadTotals) {
+  const auto layout = layout::ring_based_layout(9, 3);
+  const ScenarioSimulator sim(layout, config_with(1, /*depth=*/4));
+  const auto fifo = make_fifo_scheduler();
+  const auto mp = make_max_parallelism_scheduler();
+  const auto a = sim.run(FaultTimeline::scripted({{0.0, 0}}), {}, *fifo);
+  const auto b = sim.run(FaultTimeline::scripted({{0.0, 0}}), {}, *mp);
+  // Ordering changes timing, never the work: per-disk totals must agree.
+  EXPECT_EQ(a.rebuild_reads_per_disk, b.rebuild_reads_per_disk);
+  EXPECT_EQ(a.rebuild_writes_per_disk, b.rebuild_writes_per_disk);
+  EXPECT_EQ(a.rebuilds[0].stripes_rebuilt, b.rebuilds[0].stripes_rebuilt);
+}
+
+TEST(Scenario, UnservedRequestsAreCountedNotTimed) {
+  const auto layout = tiny_layout();
+  const ScenarioSimulator sim(layout, config_with());
+  const auto fifo = make_fifo_scheduler();
+  // Find a logical data unit living on disk 0 in a stripe shared with
+  // disk 1 (stripes 0 and 1 of tiny_layout).
+  std::vector<Request> reqs;
+  const layout::AddressMapper mapper(layout);
+  for (std::uint64_t l = 0; l < sim.working_set(); ++l) {
+    const auto where = mapper.map(l);
+    if (where.disk == 0) {
+      reqs.push_back({100000.0, l, false});  // read well after the failures
+      break;
+    }
+  }
+  ASSERT_EQ(reqs.size(), 1u);
+  const auto result = sim.run(
+      FaultTimeline::scripted({{0.0, 0}, {0.0, 1}}), reqs, *fifo);
+  EXPECT_TRUE(result.data_loss);
+  EXPECT_EQ(result.unserved_reads, 1u);
+  EXPECT_EQ(result.user.read_latency_ms.count(), 0u);
+}
+
+TEST(Scenario, FixedSeedReproducesBitIdenticalResults) {
+  const auto base = layout::ring_based_layout(9, 3);
+  const auto spared = layout::add_distributed_sparing(base);
+  const ScenarioSimulator sim(spared, config_with(2, 4, 25.0));
+  const auto timeline = FaultTimeline::random(
+      {.num_disks = 9, .mean_arrival_ms = 800.0, .horizon_ms = 3000.0,
+       .max_failures = 2, .seed = 7});
+  const WorkloadConfig wconfig{.arrival_per_ms = 0.05,
+                               .write_fraction = 0.4,
+                               .working_set = sim.working_set(),
+                               .duration_ms = 4000.0,
+                               .seed = 13};
+  const auto requests = generate_workload(wconfig);
+  const auto scheduler = make_throttled_scheduler(0.7);
+
+  const auto a = sim.run(timeline, requests, *scheduler);
+  const auto b = sim.run(timeline, requests, *scheduler);
+
+  EXPECT_EQ(a.horizon_ms, b.horizon_ms);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.data_loss, b.data_loss);
+  EXPECT_EQ(a.stripe_instances_lost, b.stripe_instances_lost);
+  EXPECT_EQ(a.rebuild_reads_per_disk, b.rebuild_reads_per_disk);
+  EXPECT_EQ(a.rebuild_writes_per_disk, b.rebuild_writes_per_disk);
+  EXPECT_EQ(a.disk_busy_ms, b.disk_busy_ms);
+  EXPECT_EQ(a.disk_accesses, b.disk_accesses);
+  EXPECT_EQ(a.user.read_latency_ms.count(), b.user.read_latency_ms.count());
+  EXPECT_EQ(a.user.read_latency_ms.mean(), b.user.read_latency_ms.mean());
+  EXPECT_EQ(a.user.write_latency_ms.mean(), b.user.write_latency_ms.mean());
+  ASSERT_EQ(a.phases.size(), b.phases.size());
+  for (std::size_t i = 0; i < a.phases.size(); ++i) {
+    EXPECT_EQ(a.phases[i].phase, b.phases[i].phase);
+    EXPECT_EQ(a.phases[i].start_ms, b.phases[i].start_ms);
+    EXPECT_EQ(a.phases[i].end_ms, b.phases[i].end_ms);
+    EXPECT_EQ(a.phases[i].disk_busy_ms, b.phases[i].disk_busy_ms);
+    EXPECT_EQ(a.phases[i].disk_accesses, b.phases[i].disk_accesses);
+  }
+}
+
+TEST(Scenario, RejectsInvalidInputs) {
+  const auto layout = layout::ring_based_layout(5, 3);
+  EXPECT_THROW(ScenarioSimulator(layout, ScenarioConfig{kDisk, 0, 1, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(ScenarioSimulator(layout, ScenarioConfig{kDisk, 1, 0, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(ScenarioSimulator(layout, ScenarioConfig{kDisk, 1, 1, -1.0}),
+               std::invalid_argument);
+  const ScenarioSimulator sim(layout, config_with());
+  const auto fifo = make_fifo_scheduler();
+  EXPECT_THROW(
+      (void)sim.run(FaultTimeline::scripted({{0.0, 9}}), {}, *fifo),
+      std::invalid_argument);
+  const std::vector<Request> beyond = {{0.0, sim.working_set(), false}};
+  EXPECT_THROW(
+      (void)sim.run(FaultTimeline::scripted({}), beyond, *fifo),
+      std::invalid_argument);
+}
+
+TEST(Scheduler, FactoryKnowsAllPolicies) {
+  for (const std::string_view name : scheduler_names()) {
+    const auto scheduler = make_scheduler(name);
+    EXPECT_EQ(scheduler->name(), name);
+  }
+  EXPECT_THROW((void)make_scheduler("lifo"), std::invalid_argument);
+  EXPECT_THROW((void)make_throttled_scheduler(0.0), std::invalid_argument);
+  EXPECT_THROW((void)make_throttled_scheduler(1.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pdl::sim

@@ -1,0 +1,150 @@
+// Property-based invariant tests over every registered engine builder: a
+// table-driven (v, k) sweep in which each builder that plans a layout must
+// deliver the paper's structural conditions --
+//   1. single correction: no stripe touches a disk twice (so one disk
+//      failure costs each stripe at most one unit),
+//   hole-free coverage: every slot of every disk belongs to exactly one
+//      stripe (Layout::validate checks both),
+//   2. parity balance within the bounds its BalanceClass advertises:
+//      perfect -> identical counts, near-perfect -> within one unit
+//      (Corollary 16), approximate -> inside the Section 3 factor-two
+//      interval around the ideal s/k;
+// plus seeded-RNG spot checks that the mapping round-trips.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "engine/planner.hpp"
+#include "layout/mapping.hpp"
+#include "layout/metrics.hpp"
+
+namespace pdl {
+namespace {
+
+using engine::BalanceClass;
+using engine::ConstructionPlanner;
+using engine::LayoutBuilder;
+
+struct SweepPoint {
+  std::uint32_t v;
+  std::uint32_t k;
+};
+
+// Table chosen to exercise every builder: primes, prime powers, composites,
+// and a k == v RAID5 point.  Plans above the size cap (the lambda-blowup
+// corners like v=21 k=5) are skipped to keep the suite fast.
+const SweepPoint kSweep[] = {
+    {7, 7},  {9, 3},  {9, 4},  {9, 5},  {10, 3}, {10, 4}, {13, 3},
+    {13, 4}, {13, 5}, {16, 3}, {16, 4}, {16, 5}, {17, 3}, {17, 4},
+    {17, 5}, {21, 3}, {21, 4}, {25, 3}, {25, 4}, {25, 5},
+};
+constexpr std::uint64_t kSizeCap = 2000;
+
+TEST(LayoutProperties, EveryBuilderEveryPointHoldsItsGuarantees) {
+  const ConstructionPlanner& planner = ConstructionPlanner::default_planner();
+  ASSERT_GE(planner.num_builders(), 6u);
+  std::mt19937_64 rng(20260731);
+  std::size_t built_layouts = 0;
+
+  for (const SweepPoint& point : kSweep) {
+    const core::ArraySpec spec{point.v, point.k};
+    for (const auto& builder : planner.builders()) {
+      const auto plan = builder->plan(spec, core::BuildOptions{});
+      if (!plan) continue;
+      if (plan->units_per_disk > kSizeCap) continue;
+      SCOPED_TRACE(std::string(builder->name()) + " v=" +
+                   std::to_string(point.v) + " k=" + std::to_string(point.k));
+
+      const core::BuiltLayout built = builder->build(*plan);
+      ++built_layouts;
+      const layout::Layout& l = built.layout;
+
+      // Conditions 1 + hole-free coverage (single correction, no gaps).
+      const auto violations = l.validate();
+      EXPECT_TRUE(violations.empty())
+          << "first violation: "
+          << (violations.empty() ? "" : violations.front());
+
+      // plan() is a closed form; the built layout must match it exactly.
+      EXPECT_EQ(l.units_per_disk(), plan->units_per_disk);
+      EXPECT_EQ(l.num_disks(), point.v);
+
+      // Condition 2: parity balance within the advertised class.
+      const layout::LayoutMetrics& m = built.metrics;
+      const double ideal = static_cast<double>(m.units_per_disk) / point.k;
+      switch (plan->balance) {
+        case BalanceClass::kPerfect:
+          EXPECT_EQ(m.min_parity_units, m.max_parity_units);
+          break;
+        case BalanceClass::kNearPerfect:
+          EXPECT_LE(m.max_parity_units - m.min_parity_units, 1u);
+          break;
+        case BalanceClass::kApproximate:
+          EXPECT_GE(m.min_parity_units, 0.5 * ideal);
+          EXPECT_LE(m.max_parity_units, 2.0 * ideal);
+          break;
+      }
+      if (plan->perfect_parity)
+        EXPECT_EQ(m.min_parity_units, m.max_parity_units);
+
+      // Every stripe has 2..k units and exactly one parity unit in range.
+      for (const layout::Stripe& st : l.stripes()) {
+        EXPECT_GE(st.units.size(), 2u);
+        EXPECT_LE(st.units.size(), point.k);
+        EXPECT_LT(st.parity_pos, st.units.size());
+      }
+
+      // Seeded spot check: the mapping round-trips on random logicals.
+      const layout::AddressMapper mapper(l);
+      const std::uint64_t d = mapper.data_units_per_iteration();
+      ASSERT_GT(d, 0u);
+      std::uniform_int_distribution<std::uint64_t> pick(0, d - 1);
+      for (int trial = 0; trial < 32; ++trial) {
+        const std::uint64_t logical = pick(rng);
+        EXPECT_EQ(mapper.logical_at(mapper.map(logical)), logical);
+        const auto parity = mapper.parity_of(logical);
+        EXPECT_EQ(mapper.logical_at(parity), layout::AddressMapper::kParity);
+      }
+    }
+  }
+  // The sweep must actually exercise a healthy cross-section of builders.
+  EXPECT_GE(built_layouts, 50u);
+}
+
+// The reconstruction-workload counts (Condition 3) must agree with the
+// stripe table: for random disk pairs, the metric equals a direct count of
+// shared stripes.
+TEST(LayoutProperties, ReconstructionMatrixMatchesDirectCount) {
+  const ConstructionPlanner& planner = ConstructionPlanner::default_planner();
+  std::mt19937_64 rng(7);
+  for (const SweepPoint& point : {SweepPoint{13, 4}, SweepPoint{16, 5}}) {
+    for (const auto& builder : planner.builders()) {
+      const auto plan = builder->plan({point.v, point.k}, {});
+      if (!plan || plan->units_per_disk > kSizeCap) continue;
+      SCOPED_TRACE(std::string(builder->name()));
+      const core::BuiltLayout built = builder->build(*plan);
+      const auto matrix = layout::reconstruction_matrix(built.layout);
+      std::uniform_int_distribution<std::uint32_t> pick(0, point.v - 1);
+      for (int trial = 0; trial < 16; ++trial) {
+        const std::uint32_t f = pick(rng);
+        const std::uint32_t s = pick(rng);
+        if (f == s) continue;
+        std::uint32_t shared = 0;
+        for (const layout::Stripe& st : built.layout.stripes()) {
+          bool has_f = false, has_s = false;
+          for (const layout::StripeUnit& u : st.units) {
+            has_f |= u.disk == f;
+            has_s |= u.disk == s;
+          }
+          if (has_f && has_s) ++shared;
+        }
+        EXPECT_EQ(matrix[f * point.v + s], shared)
+            << "pair (" << f << ", " << s << ")";
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pdl

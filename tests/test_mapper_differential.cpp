@@ -1,0 +1,182 @@
+// Differential test of the three address-mapping implementations: the
+// serving-path CompiledMapper, the construction-time AddressMapper, and an
+// independent naive table walk rebuilt here straight from the Layout's
+// stripe list (stripe-major numbering, parity skipped).  Randomized
+// logicals plus the systematic edge addresses -- first/last data unit of
+// every disk and the boundaries of vertical iterations -- must agree
+// across all three, for map, parity_of, stripe_of, map_batch, and the
+// inverse map.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+#include <vector>
+
+#include "engine/planner.hpp"
+#include "layout/compiled_mapper.hpp"
+#include "layout/mapping.hpp"
+#include "layout/raid.hpp"
+#include "layout/ring_layout.hpp"
+#include "layout/stairway.hpp"
+
+namespace pdl {
+namespace {
+
+using layout::AddressMapper;
+using layout::CompiledMapper;
+using layout::Layout;
+
+/// The naive reference: an explicit logical -> (stripe, position) table in
+/// the documented numbering, with every lookup answered by scanning that
+/// table (no shared code with either mapper under test).
+struct NaiveMapper {
+  explicit NaiveMapper(const Layout& layout) : layout(&layout) {
+    for (std::uint32_t si = 0; si < layout.num_stripes(); ++si) {
+      const layout::Stripe& st = layout.stripes()[si];
+      for (std::uint32_t pos = 0; pos < st.units.size(); ++pos) {
+        if (pos == st.parity_pos) continue;
+        table.push_back({si, pos});
+      }
+    }
+  }
+
+  [[nodiscard]] std::uint64_t data_units() const { return table.size(); }
+
+  [[nodiscard]] AddressMapper::Physical map(std::uint64_t logical) const {
+    const auto [si, pos] = table[logical % table.size()];
+    const layout::StripeUnit& u = layout->stripes()[si].units[pos];
+    return {u.disk,
+            (logical / table.size()) * layout->units_per_disk() + u.offset};
+  }
+
+  [[nodiscard]] AddressMapper::Physical parity(std::uint64_t logical) const {
+    const auto [si, pos] = table[logical % table.size()];
+    (void)pos;
+    const layout::StripeUnit& u = layout->stripes()[si].parity_unit();
+    return {u.disk,
+            (logical / table.size()) * layout->units_per_disk() + u.offset};
+  }
+
+  [[nodiscard]] std::vector<AddressMapper::Physical> stripe(
+      std::uint64_t logical) const {
+    const auto [si, pos] = table[logical % table.size()];
+    (void)pos;
+    const std::uint64_t lift =
+        (logical / table.size()) * layout->units_per_disk();
+    std::vector<AddressMapper::Physical> out;
+    for (const layout::StripeUnit& u : layout->stripes()[si].units)
+      out.push_back({u.disk, lift + u.offset});
+    return out;
+  }
+
+  const Layout* layout;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> table;
+};
+
+/// Edge addresses: logical 0, the last logical, the first and last data
+/// unit on each disk (within iteration 0), and both sides of every
+/// iteration boundary.
+std::vector<std::uint64_t> edge_addresses(const NaiveMapper& naive,
+                                          std::uint32_t iterations) {
+  const std::uint64_t d = naive.data_units();
+  std::map<std::uint32_t, std::uint64_t> first_on_disk, last_on_disk;
+  for (std::uint64_t l = 0; l < d; ++l) {
+    const auto where = naive.map(l);
+    if (!first_on_disk.count(where.disk)) first_on_disk[where.disk] = l;
+    last_on_disk[where.disk] = l;
+  }
+  std::vector<std::uint64_t> edges;
+  for (const auto& [disk, l] : first_on_disk) edges.push_back(l);
+  for (const auto& [disk, l] : last_on_disk) edges.push_back(l);
+  for (std::uint32_t it = 0; it < iterations; ++it) {
+    edges.push_back(it * d);            // first logical of the iteration
+    edges.push_back(it * d + (d - 1));  // last logical of the iteration
+  }
+  return edges;
+}
+
+void check_logical(const CompiledMapper& compiled, const AddressMapper& ref,
+                   const NaiveMapper& naive, std::uint64_t logical) {
+  SCOPED_TRACE("logical " + std::to_string(logical));
+  const auto naive_map = naive.map(logical);
+  EXPECT_EQ(compiled.map(logical), naive_map);
+  EXPECT_EQ(ref.map(logical), naive_map);
+
+  const auto naive_parity = naive.parity(logical);
+  EXPECT_EQ(compiled.parity_of(logical), naive_parity);
+  EXPECT_EQ(ref.parity_of(logical), naive_parity);
+
+  const auto naive_stripe = naive.stripe(logical);
+  const auto ref_stripe = ref.stripe_of(logical);
+  std::vector<CompiledMapper::Physical> compiled_stripe(
+      compiled.max_stripe_size());
+  const std::uint32_t n =
+      compiled.stripe_of(logical, compiled_stripe);
+  ASSERT_EQ(n, naive_stripe.size());
+  ASSERT_EQ(ref_stripe.size(), naive_stripe.size());
+  for (std::uint32_t i = 0; i < n; ++i) {
+    EXPECT_EQ(compiled_stripe[i], naive_stripe[i]);
+    EXPECT_EQ(ref_stripe[i], naive_stripe[i]);
+  }
+
+  // Inverse maps agree on data positions.
+  EXPECT_EQ(compiled.logical_at(naive_map), logical);
+  EXPECT_EQ(ref.logical_at(naive_map), logical);
+  EXPECT_EQ(compiled.logical_at(naive_parity), CompiledMapper::kParity);
+}
+
+void differential(const Layout& layout, std::uint64_t seed) {
+  const AddressMapper ref(layout);
+  const CompiledMapper compiled(layout);
+  const NaiveMapper naive(layout);
+  ASSERT_EQ(compiled.data_units_per_iteration(), naive.data_units());
+  ASSERT_EQ(ref.data_units_per_iteration(), naive.data_units());
+
+  constexpr std::uint32_t kIterations = 3;
+  for (const std::uint64_t l : edge_addresses(naive, kIterations))
+    check_logical(compiled, ref, naive, l);
+
+  std::mt19937_64 rng(seed);
+  const std::uint64_t span = naive.data_units() * kIterations;
+  std::uniform_int_distribution<std::uint64_t> pick(0, span - 1);
+  std::vector<std::uint64_t> batch;
+  for (int trial = 0; trial < 256; ++trial) {
+    const std::uint64_t l = pick(rng);
+    check_logical(compiled, ref, naive, l);
+    batch.push_back(l);
+  }
+
+  // map_batch must equal element-wise map over the same randomized batch.
+  std::vector<CompiledMapper::Physical> out(batch.size());
+  compiled.map_batch(batch, out);
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    EXPECT_EQ(out[i], naive.map(batch[i])) << "batch index " << i;
+}
+
+TEST(MapperDifferential, RingLayout) {
+  differential(layout::ring_based_layout(13, 4), 1);
+}
+
+TEST(MapperDifferential, Raid5) { differential(layout::raid5_layout(8, 16), 2); }
+
+TEST(MapperDifferential, Stairway) {
+  differential(layout::stairway_layout(8, 10, 3), 3);
+}
+
+TEST(MapperDifferential, EveryEngineBuilderAtOnePoint) {
+  const auto& planner = engine::ConstructionPlanner::default_planner();
+  std::uint64_t seed = 100;
+  for (const auto& builder : planner.builders()) {
+    for (const core::ArraySpec spec :
+         {core::ArraySpec{17, 5}, core::ArraySpec{17, 17}}) {
+      const auto plan = builder->plan(spec, {});
+      if (!plan || plan->units_per_disk > 500) continue;
+      SCOPED_TRACE(std::string(builder->name()));
+      differential(builder->build(*plan).layout, ++seed);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pdl
