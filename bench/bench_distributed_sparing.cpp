@@ -21,15 +21,25 @@ int main() {
   bench::rule();
 
   for (const std::uint32_t k : {3u, 4u, 5u, 8u}) {
-    const auto base = layout::ring_based_layout(17, k);
-    const auto spared = layout::add_distributed_sparing(base);
+    // The spared ring layout comes through the api::Array front door,
+    // pinned to the ring construction for the sweep.
+    const auto array = api::Array::create(
+        {.num_disks = 17, .stripe_size = k}, {},
+        {.sparing = api::SparingMode::kDistributed,
+         .construction = core::Construction::kRingLayout});
+    if (!array.ok()) {
+      std::fprintf(stderr, "ring v=17 k=%u: %s\n", k,
+                   array.status().to_string().c_str());
+      return 1;
+    }
+    const layout::SparedLayout& spared = *array->spared_layout();
     const auto spares = spared.spares_per_disk();
     const auto [lo, hi] =
         std::minmax_element(spares.begin(), spares.end());
 
     const sim::ArraySimulator simulator(
-        base, sim::ArrayConfig{.disk = {}, .rebuild_depth = 4,
-                               .iterations = 1});
+        spared.layout, sim::ArrayConfig{.disk = {}, .rebuild_depth = 4,
+                                        .iterations = 1});
     const auto distributed =
         simulator.run_rebuild_distributed({}, 0, spared.spare_pos);
     const auto dedicated = simulator.run_rebuild({}, 0);

@@ -38,7 +38,7 @@ int main() {
       for (const std::uint32_t k : ks) {
         if (k >= v) continue;
         ++total;
-        const auto feas = layout::summarize_feasibility(v, k);
+        const auto feas = layout::summarize_feasibility(v, k).value();
         const auto within = [&](const std::optional<std::uint64_t>& s) {
           return s && *s <= kBudget;
         };

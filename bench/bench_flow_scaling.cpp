@@ -79,8 +79,8 @@ void BM_BuildLayoutCached(benchmark::State& state) {
   const auto v = static_cast<std::uint32_t>(state.range(0));
   engine::LayoutCache cache;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        cache.get({.num_disks = v, .stripe_size = 5}));
+    auto result = cache.get({.num_disks = v, .stripe_size = 5});
+    benchmark::DoNotOptimize(result.ok());
   }
 }
 BENCHMARK(BM_BuildLayoutCached)->Arg(17)->Arg(50)->Arg(100);

@@ -12,9 +12,9 @@
 #include <cstdlib>
 #include <string>
 
+#include "api/array.hpp"
 #include "bench_util.hpp"
 #include "engine/planner.hpp"
-#include "layout/sparing.hpp"
 #include "sim/fault_timeline.hpp"
 #include "sim/rebuild_scheduler.hpp"
 #include "sim/scenario.hpp"
@@ -121,7 +121,7 @@ StormStats emit_run(const std::string& construction,
                     std::uint32_t units_per_disk,
                     const sim::ScenarioResult& result, bool deterministic) {
   const StormStats stats = summarize(result);
-  bench::json_result("multi_failure")
+  bench::json_result("multi_failure", /*schema_version=*/2)
       .field("construction", construction)
       .field("scheduler", scheduler)
       .field("sparing", mode)
@@ -149,7 +149,7 @@ void emit_phases(const std::string& construction,
   for (std::size_t i = 0; i < result.phases.size(); ++i) {
     const sim::PhaseRecord& phase = result.phases[i];
     sim::SampleStats reads = phase.user.read_latency_ms;
-    bench::json_result("multi_failure_phase")
+    bench::json_result("multi_failure_phase", /*schema_version=*/2)
         .field("construction", construction)
         .field("scheduler", scheduler)
         .field("sparing", mode)
@@ -188,18 +188,30 @@ int main(int argc, char** argv) {
   std::size_t constructions_run = 0;
   for (const auto& plan : plans) {
     if (plan.units_per_disk > 2000) continue;  // skip lambda blowups
-    const auto* builder = planner.find(plan.construction);
-    if (builder == nullptr) continue;
-    const core::BuiltLayout built = builder->build(plan);
-    const std::string construction = core::construction_name(built.construction);
+    // Both rebuild modes come through the api::Array front door, pinned to
+    // this plan's construction.
+    const auto dedicated_array = api::Array::create(
+        {v, k}, {}, {.construction = plan.construction});
+    const auto spared_array = api::Array::create(
+        {v, k}, {},
+        {.sparing = api::SparingMode::kDistributed,
+         .construction = plan.construction});
+    if (!dedicated_array.ok() || !spared_array.ok()) {
+      std::fprintf(stderr, "skipping %s: %s\n",
+                   core::construction_name(plan.construction).c_str(),
+                   (dedicated_array.ok() ? spared_array : dedicated_array)
+                       .status().to_string().c_str());
+      continue;
+    }
+    const std::string construction =
+        core::construction_name(dedicated_array->construction());
+    const std::uint32_t units_per_disk = dedicated_array->units_per_disk();
     ++constructions_run;
 
     // One simulator per mode, reused across every scheduler run (the
     // compiled serving tables and the sparing flow are built once).
-    const sim::ScenarioSimulator dedicated(built.layout, config);
-    const layout::SparedLayout spared =
-        layout::add_distributed_sparing(built.layout);
-    const sim::ScenarioSimulator distributed(spared, config);
+    const sim::ScenarioSimulator dedicated(*dedicated_array, config);
+    const sim::ScenarioSimulator distributed(*spared_array, config);
 
     // Storm: first failure at t = 500 ms, second mid-rebuild of the first.
     const auto probe = dedicated.run(
@@ -222,7 +234,7 @@ int main(int argc, char** argv) {
     const auto spared_requests = sim::generate_workload(spared_wconfig);
 
     std::printf("%s (s = %u)\n", construction.c_str(),
-                built.layout.units_per_disk());
+                units_per_disk);
     for (const std::string_view name : sim::scheduler_names()) {
       const auto scheduler = sim::make_scheduler(name);
       const auto result = dedicated.run(timeline, requests, *scheduler);
@@ -230,7 +242,7 @@ int main(int argc, char** argv) {
           result, dedicated.run(timeline, requests, *scheduler));
       const StormStats stats =
           emit_run(construction, std::string(name), "dedicated", v, k,
-                   built.layout.units_per_disk(), result, deterministic);
+                   units_per_disk, result, deterministic);
       if (name == "fifo")
         emit_phases(construction, std::string(name), "dedicated", result);
 
@@ -240,7 +252,7 @@ int main(int argc, char** argv) {
           spared_result,
           distributed.run(timeline, spared_requests, *scheduler));
       emit_run(construction, std::string(name), "distributed", v, k,
-               built.layout.units_per_disk(), spared_result,
+               units_per_disk, spared_result,
                spared_deterministic);
 
       std::printf("  %-16s repair %.0f ms, stressed read %.1f ms, "

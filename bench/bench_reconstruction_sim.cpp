@@ -87,10 +87,10 @@ int main() {
       run_row("stairway q=16 k=4", stairway, 0.02);
     }
     const auto exactish =
-        engine::Engine::global().build({.num_disks = 18, .stripe_size = 4});
-    if (exactish) {
-      run_row(("auto: " + exactish->description).c_str(), exactish->layout,
-              0.02);
+        api::Array::create({.num_disks = 18, .stripe_size = 4});
+    if (exactish.ok()) {
+      run_row(("auto: " + exactish->description()).c_str(),
+              exactish->layout(), 0.02);
     }
   }
 

@@ -28,7 +28,10 @@ int main() {
     for (const auto& pp : factors) {
       if (!fact.empty()) fact += " * ";
       fact += std::to_string(pp.prime);
-      if (pp.exponent > 1) fact += "^" + std::to_string(pp.exponent);
+      if (pp.exponent > 1) {
+        fact += '^';
+        fact += std::to_string(pp.exponent);
+      }
     }
     const auto m = static_cast<std::uint32_t>(
         algebra::min_prime_power_factor(v));

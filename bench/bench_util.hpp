@@ -28,14 +28,22 @@ inline const char* okbad(bool ok) { return ok ? "OK " : "BAD"; }
 /// the human-readable tables ("JSON {...}").  Keys are emitted in insertion
 /// order; values are numbers or strings (quotes/backslashes escaped).
 ///
+/// Every object carries a "schema_version" field (second key) so that
+/// BENCH_*.json outputs stay machine-diffable across PRs: bump the version
+/// passed by a bench whenever its field set changes meaning.
+///
 ///   json_result("mapper_throughput")
 ///       .field("layout", "ring v=17 k=5")
 ///       .field("lookups_per_sec", 1.8e8)
 ///       .emit();
 class json_result {
  public:
-  explicit json_result(const std::string& benchmark) {
-    body_ = "{\"benchmark\":\"" + escape(benchmark) + "\"";
+  explicit json_result(const std::string& benchmark,
+                       std::uint64_t schema_version = 1) {
+    char version[32];
+    std::snprintf(version, sizeof version, "%" PRIu64, schema_version);
+    body_ = "{\"benchmark\":\"" + escape(benchmark) +
+            "\",\"schema_version\":" + version;
   }
 
   json_result& field(const std::string& key, const std::string& value) {

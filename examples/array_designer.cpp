@@ -27,19 +27,17 @@ int main(int argc, char** argv) {
               "--------------\n");
 
   for (std::uint32_t k = 2; k <= v; ++k) {
-    const auto built =
-        engine::Engine::global().build({.num_disks = v, .stripe_size = k});
-    if (!built) {
-      std::printf("%-4u %-30s\n", k, "(nothing fits the budget)");
+    const auto array = api::Array::create({.num_disks = v, .stripe_size = k});
+    if (!array.ok()) {
+      std::printf("%-4u (%s)\n", k, array.status().to_string().c_str());
       continue;
     }
-    const layout::CompiledMapper mapper(built->layout);
     std::printf("%-4u %-30s %-8u %-10.4f %-10.4f %-10.1f\n", k,
-                construction_name(built->construction).c_str(),
-                built->metrics.units_per_disk,
-                built->metrics.max_parity_overhead,
-                built->metrics.max_recon_workload,
-                mapper.table_bytes() / 1024.0);
+                construction_name(array->construction()).c_str(),
+                array->metrics().units_per_disk,
+                array->metrics().max_parity_overhead,
+                array->metrics().max_recon_workload,
+                array->table_bytes() / 1024.0);
   }
   std::printf("\nsmall k: cheap rebuilds, more capacity spent on parity.\n");
   std::printf("large k: less parity overhead, rebuilds touch more of every "

@@ -1,7 +1,9 @@
 // Distributed sparing demo (the paper's Section 5 direction): reserve one
 // spare unit per stripe, balanced across disks by the same network-flow
 // machinery as parity, and rebuild a failed disk into the spares -- no
-// dedicated spare disk, declustered rebuild writes.
+// dedicated spare disk, declustered rebuild writes.  Everything runs
+// through the pdl::api::Array front door and its online failure/rebuild
+// state machine.
 //
 //   $ ./distributed_sparing [v] [k]   (defaults: v = 17, k = 4)
 
@@ -15,32 +17,48 @@ int main(int argc, char** argv) {
   using namespace pdl;
   const std::uint32_t v = argc > 1 ? std::atoi(argv[1]) : 17;
   const std::uint32_t k = argc > 2 ? std::atoi(argv[2]) : 4;
-  if (!design::ring_design_exists(v, k)) {
-    std::fprintf(stderr, "need k <= M(v); try a prime-power v\n");
+
+  auto array = api::Array::create({.num_disks = v, .stripe_size = k}, {},
+                                  {.sparing = api::SparingMode::kDistributed});
+  if (!array.ok()) {
+    std::fprintf(stderr, "cannot build spared array: %s\n",
+                 array.status().to_string().c_str());
     return 1;
   }
 
-  const auto base = layout::ring_based_layout(v, k);
-  const auto spared = layout::add_distributed_sparing(base);
-
+  const layout::SparedLayout& spared = *array->spared_layout();
   const auto spares = spared.spares_per_disk();
   const auto [lo, hi] = std::minmax_element(spares.begin(), spares.end());
-  std::printf("array: v=%u, k=%u, %u units/disk\n", v, k,
-              base.units_per_disk());
+  std::printf("array: %s, v=%u, k=%u, %u units/disk\n",
+              construction_name(array->construction()).c_str(), v, k,
+              array->units_per_disk());
   std::printf("spares per disk: %u..%u (balanced by the generalized "
               "Theorem 14 flow)\n",
               *lo, *hi);
 
+  // Fail a disk and plan the rebuild through the state machine: every
+  // lost unit targets its own stripe's spare on a surviving disk.
   const layout::DiskId failed = 0;
-  const auto writes = layout::distributed_rebuild_writes(spared, failed);
-  const auto max_w = *std::max_element(writes.begin(), writes.end());
+  (void)array->fail_disk(failed);
+  const auto plan = array->plan_rebuild();
+  std::uint32_t max_writes = 0;
+  for (std::uint32_t d = 0; d < v; ++d)
+    if (d != failed)
+      max_writes = std::max(max_writes, plan->writes_per_disk[d]);
   std::printf("\nafter disk %u fails, rebuild writes per survivor: max %u "
               "(dedicated spare would take all %u)\n",
-              failed, max_w, base.units_per_disk());
+              failed, max_writes, array->units_per_disk());
 
+  const auto outcome = array->rebuild();
+  std::printf("rebuilt %llu stripes into distributed spares without a "
+              "replacement disk (%llu blocked)\n",
+              static_cast<unsigned long long>(outcome->applied),
+              static_cast<unsigned long long>(outcome->blocked));
+
+  // Timing on the event-driven simulator: distributed vs dedicated spare.
   const sim::ArraySimulator simulator(
-      base, sim::ArrayConfig{.disk = {}, .rebuild_depth = 4,
-                             .iterations = 1});
+      spared.layout, sim::ArrayConfig{.disk = {}, .rebuild_depth = 4,
+                                      .iterations = 1});
   const auto distributed =
       simulator.run_rebuild_distributed({}, failed, spared.spare_pos);
   const auto dedicated = simulator.run_rebuild({}, failed);

@@ -67,19 +67,24 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  auto& engine = engine::Engine::global();
-  const auto built = engine.build({.num_disks = v, .stripe_size = k});
-  const auto spared = engine.build_spared({.num_disks = v, .stripe_size = k});
-  if (!built || !spared) {
-    std::fprintf(stderr, "no declustered layout for v=%u k=%u\n", v, k);
+  // Two arrays over one cached layout derivation: dedicated-replacement
+  // and distributed-sparing rebuild modes.
+  const core::ArraySpec spec{.num_disks = v, .stripe_size = k};
+  const auto dedicated_array = api::Array::create(spec);
+  const auto spared_array = api::Array::create(
+      spec, {}, {.sparing = api::SparingMode::kDistributed});
+  if (!dedicated_array.ok() || !spared_array.ok()) {
+    std::fprintf(stderr, "no declustered layout for v=%u k=%u: %s\n", v, k,
+                 (dedicated_array.ok() ? spared_array : dedicated_array)
+                     .status().to_string().c_str());
     return 1;
   }
 
   const sim::ScenarioConfig config{
       .disk = {}, .rebuild_depth = 4, .iterations = 1,
       .rebuild_delay_ms = 100.0};
-  const sim::ScenarioSimulator dedicated(built->layout, config);
-  const sim::ScenarioSimulator distributed(*spared, config);
+  const sim::ScenarioSimulator dedicated(*dedicated_array, config);
+  const sim::ScenarioSimulator distributed(*spared_array, config);
   const auto scheduler = sim::make_scheduler(policy);
 
   // Place the second failure halfway through the first rebuild.
@@ -98,8 +103,9 @@ int main(int argc, char** argv) {
 
   std::printf("fault storm on %s (v=%u k=%u s=%u), %s scheduler:\n"
               "disk 0 fails at t=400, disk %u fails mid-rebuild at t=%.0f\n\n",
-              construction_name(built->construction).c_str(), v, k,
-              built->layout.units_per_disk(), policy.c_str(), v / 2, mid);
+              construction_name(dedicated_array->construction()).c_str(), v,
+              k, dedicated_array->units_per_disk(), policy.c_str(), v / 2,
+              mid);
 
   report("dedicated-replacement",
          dedicated.run(timeline, sim::generate_workload(wconfig),
@@ -111,7 +117,7 @@ int main(int argc, char** argv) {
          distributed.run(timeline, sim::generate_workload(spared_wconfig),
                          *scheduler));
 
-  const auto stats = engine.cache().stats();
+  const auto stats = engine::Engine::global().cache().stats();
   std::printf("engine cache: %llu hits, %llu misses (layout derived once, "
               "reused across scenario runs)\n",
               static_cast<unsigned long long>(stats.hits),

@@ -37,7 +37,7 @@ int main(int argc, char** argv) {
 
   std::printf("=== layout routes (sizes in units/disk; budget %llu) ===\n",
               static_cast<unsigned long long>(layout::kDefaultUnitBudget));
-  const auto feas = layout::summarize_feasibility(v, k);
+  const auto feas = layout::summarize_feasibility(v, k).value();
   auto show = [](const char* name, const std::optional<std::uint64_t>& size,
                  std::uint32_t q) {
     if (size) {
@@ -70,18 +70,17 @@ int main(int argc, char** argv) {
                 plan.description.c_str());
   }
 
-  std::printf("\n=== chosen layout ===\n");
-  const auto built = eng.build({.num_disks = v, .stripe_size = k});
-  if (!built) {
-    std::printf("nothing fits the budget\n");
+  std::printf("\n=== chosen layout (via pdl::api::Array) ===\n");
+  const auto array = api::Array::create({.num_disks = v, .stripe_size = k});
+  if (!array.ok()) {
+    std::printf("%s\n", array.status().to_string().c_str());
     return 0;
   }
-  std::printf("%s -- %s\n", construction_name(built->construction).c_str(),
-              built->description.c_str());
-  std::printf("%s\n", built->metrics.to_string().c_str());
-  if (built->layout.units_per_disk() <= 12 &&
-      built->layout.num_disks() <= 16) {
-    std::printf("\n%s", layout::render_layout(built->layout).c_str());
+  std::printf("%s -- %s\n", construction_name(array->construction()).c_str(),
+              array->description().c_str());
+  std::printf("%s\n", array->metrics().to_string().c_str());
+  if (array->units_per_disk() <= 12 && array->num_disks() <= 16) {
+    std::printf("\n%s", layout::render_layout(array->layout()).c_str());
   }
   return 0;
 }

@@ -1,10 +1,12 @@
-// Quickstart: build a parity-declustered layout, map logical addresses,
-// and plan recovery of a failed disk.
+// Quickstart for pdl::api::Array, the library's front door: build an
+// array, map logical addresses (single and batched), fail a disk, resolve
+// a degraded read to its survivor set, and rebuild back to healthy.
 //
 //   $ ./quickstart [v] [k]        (defaults: v = 16, k = 4)
 
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
 #include "core/pdl.hpp"
 
@@ -12,50 +14,82 @@ int main(int argc, char** argv) {
   using namespace pdl;
   const std::uint32_t v = argc > 1 ? std::atoi(argv[1]) : 16;
   const std::uint32_t k = argc > 2 ? std::atoi(argv[2]) : 4;
-  if (v < 2 || k < 2 || k > v) {
+  if (v < 2 || v > 100'000 || k < 2 || k > v) {
     std::fprintf(stderr, "need 2 <= k <= v\n");
     return 1;
   }
 
-  // 1. Build the best layout for v disks with parity stripes of k units.
-  //    The engine ranks every registered construction's plan and memoizes
-  //    the built result.
-  const auto built =
-      engine::Engine::global().build({.num_disks = v, .stripe_size = k});
-  if (!built) {
-    std::fprintf(stderr, "no layout for v=%u k=%u fits the unit budget\n", v,
-                 k);
+  // 1. One call builds the best layout for v disks with parity stripes of
+  //    k units (engine-cached construction ranking) and wraps it with the
+  //    compiled O(1) mapping tables and the online failure state machine.
+  //    Every fallible call returns a typed pdl::Status / Result.
+  auto array = api::Array::create({.num_disks = v, .stripe_size = k});
+  if (!array.ok()) {
+    std::fprintf(stderr, "cannot build array: %s\n",
+                 array.status().to_string().c_str());
     return 1;
   }
   std::printf("construction: %s (%s)\n",
-              construction_name(built->construction).c_str(),
-              built->description.c_str());
-  std::printf("metrics:      %s\n\n", built->metrics.to_string().c_str());
+              construction_name(array->construction()).c_str(),
+              array->description().c_str());
+  std::printf("metrics:      %s\n", array->metrics().to_string().c_str());
+  std::printf("mapping table: %.1f KiB resident\n\n",
+              array->table_bytes() / 1024.0);
 
-  // 2. Map logical data units to physical positions (Condition 4: one
-  //    table lookup + constant arithmetic).  CompiledMapper is the flat,
-  //    allocation-free serving-path form.
-  const layout::CompiledMapper mapper(built->layout);
+  // 2. Address ops (Condition 4: one table lookup + constant arithmetic).
   std::printf("logical -> physical (disk, offset); parity location:\n");
-  for (const std::uint64_t logical : {0ull, 1ull, 1000ull, 123456ull}) {
-    const auto data = mapper.map(logical);
-    const auto parity = mapper.parity_of(logical);
+  const std::vector<std::uint64_t> logicals = {0, 1, 1000, 123456};
+  std::vector<api::Physical> batch(logicals.size());
+  (void)array->map_batch(logicals, batch);  // span-based batched form
+  for (std::size_t i = 0; i < logicals.size(); ++i) {
+    const auto parity = array->parity_of(logicals[i]);
     std::printf("  unit %8llu -> (disk %2u, offset %6llu)   parity at "
                 "(disk %2u, offset %6llu)\n",
-                static_cast<unsigned long long>(logical), data.disk,
-                static_cast<unsigned long long>(data.offset), parity.disk,
+                static_cast<unsigned long long>(logicals[i]), batch[i].disk,
+                static_cast<unsigned long long>(batch[i].offset), parity.disk,
                 static_cast<unsigned long long>(parity.offset));
   }
-  std::printf("mapping table: %.1f KiB resident\n\n",
-              mapper.table_bytes() / 1024.0);
 
-  // 3. Plan recovery of a failed disk.
+  // 3. Fail a disk and watch a read degrade: locate() resolves the exact
+  //    survivor unit-set to XOR (declustering spreads those reads over all
+  //    survivors instead of mirroring RAID5's full-disk sweep).
   const layout::DiskId failed = v / 2;
-  const auto plan = core::plan_recovery(built->layout, failed);
-  std::printf("recovery plan for disk %u: %zu stripe repairs\n", failed,
-              plan.repairs.size());
-  std::printf("busiest survivor reads %.1f%% of itself (RAID5 would read "
-              "100%%)\n",
-              100.0 * plan.analysis.max_fraction());
+  (void)array->fail_disk(failed);
+  std::printf("\ndisk %u failed: %llu units lost\n", failed,
+              static_cast<unsigned long long>(array->lost_units()));
+  std::vector<api::Physical> survivors(array->max_stripe_size());
+  for (const std::uint64_t logical : logicals) {
+    const auto read = array->locate(logical, survivors);
+    if (!read.ok()) continue;
+    if (read->kind == api::ReadPlan::Kind::kDirect) {
+      std::printf("  unit %8llu intact on disk %u\n",
+                  static_cast<unsigned long long>(logical),
+                  read->target.disk);
+    } else {
+      std::printf("  unit %8llu degraded: XOR %u survivors (disks",
+                  static_cast<unsigned long long>(logical),
+                  read->num_survivors);
+      for (std::uint32_t i = 0; i < read->num_survivors; ++i)
+        std::printf(" %u", survivors[i].disk);
+      std::printf(")\n");
+    }
+  }
+
+  // 4. Replace the disk and rebuild.  plan_rebuild() derives the repair
+  //    schedule (per-stripe survivor reads + target writes); rebuild()
+  //    applies it and returns the array to healthy.
+  (void)array->replace_disk(failed);
+  const auto plan = array->plan_rebuild();
+  std::uint32_t max_reads = 0;
+  for (const std::uint32_t r : plan->reads_per_disk)
+    max_reads = std::max(max_reads, r);
+  std::printf("\nrebuild plan: %zu stripe repairs; busiest survivor reads "
+              "%.1f%% of itself (RAID5 would read 100%%)\n",
+              plan->steps.size(),
+              100.0 * max_reads / array->units_per_disk());
+  const auto outcome = array->rebuild();
+  std::printf("rebuilt %llu stripes; array healthy again: %s\n",
+              static_cast<unsigned long long>(outcome->applied),
+              array->healthy() ? "yes" : "no");
   return 0;
 }

@@ -49,12 +49,12 @@ void report(const char* name, const pdl::layout::Layout& layout,
 
 // The same failure through the scenario engine: phase timeline with
 // per-phase latency and utilization.
-void report_phases(const pdl::layout::Layout& layout, double arrival_per_ms) {
+void report_phases(const pdl::api::Array& array, double arrival_per_ms) {
   using namespace pdl;
   const sim::ScenarioConfig config{
       .disk = {}, .rebuild_depth = 4, .iterations = 1,
       .rebuild_delay_ms = 100.0};
-  const sim::ScenarioSimulator simulator(layout, config);
+  const sim::ScenarioSimulator simulator(array, config);
   const sim::WorkloadConfig wconfig{
       .arrival_per_ms = arrival_per_ms,
       .write_fraction = 0.3,
@@ -89,21 +89,21 @@ int main(int argc, char** argv) {
   }
   const double per_sec = argc > 3 ? std::atof(argv[3]) : 20.0;
 
-  const auto built =
-      engine::Engine::global().build({.num_disks = v, .stripe_size = k});
-  if (!built) {
-    std::fprintf(stderr, "no declustered layout for v=%u k=%u\n", v, k);
+  const auto array = api::Array::create({.num_disks = v, .stripe_size = k});
+  if (!array.ok()) {
+    std::fprintf(stderr, "no declustered layout for v=%u k=%u: %s\n", v, k,
+                 array.status().to_string().c_str());
     return 1;
   }
   std::printf("failing disk 0 at t=0 under %.0f req/s (30%% writes)...\n\n",
               per_sec);
   const std::string name =
-      "declustered: " + construction_name(built->construction);
-  report(name.c_str(), built->layout, per_sec / 1000.0);
+      "declustered: " + construction_name(array->construction());
+  report(name.c_str(), array->layout(), per_sec / 1000.0);
   report("RAID5 baseline (k = v)",
-         layout::raid5_layout(v, built->layout.units_per_disk()),
+         layout::raid5_layout(v, array->units_per_disk()),
          per_sec / 1000.0);
-  report_phases(built->layout, per_sec / 1000.0);
+  report_phases(*array, per_sec / 1000.0);
   std::printf("declustering spreads the rebuild load over all survivors: "
               "each reads only (k-1)/(v-1) of itself instead of 100%%.\n");
   return 0;

@@ -152,7 +152,10 @@ std::string Polynomial::to_string() const {
     } else {
       if (coeffs_[i] != 1) out += std::to_string(coeffs_[i]);
       out += "x";
-      if (i > 1) out += "^" + std::to_string(i);
+      if (i > 1) {
+        out += '^';
+        out += std::to_string(i);
+      }
     }
   }
   return out + " (mod " + std::to_string(p_) + ")";

@@ -1,0 +1,601 @@
+#include "api/array.hpp"
+
+#include <bit>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "engine/engine.hpp"
+#include "layout/metrics.hpp"
+#include "layout/serialize.hpp"
+
+namespace pdl::api {
+
+namespace {
+
+using core::BuiltLayout;
+using core::Construction;
+using layout::Layout;
+using layout::SparedLayout;
+using layout::Stripe;
+using layout::StripeUnit;
+
+/// Data units per layout iteration under the given sparing mode; 0 means
+/// the array could hold no data and must be rejected before the mapper
+/// (which throws) sees it.
+[[nodiscard]] std::uint64_t count_data_units(const Layout& layout,
+                                             bool spared) {
+  const std::size_t overhead = spared ? 2 : 1;  // parity (+ spare)
+  std::uint64_t count = 0;
+  for (const Stripe& st : layout.stripes())
+    if (st.units.size() > overhead) count += st.units.size() - overhead;
+  return count;
+}
+
+[[nodiscard]] Status validate_layout(const Layout& layout) {
+  const auto errors = layout.validate();
+  if (!errors.empty())
+    return Status::invalid_argument("invalid layout: " + errors.front());
+  // The online state machine tracks lost positions in a 64-bit mask per
+  // stripe (like ScenarioSimulator's [2, 64] stripe-size bound).
+  for (const Stripe& st : layout.stripes()) {
+    if (st.units.size() > 64)
+      return Status::invalid_argument(
+          "stripe sizes above 64 are not supported (got " +
+          std::to_string(st.units.size()) + ")");
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+std::string_view disk_state_name(DiskState state) noexcept {
+  switch (state) {
+    case DiskState::kHealthy: return "healthy";
+    case DiskState::kFailed: return "failed";
+    case DiskState::kRebuilding: return "rebuilding";
+  }
+  return "?";
+}
+
+Array::Array(std::shared_ptr<const BuiltLayout> built,
+             std::shared_ptr<const SparedLayout> spared)
+    : built_(std::move(built)),
+      spared_(std::move(spared)),
+      mapper_(spared_ ? layout::CompiledMapper(*spared_)
+                      : layout::CompiledMapper(built_->layout)) {
+  const Layout& l = layout();
+  const auto& stripes = l.stripes();
+  const std::uint32_t n = static_cast<std::uint32_t>(stripes.size());
+
+  data_units_.reserve(mapper_.data_units_per_iteration());
+  disk_units_.resize(l.num_disks());
+  for (std::uint32_t si = 0; si < n; ++si) {
+    const Stripe& st = stripes[si];
+    for (std::uint32_t pos = 0; pos < st.units.size(); ++pos) {
+      disk_units_[st.units[pos].disk].push_back({si, pos});
+      if (pos == st.parity_pos) continue;
+      if (spared_ && pos == spared_->spare_pos[si]) continue;
+      data_units_.push_back({si, pos});
+    }
+  }
+
+  disk_state_.assign(l.num_disks(), DiskState::kHealthy);
+  lost_mask_.assign(n, 0);
+  unrecoverable_.assign(n, 0);
+  redirect_.assign(n, kNone);
+  pending_home_.assign(l.num_disks(), 0);
+}
+
+Result<Array> Array::create(const core::ArraySpec& spec,
+                            const core::BuildOptions& build,
+                            const ArrayOptions& options) {
+  return create_with(engine::Engine::global(), spec, build, options);
+}
+
+Result<Array> Array::create_with(engine::Engine& engine,
+                                 const core::ArraySpec& spec,
+                                 const core::BuildOptions& build,
+                                 const ArrayOptions& options) {
+  if (Status domain = layout::validate_vk(spec.num_disks, spec.stripe_size);
+      !domain.ok())
+    return domain;
+  if (spec.stripe_size > 64)
+    return Status::invalid_argument(
+        "stripe sizes above 64 are not supported by the online state "
+        "machine (got k=" + std::to_string(spec.stripe_size) + ")");
+  const bool spare = options.sparing == SparingMode::kDistributed;
+  if (spare && spec.stripe_size < 3)
+    return Status::invalid_argument(
+        "distributed sparing needs k >= 3 (each stripe carries data, "
+        "parity, and a spare unit)");
+
+  std::shared_ptr<const BuiltLayout> built;
+  std::shared_ptr<const SparedLayout> spared;
+  if (options.construction) {
+    // Pinned construction: bypass ranking (and the cache).  Unlike
+    // build_best, build_with has no fallback route, so a builder throwing
+    // mid-build surfaces here as a typed error rather than an exception.
+    std::optional<BuiltLayout> b;
+    try {
+      b = engine.planner().build_with(*options.construction, spec, build);
+    } catch (const std::exception& e) {
+      return Status::unsupported(
+          core::construction_name(*options.construction) +
+          " failed to build at v=" + std::to_string(spec.num_disks) +
+          " k=" + std::to_string(spec.stripe_size) + ": " + e.what());
+    }
+    if (!b)
+      return Status::unsupported(
+          core::construction_name(*options.construction) +
+          " does not apply at v=" + std::to_string(spec.num_disks) +
+          " k=" + std::to_string(spec.stripe_size) + " under the options");
+    built = std::make_shared<const BuiltLayout>(std::move(*b));
+    if (spare)
+      spared = std::make_shared<const SparedLayout>(
+          layout::add_distributed_sparing(built->layout));
+  } else {
+    auto b = engine.build(spec, build);
+    if (!b.ok()) return b.status();
+    built = std::move(b).value();
+    if (spare) {
+      auto s = engine.build_spared(spec, build);
+      if (!s.ok()) return s.status();
+      spared = std::move(s).value();
+    }
+  }
+  return Array(std::move(built), std::move(spared));
+}
+
+Result<Array> Array::adopt(Layout layout) {
+  if (Status valid = validate_layout(layout); !valid.ok()) return valid;
+  if (count_data_units(layout, /*spared=*/false) == 0)
+    return Status::invalid_argument("layout holds no data units");
+  auto metrics = layout::compute_metrics(layout);
+  auto built = std::make_shared<const BuiltLayout>(
+      BuiltLayout{std::move(layout), Construction::kExternal,
+                  "externally supplied layout", std::move(metrics)});
+  return Array(std::move(built), nullptr);
+}
+
+Result<Array> Array::adopt_spared(SparedLayout spared) {
+  if (Status valid = validate_layout(spared.layout); !valid.ok())
+    return valid;
+  if (Status valid = validate_spare_map(spared); !valid.ok()) return valid;
+  if (count_data_units(spared.layout, /*spared=*/true) == 0)
+    return Status::invalid_argument(
+        "layout holds no data units under distributed sparing");
+  auto metrics = layout::compute_metrics(spared.layout);
+  auto built = std::make_shared<const BuiltLayout>(
+      BuiltLayout{spared.layout, Construction::kExternal,
+                  "externally supplied layout (distributed sparing)",
+                  std::move(metrics)});
+  auto shared_spared =
+      std::make_shared<const SparedLayout>(std::move(spared));
+  return Array(std::move(built), std::move(shared_spared));
+}
+
+std::string Array::serialize() const {
+  return spared_ ? layout::serialize_spared_layout(*spared_)
+                 : layout::serialize_layout(layout());
+}
+
+Result<Array> Array::deserialize(const std::string& text) {
+  std::istringstream probe(text);
+  std::string magic;
+  probe >> magic;
+  if (magic == "pdl-spared-layout") {
+    auto spared = layout::parse_spared_layout(text);
+    if (!spared.ok()) return spared.status();
+    return adopt_spared(std::move(spared).value());
+  }
+  auto plain = layout::parse_layout(text);
+  if (!plain.ok()) return plain.status();
+  return adopt(std::move(plain).value());
+}
+
+Status Array::save(const std::string& path) const {
+  return spared_ ? layout::save_spared_layout(path, *spared_)
+                 : layout::save_layout(path, layout());
+}
+
+Result<Array> Array::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::io_error("cannot open " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  if (in.bad()) return Status::io_error("read failed: " + path);
+  return deserialize(text.str());
+}
+
+// ----------------------------------------------------------------- queries
+
+std::uint32_t Array::num_disks() const noexcept {
+  return layout().num_disks();
+}
+
+std::uint32_t Array::units_per_disk() const noexcept {
+  return layout().units_per_disk();
+}
+
+core::Construction Array::construction() const noexcept {
+  return built_->construction;
+}
+
+const std::string& Array::description() const noexcept {
+  return built_->description;
+}
+
+const layout::LayoutMetrics& Array::metrics() const noexcept {
+  return built_->metrics;
+}
+
+const Layout& Array::layout() const noexcept {
+  return spared_ ? spared_->layout : built_->layout;
+}
+
+const std::vector<std::uint32_t>& Array::spare_positions() const noexcept {
+  static const std::vector<std::uint32_t> kEmpty;
+  return spared_ ? spared_->spare_pos : kEmpty;
+}
+
+Result<DiskState> Array::disk_state(DiskId disk) const {
+  if (disk >= disk_state_.size())
+    return Status::invalid_argument("disk " + std::to_string(disk) +
+                                    " out of range");
+  return disk_state_[disk];
+}
+
+std::uint32_t Array::num_failed() const noexcept {
+  std::uint32_t count = 0;
+  for (const DiskState state : disk_state_)
+    count += state != DiskState::kHealthy;
+  return count;
+}
+
+bool Array::healthy() const noexcept {
+  return num_failed() == 0 && lost_units_ == 0 && stripes_lost_ == 0;
+}
+
+// ------------------------------------------------------------- address ops
+
+Status Array::map_batch(std::span<const std::uint64_t> logicals,
+                        std::span<Physical> out) const {
+  if (out.size() < logicals.size())
+    return Status::invalid_argument(
+        "output span holds " + std::to_string(out.size()) +
+        " slots for " + std::to_string(logicals.size()) + " logicals");
+  mapper_.map_batch(logicals, out);
+  return OkStatus();
+}
+
+// ------------------------------------------------------------- serving ops
+
+bool Array::is_content(std::uint32_t stripe,
+                       std::uint32_t pos) const noexcept {
+  return !spared_ || pos != spared_->spare_pos[stripe];
+}
+
+const StripeUnit& Array::cur_unit(std::uint32_t stripe,
+                                  std::uint32_t pos) const noexcept {
+  const Stripe& st = layout().stripes()[stripe];
+  if (spared_ && redirect_[stripe] == pos)
+    return st.units[spared_->spare_pos[stripe]];
+  return st.units[pos];
+}
+
+Result<ReadPlan> Array::locate(std::uint64_t logical,
+                               std::span<Physical> survivors) const {
+  const std::uint64_t per_iter = data_units_.size();
+  const std::uint64_t iteration = logical / per_iter;
+  const UnitRef ref = data_units_[logical % per_iter];
+  const std::uint64_t lift =
+      iteration * static_cast<std::uint64_t>(units_per_disk());
+
+  ReadPlan plan;
+  if (!is_lost(ref.stripe, ref.pos)) {
+    const StripeUnit& u = cur_unit(ref.stripe, ref.pos);
+    plan.kind = ReadPlan::Kind::kDirect;
+    plan.target = {u.disk, lift + u.offset};
+    return plan;
+  }
+  if (unrecoverable_[ref.stripe]) {
+    plan.kind = ReadPlan::Kind::kUnrecoverable;
+    return plan;
+  }
+
+  // Degraded read: the survivor set is every other content unit of the
+  // stripe, at its current (redirect-aware) home -- exactly the units
+  // ScenarioSimulator reads to reconstruct on the fly.
+  const Stripe& st = layout().stripes()[ref.stripe];
+  std::uint32_t count = 0;
+  for (std::uint32_t p = 0; p < st.units.size(); ++p) {
+    if (p == ref.pos || !is_content(ref.stripe, p)) continue;
+    ++count;
+  }
+  if (survivors.size() < count)
+    return Status::invalid_argument(
+        "survivor span holds " + std::to_string(survivors.size()) +
+        " slots, stripe needs " + std::to_string(count) +
+        " (max_stripe_size() - 1 always suffices)");
+  std::uint32_t i = 0;
+  for (std::uint32_t p = 0; p < st.units.size(); ++p) {
+    if (p == ref.pos || !is_content(ref.stripe, p)) continue;
+    const StripeUnit& u = cur_unit(ref.stripe, p);
+    survivors[i++] = {u.disk, lift + u.offset};
+  }
+  plan.kind = ReadPlan::Kind::kDegraded;
+  plan.num_survivors = count;
+  return plan;
+}
+
+Result<WritePlan> Array::plan_write(std::uint64_t logical,
+                                    std::span<Physical> peer_reads) const {
+  const std::uint64_t per_iter = data_units_.size();
+  const std::uint64_t iteration = logical / per_iter;
+  const UnitRef ref = data_units_[logical % per_iter];
+  const std::uint64_t lift =
+      iteration * static_cast<std::uint64_t>(units_per_disk());
+  const Stripe& st = layout().stripes()[ref.stripe];
+  const std::uint32_t parity = st.parity_pos;
+
+  const bool data_lost = is_lost(ref.stripe, ref.pos);
+  const bool parity_lost = is_lost(ref.stripe, parity);
+
+  WritePlan plan;
+  if (data_lost && unrecoverable_[ref.stripe]) {
+    plan.kind = WritePlan::Kind::kUnrecoverable;
+    return plan;
+  }
+  if (!data_lost && !parity_lost) {
+    const StripeUnit& d = cur_unit(ref.stripe, ref.pos);
+    const StripeUnit& p = cur_unit(ref.stripe, parity);
+    plan.kind = WritePlan::Kind::kReadModifyWrite;
+    plan.data = {d.disk, lift + d.offset};
+    plan.parity = {p.disk, lift + p.offset};
+    return plan;
+  }
+  if (data_lost) {
+    // Fold the new value into parity: read the other surviving content,
+    // write the parity unit.
+    std::uint32_t count = 0;
+    for (std::uint32_t p = 0; p < st.units.size(); ++p) {
+      if (p == ref.pos || p == parity || !is_content(ref.stripe, p)) continue;
+      ++count;
+    }
+    if (peer_reads.size() < count)
+      return Status::invalid_argument(
+          "peer span holds " + std::to_string(peer_reads.size()) +
+          " slots, stripe needs " + std::to_string(count));
+    std::uint32_t i = 0;
+    for (std::uint32_t p = 0; p < st.units.size(); ++p) {
+      if (p == ref.pos || p == parity || !is_content(ref.stripe, p)) continue;
+      const StripeUnit& u = cur_unit(ref.stripe, p);
+      peer_reads[i++] = {u.disk, lift + u.offset};
+    }
+    const StripeUnit& p = cur_unit(ref.stripe, parity);
+    plan.kind = WritePlan::Kind::kReconstructWrite;
+    plan.parity = {p.disk, lift + p.offset};
+    plan.num_peer_reads = count;
+    return plan;
+  }
+  // Parity lost, data intact: the stripe is unprotected; write the data.
+  const StripeUnit& d = cur_unit(ref.stripe, ref.pos);
+  plan.kind = WritePlan::Kind::kUnprotectedWrite;
+  plan.data = {d.disk, lift + d.offset};
+  return plan;
+}
+
+// -------------------------------------------------------------- transitions
+
+void Array::mark_lost(std::uint32_t stripe, std::uint32_t pos) {
+  if (unrecoverable_[stripe]) {
+    lost_mask_[stripe] |= 1ull << pos;
+    return;
+  }
+  if (is_lost(stripe, pos)) return;
+  lost_mask_[stripe] |= 1ull << pos;
+  if (std::popcount(lost_mask_[stripe]) >= 2) {
+    // Second concurrent loss: the stripe is gone.  Its previously pending
+    // unit(s) leave the rebuild queue, exactly like the simulator dropping
+    // jobs for unrecoverable stripes.
+    unrecoverable_[stripe] = 1;
+    ++stripes_lost_;
+    const Stripe& st = layout().stripes()[stripe];
+    std::uint64_t others = lost_mask_[stripe] & ~(1ull << pos);
+    while (others != 0) {
+      const auto p = static_cast<std::uint32_t>(std::countr_zero(others));
+      others &= others - 1;
+      --lost_units_;
+      const DiskId home = st.units[p].disk;
+      if (--pending_home_[home] == 0 &&
+          disk_state_[home] == DiskState::kRebuilding)
+        disk_state_[home] = DiskState::kHealthy;
+    }
+    return;
+  }
+  ++lost_units_;
+  ++pending_home_[layout().stripes()[stripe].units[pos].disk];
+}
+
+Status Array::fail_disk(DiskId disk) {
+  if (disk >= disk_state_.size())
+    return Status::invalid_argument("disk " + std::to_string(disk) +
+                                    " out of range");
+  if (disk_state_[disk] != DiskState::kHealthy)
+    return Status::failed_precondition(
+        "disk " + std::to_string(disk) + " is already " +
+        std::string(disk_state_name(disk_state_[disk])));
+  disk_state_[disk] = DiskState::kFailed;
+
+  for (const HomeRef& ref : disk_units_[disk]) {
+    if (spared_ && ref.pos == spared_->spare_pos[ref.stripe]) {
+      // The stripe's unit on the failed disk is its spare slot.  If a
+      // rebuilt unit lived there, that content is lost again; an empty
+      // spare costs only capacity.
+      if (redirect_[ref.stripe] != kNone) {
+        const std::uint32_t q = redirect_[ref.stripe];
+        redirect_[ref.stripe] = kNone;
+        mark_lost(ref.stripe, q);
+      }
+      continue;
+    }
+    if (spared_ && redirect_[ref.stripe] == ref.pos)
+      continue;  // content moved to the spare earlier; home slot is empty
+    mark_lost(ref.stripe, ref.pos);
+  }
+  return OkStatus();
+}
+
+Status Array::replace_disk(DiskId disk) {
+  if (disk >= disk_state_.size())
+    return Status::invalid_argument("disk " + std::to_string(disk) +
+                                    " out of range");
+  if (disk_state_[disk] != DiskState::kFailed)
+    return Status::failed_precondition(
+        "disk " + std::to_string(disk) + " is " +
+        std::string(disk_state_name(disk_state_[disk])) +
+        "; only a failed disk can be replaced");
+  disk_state_[disk] = pending_home_[disk] > 0 ? DiskState::kRebuilding
+                                              : DiskState::kHealthy;
+  return OkStatus();
+}
+
+std::optional<Physical> Array::rebuild_target(std::uint32_t stripe,
+                                              std::uint32_t pos,
+                                              bool& to_spare) const {
+  const Stripe& st = layout().stripes()[stripe];
+  if (spared_) {
+    const std::uint32_t sp = spared_->spare_pos[stripe];
+    const StripeUnit& spare = st.units[sp];
+    if (redirect_[stripe] == kNone &&
+        disk_state_[spare.disk] == DiskState::kHealthy) {
+      to_spare = true;
+      return Physical{spare.disk, spare.offset};
+    }
+  }
+  const StripeUnit& home = st.units[pos];
+  if (disk_state_[home.disk] != DiskState::kFailed) {
+    to_spare = false;
+    return Physical{home.disk, home.offset};
+  }
+  return std::nullopt;
+}
+
+Result<RebuildPlan> Array::plan_rebuild() const {
+  RebuildPlan plan;
+  plan.reads_per_disk.assign(num_disks(), 0);
+  plan.writes_per_disk.assign(num_disks(), 0);
+  const auto& stripes = layout().stripes();
+  for (std::uint32_t si = 0; si < stripes.size(); ++si) {
+    if (lost_mask_[si] == 0) continue;
+    if (unrecoverable_[si]) {
+      ++plan.unrecoverable;
+      continue;
+    }
+    // A recoverable stripe has exactly one lost unit.
+    const auto pos =
+        static_cast<std::uint32_t>(std::countr_zero(lost_mask_[si]));
+    bool to_spare = false;
+    const auto target = rebuild_target(si, pos, to_spare);
+    if (!target) {
+      ++plan.blocked;
+      continue;
+    }
+    RebuildStep step;
+    step.stripe = si;
+    step.lost_pos = pos;
+    step.to_spare = to_spare;
+    step.target = *target;
+    const Stripe& st = stripes[si];
+    step.reads.reserve(st.units.size() - 1);
+    for (std::uint32_t p = 0; p < st.units.size(); ++p) {
+      if (p == pos || !is_content(si, p)) continue;
+      const StripeUnit& u = cur_unit(si, p);
+      step.reads.push_back({u.disk, u.offset});
+      ++plan.reads_per_disk[u.disk];
+    }
+    ++plan.writes_per_disk[target->disk];
+    plan.steps.push_back(std::move(step));
+  }
+  return plan;
+}
+
+Status Array::apply_rebuild_step(const RebuildStep& step) {
+  const auto& stripes = layout().stripes();
+  if (step.stripe >= stripes.size())
+    return Status::invalid_argument("stripe " + std::to_string(step.stripe) +
+                                    " out of range");
+  const Stripe& st = stripes[step.stripe];
+  if (step.lost_pos >= st.units.size())
+    return Status::invalid_argument("position " +
+                                    std::to_string(step.lost_pos) +
+                                    " out of range");
+  if (unrecoverable_[step.stripe])
+    return Status::failed_precondition(
+        "stripe " + std::to_string(step.stripe) +
+        " is unrecoverable; its units cannot be rebuilt");
+  if (!is_lost(step.stripe, step.lost_pos))
+    return Status::failed_precondition(
+        "stale step: the unit is not lost (already rebuilt?)");
+
+  // The step's target must still be writable and consistent: either the
+  // stripe's own (still empty, still healthy) spare unit, or the home
+  // slot on a disk that is not failed.  Accepting either valid choice --
+  // not just the one plan_rebuild would pick right now -- keeps a planned
+  // batch applicable even as disks finish rebuilding mid-batch.
+  if (step.to_spare) {
+    if (!spared_)
+      return Status::failed_precondition(
+          "stale step: array has no distributed sparing");
+    const std::uint32_t sp = spared_->spare_pos[step.stripe];
+    const StripeUnit& spare = st.units[sp];
+    if (redirect_[step.stripe] != kNone)
+      return Status::failed_precondition(
+          "stale step: the stripe's spare is already consumed");
+    if (disk_state_[spare.disk] != DiskState::kHealthy)
+      return Status::failed_precondition(
+          "stale step: the spare's disk is not healthy");
+    if (step.target != Physical{spare.disk, spare.offset})
+      return Status::failed_precondition(
+          "stale step: target is not the stripe's spare unit");
+  } else {
+    const StripeUnit& home = st.units[step.lost_pos];
+    if (disk_state_[home.disk] == DiskState::kFailed)
+      return Status::failed_precondition(
+          "stale step: the home disk has no replacement attached");
+    if (step.target != Physical{home.disk, home.offset})
+      return Status::failed_precondition(
+          "stale step: target is not the unit's home slot");
+  }
+
+  lost_mask_[step.stripe] &= ~(1ull << step.lost_pos);
+  --lost_units_;
+  if (step.to_spare) redirect_[step.stripe] = step.lost_pos;
+  const DiskId home = st.units[step.lost_pos].disk;
+  if (--pending_home_[home] == 0 &&
+      disk_state_[home] == DiskState::kRebuilding)
+    disk_state_[home] = DiskState::kHealthy;
+  return OkStatus();
+}
+
+Result<RebuildOutcome> Array::rebuild() {
+  RebuildOutcome outcome;
+  for (;;) {
+    auto plan = plan_rebuild();
+    if (!plan.ok()) return plan.status();
+    if (plan->steps.empty()) {
+      outcome.blocked = plan->blocked;
+      return outcome;
+    }
+    for (const RebuildStep& step : plan->steps) {
+      if (Status applied = apply_rebuild_step(step); !applied.ok())
+        return applied;
+      ++outcome.applied;
+    }
+    // Re-plan: a disk finishing its rebuild mid-batch can make spare
+    // units usable again and unblock further stripes.
+  }
+}
+
+}  // namespace pdl::api

@@ -1,0 +1,359 @@
+#pragma once
+// pdl::api::Array -- the library's front door.
+//
+// One object owns the whole lifecycle the lower layers expose piecemeal:
+// a cached BuiltLayout from the construction engine, the CompiledMapper
+// serving tables, and the mutable online state of the array (healthy /
+// failed / rebuilding disks, lost units, spare redirections).  Callers that
+// previously hand-wired Engine::build + CompiledMapper + SparedLayout +
+// core::plan_recovery now write:
+//
+//   auto array = pdl::api::Array::create({.num_disks = 17, .stripe_size = 5});
+//   if (!array.ok()) { /* array.status() is a typed pdl::Status */ }
+//   auto where = array->map(12345);                  // O(1) table lookup
+//   array->fail_disk(3);
+//   std::vector<pdl::api::Physical> survivors(array->max_stripe_size());
+//   auto read = array->locate(12345, survivors);     // degraded-read plan
+//   array->replace_disk(3);
+//   array->rebuild();                                // back to healthy
+//
+// Address ops come in single and span-based batched forms; serving ops
+// (locate / plan_write) resolve degraded reads to the exact survivor
+// unit-set and writes to their parity peers under the current failure
+// state; the failure/rebuild transitions mirror the semantics of
+// sim::ScenarioSimulator (a differential test holds the two to the same
+// survivor sets).  All fallible operations return pdl::Status / Result.
+//
+// State machine (per disk):
+//
+//   kHealthy --fail_disk--> kFailed --replace_disk--> kRebuilding
+//       ^                                                  |
+//       +---------- last lost home unit rebuilt -----------+
+//
+// (replace_disk moves straight to kHealthy when the disk has no lost
+// units pending -- e.g. everything was already rebuilt into distributed
+// spares.)  Stripe instances that lose two units at once are permanently
+// unrecoverable: reads/writes addressing them return kDataLoss and
+// rebuild skips them, exactly like the simulator.
+//
+// Iterations: layouts tile vertically over large disks.  Failure state is
+// tracked per stripe (a disk failure hits every iteration alike);
+// locate/plan_write lift offsets to the addressed iteration, while rebuild
+// plans report iteration-0 offsets, one step standing for every iteration
+// of the stripe.
+//
+// Stripe sizes are limited to 64 units (lost positions live in one 64-bit
+// mask per stripe, the same bound ScenarioSimulator enforces); larger
+// specs/layouts are rejected with kInvalidArgument.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/declustered_array.hpp"
+#include "core/status.hpp"
+#include "layout/compiled_mapper.hpp"
+#include "layout/sparing.hpp"
+
+namespace pdl::engine {
+class Engine;
+}
+
+namespace pdl::api {
+
+using layout::DiskId;
+using Physical = layout::AddressMapper::Physical;
+
+/// How the array absorbs rebuild writes.
+enum class SparingMode : std::uint8_t {
+  kNone = 0,         ///< dedicated replacement: rebuild in place
+  kDistributed = 1,  ///< one balanced spare unit per stripe (Section 5)
+};
+
+/// Array-level construction options, on top of core::BuildOptions.
+struct ArrayOptions {
+  SparingMode sparing = SparingMode::kNone;
+  /// Pin a specific construction instead of letting the planner rank
+  /// (bypasses the engine cache).
+  std::optional<core::Construction> construction = std::nullopt;
+};
+
+enum class DiskState : std::uint8_t {
+  kHealthy = 0,     ///< serving
+  kFailed = 1,      ///< failed, no replacement attached
+  kRebuilding = 2,  ///< replacement attached, lost home units pending
+};
+
+[[nodiscard]] std::string_view disk_state_name(DiskState state) noexcept;
+
+/// Resolution of one logical read under the current failure state.
+struct ReadPlan {
+  enum class Kind : std::uint8_t {
+    kDirect = 0,         ///< unit intact: read `target`
+    kDegraded = 1,       ///< unit lost: XOR the survivor set
+    kUnrecoverable = 2,  ///< stripe lost two units; data is gone
+  };
+  Kind kind = Kind::kDirect;
+  Physical target;                   ///< kDirect: where the unit lives now
+  std::uint32_t num_survivors = 0;   ///< kDegraded: units written to `out`
+};
+
+/// Resolution of one logical small-write under the current failure state.
+struct WritePlan {
+  enum class Kind : std::uint8_t {
+    kReadModifyWrite = 0,  ///< read data+parity, write data+parity
+    kReconstructWrite = 1, ///< data lost: read peers, write parity only
+    kUnprotectedWrite = 2, ///< parity lost: write data only
+    kUnrecoverable = 3,    ///< stripe lost two units; write unservable
+  };
+  Kind kind = Kind::kReadModifyWrite;
+  Physical data;                 ///< data unit (valid unless data lost)
+  Physical parity;               ///< parity peer (valid unless parity lost)
+  std::uint32_t num_peer_reads = 0;  ///< kReconstructWrite: peers in `out`
+};
+
+/// One stripe repair: read `reads`, XOR them, write to `target`.  Offsets
+/// are iteration-0; the step stands for every iteration of the stripe.
+struct RebuildStep {
+  std::uint32_t stripe = 0;
+  std::uint32_t lost_pos = 0;      ///< position being reconstructed
+  bool to_spare = false;           ///< target is the stripe's spare unit
+  Physical target;                 ///< write target
+  std::vector<Physical> reads;     ///< surviving units to XOR
+};
+
+/// Everything currently rebuildable, plus load accounting.
+struct RebuildPlan {
+  std::vector<RebuildStep> steps;
+  /// Lost units with no usable target yet: their home disk has no
+  /// replacement and their stripe's spare is unusable.  replace_disk
+  /// unblocks them.
+  std::uint64_t blocked = 0;
+  /// Stripes skipped because they are unrecoverable.
+  std::uint64_t unrecoverable = 0;
+  std::vector<std::uint32_t> reads_per_disk;
+  std::vector<std::uint32_t> writes_per_disk;
+};
+
+/// What a rebuild() pass accomplished.
+struct RebuildOutcome {
+  std::uint64_t applied = 0;  ///< steps executed (stripes repaired)
+  std::uint64_t blocked = 0;  ///< still waiting on replace_disk
+};
+
+class Array {
+ public:
+  /// Builds the best layout for the spec through the global engine cache
+  /// and wraps it as a healthy array.  kInvalidArgument for malformed
+  /// specs, kUnsupported when no construction fits (or a pinned
+  /// construction does not apply).
+  [[nodiscard]] static Result<Array> create(
+      const core::ArraySpec& spec, const core::BuildOptions& build = {},
+      const ArrayOptions& options = {});
+
+  /// Same, through a specific engine (its cache is shared with other
+  /// callers of that engine).
+  [[nodiscard]] static Result<Array> create_with(
+      engine::Engine& engine, const core::ArraySpec& spec,
+      const core::BuildOptions& build = {}, const ArrayOptions& options = {});
+
+  /// Wraps an externally supplied layout (construction reported as
+  /// kExternal, metrics measured).  kInvalidArgument if the layout (or
+  /// spare map) is structurally invalid.
+  [[nodiscard]] static Result<Array> adopt(layout::Layout layout);
+  [[nodiscard]] static Result<Array> adopt_spared(
+      layout::SparedLayout spared);
+
+  /// Persistence: the layout plus (in distributed-sparing mode) the spare
+  /// map, via layout::serialize.  Online failure state is not persisted.
+  [[nodiscard]] std::string serialize() const;
+  [[nodiscard]] static Result<Array> deserialize(const std::string& text);
+  [[nodiscard]] Status save(const std::string& path) const;
+  [[nodiscard]] static Result<Array> load(const std::string& path);
+
+  // ------------------------------------------------- geometry & provenance
+
+  [[nodiscard]] std::uint32_t num_disks() const noexcept;
+  [[nodiscard]] std::uint32_t units_per_disk() const noexcept;
+  [[nodiscard]] std::uint32_t max_stripe_size() const noexcept {
+    return mapper_.max_stripe_size();
+  }
+  /// Logical data units per layout iteration (excludes parity and, in
+  /// distributed-sparing mode, spare units).
+  [[nodiscard]] std::uint64_t data_units_per_iteration() const noexcept {
+    return mapper_.data_units_per_iteration();
+  }
+  [[nodiscard]] core::Construction construction() const noexcept;
+  [[nodiscard]] const std::string& description() const noexcept;
+  [[nodiscard]] const layout::LayoutMetrics& metrics() const noexcept;
+  [[nodiscard]] SparingMode sparing() const noexcept {
+    return spared_ ? SparingMode::kDistributed : SparingMode::kNone;
+  }
+  [[nodiscard]] std::uint64_t table_bytes() const noexcept {
+    return mapper_.table_bytes();
+  }
+  [[nodiscard]] const layout::Layout& layout() const noexcept;
+  /// The spare designation (empty unless distributed sparing).
+  [[nodiscard]] const std::vector<std::uint32_t>& spare_positions()
+      const noexcept;
+  /// The spared layout, or nullptr unless distributed sparing.
+  [[nodiscard]] const layout::SparedLayout* spared_layout() const noexcept {
+    return spared_.get();
+  }
+  /// The compiled serving tables (shared logical numbering).
+  [[nodiscard]] const layout::CompiledMapper& mapper() const noexcept {
+    return mapper_;
+  }
+
+  // ------------------------------------- address ops (failure-agnostic)
+
+  /// Physical home of a logical data unit: one table lookup plus constant
+  /// arithmetic (Condition 4).  Ignores failures and redirects; see
+  /// locate() for the serving path.
+  [[nodiscard]] Physical map(std::uint64_t logical) const noexcept {
+    return mapper_.map(logical);
+  }
+
+  /// Physical home of the parity unit protecting a logical data unit.
+  [[nodiscard]] Physical parity_of(std::uint64_t logical) const noexcept {
+    return mapper_.parity_of(logical);
+  }
+
+  /// Batched map: out[i] = map(logicals[i]).  kInvalidArgument when `out`
+  /// is smaller than `logicals`.
+  [[nodiscard]] Status map_batch(std::span<const std::uint64_t> logicals,
+                                 std::span<Physical> out) const;
+
+  // ---------------------------------------- serving ops (failure-aware)
+
+  /// Resolves a logical read under the current failure state.  Intact
+  /// units (including units rebuilt into their stripe's spare) resolve to
+  /// kDirect with the unit's current position; lost units resolve to
+  /// kDegraded with the exact survivor set written to `survivors`
+  /// (max_stripe_size() - 1 bounds the count); units of a doubly-lost
+  /// stripe resolve to kUnrecoverable.  kInvalidArgument when `survivors`
+  /// is too small for the stripe.
+  [[nodiscard]] Result<ReadPlan> locate(std::uint64_t logical,
+                                        std::span<Physical> survivors) const;
+
+  /// Resolves a logical small-write to its read/write peers under the
+  /// current failure state: intact stripes read-modify-write data+parity;
+  /// a lost data unit folds into parity via the surviving peers (written
+  /// to `peer_reads`); a lost parity unit leaves an unprotected data
+  /// write.  kInvalidArgument when `peer_reads` is too small.
+  [[nodiscard]] Result<WritePlan> plan_write(
+      std::uint64_t logical, std::span<Physical> peer_reads) const;
+
+  // ------------------------------------------ online failure transitions
+
+  /// Marks a healthy disk failed, recording every newly lost unit and any
+  /// data loss (a stripe losing its second unit).  kInvalidArgument for
+  /// out-of-range disks, kFailedPrecondition unless the disk is healthy.
+  [[nodiscard]] Status fail_disk(DiskId disk);
+
+  /// Attaches a fresh replacement to a failed disk: the disk becomes a
+  /// rebuild target (kRebuilding), or immediately healthy when nothing on
+  /// it is lost.  kFailedPrecondition unless the disk is kFailed.
+  [[nodiscard]] Status replace_disk(DiskId disk);
+
+  /// Synonym for replace_disk (dedicated hot-spare wording).
+  [[nodiscard]] Status attach_spare(DiskId disk) {
+    return replace_disk(disk);
+  }
+
+  /// The repair schedule for everything currently rebuildable: each lost
+  /// unit resolves to its stripe's spare unit (distributed sparing, spare
+  /// usable) or its home slot on an attached replacement, with the exact
+  /// survivor reads.  Derived from the same stripe structure as
+  /// core::plan_recovery.
+  [[nodiscard]] Result<RebuildPlan> plan_rebuild() const;
+
+  /// Applies one planned step: marks the unit rebuilt at its target and
+  /// updates disk states.  kFailedPrecondition when the step is stale
+  /// (the unit was already rebuilt, its stripe became unrecoverable, or
+  /// the target is no longer writable).
+  [[nodiscard]] Status apply_rebuild_step(const RebuildStep& step);
+
+  /// Convenience: plan_rebuild + apply every step.  After it returns,
+  /// everything rebuildable without further replace_disk calls is
+  /// rebuilt.
+  [[nodiscard]] Result<RebuildOutcome> rebuild();
+
+  // ------------------------------------------------------ state queries
+
+  [[nodiscard]] Result<DiskState> disk_state(DiskId disk) const;
+  [[nodiscard]] const std::vector<DiskState>& disk_states() const noexcept {
+    return disk_state_;
+  }
+  /// Disks not currently serving from their own platters (failed or
+  /// rebuilding).
+  [[nodiscard]] std::uint32_t num_failed() const noexcept;
+  /// True when every disk is healthy and no unit is lost.
+  [[nodiscard]] bool healthy() const noexcept;
+  /// Lost units pending rebuild (per layout iteration), excluding
+  /// unrecoverable stripes.
+  [[nodiscard]] std::uint64_t lost_units() const noexcept {
+    return lost_units_;
+  }
+  /// True once any stripe has lost two units at the same time.
+  [[nodiscard]] bool data_loss() const noexcept { return stripes_lost_ > 0; }
+  /// Stripes (per layout iteration) that are permanently unrecoverable.
+  [[nodiscard]] std::uint64_t stripes_lost() const noexcept {
+    return stripes_lost_;
+  }
+
+ private:
+  Array(std::shared_ptr<const core::BuiltLayout> built,
+        std::shared_ptr<const layout::SparedLayout> spared);
+
+  struct UnitRef {
+    std::uint32_t stripe = 0;
+    std::uint32_t pos = 0;
+  };
+  struct HomeRef {
+    std::uint32_t stripe = 0;
+    std::uint32_t pos = 0;
+  };
+
+  [[nodiscard]] bool is_lost(std::uint32_t stripe,
+                             std::uint32_t pos) const noexcept {
+    return (lost_mask_[stripe] >> pos) & 1u;
+  }
+  /// True when `pos` of `stripe` can hold content (not an unconsumed
+  /// spare slot).
+  [[nodiscard]] bool is_content(std::uint32_t stripe,
+                                std::uint32_t pos) const noexcept;
+  /// The unit currently holding content position `pos` (redirect-aware),
+  /// iteration 0.
+  [[nodiscard]] const layout::StripeUnit& cur_unit(
+      std::uint32_t stripe, std::uint32_t pos) const noexcept;
+  void mark_lost(std::uint32_t stripe, std::uint32_t pos);
+  /// The currently valid rebuild target for a lost unit, or nullopt when
+  /// blocked.  `to_spare` is set accordingly.
+  [[nodiscard]] std::optional<Physical> rebuild_target(
+      std::uint32_t stripe, std::uint32_t pos, bool& to_spare) const;
+
+  std::shared_ptr<const core::BuiltLayout> built_;
+  std::shared_ptr<const layout::SparedLayout> spared_;  ///< null = dedicated
+  layout::CompiledMapper mapper_;
+
+  static constexpr std::uint32_t kNone = 0xffffffffu;
+
+  std::vector<UnitRef> data_units_;   ///< logical (mod D) -> (stripe, pos)
+  std::vector<std::vector<HomeRef>> disk_units_;  ///< home units per disk
+
+  // -- online state -------------------------------------------------------
+  std::vector<DiskState> disk_state_;
+  std::vector<std::uint64_t> lost_mask_;    ///< bit per lost position
+  std::vector<std::uint8_t> unrecoverable_; ///< stripe lost >= 2 units
+  std::vector<std::uint32_t> redirect_;     ///< position living in the spare
+  std::vector<std::uint32_t> pending_home_; ///< recoverable lost units / disk
+  std::uint64_t lost_units_ = 0;
+  std::uint64_t stripes_lost_ = 0;
+};
+
+}  // namespace pdl::api

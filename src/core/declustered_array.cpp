@@ -12,18 +12,22 @@ std::string construction_name(Construction construction) {
     case Construction::kBibdPerfect: return "BIBD + perfect parity";
     case Construction::kRemoval: return "disk removal (Thm 8/9)";
     case Construction::kStairway: return "stairway (Thm 10-12)";
+    case Construction::kExternal: return "external";
   }
   return "unknown";
 }
 
 // Compatibility shim: all construction selection lives in the engine's
 // ConstructionPlanner registry (src/engine/); this function only forwards
-// to the default planner.  New code should prefer engine::Engine, which
-// additionally memoizes builds.
+// to the default planner.  New code should prefer pdl::api::Array (the
+// front door) or engine::Engine (memoized builds).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 std::optional<BuiltLayout> build_layout(const ArraySpec& spec,
                                         const BuildOptions& options) {
   return engine::ConstructionPlanner::default_planner().build_best(spec,
                                                                    options);
 }
+#pragma GCC diagnostic pop
 
 }  // namespace pdl::core

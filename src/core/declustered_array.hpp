@@ -45,6 +45,7 @@ enum class Construction {
   kBibdPerfect,       ///< catalog BIBD + lcm(b,v)/b copies (perfect parity)
   kRemoval,           ///< Theorems 8/9
   kStairway,          ///< Theorems 10-12
+  kExternal,          ///< adopted/deserialized; provenance unknown
 };
 
 [[nodiscard]] std::string construction_name(Construction construction);
@@ -62,7 +63,13 @@ struct BuiltLayout {
 /// those with the strongest balance guarantees available:
 /// perfectly-balanced routes are preferred when they fit, then single-copy
 /// flow-balanced BIBD routes, then approximate routes.
-[[nodiscard]] std::optional<BuiltLayout> build_layout(
-    const ArraySpec& spec, const BuildOptions& options = {});
+///
+/// Deprecated: prefer pdl::api::Array::create (the full front door) or
+/// engine::Engine::build (memoized, Result-returning).  This uncached
+/// shim remains for one release.
+[[deprecated(
+    "use pdl::api::Array::create or engine::Engine::build")]] [[nodiscard]]
+std::optional<BuiltLayout> build_layout(const ArraySpec& spec,
+                                        const BuildOptions& options = {});
 
 }  // namespace pdl::core

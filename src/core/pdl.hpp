@@ -1,22 +1,28 @@
 #pragma once
 // Umbrella header for the parity-declustered-layouts library.
 //
-// Quick start:
+// Quick start -- pdl::api::Array is the front door (engine-cached layout,
+// compiled O(1) mapping, and the online failure/rebuild state machine
+// behind one object; all fallible calls return pdl::Status / Result):
 //
 //   #include "core/pdl.hpp"
-//   auto built = pdl::engine::Engine::global().build(
-//       {.num_disks = 15, .stripe_size = 5});
-//   pdl::layout::CompiledMapper mapper(built->layout);
-//   auto where = mapper.map(/*logical=*/12345);
+//   auto array = pdl::api::Array::create({.num_disks = 15, .stripe_size = 5});
+//   if (!array.ok()) { /* array.status().to_string() says why */ }
+//   auto where = array->map(/*logical=*/12345);
+//   (void)array->fail_disk(3);
+//   auto plan = array->plan_rebuild();
 //
-// (pdl::core::build_layout remains as an uncached one-shot shim over the
-// same construction registry.)
+// Lower layers (engine::Engine for raw plans/builds, layout::CompiledMapper
+// for standalone tables) remain available; the old nullptr-returning entry
+// points survive only as deprecated shims.
 
 #include "algebra/gf.hpp"
 #include "algebra/numtheory.hpp"
 #include "algebra/product_ring.hpp"
+#include "api/array.hpp"
 #include "core/declustered_array.hpp"
 #include "core/recovery.hpp"
+#include "core/status.hpp"
 #include "core/xor_codec.hpp"
 #include "design/bounds.hpp"
 #include "design/catalog.hpp"

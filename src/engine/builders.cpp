@@ -38,8 +38,10 @@ BuiltLayout finish(layout::Layout layout, const LayoutPlan& plan) {
 const layout::FeasibilitySummary& shared_feasibility(std::uint32_t v,
                                                      std::uint32_t k) {
   thread_local layout::FeasibilitySummary cached{};
+  // rank_plans validates 2 <= k <= v before consulting any builder, so the
+  // feasibility domain check cannot fail here.
   if (cached.v != v || cached.k != k)
-    cached = layout::summarize_feasibility(v, k);
+    cached = layout::summarize_feasibility(v, k).value();
   return cached;
 }
 

@@ -1,15 +1,20 @@
 #pragma once
 // The engine facade: planner registry + layout cache behind one object.
-// This is the intended front door for applications -- examples, benches
-// and the simulator all obtain layouts here -- while core::build_layout
-// remains as a thin uncached compatibility shim over the same planner.
+// Applications should normally go one level higher still -- pdl::api::Array
+// (src/api/array.hpp) wraps an engine build together with a compiled
+// mapper and the online failure/rebuild state machine.  Reach for the
+// engine directly when you need plans or raw BuiltLayouts:
 //
 //   auto& engine = pdl::engine::Engine::global();
 //   auto built = engine.build({.num_disks = 33, .stripe_size = 5});
-//   pdl::layout::CompiledMapper mapper(built->layout);
+//   if (built.ok()) { ... (*built)->layout ... }
+//
+// Engine::build/build_spared return pdl::Result; the nullptr-returning
+// forms survive as deprecated *_or_null shims for one release.
 
 #include <memory>
 
+#include "core/status.hpp"
 #include "engine/layout_cache.hpp"
 #include "engine/planner.hpp"
 
@@ -31,20 +36,35 @@ class Engine {
   }
   [[nodiscard]] LayoutCache& cache() noexcept { return cache_; }
 
-  /// The (cached) best layout for the spec, or nullptr if no construction
-  /// fits the options.
-  [[nodiscard]] std::shared_ptr<const core::BuiltLayout> build(
+  /// The (cached) best layout for the spec.  kInvalidArgument for
+  /// malformed specs, kUnsupported when no construction fits the options.
+  [[nodiscard]] Result<std::shared_ptr<const core::BuiltLayout>> build(
       const core::ArraySpec& spec, const core::BuildOptions& options = {}) {
     return cache_.get(spec, options);
   }
 
   /// The (cached) best layout for the spec with a balanced distributed-
-  /// sparing overlay (layout::add_distributed_sparing), or nullptr.  The
-  /// base layout derivation is shared with build(); fault-scenario sweeps
-  /// reuse one immutable SparedLayout across runs.
-  [[nodiscard]] std::shared_ptr<const layout::SparedLayout> build_spared(
-      const core::ArraySpec& spec, const core::BuildOptions& options = {}) {
+  /// sparing overlay (layout::add_distributed_sparing).  The base layout
+  /// derivation is shared with build(); fault-scenario sweeps reuse one
+  /// immutable SparedLayout across runs.  Same error contract as build().
+  [[nodiscard]] Result<std::shared_ptr<const layout::SparedLayout>>
+  build_spared(const core::ArraySpec& spec,
+               const core::BuildOptions& options = {}) {
     return cache_.get_spared(spec, options);
+  }
+
+  /// Deprecated nullptr-returning forms of build()/build_spared():
+  /// nullptr when no construction fits, std::invalid_argument for
+  /// invalid specs.
+  [[deprecated("use build(), which returns Result")]] [[nodiscard]]
+  std::shared_ptr<const core::BuiltLayout> build_or_null(
+      const core::ArraySpec& spec, const core::BuildOptions& options = {}) {
+    return unwrap_or_null(build(spec, options));
+  }
+  [[deprecated("use build_spared(), which returns Result")]] [[nodiscard]]
+  std::shared_ptr<const layout::SparedLayout> build_spared_or_null(
+      const core::ArraySpec& spec, const core::BuildOptions& options = {}) {
+    return unwrap_or_null(build_spared(spec, options));
   }
 
   /// Candidate plans for a spec, ranked best-first (uncached; planning is
@@ -59,6 +79,15 @@ class Engine {
   [[nodiscard]] static Engine& global();
 
  private:
+  template <typename T>
+  [[nodiscard]] static std::shared_ptr<T> unwrap_or_null(
+      Result<std::shared_ptr<T>> result) {
+    if (result.ok()) return std::move(result).value();
+    if (result.status().code() == StatusCode::kInvalidArgument)
+      throw std::invalid_argument(result.status().message());
+    return nullptr;
+  }
+
   const ConstructionPlanner& planner_;
   LayoutCache cache_;
 };

@@ -1,10 +1,30 @@
 #include "engine/layout_cache.hpp"
 
+#include <stdexcept>
+#include <string>
+
 namespace pdl::engine {
 
-std::shared_ptr<const core::BuiltLayout> LayoutCache::get(
+namespace {
+
+[[nodiscard]] Status validate_spec(const core::ArraySpec& spec) {
+  return layout::validate_vk(spec.num_disks, spec.stripe_size);
+}
+
+[[nodiscard]] Status no_fit(const core::ArraySpec& spec) {
+  return Status::unsupported(
+      "no construction fits v=" + std::to_string(spec.num_disks) +
+      " k=" + std::to_string(spec.stripe_size) + " under the options");
+}
+
+}  // namespace
+
+Result<std::shared_ptr<const core::BuiltLayout>> LayoutCache::get(
     const core::ArraySpec& spec, const core::BuildOptions& options) {
-  return get_impl(spec, options, /*count_stats=*/true);
+  if (Status domain = validate_spec(spec); !domain.ok()) return domain;
+  auto entry = get_impl(spec, options, /*count_stats=*/true);
+  if (!entry) return no_fit(spec);
+  return entry;
 }
 
 std::shared_ptr<const core::BuiltLayout> LayoutCache::get_impl(
@@ -33,7 +53,15 @@ std::shared_ptr<const core::BuiltLayout> LayoutCache::get_impl(
   return it->second;
 }
 
-std::shared_ptr<const layout::SparedLayout> LayoutCache::get_spared(
+Result<std::shared_ptr<const layout::SparedLayout>> LayoutCache::get_spared(
+    const core::ArraySpec& spec, const core::BuildOptions& options) {
+  if (Status domain = validate_spec(spec); !domain.ok()) return domain;
+  auto entry = get_spared_impl(spec, options);
+  if (!entry) return no_fit(spec);
+  return entry;
+}
+
+std::shared_ptr<const layout::SparedLayout> LayoutCache::get_spared_impl(
     const core::ArraySpec& spec, const core::BuildOptions& options) {
   const Key key{spec.num_disks, spec.stripe_size, options.unit_budget,
                 options.require_perfect_parity, options.allow_approximate};
@@ -58,6 +86,27 @@ std::shared_ptr<const layout::SparedLayout> LayoutCache::get_spared(
   const auto [it, inserted] = spared_cache_.emplace(key, std::move(entry));
   return it->second;
 }
+
+// Out-of-line definitions of the deprecated shims; the pragma silences the
+// self-referential deprecation warning some compilers emit for them.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+std::shared_ptr<const core::BuiltLayout> LayoutCache::get_or_null(
+    const core::ArraySpec& spec, const core::BuildOptions& options) {
+  if (Status domain = validate_spec(spec); !domain.ok())
+    throw std::invalid_argument("LayoutCache::get_or_null: " +
+                                domain.message());
+  return get_impl(spec, options, /*count_stats=*/true);
+}
+
+std::shared_ptr<const layout::SparedLayout> LayoutCache::get_spared_or_null(
+    const core::ArraySpec& spec, const core::BuildOptions& options) {
+  if (Status domain = validate_spec(spec); !domain.ok())
+    throw std::invalid_argument("LayoutCache::get_spared_or_null: " +
+                                domain.message());
+  return get_spared_impl(spec, options);
+}
+#pragma GCC diagnostic pop
 
 LayoutCache::Stats LayoutCache::stats() const {
   std::lock_guard lock(mutex_);

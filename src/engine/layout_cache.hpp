@@ -5,19 +5,25 @@
 // the same (v, k) points over and over.  The cache keys on the full
 // (spec, options) tuple and hands out shared_ptr<const BuiltLayout> so
 // concurrent users share one immutable instance.
+//
+// All lookups report failure through the typed pdl::Status model:
+// kInvalidArgument for malformed specs (never cached) and kUnsupported
+// when no construction fits the options (cached, so the planner is not
+// re-consulted).
 
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
 
+#include "core/status.hpp"
 #include "engine/planner.hpp"
 #include "layout/sparing.hpp"
 
 namespace pdl::engine {
 
 /// Thread-safe memo of ConstructionPlanner::build_best results.  Negative
-/// results (no construction fits) are cached too, as null pointers.
+/// results (no construction fits) are cached too.
 class LayoutCache {
  public:
   /// Caches builds from the given planner, which must outlive the cache.
@@ -30,18 +36,28 @@ class LayoutCache {
   LayoutCache& operator=(const LayoutCache&) = delete;
 
   /// The cached layout for (spec, options), building it on first use.
-  /// Returns nullptr when no construction fits the options.  Throws
-  /// std::invalid_argument for invalid specs (never cached).
-  [[nodiscard]] std::shared_ptr<const core::BuiltLayout> get(
+  /// kInvalidArgument for invalid specs (never cached); kUnsupported when
+  /// no construction fits the options.
+  [[nodiscard]] Result<std::shared_ptr<const core::BuiltLayout>> get(
       const core::ArraySpec& spec, const core::BuildOptions& options = {});
 
   /// The cached distributed-sparing overlay of get(spec, options):
   /// layout::add_distributed_sparing runs a network flow per call, and
   /// scenario sweeps replay the same spared layout across many
-  /// (timeline, scheduler) combinations.  Returns nullptr when no
-  /// construction fits.  Shares the underlying Layout derivation with
-  /// get() through the same planner.
-  [[nodiscard]] std::shared_ptr<const layout::SparedLayout> get_spared(
+  /// (timeline, scheduler) combinations.  Shares the underlying Layout
+  /// derivation with get() through the same planner.  Same error
+  /// contract as get().
+  [[nodiscard]] Result<std::shared_ptr<const layout::SparedLayout>>
+  get_spared(const core::ArraySpec& spec,
+             const core::BuildOptions& options = {});
+
+  /// Deprecated nullptr-returning forms of get()/get_spared(): nullptr
+  /// when no construction fits, std::invalid_argument for invalid specs.
+  [[deprecated("use get(), which returns Result")]] [[nodiscard]]
+  std::shared_ptr<const core::BuiltLayout> get_or_null(
+      const core::ArraySpec& spec, const core::BuildOptions& options = {});
+  [[deprecated("use get_spared(), which returns Result")]] [[nodiscard]]
+  std::shared_ptr<const layout::SparedLayout> get_spared_or_null(
       const core::ArraySpec& spec, const core::BuildOptions& options = {});
 
   /// Each public get*/get_spared call counts as exactly one hit or miss
@@ -59,6 +75,8 @@ class LayoutCache {
   [[nodiscard]] std::shared_ptr<const core::BuiltLayout> get_impl(
       const core::ArraySpec& spec, const core::BuildOptions& options,
       bool count_stats);
+  [[nodiscard]] std::shared_ptr<const layout::SparedLayout> get_spared_impl(
+      const core::ArraySpec& spec, const core::BuildOptions& options);
 
   struct Key {
     std::uint32_t v;

@@ -46,11 +46,17 @@ CompiledMapper::CompiledMapper(const AddressMapper& mapper)
     }
   }
 
+  const std::vector<std::uint32_t>& spare_pos = mapper.spare_positions();
   std::uint64_t logical = 0;
   for (std::size_t si = 0; si < stripes.size(); ++si) {
     const Stripe& st = stripes[si];
     const StripeUnit& parity = st.parity_unit();
     for (std::uint32_t pos = 0; pos < st.units.size(); ++pos) {
+      if (!spare_pos.empty() && pos == spare_pos[si]) {
+        const StripeUnit& sp = st.units[pos];
+        inverse_[static_cast<std::size_t>(sp.disk) * s_ + sp.offset] = kSpare;
+        continue;
+      }
       if (pos == st.parity_pos) continue;
       const StripeUnit& u = st.units[pos];
       words_[data_disk_ + logical] = u.disk;
@@ -74,7 +80,7 @@ std::uint64_t CompiledMapper::logical_at(Physical position) const {
   const std::uint64_t within = position.offset % s_;
   const std::uint64_t base =
       inverse_[static_cast<std::size_t>(position.disk) * s_ + within];
-  if (base == kParity) return kParity;
+  if (base >= kSpare) return base;  // kParity or kSpare sentinel
   return iteration * d_ + base;
 }
 

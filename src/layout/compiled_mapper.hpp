@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "layout/mapping.hpp"
+#include "layout/sparing.hpp"
 
 namespace pdl::layout {
 
@@ -65,14 +66,23 @@ class CompiledMapper {
  public:
   using Physical = AddressMapper::Physical;
   static constexpr std::uint64_t kParity = AddressMapper::kParity;
+  static constexpr std::uint64_t kSpare = AddressMapper::kSpare;
 
   /// Compiles the tables of an existing AddressMapper.  The logical
-  /// numbering is taken from the mapper, so the two agree everywhere.
+  /// numbering is taken from the mapper, so the two agree everywhere --
+  /// including spare-aware mappers, whose spare units are excluded from
+  /// the data columns and marked kSpare in the inverse.
   explicit CompiledMapper(const AddressMapper& mapper);
 
   /// Convenience: compile straight from a layout.
   explicit CompiledMapper(const Layout& layout)
       : CompiledMapper(AddressMapper(layout)) {}
+
+  /// Convenience: compile a spare-aware mapper from a spared layout
+  /// (distributed sparing: spare units hold no data and are skipped by the
+  /// logical numbering, matching ScenarioSimulator and api::Array).
+  explicit CompiledMapper(const SparedLayout& spared)
+      : CompiledMapper(AddressMapper(spared.layout, spared.spare_pos)) {}
 
   [[nodiscard]] std::uint64_t data_units_per_iteration() const noexcept {
     return d_;

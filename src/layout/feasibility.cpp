@@ -23,6 +23,14 @@ std::optional<std::uint64_t> min_opt(std::optional<std::uint64_t> a,
 
 }  // namespace
 
+Status validate_vk(std::uint32_t v, std::uint32_t k) {
+  if (k < 2 || k > v)
+    return Status::invalid_argument(
+        "need 2 <= k <= v, got v=" + std::to_string(v) +
+        " k=" + std::to_string(k));
+  return OkStatus();
+}
+
 std::optional<std::uint64_t> FeasibilitySummary::best_approximate() const {
   return min_opt(min_opt(ring_layout, removal), stairway);
 }
@@ -46,11 +54,12 @@ std::optional<std::uint64_t> stairway_size(std::uint32_t q, std::uint32_t v,
   return std::nullopt;
 }
 
-FeasibilitySummary summarize_feasibility(std::uint32_t v, std::uint32_t k) {
+Result<FeasibilitySummary> summarize_feasibility(std::uint32_t v,
+                                                 std::uint32_t k) {
+  if (Status domain = validate_vk(v, k); !domain.ok()) return domain;
   FeasibilitySummary out;
   out.v = v;
   out.k = k;
-  if (v < 2 || k < 2 || k > v) return out;
 
   // Complete design route.
   const std::uint64_t complete_r = design::binomial(v - 1, k - 1);
@@ -94,9 +103,9 @@ FeasibilitySummary summarize_feasibility(std::uint32_t v, std::uint32_t k) {
   return out;
 }
 
-CoverageResult stairway_coverage(std::uint32_t v, std::uint32_t k) {
+Result<CoverageResult> stairway_coverage(std::uint32_t v, std::uint32_t k) {
+  if (Status domain = validate_vk(v, k); !domain.ok()) return domain;
   CoverageResult result;
-  if (v < 2 || k < 2 || k > v) return result;
 
   // Exact: v itself supports a ring layout.
   if (design::ring_design_exists(v, k)) {

@@ -9,6 +9,8 @@
 #include <optional>
 #include <string>
 
+#include "core/status.hpp"
+
 namespace pdl::layout {
 
 /// The paper's default feasibility budget: about 10,000 units per disk.
@@ -43,15 +45,20 @@ struct FeasibilitySummary {
   [[nodiscard]] std::optional<std::uint64_t> best_exact() const;
 };
 
+/// The shared (v, k) domain check used by every spec-taking front door:
+/// kInvalidArgument (with a uniform message) unless 2 <= k <= v.
+[[nodiscard]] Status validate_vk(std::uint32_t v, std::uint32_t k);
+
 /// Closed-form stairway feasibility: the size of the minimal-c plan for
 /// q -> v with stripe size k, or nullopt (no (c, w) satisfying (8), (9)).
 [[nodiscard]] std::optional<std::uint64_t> stairway_size(std::uint32_t q,
                                                          std::uint32_t v,
                                                          std::uint32_t k);
 
-/// Computes every route's size at (v, k).
-[[nodiscard]] FeasibilitySummary summarize_feasibility(std::uint32_t v,
-                                                       std::uint32_t k);
+/// Computes every route's size at (v, k).  kInvalidArgument unless
+/// 2 <= k <= v.
+[[nodiscard]] Result<FeasibilitySummary> summarize_feasibility(
+    std::uint32_t v, std::uint32_t k);
 
 /// Section 3.2 coverage claim: true iff some prime power q <= v yields a
 /// layout for (v, k) -- exactly (q == v), by removal (q in (v, v+sqrt(k)]),
@@ -63,7 +70,9 @@ struct CoverageResult {
   std::uint32_t q = 0;
   std::uint64_t size = 0;      ///< layout size of the found route
 };
-[[nodiscard]] CoverageResult stairway_coverage(std::uint32_t v,
-                                               std::uint32_t k);
+/// kInvalidArgument unless 2 <= k <= v; an in-domain spec with no route is
+/// an OK result with covered == false.
+[[nodiscard]] Result<CoverageResult> stairway_coverage(std::uint32_t v,
+                                                       std::uint32_t k);
 
 }  // namespace pdl::layout

@@ -5,23 +5,38 @@
 namespace pdl::layout {
 
 AddressMapper::AddressMapper(const Layout& layout)
+    : AddressMapper(layout, {}) {}
+
+AddressMapper::AddressMapper(const Layout& layout,
+                             const std::vector<std::uint32_t>& spare_pos)
     : v_(layout.num_disks()),
       s_(layout.units_per_disk()),
-      stripes_(layout.stripes()) {
+      stripes_(layout.stripes()),
+      spare_pos_(spare_pos) {
   const auto errors = layout.validate();
   if (!errors.empty())
     throw std::invalid_argument("AddressMapper: invalid layout: " +
                                 errors.front());
+  if (!spare_pos_.empty() && spare_pos_.size() != stripes_.size())
+    throw std::invalid_argument("AddressMapper: spare_pos size mismatch");
 
   inverse_.assign(static_cast<std::size_t>(v_) * s_, kParity);
-  // Logical data units are numbered stripe-major, skipping parity units, so
-  // that consecutive logical units land in the same stripe (good for large
-  // sequential writes, cf. the Large Write Optimization discussion).
+  // Logical data units are numbered stripe-major, skipping parity units
+  // (and, under distributed sparing, spare units), so that consecutive
+  // logical units land in the same stripe (good for large sequential
+  // writes, cf. the Large Write Optimization discussion).
   for (std::uint32_t si = 0; si < stripes_.size(); ++si) {
     const Stripe& st = stripes_[si];
+    if (!spare_pos_.empty() &&
+        (spare_pos_[si] >= st.units.size() || spare_pos_[si] == st.parity_pos))
+      throw std::invalid_argument("AddressMapper: invalid spare position");
     for (std::uint32_t pos = 0; pos < st.units.size(); ++pos) {
-      if (pos == st.parity_pos) continue;
       const StripeUnit& u = st.units[pos];
+      if (!spare_pos_.empty() && pos == spare_pos_[si]) {
+        inverse_[static_cast<std::size_t>(u.disk) * s_ + u.offset] = kSpare;
+        continue;
+      }
+      if (pos == st.parity_pos) continue;
       inverse_[static_cast<std::size_t>(u.disk) * s_ + u.offset] =
           data_units_.size();
       data_units_.push_back({u.disk, u.offset, si});
@@ -64,7 +79,7 @@ std::uint64_t AddressMapper::logical_at(Physical position) const {
   const std::uint64_t within = position.offset % s_;
   const std::uint64_t base =
       inverse_[static_cast<std::size_t>(position.disk) * s_ + within];
-  if (base == kParity) return kParity;
+  if (base >= kSpare) return base;  // kParity or kSpare sentinel
   return iteration * data_units_per_iteration() + base;
 }
 

@@ -18,6 +18,13 @@ class AddressMapper {
  public:
   explicit AddressMapper(const Layout& layout);
 
+  /// A mapper whose logical address space additionally skips each stripe's
+  /// designated spare unit (distributed sparing: spare units hold no data).
+  /// spare_pos[s] must be a valid non-parity position of stripe s.  This is
+  /// the numbering ScenarioSimulator and api::Array use in sparing mode.
+  AddressMapper(const Layout& layout,
+                const std::vector<std::uint32_t>& spare_pos);
+
   /// A physical position on an arbitrarily large disk.
   struct Physical {
     DiskId disk = 0;
@@ -47,9 +54,17 @@ class AddressMapper {
   [[nodiscard]] std::vector<Physical> stripe_of(std::uint64_t logical) const;
 
   /// Inverse map: the logical data unit at a physical position, or
-  /// kParity if the position holds parity.
+  /// kParity if the position holds parity, or kSpare if it holds a
+  /// (spare-aware mapper only) spare unit.
   static constexpr std::uint64_t kParity = ~0ull;
+  static constexpr std::uint64_t kSpare = ~0ull - 1;
   [[nodiscard]] std::uint64_t logical_at(Physical position) const;
+
+  /// The spare designation this mapper skips (empty for plain mappers).
+  [[nodiscard]] const std::vector<std::uint32_t>& spare_positions()
+      const noexcept {
+    return spare_pos_;
+  }
 
   /// Memory footprint of the lookup tables in bytes (Condition 4 metric).
   [[nodiscard]] std::uint64_t table_bytes() const noexcept;
@@ -69,8 +84,9 @@ class AddressMapper {
   std::uint32_t s_;
   std::vector<TableEntry> data_units_;       // logical (mod D) -> position
   std::vector<std::uint64_t> inverse_;       // disk*s+offset -> logical mod D
-                                             // or kParityMark
+                                             // or kParity / kSpare
   std::vector<Stripe> stripes_;              // copy of the stripe table
+  std::vector<std::uint32_t> spare_pos_;     // empty unless spare-aware
 };
 
 }  // namespace pdl::layout

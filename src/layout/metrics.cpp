@@ -92,7 +92,9 @@ std::string render_layout(const Layout& layout) {
   for (DiskId d = 0; d < v; ++d) os << pad("disk" + std::to_string(d)) << " ";
   os << "\n";
   for (std::uint32_t o = 0; o < s; ++o) {
-    os << pad("u" + std::to_string(o)) << " ";
+    std::string row = "u";
+    row += std::to_string(o);
+    os << pad(std::move(row)) << " ";
     for (DiskId d = 0; d < v; ++d) {
       const Occupant& occ = layout.at(d, o);
       if (!occ.used()) {
@@ -100,10 +102,10 @@ std::string render_layout(const Layout& layout) {
         continue;
       }
       const Stripe& st = layout.stripes()[occ.stripe];
-      const bool is_parity = st.parity_pos == occ.pos;
-      os << pad("S" + std::to_string(occ.stripe) +
-                (is_parity ? ".P" : ".D"))
-         << " ";
+      std::string cell = "S";
+      cell += std::to_string(occ.stripe);
+      cell += st.parity_pos == occ.pos ? ".P" : ".D";
+      os << pad(std::move(cell)) << " ";
     }
     os << "\n";
   }

@@ -9,10 +9,101 @@ namespace pdl::layout {
 namespace {
 
 constexpr int kFormatVersion = 1;
+constexpr int kSparedFormatVersion = 1;
 
-[[noreturn]] void parse_error(std::size_t line, const std::string& what) {
-  throw std::invalid_argument("parse_layout: line " + std::to_string(line) +
-                              ": " + what);
+[[nodiscard]] Status parse_error_at(std::size_t line, const std::string& what) {
+  return Status::parse_error("line " + std::to_string(line) + ": " + what);
+}
+
+/// Line-counting reader shared by the layout and spared-layout parsers so
+/// error messages carry absolute line numbers even for the nested block.
+struct LineReader {
+  explicit LineReader(std::istream& in) : in(in) {}
+
+  std::istream& in;
+  std::string line;
+  std::size_t line_no = 0;
+
+  /// The next line, or nullopt at EOF.
+  [[nodiscard]] bool next() {
+    if (!std::getline(in, line)) return false;
+    ++line_no;
+    return true;
+  }
+};
+
+[[nodiscard]] Result<Layout> read_layout_block(LineReader& reader) {
+  if (!reader.next())
+    return parse_error_at(reader.line_no + 1, "unexpected EOF");
+  {
+    std::istringstream header(reader.line);
+    std::string magic;
+    int version = 0;
+    if (!(header >> magic >> version) || magic != "pdl-layout")
+      return parse_error_at(reader.line_no, "expected 'pdl-layout <version>'");
+    if (version != kFormatVersion)
+      return parse_error_at(
+          reader.line_no,
+          "unsupported format version " + std::to_string(version));
+  }
+
+  std::uint32_t v = 0, s = 0;
+  if (!reader.next())
+    return parse_error_at(reader.line_no + 1, "unexpected EOF");
+  {
+    std::istringstream dims(reader.line);
+    std::string kw1, kw2;
+    if (!(dims >> kw1 >> v >> kw2 >> s) || kw1 != "disks" || kw2 != "units")
+      return parse_error_at(reader.line_no, "expected 'disks <v> units <s>'");
+  }
+  std::uint64_t num_stripes = 0;
+  if (!reader.next())
+    return parse_error_at(reader.line_no + 1, "unexpected EOF");
+  {
+    std::istringstream count(reader.line);
+    std::string kw;
+    if (!(count >> kw >> num_stripes) || kw != "stripes")
+      return parse_error_at(reader.line_no, "expected 'stripes <n>'");
+  }
+
+  Layout layout(v, s);
+  for (std::uint64_t i = 0; i < num_stripes; ++i) {
+    if (!reader.next())
+      return parse_error_at(reader.line_no + 1, "unexpected EOF");
+    std::istringstream row(reader.line);
+    std::uint32_t parity_pos = 0;
+    if (!(row >> parity_pos))
+      return parse_error_at(reader.line_no, "missing parity position");
+    std::vector<StripeUnit> units;
+    std::string token;
+    while (row >> token) {
+      const auto colon = token.find(':');
+      if (colon == std::string::npos)
+        return parse_error_at(reader.line_no,
+                              "expected <disk>:<offset>, got '" + token + "'");
+      try {
+        const auto disk =
+            static_cast<DiskId>(std::stoul(token.substr(0, colon)));
+        const auto offset = static_cast<std::uint32_t>(
+            std::stoul(token.substr(colon + 1)));
+        units.push_back({disk, offset});
+      } catch (const std::exception&) {
+        return parse_error_at(reader.line_no, "bad unit token '" + token + "'");
+      }
+    }
+    if (units.empty())
+      return parse_error_at(reader.line_no, "stripe has no units");
+    try {
+      layout.add_stripe_at(std::move(units), parity_pos);
+    } catch (const std::invalid_argument& e) {
+      return parse_error_at(reader.line_no, e.what());
+    }
+  }
+
+  const auto errors = layout.validate(/*allow_holes=*/true);
+  if (!errors.empty())
+    return Status::invalid_argument("invalid layout: " + errors.front());
+  return layout;
 }
 
 }  // namespace
@@ -37,93 +128,112 @@ std::string serialize_layout(const Layout& layout) {
   return os.str();
 }
 
-Layout read_layout(std::istream& in) {
-  std::string line;
-  std::size_t line_no = 0;
-  auto next_line = [&]() -> std::string& {
-    if (!std::getline(in, line)) parse_error(line_no + 1, "unexpected EOF");
-    ++line_no;
-    return line;
-  };
-
-  {
-    std::istringstream header(next_line());
-    std::string magic;
-    int version = 0;
-    if (!(header >> magic >> version) || magic != "pdl-layout")
-      parse_error(line_no, "expected 'pdl-layout <version>'");
-    if (version != kFormatVersion)
-      parse_error(line_no,
-                  "unsupported format version " + std::to_string(version));
-  }
-
-  std::uint32_t v = 0, s = 0;
-  {
-    std::istringstream dims(next_line());
-    std::string kw1, kw2;
-    if (!(dims >> kw1 >> v >> kw2 >> s) || kw1 != "disks" || kw2 != "units")
-      parse_error(line_no, "expected 'disks <v> units <s>'");
-  }
-  std::uint64_t num_stripes = 0;
-  {
-    std::istringstream count(next_line());
-    std::string kw;
-    if (!(count >> kw >> num_stripes) || kw != "stripes")
-      parse_error(line_no, "expected 'stripes <n>'");
-  }
-
-  Layout layout(v, s);
-  for (std::uint64_t i = 0; i < num_stripes; ++i) {
-    std::istringstream row(next_line());
-    std::uint32_t parity_pos = 0;
-    if (!(row >> parity_pos)) parse_error(line_no, "missing parity position");
-    std::vector<StripeUnit> units;
-    std::string token;
-    while (row >> token) {
-      const auto colon = token.find(':');
-      if (colon == std::string::npos)
-        parse_error(line_no, "expected <disk>:<offset>, got '" + token + "'");
-      try {
-        const auto disk =
-            static_cast<DiskId>(std::stoul(token.substr(0, colon)));
-        const auto offset = static_cast<std::uint32_t>(
-            std::stoul(token.substr(colon + 1)));
-        units.push_back({disk, offset});
-      } catch (const std::exception&) {
-        parse_error(line_no, "bad unit token '" + token + "'");
-      }
-    }
-    if (units.empty()) parse_error(line_no, "stripe has no units");
-    try {
-      layout.add_stripe_at(std::move(units), parity_pos);
-    } catch (const std::invalid_argument& e) {
-      parse_error(line_no, e.what());
-    }
-  }
-
-  const auto errors = layout.validate(/*allow_holes=*/true);
-  if (!errors.empty())
-    throw std::invalid_argument("parse_layout: invalid layout: " +
-                                errors.front());
-  return layout;
+Result<Layout> read_layout(std::istream& in) {
+  LineReader reader{in};
+  return read_layout_block(reader);
 }
 
-Layout parse_layout(const std::string& text) {
+Result<Layout> parse_layout(const std::string& text) {
   std::istringstream is(text);
   return read_layout(is);
 }
 
-void save_layout(const std::string& path, const Layout& layout) {
+Status save_layout(const std::string& path, const Layout& layout) {
   std::ofstream out(path);
-  if (!out) throw std::runtime_error("save_layout: cannot open " + path);
+  if (!out) return Status::io_error("cannot open " + path);
   write_layout(out, layout);
-  if (!out) throw std::runtime_error("save_layout: write failed: " + path);
+  out.flush();
+  if (!out) return Status::io_error("write failed: " + path);
+  return OkStatus();
 }
 
-Layout load_layout(const std::string& path) {
+Result<Layout> load_layout(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("load_layout: cannot open " + path);
+  if (!in) return Status::io_error("cannot open " + path);
   return read_layout(in);
+}
+
+void write_spared_layout(std::ostream& out, const SparedLayout& spared) {
+  out << "pdl-spared-layout " << kSparedFormatVersion << "\n";
+  write_layout(out, spared.layout);
+  out << "spares " << spared.spare_pos.size() << "\n";
+  for (std::size_t i = 0; i < spared.spare_pos.size(); ++i) {
+    out << (i ? " " : "") << spared.spare_pos[i];
+  }
+  if (!spared.spare_pos.empty()) out << "\n";
+}
+
+std::string serialize_spared_layout(const SparedLayout& spared) {
+  std::ostringstream os;
+  write_spared_layout(os, spared);
+  return os.str();
+}
+
+Result<SparedLayout> read_spared_layout(std::istream& in) {
+  LineReader reader{in};
+  if (!reader.next())
+    return parse_error_at(reader.line_no + 1, "unexpected EOF");
+  {
+    std::istringstream header(reader.line);
+    std::string magic;
+    int version = 0;
+    if (!(header >> magic >> version) || magic != "pdl-spared-layout")
+      return parse_error_at(reader.line_no,
+                            "expected 'pdl-spared-layout <version>'");
+    if (version != kSparedFormatVersion)
+      return parse_error_at(
+          reader.line_no,
+          "unsupported spared format version " + std::to_string(version));
+  }
+
+  auto base = read_layout_block(reader);
+  if (!base.ok()) return base.status();
+
+  std::uint64_t num_spares = 0;
+  if (!reader.next())
+    return parse_error_at(reader.line_no + 1, "unexpected EOF");
+  {
+    std::istringstream count(reader.line);
+    std::string kw;
+    if (!(count >> kw >> num_spares) || kw != "spares")
+      return parse_error_at(reader.line_no, "expected 'spares <n>'");
+  }
+  if (num_spares != base->num_stripes())
+    return Status::invalid_argument(
+        "spare map covers " + std::to_string(num_spares) + " stripes, layout has " +
+        std::to_string(base->num_stripes()));
+
+  SparedLayout spared{std::move(base).value(), {}};
+  spared.spare_pos.reserve(num_spares);
+  while (spared.spare_pos.size() < num_spares) {
+    std::uint32_t pos = 0;
+    if (!(in >> pos))
+      return Status::parse_error("truncated or malformed spare map");
+    spared.spare_pos.push_back(pos);
+  }
+  if (Status valid = validate_spare_map(spared); !valid.ok()) return valid;
+  return spared;
+}
+
+Result<SparedLayout> parse_spared_layout(const std::string& text) {
+  std::istringstream is(text);
+  return read_spared_layout(is);
+}
+
+Status save_spared_layout(const std::string& path,
+                          const SparedLayout& spared) {
+  std::ofstream out(path);
+  if (!out) return Status::io_error("cannot open " + path);
+  write_spared_layout(out, spared);
+  out.flush();
+  if (!out) return Status::io_error("write failed: " + path);
+  return OkStatus();
+}
+
+Result<SparedLayout> load_spared_layout(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::io_error("cannot open " + path);
+  return read_spared_layout(in);
 }
 
 }  // namespace pdl::layout

@@ -7,11 +7,26 @@
 //   disks <v> units <s>
 //   stripes <n>
 //   <parity_pos> <disk>:<offset> <disk>:<offset> ...    (one line per stripe)
+//
+// A layout with distributed sparing (SparedLayout) additionally carries its
+// spare map, wrapped around the base block:
+//
+//   pdl-spared-layout 1
+//   <base layout block, exactly as above>
+//   spares <n>
+//   <spare_pos values, whitespace-separated>
+//
+// All parsing entry points return pdl::Result -- kParseError with a
+// line-numbered message for malformed input, kInvalidArgument for inputs
+// that parse but violate layout/sparing invariants (Condition 1 clashes,
+// spare == parity, ...), kIoError for filesystem failures.
 
 #include <iosfwd>
 #include <string>
 
+#include "core/status.hpp"
 #include "layout/layout.hpp"
+#include "layout/sparing.hpp"
 
 namespace pdl::layout {
 
@@ -21,16 +36,29 @@ void write_layout(std::ostream& out, const Layout& layout);
 /// Convenience: serialize to a string.
 [[nodiscard]] std::string serialize_layout(const Layout& layout);
 
-/// Parses a layout; throws std::invalid_argument with a line-numbered
-/// message on malformed input, and validates the result structurally
-/// (Condition 1, occupancy) before returning.
-[[nodiscard]] Layout read_layout(std::istream& in);
+/// Parses a layout, validating it structurally (Condition 1, occupancy)
+/// before returning.
+[[nodiscard]] Result<Layout> read_layout(std::istream& in);
 
 /// Convenience: parse from a string.
-[[nodiscard]] Layout parse_layout(const std::string& text);
+[[nodiscard]] Result<Layout> parse_layout(const std::string& text);
 
 /// File helpers.
-void save_layout(const std::string& path, const Layout& layout);
-[[nodiscard]] Layout load_layout(const std::string& path);
+[[nodiscard]] Status save_layout(const std::string& path,
+                                 const Layout& layout);
+[[nodiscard]] Result<Layout> load_layout(const std::string& path);
+
+/// Spared-layout (base layout + spare map) round trip.  Malformed spare
+/// maps -- wrong count, position out of range, spare == parity -- are
+/// rejected with a typed Status.
+void write_spared_layout(std::ostream& out, const SparedLayout& spared);
+[[nodiscard]] std::string serialize_spared_layout(const SparedLayout& spared);
+[[nodiscard]] Result<SparedLayout> read_spared_layout(std::istream& in);
+[[nodiscard]] Result<SparedLayout> parse_spared_layout(
+    const std::string& text);
+[[nodiscard]] Status save_spared_layout(const std::string& path,
+                                        const SparedLayout& spared);
+[[nodiscard]] Result<SparedLayout> load_spared_layout(
+    const std::string& path);
 
 }  // namespace pdl::layout

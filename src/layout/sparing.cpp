@@ -1,6 +1,7 @@
 #include "layout/sparing.hpp"
 
 #include <stdexcept>
+#include <string>
 
 #include "flow/parity_assign.hpp"
 
@@ -68,6 +69,26 @@ std::vector<std::uint32_t> distributed_rebuild_writes(
     if (lost_non_spare && spare.disk != failed) ++writes[spare.disk];
   }
   return writes;
+}
+
+Status validate_spare_map(const SparedLayout& spared) {
+  if (spared.spare_pos.size() != spared.layout.num_stripes())
+    return Status::invalid_argument(
+        "spare map covers " + std::to_string(spared.spare_pos.size()) +
+        " stripes, layout has " +
+        std::to_string(spared.layout.num_stripes()));
+  for (std::size_t s = 0; s < spared.spare_pos.size(); ++s) {
+    const Stripe& st = spared.layout.stripes()[s];
+    if (spared.spare_pos[s] >= st.units.size())
+      return Status::invalid_argument(
+          "stripe " + std::to_string(s) + ": spare position " +
+          std::to_string(spared.spare_pos[s]) + " out of range");
+    if (spared.spare_pos[s] == st.parity_pos)
+      return Status::invalid_argument(
+          "stripe " + std::to_string(s) +
+          ": spare position collides with parity");
+  }
+  return OkStatus();
 }
 
 }  // namespace pdl::layout

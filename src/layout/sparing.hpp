@@ -14,6 +14,7 @@
 
 #include <vector>
 
+#include "core/status.hpp"
 #include "layout/layout.hpp"
 
 namespace pdl::layout {
@@ -33,6 +34,11 @@ struct SparedLayout {
 /// so that every disk's spare count is within one of the flow bound
 /// (floor/ceil of its spare load).  Requires every stripe size >= 2.
 [[nodiscard]] SparedLayout add_distributed_sparing(const Layout& base);
+
+/// Structural validation of a spare map against its layout: one spare per
+/// stripe, position in range, never the parity unit.  Shared by the
+/// spared-layout parser and api::Array::adopt_spared.
+[[nodiscard]] Status validate_spare_map(const SparedLayout& spared);
 
 /// Rebuild write targets under distributed sparing: for each stripe
 /// crossing the failed disk whose lost unit is NOT the spare, one write

@@ -5,6 +5,7 @@
 #include <deque>
 #include <stdexcept>
 
+#include "api/array.hpp"
 #include "core/recovery.hpp"
 #include "sim/event_queue.hpp"
 
@@ -55,6 +56,14 @@ ScenarioSimulator::ScenarioSimulator(const layout::SparedLayout& spared,
     : layout_(spared.layout), spare_pos_(spared.spare_pos), config_(config) {
   if (spare_pos_.size() != layout_.num_stripes())
     throw std::invalid_argument("ScenarioSimulator: spare_pos size mismatch");
+  compile_tables();
+}
+
+ScenarioSimulator::ScenarioSimulator(const api::Array& array,
+                                     ScenarioConfig config)
+    : layout_(array.layout()),
+      spare_pos_(array.spare_positions()),
+      config_(config) {
   compile_tables();
 }
 

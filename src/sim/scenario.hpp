@@ -46,6 +46,10 @@
 #include "sim/stats.hpp"
 #include "sim/workload.hpp"
 
+namespace pdl::api {
+class Array;
+}
+
 namespace pdl::sim {
 
 /// Service state of the array during a phase.
@@ -144,6 +148,12 @@ class ScenarioSimulator {
   /// Distributed-sparing mode: spare units (which hold no data and are
   /// excluded from the logical address space) absorb rebuild writes.
   ScenarioSimulator(const layout::SparedLayout& spared, ScenarioConfig config);
+
+  /// The front-door form: simulate an api::Array's layout, honoring its
+  /// sparing mode.  The simulator's logical numbering matches the array's
+  /// (same working set, same (stripe, position) decomposition), so
+  /// Array::locate and the simulator resolve identical survivor sets.
+  ScenarioSimulator(const api::Array& array, ScenarioConfig config);
 
   /// Logical data units addressable by workloads (excludes parity and, in
   /// distributed-sparing mode, spare units).

@@ -1,0 +1,563 @@
+// pdl::api::Array front-door tests: creation and the typed error model,
+// address ops against the reference mappers, the online failure/rebuild
+// state machine, persistence, and the headline differential suite proving
+// that Array::locate under failures resolves exactly the survivor sets
+// ScenarioSimulator reads (across >= 3 constructions and 1-2 failed
+// disks, in both dedicated-replacement and distributed-sparing modes).
+
+#include "api/array.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "layout/mapping.hpp"
+#include "layout/raid.hpp"
+#include "layout/ring_layout.hpp"
+#include "layout/serialize.hpp"
+#include "sim/fault_timeline.hpp"
+#include "sim/rebuild_scheduler.hpp"
+#include "sim/scenario.hpp"
+
+namespace pdl::api {
+namespace {
+
+using core::ArraySpec;
+using core::Construction;
+
+// ----------------------------------------------------------- construction
+
+TEST(ArrayCreate, BuildsAndExposesProvenance) {
+  const auto array = Array::create({.num_disks = 17, .stripe_size = 5});
+  ASSERT_TRUE(array.ok()) << array.status().to_string();
+  EXPECT_EQ(array->num_disks(), 17u);
+  EXPECT_GT(array->units_per_disk(), 0u);
+  EXPECT_GT(array->data_units_per_iteration(), 0u);
+  EXPECT_FALSE(array->description().empty());
+  EXPECT_TRUE(array->healthy());
+  EXPECT_EQ(array->sparing(), SparingMode::kNone);
+  EXPECT_EQ(array->spared_layout(), nullptr);
+}
+
+TEST(ArrayCreate, InvalidSpecIsTypedError) {
+  const auto array = Array::create({.num_disks = 4, .stripe_size = 5});
+  ASSERT_FALSE(array.ok());
+  EXPECT_EQ(array.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ArrayCreate, StripesWiderThan64AreRejected) {
+  // The online state machine keeps one 64-bit lost mask per stripe.
+  const auto created = Array::create({.num_disks = 70, .stripe_size = 70});
+  ASSERT_FALSE(created.ok());
+  EXPECT_EQ(created.status().code(), StatusCode::kInvalidArgument);
+
+  const auto adopted = Array::adopt(layout::raid5_layout(70, 70));
+  ASSERT_FALSE(adopted.ok());
+  EXPECT_EQ(adopted.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ArrayCreate, NoFitIsUnsupported) {
+  const auto array = Array::create({.num_disks = 100, .stripe_size = 5},
+                                   {.unit_budget = 10});
+  ASSERT_FALSE(array.ok());
+  EXPECT_EQ(array.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(ArrayCreate, PinnedConstructionIsHonored) {
+  const auto array =
+      Array::create({.num_disks = 17, .stripe_size = 5}, {},
+                    {.construction = Construction::kRingLayout});
+  ASSERT_TRUE(array.ok()) << array.status().to_string();
+  EXPECT_EQ(array->construction(), Construction::kRingLayout);
+
+  // Ring layout does not apply at (33, 5).
+  const auto inapplicable =
+      Array::create({.num_disks = 33, .stripe_size = 5}, {},
+                    {.construction = Construction::kRingLayout});
+  ASSERT_FALSE(inapplicable.ok());
+  EXPECT_EQ(inapplicable.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(ArrayCreate, DistributedSparingNeedsRoomForData) {
+  const auto too_small =
+      Array::create({.num_disks = 9, .stripe_size = 2}, {},
+                    {.sparing = SparingMode::kDistributed});
+  ASSERT_FALSE(too_small.ok());
+  EXPECT_EQ(too_small.status().code(), StatusCode::kInvalidArgument);
+
+  const auto spared =
+      Array::create({.num_disks = 17, .stripe_size = 5}, {},
+                    {.sparing = SparingMode::kDistributed});
+  ASSERT_TRUE(spared.ok());
+  EXPECT_EQ(spared->sparing(), SparingMode::kDistributed);
+  ASSERT_NE(spared->spared_layout(), nullptr);
+  EXPECT_EQ(spared->spare_positions().size(),
+            spared->layout().num_stripes());
+}
+
+// ------------------------------------------------------------- address ops
+
+TEST(ArrayAddress, MapAgreesWithAddressMapper) {
+  const auto array = Array::create({.num_disks = 16, .stripe_size = 4});
+  ASSERT_TRUE(array.ok());
+  const layout::AddressMapper reference(array->layout());
+  ASSERT_EQ(array->data_units_per_iteration(),
+            reference.data_units_per_iteration());
+  for (std::uint64_t logical = 0;
+       logical < 2 * reference.data_units_per_iteration(); ++logical) {
+    EXPECT_EQ(array->map(logical), reference.map(logical));
+    EXPECT_EQ(array->parity_of(logical), reference.parity_of(logical));
+  }
+}
+
+TEST(ArrayAddress, SparedNumberingSkipsSpareUnits) {
+  const auto array =
+      Array::create({.num_disks = 17, .stripe_size = 5}, {},
+                    {.sparing = SparingMode::kDistributed});
+  ASSERT_TRUE(array.ok());
+  const layout::AddressMapper reference(array->layout(),
+                                        array->spare_positions());
+  ASSERT_EQ(array->data_units_per_iteration(),
+            reference.data_units_per_iteration());
+  // Each stripe contributes k-2 data units (one parity, one spare).
+  EXPECT_EQ(array->data_units_per_iteration(),
+            array->layout().num_stripes() * (5u - 2u));
+  for (std::uint64_t logical = 0;
+       logical < reference.data_units_per_iteration(); ++logical) {
+    EXPECT_EQ(array->map(logical), reference.map(logical));
+  }
+  // No data unit maps onto a spare slot.
+  for (std::uint32_t s = 0; s < array->layout().num_stripes(); ++s) {
+    const auto& st = array->layout().stripes()[s];
+    const auto& spare = st.units[array->spare_positions()[s]];
+    EXPECT_EQ(array->mapper().logical_at({spare.disk, spare.offset}),
+              layout::CompiledMapper::kSpare);
+  }
+}
+
+TEST(ArrayAddress, MapBatchMatchesScalarAndChecksSpan) {
+  const auto array = Array::create({.num_disks = 13, .stripe_size = 4});
+  ASSERT_TRUE(array.ok());
+  std::vector<std::uint64_t> logicals;
+  for (std::uint64_t l = 0; l < 100; ++l) logicals.push_back(l * 37 + 5);
+  std::vector<Physical> out(logicals.size());
+  ASSERT_TRUE(array->map_batch(logicals, out).ok());
+  for (std::size_t i = 0; i < logicals.size(); ++i)
+    EXPECT_EQ(out[i], array->map(logicals[i]));
+
+  std::vector<Physical> tiny(3);
+  const Status too_small = array->map_batch(logicals, tiny);
+  ASSERT_FALSE(too_small.ok());
+  EXPECT_EQ(too_small.code(), StatusCode::kInvalidArgument);
+}
+
+// ------------------------------------------------------ state transitions
+
+TEST(ArrayState, FailReplaceRebuildRoundTrip) {
+  auto array_result = Array::create({.num_disks = 16, .stripe_size = 4});
+  ASSERT_TRUE(array_result.ok());
+  Array& array = *array_result;
+
+  EXPECT_EQ(array.fail_disk(99).code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE(array.fail_disk(3).ok());
+  EXPECT_EQ(array.fail_disk(3).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(array.disk_state(3).value(), DiskState::kFailed);
+  EXPECT_EQ(array.num_failed(), 1u);
+  EXPECT_EQ(array.lost_units(), array.units_per_disk());
+  EXPECT_FALSE(array.data_loss());
+
+  // Without a replacement every rebuild is blocked in dedicated mode.
+  const auto blocked_plan = array.plan_rebuild();
+  ASSERT_TRUE(blocked_plan.ok());
+  EXPECT_TRUE(blocked_plan->steps.empty());
+  EXPECT_EQ(blocked_plan->blocked, array.lost_units());
+
+  ASSERT_TRUE(array.replace_disk(3).ok());
+  EXPECT_EQ(array.disk_state(3).value(), DiskState::kRebuilding);
+  const auto plan = array.plan_rebuild();
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->steps.size(), array.units_per_disk());
+  EXPECT_EQ(plan->blocked, 0u);
+  // Every step writes the failed disk's replacement; reads spread over the
+  // survivors.
+  for (const RebuildStep& step : plan->steps) {
+    EXPECT_FALSE(step.to_spare);
+    EXPECT_EQ(step.target.disk, 3u);
+  }
+
+  const auto outcome = array.rebuild();
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->applied, array.units_per_disk());
+  EXPECT_EQ(outcome->blocked, 0u);
+  EXPECT_TRUE(array.healthy());
+  EXPECT_EQ(array.disk_state(3).value(), DiskState::kHealthy);
+}
+
+TEST(ArrayState, StaleStepsAreRejected) {
+  auto array_result = Array::create({.num_disks = 9, .stripe_size = 3});
+  ASSERT_TRUE(array_result.ok());
+  Array& array = *array_result;
+  ASSERT_TRUE(array.fail_disk(0).ok());
+  ASSERT_TRUE(array.replace_disk(0).ok());
+  const auto plan = array.plan_rebuild();
+  ASSERT_TRUE(plan.ok());
+  ASSERT_FALSE(plan->steps.empty());
+  const RebuildStep step = plan->steps.front();
+  ASSERT_TRUE(array.apply_rebuild_step(step).ok());
+  // Applying the same step twice is a stale-step error.
+  EXPECT_EQ(array.apply_rebuild_step(step).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ArrayState, DoubleFailureIsDataLoss) {
+  // RAID5 at k = v: every stripe spans all disks, so any two failures
+  // lose every stripe.
+  auto array_result = Array::create({.num_disks = 5, .stripe_size = 5});
+  ASSERT_TRUE(array_result.ok());
+  Array& array = *array_result;
+  ASSERT_TRUE(array.fail_disk(1).ok());
+  ASSERT_TRUE(array.fail_disk(2).ok());
+  EXPECT_TRUE(array.data_loss());
+  EXPECT_EQ(array.stripes_lost(), array.layout().num_stripes());
+  EXPECT_EQ(array.lost_units(), 0u);  // nothing recoverable remains
+
+  // A unit homed on a failed disk is gone; a unit on a surviving disk of
+  // the same (unrecoverable) stripe still serves directly, exactly like
+  // the simulator.
+  std::uint64_t gone = 0, direct = 0;
+  std::vector<Physical> survivors(array.max_stripe_size());
+  for (std::uint64_t l = 0; l < array.data_units_per_iteration(); ++l) {
+    const bool on_failed =
+        array.map(l).disk == 1 || array.map(l).disk == 2;
+    const auto read = array.locate(l, survivors);
+    ASSERT_TRUE(read.ok());
+    if (on_failed) {
+      EXPECT_EQ(read->kind, ReadPlan::Kind::kUnrecoverable);
+      const auto write = array.plan_write(l, survivors);
+      ASSERT_TRUE(write.ok());
+      EXPECT_EQ(write->kind, WritePlan::Kind::kUnrecoverable);
+      ++gone;
+    } else {
+      EXPECT_EQ(read->kind, ReadPlan::Kind::kDirect);
+      ++direct;
+    }
+  }
+  EXPECT_GT(gone, 0u);
+  EXPECT_GT(direct, 0u);
+
+  const auto plan = array.plan_rebuild();
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->steps.empty());
+  EXPECT_EQ(plan->unrecoverable, array.layout().num_stripes());
+}
+
+TEST(ArrayState, DegradedWritePlansResolveParityPeers) {
+  auto array_result = Array::create({.num_disks = 13, .stripe_size = 4});
+  ASSERT_TRUE(array_result.ok());
+  Array& array = *array_result;
+  const std::uint32_t k = 4;
+
+  // Healthy: read-modify-write touches the data unit and its parity.
+  std::vector<Physical> peers(array.max_stripe_size());
+  auto write = array.plan_write(0, peers);
+  ASSERT_TRUE(write.ok());
+  EXPECT_EQ(write->kind, WritePlan::Kind::kReadModifyWrite);
+  EXPECT_EQ(write->data, array.map(0));
+  EXPECT_EQ(write->parity, array.parity_of(0));
+
+  // Fail the data unit's disk: the write folds into parity through the
+  // k-2 surviving data peers.
+  ASSERT_TRUE(array.fail_disk(array.map(0).disk).ok());
+  write = array.plan_write(0, peers);
+  ASSERT_TRUE(write.ok());
+  ASSERT_EQ(write->kind, WritePlan::Kind::kReconstructWrite);
+  EXPECT_EQ(write->num_peer_reads, k - 2);
+  EXPECT_EQ(write->parity, array.parity_of(0));
+
+  // A logical whose parity (but not data) died gets an unprotected write.
+  const std::uint32_t failed = array.map(0).disk;
+  bool checked_unprotected = false;
+  for (std::uint64_t l = 0; l < array.data_units_per_iteration(); ++l) {
+    if (array.parity_of(l).disk == failed && array.map(l).disk != failed) {
+      write = array.plan_write(l, peers);
+      ASSERT_TRUE(write.ok());
+      EXPECT_EQ(write->kind, WritePlan::Kind::kUnprotectedWrite);
+      EXPECT_EQ(write->data, array.map(l));
+      checked_unprotected = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(checked_unprotected);
+}
+
+TEST(ArrayState, DistributedSparingRebuildsWithoutReplacement) {
+  auto array_result =
+      Array::create({.num_disks = 17, .stripe_size = 5}, {},
+                    {.sparing = SparingMode::kDistributed});
+  ASSERT_TRUE(array_result.ok());
+  Array& array = *array_result;
+
+  ASSERT_TRUE(array.fail_disk(0).ok());
+  const std::uint64_t lost = array.lost_units();
+  ASSERT_GT(lost, 0u);
+
+  const auto plan = array.plan_rebuild();
+  ASSERT_TRUE(plan.ok());
+  // Stripes whose own spare sat on disk 0 (or whose spare disk died) fall
+  // back to in-place and are blocked until a replacement arrives; the rest
+  // rebuild straight into spares on surviving disks.
+  EXPECT_EQ(plan->steps.size() + plan->blocked, lost);
+  for (const RebuildStep& step : plan->steps) {
+    EXPECT_TRUE(step.to_spare);
+    EXPECT_NE(step.target.disk, 0u);
+  }
+
+  const auto outcome = array.rebuild();
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->applied + outcome->blocked, lost);
+
+  // Rebuilt units now serve from their spare homes: locate resolves them
+  // as direct reads on surviving disks.  (applied also covers rebuilt
+  // parity units, so redirected data units are a subset of it.)
+  std::vector<Physical> survivors(array.max_stripe_size());
+  std::uint64_t redirected = 0, still_degraded = 0, on_disk0 = 0;
+  for (std::uint64_t l = 0; l < array.data_units_per_iteration(); ++l) {
+    if (array.map(l).disk != 0) continue;
+    ++on_disk0;
+    const auto read = array.locate(l, survivors);
+    ASSERT_TRUE(read.ok());
+    if (read->kind == ReadPlan::Kind::kDirect) {
+      EXPECT_NE(read->target.disk, 0u);
+      EXPECT_NE(read->target, array.map(l));  // moved off its home slot
+      ++redirected;
+    } else {
+      EXPECT_EQ(read->kind, ReadPlan::Kind::kDegraded);  // blocked stripe
+      ++still_degraded;
+    }
+  }
+  EXPECT_GT(redirected, 0u);
+  EXPECT_EQ(redirected + still_degraded, on_disk0);
+  EXPECT_LE(redirected, outcome->applied);
+  // Unredirected data units belong to blocked stripes (their spare was on
+  // the failed disk); blocked also covers stripes whose lost unit was
+  // parity.
+  EXPECT_LE(still_degraded, outcome->blocked);
+}
+
+// -------------------------------------------------------------- persistence
+
+TEST(ArrayPersistence, RoundTripsPlainAndSpared) {
+  const auto original = Array::create({.num_disks = 13, .stripe_size = 4});
+  ASSERT_TRUE(original.ok());
+  const auto restored = Array::deserialize(original->serialize());
+  ASSERT_TRUE(restored.ok()) << restored.status().to_string();
+  EXPECT_EQ(restored->construction(), Construction::kExternal);
+  EXPECT_EQ(restored->num_disks(), original->num_disks());
+  EXPECT_EQ(restored->data_units_per_iteration(),
+            original->data_units_per_iteration());
+  for (std::uint64_t l = 0; l < original->data_units_per_iteration(); ++l)
+    EXPECT_EQ(restored->map(l), original->map(l));
+
+  const auto spared =
+      Array::create({.num_disks = 17, .stripe_size = 5}, {},
+                    {.sparing = SparingMode::kDistributed});
+  ASSERT_TRUE(spared.ok());
+  const std::string path = ::testing::TempDir() + "/pdl_array_test.txt";
+  ASSERT_TRUE(spared->save(path).ok());
+  const auto reloaded = Array::load(path);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().to_string();
+  EXPECT_EQ(reloaded->sparing(), SparingMode::kDistributed);
+  EXPECT_EQ(reloaded->spare_positions(), spared->spare_positions());
+  EXPECT_EQ(reloaded->data_units_per_iteration(),
+            spared->data_units_per_iteration());
+  std::remove(path.c_str());
+}
+
+TEST(ArrayPersistence, MalformedInputsAreTypedErrors) {
+  EXPECT_EQ(Array::deserialize("garbage\n").status().code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(Array::load("/nonexistent/pdl_array").status().code(),
+            StatusCode::kIoError);
+  // A spare map colliding with parity is rejected by adopt_spared too.
+  layout::Layout l(3, 1);
+  l.append_stripe({0, 1, 2}, 0);
+  EXPECT_EQ(
+      Array::adopt_spared(layout::SparedLayout{l, {0}}).status().code(),
+      StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------- differential suite
+//
+// The satellite contract: Array::locate under failures returns exactly the
+// survivor sets ScenarioSimulator reads.  For every construction that
+// applies at the spec and every failed-disk set, each probed logical is
+// served through a one-request scenario run; the per-disk access counts of
+// that run must equal the multiset of disks in locate()'s resolution
+// (one access for a direct read, one per survivor for a degraded read,
+// none plus an unserved_reads tick for unrecoverable data).
+
+struct DiffCase {
+  ArraySpec spec;
+  Construction construction;
+  SparingMode sparing;
+  std::vector<layout::DiskId> failed;
+};
+
+std::vector<std::uint64_t> probe_logicals(const Array& array,
+                                          const std::vector<layout::DiskId>& failed) {
+  // A mix of units homed on failed disks (degraded / unrecoverable) and
+  // intact ones, capped to keep one-sim-run-per-probe affordable.
+  std::vector<std::uint64_t> lost, intact;
+  for (std::uint64_t l = 0; l < array.data_units_per_iteration(); ++l) {
+    const bool on_failed =
+        std::find(failed.begin(), failed.end(), array.map(l).disk) !=
+        failed.end();
+    (on_failed ? lost : intact).push_back(l);
+  }
+  std::vector<std::uint64_t> probes;
+  for (std::size_t i = 0; i < lost.size() && probes.size() < 6; i += 7)
+    probes.push_back(lost[i]);
+  for (std::size_t i = 0; i < intact.size() && probes.size() < 10; i += 11)
+    probes.push_back(intact[i]);
+  return probes;
+}
+
+void run_differential_case(const DiffCase& test_case) {
+  SCOPED_TRACE(core::construction_name(test_case.construction) + " v=" +
+               std::to_string(test_case.spec.num_disks) + " k=" +
+               std::to_string(test_case.spec.stripe_size) + " failures=" +
+               std::to_string(test_case.failed.size()) +
+               (test_case.sparing == SparingMode::kDistributed
+                    ? " (distributed sparing)"
+                    : " (dedicated)"));
+  auto array_result = Array::create(
+      test_case.spec, {},
+      {.sparing = test_case.sparing, .construction = test_case.construction});
+  ASSERT_TRUE(array_result.ok()) << array_result.status().to_string();
+  Array& array = *array_result;
+
+  // The simulator copies the (healthy) array's layout and sparing mode;
+  // it replays the failures itself from its timeline.
+  const sim::ScenarioConfig config{
+      .disk = {}, .rebuild_depth = 1, .iterations = 1,
+      .rebuild_delay_ms = 1e12};  // rebuild never starts: pure degraded
+  const sim::ScenarioSimulator simulator(array, config);
+  ASSERT_EQ(simulator.working_set(), array.data_units_per_iteration());
+
+  std::vector<sim::FaultEvent> events;
+  for (std::size_t i = 0; i < test_case.failed.size(); ++i)
+    events.push_back({static_cast<double>(i), test_case.failed[i]});
+  const auto timeline = sim::FaultTimeline::scripted(events);
+  const auto scheduler = sim::make_fifo_scheduler();
+
+  // Baseline run with no user traffic: whatever the scenario itself
+  // accesses (the eventual rebuild) is deterministic in count, so the
+  // per-disk access delta of a one-request run is exactly that request's
+  // survivor reads.
+  const auto baseline = simulator.run(timeline, {}, *scheduler);
+  ASSERT_EQ(baseline.unserved_reads, 0u);
+
+  for (const layout::DiskId disk : test_case.failed)
+    ASSERT_TRUE(array.fail_disk(disk).ok());
+
+  std::vector<Physical> survivors(array.max_stripe_size());
+  for (const std::uint64_t logical : probe_logicals(array, test_case.failed)) {
+    SCOPED_TRACE("logical " + std::to_string(logical));
+    const auto read = array.locate(logical, survivors);
+    ASSERT_TRUE(read.ok()) << read.status().to_string();
+
+    // One read request, after both failures have landed (the enormous
+    // rebuild delay keeps the array purely degraded at that point).
+    const sim::Request request{.arrival_ms = 100.0, .logical = logical,
+                               .is_write = false};
+    const auto result =
+        simulator.run(timeline, std::span(&request, 1), *scheduler);
+    std::vector<std::uint64_t> accessed(array.num_disks(), 0);
+    for (std::uint32_t d = 0; d < array.num_disks(); ++d) {
+      ASSERT_GE(result.disk_accesses[d], baseline.disk_accesses[d]);
+      accessed[d] = result.disk_accesses[d] - baseline.disk_accesses[d];
+    }
+
+    std::vector<std::uint64_t> expected(array.num_disks(), 0);
+    switch (read->kind) {
+      case ReadPlan::Kind::kDirect:
+        expected[read->target.disk] = 1;
+        EXPECT_EQ(result.unserved_reads, 0u);
+        break;
+      case ReadPlan::Kind::kDegraded:
+        for (std::uint32_t i = 0; i < read->num_survivors; ++i)
+          ++expected[survivors[i].disk];
+        EXPECT_EQ(result.unserved_reads, 0u);
+        break;
+      case ReadPlan::Kind::kUnrecoverable:
+        EXPECT_EQ(result.unserved_reads, 1u);
+        break;
+    }
+    EXPECT_EQ(accessed, expected);
+  }
+}
+
+TEST(ArrayDifferential, LocateMatchesScenarioSimulatorSurvivorSets) {
+  // Every construction the planner ranks at (17, 5) -- ring layout,
+  // removal, stairway, and the BIBD routes when the catalog provides one
+  // -- plus RAID5 at (8, 8), under one and two failures, both sparing
+  // modes.
+  std::vector<DiffCase> cases;
+  const ArraySpec spec{.num_disks = 17, .stripe_size = 5};
+  std::size_t constructions = 0;
+  for (const auto& plan : engine::Engine::global().rank_plans(spec)) {
+    if (plan.units_per_disk > 500) continue;
+    ++constructions;
+    for (const SparingMode sparing :
+         {SparingMode::kNone, SparingMode::kDistributed}) {
+      cases.push_back({spec, plan.construction, sparing, {0}});
+      cases.push_back({spec, plan.construction, sparing, {0, 8}});
+    }
+  }
+  EXPECT_GE(constructions, 3u) << "the sweep must cover >= 3 constructions";
+  cases.push_back({{.num_disks = 8, .stripe_size = 8},
+                   Construction::kRaid5,
+                   SparingMode::kNone,
+                   {2}});
+  for (const DiffCase& test_case : cases) run_differential_case(test_case);
+}
+
+// After rebuilding into distributed spares, reads follow the redirects --
+// and the simulator agrees: the same scripted failure served through a
+// post-rebuild scenario produces accesses only on surviving disks.
+TEST(ArrayDifferential, RedirectedUnitsStayConsistentWithGeometry) {
+  auto array_result =
+      Array::create({.num_disks = 17, .stripe_size = 5}, {},
+                    {.sparing = SparingMode::kDistributed});
+  ASSERT_TRUE(array_result.ok());
+  Array& array = *array_result;
+  ASSERT_TRUE(array.fail_disk(0).ok());
+  ASSERT_TRUE(array.rebuild().ok());
+
+  std::vector<Physical> survivors(array.max_stripe_size());
+  for (std::uint64_t l = 0; l < array.data_units_per_iteration(); ++l) {
+    const auto read = array.locate(l, survivors);
+    ASSERT_TRUE(read.ok());
+    if (read->kind != ReadPlan::Kind::kDirect) continue;
+    if (array.map(l).disk != 0) continue;
+    // The redirect must land on the stripe's own spare unit.
+    const auto& spared = *array.spared_layout();
+    const std::uint64_t inverse =
+        array.mapper().logical_at(array.map(l));
+    ASSERT_EQ(inverse, l);
+    bool found = false;
+    for (std::uint32_t s = 0; s < spared.layout.num_stripes() && !found;
+         ++s) {
+      const auto& spare_unit =
+          spared.layout.stripes()[s].units[spared.spare_pos[s]];
+      found = Physical{spare_unit.disk, spare_unit.offset} == read->target;
+    }
+    EXPECT_TRUE(found) << "logical " << l;
+  }
+}
+
+}  // namespace
+}  // namespace pdl::api

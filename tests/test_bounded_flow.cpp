@@ -90,7 +90,7 @@ TEST(BoundedFlow, DiamondWithMixedBounds) {
 TEST(BoundedFlow, FlowOnBeforeSolveThrows) {
   BoundedFlowProblem p(2);
   p.add_edge(0, 1, 0, 1);
-  EXPECT_THROW(p.flow_on(0), std::logic_error);
+  EXPECT_THROW((void)p.flow_on(0), std::logic_error);
 }
 
 TEST(BoundedFlow, InvalidArguments) {

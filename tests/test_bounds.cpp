@@ -15,7 +15,7 @@ TEST(Bounds, Theorem7KnownValues) {
   EXPECT_EQ(theorem7_lower_bound(16, 4), 20u);
   // v=64, k=8: 4032/gcd(4032,56) = 72.
   EXPECT_EQ(theorem7_lower_bound(64, 8), 72u);
-  EXPECT_THROW(theorem7_lower_bound(3, 4), std::invalid_argument);
+  EXPECT_THROW((void)theorem7_lower_bound(3, 4), std::invalid_argument);
 }
 
 TEST(Bounds, Theorem7HoldsForEveryConstruction) {

@@ -2,8 +2,19 @@
 
 #include <gtest/gtest.h>
 
+#include "engine/planner.hpp"
+
 namespace pdl::core {
 namespace {
+
+// The selection policy under test lives in the engine's planner;
+// core::build_layout is now a deprecated shim over the same registry
+// (covered by test_engine's ShimDelegatesToRegistry).
+std::optional<BuiltLayout> build_layout(const ArraySpec& spec,
+                                        const BuildOptions& options = {}) {
+  return engine::ConstructionPlanner::default_planner().build_best(spec,
+                                                                   options);
+}
 
 TEST(BuildLayout, KEqualsVGivesRaid5) {
   const auto built = build_layout({.num_disks = 8, .stripe_size = 8});

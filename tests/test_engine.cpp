@@ -134,7 +134,10 @@ TEST(ConstructionPlanner, BuildBestMatchesTopRankedPlan) {
 }
 
 TEST(ConstructionPlanner, ShimDelegatesToRegistry) {
-  // core::build_layout must agree with the planner it wraps.
+  // core::build_layout (kept as a deprecated shim for one release) must
+  // agree with the planner it wraps.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   for (const std::uint32_t v : {9u, 17u, 25u, 40u}) {
     const ArraySpec spec{.num_disks = v, .stripe_size = 4};
     const BuildOptions options{.unit_budget = 100'000};
@@ -147,6 +150,10 @@ TEST(ConstructionPlanner, ShimDelegatesToRegistry) {
                 via_planner->metrics.units_per_disk);
     }
   }
+  // The shim keeps its documented throwing contract for invalid specs.
+  EXPECT_THROW((void)core::build_layout({.num_disks = 4, .stripe_size = 5}),
+               std::invalid_argument);
+#pragma GCC diagnostic pop
 }
 
 // The engine's core contract: plan() is an exact prediction of build().

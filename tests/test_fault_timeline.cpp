@@ -62,8 +62,9 @@ TEST(FaultTimeline, RandomIsDeterministicAndBounded) {
   for (std::size_t i = 0; i < a.size(); ++i) {
     EXPECT_LE(a.failures()[i].time_ms, 1000.0);
     EXPECT_LT(a.failures()[i].disk, 12u);
-    if (i > 0)
+    if (i > 0) {
       EXPECT_GE(a.failures()[i].time_ms, a.failures()[i - 1].time_ms);
+    }
   }
   const auto c = FaultTimeline::random(
       {.num_disks = 12, .mean_arrival_ms = 100.0, .horizon_ms = 1000.0,

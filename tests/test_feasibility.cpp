@@ -14,21 +14,23 @@ TEST(StairwaySize, MatchesPlanStairway) {
       const auto plan = plan_stairway(q, v, 4);
       ASSERT_EQ(size.has_value(), plan.has_value())
           << "q=" << q << " v=" << v;
-      if (plan) EXPECT_EQ(*size, plan->size());
+      if (plan) {
+        EXPECT_EQ(*size, plan->size());
+      }
     }
   }
 }
 
 TEST(Feasibility, RingLayoutRequiresTheorem2) {
-  const auto feas = summarize_feasibility(12, 4);  // M(12) = 3 < 4
+  const auto feas = summarize_feasibility(12, 4).value();  // M(12) = 3 < 4
   EXPECT_FALSE(feas.ring_layout.has_value());
-  const auto feas2 = summarize_feasibility(12, 3);
+  const auto feas2 = summarize_feasibility(12, 3).value();
   ASSERT_TRUE(feas2.ring_layout.has_value());
   EXPECT_EQ(*feas2.ring_layout, 3u * 11u);
 }
 
 TEST(Feasibility, KnownSizesAtV16K4) {
-  const auto feas = summarize_feasibility(16, 4);
+  const auto feas = summarize_feasibility(16, 4).value();
   // Best BIBD is the subfield design: b = 20, r = 5.
   ASSERT_TRUE(feas.bibd_flow.has_value());
   EXPECT_EQ(*feas.bibd_flow, 5u);
@@ -46,19 +48,19 @@ TEST(Feasibility, KnownSizesAtV16K4) {
 
 TEST(Feasibility, RemovalUsesNearestLargerBase) {
   // v = 15, k = 4: q = 16 = 15 + 1 works (i = 1 <= sqrt(4)).
-  const auto feas = summarize_feasibility(15, 4);
+  const auto feas = summarize_feasibility(15, 4).value();
   ASSERT_TRUE(feas.removal.has_value());
   EXPECT_EQ(feas.removal_q, 16u);
   EXPECT_EQ(*feas.removal, 4u * 15u);
   // v = 100, k = 4: within i <= 2, 101 is prime -> q = 101.
-  const auto feas2 = summarize_feasibility(100, 4);
+  const auto feas2 = summarize_feasibility(100, 4).value();
   ASSERT_TRUE(feas2.removal.has_value());
   EXPECT_EQ(feas2.removal_q, 101u);
 }
 
 TEST(Feasibility, StairwayFindsABaseForAwkwardV) {
   // v = 100, k = 5: no prime power at 100; the stairway must cover it.
-  const auto feas = summarize_feasibility(100, 5);
+  const auto feas = summarize_feasibility(100, 5).value();
   ASSERT_TRUE(feas.stairway.has_value());
   EXPECT_GE(feas.stairway_q, 5u);
   EXPECT_LT(feas.stairway_q, 100u);
@@ -69,22 +71,22 @@ TEST(Feasibility, StairwayFindsABaseForAwkwardV) {
 }
 
 TEST(Feasibility, BestApproximateAndExactAggregation) {
-  const auto feas = summarize_feasibility(16, 4);
+  const auto feas = summarize_feasibility(16, 4).value();
   ASSERT_TRUE(feas.best_exact().has_value());
   EXPECT_EQ(*feas.best_exact(), 5u);
   ASSERT_TRUE(feas.best_approximate().has_value());
   EXPECT_LE(*feas.best_approximate(), 60u);
 }
 
-TEST(Feasibility, DegenerateInputs) {
+TEST(Feasibility, DegenerateInputsAreTypedErrors) {
   const auto feas = summarize_feasibility(1, 1);
-  EXPECT_FALSE(feas.complete_hg.has_value());
-  EXPECT_FALSE(feas.best_exact().has_value());
-  EXPECT_FALSE(feas.best_approximate().has_value());
+  ASSERT_FALSE(feas.ok());
+  EXPECT_EQ(feas.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(feas.status().message().find("2 <= k <= v"), std::string::npos);
 }
 
 TEST(Coverage, ExactWhenRingDesignExists) {
-  const auto cov = stairway_coverage(17, 5);
+  const auto cov = stairway_coverage(17, 5).value();
   EXPECT_TRUE(cov.covered);
   EXPECT_EQ(cov.route, "exact");
   EXPECT_EQ(cov.q, 17u);
@@ -94,7 +96,7 @@ TEST(Coverage, ExactWhenRingDesignExists) {
 TEST(Coverage, RemovalRoute) {
   // v = 98 = 2*49 has M = 2 < 4, so no exact route; 99 = 9*11 has
   // M = 9 >= 4, reachable by removing one disk (i = 1 <= sqrt(4)).
-  const auto cov = stairway_coverage(98, 4);
+  const auto cov = stairway_coverage(98, 4).value();
   EXPECT_TRUE(cov.covered);
   EXPECT_EQ(cov.route, "removal");
   EXPECT_EQ(cov.q, 99u);
@@ -107,7 +109,7 @@ TEST(Coverage, StairwayRoute) {
   // v = 115 = 5*23 (M=5 < 7), 116 = 4*29 (M=4), 117 = 9*13 (M=9 >= 7
   // -> removal at i=2).  Use k = 11, v = 115: 116..118 all have M < 11
   // (116 = 4*29, 117 = 9*13, 118 = 2*59) so removal fails; stairway it is.
-  const auto cov = stairway_coverage(115, 11);
+  const auto cov = stairway_coverage(115, 11).value();
   EXPECT_TRUE(cov.covered);
   EXPECT_EQ(cov.route, "stairway");
   EXPECT_LT(cov.q, 115u);
@@ -119,14 +121,16 @@ TEST(Coverage, PaperClaimHoldsUpTo2000) {
   // values of c and w that satisfy (8) and (9)".  The full 10,000 sweep is
   // bench_coverage_10000; keep the test at 2,000 for speed.
   for (std::uint32_t v = 6; v <= 2000; ++v) {
-    const auto cov = stairway_coverage(v, 5);
+    const auto cov = stairway_coverage(v, 5).value();
     ASSERT_TRUE(cov.covered) << "v=" << v;
   }
 }
 
-TEST(Coverage, DegenerateUncovered) {
-  EXPECT_FALSE(stairway_coverage(3, 5).covered);
-  EXPECT_FALSE(stairway_coverage(1, 2).covered);
+TEST(Coverage, DegenerateInputsAreTypedErrors) {
+  EXPECT_EQ(stairway_coverage(3, 5).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(stairway_coverage(1, 2).status().code(),
+            StatusCode::kInvalidArgument);
 }
 
 }  // namespace

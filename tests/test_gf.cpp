@@ -87,9 +87,9 @@ TEST(GaloisField, ElementOfMultiplicativeOrder) {
     const Elem a = field.element_of_multiplicative_order(n);
     EXPECT_EQ(field.multiplicative_order(a), n);
   }
-  EXPECT_THROW(field.element_of_multiplicative_order(7),
+  EXPECT_THROW((void)field.element_of_multiplicative_order(7),
                std::invalid_argument);
-  EXPECT_THROW(field.element_of_multiplicative_order(0),
+  EXPECT_THROW((void)field.element_of_multiplicative_order(0),
                std::invalid_argument);
 }
 
@@ -108,7 +108,9 @@ TEST(GaloisField, SubfieldStructure) {
         EXPECT_TRUE(elems.count(field.add(a, b)));
         EXPECT_TRUE(elems.count(field.mul(a, b)));
       }
-      if (a != 0) EXPECT_TRUE(elems.count(*field.inverse(a)));
+      if (a != 0) {
+        EXPECT_TRUE(elems.count(*field.inverse(a)));
+      }
     }
   }
   // GF(16) is not a subfield of GF(64) (4 does not divide 6).
@@ -174,8 +176,8 @@ TEST(GaloisField, GeneratorSetAnySubsetOfField) {
 
 TEST(GaloisField, LogOfZeroThrows) {
   const GaloisField field(8);
-  EXPECT_THROW(field.log(0), std::invalid_argument);
-  EXPECT_THROW(field.log(8), std::invalid_argument);
+  EXPECT_THROW((void)field.log(0), std::invalid_argument);
+  EXPECT_THROW((void)field.log(8), std::invalid_argument);
 }
 
 }  // namespace

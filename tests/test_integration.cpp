@@ -1,6 +1,6 @@
-// End-to-end integration tests: build a layout through the top-level API,
-// map addresses, simulate failures, and recover actual data through the
-// XOR codec -- the full pipeline a storage system would run.
+// End-to-end integration tests: build an array through the pdl::api::Array
+// front door, map addresses, simulate failures, and recover actual data
+// through the XOR codec -- the full pipeline a storage system would run.
 
 #include <gtest/gtest.h>
 
@@ -15,10 +15,9 @@ namespace {
 TEST(Integration, EndToEndDataRecovery) {
   // Build a declustered array, write synthetic data through the mapper,
   // fail a disk, and recover every lost unit via the recovery plan.
-  const auto built =
-      core::build_layout({.num_disks = 13, .stripe_size = 4});
-  ASSERT_TRUE(built.has_value());
-  const layout::Layout& l = built->layout;
+  const auto array = api::Array::create({.num_disks = 13, .stripe_size = 4});
+  ASSERT_TRUE(array.ok()) << array.status().to_string();
+  const layout::Layout& l = array->layout();
   const layout::AddressMapper mapper(l);
 
   // Simulated physical storage: (disk, offset) -> unit contents.
@@ -63,27 +62,24 @@ TEST(Integration, EndToEndDataRecovery) {
 }
 
 TEST(Integration, MapperAndSimulatorAgreeOnWorkingSet) {
-  const auto built =
-      core::build_layout({.num_disks = 16, .stripe_size = 4});
-  ASSERT_TRUE(built.has_value());
+  const auto array = api::Array::create({.num_disks = 16, .stripe_size = 4});
+  ASSERT_TRUE(array.ok());
   const sim::ArraySimulator simulator(
-      built->layout, sim::ArrayConfig{.disk = {}, .rebuild_depth = 2,
-                                      .iterations = 3});
-  const layout::AddressMapper mapper(built->layout);
+      array->layout(), sim::ArrayConfig{.disk = {}, .rebuild_depth = 2,
+                                        .iterations = 3});
   EXPECT_EQ(simulator.working_set(),
-            3 * mapper.data_units_per_iteration());
+            3 * array->data_units_per_iteration());
 }
 
 TEST(Integration, RebuildSimulationMatchesRecoveryPlanReadCounts) {
-  const auto built =
-      core::build_layout({.num_disks = 9, .stripe_size = 3});
-  ASSERT_TRUE(built.has_value());
+  const auto array = api::Array::create({.num_disks = 9, .stripe_size = 3});
+  ASSERT_TRUE(array.ok());
   const layout::DiskId failed = 7;
   const sim::ArraySimulator simulator(
-      built->layout,
+      array->layout(),
       sim::ArrayConfig{.disk = {}, .rebuild_depth = 4, .iterations = 1});
   const auto rebuild = simulator.run_rebuild({}, failed);
-  const auto plan = core::plan_recovery(built->layout, failed);
+  const auto plan = core::plan_recovery(array->layout(), failed);
   for (layout::DiskId d = 0; d < 9; ++d) {
     EXPECT_EQ(rebuild.rebuild_reads_per_disk[d],
               plan.analysis.units_to_read[d]);
@@ -95,14 +91,14 @@ TEST(Integration, DeclusteredBeatsRaid5OnRebuildAcrossSizes) {
   // faster (reads less of each survivor).
   for (const std::uint32_t v : {8u, 13u}) {
     const auto declustered =
-        core::build_layout({.num_disks = v, .stripe_size = 3});
-    ASSERT_TRUE(declustered.has_value());
+        api::Array::create({.num_disks = v, .stripe_size = 3});
+    ASSERT_TRUE(declustered.ok());
     const auto raid5 = layout::raid5_layout(
-        v, declustered->layout.units_per_disk());
+        v, declustered->units_per_disk());
     const sim::ArrayConfig config{
         .disk = {}, .rebuild_depth = 4, .iterations = 1};
     const auto d =
-        sim::ArraySimulator(declustered->layout, config).run_rebuild({}, 0);
+        sim::ArraySimulator(declustered->layout(), config).run_rebuild({}, 0);
     const auto r = sim::ArraySimulator(raid5, config).run_rebuild({}, 0);
     EXPECT_LT(d.rebuild_ms, r.rebuild_ms) << "v=" << v;
   }

@@ -100,8 +100,8 @@ TEST(Layout, StripeAccessors) {
 
 TEST(Layout, AtOutOfRangeThrows) {
   const Layout l(2, 2);
-  EXPECT_THROW(l.at(2, 0), std::invalid_argument);
-  EXPECT_THROW(l.at(0, 2), std::invalid_argument);
+  EXPECT_THROW((void)l.at(2, 0), std::invalid_argument);
+  EXPECT_THROW((void)l.at(0, 2), std::invalid_argument);
 }
 
 }  // namespace

@@ -15,8 +15,9 @@ TEST(LayoutCache, RepeatedGetsShareOneInstance) {
   const ArraySpec spec{.num_disks = 16, .stripe_size = 4};
   const auto first = cache.get(spec);
   const auto second = cache.get(spec);
-  ASSERT_NE(first, nullptr);
-  EXPECT_EQ(first.get(), second.get());
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first.value().get(), second.value().get());
 
   const auto stats = cache.stats();
   EXPECT_EQ(stats.misses, 1u);
@@ -29,28 +30,33 @@ TEST(LayoutCache, OptionsArePartOfTheKey) {
   const ArraySpec spec{.num_disks = 16, .stripe_size = 4};
   const auto default_opts = cache.get(spec);
   const auto big_budget = cache.get(spec, {.unit_budget = 100'000});
-  ASSERT_NE(default_opts, nullptr);
-  ASSERT_NE(big_budget, nullptr);
+  ASSERT_TRUE(default_opts.ok());
+  ASSERT_TRUE(big_budget.ok());
   EXPECT_EQ(cache.stats().misses, 2u);
   EXPECT_EQ(cache.stats().entries, 2u);
 }
 
-TEST(LayoutCache, NegativeResultsAreCached) {
+TEST(LayoutCache, NegativeResultsAreCachedAsUnsupported) {
   LayoutCache cache;
   const ArraySpec spec{.num_disks = 100, .stripe_size = 5};
   const BuildOptions tiny{.unit_budget = 10};
-  EXPECT_EQ(cache.get(spec, tiny), nullptr);
-  EXPECT_EQ(cache.get(spec, tiny), nullptr);
+  const auto first = cache.get(spec, tiny);
+  ASSERT_FALSE(first.ok());
+  EXPECT_EQ(first.status().code(), StatusCode::kUnsupported);
+  const auto second = cache.get(spec, tiny);
+  EXPECT_EQ(second.status().code(), StatusCode::kUnsupported);
   const auto stats = cache.stats();
   EXPECT_EQ(stats.misses, 1u);
   EXPECT_EQ(stats.hits, 1u);
 }
 
-TEST(LayoutCache, InvalidSpecThrowsAndIsNotCached) {
+TEST(LayoutCache, InvalidSpecIsTypedErrorAndNotCached) {
   LayoutCache cache;
-  EXPECT_THROW((void)cache.get({.num_disks = 4, .stripe_size = 5}),
-               std::invalid_argument);
+  const auto result = cache.get({.num_disks = 4, .stripe_size = 5});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
   EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().misses, 0u);
 }
 
 TEST(LayoutCache, ClearResetsEverything) {
@@ -70,10 +76,38 @@ TEST(LayoutCache, CachedResultMatchesDirectBuild) {
   const auto cached = cache.get(spec, options);
   const auto direct =
       ConstructionPlanner::default_planner().build_best(spec, options);
-  ASSERT_NE(cached, nullptr);
+  ASSERT_TRUE(cached.ok());
   ASSERT_TRUE(direct.has_value());
-  EXPECT_EQ(cached->construction, direct->construction);
-  EXPECT_EQ(cached->metrics.units_per_disk, direct->metrics.units_per_disk);
+  EXPECT_EQ((*cached)->construction, direct->construction);
+  EXPECT_EQ((*cached)->metrics.units_per_disk,
+            direct->metrics.units_per_disk);
+}
+
+TEST(LayoutCache, SparedSharesTheBaseDerivation) {
+  LayoutCache cache;
+  const ArraySpec spec{.num_disks = 17, .stripe_size = 5};
+  const auto spared = cache.get_spared(spec);
+  ASSERT_TRUE(spared.ok());
+  EXPECT_EQ((*spared)->spare_pos.size(), (*spared)->layout.num_stripes());
+  // A second lookup is a pure hit.
+  const auto again = cache.get_spared(spec);
+  EXPECT_EQ((*again).get(), (*spared).get());
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(LayoutCache, DeprecatedShimsPreserveOldContract) {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  LayoutCache cache;
+  EXPECT_EQ(cache.get_or_null({.num_disks = 100, .stripe_size = 5},
+                              {.unit_budget = 10}),
+            nullptr);
+  EXPECT_NE(cache.get_or_null({.num_disks = 16, .stripe_size = 4}), nullptr);
+  EXPECT_THROW((void)cache.get_or_null({.num_disks = 4, .stripe_size = 5}),
+               std::invalid_argument);
+  EXPECT_NE(cache.get_spared_or_null({.num_disks = 17, .stripe_size = 5}),
+            nullptr);
+#pragma GCC diagnostic pop
 }
 
 TEST(Engine, GlobalFacadeBuildsAndCaches) {
@@ -81,8 +115,9 @@ TEST(Engine, GlobalFacadeBuildsAndCaches) {
   const ArraySpec spec{.num_disks = 13, .stripe_size = 4};
   const auto first = engine.build(spec);
   const auto second = engine.build(spec);
-  ASSERT_NE(first, nullptr);
-  EXPECT_EQ(first.get(), second.get());
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first.value().get(), second.value().get());
   EXPECT_FALSE(engine.rank_plans(spec).empty());
   EXPECT_EQ(&engine.planner(), &ConstructionPlanner::default_planner());
 }

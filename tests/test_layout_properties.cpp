@@ -85,8 +85,9 @@ TEST(LayoutProperties, EveryBuilderEveryPointHoldsItsGuarantees) {
           EXPECT_LE(m.max_parity_units, 2.0 * ideal);
           break;
       }
-      if (plan->perfect_parity)
+      if (plan->perfect_parity) {
         EXPECT_EQ(m.min_parity_units, m.max_parity_units);
+      }
 
       // Every stripe has 2..k units and exactly one parity unit in range.
       for (const layout::Stripe& st : l.stripes()) {

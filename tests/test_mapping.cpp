@@ -112,7 +112,7 @@ TEST(AddressMapper, TableBytesIsPlausible) {
 TEST(AddressMapper, LogicalAtRejectsBadDisk) {
   const Layout l = raid5_layout(4, 4);
   const AddressMapper mapper(l);
-  EXPECT_THROW(mapper.logical_at({9, 0}), std::invalid_argument);
+  EXPECT_THROW((void)mapper.logical_at({9, 0}), std::invalid_argument);
 }
 
 }  // namespace

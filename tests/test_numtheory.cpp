@@ -79,7 +79,7 @@ TEST(NumTheory, MinPrimePowerFactor) {
   EXPECT_EQ(min_prime_power_factor(49), 49u);  // prime power: itself
   EXPECT_EQ(min_prime_power_factor(97), 97u);
   EXPECT_EQ(min_prime_power_factor(100), 4u);  // 4 * 25
-  EXPECT_THROW(min_prime_power_factor(1), std::invalid_argument);
+  EXPECT_THROW((void)min_prime_power_factor(1), std::invalid_argument);
 }
 
 TEST(NumTheory, PrimePowerNeighbors) {

@@ -149,7 +149,7 @@ TEST(ParityAssign, LcmConjectureFormula) {
   EXPECT_EQ(copies_for_perfect_balance(39, 13), 1u);
   EXPECT_EQ(copies_for_perfect_balance(20, 16), 4u);
   EXPECT_EQ(copies_for_perfect_balance(9, 6), 2u);
-  EXPECT_THROW(copies_for_perfect_balance(0, 5), std::invalid_argument);
+  EXPECT_THROW((void)copies_for_perfect_balance(0, 5), std::invalid_argument);
 }
 
 TEST(ParityAssign, GeneralizedDistinguishedUnits) {

@@ -113,7 +113,7 @@ TEST_P(LayoutFamily, RecoveryPlanIsConsistentWithAnalysis) {
 TEST_P(LayoutFamily, SerializationRoundTrip) {
   const Layout& original = family().layout;
   const Layout restored =
-      layout::parse_layout(layout::serialize_layout(original));
+      layout::parse_layout(layout::serialize_layout(original)).value();
   ASSERT_EQ(restored.num_stripes(), original.num_stripes());
   for (std::size_t s = 0; s < original.num_stripes(); ++s) {
     ASSERT_EQ(restored.stripes()[s].units, original.stripes()[s].units);

@@ -8,6 +8,7 @@
 #include "layout/metrics.hpp"
 #include "layout/raid.hpp"
 #include "layout/ring_layout.hpp"
+#include "layout/sparing.hpp"
 #include "layout/stairway.hpp"
 
 namespace pdl::layout {
@@ -32,11 +33,12 @@ TEST(Serialize, RoundTripAcrossLayoutFamilies) {
       stairway_layout(8, 10, 3),
   };
   for (const Layout& original : layouts) {
-    const Layout restored = parse_layout(serialize_layout(original));
-    expect_same_layout(original, restored);
+    const auto restored = parse_layout(serialize_layout(original));
+    ASSERT_TRUE(restored.ok()) << restored.status().to_string();
+    expect_same_layout(original, *restored);
     // Metrics agree too (belt and braces).
     EXPECT_EQ(compute_metrics(original).to_string(),
-              compute_metrics(restored).to_string());
+              compute_metrics(*restored).to_string());
   }
 }
 
@@ -53,77 +55,171 @@ TEST(Serialize, FormatIsStable) {
 TEST(Serialize, FileRoundTrip) {
   const Layout original = ring_based_layout(7, 3);
   const std::string path = ::testing::TempDir() + "/pdl_layout_test.txt";
-  save_layout(path, original);
-  const Layout restored = load_layout(path);
-  expect_same_layout(original, restored);
+  ASSERT_TRUE(save_layout(path, original).ok());
+  const auto restored = load_layout(path);
+  ASSERT_TRUE(restored.ok()) << restored.status().to_string();
+  expect_same_layout(original, *restored);
   std::remove(path.c_str());
 }
 
+TEST(Serialize, MissingFileIsIoError) {
+  const auto missing = load_layout(::testing::TempDir() + "/no_such_layout");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kIoError);
+}
+
 TEST(Serialize, RejectsBadMagic) {
-  EXPECT_THROW(parse_layout("nonsense 1\n"), std::invalid_argument);
+  const auto result = parse_layout("nonsense 1\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
 }
 
 TEST(Serialize, RejectsWrongVersion) {
-  EXPECT_THROW(parse_layout("pdl-layout 99\ndisks 2 units 1\nstripes 0\n"),
-               std::invalid_argument);
+  const auto result =
+      parse_layout("pdl-layout 99\ndisks 2 units 1\nstripes 0\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
 }
 
 TEST(Serialize, RejectsTruncatedInput) {
   const std::string good = serialize_layout(raid5_layout(4, 4));
-  const std::string truncated = good.substr(0, good.size() / 2);
-  EXPECT_THROW(parse_layout(truncated), std::invalid_argument);
+  const auto result = parse_layout(good.substr(0, good.size() / 2));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
 }
 
 TEST(Serialize, RejectsMalformedUnits) {
-  EXPECT_THROW(parse_layout("pdl-layout 1\n"
-                            "disks 2 units 1\n"
-                            "stripes 1\n"
-                            "0 0:0 banana\n"),
-               std::invalid_argument);
-  EXPECT_THROW(parse_layout("pdl-layout 1\n"
-                            "disks 2 units 1\n"
-                            "stripes 1\n"
-                            "0 0:0 1-0\n"),
-               std::invalid_argument);
+  EXPECT_EQ(parse_layout("pdl-layout 1\n"
+                         "disks 2 units 1\n"
+                         "stripes 1\n"
+                         "0 0:0 banana\n")
+                .status()
+                .code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(parse_layout("pdl-layout 1\n"
+                         "disks 2 units 1\n"
+                         "stripes 1\n"
+                         "0 0:0 1-0\n")
+                .status()
+                .code(),
+            StatusCode::kParseError);
 }
 
 TEST(Serialize, RejectsConditionOneViolation) {
   // Two units of one stripe on the same disk.
-  EXPECT_THROW(parse_layout("pdl-layout 1\n"
+  EXPECT_FALSE(parse_layout("pdl-layout 1\n"
                             "disks 2 units 2\n"
                             "stripes 1\n"
-                            "0 0:0 0:1\n"),
-               std::invalid_argument);
+                            "0 0:0 0:1\n")
+                   .ok());
 }
 
 TEST(Serialize, RejectsOverlappingStripes) {
-  EXPECT_THROW(parse_layout("pdl-layout 1\n"
+  EXPECT_FALSE(parse_layout("pdl-layout 1\n"
                             "disks 2 units 1\n"
                             "stripes 2\n"
                             "0 0:0 1:0\n"
-                            "0 0:0\n"),
-               std::invalid_argument);
+                            "0 0:0\n")
+                   .ok());
 }
 
 TEST(Serialize, RejectsBadParityPosition) {
-  EXPECT_THROW(parse_layout("pdl-layout 1\n"
+  EXPECT_FALSE(parse_layout("pdl-layout 1\n"
                             "disks 2 units 1\n"
                             "stripes 1\n"
-                            "5 0:0 1:0\n"),
-               std::invalid_argument);
+                            "5 0:0 1:0\n")
+                   .ok());
 }
 
 TEST(Serialize, ErrorsCarryLineNumbers) {
-  try {
-    parse_layout("pdl-layout 1\n"
-                 "disks 2 units 1\n"
-                 "stripes 1\n"
-                 "0 0:0 9:0\n");
-    FAIL() << "expected throw";
-  } catch (const std::invalid_argument& e) {
-    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos)
-        << e.what();
+  const auto result = parse_layout("pdl-layout 1\n"
+                                   "disks 2 units 1\n"
+                                   "stripes 1\n"
+                                   "0 0:0 9:0\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("line 4"), std::string::npos)
+      << result.status().to_string();
+}
+
+// ------------------------------------------------ spared-layout round trip
+
+void expect_same_spared(const SparedLayout& a, const SparedLayout& b) {
+  expect_same_layout(a.layout, b.layout);
+  EXPECT_EQ(a.spare_pos, b.spare_pos);
+}
+
+TEST(SerializeSpared, RoundTripAcrossLayoutFamilies) {
+  const std::vector<Layout> bases = {
+      ring_based_layout(9, 4),
+      removal_layout(9, 4, 1),
+      stairway_layout(8, 10, 3),
+  };
+  for (const Layout& base : bases) {
+    const SparedLayout original = add_distributed_sparing(base);
+    const auto restored =
+        parse_spared_layout(serialize_spared_layout(original));
+    ASSERT_TRUE(restored.ok()) << restored.status().to_string();
+    expect_same_spared(original, *restored);
+    EXPECT_EQ(original.spares_per_disk(), restored->spares_per_disk());
   }
+}
+
+TEST(SerializeSpared, FileRoundTrip) {
+  const SparedLayout original =
+      add_distributed_sparing(ring_based_layout(7, 3));
+  const std::string path = ::testing::TempDir() + "/pdl_spared_test.txt";
+  ASSERT_TRUE(save_spared_layout(path, original).ok());
+  const auto restored = load_spared_layout(path);
+  ASSERT_TRUE(restored.ok()) << restored.status().to_string();
+  expect_same_spared(original, *restored);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeSpared, RejectsPlainLayoutMagic) {
+  const std::string plain = serialize_layout(ring_based_layout(7, 3));
+  const auto result = parse_spared_layout(plain);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+}
+
+TEST(SerializeSpared, RejectsSpareCountMismatch) {
+  const SparedLayout original =
+      add_distributed_sparing(ring_based_layout(7, 3));
+  std::string text = serialize_spared_layout(original);
+  const auto pos = text.find("spares ");
+  ASSERT_NE(pos, std::string::npos);
+  text = text.substr(0, pos) + "spares 2\n0 1\n";
+  const auto result = parse_spared_layout(text);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SerializeSpared, RejectsSpareOutOfRangeAndOnParity) {
+  Layout l(3, 1);
+  l.append_stripe({0, 1, 2}, 0);
+  SparedLayout bad{l, {7}};  // out of range
+  auto result = parse_spared_layout(serialize_spared_layout(bad));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("out of range"),
+            std::string::npos);
+
+  SparedLayout on_parity{l, {0}};  // collides with parity_pos = 0
+  result = parse_spared_layout(serialize_spared_layout(on_parity));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("parity"), std::string::npos);
+}
+
+TEST(SerializeSpared, RejectsTruncatedSpareMap) {
+  const SparedLayout original =
+      add_distributed_sparing(ring_based_layout(7, 3));
+  std::string text = serialize_spared_layout(original);
+  // Drop the final spare value.
+  text = text.substr(0, text.find_last_of(' '));
+  const auto result = parse_spared_layout(text);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
 }
 
 }  // namespace

@@ -1,0 +1,94 @@
+#include "core/status.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace pdl {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  const Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_TRUE(status.message().empty());
+  EXPECT_EQ(status.to_string(), "OK");
+  EXPECT_EQ(status, OkStatus());
+}
+
+TEST(Status, FactoriesCarryCodeAndMessage) {
+  const Status status = Status::invalid_argument("k out of range");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "k out of range");
+  EXPECT_EQ(status.to_string(), "INVALID_ARGUMENT: k out of range");
+}
+
+TEST(Status, EveryCodeHasAStableName) {
+  EXPECT_EQ(status_code_name(StatusCode::kOk), "OK");
+  EXPECT_EQ(status_code_name(StatusCode::kInvalidArgument),
+            "INVALID_ARGUMENT");
+  EXPECT_EQ(status_code_name(StatusCode::kFailedPrecondition),
+            "FAILED_PRECONDITION");
+  EXPECT_EQ(status_code_name(StatusCode::kUnsupported), "UNSUPPORTED");
+  EXPECT_EQ(status_code_name(StatusCode::kDataLoss), "DATA_LOSS");
+  EXPECT_EQ(status_code_name(StatusCode::kParseError), "PARSE_ERROR");
+  EXPECT_EQ(status_code_name(StatusCode::kIoError), "IO_ERROR");
+  EXPECT_EQ(status_code_name(StatusCode::kInternal), "INTERNAL");
+  EXPECT_EQ(status_code_name(StatusCode::kNotFound), "NOT_FOUND");
+  EXPECT_EQ(status_code_name(StatusCode::kOutOfRange), "OUT_OF_RANGE");
+}
+
+TEST(Result, HoldsValue) {
+  const Result<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(static_cast<bool>(result));
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+  EXPECT_TRUE(result.status().ok());
+  EXPECT_EQ(result.value_or(7), 42);
+}
+
+TEST(Result, HoldsError) {
+  const Result<int> result = Status::unsupported("nothing fits");
+  ASSERT_FALSE(result.ok());
+  EXPECT_FALSE(static_cast<bool>(result));
+  EXPECT_EQ(result.status().code(), StatusCode::kUnsupported);
+  EXPECT_EQ(result.value_or(7), 7);
+}
+
+TEST(Result, ValueOnErrorThrowsLogicError) {
+  const Result<int> result = Status::not_found("gone");
+  EXPECT_THROW((void)result.value(), std::logic_error);
+  try {
+    (void)result.value();
+    FAIL() << "expected throw";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("NOT_FOUND"), std::string::npos);
+  }
+}
+
+TEST(Result, OkStatusIsDemotedToInternal) {
+  // A Result built from an OK status has no value; that is a bug at the
+  // construction site, surfaced as kInternal rather than a lying ok().
+  const Result<int> result{Status()};
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+}
+
+TEST(Result, MoveOnlyValuesWork) {
+  Result<std::unique_ptr<int>> result(std::make_unique<int>(9));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(**result, 9);
+  std::unique_ptr<int> extracted = std::move(result).value();
+  EXPECT_EQ(*extracted, 9);
+}
+
+TEST(Result, PointerAccessReachesMembers) {
+  const Result<std::string> result(std::string("abc"));
+  EXPECT_EQ(result->size(), 3u);
+}
+
+}  // namespace
+}  // namespace pdl

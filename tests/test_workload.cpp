@@ -36,7 +36,9 @@ TEST(Workload, ArrivalsSortedAndWithinHorizon) {
   for (std::size_t i = 0; i < requests.size(); ++i) {
     EXPECT_LT(requests[i].arrival_ms, 500.0);
     EXPECT_LT(requests[i].logical, 100u);
-    if (i > 0) EXPECT_GE(requests[i].arrival_ms, requests[i - 1].arrival_ms);
+    if (i > 0) {
+      EXPECT_GE(requests[i].arrival_ms, requests[i - 1].arrival_ms);
+    }
   }
 }
 

@@ -64,7 +64,7 @@ TEST(ZmodRing, MultiplicativeOrderOfUnits) {
   EXPECT_EQ(ring.multiplicative_order(3), 6u);  // 3 generates Z_7*
   EXPECT_EQ(ring.multiplicative_order(2), 3u);
   EXPECT_EQ(ring.multiplicative_order(6), 2u);
-  EXPECT_THROW(ZmodRing(6).multiplicative_order(2), std::invalid_argument);
+  EXPECT_THROW((void)ZmodRing(6).multiplicative_order(2), std::invalid_argument);
 }
 
 TEST(ZmodRing, GeneratorSetsBoundedByTheorem2) {
