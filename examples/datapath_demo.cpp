@@ -1,0 +1,89 @@
+// Byte-exact recovery end to end: write real data through the declustered
+// layout, kill a disk, read every block back through survivor XOR, rebuild
+// onto a replacement, and prove the bytes (and the disk image itself) came
+// back identical.
+//
+//   $ ./datapath_demo
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "api/array.hpp"
+#include "io/stripe_store.hpp"
+#include "io/workload_driver.hpp"
+
+using namespace pdl;
+
+int main() {
+  // 17 disks, stripes of 5 (4 data + parity), best-ranked construction.
+  auto array = api::Array::create({.num_disks = 17, .stripe_size = 5});
+  if (!array.ok()) {
+    std::fprintf(stderr, "create: %s\n", array.status().to_string().c_str());
+    return 1;
+  }
+  auto store = io::StripeStore::create(std::move(array).value(),
+                                       {.unit_bytes = 4096, .iterations = 2});
+  if (!store.ok()) {
+    std::fprintf(stderr, "store: %s\n", store.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("array: %s\n", store->array().description().c_str());
+  std::printf("store: %llu logical units x %u bytes over %u disks\n\n",
+              static_cast<unsigned long long>(store->num_logical_units()),
+              store->unit_bytes(), store->array().num_disks());
+
+  // 1. Write a recognizable message into every logical unit.
+  std::vector<std::uint8_t> block(store->unit_bytes());
+  for (std::uint64_t logical = 0; logical < store->num_logical_units();
+       ++logical) {
+    const std::string text =
+        "logical unit " + std::to_string(logical) + " says hello";
+    std::memset(block.data(), 0, block.size());
+    std::memcpy(block.data(), text.data(), text.size());
+    if (!store->write(logical, block).ok()) return 1;
+  }
+  const std::uint64_t disk3_before = store->checksum_disk(3);
+  std::printf("wrote %llu units; disk 3 checksum %016llx\n",
+              static_cast<unsigned long long>(store->num_logical_units()),
+              static_cast<unsigned long long>(disk3_before));
+
+  // 2. Kill disk 3 (its platters are physically poisoned).
+  if (!store->fail_disk(3).ok()) return 1;
+  std::printf("disk 3 failed: %llu units lost, checksum now %016llx\n",
+              static_cast<unsigned long long>(store->array().lost_units()),
+              static_cast<unsigned long long>(store->checksum_disk(3)));
+
+  // 3. Every unit still reads back -- lost ones via survivor XOR.
+  std::uint64_t degraded = 0, bad = 0;
+  for (std::uint64_t logical = 0; logical < store->num_logical_units();
+       ++logical) {
+    io::ReadReceipt receipt;
+    if (!store->read(logical, block, &receipt).ok()) return 1;
+    if (receipt.kind == api::ReadPlan::Kind::kDegraded) ++degraded;
+    const std::string expect =
+        "logical unit " + std::to_string(logical) + " says hello";
+    if (std::memcmp(block.data(), expect.data(), expect.size()) != 0) ++bad;
+  }
+  std::printf("degraded sweep: %llu reconstructed reads, %llu mismatches\n",
+              static_cast<unsigned long long>(degraded),
+              static_cast<unsigned long long>(bad));
+
+  // 4. Attach a replacement and rebuild it from survivor bytes.
+  if (!store->replace_disk(3).ok()) return 1;
+  const auto outcome = store->rebuild();
+  if (!outcome.ok()) return 1;
+  const std::uint64_t disk3_after = store->checksum_disk(3);
+  std::printf("rebuild: %llu stripes repaired; disk 3 checksum %016llx (%s)\n",
+              static_cast<unsigned long long>(outcome->applied),
+              static_cast<unsigned long long>(disk3_after),
+              disk3_after == disk3_before ? "identical" : "DIFFERENT");
+
+  std::printf("array healthy again: %s\n",
+              store->array().healthy() ? "yes" : "no");
+  return disk3_after == disk3_before && bad == 0 &&
+                 store->array().healthy()
+             ? 0
+             : 1;
+}

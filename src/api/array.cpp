@@ -218,6 +218,16 @@ std::uint32_t Array::units_per_disk() const noexcept {
   return layout().units_per_disk();
 }
 
+std::uint32_t Array::num_stripes() const noexcept {
+  return static_cast<std::uint32_t>(layout().num_stripes());
+}
+
+Array::LogicalRef Array::logical_ref(std::uint64_t logical) const noexcept {
+  const std::uint64_t per_iter = data_units_.size();
+  const UnitRef ref = data_units_[logical % per_iter];
+  return {ref.stripe, ref.pos, logical / per_iter};
+}
+
 core::Construction Array::construction() const noexcept {
   return built_->construction;
 }

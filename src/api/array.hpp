@@ -45,6 +45,18 @@
 // Stripe sizes are limited to 64 units (lost positions live in one 64-bit
 // mask per stripe, the same bound ScenarioSimulator enforces); larger
 // specs/layouts are rejected with kInvalidArgument.
+//
+// Concurrency (external-synchronization contract): Array is a passive
+// value type with no internal locking.  Every const member function is a
+// pure read of immutable tables or the online-state vectors -- none keeps
+// hidden mutable caches -- so any number of threads may call the entire
+// const surface (map / parity_of / map_batch / locate / plan_write /
+// plan_rebuild / serialize / the state queries) concurrently, PROVIDED no
+// thread is concurrently inside a non-const member (fail_disk,
+// replace_disk, apply_rebuild_step, rebuild).  Callers that mutate online
+// state while serving must bracket the mutators with a writer lock and
+// the const calls with a reader lock; io::StripeStore wraps exactly that
+// readers-writer discipline around an owned Array.
 
 #include <cstdint>
 #include <memory>
@@ -208,6 +220,21 @@ class Array {
   [[nodiscard]] const layout::CompiledMapper& mapper() const noexcept {
     return mapper_;
   }
+
+  /// Stripe coordinates of a logical data unit, independent of failure
+  /// state: which stripe (index into layout().stripes()) and position
+  /// hold it, and which vertical iteration of the layout it falls in.
+  /// Gives byte-path callers (io::StripeStore) a stable per-stripe
+  /// sharding key without re-deriving the logical numbering.
+  struct LogicalRef {
+    std::uint32_t stripe = 0;     ///< stripe index within the layout
+    std::uint32_t pos = 0;        ///< position within the stripe
+    std::uint64_t iteration = 0;  ///< vertical tiling index
+  };
+  [[nodiscard]] LogicalRef logical_ref(std::uint64_t logical) const noexcept;
+
+  /// Stripes per layout iteration.
+  [[nodiscard]] std::uint32_t num_stripes() const noexcept;
 
   // ------------------------------------- address ops (failure-agnostic)
 

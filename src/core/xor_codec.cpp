@@ -1,5 +1,6 @@
 #include "core/xor_codec.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace pdl::core {
@@ -22,6 +23,20 @@ std::vector<std::uint8_t> xor_parity(
 std::vector<std::uint8_t> xor_reconstruct(
     std::span<const std::vector<std::uint8_t>> survivors) {
   return xor_parity(survivors);
+}
+
+void xor_parity_into(std::span<std::uint8_t> dst,
+                     std::span<const std::span<const std::uint8_t>> units) {
+  if (units.empty())
+    throw std::invalid_argument("xor_parity_into: no units");
+  std::fill(dst.begin(), dst.end(), std::uint8_t{0});
+  for (const auto unit : units) xor_into(dst, unit);
+}
+
+void xor_reconstruct_into(
+    std::span<std::uint8_t> dst,
+    std::span<const std::span<const std::uint8_t>> survivors) {
+  xor_parity_into(dst, survivors);
 }
 
 }  // namespace pdl::core

@@ -23,4 +23,20 @@ void xor_into(std::span<std::uint8_t> dst, std::span<const std::uint8_t> src);
 [[nodiscard]] std::vector<std::uint8_t> xor_reconstruct(
     std::span<const std::vector<std::uint8_t>> survivors);
 
+// Span-based no-copy forms for the byte-moving serving path (io::
+// StripeStore): the caller points each span at bytes already resident in
+// the disk buffers and the result lands in caller-owned storage -- no
+// per-unit vector materialization on degraded reads or rebuild.
+
+/// dst = XOR of `units`, overwriting dst.  Every unit must match
+/// dst.size(); `units` must be non-empty.
+void xor_parity_into(std::span<std::uint8_t> dst,
+                     std::span<const std::span<const std::uint8_t>> units);
+
+/// Reconstructs the missing unit from the k-1 survivors into `dst`
+/// (identical operation to xor_parity_into; reconstruction wording).
+void xor_reconstruct_into(
+    std::span<std::uint8_t> dst,
+    std::span<const std::span<const std::uint8_t>> survivors);
+
 }  // namespace pdl::core

@@ -1,0 +1,275 @@
+#include "io/stripe_store.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+
+#include "core/xor_codec.hpp"
+
+namespace pdl::io {
+
+namespace {
+
+/// Poison byte for failed platters: any read that erroneously touches a
+/// failed disk shows up as garbage, not as stale-but-plausible data.
+constexpr std::uint8_t kPoison = 0xDD;
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+[[nodiscard]] std::uint64_t fnv1a(std::span<const std::uint8_t> bytes) {
+  std::uint64_t hash = kFnvOffset;
+  for (const std::uint8_t b : bytes) {
+    hash ^= b;
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+}  // namespace
+
+StripeStore::StripeStore(api::Array array, const StripeStoreOptions& options)
+    : array_(std::move(array)),
+      unit_bytes_(options.unit_bytes),
+      iterations_(options.iterations),
+      sync_(std::make_unique<Sync>(std::max(1u, options.lock_shards))) {
+  disks_.assign(array_.num_disks(),
+                std::vector<std::uint8_t>(disk_bytes(), 0));
+}
+
+Result<StripeStore> StripeStore::create(api::Array array,
+                                        const StripeStoreOptions& options) {
+  if (options.unit_bytes == 0)
+    return Status::invalid_argument("unit_bytes must be positive");
+  if (options.iterations == 0)
+    return Status::invalid_argument("iterations must be positive");
+  if (!array.healthy())
+    return Status::failed_precondition(
+        "StripeStore::create needs a healthy array: the store's disks "
+        "start zero-filled, which is only parity-consistent with no "
+        "pre-existing failure state");
+  return StripeStore(std::move(array), options);
+}
+
+std::mutex& StripeStore::shard_for(std::uint64_t logical) noexcept {
+  const api::Array::LogicalRef ref = array_.logical_ref(logical);
+  const std::uint64_t instance =
+      ref.stripe + ref.iteration * array_.num_stripes();
+  return sync_->shards[instance % sync_->shards.size()];
+}
+
+// -------------------------------------------------------------- data path
+
+Status StripeStore::read(std::uint64_t logical, std::span<std::uint8_t> out,
+                         ReadReceipt* receipt) {
+  if (logical >= num_logical_units())
+    return Status::out_of_range("logical " + std::to_string(logical) +
+                                " past the address space (" +
+                                std::to_string(num_logical_units()) +
+                                " units)");
+  if (out.size() != unit_bytes_)
+    return Status::invalid_argument(
+        "read buffer is " + std::to_string(out.size()) + " bytes; units are " +
+        std::to_string(unit_bytes_));
+
+  std::shared_lock state(sync_->state);
+  std::lock_guard stripe(shard_for(logical));
+
+  std::array<Physical, 64> survivors;
+  const auto plan = array_.locate(logical, survivors);
+  if (!plan.ok()) return plan.status();
+
+  switch (plan->kind) {
+    case api::ReadPlan::Kind::kDirect: {
+      const auto src = unit_cspan(plan->target);
+      std::memcpy(out.data(), src.data(), unit_bytes_);
+      if (receipt) {
+        receipt->kind = plan->kind;
+        receipt->num_touched = 1;
+        receipt->touched[0] = plan->target;
+      }
+      return OkStatus();
+    }
+    case api::ReadPlan::Kind::kDegraded: {
+      std::array<std::span<const std::uint8_t>, 64> srcs;
+      for (std::uint32_t i = 0; i < plan->num_survivors; ++i)
+        srcs[i] = unit_cspan(survivors[i]);
+      core::xor_reconstruct_into(out, {srcs.data(), plan->num_survivors});
+      if (receipt) {
+        receipt->kind = plan->kind;
+        receipt->num_touched = plan->num_survivors;
+        std::copy_n(survivors.begin(), plan->num_survivors,
+                    receipt->touched.begin());
+      }
+      return OkStatus();
+    }
+    case api::ReadPlan::Kind::kUnrecoverable:
+      break;
+  }
+  if (receipt) {
+    receipt->kind = api::ReadPlan::Kind::kUnrecoverable;
+    receipt->num_touched = 0;
+  }
+  return Status::data_loss("logical " + std::to_string(logical) +
+                           " is on a stripe that lost two units");
+}
+
+Status StripeStore::write(std::uint64_t logical,
+                          std::span<const std::uint8_t> data,
+                          WriteReceipt* receipt) {
+  if (logical >= num_logical_units())
+    return Status::out_of_range("logical " + std::to_string(logical) +
+                                " past the address space (" +
+                                std::to_string(num_logical_units()) +
+                                " units)");
+  if (data.size() != unit_bytes_)
+    return Status::invalid_argument(
+        "write buffer is " + std::to_string(data.size()) +
+        " bytes; units are " + std::to_string(unit_bytes_));
+
+  std::shared_lock state(sync_->state);
+  std::lock_guard stripe(shard_for(logical));
+
+  std::array<Physical, 64> peers;
+  const auto plan = array_.plan_write(logical, peers);
+  if (!plan.ok()) return plan.status();
+  if (receipt) {
+    receipt->kind = plan->kind;
+    receipt->num_reads = 0;
+    receipt->num_writes = 0;
+  }
+
+  switch (plan->kind) {
+    case api::WritePlan::Kind::kReadModifyWrite: {
+      // parity ^= old ^ new, then the data unit takes the new bytes.
+      const auto d = unit_span(plan->data);
+      const auto p = unit_span(plan->parity);
+      for (std::uint32_t i = 0; i < unit_bytes_; ++i)
+        p[i] ^= static_cast<std::uint8_t>(d[i] ^ data[i]);
+      std::memcpy(d.data(), data.data(), unit_bytes_);
+      if (receipt) {
+        receipt->num_reads = 2;
+        receipt->reads[0] = plan->data;
+        receipt->reads[1] = plan->parity;
+        receipt->num_writes = 2;
+        receipt->writes[0] = plan->data;
+        receipt->writes[1] = plan->parity;
+      }
+      return OkStatus();
+    }
+    case api::WritePlan::Kind::kReconstructWrite: {
+      // The data unit's disk is gone: fold the new value into parity so a
+      // degraded read reconstructs it.  parity = XOR(peers) ^ new data.
+      std::array<std::span<const std::uint8_t>, 64> srcs;
+      for (std::uint32_t i = 0; i < plan->num_peer_reads; ++i)
+        srcs[i] = unit_cspan(peers[i]);
+      srcs[plan->num_peer_reads] = data;
+      core::xor_parity_into(unit_span(plan->parity),
+                            {srcs.data(), plan->num_peer_reads + 1u});
+      if (receipt) {
+        receipt->num_reads = plan->num_peer_reads;
+        std::copy_n(peers.begin(), plan->num_peer_reads,
+                    receipt->reads.begin());
+        receipt->num_writes = 1;
+        receipt->writes[0] = plan->parity;
+      }
+      return OkStatus();
+    }
+    case api::WritePlan::Kind::kUnprotectedWrite: {
+      const auto d = unit_span(plan->data);
+      std::memcpy(d.data(), data.data(), unit_bytes_);
+      if (receipt) {
+        receipt->num_writes = 1;
+        receipt->writes[0] = plan->data;
+      }
+      return OkStatus();
+    }
+    case api::WritePlan::Kind::kUnrecoverable:
+      break;
+  }
+  return Status::data_loss("logical " + std::to_string(logical) +
+                           " is on a stripe that lost two units");
+}
+
+// ------------------------------------------------- failure & rebuild
+
+Status StripeStore::fail_disk(DiskId disk) {
+  std::unique_lock lock(sync_->state);
+  if (Status failed = array_.fail_disk(disk); !failed.ok()) return failed;
+  std::fill(disks_[disk].begin(), disks_[disk].end(), kPoison);
+  return OkStatus();
+}
+
+Status StripeStore::replace_disk(DiskId disk) {
+  std::unique_lock lock(sync_->state);
+  if (Status replaced = array_.replace_disk(disk); !replaced.ok())
+    return replaced;
+  std::fill(disks_[disk].begin(), disks_[disk].end(), std::uint8_t{0});
+  return OkStatus();
+}
+
+Status StripeStore::apply_step_bytes(const api::RebuildStep& step) {
+  // Bytes first, every iteration of the stripe (the step reports
+  // iteration-0 offsets), then the array's state transition.
+  std::array<std::span<const std::uint8_t>, 64> srcs;
+  const std::uint32_t n = static_cast<std::uint32_t>(step.reads.size());
+  for (std::uint32_t it = 0; it < iterations_; ++it) {
+    const std::uint64_t lift =
+        static_cast<std::uint64_t>(it) * array_.units_per_disk();
+    for (std::uint32_t i = 0; i < n; ++i)
+      srcs[i] = unit_cspan(
+          {step.reads[i].disk, step.reads[i].offset + lift});
+    core::xor_reconstruct_into(
+        unit_span({step.target.disk, step.target.offset + lift}),
+        {srcs.data(), n});
+  }
+  return array_.apply_rebuild_step(step);
+}
+
+Result<std::uint64_t> StripeStore::rebuild_some(std::uint64_t max_steps,
+                                                std::uint64_t* blocked) {
+  std::unique_lock lock(sync_->state);
+  auto plan = array_.plan_rebuild();
+  if (!plan.ok()) return plan.status();
+  if (blocked) *blocked = plan->blocked;
+  std::uint64_t applied = 0;
+  for (const api::RebuildStep& step : plan->steps) {
+    if (applied >= max_steps) break;
+    if (Status done = apply_step_bytes(step); !done.ok()) return done;
+    ++applied;
+  }
+  return applied;
+}
+
+Result<api::RebuildOutcome> StripeStore::rebuild() {
+  api::RebuildOutcome outcome;
+  for (;;) {
+    // The pass that finds nothing left to apply has already planned the
+    // final state, so its blocked count is the outcome's.
+    std::uint64_t blocked = 0;
+    auto applied = rebuild_some(~0ull, &blocked);
+    if (!applied.ok()) return applied.status();
+    if (*applied == 0) {
+      outcome.blocked = blocked;
+      return outcome;
+    }
+    outcome.applied += *applied;
+  }
+}
+
+// ------------------------------------------------------------ verification
+
+std::uint64_t StripeStore::checksum_disk(DiskId disk) const {
+  std::unique_lock lock(sync_->state);  // exclude in-flight writers
+  return fnv1a(disks_[disk]);
+}
+
+std::vector<std::uint64_t> StripeStore::checksum_disks() const {
+  std::unique_lock lock(sync_->state);
+  std::vector<std::uint64_t> sums;
+  sums.reserve(disks_.size());
+  for (const auto& disk : disks_) sums.push_back(fnv1a(disk));
+  return sums;
+}
+
+}  // namespace pdl::io

@@ -1,0 +1,203 @@
+#pragma once
+// pdl::io::StripeStore -- the byte-moving data path.
+//
+// Everything below src/io counts unit accesses; this class actually moves
+// bytes.  A StripeStore owns a pdl::api::Array (the layout, mapping
+// tables, and online failure state) plus one in-memory byte buffer per
+// disk, and routes every logical read/write through Array::locate /
+// Array::plan_write:
+//
+//   * healthy reads copy the unit's bytes straight out of its home disk;
+//   * degraded reads XOR the survivor units into the caller's buffer
+//     (core::xor_reconstruct_into -- Figure 1's "any single lost unit is
+//     the XOR of the survivors", executed for real);
+//   * small writes do a real read-modify-write parity update (parity ^=
+//     old ^ new), a reconstruct-write when the data unit is lost (parity
+//     = XOR(surviving peers) ^ new data), or an unprotected data write
+//     when the parity unit is lost;
+//   * fail_disk physically destroys the disk's contents (poison fill),
+//     replace_disk attaches zeroed platters, and rebuild() regenerates
+//     every lost unit from survivor bytes into its spare or replacement
+//     slot -- after which the store serves the exact bytes written before
+//     the failure (checksum-identical for in-place rebuilds).
+//
+// Concurrency: the store layers the readers-writer discipline that
+// api::Array's external-synchronization contract asks for.  A
+// shared_mutex guards the array's online state (read/write take it
+// shared; fail/replace/rebuild take it exclusive), and a fixed pool of
+// stripe-instance locks -- sharded by (stripe, iteration) -- serializes
+// byte access per stripe so parity updates are atomic with their data
+// writes while different stripes proceed in parallel.  Lock order is
+// always state-then-shard; each operation holds exactly one shard lock,
+// so the scheme is deadlock-free.
+//
+// Address space: logical units 0 .. num_logical_units()-1, each
+// unit_bytes() wide; the layout tiles vertically `iterations` times, so
+// num_logical_units() = Array::data_units_per_iteration() * iterations.
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <span>
+#include <vector>
+
+#include "api/array.hpp"
+#include "core/status.hpp"
+
+namespace pdl::io {
+
+using api::Physical;
+using layout::DiskId;
+
+struct StripeStoreOptions {
+  /// Bytes per stripe unit (the store's I/O granularity).
+  std::uint32_t unit_bytes = 4096;
+  /// Vertical layout repetitions per disk (disk capacity multiplier).
+  std::uint32_t iterations = 1;
+  /// Stripe-instance lock pool size (power of parallelism vs memory).
+  std::uint32_t lock_shards = 64;
+};
+
+/// What one read physically did: its resolution kind and every unit it
+/// touched (the direct target, or the survivor set XORed together).
+/// Inline storage -- filling a receipt never allocates.
+struct ReadReceipt {
+  api::ReadPlan::Kind kind = api::ReadPlan::Kind::kDirect;
+  std::uint32_t num_touched = 0;
+  std::array<Physical, 64> touched;  ///< first num_touched are valid
+
+  [[nodiscard]] std::span<const Physical> units() const noexcept {
+    return {touched.data(), num_touched};
+  }
+};
+
+/// What one write physically did: the units it read and the units it
+/// wrote under the parity-update strategy plan_write selected.
+struct WriteReceipt {
+  api::WritePlan::Kind kind = api::WritePlan::Kind::kReadModifyWrite;
+  std::uint32_t num_reads = 0;
+  std::uint32_t num_writes = 0;
+  std::array<Physical, 64> reads;
+  std::array<Physical, 2> writes;
+
+  [[nodiscard]] std::span<const Physical> read_units() const noexcept {
+    return {reads.data(), num_reads};
+  }
+  [[nodiscard]] std::span<const Physical> written_units() const noexcept {
+    return {writes.data(), num_writes};
+  }
+};
+
+class StripeStore {
+ public:
+  /// Wraps a (healthy) array with zero-filled disks.  kInvalidArgument
+  /// for zero unit_bytes/iterations or an array already carrying failure
+  /// state.
+  [[nodiscard]] static Result<StripeStore> create(
+      api::Array array, const StripeStoreOptions& options = {});
+
+  // ------------------------------------------------------------ geometry
+
+  [[nodiscard]] std::uint64_t num_logical_units() const noexcept {
+    return array_.data_units_per_iteration() * iterations_;
+  }
+  [[nodiscard]] std::uint32_t unit_bytes() const noexcept {
+    return unit_bytes_;
+  }
+  [[nodiscard]] std::uint32_t iterations() const noexcept {
+    return iterations_;
+  }
+  [[nodiscard]] std::uint64_t disk_bytes() const noexcept {
+    return static_cast<std::uint64_t>(array_.units_per_disk()) *
+           iterations_ * unit_bytes_;
+  }
+  /// The owned array's read-only surface.  Do NOT mutate the array's
+  /// online state behind the store's back -- use the store's own
+  /// fail_disk / replace_disk / rebuild, which keep bytes and state in
+  /// lockstep under the store's locks.
+  [[nodiscard]] const api::Array& array() const noexcept { return array_; }
+
+  // ----------------------------------------------------------- data path
+
+  /// Reads one logical unit into `out` (exactly unit_bytes() wide).
+  /// Degraded units are reconstructed from survivor bytes on the fly.
+  /// kOutOfRange past the address space, kInvalidArgument for a wrong
+  /// buffer size, kDataLoss when the unit's stripe lost two units.
+  /// Thread-safe against concurrent read/write.
+  [[nodiscard]] Status read(std::uint64_t logical,
+                            std::span<std::uint8_t> out,
+                            ReadReceipt* receipt = nullptr);
+
+  /// Writes one logical unit from `data` (exactly unit_bytes() wide),
+  /// keeping parity consistent via RMW / reconstruct-write / unprotected
+  /// write as the failure state dictates.  Error contract mirrors read().
+  /// Thread-safe against concurrent read/write.
+  [[nodiscard]] Status write(std::uint64_t logical,
+                             std::span<const std::uint8_t> data,
+                             WriteReceipt* receipt = nullptr);
+
+  // ------------------------------------------- failure & rebuild (bytes)
+
+  /// Marks the disk failed and physically destroys its contents (poison
+  /// fill), so any buggy read from it would be caught byte-wise.
+  [[nodiscard]] Status fail_disk(DiskId disk);
+
+  /// Attaches zero-filled replacement platters to a failed disk.
+  [[nodiscard]] Status replace_disk(DiskId disk);
+
+  /// Regenerates up to max_steps lost stripes (every iteration of each)
+  /// from survivor bytes into their spare/replacement slots, then
+  /// advances the array's rebuild state.  Returns the number of stripes
+  /// repaired; 0 means nothing is currently rebuildable (`blocked`, when
+  /// given, receives the count still waiting on replace_disk).  Takes
+  /// the exclusive lock per batch, so serving threads interleave between
+  /// calls -- drive it from a rebuilder thread for online rebuild.
+  [[nodiscard]] Result<std::uint64_t> rebuild_some(
+      std::uint64_t max_steps, std::uint64_t* blocked = nullptr);
+
+  /// rebuild_some until quiescent: everything rebuildable without
+  /// further replace_disk calls is rebuilt.
+  [[nodiscard]] Result<api::RebuildOutcome> rebuild();
+
+  // -------------------------------------------------------- verification
+
+  /// FNV-1a 64 over the disk's raw bytes (failure-state agnostic).
+  [[nodiscard]] std::uint64_t checksum_disk(DiskId disk) const;
+  [[nodiscard]] std::vector<std::uint64_t> checksum_disks() const;
+
+ private:
+  StripeStore(api::Array array, const StripeStoreOptions& options);
+
+  /// Byte offset of a physical unit within its disk buffer.
+  [[nodiscard]] std::size_t byte_offset(std::uint64_t unit_offset)
+      const noexcept {
+    return static_cast<std::size_t>(unit_offset) * unit_bytes_;
+  }
+  [[nodiscard]] std::span<std::uint8_t> unit_span(Physical p) noexcept {
+    return {disks_[p.disk].data() + byte_offset(p.offset), unit_bytes_};
+  }
+  [[nodiscard]] std::span<const std::uint8_t> unit_cspan(
+      Physical p) const noexcept {
+    return {disks_[p.disk].data() + byte_offset(p.offset), unit_bytes_};
+  }
+  [[nodiscard]] std::mutex& shard_for(std::uint64_t logical) noexcept;
+  /// One rebuild step, bytes first (all iterations), then array state.
+  [[nodiscard]] Status apply_step_bytes(const api::RebuildStep& step);
+
+  api::Array array_;
+  std::uint32_t unit_bytes_ = 0;
+  std::uint32_t iterations_ = 0;
+  std::vector<std::vector<std::uint8_t>> disks_;
+
+  /// Heap-allocated so the store stays movable (Result<StripeStore>).
+  struct Sync {
+    std::shared_mutex state;
+    std::vector<std::mutex> shards;
+    explicit Sync(std::uint32_t n) : shards(n) {}
+  };
+  std::unique_ptr<Sync> sync_;
+};
+
+}  // namespace pdl::io

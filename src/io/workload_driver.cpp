@@ -1,0 +1,228 @@
+#include "io/workload_driver.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <mutex>
+#include <random>
+#include <thread>
+
+namespace pdl::io {
+
+namespace {
+
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// zeta(n, theta) = sum_{i=1..n} i^-theta is an O(n) pass, noticeable on
+/// multi-million-unit stores -- and multi-phase harnesses (one driver per
+/// healthy/degraded/rebuilding phase over the same store) would pay it
+/// per phase.  Cache it per (n, theta).
+[[nodiscard]] double zetan_for(std::uint64_t n, double theta) {
+  static std::mutex mutex;
+  static std::vector<std::pair<std::pair<std::uint64_t, double>, double>>
+      cache;
+  {
+    std::lock_guard lock(mutex);
+    for (const auto& entry : cache)
+      if (entry.first.first == n && entry.first.second == theta)
+        return entry.second;
+  }
+  double zetan = 0;
+  for (std::uint64_t i = 1; i <= n; ++i)
+    zetan += 1.0 / std::pow(static_cast<double>(i), theta);
+  std::lock_guard lock(mutex);
+  cache.push_back({{n, theta}, zetan});
+  return zetan;
+}
+
+}  // namespace
+
+const char* access_pattern_name(AccessPattern pattern) noexcept {
+  switch (pattern) {
+    case AccessPattern::kUniform: return "uniform";
+    case AccessPattern::kSequential: return "sequential";
+    case AccessPattern::kZipfian: return "zipfian";
+  }
+  return "?";
+}
+
+void WorkloadStats::merge(const WorkloadStats& other) noexcept {
+  reads += other.reads;
+  writes += other.writes;
+  direct_reads += other.direct_reads;
+  degraded_reads += other.degraded_reads;
+  rmw_writes += other.rmw_writes;
+  reconstruct_writes += other.reconstruct_writes;
+  unprotected_writes += other.unprotected_writes;
+  data_loss_ops += other.data_loss_ops;
+  errors += other.errors;
+  verify_failures += other.verify_failures;
+  bytes_moved += other.bytes_moved;
+  // elapsed_seconds is wall time of the whole run; the caller sets it
+  // once rather than summing per-thread times.
+}
+
+void canonical_fill(std::uint64_t logical, std::uint64_t seed,
+                    std::span<std::uint8_t> out) noexcept {
+  std::uint64_t state = seed ^ (logical * 0xD1B54A32D192ED03ull);
+  std::size_t i = 0;
+  for (; i + 8 <= out.size(); i += 8) {
+    const std::uint64_t word = splitmix64(state);
+    std::memcpy(out.data() + i, &word, 8);
+  }
+  if (i < out.size()) {
+    const std::uint64_t word = splitmix64(state);
+    std::memcpy(out.data() + i, &word, out.size() - i);
+  }
+}
+
+Status fill_canonical(StripeStore& store, std::uint64_t first,
+                      std::uint64_t last, std::uint64_t seed) {
+  std::vector<std::uint8_t> unit(store.unit_bytes());
+  for (std::uint64_t logical = first; logical < last; ++logical) {
+    canonical_fill(logical, seed, unit);
+    if (Status written = store.write(logical, unit); !written.ok())
+      return written;
+  }
+  return OkStatus();
+}
+
+WorkloadDriver::WorkloadDriver(StripeStore& store, WorkloadOptions options)
+    : store_(store), options_(options) {
+  if (options_.num_threads == 0) options_.num_threads = 1;
+  if (options_.queue_depth == 0) options_.queue_depth = 1;
+  options_.read_fraction = std::clamp(options_.read_fraction, 0.0, 1.0);
+
+  if (options_.pattern == AccessPattern::kZipfian) {
+    // YCSB ZipfianGenerator parameters; theta = 1 is a pole, so clamp.
+    const double theta = std::clamp(options_.zipf_theta, 0.01, 0.99);
+    const auto n = static_cast<double>(store_.num_logical_units());
+    const double zetan = zetan_for(store_.num_logical_units(), theta);
+    zipf_zetan_ = zetan;
+    zipf_zeta2_ = 1.0 + 1.0 / std::pow(2.0, theta);
+    zipf_alpha_ = 1.0 / (1.0 - theta);
+    zipf_eta_ = (1.0 - std::pow(2.0 / n, 1.0 - theta)) /
+                (1.0 - zipf_zeta2_ / zetan);
+    options_.zipf_theta = theta;
+  }
+}
+
+std::uint64_t WorkloadDriver::zipf_sample(double u) const noexcept {
+  const std::uint64_t n = store_.num_logical_units();
+  const double uz = u * zipf_zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, options_.zipf_theta)) return 1;
+  const auto rank = static_cast<std::uint64_t>(
+      static_cast<double>(n) *
+      std::pow(zipf_eta_ * u - zipf_eta_ + 1.0, zipf_alpha_));
+  return std::min(rank, n - 1);
+}
+
+void WorkloadDriver::worker(std::uint32_t thread_index,
+                            WorkloadStats& stats) const {
+  const std::uint64_t n = store_.num_logical_units();
+  std::mt19937_64 rng(options_.seed * 0x9E3779B97F4A7C15ull + thread_index);
+  std::uniform_real_distribution<double> unit_dist(0.0, 1.0);
+
+  std::vector<std::uint8_t> buffer(store_.unit_bytes());
+  std::vector<std::uint8_t> expected(store_.unit_bytes());
+  std::vector<std::uint64_t> batch(options_.queue_depth);
+  std::uint64_t cursor = (n / options_.num_threads) * thread_index;
+
+  std::uint64_t remaining = options_.ops_per_thread;
+  while (remaining > 0) {
+    const std::uint64_t batch_size =
+        std::min<std::uint64_t>(options_.queue_depth, remaining);
+    for (std::uint64_t i = 0; i < batch_size; ++i) {
+      switch (options_.pattern) {
+        case AccessPattern::kUniform:
+          batch[i] = rng() % n;
+          break;
+        case AccessPattern::kSequential:
+          batch[i] = cursor;
+          cursor = (cursor + 1) % n;
+          break;
+        case AccessPattern::kZipfian:
+          batch[i] = zipf_sample(unit_dist(rng));
+          break;
+      }
+    }
+    for (std::uint64_t i = 0; i < batch_size; ++i) {
+      const std::uint64_t logical = batch[i];
+      if (unit_dist(rng) < options_.read_fraction) {
+        ReadReceipt receipt;
+        const Status status = store_.read(logical, buffer, &receipt);
+        if (status.ok()) {
+          ++stats.reads;
+          stats.bytes_moved += store_.unit_bytes();
+          if (receipt.kind == api::ReadPlan::Kind::kDegraded)
+            ++stats.degraded_reads;
+          else
+            ++stats.direct_reads;
+          if (options_.verify_reads) {
+            canonical_fill(logical, options_.seed, expected);
+            if (buffer != expected) ++stats.verify_failures;
+          }
+        } else if (status.code() == StatusCode::kDataLoss) {
+          ++stats.data_loss_ops;
+        } else {
+          ++stats.errors;
+        }
+      } else {
+        canonical_fill(logical, options_.seed, buffer);
+        WriteReceipt receipt;
+        const Status status = store_.write(logical, buffer, &receipt);
+        if (status.ok()) {
+          ++stats.writes;
+          stats.bytes_moved += store_.unit_bytes();
+          switch (receipt.kind) {
+            case api::WritePlan::Kind::kReadModifyWrite:
+              ++stats.rmw_writes;
+              break;
+            case api::WritePlan::Kind::kReconstructWrite:
+              ++stats.reconstruct_writes;
+              break;
+            case api::WritePlan::Kind::kUnprotectedWrite:
+              ++stats.unprotected_writes;
+              break;
+            case api::WritePlan::Kind::kUnrecoverable:
+              break;
+          }
+        } else if (status.code() == StatusCode::kDataLoss) {
+          ++stats.data_loss_ops;
+        } else {
+          ++stats.errors;
+        }
+      }
+    }
+    remaining -= batch_size;
+  }
+}
+
+WorkloadStats WorkloadDriver::run() {
+  std::vector<WorkloadStats> per_thread(options_.num_threads);
+  std::vector<std::thread> threads;
+  threads.reserve(options_.num_threads);
+
+  const auto start = std::chrono::steady_clock::now();
+  for (std::uint32_t t = 0; t < options_.num_threads; ++t)
+    threads.emplace_back(
+        [this, t, &per_thread] { worker(t, per_thread[t]); });
+  for (std::thread& thread : threads) thread.join();
+  const auto end = std::chrono::steady_clock::now();
+
+  WorkloadStats merged;
+  for (const WorkloadStats& stats : per_thread) merged.merge(stats);
+  merged.elapsed_seconds =
+      std::chrono::duration<double>(end - start).count();
+  return merged;
+}
+
+}  // namespace pdl::io

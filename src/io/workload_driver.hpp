@@ -1,0 +1,104 @@
+#pragma once
+// Concurrent workload driver for the byte-level data path: a fixed pool
+// of threads hammers a StripeStore with a configurable read/write mix
+// over uniform, sequential, or zipfian address distributions, so one
+// process can push millions of unit accesses through the store and
+// measure healthy vs degraded vs rebuilding throughput.
+//
+// Content discipline: every write stores the canonical pattern for its
+// logical address (a seeded splitmix64 stream), so concurrent writers
+// racing on the same address still leave canonical bytes behind and
+// reads can verify content integrity at any moment (verify_reads) --
+// including degraded reads reconstructed from survivors mid-rebuild.
+// A verification mismatch is counted, never asserted, so the driver is
+// usable both as a benchmark loop and as a stress-test oracle.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "io/stripe_store.hpp"
+
+namespace pdl::io {
+
+enum class AccessPattern : std::uint8_t {
+  kUniform = 0,     ///< independent uniform addresses
+  kSequential = 1,  ///< per-thread contiguous scan, wrapping
+  kZipfian = 2,     ///< YCSB-style zipfian (hot-spot) addresses
+};
+
+[[nodiscard]] const char* access_pattern_name(AccessPattern pattern) noexcept;
+
+struct WorkloadOptions {
+  std::uint32_t num_threads = 4;
+  std::uint64_t ops_per_thread = 10000;
+  double read_fraction = 0.7;        ///< probability an op is a read
+  AccessPattern pattern = AccessPattern::kUniform;
+  double zipf_theta = 0.99;          ///< zipfian skew (0 = uniform-ish)
+  /// Addresses drawn per batch and issued back-to-back (models queue
+  /// depth against the synchronous store).
+  std::uint32_t queue_depth = 8;
+  std::uint64_t seed = 1;
+  /// Check every successful read against the canonical pattern.  Only
+  /// meaningful once the addressed range holds canonical content (see
+  /// fill_canonical / the write-side discipline).
+  bool verify_reads = false;
+};
+
+struct WorkloadStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t direct_reads = 0;
+  std::uint64_t degraded_reads = 0;
+  std::uint64_t rmw_writes = 0;
+  std::uint64_t reconstruct_writes = 0;
+  std::uint64_t unprotected_writes = 0;
+  std::uint64_t data_loss_ops = 0;   ///< ops refused with kDataLoss
+  std::uint64_t errors = 0;          ///< any other non-OK status
+  std::uint64_t verify_failures = 0; ///< reads whose bytes were wrong
+  std::uint64_t bytes_moved = 0;     ///< user payload (reads + writes)
+  double elapsed_seconds = 0;
+
+  [[nodiscard]] double mb_per_second() const noexcept {
+    return elapsed_seconds > 0
+               ? static_cast<double>(bytes_moved) / 1e6 / elapsed_seconds
+               : 0.0;
+  }
+  void merge(const WorkloadStats& other) noexcept;
+};
+
+/// The canonical content of a logical unit under `seed`: what every
+/// driver write stores and what verify_reads checks against.
+void canonical_fill(std::uint64_t logical, std::uint64_t seed,
+                    std::span<std::uint8_t> out) noexcept;
+
+/// Writes canonical content to every logical unit in [first, last).
+/// Handy to seed the store before a read-mostly or verifying run.
+[[nodiscard]] Status fill_canonical(StripeStore& store, std::uint64_t first,
+                                    std::uint64_t last, std::uint64_t seed);
+
+class WorkloadDriver {
+ public:
+  /// The store must outlive the driver; run() may be called repeatedly
+  /// (e.g. once per phase of a failure scenario).
+  WorkloadDriver(StripeStore& store, WorkloadOptions options);
+
+  /// Spawns num_threads workers, runs ops_per_thread ops on each, joins,
+  /// and returns the merged stats (elapsed_seconds is wall time of the
+  /// whole run, counted once).
+  [[nodiscard]] WorkloadStats run();
+
+ private:
+  StripeStore& store_;
+  WorkloadOptions options_;
+  // Precomputed zipfian parameters (YCSB ZipfianGenerator shape).
+  double zipf_zetan_ = 0;
+  double zipf_zeta2_ = 0;
+  double zipf_alpha_ = 0;
+  double zipf_eta_ = 0;
+
+  void worker(std::uint32_t thread_index, WorkloadStats& stats) const;
+  [[nodiscard]] std::uint64_t zipf_sample(double u) const noexcept;
+};
+
+}  // namespace pdl::io

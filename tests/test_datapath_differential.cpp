@@ -1,0 +1,232 @@
+// Differential suite pinning io::StripeStore to api::Array semantics: for
+// every ranked construction at (17, 5) (>= 4 apply), {0, 1, 2} failed
+// disks, and both sparing modes, every StripeStore::read outcome -- the
+// served/degraded/unrecoverable resolution AND the exact physical units
+// touched -- must match what Array::locate says on an identically-driven
+// reference array, and every served byte must equal what was written.
+// Write receipts are pinned to Array::plan_write the same way, and the
+// single-failure dedicated-replacement case proves rebuild restores
+// checksum-identical disk contents.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/array.hpp"
+#include "engine/planner.hpp"
+#include "io/stripe_store.hpp"
+#include "io/workload_driver.hpp"
+
+namespace pdl::io {
+namespace {
+
+constexpr std::uint32_t kV = 17;
+constexpr std::uint32_t kK = 5;
+constexpr std::uint32_t kUnitBytes = 48;  // odd-ish size, not a power of two
+constexpr std::uint32_t kIterations = 2;
+constexpr std::uint64_t kSeed = 0xD1FF;
+
+std::vector<core::Construction> applicable_constructions() {
+  const auto& planner = engine::ConstructionPlanner::default_planner();
+  std::vector<core::Construction> result;
+  for (const auto& plan : planner.rank_plans({kV, kK}, {})) {
+    if (plan.units_per_disk > 2000) continue;
+    result.push_back(plan.construction);
+  }
+  return result;
+}
+
+struct Case {
+  core::Construction construction;
+  api::SparingMode sparing;
+  std::vector<layout::DiskId> failures;
+};
+
+std::string describe(const Case& c) {
+  std::string text = core::construction_name(c.construction);
+  text += c.sparing == api::SparingMode::kDistributed ? "/distributed"
+                                                      : "/dedicated";
+  text += " failures={";
+  for (const auto d : c.failures) text += std::to_string(d) + ",";
+  text += "}";
+  return text;
+}
+
+/// Every logical read through the store, checked against the reference
+/// array's locate: same resolution kind, same touched units, and -- when
+/// served -- canonical bytes.
+void expect_reads_match(StripeStore& store, const api::Array& reference,
+                        const std::string& context) {
+  std::vector<std::uint8_t> unit(store.unit_bytes());
+  std::vector<std::uint8_t> expected(store.unit_bytes());
+  std::array<Physical, 64> survivors;
+
+  for (std::uint64_t logical = 0; logical < store.num_logical_units();
+       ++logical) {
+    const auto plan = reference.locate(logical, survivors);
+    ASSERT_TRUE(plan.ok()) << context;
+    ReadReceipt receipt;
+    const Status status = store.read(logical, unit, &receipt);
+
+    ASSERT_EQ(receipt.kind, plan->kind)
+        << context << " logical " << logical;
+    if (plan->kind == api::ReadPlan::Kind::kUnrecoverable) {
+      EXPECT_EQ(status.code(), StatusCode::kDataLoss)
+          << context << " logical " << logical;
+      continue;
+    }
+    ASSERT_TRUE(status.ok()) << context << " logical " << logical << ": "
+                             << status.to_string();
+    if (plan->kind == api::ReadPlan::Kind::kDirect) {
+      ASSERT_EQ(receipt.num_touched, 1u) << context << " logical " << logical;
+      EXPECT_EQ(receipt.touched[0], plan->target)
+          << context << " logical " << logical;
+    } else {
+      ASSERT_EQ(receipt.num_touched, plan->num_survivors)
+          << context << " logical " << logical;
+      for (std::uint32_t i = 0; i < plan->num_survivors; ++i)
+        EXPECT_EQ(receipt.touched[i], survivors[i])
+            << context << " logical " << logical << " survivor " << i;
+    }
+    canonical_fill(logical, kSeed, expected);
+    EXPECT_EQ(unit, expected) << context << " logical " << logical;
+  }
+}
+
+/// Rewrites every 7th logical (same canonical content) and pins the write
+/// receipt -- strategy kind, peer reads, written units -- to the
+/// reference array's plan_write.
+void expect_writes_match(StripeStore& store, const api::Array& reference,
+                         const std::string& context) {
+  std::vector<std::uint8_t> unit(store.unit_bytes());
+  std::array<Physical, 64> peers;
+
+  for (std::uint64_t logical = 0; logical < store.num_logical_units();
+       logical += 7) {
+    const auto plan = reference.plan_write(logical, peers);
+    ASSERT_TRUE(plan.ok()) << context;
+    canonical_fill(logical, kSeed, unit);
+    WriteReceipt receipt;
+    const Status status = store.write(logical, unit, &receipt);
+
+    ASSERT_EQ(receipt.kind, plan->kind) << context << " logical " << logical;
+    switch (plan->kind) {
+      case api::WritePlan::Kind::kReadModifyWrite:
+        ASSERT_TRUE(status.ok()) << context;
+        ASSERT_EQ(receipt.num_writes, 2u);
+        EXPECT_EQ(receipt.writes[0], plan->data);
+        EXPECT_EQ(receipt.writes[1], plan->parity);
+        break;
+      case api::WritePlan::Kind::kReconstructWrite:
+        ASSERT_TRUE(status.ok()) << context;
+        ASSERT_EQ(receipt.num_reads, plan->num_peer_reads);
+        for (std::uint32_t i = 0; i < plan->num_peer_reads; ++i)
+          EXPECT_EQ(receipt.reads[i], peers[i])
+              << context << " logical " << logical << " peer " << i;
+        ASSERT_EQ(receipt.num_writes, 1u);
+        EXPECT_EQ(receipt.writes[0], plan->parity);
+        break;
+      case api::WritePlan::Kind::kUnprotectedWrite:
+        ASSERT_TRUE(status.ok()) << context;
+        ASSERT_EQ(receipt.num_writes, 1u);
+        EXPECT_EQ(receipt.writes[0], plan->data);
+        break;
+      case api::WritePlan::Kind::kUnrecoverable:
+        EXPECT_EQ(status.code(), StatusCode::kDataLoss)
+            << context << " logical " << logical;
+        break;
+    }
+  }
+}
+
+void run_case(const Case& c) {
+  const std::string context = describe(c);
+  const core::ArraySpec spec{kV, kK};
+  const api::ArrayOptions options{.sparing = c.sparing,
+                                  .construction = c.construction};
+  auto store_array = api::Array::create(spec, {}, options);
+  auto reference = api::Array::create(spec, {}, options);
+  ASSERT_TRUE(store_array.ok()) << context << ": "
+                                << store_array.status().to_string();
+  ASSERT_TRUE(reference.ok()) << context;
+
+  auto store = StripeStore::create(
+      std::move(store_array).value(),
+      {.unit_bytes = kUnitBytes, .iterations = kIterations});
+  ASSERT_TRUE(store.ok()) << context << ": " << store.status().to_string();
+  ASSERT_TRUE(
+      fill_canonical(*store, 0, store->num_logical_units(), kSeed).ok())
+      << context;
+
+  // Checksums of every disk while healthy, for the rebuild-identity check.
+  const std::vector<std::uint64_t> healthy_sums = store->checksum_disks();
+
+  // Drive both objects through the identical failure sequence.
+  for (const layout::DiskId disk : c.failures) {
+    ASSERT_TRUE(store->fail_disk(disk).ok()) << context;
+    ASSERT_TRUE(reference->fail_disk(disk).ok()) << context;
+  }
+
+  expect_reads_match(*store, *reference, context + " [degraded]");
+  expect_writes_match(*store, *reference, context + " [degraded]");
+  // The rewrites kept content canonical, so reads still verify.
+  expect_reads_match(*store, *reference, context + " [rewritten]");
+
+  // Repair: replacements on both, then rebuild both; the store must land
+  // in the same online state and serve every recoverable byte again.
+  for (const layout::DiskId disk : c.failures) {
+    ASSERT_TRUE(store->replace_disk(disk).ok()) << context;
+    ASSERT_TRUE(reference->replace_disk(disk).ok()) << context;
+  }
+  const auto store_outcome = store->rebuild();
+  ASSERT_TRUE(store_outcome.ok()) << context;
+  const auto ref_outcome = reference->rebuild();
+  ASSERT_TRUE(ref_outcome.ok()) << context;
+  EXPECT_EQ(store_outcome->applied, ref_outcome->applied) << context;
+  EXPECT_EQ(store_outcome->blocked, ref_outcome->blocked) << context;
+  EXPECT_EQ(store->array().lost_units(), reference->lost_units()) << context;
+  EXPECT_EQ(store->array().stripes_lost(), reference->stripes_lost())
+      << context;
+
+  expect_reads_match(*store, *reference, context + " [rebuilt]");
+
+  if (c.failures.size() == 1 && c.sparing == api::SparingMode::kNone) {
+    // Dedicated replacement rebuilds in place: the replacement disk must
+    // be checksum-identical to the disk's pre-failure contents (the
+    // rewrites above re-stored canonical bytes, so content never moved).
+    EXPECT_EQ(store->checksum_disk(c.failures.front()),
+              healthy_sums[c.failures.front()])
+        << context << ": rebuilt disk contents differ from pre-failure";
+    EXPECT_TRUE(store->array().healthy()) << context;
+  }
+  if (c.failures.size() <= 1) {
+    EXPECT_FALSE(store->array().data_loss()) << context;
+  }
+}
+
+TEST(DatapathDifferential, AtLeastFourConstructionsApply) {
+  EXPECT_GE(applicable_constructions().size(), 4u);
+}
+
+TEST(DatapathDifferential, AllConstructionsFailuresAndSparingModes) {
+  const auto constructions = applicable_constructions();
+  ASSERT_GE(constructions.size(), 3u);
+  for (const core::Construction construction : constructions) {
+    for (const api::SparingMode sparing :
+         {api::SparingMode::kNone, api::SparingMode::kDistributed}) {
+      for (const std::uint32_t failures : {0u, 1u, 2u}) {
+        Case c{construction, sparing, {}};
+        if (failures >= 1) c.failures.push_back(0);
+        if (failures >= 2) c.failures.push_back(kV / 2);
+        run_case(c);
+        if (::testing::Test::HasFatalFailure()) return;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pdl::io
