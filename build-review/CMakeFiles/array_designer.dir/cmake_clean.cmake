@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/array_designer.dir/examples/array_designer.cpp.o"
+  "CMakeFiles/array_designer.dir/examples/array_designer.cpp.o.d"
+  "array_designer"
+  "array_designer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/array_designer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

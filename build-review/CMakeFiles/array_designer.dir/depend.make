@@ -1,0 +1,2 @@
+# Empty dependencies file for array_designer.
+# This may be replaced when dependencies are built.

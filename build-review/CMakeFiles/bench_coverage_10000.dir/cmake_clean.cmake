@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_coverage_10000.dir/bench/bench_coverage_10000.cpp.o"
+  "CMakeFiles/bench_coverage_10000.dir/bench/bench_coverage_10000.cpp.o.d"
+  "bench_coverage_10000"
+  "bench_coverage_10000.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_coverage_10000.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_coverage_10000.
+# This may be replaced when dependencies are built.

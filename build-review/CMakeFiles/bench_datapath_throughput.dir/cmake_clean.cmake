@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_datapath_throughput.dir/bench/bench_datapath_throughput.cpp.o"
+  "CMakeFiles/bench_datapath_throughput.dir/bench/bench_datapath_throughput.cpp.o.d"
+  "bench_datapath_throughput"
+  "bench_datapath_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_datapath_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

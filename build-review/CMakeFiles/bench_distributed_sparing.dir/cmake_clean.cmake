@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_distributed_sparing.dir/bench/bench_distributed_sparing.cpp.o"
+  "CMakeFiles/bench_distributed_sparing.dir/bench/bench_distributed_sparing.cpp.o.d"
+  "bench_distributed_sparing"
+  "bench_distributed_sparing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_distributed_sparing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extendibility.dir/bench/bench_extendibility.cpp.o"
+  "CMakeFiles/bench_extendibility.dir/bench/bench_extendibility.cpp.o.d"
+  "bench_extendibility"
+  "bench_extendibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extendibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

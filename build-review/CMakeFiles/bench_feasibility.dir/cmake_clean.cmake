@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_feasibility.dir/bench/bench_feasibility.cpp.o"
+  "CMakeFiles/bench_feasibility.dir/bench/bench_feasibility.cpp.o.d"
+  "bench_feasibility"
+  "bench_feasibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_feasibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_stripe.dir/bench/bench_fig1_stripe.cpp.o"
+  "CMakeFiles/bench_fig1_stripe.dir/bench/bench_fig1_stripe.cpp.o.d"
+  "bench_fig1_stripe"
+  "bench_fig1_stripe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_stripe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_flow_scaling.dir/bench/bench_flow_scaling.cpp.o"
+  "CMakeFiles/bench_flow_scaling.dir/bench/bench_flow_scaling.cpp.o.d"
+  "bench_flow_scaling"
+  "bench_flow_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_flow_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mapper_throughput.dir/bench/bench_mapper_throughput.cpp.o"
+  "CMakeFiles/bench_mapper_throughput.dir/bench/bench_mapper_throughput.cpp.o.d"
+  "bench_mapper_throughput"
+  "bench_mapper_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mapper_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

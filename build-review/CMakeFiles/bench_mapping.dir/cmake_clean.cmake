@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mapping.dir/bench/bench_mapping.cpp.o"
+  "CMakeFiles/bench_mapping.dir/bench/bench_mapping.cpp.o.d"
+  "bench_mapping"
+  "bench_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

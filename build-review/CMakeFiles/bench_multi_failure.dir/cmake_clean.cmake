@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multi_failure.dir/bench/bench_multi_failure.cpp.o"
+  "CMakeFiles/bench_multi_failure.dir/bench/bench_multi_failure.cpp.o.d"
+  "bench_multi_failure"
+  "bench_multi_failure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multi_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

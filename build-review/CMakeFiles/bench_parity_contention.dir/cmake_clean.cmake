@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_parity_contention.dir/bench/bench_parity_contention.cpp.o"
+  "CMakeFiles/bench_parity_contention.dir/bench/bench_parity_contention.cpp.o.d"
+  "bench_parity_contention"
+  "bench_parity_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_parity_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_randomized.dir/bench/bench_randomized.cpp.o"
+  "CMakeFiles/bench_randomized.dir/bench/bench_randomized.cpp.o.d"
+  "bench_randomized"
+  "bench_randomized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_randomized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

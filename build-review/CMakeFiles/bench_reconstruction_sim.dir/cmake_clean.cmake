@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reconstruction_sim.dir/bench/bench_reconstruction_sim.cpp.o"
+  "CMakeFiles/bench_reconstruction_sim.dir/bench/bench_reconstruction_sim.cpp.o.d"
+  "bench_reconstruction_sim"
+  "bench_reconstruction_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reconstruction_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm1012_stairway.dir/bench/bench_thm1012_stairway.cpp.o"
+  "CMakeFiles/bench_thm1012_stairway.dir/bench/bench_thm1012_stairway.cpp.o.d"
+  "bench_thm1012_stairway"
+  "bench_thm1012_stairway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm1012_stairway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

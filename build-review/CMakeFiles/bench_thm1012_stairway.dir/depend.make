@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_thm1012_stairway.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm1314_flow.dir/bench/bench_thm1314_flow.cpp.o"
+  "CMakeFiles/bench_thm1314_flow.dir/bench/bench_thm1314_flow.cpp.o.d"
+  "bench_thm1314_flow"
+  "bench_thm1314_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm1314_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

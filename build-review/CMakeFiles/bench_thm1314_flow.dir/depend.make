@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_thm1314_flow.
+# This may be replaced when dependencies are built.

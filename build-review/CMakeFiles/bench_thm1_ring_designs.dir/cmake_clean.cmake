@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm1_ring_designs.dir/bench/bench_thm1_ring_designs.cpp.o"
+  "CMakeFiles/bench_thm1_ring_designs.dir/bench/bench_thm1_ring_designs.cpp.o.d"
+  "bench_thm1_ring_designs"
+  "bench_thm1_ring_designs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm1_ring_designs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_thm1_ring_designs.
+# This may be replaced when dependencies are built.

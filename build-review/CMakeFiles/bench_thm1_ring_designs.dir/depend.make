@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_thm1_ring_designs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm2_mv.dir/bench/bench_thm2_mv.cpp.o"
+  "CMakeFiles/bench_thm2_mv.dir/bench/bench_thm2_mv.cpp.o.d"
+  "bench_thm2_mv"
+  "bench_thm2_mv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm2_mv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_thm2_mv.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm45_reduced.dir/bench/bench_thm45_reduced.cpp.o"
+  "CMakeFiles/bench_thm45_reduced.dir/bench/bench_thm45_reduced.cpp.o.d"
+  "bench_thm45_reduced"
+  "bench_thm45_reduced.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm45_reduced.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_thm45_reduced.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm67_subfield.dir/bench/bench_thm67_subfield.cpp.o"
+  "CMakeFiles/bench_thm67_subfield.dir/bench/bench_thm67_subfield.cpp.o.d"
+  "bench_thm67_subfield"
+  "bench_thm67_subfield.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm67_subfield.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm89_removal.dir/bench/bench_thm89_removal.cpp.o"
+  "CMakeFiles/bench_thm89_removal.dir/bench/bench_thm89_removal.cpp.o.d"
+  "bench_thm89_removal"
+  "bench_thm89_removal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm89_removal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

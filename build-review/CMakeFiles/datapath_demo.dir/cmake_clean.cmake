@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datapath_demo.dir/examples/datapath_demo.cpp.o"
+  "CMakeFiles/datapath_demo.dir/examples/datapath_demo.cpp.o.d"
+  "datapath_demo"
+  "datapath_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datapath_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_sparing.dir/examples/distributed_sparing.cpp.o"
+  "CMakeFiles/distributed_sparing.dir/examples/distributed_sparing.cpp.o.d"
+  "distributed_sparing"
+  "distributed_sparing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_sparing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

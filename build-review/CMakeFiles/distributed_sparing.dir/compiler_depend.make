@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for distributed_sparing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for distributed_sparing.
+# This may be replaced when dependencies are built.

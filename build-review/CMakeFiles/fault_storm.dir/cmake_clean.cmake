@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_storm.dir/examples/fault_storm.cpp.o"
+  "CMakeFiles/fault_storm.dir/examples/fault_storm.cpp.o.d"
+  "fault_storm"
+  "fault_storm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_storm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fault_storm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure_gallery.dir/examples/figure_gallery.cpp.o"
+  "CMakeFiles/figure_gallery.dir/examples/figure_gallery.cpp.o.d"
+  "figure_gallery"
+  "figure_gallery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure_gallery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

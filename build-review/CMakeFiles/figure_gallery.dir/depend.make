@@ -1,0 +1,2 @@
+# Empty dependencies file for figure_gallery.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layout_explorer.dir/examples/layout_explorer.cpp.o"
+  "CMakeFiles/layout_explorer.dir/examples/layout_explorer.cpp.o.d"
+  "layout_explorer"
+  "layout_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layout_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for layout_explorer.
+# This may be replaced when dependencies are built.

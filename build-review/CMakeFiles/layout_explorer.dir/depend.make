@@ -1,0 +1,2 @@
+# Empty dependencies file for layout_explorer.
+# This may be replaced when dependencies are built.

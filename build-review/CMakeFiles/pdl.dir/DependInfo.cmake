@@ -1,0 +1,68 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algebra/gf.cpp" "CMakeFiles/pdl.dir/src/algebra/gf.cpp.o" "gcc" "CMakeFiles/pdl.dir/src/algebra/gf.cpp.o.d"
+  "/root/repo/src/algebra/numtheory.cpp" "CMakeFiles/pdl.dir/src/algebra/numtheory.cpp.o" "gcc" "CMakeFiles/pdl.dir/src/algebra/numtheory.cpp.o.d"
+  "/root/repo/src/algebra/polynomial.cpp" "CMakeFiles/pdl.dir/src/algebra/polynomial.cpp.o" "gcc" "CMakeFiles/pdl.dir/src/algebra/polynomial.cpp.o.d"
+  "/root/repo/src/algebra/product_ring.cpp" "CMakeFiles/pdl.dir/src/algebra/product_ring.cpp.o" "gcc" "CMakeFiles/pdl.dir/src/algebra/product_ring.cpp.o.d"
+  "/root/repo/src/algebra/ring.cpp" "CMakeFiles/pdl.dir/src/algebra/ring.cpp.o" "gcc" "CMakeFiles/pdl.dir/src/algebra/ring.cpp.o.d"
+  "/root/repo/src/algebra/zmod.cpp" "CMakeFiles/pdl.dir/src/algebra/zmod.cpp.o" "gcc" "CMakeFiles/pdl.dir/src/algebra/zmod.cpp.o.d"
+  "/root/repo/src/api/array.cpp" "CMakeFiles/pdl.dir/src/api/array.cpp.o" "gcc" "CMakeFiles/pdl.dir/src/api/array.cpp.o.d"
+  "/root/repo/src/core/declustered_array.cpp" "CMakeFiles/pdl.dir/src/core/declustered_array.cpp.o" "gcc" "CMakeFiles/pdl.dir/src/core/declustered_array.cpp.o.d"
+  "/root/repo/src/core/recovery.cpp" "CMakeFiles/pdl.dir/src/core/recovery.cpp.o" "gcc" "CMakeFiles/pdl.dir/src/core/recovery.cpp.o.d"
+  "/root/repo/src/core/status.cpp" "CMakeFiles/pdl.dir/src/core/status.cpp.o" "gcc" "CMakeFiles/pdl.dir/src/core/status.cpp.o.d"
+  "/root/repo/src/core/xor_codec.cpp" "CMakeFiles/pdl.dir/src/core/xor_codec.cpp.o" "gcc" "CMakeFiles/pdl.dir/src/core/xor_codec.cpp.o.d"
+  "/root/repo/src/design/bibd.cpp" "CMakeFiles/pdl.dir/src/design/bibd.cpp.o" "gcc" "CMakeFiles/pdl.dir/src/design/bibd.cpp.o.d"
+  "/root/repo/src/design/bounds.cpp" "CMakeFiles/pdl.dir/src/design/bounds.cpp.o" "gcc" "CMakeFiles/pdl.dir/src/design/bounds.cpp.o.d"
+  "/root/repo/src/design/catalog.cpp" "CMakeFiles/pdl.dir/src/design/catalog.cpp.o" "gcc" "CMakeFiles/pdl.dir/src/design/catalog.cpp.o.d"
+  "/root/repo/src/design/complete_design.cpp" "CMakeFiles/pdl.dir/src/design/complete_design.cpp.o" "gcc" "CMakeFiles/pdl.dir/src/design/complete_design.cpp.o.d"
+  "/root/repo/src/design/reduced_design.cpp" "CMakeFiles/pdl.dir/src/design/reduced_design.cpp.o" "gcc" "CMakeFiles/pdl.dir/src/design/reduced_design.cpp.o.d"
+  "/root/repo/src/design/ring_design.cpp" "CMakeFiles/pdl.dir/src/design/ring_design.cpp.o" "gcc" "CMakeFiles/pdl.dir/src/design/ring_design.cpp.o.d"
+  "/root/repo/src/design/subfield_design.cpp" "CMakeFiles/pdl.dir/src/design/subfield_design.cpp.o" "gcc" "CMakeFiles/pdl.dir/src/design/subfield_design.cpp.o.d"
+  "/root/repo/src/engine/builders.cpp" "CMakeFiles/pdl.dir/src/engine/builders.cpp.o" "gcc" "CMakeFiles/pdl.dir/src/engine/builders.cpp.o.d"
+  "/root/repo/src/engine/engine.cpp" "CMakeFiles/pdl.dir/src/engine/engine.cpp.o" "gcc" "CMakeFiles/pdl.dir/src/engine/engine.cpp.o.d"
+  "/root/repo/src/engine/layout_cache.cpp" "CMakeFiles/pdl.dir/src/engine/layout_cache.cpp.o" "gcc" "CMakeFiles/pdl.dir/src/engine/layout_cache.cpp.o.d"
+  "/root/repo/src/engine/planner.cpp" "CMakeFiles/pdl.dir/src/engine/planner.cpp.o" "gcc" "CMakeFiles/pdl.dir/src/engine/planner.cpp.o.d"
+  "/root/repo/src/flow/bounded_flow.cpp" "CMakeFiles/pdl.dir/src/flow/bounded_flow.cpp.o" "gcc" "CMakeFiles/pdl.dir/src/flow/bounded_flow.cpp.o.d"
+  "/root/repo/src/flow/dinic.cpp" "CMakeFiles/pdl.dir/src/flow/dinic.cpp.o" "gcc" "CMakeFiles/pdl.dir/src/flow/dinic.cpp.o.d"
+  "/root/repo/src/flow/matching.cpp" "CMakeFiles/pdl.dir/src/flow/matching.cpp.o" "gcc" "CMakeFiles/pdl.dir/src/flow/matching.cpp.o.d"
+  "/root/repo/src/flow/parity_assign.cpp" "CMakeFiles/pdl.dir/src/flow/parity_assign.cpp.o" "gcc" "CMakeFiles/pdl.dir/src/flow/parity_assign.cpp.o.d"
+  "/root/repo/src/io/stripe_store.cpp" "CMakeFiles/pdl.dir/src/io/stripe_store.cpp.o" "gcc" "CMakeFiles/pdl.dir/src/io/stripe_store.cpp.o.d"
+  "/root/repo/src/io/workload_driver.cpp" "CMakeFiles/pdl.dir/src/io/workload_driver.cpp.o" "gcc" "CMakeFiles/pdl.dir/src/io/workload_driver.cpp.o.d"
+  "/root/repo/src/layout/bibd_layout.cpp" "CMakeFiles/pdl.dir/src/layout/bibd_layout.cpp.o" "gcc" "CMakeFiles/pdl.dir/src/layout/bibd_layout.cpp.o.d"
+  "/root/repo/src/layout/compiled_mapper.cpp" "CMakeFiles/pdl.dir/src/layout/compiled_mapper.cpp.o" "gcc" "CMakeFiles/pdl.dir/src/layout/compiled_mapper.cpp.o.d"
+  "/root/repo/src/layout/disk_removal.cpp" "CMakeFiles/pdl.dir/src/layout/disk_removal.cpp.o" "gcc" "CMakeFiles/pdl.dir/src/layout/disk_removal.cpp.o.d"
+  "/root/repo/src/layout/feasibility.cpp" "CMakeFiles/pdl.dir/src/layout/feasibility.cpp.o" "gcc" "CMakeFiles/pdl.dir/src/layout/feasibility.cpp.o.d"
+  "/root/repo/src/layout/layout.cpp" "CMakeFiles/pdl.dir/src/layout/layout.cpp.o" "gcc" "CMakeFiles/pdl.dir/src/layout/layout.cpp.o.d"
+  "/root/repo/src/layout/mapping.cpp" "CMakeFiles/pdl.dir/src/layout/mapping.cpp.o" "gcc" "CMakeFiles/pdl.dir/src/layout/mapping.cpp.o.d"
+  "/root/repo/src/layout/metrics.cpp" "CMakeFiles/pdl.dir/src/layout/metrics.cpp.o" "gcc" "CMakeFiles/pdl.dir/src/layout/metrics.cpp.o.d"
+  "/root/repo/src/layout/migration.cpp" "CMakeFiles/pdl.dir/src/layout/migration.cpp.o" "gcc" "CMakeFiles/pdl.dir/src/layout/migration.cpp.o.d"
+  "/root/repo/src/layout/parallelism.cpp" "CMakeFiles/pdl.dir/src/layout/parallelism.cpp.o" "gcc" "CMakeFiles/pdl.dir/src/layout/parallelism.cpp.o.d"
+  "/root/repo/src/layout/raid.cpp" "CMakeFiles/pdl.dir/src/layout/raid.cpp.o" "gcc" "CMakeFiles/pdl.dir/src/layout/raid.cpp.o.d"
+  "/root/repo/src/layout/randomized.cpp" "CMakeFiles/pdl.dir/src/layout/randomized.cpp.o" "gcc" "CMakeFiles/pdl.dir/src/layout/randomized.cpp.o.d"
+  "/root/repo/src/layout/ring_layout.cpp" "CMakeFiles/pdl.dir/src/layout/ring_layout.cpp.o" "gcc" "CMakeFiles/pdl.dir/src/layout/ring_layout.cpp.o.d"
+  "/root/repo/src/layout/serialize.cpp" "CMakeFiles/pdl.dir/src/layout/serialize.cpp.o" "gcc" "CMakeFiles/pdl.dir/src/layout/serialize.cpp.o.d"
+  "/root/repo/src/layout/sparing.cpp" "CMakeFiles/pdl.dir/src/layout/sparing.cpp.o" "gcc" "CMakeFiles/pdl.dir/src/layout/sparing.cpp.o.d"
+  "/root/repo/src/layout/stairway.cpp" "CMakeFiles/pdl.dir/src/layout/stairway.cpp.o" "gcc" "CMakeFiles/pdl.dir/src/layout/stairway.cpp.o.d"
+  "/root/repo/src/sim/array_sim.cpp" "CMakeFiles/pdl.dir/src/sim/array_sim.cpp.o" "gcc" "CMakeFiles/pdl.dir/src/sim/array_sim.cpp.o.d"
+  "/root/repo/src/sim/disk.cpp" "CMakeFiles/pdl.dir/src/sim/disk.cpp.o" "gcc" "CMakeFiles/pdl.dir/src/sim/disk.cpp.o.d"
+  "/root/repo/src/sim/fault_timeline.cpp" "CMakeFiles/pdl.dir/src/sim/fault_timeline.cpp.o" "gcc" "CMakeFiles/pdl.dir/src/sim/fault_timeline.cpp.o.d"
+  "/root/repo/src/sim/rebuild_scheduler.cpp" "CMakeFiles/pdl.dir/src/sim/rebuild_scheduler.cpp.o" "gcc" "CMakeFiles/pdl.dir/src/sim/rebuild_scheduler.cpp.o.d"
+  "/root/repo/src/sim/reconstruction.cpp" "CMakeFiles/pdl.dir/src/sim/reconstruction.cpp.o" "gcc" "CMakeFiles/pdl.dir/src/sim/reconstruction.cpp.o.d"
+  "/root/repo/src/sim/scenario.cpp" "CMakeFiles/pdl.dir/src/sim/scenario.cpp.o" "gcc" "CMakeFiles/pdl.dir/src/sim/scenario.cpp.o.d"
+  "/root/repo/src/sim/workload.cpp" "CMakeFiles/pdl.dir/src/sim/workload.cpp.o" "gcc" "CMakeFiles/pdl.dir/src/sim/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reconstruction_sim.dir/examples/reconstruction_sim.cpp.o"
+  "CMakeFiles/reconstruction_sim.dir/examples/reconstruction_sim.cpp.o.d"
+  "reconstruction_sim"
+  "reconstruction_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reconstruction_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

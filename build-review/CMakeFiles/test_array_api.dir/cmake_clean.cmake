@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_array_api.dir/tests/test_array_api.cpp.o"
+  "CMakeFiles/test_array_api.dir/tests/test_array_api.cpp.o.d"
+  "test_array_api"
+  "test_array_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_array_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bibd.dir/tests/test_bibd.cpp.o"
+  "CMakeFiles/test_bibd.dir/tests/test_bibd.cpp.o.d"
+  "test_bibd"
+  "test_bibd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bibd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

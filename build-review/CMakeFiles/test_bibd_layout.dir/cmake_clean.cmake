@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bibd_layout.dir/tests/test_bibd_layout.cpp.o"
+  "CMakeFiles/test_bibd_layout.dir/tests/test_bibd_layout.cpp.o.d"
+  "test_bibd_layout"
+  "test_bibd_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bibd_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

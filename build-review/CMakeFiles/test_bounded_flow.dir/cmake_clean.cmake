@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bounded_flow.dir/tests/test_bounded_flow.cpp.o"
+  "CMakeFiles/test_bounded_flow.dir/tests/test_bounded_flow.cpp.o.d"
+  "test_bounded_flow"
+  "test_bounded_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bounded_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

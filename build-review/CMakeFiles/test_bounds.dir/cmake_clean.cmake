@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bounds.dir/tests/test_bounds.cpp.o"
+  "CMakeFiles/test_bounds.dir/tests/test_bounds.cpp.o.d"
+  "test_bounds"
+  "test_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

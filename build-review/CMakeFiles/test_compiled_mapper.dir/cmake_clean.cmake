@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compiled_mapper.dir/tests/test_compiled_mapper.cpp.o"
+  "CMakeFiles/test_compiled_mapper.dir/tests/test_compiled_mapper.cpp.o.d"
+  "test_compiled_mapper"
+  "test_compiled_mapper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compiled_mapper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_complete_design.dir/tests/test_complete_design.cpp.o"
+  "CMakeFiles/test_complete_design.dir/tests/test_complete_design.cpp.o.d"
+  "test_complete_design"
+  "test_complete_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_complete_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

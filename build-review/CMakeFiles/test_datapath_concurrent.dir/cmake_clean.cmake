@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_datapath_concurrent.dir/tests/test_datapath_concurrent.cpp.o"
+  "CMakeFiles/test_datapath_concurrent.dir/tests/test_datapath_concurrent.cpp.o.d"
+  "test_datapath_concurrent"
+  "test_datapath_concurrent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_datapath_concurrent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_datapath_differential.dir/tests/test_datapath_differential.cpp.o"
+  "CMakeFiles/test_datapath_differential.dir/tests/test_datapath_differential.cpp.o.d"
+  "test_datapath_differential"
+  "test_datapath_differential.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_datapath_differential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

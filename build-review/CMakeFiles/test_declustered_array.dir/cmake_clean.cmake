@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_declustered_array.dir/tests/test_declustered_array.cpp.o"
+  "CMakeFiles/test_declustered_array.dir/tests/test_declustered_array.cpp.o.d"
+  "test_declustered_array"
+  "test_declustered_array.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_declustered_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

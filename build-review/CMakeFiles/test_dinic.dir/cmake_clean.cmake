@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dinic.dir/tests/test_dinic.cpp.o"
+  "CMakeFiles/test_dinic.dir/tests/test_dinic.cpp.o.d"
+  "test_dinic"
+  "test_dinic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dinic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_disk.dir/tests/test_disk.cpp.o"
+  "CMakeFiles/test_disk.dir/tests/test_disk.cpp.o.d"
+  "test_disk"
+  "test_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_disk_removal.dir/tests/test_disk_removal.cpp.o"
+  "CMakeFiles/test_disk_removal.dir/tests/test_disk_removal.cpp.o.d"
+  "test_disk_removal"
+  "test_disk_removal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_disk_removal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_event_queue.dir/tests/test_event_queue.cpp.o"
+  "CMakeFiles/test_event_queue.dir/tests/test_event_queue.cpp.o.d"
+  "test_event_queue"
+  "test_event_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_event_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fault_timeline.dir/tests/test_fault_timeline.cpp.o"
+  "CMakeFiles/test_fault_timeline.dir/tests/test_fault_timeline.cpp.o.d"
+  "test_fault_timeline"
+  "test_fault_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fault_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

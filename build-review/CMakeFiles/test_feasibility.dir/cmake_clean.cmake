@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_feasibility.dir/tests/test_feasibility.cpp.o"
+  "CMakeFiles/test_feasibility.dir/tests/test_feasibility.cpp.o.d"
+  "test_feasibility"
+  "test_feasibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_feasibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

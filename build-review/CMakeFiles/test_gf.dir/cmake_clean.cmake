@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gf.dir/tests/test_gf.cpp.o"
+  "CMakeFiles/test_gf.dir/tests/test_gf.cpp.o.d"
+  "test_gf"
+  "test_gf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

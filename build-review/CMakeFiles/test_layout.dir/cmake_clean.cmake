@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_layout.dir/tests/test_layout.cpp.o"
+  "CMakeFiles/test_layout.dir/tests/test_layout.cpp.o.d"
+  "test_layout"
+  "test_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

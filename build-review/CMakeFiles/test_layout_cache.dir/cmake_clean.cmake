@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_layout_cache.dir/tests/test_layout_cache.cpp.o"
+  "CMakeFiles/test_layout_cache.dir/tests/test_layout_cache.cpp.o.d"
+  "test_layout_cache"
+  "test_layout_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_layout_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_layout_properties.dir/tests/test_layout_properties.cpp.o"
+  "CMakeFiles/test_layout_properties.dir/tests/test_layout_properties.cpp.o.d"
+  "test_layout_properties"
+  "test_layout_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_layout_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

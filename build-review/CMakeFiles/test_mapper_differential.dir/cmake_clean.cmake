@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mapper_differential.dir/tests/test_mapper_differential.cpp.o"
+  "CMakeFiles/test_mapper_differential.dir/tests/test_mapper_differential.cpp.o.d"
+  "test_mapper_differential"
+  "test_mapper_differential.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mapper_differential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

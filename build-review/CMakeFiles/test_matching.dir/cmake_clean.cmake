@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_matching.dir/tests/test_matching.cpp.o"
+  "CMakeFiles/test_matching.dir/tests/test_matching.cpp.o.d"
+  "test_matching"
+  "test_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

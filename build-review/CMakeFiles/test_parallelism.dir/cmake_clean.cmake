@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallelism.dir/tests/test_parallelism.cpp.o"
+  "CMakeFiles/test_parallelism.dir/tests/test_parallelism.cpp.o.d"
+  "test_parallelism"
+  "test_parallelism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallelism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

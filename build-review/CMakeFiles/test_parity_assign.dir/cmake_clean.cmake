@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parity_assign.dir/tests/test_parity_assign.cpp.o"
+  "CMakeFiles/test_parity_assign.dir/tests/test_parity_assign.cpp.o.d"
+  "test_parity_assign"
+  "test_parity_assign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parity_assign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

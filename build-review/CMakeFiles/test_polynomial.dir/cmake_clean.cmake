@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_polynomial.dir/tests/test_polynomial.cpp.o"
+  "CMakeFiles/test_polynomial.dir/tests/test_polynomial.cpp.o.d"
+  "test_polynomial"
+  "test_polynomial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_polynomial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

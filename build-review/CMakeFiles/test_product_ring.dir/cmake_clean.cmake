@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_product_ring.dir/tests/test_product_ring.cpp.o"
+  "CMakeFiles/test_product_ring.dir/tests/test_product_ring.cpp.o.d"
+  "test_product_ring"
+  "test_product_ring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_product_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_product_ring.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_product_ring.
+# This may be replaced when dependencies are built.

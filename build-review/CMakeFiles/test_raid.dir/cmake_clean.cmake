@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_raid.dir/tests/test_raid.cpp.o"
+  "CMakeFiles/test_raid.dir/tests/test_raid.cpp.o.d"
+  "test_raid"
+  "test_raid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_raid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_raid.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_randomized.dir/tests/test_randomized.cpp.o"
+  "CMakeFiles/test_randomized.dir/tests/test_randomized.cpp.o.d"
+  "test_randomized"
+  "test_randomized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_randomized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reconstruction.dir/tests/test_reconstruction.cpp.o"
+  "CMakeFiles/test_reconstruction.dir/tests/test_reconstruction.cpp.o.d"
+  "test_reconstruction"
+  "test_reconstruction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reconstruction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reduced_design.dir/tests/test_reduced_design.cpp.o"
+  "CMakeFiles/test_reduced_design.dir/tests/test_reduced_design.cpp.o.d"
+  "test_reduced_design"
+  "test_reduced_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reduced_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ring_design.dir/tests/test_ring_design.cpp.o"
+  "CMakeFiles/test_ring_design.dir/tests/test_ring_design.cpp.o.d"
+  "test_ring_design"
+  "test_ring_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ring_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_ring_design.
+# This may be replaced when dependencies are built.

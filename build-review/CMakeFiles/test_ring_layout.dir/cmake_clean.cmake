@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ring_layout.dir/tests/test_ring_layout.cpp.o"
+  "CMakeFiles/test_ring_layout.dir/tests/test_ring_layout.cpp.o.d"
+  "test_ring_layout"
+  "test_ring_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ring_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

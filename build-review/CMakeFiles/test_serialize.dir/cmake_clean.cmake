@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_serialize.dir/tests/test_serialize.cpp.o"
+  "CMakeFiles/test_serialize.dir/tests/test_serialize.cpp.o.d"
+  "test_serialize"
+  "test_serialize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_serialize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sparing.dir/tests/test_sparing.cpp.o"
+  "CMakeFiles/test_sparing.dir/tests/test_sparing.cpp.o.d"
+  "test_sparing"
+  "test_sparing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sparing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

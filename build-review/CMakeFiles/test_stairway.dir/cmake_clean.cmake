@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stairway.dir/tests/test_stairway.cpp.o"
+  "CMakeFiles/test_stairway.dir/tests/test_stairway.cpp.o.d"
+  "test_stairway"
+  "test_stairway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stairway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

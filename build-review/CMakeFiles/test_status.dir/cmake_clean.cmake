@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_status.dir/tests/test_status.cpp.o"
+  "CMakeFiles/test_status.dir/tests/test_status.cpp.o.d"
+  "test_status"
+  "test_status.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_status.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

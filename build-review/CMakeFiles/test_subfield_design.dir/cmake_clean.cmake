@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_subfield_design.dir/tests/test_subfield_design.cpp.o"
+  "CMakeFiles/test_subfield_design.dir/tests/test_subfield_design.cpp.o.d"
+  "test_subfield_design"
+  "test_subfield_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_subfield_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xor_codec.dir/tests/test_xor_codec.cpp.o"
+  "CMakeFiles/test_xor_codec.dir/tests/test_xor_codec.cpp.o.d"
+  "test_xor_codec"
+  "test_xor_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xor_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xor_codec_properties.dir/tests/test_xor_codec_properties.cpp.o"
+  "CMakeFiles/test_xor_codec_properties.dir/tests/test_xor_codec_properties.cpp.o.d"
+  "test_xor_codec_properties"
+  "test_xor_codec_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xor_codec_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zmod.dir/tests/test_zmod.cpp.o"
+  "CMakeFiles/test_zmod.dir/tests/test_zmod.cpp.o.d"
+  "test_zmod"
+  "test_zmod.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zmod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
