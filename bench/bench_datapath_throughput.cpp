@@ -1,20 +1,29 @@
 // Byte-level data-path throughput: for every layout construction that
-// applies at (v, k), in both sparing modes, a multi-threaded workload
-// hammers an io::StripeStore through three phases -- healthy, degraded
-// (one disk failed, reads reconstructed from survivors), and rebuilding
-// (serving concurrent with physical rebuild) -- and reports user MB/s per
-// phase plus rebuild bandwidth.  Every byte served is verified against
-// the canonical content pattern, and the post-rebuild store is swept
-// end-to-end, so the numbers come with a built-in correctness proof.
+// applies at (v, k), in both sparing modes, over the selected storage
+// backends, a multi-threaded workload hammers an io::StripeStore through
+// three phases -- healthy, degraded (one disk failed, reads reconstructed
+// from survivors), and rebuilding (serving concurrent with physical
+// rebuild) -- and reports user MB/s per phase plus rebuild bandwidth.
+// Every byte served is verified against the canonical content pattern,
+// and the post-rebuild store is swept end-to-end, so the numbers come
+// with a built-in correctness proof.
 //
-//   $ ./bench_datapath_throughput [--smoke] [v] [k]   (defaults: 17 5)
+//   $ ./bench_datapath_throughput [--smoke] [--backend memory|file|both]
+//         [v] [k]                                          (defaults: 17 5)
 //
-// --smoke shrinks the configuration for CI (tiny units, few ops).
+// --smoke shrinks the configuration for CI (tiny units, few ops) and
+// defaults to --backend both, so every CI run exercises the file-backed
+// substrate; full runs default to --backend memory.  File-backed stores
+// live under a per-process temp directory, removed as each run finishes.
+
+#include <unistd.h>
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -22,6 +31,7 @@
 #include "api/array.hpp"
 #include "bench_util.hpp"
 #include "engine/planner.hpp"
+#include "io/disk_backend.hpp"
 #include "io/stripe_store.hpp"
 #include "io/workload_driver.hpp"
 
@@ -70,19 +80,164 @@ std::uint64_t verify_all(io::StripeStore& store, std::uint64_t seed) {
   return mismatches;
 }
 
+/// One full healthy -> degraded -> rebuilding -> verified run of one
+/// (construction, sparing, backend) cell.  Returns false on any
+/// verification or I/O failure.  The store (and its file descriptors, for
+/// the file backend) is torn down before returning, so the caller may
+/// remove `scratch_dir` immediately after.
+bool run_one(const engine::LayoutPlan& plan, api::SparingMode sparing,
+             const char* mode, const std::string& backend_kind,
+             const std::filesystem::path& scratch_dir,
+             const BenchConfig& config, std::uint64_t seed) {
+  auto array = api::Array::create(
+      plan.spec, {}, {.sparing = sparing, .construction = plan.construction});
+  if (!array.ok()) {
+    std::fprintf(stderr, "skipping %s/%s: %s\n",
+                 core::construction_name(plan.construction).c_str(), mode,
+                 array.status().to_string().c_str());
+    return true;  // inapplicable, not a failure
+  }
+
+  std::unique_ptr<io::DiskBackend> backend;
+  if (backend_kind == "file")
+    backend = io::make_file_backend({.directory = scratch_dir.string()});
+  else
+    backend = io::make_memory_backend();
+
+  auto store = io::StripeStore::create(
+      std::move(array).value(),
+      {.unit_bytes = config.unit_bytes, .iterations = config.iterations},
+      std::move(backend));
+  if (!store.ok()) {
+    std::fprintf(stderr, "store creation failed: %s\n",
+                 store.status().to_string().c_str());
+    return false;
+  }
+
+  if (Status filled =
+          io::fill_canonical(*store, 0, store->num_logical_units(), seed);
+      !filled.ok()) {
+    std::fprintf(stderr, "fill failed: %s\n", filled.to_string().c_str());
+    return false;
+  }
+  const auto checksum_before = store->checksum_disk(0);
+
+  const PhaseResult healthy = run_phase(*store, config, seed);
+
+  if (!store->fail_disk(0).ok()) return false;
+  const PhaseResult degraded = run_phase(*store, config, seed);
+
+  // Rebuilding phase: a rebuilder thread drains the repair plan in small
+  // batches while the workload keeps serving.
+  if (!store->replace_disk(0).ok()) return false;
+  const auto rebuild_start = std::chrono::steady_clock::now();
+  std::uint64_t stripes_rebuilt = 0;
+  double rebuild_seconds = 0;
+  std::thread rebuilder([&] {
+    for (;;) {
+      const auto applied = store->rebuild_some(4);
+      if (!applied.ok() || *applied == 0) break;
+      stripes_rebuilt += *applied;
+    }
+    rebuild_seconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - rebuild_start)
+                          .count();
+  });
+  const PhaseResult rebuilding = run_phase(*store, config, seed);
+  rebuilder.join();
+  // The workload may outlast the rebuild (or vice versa); finish any
+  // remainder so verification sees a fully repaired store.
+  const auto outcome = store->rebuild();
+  if (!outcome.ok()) return false;
+  stripes_rebuilt += outcome->applied;
+
+  const std::uint64_t mismatches = verify_all(*store, seed);
+  const auto checksum_after = store->checksum_disk(0);
+  const bool disk_identical = checksum_before.ok() && checksum_after.ok() &&
+                              *checksum_after == *checksum_before;
+  const std::uint64_t verify_failures = healthy.stats.verify_failures +
+                                        degraded.stats.verify_failures +
+                                        rebuilding.stats.verify_failures;
+  const bool verified =
+      mismatches == 0 && verify_failures == 0 && store->array().healthy() &&
+      (sparing == api::SparingMode::kNone ? disk_identical : true);
+
+  const double rebuild_mbps =
+      rebuild_seconds > 0
+          ? static_cast<double>(stripes_rebuilt) * config.iterations *
+                config.unit_bytes / 1e6 / rebuild_seconds
+          : 0.0;
+
+  std::printf(
+      "%-14s %-11s %-6s healthy %8.1f MB/s | degraded %8.1f MB/s | "
+      "rebuilding %8.1f MB/s | rebuild %7.1f MB/s | %s\n",
+      core::construction_name(plan.construction).c_str(), mode,
+      backend_kind.c_str(), healthy.mbps, degraded.mbps, rebuilding.mbps,
+      rebuild_mbps, bench::okbad(verified));
+
+  // schema_version 2: added the "backend" field (PR 5).
+  bench::json_result("datapath_throughput", /*schema_version=*/2)
+      .field("construction", core::construction_name(plan.construction))
+      .field("sparing", mode)
+      .field("backend", backend_kind)
+      .field("v", static_cast<std::uint64_t>(plan.spec.num_disks))
+      .field("k", static_cast<std::uint64_t>(plan.spec.stripe_size))
+      .field("units_per_disk", static_cast<std::uint64_t>(plan.units_per_disk))
+      .field("unit_bytes", static_cast<std::uint64_t>(config.unit_bytes))
+      .field("iterations", static_cast<std::uint64_t>(config.iterations))
+      .field("threads", static_cast<std::uint64_t>(config.threads))
+      .field("ops_per_thread", config.ops_per_thread)
+      .field("read_fraction", config.read_fraction)
+      .field("healthy_mbps", healthy.mbps)
+      .field("degraded_mbps", degraded.mbps)
+      .field("rebuilding_mbps", rebuilding.mbps)
+      .field("rebuild_mbps", rebuild_mbps)
+      .field("degraded_reads",
+             degraded.stats.degraded_reads + rebuilding.stats.degraded_reads)
+      .field("stripes_rebuilt", stripes_rebuilt)
+      .field("verify_failures", verify_failures)
+      .field("post_rebuild_mismatches", mismatches)
+      .field("disk0_checksum_identical", disk_identical)
+      .field("verified", verified)
+      .emit();
+  return verified;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  std::string backend_arg;
   int arg = 1;
-  if (arg < argc && std::strcmp(argv[arg], "--smoke") == 0) {
-    smoke = true;
-    ++arg;
+  while (arg < argc && argv[arg][0] == '-') {
+    if (std::strcmp(argv[arg], "--smoke") == 0) {
+      smoke = true;
+      ++arg;
+    } else if (std::strcmp(argv[arg], "--backend") == 0 && arg + 1 < argc) {
+      backend_arg = argv[arg + 1];
+      arg += 2;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--backend memory|file|both] [v] [k]\n",
+                   argv[0]);
+      return 1;
+    }
   }
   const std::uint32_t v = arg < argc ? std::atoi(argv[arg++]) : 17;
   const std::uint32_t k = arg < argc ? std::atoi(argv[arg++]) : 5;
   if (v < 3 || k < 3 || k > v) {
     std::fprintf(stderr, "need 3 <= v and 3 <= k <= v\n");
+    return 1;
+  }
+  if (backend_arg.empty()) backend_arg = smoke ? "both" : "memory";
+  std::vector<std::string> backends;
+  if (backend_arg == "both") {
+    backends = {"memory", "file"};
+  } else if (backend_arg == "memory" || backend_arg == "file") {
+    backends = {backend_arg};
+  } else {
+    std::fprintf(stderr, "unknown --backend %s (memory|file|both)\n",
+                 backend_arg.c_str());
     return 1;
   }
 
@@ -96,10 +251,15 @@ int main(int argc, char** argv) {
   }
   const std::uint64_t seed = 42;
 
+  const std::filesystem::path scratch_root =
+      std::filesystem::temp_directory_path() /
+      ("pdl_datapath_bench_" +
+       std::to_string(static_cast<unsigned long>(::getpid())));
+
   bench::header("byte-level data-path throughput",
                 "declustered parity spreads reconstruction load, so "
                 "degraded service and rebuild both run faster (Sections "
-                "1-5, measured on real bytes)");
+                "1-5, measured on real bytes, per storage backend)");
 
   const auto& planner = engine::ConstructionPlanner::default_planner();
   const auto plans = planner.rank_plans({v, k}, {});
@@ -111,122 +271,20 @@ int main(int argc, char** argv) {
          {api::SparingMode::kNone, api::SparingMode::kDistributed}) {
       const char* mode =
           sparing == api::SparingMode::kDistributed ? "distributed" : "none";
-      auto array = api::Array::create(
-          {v, k}, {}, {.sparing = sparing, .construction = plan.construction});
-      if (!array.ok()) {
-        std::fprintf(stderr, "skipping %s/%s: %s\n",
-                     core::construction_name(plan.construction).c_str(), mode,
-                     array.status().to_string().c_str());
-        continue;
+      for (const std::string& backend_kind : backends) {
+        const std::filesystem::path scratch_dir =
+            scratch_root /
+            (core::construction_name(plan.construction) + "_" + mode);
+        if (!run_one(plan, sparing, mode, backend_kind, scratch_dir, config,
+                     seed))
+          any_failed = true;
+        std::error_code ec;
+        std::filesystem::remove_all(scratch_dir, ec);
       }
-      auto store = io::StripeStore::create(
-          std::move(array).value(),
-          {.unit_bytes = config.unit_bytes, .iterations = config.iterations});
-      if (!store.ok()) {
-        std::fprintf(stderr, "store creation failed: %s\n",
-                     store.status().to_string().c_str());
-        any_failed = true;
-        continue;
-      }
-
-      if (Status filled =
-              io::fill_canonical(*store, 0, store->num_logical_units(), seed);
-          !filled.ok()) {
-        std::fprintf(stderr, "fill failed: %s\n", filled.to_string().c_str());
-        any_failed = true;
-        continue;
-      }
-      const std::uint64_t checksum_before = store->checksum_disk(0);
-
-      const PhaseResult healthy = run_phase(*store, config, seed);
-
-      if (!store->fail_disk(0).ok()) {
-        any_failed = true;
-        continue;
-      }
-      const PhaseResult degraded = run_phase(*store, config, seed);
-
-      // Rebuilding phase: a rebuilder thread drains the repair plan in
-      // small batches while the workload keeps serving.
-      if (!store->replace_disk(0).ok()) {
-        any_failed = true;
-        continue;
-      }
-      const auto rebuild_start = std::chrono::steady_clock::now();
-      std::uint64_t stripes_rebuilt = 0;
-      double rebuild_seconds = 0;
-      std::thread rebuilder([&] {
-        for (;;) {
-          const auto applied = store->rebuild_some(4);
-          if (!applied.ok() || *applied == 0) break;
-          stripes_rebuilt += *applied;
-        }
-        rebuild_seconds = std::chrono::duration<double>(
-                              std::chrono::steady_clock::now() - rebuild_start)
-                              .count();
-      });
-      const PhaseResult rebuilding = run_phase(*store, config, seed);
-      rebuilder.join();
-      // The workload may outlast the rebuild (or vice versa); finish any
-      // remainder so verification sees a fully repaired store.
-      const auto outcome = store->rebuild();
-      if (!outcome.ok()) {
-        any_failed = true;
-        continue;
-      }
-      stripes_rebuilt += outcome->applied;
-
-      const std::uint64_t mismatches = verify_all(*store, seed);
-      const std::uint64_t checksum_after = store->checksum_disk(0);
-      const bool disk_identical = checksum_after == checksum_before;
-      const std::uint64_t verify_failures = healthy.stats.verify_failures +
-                                            degraded.stats.verify_failures +
-                                            rebuilding.stats.verify_failures;
-      const bool verified =
-          mismatches == 0 && verify_failures == 0 &&
-          store->array().healthy() &&
-          (sparing == api::SparingMode::kNone ? disk_identical : true);
-      if (!verified) any_failed = true;
-
-      const double rebuild_mbps =
-          rebuild_seconds > 0
-              ? static_cast<double>(stripes_rebuilt) * config.iterations *
-                    config.unit_bytes / 1e6 / rebuild_seconds
-              : 0.0;
-
-      std::printf(
-          "%-14s %-11s healthy %8.1f MB/s | degraded %8.1f MB/s | "
-          "rebuilding %8.1f MB/s | rebuild %7.1f MB/s | %s\n",
-          core::construction_name(plan.construction).c_str(), mode,
-          healthy.mbps, degraded.mbps, rebuilding.mbps, rebuild_mbps,
-          bench::okbad(verified));
-
-      bench::json_result("datapath_throughput", /*schema_version=*/1)
-          .field("construction", core::construction_name(plan.construction))
-          .field("sparing", mode)
-          .field("v", static_cast<std::uint64_t>(v))
-          .field("k", static_cast<std::uint64_t>(k))
-          .field("units_per_disk",
-                 static_cast<std::uint64_t>(plan.units_per_disk))
-          .field("unit_bytes", static_cast<std::uint64_t>(config.unit_bytes))
-          .field("iterations", static_cast<std::uint64_t>(config.iterations))
-          .field("threads", static_cast<std::uint64_t>(config.threads))
-          .field("ops_per_thread", config.ops_per_thread)
-          .field("read_fraction", config.read_fraction)
-          .field("healthy_mbps", healthy.mbps)
-          .field("degraded_mbps", degraded.mbps)
-          .field("rebuilding_mbps", rebuilding.mbps)
-          .field("rebuild_mbps", rebuild_mbps)
-          .field("degraded_reads", degraded.stats.degraded_reads +
-                                       rebuilding.stats.degraded_reads)
-          .field("stripes_rebuilt", stripes_rebuilt)
-          .field("verify_failures", verify_failures)
-          .field("post_rebuild_mismatches", mismatches)
-          .field("disk0_checksum_identical", disk_identical)
-          .field("verified", verified)
-          .emit();
     }
   }
+  std::error_code ec;
+  std::filesystem::remove_all(scratch_root, ec);
 
   if (any_failed) {
     std::fprintf(stderr, "datapath throughput: verification FAILED\n");

@@ -1,89 +1,216 @@
-// Byte-exact recovery end to end: write real data through the declustered
-// layout, kill a disk, read every block back through survivor XOR, rebuild
-// onto a replacement, and prove the bytes (and the disk image itself) came
-// back identical.
+// Byte-exact recovery end to end, across storage substrates:
+//
+//   act 1 (memory)  -- write real data through the declustered layout,
+//                      kill a disk, read every block back through
+//                      survivor XOR, rebuild onto a replacement, and
+//                      prove the bytes (and the disk image itself) came
+//                      back identical;
+//   act 2 (file)    -- the same store over one image file per disk:
+//                      write, sync, tear the whole process state down,
+//                      REOPEN the directory with a fresh store, and only
+//                      then fail + rebuild -- recovery works across
+//                      restarts because parity persisted with the data;
+//   act 3 (faults)  -- a fault-injection decorator drips transient I/O
+//                      errors into the same workload, demonstrating that
+//                      substrate failures surface as typed kIoError
+//                      Statuses, not corruption.
 //
 //   $ ./datapath_demo
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "api/array.hpp"
+#include "io/disk_backend.hpp"
 #include "io/stripe_store.hpp"
 #include "io/workload_driver.hpp"
 
 using namespace pdl;
 
-int main() {
-  // 17 disks, stripes of 5 (4 data + parity), best-ranked construction.
-  auto array = api::Array::create({.num_disks = 17, .stripe_size = 5});
-  if (!array.ok()) {
-    std::fprintf(stderr, "create: %s\n", array.status().to_string().c_str());
-    return 1;
-  }
-  auto store = io::StripeStore::create(std::move(array).value(),
-                                       {.unit_bytes = 4096, .iterations = 2});
-  if (!store.ok()) {
-    std::fprintf(stderr, "store: %s\n", store.status().to_string().c_str());
-    return 1;
-  }
-  std::printf("array: %s\n", store->array().description().c_str());
-  std::printf("store: %llu logical units x %u bytes over %u disks\n\n",
-              static_cast<unsigned long long>(store->num_logical_units()),
-              store->unit_bytes(), store->array().num_disks());
+namespace {
 
-  // 1. Write a recognizable message into every logical unit.
-  std::vector<std::uint8_t> block(store->unit_bytes());
-  for (std::uint64_t logical = 0; logical < store->num_logical_units();
-       ++logical) {
-    const std::string text =
-        "logical unit " + std::to_string(logical) + " says hello";
-    std::memset(block.data(), 0, block.size());
-    std::memcpy(block.data(), text.data(), text.size());
-    if (!store->write(logical, block).ok()) return 1;
+// 17 disks, stripes of 5 (4 data + parity), best-ranked construction.
+constexpr std::uint32_t kDisks = 17;
+constexpr std::uint32_t kStripe = 5;
+
+Result<io::StripeStore> make_store(std::unique_ptr<io::DiskBackend> backend) {
+  auto array = api::Array::create({.num_disks = kDisks, .stripe_size = kStripe});
+  if (!array.ok()) return array.status();
+  return io::StripeStore::create(std::move(array).value(),
+                                 {.unit_bytes = 4096, .iterations = 2},
+                                 std::move(backend));
+}
+
+void message_fill(std::uint64_t logical, std::vector<std::uint8_t>& block) {
+  const std::string text =
+      "logical unit " + std::to_string(logical) + " says hello";
+  std::memset(block.data(), 0, block.size());
+  std::memcpy(block.data(), text.data(), text.size());
+}
+
+bool message_check(std::uint64_t logical,
+                   const std::vector<std::uint8_t>& block) {
+  const std::string expect =
+      "logical unit " + std::to_string(logical) + " says hello";
+  return std::memcmp(block.data(), expect.data(), expect.size()) == 0;
+}
+
+/// Write every unit, kill `victim`, verify degraded reads, rebuild, and
+/// verify the disk image came back identical.  Shared by acts 1 and 2
+/// (act 2 skips the fill when reopening an already-written directory).
+bool exercise(io::StripeStore& store, layout::DiskId victim, bool fill) {
+  std::vector<std::uint8_t> block(store.unit_bytes());
+
+  if (fill) {
+    for (std::uint64_t logical = 0; logical < store.num_logical_units();
+         ++logical) {
+      message_fill(logical, block);
+      if (!store.write(logical, block).ok()) return false;
+    }
   }
-  const std::uint64_t disk3_before = store->checksum_disk(3);
-  std::printf("wrote %llu units; disk 3 checksum %016llx\n",
-              static_cast<unsigned long long>(store->num_logical_units()),
-              static_cast<unsigned long long>(disk3_before));
+  const auto before = store.checksum_disk(victim);
+  if (!before.ok()) return false;
+  std::printf("  %llu units hold data; disk %u checksum %016llx\n",
+              static_cast<unsigned long long>(store.num_logical_units()),
+              victim, static_cast<unsigned long long>(*before));
 
-  // 2. Kill disk 3 (its platters are physically poisoned).
-  if (!store->fail_disk(3).ok()) return 1;
-  std::printf("disk 3 failed: %llu units lost, checksum now %016llx\n",
-              static_cast<unsigned long long>(store->array().lost_units()),
-              static_cast<unsigned long long>(store->checksum_disk(3)));
+  if (!store.fail_disk(victim).ok()) return false;
+  std::printf("  disk %u failed: %llu units lost, platters poisoned\n",
+              victim,
+              static_cast<unsigned long long>(store.array().lost_units()));
 
-  // 3. Every unit still reads back -- lost ones via survivor XOR.
   std::uint64_t degraded = 0, bad = 0;
-  for (std::uint64_t logical = 0; logical < store->num_logical_units();
+  for (std::uint64_t logical = 0; logical < store.num_logical_units();
        ++logical) {
     io::ReadReceipt receipt;
-    if (!store->read(logical, block, &receipt).ok()) return 1;
+    if (!store.read(logical, block, &receipt).ok()) return false;
     if (receipt.kind == api::ReadPlan::Kind::kDegraded) ++degraded;
-    const std::string expect =
-        "logical unit " + std::to_string(logical) + " says hello";
-    if (std::memcmp(block.data(), expect.data(), expect.size()) != 0) ++bad;
+    if (!message_check(logical, block)) ++bad;
   }
-  std::printf("degraded sweep: %llu reconstructed reads, %llu mismatches\n",
+  std::printf("  degraded sweep: %llu reconstructed reads, %llu mismatches\n",
               static_cast<unsigned long long>(degraded),
               static_cast<unsigned long long>(bad));
+  if (bad != 0) return false;
 
-  // 4. Attach a replacement and rebuild it from survivor bytes.
-  if (!store->replace_disk(3).ok()) return 1;
-  const auto outcome = store->rebuild();
-  if (!outcome.ok()) return 1;
-  const std::uint64_t disk3_after = store->checksum_disk(3);
-  std::printf("rebuild: %llu stripes repaired; disk 3 checksum %016llx (%s)\n",
-              static_cast<unsigned long long>(outcome->applied),
-              static_cast<unsigned long long>(disk3_after),
-              disk3_after == disk3_before ? "identical" : "DIFFERENT");
+  if (!store.replace_disk(victim).ok()) return false;
+  const auto outcome = store.rebuild();
+  if (!outcome.ok()) return false;
+  const auto after = store.checksum_disk(victim);
+  if (!after.ok()) return false;
+  std::printf("  rebuild: %llu stripes repaired; disk %u checksum %016llx (%s)\n",
+              static_cast<unsigned long long>(outcome->applied), victim,
+              static_cast<unsigned long long>(*after),
+              *after == *before ? "identical" : "DIFFERENT");
+  return *after == *before && store.array().healthy();
+}
 
-  std::printf("array healthy again: %s\n",
-              store->array().healthy() ? "yes" : "no");
-  return disk3_after == disk3_before && bad == 0 &&
-                 store->array().healthy()
-             ? 0
-             : 1;
+}  // namespace
+
+int main() {
+  // ------------------------------------------------------- act 1: memory
+  std::printf("act 1: in-memory backend (zero-copy serving)\n");
+  auto mem_store = make_store(io::make_memory_backend());
+  if (!mem_store.ok()) {
+    std::fprintf(stderr, "store: %s\n", mem_store.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("  array: %s\n  backend: %s\n",
+              mem_store->array().description().c_str(),
+              std::string(mem_store->backend().name()).c_str());
+  if (!exercise(*mem_store, 3, /*fill=*/true)) return 1;
+
+  // ------------------------------------------- act 2: file-backed reopen
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("pdl_datapath_demo_" +
+       std::to_string(static_cast<unsigned long>(::getpid())));
+  std::printf("\nact 2: file backend with close + reopen (%s)\n",
+              dir.string().c_str());
+  {
+    auto file_store =
+        make_store(io::make_file_backend({.directory = dir.string()}));
+    if (!file_store.ok()) {
+      std::fprintf(stderr, "store: %s\n",
+                   file_store.status().to_string().c_str());
+      return 1;
+    }
+    std::vector<std::uint8_t> block(file_store->unit_bytes());
+    for (std::uint64_t logical = 0;
+         logical < file_store->num_logical_units(); ++logical) {
+      message_fill(logical, block);
+      if (!file_store->write(logical, block).ok()) return 1;
+    }
+    if (!file_store->sync().ok()) return 1;
+    std::printf("  wrote %llu units through pwrite, synced, closing store\n",
+                static_cast<unsigned long long>(
+                    file_store->num_logical_units()));
+  }  // store destroyed: descriptors closed, nothing survives but the files
+  {
+    auto reopened =
+        make_store(io::make_file_backend({.directory = dir.string()}));
+    if (!reopened.ok()) {
+      std::fprintf(stderr, "reopen: %s\n",
+                   reopened.status().to_string().c_str());
+      return 1;
+    }
+    std::printf("  reopened the directory with a brand-new store\n");
+    if (!exercise(*reopened, 3, /*fill=*/false)) return 1;
+  }
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+
+  // ------------------------------------------- act 3: injected I/O faults
+  std::printf("\nact 3: fault-injection decorator (transient I/O errors)\n");
+  auto flaky_store = make_store(io::make_fault_injection_backend(
+      io::make_memory_backend(), {.seed = 7,
+                                  .read_error_probability = 0.02,
+                                  .write_error_probability = 0.02}));
+  if (!flaky_store.ok()) {
+    std::fprintf(stderr, "store: %s\n",
+                 flaky_store.status().to_string().c_str());
+    return 1;
+  }
+  std::vector<std::uint8_t> block(flaky_store->unit_bytes());
+  std::uint64_t served = 0, io_errors = 0, write_gave_up = 0, other = 0;
+  for (std::uint64_t logical = 0; logical < flaky_store->num_logical_units();
+       ++logical) {
+    message_fill(logical, block);
+    Status written = flaky_store->write(logical, block);
+    for (int retry = 0; retry < 4 && written.code() == StatusCode::kIoError;
+         ++retry)
+      written = flaky_store->write(logical, block);  // transient: retry
+    if (written.code() == StatusCode::kIoError) {
+      ++write_gave_up;  // still the typed, expected code -- just unlucky
+    } else if (!written.ok()) {
+      ++other;
+    }
+  }
+  for (std::uint64_t logical = 0; logical < flaky_store->num_logical_units();
+       ++logical) {
+    const Status read = flaky_store->read(logical, block);
+    if (read.ok()) {
+      ++served;
+    } else if (read.code() == StatusCode::kIoError) {
+      ++io_errors;  // typed, retryable, no corruption
+    } else {
+      ++other;
+    }
+  }
+  std::printf(
+      "  read sweep under 2%% fault rate: %llu served, %llu typed kIoError, "
+      "%llu writes exhausted retries, %llu other\n",
+      static_cast<unsigned long long>(served),
+      static_cast<unsigned long long>(io_errors),
+      static_cast<unsigned long long>(write_gave_up),
+      static_cast<unsigned long long>(other));
+  if (other != 0) return 1;  // only NON-typed errors fail the act
+
+  std::printf("\nall acts passed\n");
+  return 0;
 }

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Verifies that every relative markdown link in README.md and docs/*.md
+# points at a file or directory that exists in the repo.  External links
+# (http/https) and pure anchors (#...) are skipped.  Run from the repo
+# root; exits non-zero listing every broken link.
+set -u
+
+broken=$(
+  for doc in README.md docs/*.md; do
+    [ -f "$doc" ] || continue
+    dir=$(dirname "$doc")
+    # Extract the (target) of every [text](target) markdown link.
+    grep -o '\[[^]]*\]([^)]*)' "$doc" | sed 's/.*(\(.*\))/\1/' |
+    while IFS= read -r target; do
+      case "$target" in
+        http://*|https://*|\#*) continue ;;
+      esac
+      # Strip a trailing #anchor from relative links.
+      path=${target%%#*}
+      [ -n "$path" ] || continue
+      if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+        echo "BROKEN: $doc -> $target"
+      fi
+    done
+  done
+)
+
+if [ -n "$broken" ]; then
+  echo "$broken"
+  echo "docs link check FAILED"
+  exit 1
+fi
+echo "docs link check OK"

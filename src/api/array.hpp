@@ -75,9 +75,14 @@ namespace pdl::engine {
 class Engine;
 }
 
+/// @namespace pdl::api
+/// @brief The library's front door: pdl::api::Array unifies layout
+/// construction, O(1) address mapping, and the online failure/rebuild
+/// state machine behind one typed-Status surface.
 namespace pdl::api {
 
 using layout::DiskId;
+/// Physical address of one stripe unit: (disk, unit-offset) coordinates.
 using Physical = layout::AddressMapper::Physical;
 
 /// How the array absorbs rebuild writes.
@@ -88,41 +93,48 @@ enum class SparingMode : std::uint8_t {
 
 /// Array-level construction options, on top of core::BuildOptions.
 struct ArrayOptions {
+  /// How rebuild writes are absorbed (dedicated replacement vs
+  /// distributed spare units).
   SparingMode sparing = SparingMode::kNone;
   /// Pin a specific construction instead of letting the planner rank
   /// (bypasses the engine cache).
   std::optional<core::Construction> construction = std::nullopt;
 };
 
+/// Online state of one physical disk (see the state machine in the file
+/// comment).
 enum class DiskState : std::uint8_t {
   kHealthy = 0,     ///< serving
   kFailed = 1,      ///< failed, no replacement attached
   kRebuilding = 2,  ///< replacement attached, lost home units pending
 };
 
+/// Human-readable name of a DiskState ("healthy", "failed", ...).
 [[nodiscard]] std::string_view disk_state_name(DiskState state) noexcept;
 
 /// Resolution of one logical read under the current failure state.
 struct ReadPlan {
+  /// The three ways a read can resolve.
   enum class Kind : std::uint8_t {
     kDirect = 0,         ///< unit intact: read `target`
     kDegraded = 1,       ///< unit lost: XOR the survivor set
     kUnrecoverable = 2,  ///< stripe lost two units; data is gone
   };
-  Kind kind = Kind::kDirect;
+  Kind kind = Kind::kDirect;         ///< how the read resolves
   Physical target;                   ///< kDirect: where the unit lives now
   std::uint32_t num_survivors = 0;   ///< kDegraded: units written to `out`
 };
 
 /// Resolution of one logical small-write under the current failure state.
 struct WritePlan {
+  /// The parity-maintenance strategies a small write can need.
   enum class Kind : std::uint8_t {
     kReadModifyWrite = 0,  ///< read data+parity, write data+parity
     kReconstructWrite = 1, ///< data lost: read peers, write parity only
     kUnprotectedWrite = 2, ///< parity lost: write data only
     kUnrecoverable = 3,    ///< stripe lost two units; write unservable
   };
-  Kind kind = Kind::kReadModifyWrite;
+  Kind kind = Kind::kReadModifyWrite;  ///< selected strategy
   Physical data;                 ///< data unit (valid unless data lost)
   Physical parity;               ///< parity peer (valid unless parity lost)
   std::uint32_t num_peer_reads = 0;  ///< kReconstructWrite: peers in `out`
@@ -131,7 +143,7 @@ struct WritePlan {
 /// One stripe repair: read `reads`, XOR them, write to `target`.  Offsets
 /// are iteration-0; the step stands for every iteration of the stripe.
 struct RebuildStep {
-  std::uint32_t stripe = 0;
+  std::uint32_t stripe = 0;        ///< stripe being repaired
   std::uint32_t lost_pos = 0;      ///< position being reconstructed
   bool to_spare = false;           ///< target is the stripe's spare unit
   Physical target;                 ///< write target
@@ -140,15 +152,15 @@ struct RebuildStep {
 
 /// Everything currently rebuildable, plus load accounting.
 struct RebuildPlan {
-  std::vector<RebuildStep> steps;
+  std::vector<RebuildStep> steps;  ///< executable repair steps, in order
   /// Lost units with no usable target yet: their home disk has no
   /// replacement and their stripe's spare is unusable.  replace_disk
   /// unblocks them.
   std::uint64_t blocked = 0;
   /// Stripes skipped because they are unrecoverable.
   std::uint64_t unrecoverable = 0;
-  std::vector<std::uint32_t> reads_per_disk;
-  std::vector<std::uint32_t> writes_per_disk;
+  std::vector<std::uint32_t> reads_per_disk;   ///< survivor reads per disk
+  std::vector<std::uint32_t> writes_per_disk;  ///< rebuild writes per disk
 };
 
 /// What a rebuild() pass accomplished.
@@ -157,6 +169,10 @@ struct RebuildOutcome {
   std::uint64_t blocked = 0;  ///< still waiting on replace_disk
 };
 
+/// One declustered array: an engine-cached layout, compiled O(1) serving
+/// tables, and the mutable online failure/rebuild state machine, behind
+/// a typed Status/Result surface.  Passive value type -- see the file
+/// comment for the external-synchronization contract.
 class Array {
  public:
   /// Builds the best layout for the spec through the global engine cache
@@ -177,20 +193,27 @@ class Array {
   /// kExternal, metrics measured).  kInvalidArgument if the layout (or
   /// spare map) is structurally invalid.
   [[nodiscard]] static Result<Array> adopt(layout::Layout layout);
+  /// adopt() for an externally supplied distributed-sparing layout.
   [[nodiscard]] static Result<Array> adopt_spared(
       layout::SparedLayout spared);
 
   /// Persistence: the layout plus (in distributed-sparing mode) the spare
   /// map, via layout::serialize.  Online failure state is not persisted.
   [[nodiscard]] std::string serialize() const;
+  /// Rebuilds an array from serialize() text (kParseError when malformed).
   [[nodiscard]] static Result<Array> deserialize(const std::string& text);
+  /// serialize() to a file (kIoError on filesystem failure).
   [[nodiscard]] Status save(const std::string& path) const;
+  /// deserialize() from a file (kIoError / kParseError).
   [[nodiscard]] static Result<Array> load(const std::string& path);
 
   // ------------------------------------------------- geometry & provenance
 
+  /// Physical disks in the array (the spec's v).
   [[nodiscard]] std::uint32_t num_disks() const noexcept;
+  /// Stripe units per disk per layout iteration (the layout size s).
   [[nodiscard]] std::uint32_t units_per_disk() const noexcept;
+  /// Largest stripe width in the layout (bounds survivor-span sizes).
   [[nodiscard]] std::uint32_t max_stripe_size() const noexcept {
     return mapper_.max_stripe_size();
   }
@@ -199,15 +222,22 @@ class Array {
   [[nodiscard]] std::uint64_t data_units_per_iteration() const noexcept {
     return mapper_.data_units_per_iteration();
   }
+  /// Which paper construction built the layout (kExternal for adopt()).
   [[nodiscard]] core::Construction construction() const noexcept;
+  /// Human-readable provenance of the layout.
   [[nodiscard]] const std::string& description() const noexcept;
+  /// Measured layout quality (parity balance, reconstruction spread, ...).
   [[nodiscard]] const layout::LayoutMetrics& metrics() const noexcept;
+  /// Whether rebuilds target distributed spares or a dedicated
+  /// replacement.
   [[nodiscard]] SparingMode sparing() const noexcept {
     return spared_ ? SparingMode::kDistributed : SparingMode::kNone;
   }
+  /// Memory footprint of the compiled serving tables (Condition 4 cost).
   [[nodiscard]] std::uint64_t table_bytes() const noexcept {
     return mapper_.table_bytes();
   }
+  /// The underlying stripe layout.
   [[nodiscard]] const layout::Layout& layout() const noexcept;
   /// The spare designation (empty unless distributed sparing).
   [[nodiscard]] const std::vector<std::uint32_t>& spare_positions()
@@ -231,6 +261,7 @@ class Array {
     std::uint32_t pos = 0;        ///< position within the stripe
     std::uint64_t iteration = 0;  ///< vertical tiling index
   };
+  /// The LogicalRef coordinates of a logical data unit.
   [[nodiscard]] LogicalRef logical_ref(std::uint64_t logical) const noexcept;
 
   /// Stripes per layout iteration.
@@ -312,7 +343,9 @@ class Array {
 
   // ------------------------------------------------------ state queries
 
+  /// One disk's online state (kInvalidArgument out of range).
   [[nodiscard]] Result<DiskState> disk_state(DiskId disk) const;
+  /// Every disk's online state, indexed by DiskId.
   [[nodiscard]] const std::vector<DiskState>& disk_states() const noexcept {
     return disk_state_;
   }

@@ -1,0 +1,191 @@
+#include "io/disk_backend.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <mutex>
+#include <random>
+#include <thread>
+
+namespace pdl::io {
+
+namespace detail {
+
+Status check_range(std::string_view backend, DiskId disk,
+                   std::uint64_t offset, std::uint64_t size,
+                   const BackendGeometry& geometry) {
+  if (disk < geometry.num_disks && offset <= geometry.disk_bytes &&
+      size <= geometry.disk_bytes - offset)
+    return OkStatus();
+  if (disk >= geometry.num_disks)
+    return Status::invalid_argument(std::string(backend) + ": disk " +
+                                    std::to_string(disk) + " out of range (" +
+                                    std::to_string(geometry.num_disks) +
+                                    " disks)");
+  return Status::invalid_argument(
+      std::string(backend) + ": range [" + std::to_string(offset) + ", " +
+      std::to_string(offset + size) + ") past disk end (" +
+      std::to_string(geometry.disk_bytes) + " bytes)");
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------- memory
+
+Status MemoryBackend::check(DiskId disk, std::uint64_t offset,
+                            std::uint64_t size) const {
+  return detail::check_range(name(), disk, offset, size, geometry_);
+}
+
+Status MemoryBackend::open(const BackendGeometry& geometry) {
+  if (geometry.num_disks == 0)
+    return Status::invalid_argument("memory backend: zero disks");
+  geometry_ = geometry;
+  disks_.assign(geometry.num_disks,
+                std::vector<std::uint8_t>(geometry.disk_bytes, 0));
+  return OkStatus();
+}
+
+Status MemoryBackend::read(DiskId disk, std::uint64_t offset,
+                           std::span<std::uint8_t> out) {
+  if (Status ok = check(disk, offset, out.size()); !ok.ok()) return ok;
+  std::memcpy(out.data(), disks_[disk].data() + offset, out.size());
+  return OkStatus();
+}
+
+Status MemoryBackend::write(DiskId disk, std::uint64_t offset,
+                            std::span<const std::uint8_t> data) {
+  if (Status ok = check(disk, offset, data.size()); !ok.ok()) return ok;
+  std::memcpy(disks_[disk].data() + offset, data.data(), data.size());
+  return OkStatus();
+}
+
+Status MemoryBackend::sync(DiskId disk) {
+  return check(disk, 0, 0);  // memory is always "durable"
+}
+
+Status MemoryBackend::discard(DiskId disk, std::uint8_t fill) {
+  if (Status ok = check(disk, 0, 0); !ok.ok()) return ok;
+  std::fill(disks_[disk].begin(), disks_[disk].end(), fill);
+  return OkStatus();
+}
+
+std::span<std::uint8_t> MemoryBackend::memory_view(DiskId disk) noexcept {
+  if (disk >= disks_.size()) return {};
+  return disks_[disk];
+}
+
+// ------------------------------------------------------- fault injection
+
+struct FaultInjectionBackend::Impl {
+  mutable std::mutex mutex;
+  std::mt19937_64 rng;
+  std::uniform_real_distribution<double> unit{0.0, 1.0};
+  FaultInjectionStats stats;
+
+  explicit Impl(std::uint64_t seed) : rng(seed) {}
+};
+
+FaultInjectionBackend::FaultInjectionBackend(
+    std::unique_ptr<DiskBackend> inner, const FaultInjectionOptions& options)
+    : inner_(std::move(inner)),
+      options_(options),
+      impl_(std::make_unique<Impl>(options.seed)) {}
+
+FaultInjectionBackend::~FaultInjectionBackend() = default;
+
+Status FaultInjectionBackend::open(const BackendGeometry& geometry) {
+  if (!inner_)
+    return Status::invalid_argument("fault injection: no inner backend");
+  return inner_->open(geometry);
+}
+
+Status FaultInjectionBackend::read(DiskId disk, std::uint64_t offset,
+                                   std::span<std::uint8_t> out) {
+  if (options_.read_latency_us > 0)
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(options_.read_latency_us));
+
+  bool inject_error = false;
+  bool inject_rot = false;
+  std::uint64_t rot_bit = 0;
+  {
+    std::lock_guard lock(impl_->mutex);
+    ++impl_->stats.reads;
+    if (options_.read_error_probability > 0 &&
+        impl_->unit(impl_->rng) < options_.read_error_probability) {
+      inject_error = true;
+      ++impl_->stats.injected_read_errors;
+    } else if (!out.empty() && options_.bit_rot_probability > 0 &&
+               impl_->unit(impl_->rng) < options_.bit_rot_probability) {
+      inject_rot = true;
+      rot_bit = impl_->rng() % (out.size() * 8);
+    }
+  }
+  if (inject_error)
+    return Status::io_error("injected transient read error (disk " +
+                            std::to_string(disk) + ", offset " +
+                            std::to_string(offset) + ")");
+
+  if (Status read = inner_->read(disk, offset, out); !read.ok()) return read;
+  if (inject_rot) {
+    // Count the flip only now that it is actually applied to a payload
+    // the caller will see (an inner-read failure above aborts it).
+    out[rot_bit / 8] ^= static_cast<std::uint8_t>(1u << (rot_bit % 8));
+    std::lock_guard lock(impl_->mutex);
+    ++impl_->stats.injected_bit_flips;
+  }
+  return OkStatus();
+}
+
+Status FaultInjectionBackend::write(DiskId disk, std::uint64_t offset,
+                                    std::span<const std::uint8_t> data) {
+  if (options_.write_latency_us > 0)
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(options_.write_latency_us));
+
+  bool inject_error = false;
+  {
+    std::lock_guard lock(impl_->mutex);
+    ++impl_->stats.writes;
+    if (options_.write_error_probability > 0 &&
+        impl_->unit(impl_->rng) < options_.write_error_probability) {
+      inject_error = true;
+      ++impl_->stats.injected_write_errors;
+    }
+  }
+  if (inject_error)
+    return Status::io_error("injected transient write error (disk " +
+                            std::to_string(disk) + ", offset " +
+                            std::to_string(offset) + ")");
+  return inner_->write(disk, offset, data);
+}
+
+Status FaultInjectionBackend::sync(DiskId disk) { return inner_->sync(disk); }
+
+Status FaultInjectionBackend::discard(DiskId disk, std::uint8_t fill) {
+  return inner_->discard(disk, fill);
+}
+
+FaultInjectionStats FaultInjectionBackend::stats() const {
+  std::lock_guard lock(impl_->mutex);
+  return impl_->stats;
+}
+
+// ------------------------------------------------------------- factories
+
+std::unique_ptr<DiskBackend> make_memory_backend() {
+  return std::make_unique<MemoryBackend>();
+}
+
+std::unique_ptr<DiskBackend> make_file_backend(FileBackendOptions options) {
+  return std::make_unique<FileBackend>(std::move(options));
+}
+
+std::unique_ptr<DiskBackend> make_fault_injection_backend(
+    std::unique_ptr<DiskBackend> inner,
+    const FaultInjectionOptions& options) {
+  return std::make_unique<FaultInjectionBackend>(std::move(inner), options);
+}
+
+}  // namespace pdl::io

@@ -1,0 +1,295 @@
+#pragma once
+/// @file
+/// pdl::io::DiskBackend -- the storage-substrate seam under StripeStore.
+///
+/// The layout mathematics (algebra -> design -> layout -> engine -> api)
+/// is deliberately independent of where bytes physically live.  A
+/// DiskBackend is the one interface that binds the byte-moving data path
+/// to a substrate: the store addresses it purely in (disk, byte-offset)
+/// coordinates and never sees vectors, file descriptors, or sockets.
+/// Three implementations ship in-tree:
+///
+///   * MemoryBackend         -- one heap buffer per disk (the PR-4
+///                              behaviour); exposes zero-copy views, so
+///                              the store's hot path stays allocation-
+///                              and syscall-free;
+///   * FileBackend           -- one file per disk driven with
+///                              pread/pwrite, surviving close + reopen
+///                              (contents persist, parity-consistent);
+///   * FaultInjectionBackend -- a decorator adding seeded bit-rot,
+///                              transient I/O errors, and per-op latency
+///                              to any inner backend.
+///
+/// Future substrates (mmap, sharded-over-sockets, object stores) plug in
+/// here without touching the layout or parity layers.
+///
+/// ## Contract
+///
+/// **Lifecycle.**  A backend is constructed cold, then `open()`ed exactly
+/// once with the array geometry before any I/O; `open()` either adopts an
+/// existing image (file reopen) or presents `num_disks` zero-filled disks
+/// of `disk_bytes` each.  Destruction releases all resources; call
+/// `sync()` first if durability of the final state matters.
+///
+/// **Thread safety.**  After `open()`, `read`/`write`/`sync` may be
+/// called from any number of threads concurrently, PROVIDED writes to
+/// overlapping byte ranges are externally serialized (StripeStore's
+/// per-stripe-instance shard locks provide exactly that).  `discard` is
+/// only called under the store's exclusive lock, so it may assume no
+/// concurrent I/O to its disk.
+///
+/// **Failure semantics.**  Every operation returns a typed pdl::Status:
+/// kInvalidArgument for out-of-range disks or ranges (caller bugs),
+/// kIoError for substrate failures (which may be transient -- callers
+/// may retry; StripeStore propagates them to its caller untouched).  A
+/// failed write leaves the addressed range in an unspecified state but
+/// must not corrupt other ranges.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/status.hpp"
+#include "layout/mapping.hpp"
+
+/// @namespace pdl::io
+/// @brief The byte-moving data path: DiskBackend substrates, the
+/// StripeStore serving/rebuild engine, and the concurrent WorkloadDriver.
+namespace pdl::io {
+
+using layout::DiskId;
+
+/// Fixed array geometry a backend is opened with: everything a substrate
+/// needs to size itself.
+struct BackendGeometry {
+  std::uint32_t num_disks = 0;   ///< physical disks in the array
+  std::uint64_t disk_bytes = 0;  ///< bytes per disk (units * unit_bytes)
+};
+
+/// Abstract storage substrate addressed in (disk, byte-offset)
+/// coordinates.  See the file comment for the full lifecycle /
+/// thread-safety / failure contract.
+class DiskBackend {
+ public:
+  virtual ~DiskBackend() = default;
+
+  /// Binds the backend to the array geometry.  Called exactly once,
+  /// before any other operation.  After it returns OK every disk
+  /// presents either zeros (fresh substrate) or its persisted bytes
+  /// (reopened substrate).  kFailedPrecondition when an existing image
+  /// does not match `geometry`; kIoError on substrate failure.
+  [[nodiscard]] virtual Status open(const BackendGeometry& geometry) = 0;
+
+  /// Reads `out.size()` bytes at `offset` of `disk` into `out`.
+  /// kInvalidArgument for an out-of-range disk or byte range; kIoError
+  /// (possibly transient) on substrate failure.
+  [[nodiscard]] virtual Status read(DiskId disk, std::uint64_t offset,
+                                    std::span<std::uint8_t> out) = 0;
+
+  /// Writes `data` at `offset` of `disk`.  Durability is deferred until
+  /// sync() unless the implementation documents otherwise.  Error
+  /// contract mirrors read(); a failed write leaves the addressed range
+  /// unspecified but no other range touched.
+  [[nodiscard]] virtual Status write(DiskId disk, std::uint64_t offset,
+                                     std::span<const std::uint8_t> data) = 0;
+
+  /// Flushes all completed writes to `disk` down to the substrate's
+  /// durability point (fdatasync for files; a no-op for memory).
+  [[nodiscard]] virtual Status sync(DiskId disk) = 0;
+
+  /// Drops the disk's current contents and presents `fill` bytes
+  /// instead -- the store's physical model of a platter swap (poison
+  /// fill on fail_disk, zero fill on replace_disk).  Called only under
+  /// the store's exclusive lock.
+  [[nodiscard]] virtual Status discard(DiskId disk, std::uint8_t fill) = 0;
+
+  /// Human-readable substrate name ("memory", "file", ...), stable for
+  /// logs and bench JSON.
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// Optional zero-copy window: a non-empty span is the disk's complete
+  /// byte image, resident and addressable for the backend's lifetime
+  /// (memory and future mmap backends).  Empty means "use read/write".
+  /// A backend must answer uniformly -- all disks or none -- and a
+  /// decorator that intercepts I/O must return empty.
+  [[nodiscard]] virtual std::span<std::uint8_t> memory_view(
+      DiskId disk) noexcept {
+    (void)disk;
+    return {};
+  }
+};
+
+// ---------------------------------------------------------------- memory
+
+/// Heap-resident substrate: one zero-initialized buffer per disk.
+/// Exposes memory_view, so StripeStore serves straight out of the
+/// buffers with no copies or syscalls.  Not persistent.
+class MemoryBackend final : public DiskBackend {
+ public:
+  MemoryBackend() = default;
+
+  [[nodiscard]] Status open(const BackendGeometry& geometry) override;
+  [[nodiscard]] Status read(DiskId disk, std::uint64_t offset,
+                            std::span<std::uint8_t> out) override;
+  [[nodiscard]] Status write(DiskId disk, std::uint64_t offset,
+                             std::span<const std::uint8_t> data) override;
+  [[nodiscard]] Status sync(DiskId disk) override;
+  [[nodiscard]] Status discard(DiskId disk, std::uint8_t fill) override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "memory";
+  }
+  [[nodiscard]] std::span<std::uint8_t> memory_view(
+      DiskId disk) noexcept override;
+
+ private:
+  /// Range-checks one access; kInvalidArgument with context on failure.
+  [[nodiscard]] Status check(DiskId disk, std::uint64_t offset,
+                             std::uint64_t size) const;
+
+  BackendGeometry geometry_;
+  std::vector<std::vector<std::uint8_t>> disks_;
+};
+
+// ------------------------------------------------------------------ file
+
+/// Construction options for FileBackend.
+struct FileBackendOptions {
+  /// Directory holding one image file per disk (`disk-NNNN.img`).
+  /// Created (recursively) when missing.
+  std::string directory;
+  /// fdatasync every write before returning (slow; sync() batching is
+  /// the intended discipline).
+  bool sync_on_write = false;
+};
+
+/// File-per-disk substrate driven with pread/pwrite at caller offsets
+/// (thread-safe per POSIX, no shared file cursor).  open() adopts
+/// existing image files byte-for-byte when their size matches the
+/// geometry -- the crash-safe reopen path: a store re-created over the
+/// same directory serves the bytes a previous process wrote, and parity
+/// held by the previous store's write discipline still holds, so
+/// degraded reads and rebuilds work across process restarts.  A
+/// `backend.meta` manifest pins the directory's (num_disks, disk_bytes)
+/// geometry, so a reopen under a different array shape -- and any
+/// size-mismatched image -- is refused with kFailedPrecondition rather
+/// than silently adopted.  Layout identity beyond the geometry
+/// (construction, sparing mode) is the caller's to persist, e.g. via
+/// api::Array::save/load beside the images.
+class FileBackend final : public DiskBackend {
+ public:
+  explicit FileBackend(FileBackendOptions options);
+  ~FileBackend() override;
+
+  FileBackend(const FileBackend&) = delete;
+  FileBackend& operator=(const FileBackend&) = delete;
+
+  [[nodiscard]] Status open(const BackendGeometry& geometry) override;
+  [[nodiscard]] Status read(DiskId disk, std::uint64_t offset,
+                            std::span<std::uint8_t> out) override;
+  [[nodiscard]] Status write(DiskId disk, std::uint64_t offset,
+                             std::span<const std::uint8_t> data) override;
+  [[nodiscard]] Status sync(DiskId disk) override;
+  [[nodiscard]] Status discard(DiskId disk, std::uint8_t fill) override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "file";
+  }
+
+  /// The image file backing `disk` (valid after open()).
+  [[nodiscard]] std::string disk_path(DiskId disk) const;
+
+ private:
+  [[nodiscard]] Status check(DiskId disk, std::uint64_t offset,
+                             std::uint64_t size) const;
+  void close_all() noexcept;
+
+  FileBackendOptions options_;
+  BackendGeometry geometry_;
+  std::vector<int> fds_;  ///< one O_RDWR descriptor per disk
+};
+
+// ------------------------------------------------------- fault injection
+
+/// Knobs for FaultInjectionBackend.  Probabilities are per operation in
+/// [0, 1]; everything is driven by one seeded PRNG, so a fixed seed and
+/// op sequence reproduce the same faults.
+struct FaultInjectionOptions {
+  std::uint64_t seed = 1;
+  double read_error_probability = 0;   ///< P(read returns kIoError)
+  double write_error_probability = 0;  ///< P(write returns kIoError)
+  /// P(a successful read's payload gets one random bit flipped) --
+  /// models silent media bit-rot *after* the inner backend read; the
+  /// substrate image itself is never corrupted.
+  double bit_rot_probability = 0;
+  std::uint32_t read_latency_us = 0;   ///< sleep before each read
+  std::uint32_t write_latency_us = 0;  ///< sleep before each write
+};
+
+/// Counters of what the decorator actually did (monotonic since open).
+struct FaultInjectionStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t injected_read_errors = 0;
+  std::uint64_t injected_write_errors = 0;
+  std::uint64_t injected_bit_flips = 0;
+};
+
+/// Decorator that wraps any DiskBackend and injects configurable faults:
+/// transient kIoError on read/write, single-bit rot in read payloads,
+/// and fixed per-op latency.  Deterministic under a fixed seed and op
+/// sequence (a mutex serializes the PRNG, so multi-threaded runs are
+/// deterministic only in aggregate).  memory_view is always empty --
+/// the store must route every byte through read/write for faults to
+/// apply.  Injected errors are indistinguishable from real substrate
+/// errors by design: they carry the same kIoError code.
+class FaultInjectionBackend final : public DiskBackend {
+ public:
+  FaultInjectionBackend(std::unique_ptr<DiskBackend> inner,
+                        const FaultInjectionOptions& options);
+  ~FaultInjectionBackend() override;
+
+  [[nodiscard]] Status open(const BackendGeometry& geometry) override;
+  [[nodiscard]] Status read(DiskId disk, std::uint64_t offset,
+                            std::span<std::uint8_t> out) override;
+  [[nodiscard]] Status write(DiskId disk, std::uint64_t offset,
+                             std::span<const std::uint8_t> data) override;
+  [[nodiscard]] Status sync(DiskId disk) override;
+  [[nodiscard]] Status discard(DiskId disk, std::uint8_t fill) override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "fault-injection";
+  }
+
+  /// Snapshot of the injection counters.
+  [[nodiscard]] FaultInjectionStats stats() const;
+
+ private:
+  struct Impl;  ///< PRNG + counters behind a mutex
+  std::unique_ptr<DiskBackend> inner_;
+  FaultInjectionOptions options_;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// @namespace pdl::io::detail
+/// @brief Shared internals of the in-tree backends.  Not API.
+namespace detail {
+
+/// OkStatus when [offset, offset+size) of `disk` lies inside the
+/// geometry; otherwise kInvalidArgument naming `backend` and the
+/// violated bound.  Shared by every in-tree backend so the range
+/// semantics (and error wording) cannot drift apart.
+[[nodiscard]] Status check_range(std::string_view backend, DiskId disk,
+                                 std::uint64_t offset, std::uint64_t size,
+                                 const BackendGeometry& geometry);
+
+}  // namespace detail
+
+/// Convenience factories (the common construction spellings).
+[[nodiscard]] std::unique_ptr<DiskBackend> make_memory_backend();
+[[nodiscard]] std::unique_ptr<DiskBackend> make_file_backend(
+    FileBackendOptions options);
+[[nodiscard]] std::unique_ptr<DiskBackend> make_fault_injection_backend(
+    std::unique_ptr<DiskBackend> inner, const FaultInjectionOptions& options);
+
+}  // namespace pdl::io

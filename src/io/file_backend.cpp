@@ -1,0 +1,234 @@
+#include "io/disk_backend.hpp"
+
+// POSIX file-per-disk substrate: pread/pwrite at explicit offsets (no
+// shared cursor, so concurrent threads need no extra locking), fdatasync
+// for the durability point, ftruncate to materialize fresh zero-filled
+// images.  Short reads/writes are looped; EINTR is retried.
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace pdl::io {
+
+namespace {
+
+[[nodiscard]] std::string errno_text(const char* op, const std::string& path) {
+  return std::string(op) + " " + path + ": " + std::strerror(errno);
+}
+
+/// Full-buffer pread with EINTR/short-read handling.
+[[nodiscard]] bool pread_all(int fd, std::uint8_t* buf, std::size_t size,
+                             std::uint64_t offset) {
+  while (size > 0) {
+    const ssize_t n = ::pread(fd, buf, size, static_cast<off_t>(offset));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) {  // past EOF would mean a truncated image
+      errno = EIO;
+      return false;
+    }
+    buf += n;
+    size -= static_cast<std::size_t>(n);
+    offset += static_cast<std::uint64_t>(n);
+  }
+  return true;
+}
+
+/// Full-buffer pwrite with EINTR/short-write handling.
+[[nodiscard]] bool pwrite_all(int fd, const std::uint8_t* buf,
+                              std::size_t size, std::uint64_t offset) {
+  while (size > 0) {
+    const ssize_t n = ::pwrite(fd, buf, size, static_cast<off_t>(offset));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    buf += n;
+    size -= static_cast<std::size_t>(n);
+    offset += static_cast<std::uint64_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+namespace {
+
+/// Name of the geometry manifest written next to the image files: pins
+/// (num_disks, disk_bytes) so a reopen with a different array shape is
+/// refused instead of silently adopting byte-incompatible images.
+constexpr const char* kManifestName = "backend.meta";
+
+}  // namespace
+
+FileBackend::FileBackend(FileBackendOptions options)
+    : options_(std::move(options)) {}
+
+FileBackend::~FileBackend() { close_all(); }
+
+void FileBackend::close_all() noexcept {
+  for (const int fd : fds_)
+    if (fd >= 0) ::close(fd);
+  fds_.clear();
+}
+
+std::string FileBackend::disk_path(DiskId disk) const {
+  char name[32];
+  std::snprintf(name, sizeof name, "disk-%04u.img", disk);
+  return (std::filesystem::path(options_.directory) / name).string();
+}
+
+Status FileBackend::check(DiskId disk, std::uint64_t offset,
+                          std::uint64_t size) const {
+  return detail::check_range(name(), disk, offset, size, geometry_);
+}
+
+Status FileBackend::open(const BackendGeometry& geometry) {
+  if (geometry.num_disks == 0)
+    return Status::invalid_argument("file backend: zero disks");
+  if (options_.directory.empty())
+    return Status::invalid_argument("file backend: empty directory");
+  if (!fds_.empty())
+    return Status::failed_precondition("file backend: already open");
+
+  std::error_code ec;
+  std::filesystem::create_directories(options_.directory, ec);
+  if (ec)
+    return Status::io_error("create_directories " + options_.directory +
+                            ": " + ec.message());
+
+  // Geometry manifest: refuse to adopt a directory persisted under a
+  // different array shape (image sizes alone cannot distinguish, e.g.,
+  // fewer disks of the same size -- O_CREAT would silently add fresh
+  // zero disks and scramble the parity discipline).  Layout identity
+  // beyond the geometry (construction, sparing) is the caller's to pin,
+  // e.g. via api::Array::save/load beside the images.
+  const std::string manifest_path =
+      (std::filesystem::path(options_.directory) / kManifestName).string();
+  const std::string manifest_want =
+      "pdl-file-backend v1\nnum_disks " +
+      std::to_string(geometry.num_disks) + "\ndisk_bytes " +
+      std::to_string(geometry.disk_bytes) + "\n";
+  if (std::filesystem::exists(manifest_path)) {
+    std::string manifest_have;
+    if (FILE* f = std::fopen(manifest_path.c_str(), "rb")) {
+      char buf[256];
+      const std::size_t n = std::fread(buf, 1, sizeof buf, f);
+      std::fclose(f);
+      manifest_have.assign(buf, n);
+    }
+    if (manifest_have != manifest_want)
+      return Status::failed_precondition(
+          "file backend: " + manifest_path +
+          " was written for a different geometry (wrong spec/unit_bytes/"
+          "iterations for this directory?); expected\n" + manifest_want +
+          "found\n" + manifest_have);
+  } else {
+    FILE* f = std::fopen(manifest_path.c_str(), "wb");
+    if (!f) return Status::io_error(errno_text("fopen", manifest_path));
+    const bool wrote = std::fwrite(manifest_want.data(), 1,
+                                   manifest_want.size(), f) ==
+                       manifest_want.size();
+    if (std::fclose(f) != 0 || !wrote)
+      return Status::io_error(errno_text("write", manifest_path));
+  }
+
+  geometry_ = geometry;
+  fds_.assign(geometry.num_disks, -1);
+  for (DiskId disk = 0; disk < geometry.num_disks; ++disk) {
+    const std::string path = disk_path(disk);
+    const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+    if (fd < 0) {
+      Status failed = Status::io_error(errno_text("open", path));
+      close_all();
+      return failed;
+    }
+    fds_[disk] = fd;
+
+    struct stat st {};
+    if (::fstat(fd, &st) != 0) {
+      Status failed = Status::io_error(errno_text("fstat", path));
+      close_all();
+      return failed;
+    }
+    const auto size = static_cast<std::uint64_t>(st.st_size);
+    if (size == 0) {
+      // Fresh image: materialize disk_bytes of zeros (sparse where the
+      // filesystem allows).
+      if (::ftruncate(fd, static_cast<off_t>(geometry.disk_bytes)) != 0) {
+        Status failed = Status::io_error(errno_text("ftruncate", path));
+        close_all();
+        return failed;
+      }
+    } else if (size != geometry.disk_bytes) {
+      // A wrong-sized image means the caller's geometry disagrees with
+      // what was persisted; resizing would silently corrupt parity.
+      Status failed = Status::failed_precondition(
+          "file backend: " + path + " is " + std::to_string(size) +
+          " bytes but the geometry needs " +
+          std::to_string(geometry.disk_bytes) +
+          " (wrong unit_bytes/iterations/spec for this directory?)");
+      close_all();
+      return failed;
+    }
+    // size == disk_bytes: reopened image, adopt its bytes as-is.
+  }
+  return OkStatus();
+}
+
+Status FileBackend::read(DiskId disk, std::uint64_t offset,
+                         std::span<std::uint8_t> out) {
+  if (Status ok = check(disk, offset, out.size()); !ok.ok()) return ok;
+  if (!pread_all(fds_[disk], out.data(), out.size(), offset))
+    return Status::io_error(errno_text("pread", disk_path(disk)));
+  return OkStatus();
+}
+
+Status FileBackend::write(DiskId disk, std::uint64_t offset,
+                          std::span<const std::uint8_t> data) {
+  if (Status ok = check(disk, offset, data.size()); !ok.ok()) return ok;
+  if (!pwrite_all(fds_[disk], data.data(), data.size(), offset))
+    return Status::io_error(errno_text("pwrite", disk_path(disk)));
+  if (options_.sync_on_write && ::fdatasync(fds_[disk]) != 0)
+    return Status::io_error(errno_text("fdatasync", disk_path(disk)));
+  return OkStatus();
+}
+
+Status FileBackend::sync(DiskId disk) {
+  if (Status ok = check(disk, 0, 0); !ok.ok()) return ok;
+  if (::fdatasync(fds_[disk]) != 0)
+    return Status::io_error(errno_text("fdatasync", disk_path(disk)));
+  return OkStatus();
+}
+
+Status FileBackend::discard(DiskId disk, std::uint8_t fill) {
+  if (Status ok = check(disk, 0, 0); !ok.ok()) return ok;
+  // Overwrite the whole image in chunks; 1 MiB keeps the buffer modest
+  // while amortizing syscalls.
+  constexpr std::size_t kChunk = 1u << 20;
+  std::vector<std::uint8_t> chunk(
+      static_cast<std::size_t>(std::min<std::uint64_t>(kChunk,
+                                                       geometry_.disk_bytes)),
+      fill);
+  std::uint64_t offset = 0;
+  while (offset < geometry_.disk_bytes) {
+    const std::size_t n = static_cast<std::size_t>(
+        std::min<std::uint64_t>(chunk.size(), geometry_.disk_bytes - offset));
+    if (!pwrite_all(fds_[disk], chunk.data(), n, offset))
+      return Status::io_error(errno_text("pwrite", disk_path(disk)));
+    offset += n;
+  }
+  return OkStatus();
+}
+
+}  // namespace pdl::io

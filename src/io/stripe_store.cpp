@@ -17,8 +17,8 @@ constexpr std::uint8_t kPoison = 0xDD;
 constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
 constexpr std::uint64_t kFnvPrime = 1099511628211ull;
 
-[[nodiscard]] std::uint64_t fnv1a(std::span<const std::uint8_t> bytes) {
-  std::uint64_t hash = kFnvOffset;
+[[nodiscard]] std::uint64_t fnv1a(std::uint64_t hash,
+                                  std::span<const std::uint8_t> bytes) {
   for (const std::uint8_t b : bytes) {
     hash ^= b;
     hash *= kFnvPrime;
@@ -26,29 +26,59 @@ constexpr std::uint64_t kFnvPrime = 1099511628211ull;
   return hash;
 }
 
+/// Per-thread staging buffers for the backend (no-view) paths, so the
+/// serving hot loop stays allocation-free after warm-up.  Index selects
+/// one of two independent buffers (some paths need a pair).
+[[nodiscard]] std::span<std::uint8_t> scratch(std::size_t which,
+                                              std::size_t size) {
+  thread_local std::vector<std::uint8_t> buffers[2];
+  auto& buffer = buffers[which];
+  if (buffer.size() < size) buffer.resize(size);
+  return {buffer.data(), size};
+}
+
 }  // namespace
 
-StripeStore::StripeStore(api::Array array, const StripeStoreOptions& options)
+StripeStore::StripeStore(api::Array array, const StripeStoreOptions& options,
+                         std::unique_ptr<DiskBackend> backend)
     : array_(std::move(array)),
       unit_bytes_(options.unit_bytes),
       iterations_(options.iterations),
-      sync_(std::make_unique<Sync>(std::max(1u, options.lock_shards))) {
-  disks_.assign(array_.num_disks(),
-                std::vector<std::uint8_t>(disk_bytes(), 0));
-}
+      backend_(std::move(backend)),
+      sync_(std::make_unique<Sync>(std::max(1u, options.lock_shards))) {}
 
 Result<StripeStore> StripeStore::create(api::Array array,
-                                        const StripeStoreOptions& options) {
+                                        const StripeStoreOptions& options,
+                                        std::unique_ptr<DiskBackend> backend) {
   if (options.unit_bytes == 0)
     return Status::invalid_argument("unit_bytes must be positive");
   if (options.iterations == 0)
     return Status::invalid_argument("iterations must be positive");
   if (!array.healthy())
     return Status::failed_precondition(
-        "StripeStore::create needs a healthy array: the store's disks "
-        "start zero-filled, which is only parity-consistent with no "
-        "pre-existing failure state");
-  return StripeStore(std::move(array), options);
+        "StripeStore::create needs a healthy array: the backend's disks "
+        "start zero-filled (or carry a prior store's parity-consistent "
+        "image), which is only consistent with no pre-existing failure "
+        "state");
+  if (!backend) backend = make_memory_backend();
+
+  StripeStore store(std::move(array), options, std::move(backend));
+  const BackendGeometry geometry{store.array_.num_disks(),
+                                 store.disk_bytes()};
+  if (Status opened = store.backend_->open(geometry); !opened.ok())
+    return opened;
+
+  // Cache zero-copy views when the backend offers them (all disks or
+  // none, per the DiskBackend contract).
+  std::vector<std::span<std::uint8_t>> views;
+  views.reserve(geometry.num_disks);
+  for (DiskId disk = 0; disk < geometry.num_disks; ++disk) {
+    const auto view = store.backend_->memory_view(disk);
+    if (view.size() != geometry.disk_bytes) break;
+    views.push_back(view);
+  }
+  if (views.size() == geometry.num_disks) store.views_ = std::move(views);
+  return store;
 }
 
 std::mutex& StripeStore::shard_for(std::uint64_t logical) noexcept {
@@ -56,6 +86,38 @@ std::mutex& StripeStore::shard_for(std::uint64_t logical) noexcept {
   const std::uint64_t instance =
       ref.stripe + ref.iteration * array_.num_stripes();
   return sync_->shards[instance % sync_->shards.size()];
+}
+
+// ------------------------------------------------------- unit primitives
+
+Status StripeStore::load_unit(Physical p, std::span<std::uint8_t> out) {
+  if (const auto view = unit_view(p); !view.empty()) {
+    std::memcpy(out.data(), view.data(), unit_bytes_);
+    return OkStatus();
+  }
+  return backend_->read(p.disk, byte_offset(p.offset), out);
+}
+
+Status StripeStore::xor_unit_into(Physical p, std::span<std::uint8_t> acc,
+                                  std::span<std::uint8_t> staging) {
+  if (const auto view = unit_view(p); !view.empty()) {
+    core::xor_into(acc, view);
+    return OkStatus();
+  }
+  if (Status read = backend_->read(p.disk, byte_offset(p.offset), staging);
+      !read.ok())
+    return read;
+  core::xor_into(acc, staging);
+  return OkStatus();
+}
+
+Status StripeStore::store_unit(Physical p,
+                               std::span<const std::uint8_t> data) {
+  if (const auto view = unit_view(p); !view.empty()) {
+    std::memcpy(view.data(), data.data(), unit_bytes_);
+    return OkStatus();
+  }
+  return backend_->write(p.disk, byte_offset(p.offset), data);
 }
 
 // -------------------------------------------------------------- data path
@@ -81,8 +143,8 @@ Status StripeStore::read(std::uint64_t logical, std::span<std::uint8_t> out,
 
   switch (plan->kind) {
     case api::ReadPlan::Kind::kDirect: {
-      const auto src = unit_cspan(plan->target);
-      std::memcpy(out.data(), src.data(), unit_bytes_);
+      if (Status loaded = load_unit(plan->target, out); !loaded.ok())
+        return loaded;
       if (receipt) {
         receipt->kind = plan->kind;
         receipt->num_touched = 1;
@@ -91,10 +153,24 @@ Status StripeStore::read(std::uint64_t logical, std::span<std::uint8_t> out,
       return OkStatus();
     }
     case api::ReadPlan::Kind::kDegraded: {
-      std::array<std::span<const std::uint8_t>, 64> srcs;
-      for (std::uint32_t i = 0; i < plan->num_survivors; ++i)
-        srcs[i] = unit_cspan(survivors[i]);
-      core::xor_reconstruct_into(out, {srcs.data(), plan->num_survivors});
+      if (!views_.empty()) {
+        // Zero-copy: XOR every survivor straight out of the disk images
+        // in one blocked pass over `out`.
+        std::array<std::span<const std::uint8_t>, 64> srcs;
+        for (std::uint32_t i = 0; i < plan->num_survivors; ++i)
+          srcs[i] = unit_view(survivors[i]);
+        core::xor_reconstruct_into(out, {srcs.data(), plan->num_survivors});
+      } else {
+        // Streamed: first survivor lands in `out`, the rest fold in
+        // through one staging buffer.
+        if (Status loaded = load_unit(survivors[0], out); !loaded.ok())
+          return loaded;
+        const auto staging = scratch(0, unit_bytes_);
+        for (std::uint32_t i = 1; i < plan->num_survivors; ++i)
+          if (Status folded = xor_unit_into(survivors[i], out, staging);
+              !folded.ok())
+            return folded;
+      }
       if (receipt) {
         receipt->kind = plan->kind;
         receipt->num_touched = plan->num_survivors;
@@ -142,11 +218,39 @@ Status StripeStore::write(std::uint64_t logical,
   switch (plan->kind) {
     case api::WritePlan::Kind::kReadModifyWrite: {
       // parity ^= old ^ new, then the data unit takes the new bytes.
-      const auto d = unit_span(plan->data);
-      const auto p = unit_span(plan->parity);
-      for (std::uint32_t i = 0; i < unit_bytes_; ++i)
-        p[i] ^= static_cast<std::uint8_t>(d[i] ^ data[i]);
-      std::memcpy(d.data(), data.data(), unit_bytes_);
+      if (const auto p = unit_view(plan->parity); !p.empty()) {
+        // Zero-copy: one blocked pass folds old parity, old data, and
+        // new data into the parity image in place.
+        const std::span<const std::uint8_t> srcs[] = {
+            p, unit_view(plan->data), data};
+        core::xor_parity_into(p, srcs);
+        std::memcpy(unit_view(plan->data).data(), data.data(), unit_bytes_);
+      } else {
+        const auto parity = scratch(0, unit_bytes_);
+        const auto staging = scratch(1, unit_bytes_);
+        if (Status loaded = load_unit(plan->parity, parity); !loaded.ok())
+          return loaded;
+        // staging keeps the old data bytes for the rollback path below.
+        if (Status loaded = load_unit(plan->data, staging); !loaded.ok())
+          return loaded;
+        core::xor_into(parity, staging);
+        core::xor_into(parity, data);
+        if (Status stored = store_unit(plan->parity, parity); !stored.ok())
+          return stored;
+        if (Status stored = store_unit(plan->data, data); !stored.ok()) {
+          // Torn RMW: new parity landed but the data write failed.  A
+          // bare retry of the whole write would fold the delta into the
+          // NEW parity and corrupt the stripe, so restore the old parity
+          // (P_old = P_new ^ D_old ^ D_new) first -- then the stripe is
+          // back in its consistent pre-write state and the caller's
+          // retry is safe.  Only a second I/O failure right here leaves
+          // the stripe torn.
+          core::xor_into(parity, staging);
+          core::xor_into(parity, data);
+          (void)store_unit(plan->parity, parity);
+          return stored;
+        }
+      }
       if (receipt) {
         receipt->num_reads = 2;
         receipt->reads[0] = plan->data;
@@ -160,12 +264,24 @@ Status StripeStore::write(std::uint64_t logical,
     case api::WritePlan::Kind::kReconstructWrite: {
       // The data unit's disk is gone: fold the new value into parity so a
       // degraded read reconstructs it.  parity = XOR(peers) ^ new data.
-      std::array<std::span<const std::uint8_t>, 64> srcs;
-      for (std::uint32_t i = 0; i < plan->num_peer_reads; ++i)
-        srcs[i] = unit_cspan(peers[i]);
-      srcs[plan->num_peer_reads] = data;
-      core::xor_parity_into(unit_span(plan->parity),
-                            {srcs.data(), plan->num_peer_reads + 1u});
+      if (!views_.empty()) {
+        std::array<std::span<const std::uint8_t>, 64> srcs;
+        for (std::uint32_t i = 0; i < plan->num_peer_reads; ++i)
+          srcs[i] = unit_view(peers[i]);
+        srcs[plan->num_peer_reads] = data;
+        core::xor_parity_into(unit_view(plan->parity),
+                              {srcs.data(), plan->num_peer_reads + 1u});
+      } else {
+        const auto parity = scratch(0, unit_bytes_);
+        const auto staging = scratch(1, unit_bytes_);
+        std::memcpy(parity.data(), data.data(), unit_bytes_);
+        for (std::uint32_t i = 0; i < plan->num_peer_reads; ++i)
+          if (Status folded = xor_unit_into(peers[i], parity, staging);
+              !folded.ok())
+            return folded;
+        if (Status stored = store_unit(plan->parity, parity); !stored.ok())
+          return stored;
+      }
       if (receipt) {
         receipt->num_reads = plan->num_peer_reads;
         std::copy_n(peers.begin(), plan->num_peer_reads,
@@ -176,8 +292,8 @@ Status StripeStore::write(std::uint64_t logical,
       return OkStatus();
     }
     case api::WritePlan::Kind::kUnprotectedWrite: {
-      const auto d = unit_span(plan->data);
-      std::memcpy(d.data(), data.data(), unit_bytes_);
+      if (Status stored = store_unit(plan->data, data); !stored.ok())
+        return stored;
       if (receipt) {
         receipt->num_writes = 1;
         receipt->writes[0] = plan->data;
@@ -191,37 +307,57 @@ Status StripeStore::write(std::uint64_t logical,
                            " is on a stripe that lost two units");
 }
 
+Status StripeStore::sync() {
+  std::unique_lock lock(sync_->state);  // exclude in-flight writers
+  for (DiskId disk = 0; disk < array_.num_disks(); ++disk)
+    if (Status synced = backend_->sync(disk); !synced.ok()) return synced;
+  return OkStatus();
+}
+
 // ------------------------------------------------- failure & rebuild
 
 Status StripeStore::fail_disk(DiskId disk) {
   std::unique_lock lock(sync_->state);
   if (Status failed = array_.fail_disk(disk); !failed.ok()) return failed;
-  std::fill(disks_[disk].begin(), disks_[disk].end(), kPoison);
-  return OkStatus();
+  return backend_->discard(disk, kPoison);
 }
 
 Status StripeStore::replace_disk(DiskId disk) {
   std::unique_lock lock(sync_->state);
   if (Status replaced = array_.replace_disk(disk); !replaced.ok())
     return replaced;
-  std::fill(disks_[disk].begin(), disks_[disk].end(), std::uint8_t{0});
-  return OkStatus();
+  return backend_->discard(disk, 0);
 }
 
 Status StripeStore::apply_step_bytes(const api::RebuildStep& step) {
   // Bytes first, every iteration of the stripe (the step reports
   // iteration-0 offsets), then the array's state transition.
-  std::array<std::span<const std::uint8_t>, 64> srcs;
   const std::uint32_t n = static_cast<std::uint32_t>(step.reads.size());
   for (std::uint32_t it = 0; it < iterations_; ++it) {
     const std::uint64_t lift =
         static_cast<std::uint64_t>(it) * array_.units_per_disk();
-    for (std::uint32_t i = 0; i < n; ++i)
-      srcs[i] = unit_cspan(
-          {step.reads[i].disk, step.reads[i].offset + lift});
-    core::xor_reconstruct_into(
-        unit_span({step.target.disk, step.target.offset + lift}),
-        {srcs.data(), n});
+    const Physical target{step.target.disk, step.target.offset + lift};
+    if (!views_.empty()) {
+      std::array<std::span<const std::uint8_t>, 64> srcs;
+      for (std::uint32_t i = 0; i < n; ++i)
+        srcs[i] = unit_view({step.reads[i].disk, step.reads[i].offset + lift});
+      core::xor_reconstruct_into(unit_view(target), {srcs.data(), n});
+    } else {
+      const auto acc = scratch(0, unit_bytes_);
+      const auto staging = scratch(1, unit_bytes_);
+      if (Status loaded = load_unit(
+              {step.reads[0].disk, step.reads[0].offset + lift}, acc);
+          !loaded.ok())
+        return loaded;
+      for (std::uint32_t i = 1; i < n; ++i)
+        if (Status folded = xor_unit_into(
+                {step.reads[i].disk, step.reads[i].offset + lift}, acc,
+                staging);
+            !folded.ok())
+          return folded;
+      if (Status stored = store_unit(target, acc); !stored.ok())
+        return stored;
+    }
   }
   return array_.apply_rebuild_step(step);
 }
@@ -259,16 +395,45 @@ Result<api::RebuildOutcome> StripeStore::rebuild() {
 
 // ------------------------------------------------------------ verification
 
-std::uint64_t StripeStore::checksum_disk(DiskId disk) const {
-  std::unique_lock lock(sync_->state);  // exclude in-flight writers
-  return fnv1a(disks_[disk]);
+Result<std::uint64_t> StripeStore::checksum_disk_locked(DiskId disk) const {
+  if (!views_.empty() && disk < views_.size())
+    return fnv1a(kFnvOffset, views_[disk]);
+
+  // Stream the image through a bounded buffer.
+  constexpr std::uint64_t kChunk = 1u << 18;
+  std::vector<std::uint8_t> chunk(
+      static_cast<std::size_t>(std::min<std::uint64_t>(kChunk, disk_bytes())));
+  std::uint64_t hash = kFnvOffset;
+  std::uint64_t offset = 0;
+  while (offset < disk_bytes()) {
+    const std::uint64_t n =
+        std::min<std::uint64_t>(chunk.size(), disk_bytes() - offset);
+    const std::span<std::uint8_t> window{chunk.data(),
+                                         static_cast<std::size_t>(n)};
+    if (Status read = backend_->read(disk, offset, window); !read.ok())
+      return read;
+    hash = fnv1a(hash, window);
+    offset += n;
+  }
+  return hash;
 }
 
-std::vector<std::uint64_t> StripeStore::checksum_disks() const {
+Result<std::uint64_t> StripeStore::checksum_disk(DiskId disk) const {
+  std::unique_lock lock(sync_->state);  // exclude in-flight writers
+  return checksum_disk_locked(disk);
+}
+
+Result<std::vector<std::uint64_t>> StripeStore::checksum_disks() const {
+  // One exclusive lock across ALL disks: the vector is a cross-disk-
+  // consistent snapshot (no write can land between two entries).
   std::unique_lock lock(sync_->state);
   std::vector<std::uint64_t> sums;
-  sums.reserve(disks_.size());
-  for (const auto& disk : disks_) sums.push_back(fnv1a(disk));
+  sums.reserve(array_.num_disks());
+  for (DiskId disk = 0; disk < array_.num_disks(); ++disk) {
+    auto sum = checksum_disk_locked(disk);
+    if (!sum.ok()) return sum.status();
+    sums.push_back(*sum);
+  }
   return sums;
 }
 

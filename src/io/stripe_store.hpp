@@ -1,39 +1,51 @@
 #pragma once
-// pdl::io::StripeStore -- the byte-moving data path.
-//
-// Everything below src/io counts unit accesses; this class actually moves
-// bytes.  A StripeStore owns a pdl::api::Array (the layout, mapping
-// tables, and online failure state) plus one in-memory byte buffer per
-// disk, and routes every logical read/write through Array::locate /
-// Array::plan_write:
-//
-//   * healthy reads copy the unit's bytes straight out of its home disk;
-//   * degraded reads XOR the survivor units into the caller's buffer
-//     (core::xor_reconstruct_into -- Figure 1's "any single lost unit is
-//     the XOR of the survivors", executed for real);
-//   * small writes do a real read-modify-write parity update (parity ^=
-//     old ^ new), a reconstruct-write when the data unit is lost (parity
-//     = XOR(surviving peers) ^ new data), or an unprotected data write
-//     when the parity unit is lost;
-//   * fail_disk physically destroys the disk's contents (poison fill),
-//     replace_disk attaches zeroed platters, and rebuild() regenerates
-//     every lost unit from survivor bytes into its spare or replacement
-//     slot -- after which the store serves the exact bytes written before
-//     the failure (checksum-identical for in-place rebuilds).
-//
-// Concurrency: the store layers the readers-writer discipline that
-// api::Array's external-synchronization contract asks for.  A
-// shared_mutex guards the array's online state (read/write take it
-// shared; fail/replace/rebuild take it exclusive), and a fixed pool of
-// stripe-instance locks -- sharded by (stripe, iteration) -- serializes
-// byte access per stripe so parity updates are atomic with their data
-// writes while different stripes proceed in parallel.  Lock order is
-// always state-then-shard; each operation holds exactly one shard lock,
-// so the scheme is deadlock-free.
-//
-// Address space: logical units 0 .. num_logical_units()-1, each
-// unit_bytes() wide; the layout tiles vertically `iterations` times, so
-// num_logical_units() = Array::data_units_per_iteration() * iterations.
+/// @file
+/// pdl::io::StripeStore -- the byte-moving data path.
+///
+/// Everything below src/io counts unit accesses; this class actually moves
+/// bytes.  A StripeStore owns a pdl::api::Array (the layout, mapping
+/// tables, and online failure state) plus a DiskBackend (the storage
+/// substrate -- in-memory buffers, one file per disk, or any future
+/// substrate), and routes every logical read/write through Array::locate /
+/// Array::plan_write:
+///
+///   * healthy reads copy the unit's bytes straight out of its home disk;
+///   * degraded reads XOR the survivor units into the caller's buffer
+///     (core::xor_reconstruct_into -- Figure 1's "any single lost unit is
+///     the XOR of the survivors", executed for real);
+///   * small writes do a real read-modify-write parity update (parity ^=
+///     old ^ new), a reconstruct-write when the data unit is lost (parity
+///     = XOR(surviving peers) ^ new data), or an unprotected data write
+///     when the parity unit is lost;
+///   * fail_disk physically destroys the disk's contents (poison fill),
+///     replace_disk attaches zeroed platters, and rebuild() regenerates
+///     every lost unit from survivor bytes into its spare or replacement
+///     slot -- after which the store serves the exact bytes written before
+///     the failure (checksum-identical for in-place rebuilds).
+///
+/// Backends: when the backend exposes zero-copy memory views
+/// (MemoryBackend), the store serves straight out of the disk images with
+/// no copies or syscalls; otherwise (FileBackend, decorators) every unit
+/// moves through DiskBackend::read/write and substrate errors surface as
+/// typed kIoError Statuses from the store's own calls.  A store re-created
+/// over a persistent backend's existing image (file reopen) serves the
+/// bytes a previous process wrote -- parity was maintained write-by-write,
+/// so degraded reads and rebuilds work across restarts.
+///
+/// Concurrency: the store layers the readers-writer discipline that
+/// api::Array's external-synchronization contract asks for.  A
+/// shared_mutex guards the array's online state (read/write take it
+/// shared; fail/replace/rebuild take it exclusive), and a fixed pool of
+/// stripe-instance locks -- sharded by (stripe, iteration) -- serializes
+/// byte access per stripe so parity updates are atomic with their data
+/// writes while different stripes proceed in parallel.  Lock order is
+/// always state-then-shard; each operation holds exactly one shard lock,
+/// so the scheme is deadlock-free.  The same sharding is what discharges
+/// the backend's "overlapping writes are externally serialized" demand.
+///
+/// Address space: logical units 0 .. num_logical_units()-1, each
+/// unit_bytes() wide; the layout tiles vertically `iterations` times, so
+/// num_logical_units() = Array::data_units_per_iteration() * iterations.
 
 #include <array>
 #include <cstdint>
@@ -45,12 +57,14 @@
 
 #include "api/array.hpp"
 #include "core/status.hpp"
+#include "io/disk_backend.hpp"
 
 namespace pdl::io {
 
 using api::Physical;
 using layout::DiskId;
 
+/// Construction knobs for StripeStore::create.
 struct StripeStoreOptions {
   /// Bytes per stripe unit (the store's I/O granularity).
   std::uint32_t unit_bytes = 4096;
@@ -64,10 +78,13 @@ struct StripeStoreOptions {
 /// touched (the direct target, or the survivor set XORed together).
 /// Inline storage -- filling a receipt never allocates.
 struct ReadReceipt {
+  /// How the read resolved under the failure state at serving time.
   api::ReadPlan::Kind kind = api::ReadPlan::Kind::kDirect;
+  /// Valid prefix length of `touched`.
   std::uint32_t num_touched = 0;
   std::array<Physical, 64> touched;  ///< first num_touched are valid
 
+  /// The units actually touched, as a span over the inline storage.
   [[nodiscard]] std::span<const Physical> units() const noexcept {
     return {touched.data(), num_touched};
   }
@@ -76,39 +93,58 @@ struct ReadReceipt {
 /// What one write physically did: the units it read and the units it
 /// wrote under the parity-update strategy plan_write selected.
 struct WriteReceipt {
+  /// Which parity-maintenance strategy the write used.
   api::WritePlan::Kind kind = api::WritePlan::Kind::kReadModifyWrite;
+  /// Valid prefix length of `reads`.
   std::uint32_t num_reads = 0;
+  /// Valid prefix length of `writes`.
   std::uint32_t num_writes = 0;
-  std::array<Physical, 64> reads;
-  std::array<Physical, 2> writes;
+  std::array<Physical, 64> reads;  ///< first num_reads are valid
+  std::array<Physical, 2> writes;  ///< first num_writes are valid
 
+  /// Units read for parity maintenance, over the inline storage.
   [[nodiscard]] std::span<const Physical> read_units() const noexcept {
     return {reads.data(), num_reads};
   }
+  /// Units physically written, over the inline storage.
   [[nodiscard]] std::span<const Physical> written_units() const noexcept {
     return {writes.data(), num_writes};
   }
 };
 
+/// The byte-serving engine: one api::Array (layout + online state) bound
+/// to one DiskBackend (the bytes), with parity maintained on every write
+/// and reconstruction executed on real bytes.  See the file comment for
+/// the full data-path and concurrency story.
 class StripeStore {
  public:
-  /// Wraps a (healthy) array with zero-filled disks.  kInvalidArgument
-  /// for zero unit_bytes/iterations or an array already carrying failure
-  /// state.
+  /// Binds a (healthy) array to a backend and opens the backend with the
+  /// derived geometry.  A null backend means a fresh MemoryBackend (the
+  /// zero-dependency default).  kInvalidArgument for zero
+  /// unit_bytes/iterations; kFailedPrecondition for an array already
+  /// carrying failure state (a fresh backend's zero-filled disks are only
+  /// parity-consistent with a healthy array -- a reopened persistent
+  /// image is parity-consistent because the previous store maintained it
+  /// write-by-write); any backend open() failure is passed through.
   [[nodiscard]] static Result<StripeStore> create(
-      api::Array array, const StripeStoreOptions& options = {});
+      api::Array array, const StripeStoreOptions& options = {},
+      std::unique_ptr<DiskBackend> backend = nullptr);
 
   // ------------------------------------------------------------ geometry
 
+  /// Logical units addressable through the store.
   [[nodiscard]] std::uint64_t num_logical_units() const noexcept {
     return array_.data_units_per_iteration() * iterations_;
   }
+  /// Bytes per logical unit (the I/O granularity).
   [[nodiscard]] std::uint32_t unit_bytes() const noexcept {
     return unit_bytes_;
   }
+  /// Vertical layout repetitions per disk.
   [[nodiscard]] std::uint32_t iterations() const noexcept {
     return iterations_;
   }
+  /// Bytes per physical disk image.
   [[nodiscard]] std::uint64_t disk_bytes() const noexcept {
     return static_cast<std::uint64_t>(array_.units_per_disk()) *
            iterations_ * unit_bytes_;
@@ -118,25 +154,42 @@ class StripeStore {
   /// fail_disk / replace_disk / rebuild, which keep bytes and state in
   /// lockstep under the store's locks.
   [[nodiscard]] const api::Array& array() const noexcept { return array_; }
+  /// The owned storage substrate.  Do NOT write through it behind the
+  /// store's back; read-only surfaces (name(), stats on a decorator) are
+  /// fair game.
+  [[nodiscard]] DiskBackend& backend() noexcept { return *backend_; }
 
   // ----------------------------------------------------------- data path
 
   /// Reads one logical unit into `out` (exactly unit_bytes() wide).
   /// Degraded units are reconstructed from survivor bytes on the fly.
   /// kOutOfRange past the address space, kInvalidArgument for a wrong
-  /// buffer size, kDataLoss when the unit's stripe lost two units.
-  /// Thread-safe against concurrent read/write.
+  /// buffer size, kDataLoss when the unit's stripe lost two units,
+  /// kIoError passed through from the backend (possibly transient --
+  /// retrying is safe, reads don't mutate).  On any non-OK status the
+  /// contents of `out` are unspecified.  Thread-safe against concurrent
+  /// read/write.
   [[nodiscard]] Status read(std::uint64_t logical,
                             std::span<std::uint8_t> out,
                             ReadReceipt* receipt = nullptr);
 
   /// Writes one logical unit from `data` (exactly unit_bytes() wide),
   /// keeping parity consistent via RMW / reconstruct-write / unprotected
-  /// write as the failure state dictates.  Error contract mirrors read().
-  /// Thread-safe against concurrent read/write.
+  /// write as the failure state dictates.  Error contract mirrors read(),
+  /// with one addition: when the data write of an RMW fails after the
+  /// new parity already landed, the store rolls the parity back to its
+  /// pre-write value before returning the kIoError, so the stripe is
+  /// consistent and retrying the write is safe.  Only a second substrate
+  /// failure during that rollback leaves the stripe's parity torn (the
+  /// same window a crash leaves on real arrays).  Thread-safe against
+  /// concurrent read/write.
   [[nodiscard]] Status write(std::uint64_t logical,
                              std::span<const std::uint8_t> data,
                              WriteReceipt* receipt = nullptr);
+
+  /// Flushes every disk to the backend's durability point (fdatasync per
+  /// image file for FileBackend; no-op for memory).
+  [[nodiscard]] Status sync();
 
   // ------------------------------------------- failure & rebuild (bytes)
 
@@ -164,32 +217,49 @@ class StripeStore {
   // -------------------------------------------------------- verification
 
   /// FNV-1a 64 over the disk's raw bytes (failure-state agnostic).
-  [[nodiscard]] std::uint64_t checksum_disk(DiskId disk) const;
-  [[nodiscard]] std::vector<std::uint64_t> checksum_disks() const;
+  /// kIoError passed through from the backend.
+  [[nodiscard]] Result<std::uint64_t> checksum_disk(DiskId disk) const;
+  /// checksum_disk for every disk, in disk order, under ONE exclusive
+  /// lock -- the vector is a cross-disk-consistent snapshot.
+  [[nodiscard]] Result<std::vector<std::uint64_t>> checksum_disks() const;
 
  private:
-  StripeStore(api::Array array, const StripeStoreOptions& options);
+  StripeStore(api::Array array, const StripeStoreOptions& options,
+              std::unique_ptr<DiskBackend> backend);
 
-  /// Byte offset of a physical unit within its disk buffer.
-  [[nodiscard]] std::size_t byte_offset(std::uint64_t unit_offset)
+  /// Byte offset of a physical unit within its disk image.
+  [[nodiscard]] std::uint64_t byte_offset(std::uint64_t unit_offset)
       const noexcept {
-    return static_cast<std::size_t>(unit_offset) * unit_bytes_;
+    return unit_offset * unit_bytes_;
   }
-  [[nodiscard]] std::span<std::uint8_t> unit_span(Physical p) noexcept {
-    return {disks_[p.disk].data() + byte_offset(p.offset), unit_bytes_};
+  /// Zero-copy view of a unit, or empty when the backend has none.
+  [[nodiscard]] std::span<std::uint8_t> unit_view(Physical p) const noexcept {
+    if (views_.empty()) return {};
+    return views_[p.disk].subspan(
+        static_cast<std::size_t>(byte_offset(p.offset)), unit_bytes_);
   }
-  [[nodiscard]] std::span<const std::uint8_t> unit_cspan(
-      Physical p) const noexcept {
-    return {disks_[p.disk].data() + byte_offset(p.offset), unit_bytes_};
-  }
+  /// Loads a unit's bytes into `out` (view memcpy or backend read).
+  [[nodiscard]] Status load_unit(Physical p, std::span<std::uint8_t> out);
+  /// acc ^= unit's bytes, staging through `scratch` when there is no
+  /// zero-copy view.  Both spans are unit_bytes() wide.
+  [[nodiscard]] Status xor_unit_into(Physical p, std::span<std::uint8_t> acc,
+                                     std::span<std::uint8_t> scratch);
+  /// Stores `data` as the unit's bytes (view memcpy or backend write).
+  [[nodiscard]] Status store_unit(Physical p,
+                                  std::span<const std::uint8_t> data);
   [[nodiscard]] std::mutex& shard_for(std::uint64_t logical) noexcept;
   /// One rebuild step, bytes first (all iterations), then array state.
   [[nodiscard]] Status apply_step_bytes(const api::RebuildStep& step);
+  /// checksum_disk's body; caller holds the exclusive state lock.
+  [[nodiscard]] Result<std::uint64_t> checksum_disk_locked(DiskId disk) const;
 
   api::Array array_;
   std::uint32_t unit_bytes_ = 0;
   std::uint32_t iterations_ = 0;
-  std::vector<std::vector<std::uint8_t>> disks_;
+  std::unique_ptr<DiskBackend> backend_;
+  /// Cached zero-copy views, one per disk; empty when the backend does
+  /// not expose them (then every access goes through read/write).
+  std::vector<std::span<std::uint8_t>> views_;
 
   /// Heap-allocated so the store stays movable (Result<StripeStore>).
   struct Sync {

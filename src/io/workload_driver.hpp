@@ -12,6 +12,11 @@
 // including degraded reads reconstructed from survivors mid-rebuild.
 // A verification mismatch is counted, never asserted, so the driver is
 // usable both as a benchmark loop and as a stress-test oracle.
+//
+// The driver is storage-substrate-agnostic: it hammers whatever
+// DiskBackend the store was constructed over (zero-copy memory, file
+// images, a fault-injecting decorator), and backend kIoError statuses
+// are tallied under `errors` rather than aborting the run.
 
 #include <cstdint>
 #include <span>

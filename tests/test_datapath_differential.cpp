@@ -1,22 +1,30 @@
 // Differential suite pinning io::StripeStore to api::Array semantics: for
 // every ranked construction at (17, 5) (>= 4 apply), {0, 1, 2} failed
-// disks, and both sparing modes, every StripeStore::read outcome -- the
+// disks, both sparing modes, and BOTH storage backends (zero-copy memory
+// and pread/pwrite file images), every StripeStore::read outcome -- the
 // served/degraded/unrecoverable resolution AND the exact physical units
 // touched -- must match what Array::locate says on an identically-driven
 // reference array, and every served byte must equal what was written.
 // Write receipts are pinned to Array::plan_write the same way, and the
 // single-failure dedicated-replacement case proves rebuild restores
-// checksum-identical disk contents.
+// checksum-identical disk contents.  Running the identical matrix over
+// both backends is what pins the DiskBackend seam: the substrate must be
+// invisible to every byte served.
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <array>
 #include <cstdint>
+#include <filesystem>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "api/array.hpp"
 #include "engine/planner.hpp"
+#include "io/disk_backend.hpp"
 #include "io/stripe_store.hpp"
 #include "io/workload_driver.hpp"
 
@@ -39,16 +47,36 @@ std::vector<core::Construction> applicable_constructions() {
   return result;
 }
 
+enum class BackendKind { kMemory, kFile };
+
 struct Case {
   core::Construction construction;
   api::SparingMode sparing;
   std::vector<layout::DiskId> failures;
+  BackendKind backend = BackendKind::kMemory;
 };
+
+/// Scratch directory for one file-backed case, unique per process.
+std::filesystem::path case_scratch_dir(const Case& c) {
+  return std::filesystem::temp_directory_path() /
+         ("pdl_datapath_diff_" +
+          std::to_string(static_cast<unsigned long>(::getpid()))) /
+         (core::construction_name(c.construction) + "_" +
+          (c.sparing == api::SparingMode::kDistributed ? "d" : "n") + "_" +
+          std::to_string(c.failures.size()));
+}
+
+std::unique_ptr<io::DiskBackend> make_case_backend(const Case& c) {
+  if (c.backend == BackendKind::kFile)
+    return make_file_backend({.directory = case_scratch_dir(c).string()});
+  return make_memory_backend();
+}
 
 std::string describe(const Case& c) {
   std::string text = core::construction_name(c.construction);
   text += c.sparing == api::SparingMode::kDistributed ? "/distributed"
                                                       : "/dedicated";
+  text += c.backend == BackendKind::kFile ? "/file" : "/memory";
   text += " failures={";
   for (const auto d : c.failures) text += std::to_string(d) + ",";
   text += "}";
@@ -155,14 +183,17 @@ void run_case(const Case& c) {
 
   auto store = StripeStore::create(
       std::move(store_array).value(),
-      {.unit_bytes = kUnitBytes, .iterations = kIterations});
+      {.unit_bytes = kUnitBytes, .iterations = kIterations},
+      make_case_backend(c));
   ASSERT_TRUE(store.ok()) << context << ": " << store.status().to_string();
   ASSERT_TRUE(
       fill_canonical(*store, 0, store->num_logical_units(), kSeed).ok())
       << context;
 
   // Checksums of every disk while healthy, for the rebuild-identity check.
-  const std::vector<std::uint64_t> healthy_sums = store->checksum_disks();
+  const auto healthy_sums_result = store->checksum_disks();
+  ASSERT_TRUE(healthy_sums_result.ok()) << context;
+  const std::vector<std::uint64_t>& healthy_sums = *healthy_sums_result;
 
   // Drive both objects through the identical failure sequence.
   for (const layout::DiskId disk : c.failures) {
@@ -197,8 +228,9 @@ void run_case(const Case& c) {
     // Dedicated replacement rebuilds in place: the replacement disk must
     // be checksum-identical to the disk's pre-failure contents (the
     // rewrites above re-stored canonical bytes, so content never moved).
-    EXPECT_EQ(store->checksum_disk(c.failures.front()),
-              healthy_sums[c.failures.front()])
+    const auto rebuilt_sum = store->checksum_disk(c.failures.front());
+    ASSERT_TRUE(rebuilt_sum.ok()) << context;
+    EXPECT_EQ(*rebuilt_sum, healthy_sums[c.failures.front()])
         << context << ": rebuilt disk contents differ from pre-failure";
     EXPECT_TRUE(store->array().healthy()) << context;
   }
@@ -207,11 +239,24 @@ void run_case(const Case& c) {
   }
 }
 
+/// run_case plus scratch-directory cleanup for file-backed cases.
+void run_case_cleanup(Case c, BackendKind backend) {
+  c.backend = backend;
+  run_case(c);
+  if (backend == BackendKind::kFile) {
+    std::error_code ec;
+    std::filesystem::remove_all(case_scratch_dir(c), ec);
+  }
+}
+
 TEST(DatapathDifferential, AtLeastFourConstructionsApply) {
   EXPECT_GE(applicable_constructions().size(), 4u);
 }
 
-TEST(DatapathDifferential, AllConstructionsFailuresAndSparingModes) {
+/// The full construction x sparing x failure-count matrix over one
+/// backend -- ONE definition, so the memory and file sweeps can never
+/// silently diverge in coverage.
+void run_full_matrix(BackendKind backend) {
   const auto constructions = applicable_constructions();
   ASSERT_GE(constructions.size(), 3u);
   for (const core::Construction construction : constructions) {
@@ -221,11 +266,22 @@ TEST(DatapathDifferential, AllConstructionsFailuresAndSparingModes) {
         Case c{construction, sparing, {}};
         if (failures >= 1) c.failures.push_back(0);
         if (failures >= 2) c.failures.push_back(kV / 2);
-        run_case(c);
+        run_case_cleanup(c, backend);
         if (::testing::Test::HasFatalFailure()) return;
       }
     }
   }
+}
+
+TEST(DatapathDifferential, AllConstructionsFailuresAndSparingModes) {
+  run_full_matrix(BackendKind::kMemory);
+}
+
+// The identical matrix over pread/pwrite file images: the DiskBackend
+// seam must be invisible -- every receipt, byte, and checksum that held
+// for the memory substrate must hold for the persistent one.
+TEST(DatapathDifferential, AllCasesOverFileBackend) {
+  run_full_matrix(BackendKind::kFile);
 }
 
 }  // namespace

@@ -108,6 +108,77 @@ TEST(XorCodecProperties, EmptyInputsThrow) {
   EXPECT_THROW(xor_reconstruct_into(dst, {}), std::invalid_argument);
 }
 
+// ------------------------------------------------------------------
+// Vectorized-vs-scalar differential: the word-at-a-time blocked kernels
+// must agree byte-for-byte with the detail:: scalar reference loops on
+// every size class (sub-word tails, word-but-not-block sizes, exact
+// block multiples) and every misalignment.
+
+TEST(XorCodecProperties, VectorizedXorIntoMatchesScalarReference) {
+  std::mt19937_64 rng(0x51AD);
+  // Sizes straddling the 8-byte word and 64-byte block boundaries.
+  constexpr std::size_t kSizes[] = {0,  1,  7,   8,   9,    15,   16,  63,
+                                    64, 65, 127, 128, 129,  200,  511, 512,
+                                    513, 4095, 4096, 4097, 65536, 65537};
+  for (const std::size_t size : kSizes) {
+    for (const std::size_t misalign : {0u, 1u, 3u, 7u}) {
+      // Carve misaligned windows out of larger buffers.
+      auto dst_buf = random_unit(size + misalign, rng);
+      auto src_buf = random_unit(size + misalign, rng);
+      std::vector<std::uint8_t> dst_vec(dst_buf.begin() + misalign,
+                                        dst_buf.end());
+      std::vector<std::uint8_t> dst_scalar = dst_vec;
+      const std::span<const std::uint8_t> src{src_buf.data() + misalign,
+                                              size};
+      xor_into(dst_vec, src);
+      detail::xor_into_scalar(dst_scalar, src);
+      EXPECT_EQ(dst_vec, dst_scalar)
+          << "size " << size << " misalign " << misalign;
+    }
+  }
+}
+
+TEST(XorCodecProperties, VectorizedParityMatchesScalarReference) {
+  std::mt19937_64 rng(0xB10C);
+  constexpr std::size_t kSizes[] = {1, 7, 63, 64, 65, 500, 4096, 65537};
+  for (const std::size_t size : kSizes) {
+    for (std::size_t fan_in = 1; fan_in <= 9; ++fan_in) {
+      std::vector<std::vector<std::uint8_t>> data;
+      for (std::size_t i = 0; i < fan_in; ++i)
+        data.push_back(random_unit(size, rng));
+      std::vector<std::span<const std::uint8_t>> views;
+      for (const auto& unit : data) views.emplace_back(unit);
+
+      auto dst_vec = random_unit(size, rng);  // pre-dirtied
+      auto dst_scalar = random_unit(size, rng);
+      xor_parity_into(dst_vec, views);
+      detail::xor_parity_into_scalar(dst_scalar, views);
+      EXPECT_EQ(dst_vec, dst_scalar)
+          << "size " << size << " fan_in " << fan_in;
+    }
+  }
+}
+
+TEST(XorCodecProperties, ParityIntoToleratesDstAliasingAUnit) {
+  // The store's read-modify-write folds parity in place: dst is also
+  // units[0].  The blocked kernel must behave as if sources were
+  // snapshotted first.
+  std::mt19937_64 rng(0xA11A5);
+  for (const std::size_t size : {64u, 96u, 4096u}) {
+    auto parity = random_unit(size, rng);
+    const auto old_data = random_unit(size, rng);
+    const auto new_data = random_unit(size, rng);
+    auto expected = parity;
+    detail::xor_into_scalar(expected, old_data);
+    detail::xor_into_scalar(expected, new_data);
+
+    const std::span<const std::uint8_t> views[] = {parity, old_data,
+                                                   new_data};
+    xor_parity_into(parity, views);
+    EXPECT_EQ(parity, expected) << "size " << size;
+  }
+}
+
 TEST(XorCodecProperties, ZeroLengthUnitsAreLegal) {
   // Degenerate but well-formed: zero-byte units round-trip trivially.
   const std::vector<std::vector<std::uint8_t>> units = {{}, {}};
