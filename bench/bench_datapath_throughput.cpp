@@ -9,15 +9,25 @@
 // with a built-in correctness proof.
 //
 //   $ ./bench_datapath_throughput [--smoke] [--backend memory|file|both]
+//         [--async] [--scheduler fifo|deadline|rebuild-deprioritizing]
 //         [v] [k]                                          (defaults: 17 5)
 //
 // --smoke shrinks the configuration for CI (tiny units, few ops) and
 // defaults to --backend both, so every CI run exercises the file-backed
 // substrate; full runs default to --backend memory.  File-backed stores
 // live under a per-process temp directory, removed as each run finishes.
+//
+// --async routes every store through io::AsyncDiskBackend (per-disk
+// queues, coalescing, the --scheduler dispatch policy, io_uring when
+// available) and appends two async-only experiments after the matrix:
+// a queue-depth scaling curve (datapath_async_depth records, depths
+// 1/2/4/8) and a fifo vs rebuild-deprioritizing foreground-latency
+// comparison under concurrent rebuild (datapath_async_rebuild records).
 
 #include <unistd.h>
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -31,6 +41,7 @@
 #include "api/array.hpp"
 #include "bench_util.hpp"
 #include "engine/planner.hpp"
+#include "io/async_backend.hpp"
 #include "io/disk_backend.hpp"
 #include "io/stripe_store.hpp"
 #include "io/workload_driver.hpp"
@@ -45,7 +56,34 @@ struct BenchConfig {
   std::uint32_t threads = 8;
   std::uint64_t ops_per_thread = 20000;
   double read_fraction = 0.7;
+  std::uint32_t queue_depth = 8;
+  bool async = false;
+  std::string scheduler = "fifo";
 };
+
+/// The substrate one cell runs over: the selected base backend, wrapped
+/// in the async engine when --async is on.
+std::unique_ptr<io::DiskBackend> make_backend(
+    const std::string& backend_kind, const std::filesystem::path& scratch_dir,
+    const BenchConfig& config) {
+  std::unique_ptr<io::DiskBackend> backend;
+  if (backend_kind == "file")
+    backend = io::make_file_backend({.directory = scratch_dir.string()});
+  else
+    backend = io::make_memory_backend();
+  if (config.async)
+    backend = io::make_async_backend(std::move(backend),
+                                     {.scheduler = config.scheduler});
+  return backend;
+}
+
+/// "sync" for a plain backend, else the async engine actually running
+/// ("io_uring" / "thread-pool").
+std::string engine_name(io::StripeStore& store) {
+  if (auto* async = dynamic_cast<io::AsyncDiskBackend*>(&store.backend()))
+    return std::string(async->engine());
+  return "sync";
+}
 
 struct PhaseResult {
   double mbps = 0;
@@ -53,14 +91,19 @@ struct PhaseResult {
 };
 
 PhaseResult run_phase(io::StripeStore& store, const BenchConfig& config,
-                      std::uint64_t seed) {
-  io::WorkloadDriver driver(store, {.num_threads = config.threads,
-                                    .ops_per_thread = config.ops_per_thread,
-                                    .read_fraction = config.read_fraction,
-                                    .pattern = io::AccessPattern::kUniform,
-                                    .queue_depth = 8,
-                                    .seed = seed,
-                                    .verify_reads = true});
+                      std::uint64_t seed, double read_fraction_override = -1,
+                      std::uint32_t queue_depth_override = 0) {
+  io::WorkloadDriver driver(
+      store, {.num_threads = config.threads,
+              .ops_per_thread = config.ops_per_thread,
+              .read_fraction = read_fraction_override >= 0
+                                   ? read_fraction_override
+                                   : config.read_fraction,
+              .pattern = io::AccessPattern::kUniform,
+              .queue_depth = queue_depth_override > 0 ? queue_depth_override
+                                                      : config.queue_depth,
+              .seed = seed,
+              .verify_reads = true});
   PhaseResult result;
   result.stats = driver.run();
   result.mbps = result.stats.mb_per_second();
@@ -98,16 +141,10 @@ bool run_one(const engine::LayoutPlan& plan, api::SparingMode sparing,
     return true;  // inapplicable, not a failure
   }
 
-  std::unique_ptr<io::DiskBackend> backend;
-  if (backend_kind == "file")
-    backend = io::make_file_backend({.directory = scratch_dir.string()});
-  else
-    backend = io::make_memory_backend();
-
   auto store = io::StripeStore::create(
       std::move(array).value(),
       {.unit_bytes = config.unit_bytes, .iterations = config.iterations},
-      std::move(backend));
+      make_backend(backend_kind, scratch_dir, config));
   if (!store.ok()) {
     std::fprintf(stderr, "store creation failed: %s\n",
                  store.status().to_string().c_str());
@@ -175,11 +212,19 @@ bool run_one(const engine::LayoutPlan& plan, api::SparingMode sparing,
       backend_kind.c_str(), healthy.mbps, degraded.mbps, rebuilding.mbps,
       rebuild_mbps, bench::okbad(verified));
 
-  // schema_version 2: added the "backend" field (PR 5).
-  bench::json_result("datapath_throughput", /*schema_version=*/2)
+  // schema_version 3: added async / engine / scheduler / queue_depth /
+  // achieved_depth / read_p99_us (PR 6; v2 added "backend" in PR 5).
+  bench::json_result("datapath_throughput", /*schema_version=*/3)
       .field("construction", core::construction_name(plan.construction))
       .field("sparing", mode)
       .field("backend", backend_kind)
+      .field("async", config.async)
+      .field("engine", engine_name(*store))
+      .field("scheduler", config.async ? config.scheduler : "none")
+      .field("queue_depth", static_cast<std::uint64_t>(config.queue_depth))
+      .field("achieved_depth", healthy.stats.achieved_depth())
+      .field("read_p99_us", static_cast<std::uint64_t>(
+                                healthy.stats.read_latency_quantile_us(0.99)))
       .field("v", static_cast<std::uint64_t>(plan.spec.num_disks))
       .field("k", static_cast<std::uint64_t>(plan.spec.stripe_size))
       .field("units_per_disk", static_cast<std::uint64_t>(plan.units_per_disk))
@@ -203,23 +248,182 @@ bool run_one(const engine::LayoutPlan& plan, api::SparingMode sparing,
   return verified;
 }
 
+/// Queue-depth scaling curve: one async store per backend kind, a pure-
+/// read uniform workload at depths 1/2/4/8 (each thread's batch goes out
+/// as ONE read_batch submission, so the configured depth is real
+/// in-flight parallelism).  Deeper queues give the engine more to
+/// coalesce and more cross-disk fan-out per submission, so MB/s should
+/// rise with depth -- the curve is the PR's acceptance evidence.
+bool run_depth_sweep(const engine::LayoutPlan& plan,
+                     const std::string& backend_kind,
+                     const std::filesystem::path& scratch_dir,
+                     const BenchConfig& config, std::uint64_t seed) {
+  auto array = api::Array::create(plan.spec, {},
+                                  {.construction = plan.construction});
+  if (!array.ok()) return true;
+  auto store = io::StripeStore::create(
+      std::move(array).value(),
+      {.unit_bytes = config.unit_bytes, .iterations = config.iterations},
+      make_backend(backend_kind, scratch_dir, config));
+  if (!store.ok()) return false;
+  if (!io::fill_canonical(*store, 0, store->num_logical_units(), seed).ok())
+    return false;
+
+  const std::string engine = engine_name(*store);
+  bool ok = true;
+  for (const std::uint32_t depth : {1u, 2u, 4u, 8u}) {
+    const PhaseResult phase =
+        run_phase(*store, config, seed, /*read_fraction=*/1.0, depth);
+    const bool verified =
+        phase.stats.errors == 0 && phase.stats.verify_failures == 0;
+    ok = ok && verified;
+    std::printf(
+        "async depth %-11s qd %2u  %8.1f MB/s  achieved %4.1f  "
+        "p99 %6u us  %s\n",
+        backend_kind.c_str(), depth, phase.mbps,
+        phase.stats.achieved_depth(),
+        phase.stats.read_latency_quantile_us(0.99), bench::okbad(verified));
+    bench::json_result("datapath_async_depth")
+        .field("backend", backend_kind)
+        .field("engine", engine)
+        .field("scheduler", config.scheduler)
+        .field("queue_depth", static_cast<std::uint64_t>(depth))
+        .field("achieved_depth", phase.stats.achieved_depth())
+        .field("mbps", phase.mbps)
+        .field("read_p99_us", static_cast<std::uint64_t>(
+                                  phase.stats.read_latency_quantile_us(0.99)))
+        .field("verified", verified)
+        .emit();
+  }
+  return ok;
+}
+
+/// Foreground latency under concurrent rebuild, fifo vs
+/// rebuild-deprioritizing: same store shape, same pure-read foreground
+/// workload, a rebuilder thread draining the repair plan -- only the
+/// per-disk dispatch policy differs.  The deprioritizing policy holds
+/// rebuild waves behind pending foreground requests (up to its bounded
+/// delay), so foreground p99 should drop relative to fifo.
+bool run_scheduler_compare(const engine::LayoutPlan& plan,
+                           const std::string& backend_kind,
+                           const std::filesystem::path& scratch_root,
+                           const BenchConfig& base_config,
+                           std::uint64_t seed) {
+  bool ok = true;
+  for (const char* scheduler : {"fifo", "rebuild-deprioritizing"}) {
+    BenchConfig config = base_config;
+    config.scheduler = scheduler;
+    // A dispatch policy only matters when disks have a queue to reorder:
+    // run the comparison with enough threads and depth to keep per-disk
+    // queues nonempty (idle disks dispatch background immediately, and
+    // fifo and rebuild-deprioritizing become indistinguishable), and
+    // with enough ops that the p99 is sampled from sustained contention
+    // rather than warm-up noise.
+    config.threads = std::max<std::uint32_t>(base_config.threads * 4, 8);
+    config.queue_depth = 16;
+    config.ops_per_thread = base_config.ops_per_thread * 4;
+    const std::filesystem::path scratch_dir =
+        scratch_root / (std::string("sched_") + scheduler);
+    auto array = api::Array::create(plan.spec, {},
+                                    {.construction = plan.construction});
+    if (!array.ok()) return true;
+    auto store = io::StripeStore::create(
+        std::move(array).value(),
+        {.unit_bytes = config.unit_bytes, .iterations = config.iterations},
+        make_backend(backend_kind, scratch_dir, config));
+    if (!store.ok()) return false;
+    if (!io::fill_canonical(*store, 0, store->num_logical_units(), seed).ok())
+      return false;
+    if (!store->fail_disk(0).ok() || !store->replace_disk(0).ok())
+      return false;
+
+    // The rebuilder keeps rebuild pressure on for the WHOLE foreground
+    // phase: whenever the plan drains it re-fails and re-replaces the
+    // same disk, so every foreground sample contends with rebuild I/O
+    // (a one-shot rebuild finishes in the phase's first moments and the
+    // remaining samples would measure nothing).
+    std::atomic<bool> stop{false};
+    std::uint64_t stripes_rebuilt = 0;
+    std::thread rebuilder([&] {
+      for (;;) {
+        const auto applied = store->rebuild_some(4);
+        if (!applied.ok()) break;
+        stripes_rebuilt += *applied;
+        if (*applied == 0) {
+          if (stop.load(std::memory_order_relaxed)) break;
+          if (!store->fail_disk(0).ok() || !store->replace_disk(0).ok())
+            break;
+        }
+      }
+    });
+    const PhaseResult rebuilding =
+        run_phase(*store, config, seed, /*read_fraction=*/1.0);
+    stop.store(true, std::memory_order_relaxed);
+    rebuilder.join();
+    if (!store->rebuild().ok()) return false;
+
+    const bool verified =
+        rebuilding.stats.errors == 0 && rebuilding.stats.verify_failures == 0;
+    ok = ok && verified;
+    std::printf(
+        "async rebuild %-22s %8.1f MB/s  p50 %6u us  p99 %6u us  %s\n",
+        scheduler, rebuilding.mbps,
+        rebuilding.stats.read_latency_quantile_us(0.50),
+        rebuilding.stats.read_latency_quantile_us(0.99),
+        bench::okbad(verified));
+    bench::json_result("datapath_async_rebuild")
+        .field("backend", backend_kind)
+        .field("scheduler", scheduler)
+        .field("mbps", rebuilding.mbps)
+        .field("read_p50_us",
+               static_cast<std::uint64_t>(
+                   rebuilding.stats.read_latency_quantile_us(0.50)))
+        .field("read_p99_us",
+               static_cast<std::uint64_t>(
+                   rebuilding.stats.read_latency_quantile_us(0.99)))
+        .field("stripes_rebuilt", stripes_rebuilt)
+        .field("verified", verified)
+        .emit();
+    std::error_code ec;
+    std::filesystem::remove_all(scratch_dir, ec);
+  }
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool async = false;
+  std::string scheduler = "fifo";
   std::string backend_arg;
   int arg = 1;
   while (arg < argc && argv[arg][0] == '-') {
     if (std::strcmp(argv[arg], "--smoke") == 0) {
       smoke = true;
       ++arg;
+    } else if (std::strcmp(argv[arg], "--async") == 0) {
+      async = true;
+      ++arg;
+    } else if (std::strcmp(argv[arg], "--scheduler") == 0 && arg + 1 < argc) {
+      scheduler = argv[arg + 1];
+      arg += 2;
     } else if (std::strcmp(argv[arg], "--backend") == 0 && arg + 1 < argc) {
       backend_arg = argv[arg + 1];
       arg += 2;
     } else {
-      std::fprintf(stderr,
-                   "usage: %s [--smoke] [--backend memory|file|both] [v] [k]\n",
-                   argv[0]);
+      std::fprintf(
+          stderr,
+          "usage: %s [--smoke] [--backend memory|file|both] [--async] "
+          "[--scheduler fifo|deadline|rebuild-deprioritizing] [v] [k]\n",
+          argv[0]);
+      return 1;
+    }
+  }
+  {
+    const auto names = io::io_scheduler_names();
+    if (std::find(names.begin(), names.end(), scheduler) == names.end()) {
+      std::fprintf(stderr, "unknown --scheduler %s\n", scheduler.c_str());
       return 1;
     }
   }
@@ -249,6 +453,8 @@ int main(int argc, char** argv) {
               .ops_per_thread = 1500,
               .read_fraction = 0.7};
   }
+  config.async = async;
+  config.scheduler = scheduler;
   const std::uint64_t seed = 42;
 
   const std::filesystem::path scratch_root =
@@ -283,6 +489,35 @@ int main(int argc, char** argv) {
       }
     }
   }
+  // The async-only experiments: one representative layout (the planner's
+  // top pick that actually constructs), per backend kind.
+  if (async && !plans.empty()) {
+    const engine::LayoutPlan* pick = nullptr;
+    for (const auto& plan : plans) {
+      if (plan.units_per_disk > 2000) continue;
+      if (api::Array::create(plan.spec, {},
+                             {.construction = plan.construction})
+              .ok()) {
+        pick = &plan;
+        break;
+      }
+    }
+    if (pick != nullptr) {
+      bench::rule();
+      for (const std::string& backend_kind : backends) {
+        const std::filesystem::path scratch_dir =
+            scratch_root / ("async_depth_" + backend_kind);
+        if (!run_depth_sweep(*pick, backend_kind, scratch_dir, config, seed))
+          any_failed = true;
+        std::error_code ec;
+        std::filesystem::remove_all(scratch_dir, ec);
+        if (!run_scheduler_compare(*pick, backend_kind, scratch_root, config,
+                                   seed))
+          any_failed = true;
+      }
+    }
+  }
+
   std::error_code ec;
   std::filesystem::remove_all(scratch_root, ec);
 

@@ -1,0 +1,710 @@
+#include "io/async_backend.hpp"
+
+// Engine internals.  One DiskQueue per disk: a mutex-guarded pending
+// list the schedulers pick from, drained by one worker thread.  The
+// worker gathers a dispatch chain (scheduler pick + adjacent-range
+// coalescing), then executes it either through the inner backend's
+// read/write (thread-pool engine) or as part of an io_uring wave when
+// the build, the kernel, and the inner backend's native handles allow.
+//
+// Completion = write the request's status, decrement its batch's
+// remaining count under the batch mutex, notify waiters.  All caller
+// visibility (statuses, read payloads) synchronizes through that mutex.
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#ifdef PDL_HAVE_IO_URING
+#include <linux/io_uring.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#endif
+
+namespace pdl::io {
+
+namespace {
+
+/// Grow-only 4096-aligned buffer for merged-op staging (worker-owned,
+/// no locking).  aligned_alloc demands size % alignment == 0.
+class AlignedBuffer {
+ public:
+  static constexpr std::size_t kAlignment = 4096;
+
+  AlignedBuffer() = default;
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(other.data_), capacity_(other.capacity_) {
+    other.data_ = nullptr;
+    other.capacity_ = 0;
+  }
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      std::free(data_);
+      data_ = other.data_;
+      capacity_ = other.capacity_;
+      other.data_ = nullptr;
+      other.capacity_ = 0;
+    }
+    return *this;
+  }
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+  ~AlignedBuffer() { std::free(data_); }
+
+  [[nodiscard]] std::span<std::uint8_t> get(std::size_t size) {
+    if (size > capacity_) {
+      std::free(data_);
+      capacity_ = (size + kAlignment - 1) / kAlignment * kAlignment;
+      data_ = static_cast<std::uint8_t*>(
+          std::aligned_alloc(kAlignment, capacity_));
+      if (data_ == nullptr) {
+        capacity_ = 0;
+        throw std::bad_alloc();
+      }
+    }
+    return {data_, size};
+  }
+
+ private:
+  std::uint8_t* data_ = nullptr;
+  std::size_t capacity_ = 0;
+};
+
+}  // namespace
+
+// ----------------------------------------------------------- batch state
+
+struct AsyncDiskBackend::Submission::State {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::size_t remaining = 0;
+  Status first_error;
+};
+
+AsyncDiskBackend::Submission::~Submission() {
+  if (!state_) return;
+  std::unique_lock lock(state_->mutex);
+  state_->cv.wait(lock, [&] { return state_->remaining == 0; });
+}
+
+// ------------------------------------------------------------------ impl
+
+namespace {
+
+struct Node {
+  IoRequest* request = nullptr;
+  std::shared_ptr<AsyncDiskBackend::Submission::State> batch;
+  std::uint64_t seq = 0;
+  std::uint64_t enqueue_us = 0;
+  /// The engine's completed-requests counter, bumped BEFORE the batch
+  /// waiter wakes, so once wait() returns stats().completed accounts
+  /// for every request of the waited batch.
+  std::atomic<std::uint64_t>* completed = nullptr;
+};
+
+struct DiskQueue {
+  std::mutex mutex;
+  std::condition_variable wake;    ///< worker wakeups
+  std::condition_variable drained; ///< drain() waiters
+  std::vector<Node> pending;
+  std::size_t in_flight = 0;  ///< nodes popped, not yet completed
+  bool stop = false;
+  std::unique_ptr<IoScheduler> scheduler;
+  std::thread worker;
+};
+
+#ifdef PDL_HAVE_IO_URING
+
+int sys_io_uring_setup(unsigned entries, io_uring_params* params) {
+  return static_cast<int>(::syscall(__NR_io_uring_setup, entries, params));
+}
+
+int sys_io_uring_enter(int fd, unsigned to_submit, unsigned min_complete,
+                       unsigned flags) {
+  return static_cast<int>(::syscall(__NR_io_uring_enter, fd, to_submit,
+                                    min_complete, flags, nullptr, 0));
+}
+
+/// One raw (liburing-free) ring: setup + the three mmaps + typed
+/// accessors.  Single-threaded use by its owning disk worker.
+struct Uring {
+  int fd = -1;
+  void* sq_ring = MAP_FAILED;
+  std::size_t sq_ring_len = 0;
+  void* cq_ring = MAP_FAILED;
+  std::size_t cq_ring_len = 0;
+  io_uring_sqe* sqes = nullptr;
+  std::size_t sqes_len = 0;
+  bool single_mmap = false;
+
+  unsigned* sq_head = nullptr;
+  unsigned* sq_tail = nullptr;
+  unsigned sq_mask = 0;
+  unsigned* sq_array = nullptr;
+  unsigned* cq_head = nullptr;
+  unsigned* cq_tail = nullptr;
+  unsigned cq_mask = 0;
+  io_uring_cqe* cqes = nullptr;
+
+  [[nodiscard]] bool init(unsigned entries) {
+    io_uring_params params{};
+    fd = sys_io_uring_setup(entries, &params);
+    if (fd < 0) return false;
+
+    sq_ring_len = params.sq_off.array + params.sq_entries * sizeof(unsigned);
+    cq_ring_len =
+        params.cq_off.cqes + params.cq_entries * sizeof(io_uring_cqe);
+    single_mmap = (params.features & IORING_FEAT_SINGLE_MMAP) != 0;
+    if (single_mmap) sq_ring_len = cq_ring_len = std::max(sq_ring_len,
+                                                          cq_ring_len);
+    sq_ring = ::mmap(nullptr, sq_ring_len, PROT_READ | PROT_WRITE,
+                     MAP_SHARED | MAP_POPULATE, fd, IORING_OFF_SQ_RING);
+    if (sq_ring == MAP_FAILED) return destroy(), false;
+    cq_ring = single_mmap
+                  ? sq_ring
+                  : ::mmap(nullptr, cq_ring_len, PROT_READ | PROT_WRITE,
+                           MAP_SHARED | MAP_POPULATE, fd, IORING_OFF_CQ_RING);
+    if (cq_ring == MAP_FAILED) return destroy(), false;
+    sqes_len = params.sq_entries * sizeof(io_uring_sqe);
+    void* sqes_map = ::mmap(nullptr, sqes_len, PROT_READ | PROT_WRITE,
+                            MAP_SHARED | MAP_POPULATE, fd, IORING_OFF_SQES);
+    if (sqes_map == MAP_FAILED) return destroy(), false;
+    sqes = static_cast<io_uring_sqe*>(sqes_map);
+
+    auto* sq = static_cast<std::uint8_t*>(sq_ring);
+    sq_head = reinterpret_cast<unsigned*>(sq + params.sq_off.head);
+    sq_tail = reinterpret_cast<unsigned*>(sq + params.sq_off.tail);
+    sq_mask = *reinterpret_cast<unsigned*>(sq + params.sq_off.ring_mask);
+    sq_array = reinterpret_cast<unsigned*>(sq + params.sq_off.array);
+    auto* cq = static_cast<std::uint8_t*>(cq_ring);
+    cq_head = reinterpret_cast<unsigned*>(cq + params.cq_off.head);
+    cq_tail = reinterpret_cast<unsigned*>(cq + params.cq_off.tail);
+    cq_mask = *reinterpret_cast<unsigned*>(cq + params.cq_off.ring_mask);
+    cqes = reinterpret_cast<io_uring_cqe*>(cq + params.cq_off.cqes);
+    return true;
+  }
+
+  void destroy() noexcept {
+    if (sqes != nullptr) ::munmap(sqes, sqes_len);
+    if (cq_ring != MAP_FAILED && !single_mmap) ::munmap(cq_ring, cq_ring_len);
+    if (sq_ring != MAP_FAILED) ::munmap(sq_ring, sq_ring_len);
+    if (fd >= 0) ::close(fd);
+    sqes = nullptr;
+    cq_ring = sq_ring = MAP_FAILED;
+    fd = -1;
+  }
+
+  ~Uring() { destroy(); }
+};
+
+/// Probe once whether this kernel lets us create rings at all (the
+/// syscall may be absent or seccomp-blocked; both fail here).
+[[nodiscard]] bool io_uring_available() {
+  Uring probe;
+  const bool ok = probe.init(4);
+  return ok;
+}
+
+#endif  // PDL_HAVE_IO_URING
+
+}  // namespace
+
+struct AsyncDiskBackend::Impl {
+  std::vector<std::unique_ptr<DiskQueue>> queues;
+  std::uint64_t next_seq = 0;  ///< guarded by stats_mutex
+  std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  bool uring_active = false;
+  std::uint32_t uring_depth = 64;
+
+  mutable std::mutex stats_mutex;
+  AsyncBackendStats stats;  ///< all fields except `completed` (atomic below)
+  /// Requests completed, counted in complete_node before the waiter
+  /// wakes (the mutex-guarded fields are engine-side bookkeeping and
+  /// may lag a wave behind).
+  std::atomic<std::uint64_t> completed{0};
+
+  [[nodiscard]] std::uint64_t now_us() const noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - epoch)
+            .count());
+  }
+};
+
+AsyncDiskBackend::AsyncDiskBackend(std::unique_ptr<DiskBackend> inner,
+                                   AsyncBackendOptions options)
+    : inner_(std::move(inner)),
+      options_(std::move(options)),
+      impl_(std::make_unique<Impl>()) {
+  // Validate the policy name eagerly: a typo should fail at
+  // construction, not first dispatch.
+  (void)make_io_scheduler(options_.scheduler);
+  impl_->uring_depth = std::max(1u, options_.uring_depth);
+}
+
+AsyncDiskBackend::~AsyncDiskBackend() {
+  for (const auto& queue : impl_->queues) {
+    std::lock_guard lock(queue->mutex);
+    queue->stop = true;
+    queue->wake.notify_all();
+  }
+  for (const auto& queue : impl_->queues)
+    if (queue->worker.joinable()) queue->worker.join();
+}
+
+std::string_view AsyncDiskBackend::engine() const noexcept {
+  return impl_->uring_active ? "io_uring" : "thread-pool";
+}
+
+AsyncBackendStats AsyncDiskBackend::stats() const {
+  std::lock_guard lock(impl_->stats_mutex);
+  AsyncBackendStats snapshot = impl_->stats;
+  snapshot.completed = impl_->completed.load(std::memory_order_relaxed);
+  return snapshot;
+}
+
+// ------------------------------------------------------------ completion
+
+namespace {
+
+/// Finishes one node: status, completion count, batch bookkeeping,
+/// waiter wakeup -- in that order, so the count is visible to anyone
+/// the wakeup releases.
+void complete_node(const Node& node, const Status& status) {
+  node.request->status = status;
+  node.completed->fetch_add(1, std::memory_order_relaxed);
+  auto& batch = *node.batch;
+  std::lock_guard lock(batch.mutex);
+  if (!status.ok() && batch.first_error.ok()) batch.first_error = status;
+  if (--batch.remaining == 0) batch.cv.notify_all();
+}
+
+/// A dispatch chain: coalesced, offset-ascending, same-direction nodes.
+struct Chain {
+  std::vector<Node> nodes;
+  std::uint64_t lo = 0;  ///< first byte
+  std::uint64_t hi = 0;  ///< one past last byte
+
+  [[nodiscard]] IoRequest::Op op() const noexcept {
+    return nodes.front().request->op;
+  }
+  [[nodiscard]] std::uint64_t size() const noexcept { return hi - lo; }
+};
+
+/// Executes one chain through the inner backend's read/write (the
+/// thread-pool engine, and the fallback path of the io_uring engine).
+/// Merged chains stage through `staging`; every node gets the merged
+/// op's status.
+void execute_chain_inner(DiskBackend& inner, DiskId disk, Chain& chain,
+                         AlignedBuffer& staging) {
+  Status status;
+  if (chain.nodes.size() == 1) {
+    IoRequest& request = *chain.nodes.front().request;
+    status = request.op == IoRequest::Op::kRead
+                 ? inner.read(disk, request.offset, request.read_buf)
+                 : inner.write(disk, request.offset, request.write_buf);
+  } else if (chain.op() == IoRequest::Op::kWrite) {
+    const auto buffer = staging.get(chain.size());
+    for (const Node& node : chain.nodes)
+      std::memcpy(buffer.data() + (node.request->offset - chain.lo),
+                  node.request->write_buf.data(),
+                  node.request->write_buf.size());
+    status = inner.write(disk, chain.lo, buffer);
+  } else {
+    const auto buffer = staging.get(chain.size());
+    status = inner.read(disk, chain.lo, buffer);
+    if (status.ok())
+      for (const Node& node : chain.nodes)
+        std::memcpy(node.request->read_buf.data(),
+                    buffer.data() + (node.request->offset - chain.lo),
+                    node.request->read_buf.size());
+  }
+  for (const Node& node : chain.nodes) complete_node(node, status);
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ the worker
+
+namespace {
+
+/// Pops the scheduler's pick plus every exactly-adjacent same-direction
+/// neighbour (when coalescing) from `pending`.  Caller holds the queue
+/// lock.
+[[nodiscard]] Chain gather_chain(DiskQueue& queue,
+                                 const AsyncBackendOptions& options,
+                                 std::vector<PendingIo>& view,
+                                 std::uint64_t now_us) {
+  view.clear();
+  view.reserve(queue.pending.size());
+  for (const Node& node : queue.pending)
+    view.push_back({node.request->io_class, node.request->op,
+                    node.request->offset, node.request->size(), node.seq,
+                    node.enqueue_us});
+  const std::size_t index = queue.scheduler->pick(view, now_us);
+  assert(index < queue.pending.size());
+
+  Chain chain;
+  chain.nodes.push_back(queue.pending[index]);
+  queue.pending.erase(queue.pending.begin() +
+                      static_cast<std::ptrdiff_t>(index));
+  chain.lo = chain.nodes.front().request->offset;
+  chain.hi = chain.lo + chain.nodes.front().request->size();
+
+  if (options.coalesce && chain.size() > 0) {
+    bool grew = true;
+    while (grew && chain.size() < options.max_coalesced_bytes) {
+      grew = false;
+      for (auto it = queue.pending.begin(); it != queue.pending.end(); ++it) {
+        const IoRequest& request = *it->request;
+        const std::uint64_t size = request.size();
+        if (request.op != chain.op() || size == 0) continue;
+        if (request.offset == chain.hi) {
+          chain.nodes.push_back(*it);
+          chain.hi += size;
+        } else if (request.offset + size == chain.lo) {
+          chain.nodes.insert(chain.nodes.begin(), *it);
+          chain.lo -= size;
+        } else {
+          continue;
+        }
+        queue.pending.erase(it);
+        grew = true;
+        break;
+      }
+    }
+  }
+  queue.in_flight += chain.nodes.size();
+  return chain;
+}
+
+#ifdef PDL_HAVE_IO_URING
+
+/// Executes a wave of chains as one ring submission.  Chains the ring
+/// cannot carry (zero-sized, misaligned under O_DIRECT) and chains
+/// whose cqe reports an error or short transfer are redone through the
+/// inner backend -- same bytes, same range, so the redo is idempotent
+/// and its status is the truth.
+void execute_wave_uring(DiskBackend& inner, Uring& ring, DiskId disk,
+                        std::vector<Chain>& wave,
+                        std::vector<AlignedBuffer>& slots,
+                        AlignedBuffer& staging) {
+  const int fd = inner.native_handle(disk);
+  const std::uint32_t alignment = inner.io_alignment();
+  if (slots.size() < wave.size())
+    slots.resize(wave.size());  // AlignedBuffer is not copyable -- grow only
+
+  // Partition: chains the ring can carry directly vs ones needing the
+  // inner backend.  Merged chains stage through their wave slot
+  // (4096-aligned, so only offset/size alignment can disqualify them).
+  struct Flight {
+    Chain* chain;
+    std::uint8_t* buffer;
+    std::uint64_t size;
+  };
+  std::vector<Flight> flights;
+  flights.reserve(wave.size());
+  for (std::size_t i = 0; i < wave.size(); ++i) {
+    Chain& chain = wave[i];
+    const std::uint64_t size = chain.size();
+    std::uint8_t* buffer = nullptr;
+    if (chain.nodes.size() == 1) {
+      IoRequest& request = *chain.nodes.front().request;
+      buffer = request.op == IoRequest::Op::kRead
+                   ? request.read_buf.data()
+                   : const_cast<std::uint8_t*>(request.write_buf.data());
+    } else {
+      buffer = slots[i].get(size).data();
+      if (chain.op() == IoRequest::Op::kWrite)
+        for (const Node& node : chain.nodes)
+          std::memcpy(buffer + (node.request->offset - chain.lo),
+                      node.request->write_buf.data(),
+                      node.request->write_buf.size());
+    }
+    const bool aligned =
+        alignment <= 1 ||
+        (chain.lo % alignment == 0 && size % alignment == 0 &&
+         reinterpret_cast<std::uintptr_t>(buffer) % alignment == 0);
+    if (size == 0 || !aligned) {
+      execute_chain_inner(inner, disk, chain, staging);
+      chain.nodes.clear();  // completed; skip in the reap phase
+      continue;
+    }
+    flights.push_back({&chain, buffer, size});
+  }
+  if (flights.empty()) return;
+
+  // Fill + submit all sqes in one io_uring_enter.
+  unsigned tail = __atomic_load_n(ring.sq_tail, __ATOMIC_RELAXED);
+  for (std::size_t i = 0; i < flights.size(); ++i) {
+    const Flight& flight = flights[i];
+    const unsigned slot = tail & ring.sq_mask;
+    io_uring_sqe& sqe = ring.sqes[slot];
+    std::memset(&sqe, 0, sizeof sqe);
+    sqe.opcode = flight.chain->op() == IoRequest::Op::kRead ? IORING_OP_READ
+                                                            : IORING_OP_WRITE;
+    sqe.fd = fd;
+    sqe.addr = reinterpret_cast<std::uint64_t>(flight.buffer);
+    sqe.len = static_cast<std::uint32_t>(flight.size);
+    sqe.off = flight.chain->lo;
+    sqe.user_data = i;
+    ring.sq_array[slot] = slot;
+    ++tail;
+  }
+  __atomic_store_n(ring.sq_tail, tail, __ATOMIC_RELEASE);
+
+  const auto enter = [&](unsigned to_submit, unsigned min_complete) {
+    int ret;
+    do {
+      ret = sys_io_uring_enter(ring.fd, to_submit, min_complete,
+                               IORING_ENTER_GETEVENTS);
+    } while (ret < 0 && errno == EINTR);
+    return ret;
+  };
+  std::vector<int> results(flights.size(), -EIO);
+  const unsigned count = static_cast<unsigned>(flights.size());
+  if (enter(count, count) < 0) {
+    // Whole-wave submission failure (ring torn down, seccomp change):
+    // fall back to the inner path per chain.
+    for (const Flight& flight : flights)
+      execute_chain_inner(inner, disk, *flight.chain, staging);
+    return;
+  }
+  unsigned reaped = 0;
+  while (reaped < count) {
+    unsigned head = __atomic_load_n(ring.cq_head, __ATOMIC_RELAXED);
+    const unsigned cq_tail = __atomic_load_n(ring.cq_tail, __ATOMIC_ACQUIRE);
+    while (head != cq_tail && reaped < count) {
+      const io_uring_cqe& cqe = ring.cqes[head & ring.cq_mask];
+      if (cqe.user_data < results.size())
+        results[static_cast<std::size_t>(cqe.user_data)] = cqe.res;
+      ++head;
+      ++reaped;
+    }
+    __atomic_store_n(ring.cq_head, head, __ATOMIC_RELEASE);
+    if (reaped < count && enter(0, count - reaped) < 0) break;
+  }
+
+  for (std::size_t i = 0; i < flights.size(); ++i) {
+    Chain& chain = *flights[i].chain;
+    const int res = results[i];
+    if (res < 0 || static_cast<std::uint64_t>(res) != flights[i].size) {
+      execute_chain_inner(inner, disk, chain, staging);
+      continue;
+    }
+    if (chain.op() == IoRequest::Op::kRead && chain.nodes.size() > 1)
+      for (const Node& node : chain.nodes)
+        std::memcpy(node.request->read_buf.data(),
+                    flights[i].buffer + (node.request->offset - chain.lo),
+                    node.request->read_buf.size());
+    for (const Node& node : chain.nodes) complete_node(node, OkStatus());
+  }
+}
+
+#endif  // PDL_HAVE_IO_URING
+
+}  // namespace
+
+void AsyncDiskBackend::worker_loop(DiskId disk) {
+  DiskQueue& queue = *impl_->queues[disk];
+  AlignedBuffer staging;
+  std::vector<PendingIo> view;
+  std::vector<Chain> wave;
+
+#ifdef PDL_HAVE_IO_URING
+  Uring ring;
+  const bool use_uring = impl_->uring_active &&
+                         inner_->native_handle(disk) >= 0 &&
+                         ring.init(impl_->uring_depth);
+  std::vector<AlignedBuffer> wave_staging;  ///< one slot per in-flight chain
+#else
+  constexpr bool use_uring = false;
+#endif
+
+  for (;;) {
+    wave.clear();
+    {
+      std::unique_lock lock(queue.mutex);
+      queue.wake.wait(lock,
+                      [&] { return queue.stop || !queue.pending.empty(); });
+      if (queue.pending.empty()) break;  // stop requested, queue drained
+      // Gather one chain always; with a real ring, drain up to a full
+      // wave of chains so they fly as one submission.
+      const std::size_t wave_limit = use_uring ? impl_->uring_depth : 1;
+      while (!queue.pending.empty() && wave.size() < wave_limit)
+        wave.push_back(
+            gather_chain(queue, options_, view, impl_->now_us()));
+    }
+
+    std::uint64_t requests = 0;
+    for (const Chain& chain : wave) requests += chain.nodes.size();
+
+#ifdef PDL_HAVE_IO_URING
+    if (use_uring)
+      execute_wave_uring(*inner_, ring, disk, wave, wave_staging, staging);
+    else
+#endif
+      for (Chain& chain : wave)
+        execute_chain_inner(*inner_, disk, chain, staging);
+
+    {
+      std::lock_guard lock(impl_->stats_mutex);
+      impl_->stats.substrate_ops += wave.size();
+      impl_->stats.coalesced += requests - wave.size();
+    }
+    {
+      std::lock_guard lock(queue.mutex);
+      queue.in_flight -= requests;
+      if (queue.pending.empty() && queue.in_flight == 0)
+        queue.drained.notify_all();
+    }
+  }
+}
+
+// ------------------------------------------------------ public interface
+
+Status AsyncDiskBackend::open(const BackendGeometry& geometry) {
+  if (!impl_->queues.empty())
+    return Status::failed_precondition("async backend: already open");
+  if (Status opened = inner_->open(geometry); !opened.ok()) return opened;
+
+#ifdef PDL_HAVE_IO_URING
+  if (options_.try_io_uring) {
+    bool any_handle = false;
+    for (DiskId disk = 0; disk < geometry.num_disks && !any_handle; ++disk)
+      any_handle = inner_->native_handle(disk) >= 0;
+    impl_->uring_active = any_handle && io_uring_available();
+  }
+#endif
+
+  impl_->queues.reserve(geometry.num_disks);
+  for (DiskId disk = 0; disk < geometry.num_disks; ++disk) {
+    auto queue = std::make_unique<DiskQueue>();
+    queue->scheduler = make_io_scheduler(options_.scheduler);
+    impl_->queues.push_back(std::move(queue));
+  }
+  for (DiskId disk = 0; disk < geometry.num_disks; ++disk)
+    impl_->queues[disk]->worker =
+        std::thread([this, disk] { worker_loop(disk); });
+  return OkStatus();
+}
+
+AsyncDiskBackend::Submission AsyncDiskBackend::submit(
+    std::span<IoRequest> batch) {
+  Submission submission;
+  submission.state_ = std::make_shared<Submission::State>();
+  submission.state_->remaining = batch.size();
+  if (batch.empty()) return submission;
+
+  const std::uint64_t now = impl_->now_us();
+  std::uint64_t base_seq;
+  {
+    std::lock_guard lock(impl_->stats_mutex);
+    base_seq = impl_->next_seq;
+    impl_->next_seq += batch.size();
+    ++impl_->stats.batches;
+    impl_->stats.submitted += batch.size();
+    for (const IoRequest& request : batch)
+      ++impl_->stats.by_class[static_cast<std::size_t>(request.io_class)];
+  }
+
+  std::uint64_t max_depth = 0;
+  std::size_t invalid = 0;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    IoRequest& request = batch[i];
+    if (request.disk >= impl_->queues.size()) {
+      // Never reaches a queue: complete inline so waiters still see a
+      // fully accounted batch.
+      complete_node(Node{&request, submission.state_, 0, 0,
+                         &impl_->completed},
+                    Status::invalid_argument(
+                        "async backend: disk " + std::to_string(request.disk) +
+                        " out of range (" +
+                        std::to_string(impl_->queues.size()) + " disks)"));
+      ++invalid;
+      continue;
+    }
+    DiskQueue& queue = *impl_->queues[request.disk];
+    std::lock_guard lock(queue.mutex);
+    queue.pending.push_back(Node{&request, submission.state_, base_seq + i,
+                                 now, &impl_->completed});
+    max_depth = std::max(max_depth,
+                         static_cast<std::uint64_t>(queue.pending.size()));
+    queue.wake.notify_one();
+  }
+  if (max_depth > 0 || invalid > 0) {
+    std::lock_guard lock(impl_->stats_mutex);
+    impl_->stats.max_disk_queue = std::max(impl_->stats.max_disk_queue,
+                                           max_depth);
+  }
+  return submission;
+}
+
+Status AsyncDiskBackend::wait(Submission& submission) {
+  if (!submission.state_) return OkStatus();
+  auto& state = *submission.state_;
+  std::unique_lock lock(state.mutex);
+  state.cv.wait(lock, [&] { return state.remaining == 0; });
+  return state.first_error;
+}
+
+Status AsyncDiskBackend::execute_batch(std::span<IoRequest> batch) {
+  Submission submission = submit(batch);
+  return wait(submission);
+}
+
+Status AsyncDiskBackend::read(DiskId disk, std::uint64_t offset,
+                              std::span<std::uint8_t> out) {
+  IoRequest request =
+      IoRequest::read_of(IoClass::kForegroundRead, disk, offset, out);
+  return execute_batch({&request, 1});
+}
+
+Status AsyncDiskBackend::write(DiskId disk, std::uint64_t offset,
+                               std::span<const std::uint8_t> data) {
+  IoRequest request =
+      IoRequest::write_of(IoClass::kForegroundWrite, disk, offset, data);
+  return execute_batch({&request, 1});
+}
+
+Status AsyncDiskBackend::drain(DiskId disk) {
+  if (disk >= impl_->queues.size())
+    return Status::invalid_argument("async backend: disk " +
+                                    std::to_string(disk) + " out of range (" +
+                                    std::to_string(impl_->queues.size()) +
+                                    " disks)");
+  DiskQueue& queue = *impl_->queues[disk];
+  std::unique_lock lock(queue.mutex);
+  queue.drained.wait(
+      lock, [&] { return queue.pending.empty() && queue.in_flight == 0; });
+  return OkStatus();
+}
+
+Status AsyncDiskBackend::sync(DiskId disk) {
+  if (Status ok = drain(disk); !ok.ok()) return ok;
+  return inner_->sync(disk);
+}
+
+Status AsyncDiskBackend::discard(DiskId disk, std::uint8_t fill) {
+  if (Status ok = drain(disk); !ok.ok()) return ok;
+  return inner_->discard(disk, fill);
+}
+
+std::unique_ptr<AsyncDiskBackend> make_async_backend(
+    std::unique_ptr<DiskBackend> inner, AsyncBackendOptions options) {
+  return std::make_unique<AsyncDiskBackend>(std::move(inner),
+                                            std::move(options));
+}
+
+}  // namespace pdl::io

@@ -30,6 +30,31 @@ Status check_range(std::string_view backend, DiskId disk,
 
 }  // namespace detail
 
+std::string_view io_class_name(IoClass io_class) noexcept {
+  switch (io_class) {
+    case IoClass::kForegroundRead: return "fg-read";
+    case IoClass::kForegroundWrite: return "fg-write";
+    case IoClass::kRebuild: return "rebuild";
+    case IoClass::kScrub: return "scrub";
+  }
+  return "?";
+}
+
+Status DiskBackend::execute_batch(std::span<IoRequest> batch) {
+  // Sequential reference semantics: every backend is batched-capable.
+  // Failed requests do not abort their batchmates (they are independent
+  // units); the first failure is the aggregate return.
+  Status first;
+  for (IoRequest& request : batch) {
+    request.status = request.op == IoRequest::Op::kRead
+                         ? read(request.disk, request.offset, request.read_buf)
+                         : write(request.disk, request.offset,
+                                 request.write_buf);
+    if (!request.status.ok() && first.ok()) first = request.status;
+  }
+  return first;
+}
+
 // ---------------------------------------------------------------- memory
 
 Status MemoryBackend::check(DiskId disk, std::uint64_t offset,

@@ -69,6 +69,70 @@ struct BackendGeometry {
   std::uint64_t disk_bytes = 0;  ///< bytes per disk (units * unit_bytes)
 };
 
+// ------------------------------------------------------- batched requests
+
+/// Traffic class of one I/O request.  Schedulers (io_scheduler.hpp) use
+/// the class to order per-disk queues -- e.g. the rebuild-deprioritizing
+/// policy serves foreground traffic first and holds rebuild/scrub I/O
+/// back up to a bounded delay.
+enum class IoClass : std::uint8_t {
+  kForegroundRead = 0,   ///< latency-sensitive user read
+  kForegroundWrite = 1,  ///< user write (incl. its parity maintenance I/O)
+  kRebuild = 2,          ///< reconstruction traffic (survivor reads, slot writes)
+  kScrub = 3,            ///< background verification sweeps
+};
+
+/// Human-readable class name ("fg-read", "rebuild", ...).
+[[nodiscard]] std::string_view io_class_name(IoClass io_class) noexcept;
+
+/// One element of a batched submission: a read into `read_buf` or a
+/// write of `write_buf` at (disk, offset), tagged with a traffic class.
+/// `status` is written on completion.  The request -- and both buffers --
+/// must stay alive and untouched until the batch completes (execute_batch
+/// returns, or AsyncDiskBackend::wait on the submission's token).
+struct IoRequest {
+  /// Direction of the transfer.
+  enum class Op : std::uint8_t { kRead = 0, kWrite = 1 };
+
+  Op op = Op::kRead;
+  IoClass io_class = IoClass::kForegroundRead;
+  DiskId disk = 0;
+  std::uint64_t offset = 0;
+  std::span<std::uint8_t> read_buf{};         ///< kRead: destination
+  std::span<const std::uint8_t> write_buf{};  ///< kWrite: source
+  Status status{};  ///< per-request completion status (OK by default)
+
+  /// Transfer size in bytes.
+  [[nodiscard]] std::uint64_t size() const noexcept {
+    return op == Op::kRead ? read_buf.size() : write_buf.size();
+  }
+
+  /// A read request (convenience spelling).
+  [[nodiscard]] static IoRequest read_of(IoClass io_class, DiskId disk,
+                                         std::uint64_t offset,
+                                         std::span<std::uint8_t> buf) noexcept {
+    IoRequest r;
+    r.op = Op::kRead;
+    r.io_class = io_class;
+    r.disk = disk;
+    r.offset = offset;
+    r.read_buf = buf;
+    return r;
+  }
+  /// A write request (convenience spelling).
+  [[nodiscard]] static IoRequest write_of(
+      IoClass io_class, DiskId disk, std::uint64_t offset,
+      std::span<const std::uint8_t> buf) noexcept {
+    IoRequest r;
+    r.op = Op::kWrite;
+    r.io_class = io_class;
+    r.disk = disk;
+    r.offset = offset;
+    r.write_buf = buf;
+    return r;
+  }
+};
+
 /// Abstract storage substrate addressed in (disk, byte-offset)
 /// coordinates.  See the file comment for the full lifecycle /
 /// thread-safety / failure contract.
@@ -120,6 +184,46 @@ class DiskBackend {
     (void)disk;
     return {};
   }
+
+  /// Executes a batch of independent requests, writing each request's
+  /// completion into its `status` field, and returns the first non-OK
+  /// status encountered (OkStatus when every request succeeded).  The
+  /// base implementation simply loops read()/write() sequentially --
+  /// every backend is batched-capable by default -- and KEEPS GOING
+  /// after a failed request, so one bad unit cannot veto its batchmates
+  /// (callers needing all-or-nothing check the return value).
+  ///
+  /// AsyncDiskBackend (async_backend.hpp) overrides this with per-disk
+  /// submission queues, request coalescing, and scheduled dispatch; the
+  /// requests of one batch may then complete in any order and
+  /// concurrently, so the read/write thread-safety contract applies
+  /// within a batch too: no two requests of outstanding batches may
+  /// write overlapping ranges (StripeStore's shard locks provide this).
+  [[nodiscard]] virtual Status execute_batch(std::span<IoRequest> batch);
+
+  /// True when submissions are actually asynchronous (per-disk queues
+  /// drained by an engine) rather than executed inline by the caller.
+  /// Drivers use this to decide whether issuing deeper batches can buy
+  /// real in-flight parallelism.
+  [[nodiscard]] virtual bool async() const noexcept { return false; }
+
+  /// Optional native positioned-I/O handle (a POSIX fd usable with
+  /// pread/pwrite/io_uring) for `disk`, or -1 when the substrate has
+  /// none.  AsyncDiskBackend's io_uring engine submits directly against
+  /// these; everything else must route through read()/write().
+  [[nodiscard]] virtual int native_handle(DiskId disk) const noexcept {
+    (void)disk;
+    return -1;
+  }
+
+  /// Current I/O alignment requirement in bytes (offset, size, and
+  /// buffer address) for direct submission against native_handle(); 1
+  /// means unconstrained.  FileBackend reports its O_DIRECT alignment
+  /// while direct I/O is active.  May relax (e.g. to 1) at runtime
+  /// after a graceful fallback, never tighten.
+  [[nodiscard]] virtual std::uint32_t io_alignment() const noexcept {
+    return 1;
+  }
 };
 
 // ---------------------------------------------------------------- memory
@@ -163,6 +267,27 @@ struct FileBackendOptions {
   /// fdatasync every write before returning (slow; sync() batching is
   /// the intended discipline).
   bool sync_on_write = false;
+  /// Open the disk images with O_DIRECT, bypassing the page cache --
+  /// the honest-media mode for throughput measurements (no write-back
+  /// caching flattering the numbers).
+  ///
+  /// ## Alignment contract
+  /// Direct I/O requires offset, size, AND buffer address aligned to
+  /// the filesystem's logical block size; FileBackend uses
+  /// kDirectAlignment (4096, covering every common filesystem).  The
+  /// backend discharges the *buffer* leg itself: an op whose offset and
+  /// size are aligned but whose caller buffer is not is staged through
+  /// a thread-local aligned bounce buffer, so callers never need
+  /// aligned allocations.  Offset/size alignment it cannot fix without
+  /// read-amplifying neighbouring bytes (unsafe under concurrent
+  /// writers), so the FIRST op with a misaligned offset or size
+  /// gracefully downgrades the backend to buffered I/O for the rest of
+  /// its life (fcntl clearing O_DIRECT; direct_io_active() turns
+  /// false).  The same sticky fallback runs when the filesystem refuses
+  /// O_DIRECT outright (tmpfs at open(); EINVAL at first pread).  In
+  /// practice: size every unit_bytes as a multiple of 4096 and direct
+  /// I/O stays engaged; anything else still works, just buffered.
+  bool direct_io = false;
 };
 
 /// File-per-disk substrate driven with pread/pwrite at caller offsets
@@ -180,6 +305,10 @@ struct FileBackendOptions {
 /// api::Array::save/load beside the images.
 class FileBackend final : public DiskBackend {
  public:
+  /// Offset/size/address alignment O_DIRECT ops must satisfy (see the
+  /// FileBackendOptions::direct_io contract).
+  static constexpr std::uint32_t kDirectAlignment = 4096;
+
   explicit FileBackend(FileBackendOptions options);
   ~FileBackend() override;
 
@@ -196,18 +325,33 @@ class FileBackend final : public DiskBackend {
   [[nodiscard]] std::string_view name() const noexcept override {
     return "file";
   }
+  [[nodiscard]] int native_handle(DiskId disk) const noexcept override;
+  [[nodiscard]] std::uint32_t io_alignment() const noexcept override;
 
   /// The image file backing `disk` (valid after open()).
   [[nodiscard]] std::string disk_path(DiskId disk) const;
+
+  /// True while O_DIRECT is engaged on the image fds (requested via
+  /// options, accepted by the filesystem, and not yet downgraded by a
+  /// misaligned op -- see the FileBackendOptions::direct_io contract).
+  [[nodiscard]] bool direct_io_active() const noexcept;
 
  private:
   [[nodiscard]] Status check(DiskId disk, std::uint64_t offset,
                              std::uint64_t size) const;
   void close_all() noexcept;
+  /// Sticky downgrade to buffered I/O: clears O_DIRECT on every fd.
+  void fall_back_to_buffered() noexcept;
+  [[nodiscard]] Status read_direct(DiskId disk, std::uint64_t offset,
+                                   std::span<std::uint8_t> out);
+  [[nodiscard]] Status write_direct(DiskId disk, std::uint64_t offset,
+                                    std::span<const std::uint8_t> data);
 
   FileBackendOptions options_;
   BackendGeometry geometry_;
   std::vector<int> fds_;  ///< one O_RDWR descriptor per disk
+  struct DirectState;     ///< atomic active flag + fallback mutex
+  std::unique_ptr<DirectState> direct_;
 };
 
 // ------------------------------------------------------- fault injection

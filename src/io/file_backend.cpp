@@ -4,12 +4,23 @@
 // shared cursor, so concurrent threads need no extra locking), fdatasync
 // for the durability point, ftruncate to materialize fresh zero-filled
 // images.  Short reads/writes are looped; EINTR is retried.
+//
+// Direct I/O (FileBackendOptions::direct_io) opens the images with
+// O_DIRECT.  The alignment contract lives on the option in
+// disk_backend.hpp; operationally: misaligned caller buffers stage
+// through a thread-local 4096-aligned bounce, a misaligned offset/size
+// or a filesystem refusal (tmpfs at open, EINVAL at first transfer)
+// triggers the sticky fall_back_to_buffered() downgrade.
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <mutex>
+#include <new>
 #include <string>
 
 #include <fcntl.h>
@@ -60,6 +71,43 @@ namespace {
   return true;
 }
 
+/// Grow-only 4096-aligned bounce buffer for direct-I/O staging of
+/// misaligned caller buffers.  Thread-local at the call sites, so
+/// concurrent ops never share one.
+class AlignedBounce {
+ public:
+  ~AlignedBounce() { std::free(data_); }
+
+  [[nodiscard]] std::uint8_t* get(std::size_t size) {
+    if (size > capacity_) {
+      std::free(data_);
+      capacity_ = (size + FileBackend::kDirectAlignment - 1) /
+                  FileBackend::kDirectAlignment * FileBackend::kDirectAlignment;
+      data_ = static_cast<std::uint8_t*>(
+          std::aligned_alloc(FileBackend::kDirectAlignment, capacity_));
+      if (data_ == nullptr) {
+        capacity_ = 0;
+        throw std::bad_alloc();
+      }
+    }
+    return data_;
+  }
+
+ private:
+  std::uint8_t* data_ = nullptr;
+  std::size_t capacity_ = 0;
+};
+
+[[nodiscard]] AlignedBounce& thread_bounce() {
+  thread_local AlignedBounce bounce;
+  return bounce;
+}
+
+[[nodiscard]] bool pointer_aligned(const void* p) noexcept {
+  return reinterpret_cast<std::uintptr_t>(p) % FileBackend::kDirectAlignment ==
+         0;
+}
+
 }  // namespace
 
 namespace {
@@ -71,10 +119,41 @@ constexpr const char* kManifestName = "backend.meta";
 
 }  // namespace
 
+/// Direct-I/O engagement state: the atomic flag the hot path loads, and
+/// a mutex serializing the (rare, idempotent) fallback transition.
+struct FileBackend::DirectState {
+  std::atomic<bool> active{false};
+  std::mutex fallback_mutex;
+};
+
 FileBackend::FileBackend(FileBackendOptions options)
-    : options_(std::move(options)) {}
+    : options_(std::move(options)),
+      direct_(std::make_unique<DirectState>()) {}
 
 FileBackend::~FileBackend() { close_all(); }
+
+bool FileBackend::direct_io_active() const noexcept {
+  return direct_->active.load(std::memory_order_acquire);
+}
+
+int FileBackend::native_handle(DiskId disk) const noexcept {
+  return disk < fds_.size() ? fds_[disk] : -1;
+}
+
+std::uint32_t FileBackend::io_alignment() const noexcept {
+  return direct_io_active() ? kDirectAlignment : 1;
+}
+
+void FileBackend::fall_back_to_buffered() noexcept {
+  std::lock_guard lock(direct_->fallback_mutex);
+  if (!direct_->active.load(std::memory_order_acquire)) return;
+  for (const int fd : fds_) {
+    if (fd < 0) continue;
+    const int flags = ::fcntl(fd, F_GETFL);
+    if (flags >= 0) (void)::fcntl(fd, F_SETFL, flags & ~O_DIRECT);
+  }
+  direct_->active.store(false, std::memory_order_release);
+}
 
 void FileBackend::close_all() noexcept {
   for (const int fd : fds_)
@@ -145,9 +224,24 @@ Status FileBackend::open(const BackendGeometry& geometry) {
 
   geometry_ = geometry;
   fds_.assign(geometry.num_disks, -1);
+  bool want_direct = options_.direct_io;
   for (DiskId disk = 0; disk < geometry.num_disks; ++disk) {
     const std::string path = disk_path(disk);
-    const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+    constexpr int kBaseFlags = O_RDWR | O_CREAT | O_CLOEXEC;
+    int fd = want_direct ? ::open(path.c_str(), kBaseFlags | O_DIRECT, 0644)
+                         : -1;
+    if (fd < 0 && want_direct && errno == EINVAL) {
+      // Filesystem refuses O_DIRECT outright (tmpfs): the documented
+      // graceful fallback.  All images share one directory, hence one
+      // filesystem -- downgrade everything, including already-open fds.
+      want_direct = false;
+      for (const int prior : fds_)
+        if (prior >= 0) {
+          const int flags = ::fcntl(prior, F_GETFL);
+          if (flags >= 0) (void)::fcntl(prior, F_SETFL, flags & ~O_DIRECT);
+        }
+    }
+    if (fd < 0) fd = ::open(path.c_str(), kBaseFlags, 0644);
     if (fd < 0) {
       Status failed = Status::io_error(errno_text("open", path));
       close_all();
@@ -183,12 +277,61 @@ Status FileBackend::open(const BackendGeometry& geometry) {
     }
     // size == disk_bytes: reopened image, adopt its bytes as-is.
   }
+  direct_->active.store(want_direct, std::memory_order_release);
+  return OkStatus();
+}
+
+Status FileBackend::read_direct(DiskId disk, std::uint64_t offset,
+                                std::span<std::uint8_t> out) {
+  // Offset/size alignment is the caller's (checked in read()); the
+  // buffer-address leg is discharged here via the thread-local bounce.
+  const bool bounce = !pointer_aligned(out.data());
+  std::uint8_t* target = bounce ? thread_bounce().get(out.size()) : out.data();
+  if (!pread_all(fds_[disk], target, out.size(), offset)) {
+    if (errno == EINVAL) {
+      // The filesystem accepted O_DIRECT at open but refuses the
+      // transfer: downgrade and serve buffered.
+      fall_back_to_buffered();
+      if (!pread_all(fds_[disk], out.data(), out.size(), offset))
+        return Status::io_error(errno_text("pread", disk_path(disk)));
+      return OkStatus();
+    }
+    return Status::io_error(errno_text("pread", disk_path(disk)));
+  }
+  if (bounce) std::memcpy(out.data(), target, out.size());
+  return OkStatus();
+}
+
+Status FileBackend::write_direct(DiskId disk, std::uint64_t offset,
+                                 std::span<const std::uint8_t> data) {
+  const std::uint8_t* source = data.data();
+  if (!pointer_aligned(source)) {
+    std::uint8_t* staged = thread_bounce().get(data.size());
+    std::memcpy(staged, source, data.size());
+    source = staged;
+  }
+  if (!pwrite_all(fds_[disk], source, data.size(), offset)) {
+    if (errno == EINVAL) {
+      fall_back_to_buffered();
+      if (!pwrite_all(fds_[disk], data.data(), data.size(), offset))
+        return Status::io_error(errno_text("pwrite", disk_path(disk)));
+      return OkStatus();
+    }
+    return Status::io_error(errno_text("pwrite", disk_path(disk)));
+  }
   return OkStatus();
 }
 
 Status FileBackend::read(DiskId disk, std::uint64_t offset,
                          std::span<std::uint8_t> out) {
   if (Status ok = check(disk, offset, out.size()); !ok.ok()) return ok;
+  if (direct_io_active()) {
+    if (offset % kDirectAlignment == 0 && out.size() % kDirectAlignment == 0)
+      return read_direct(disk, offset, out);
+    // Misaligned offset/size cannot be fixed without read-amplifying
+    // neighbouring bytes: the documented sticky downgrade.
+    fall_back_to_buffered();
+  }
   if (!pread_all(fds_[disk], out.data(), out.size(), offset))
     return Status::io_error(errno_text("pread", disk_path(disk)));
   return OkStatus();
@@ -197,8 +340,16 @@ Status FileBackend::read(DiskId disk, std::uint64_t offset,
 Status FileBackend::write(DiskId disk, std::uint64_t offset,
                           std::span<const std::uint8_t> data) {
   if (Status ok = check(disk, offset, data.size()); !ok.ok()) return ok;
-  if (!pwrite_all(fds_[disk], data.data(), data.size(), offset))
-    return Status::io_error(errno_text("pwrite", disk_path(disk)));
+  Status wrote;
+  if (direct_io_active() && offset % kDirectAlignment == 0 &&
+      data.size() % kDirectAlignment == 0) {
+    wrote = write_direct(disk, offset, data);
+  } else {
+    if (direct_io_active()) fall_back_to_buffered();
+    if (!pwrite_all(fds_[disk], data.data(), data.size(), offset))
+      wrote = Status::io_error(errno_text("pwrite", disk_path(disk)));
+  }
+  if (!wrote.ok()) return wrote;
   if (options_.sync_on_write && ::fdatasync(fds_[disk]) != 0)
     return Status::io_error(errno_text("fdatasync", disk_path(disk)));
   return OkStatus();
@@ -224,8 +375,10 @@ Status FileBackend::discard(DiskId disk, std::uint8_t fill) {
   while (offset < geometry_.disk_bytes) {
     const std::size_t n = static_cast<std::size_t>(
         std::min<std::uint64_t>(chunk.size(), geometry_.disk_bytes - offset));
-    if (!pwrite_all(fds_[disk], chunk.data(), n, offset))
-      return Status::io_error(errno_text("pwrite", disk_path(disk)));
+    // Route through write() so direct-I/O staging/fallback applies to
+    // the fill too (the vector buffer is not 4096-aligned).
+    if (Status wrote = write(disk, offset, {chunk.data(), n}); !wrote.ok())
+      return wrote;
     offset += n;
   }
   return OkStatus();

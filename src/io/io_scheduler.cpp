@@ -1,0 +1,141 @@
+#include "io/io_scheduler.hpp"
+
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace pdl::io {
+
+namespace {
+
+[[nodiscard]] bool is_background(IoClass io_class) noexcept {
+  return io_class == IoClass::kRebuild || io_class == IoClass::kScrub;
+}
+
+/// Index of the lowest-seq entry satisfying `predicate`, or npos.
+template <typename Predicate>
+[[nodiscard]] std::size_t min_seq_where(std::span<const PendingIo> pending,
+                                        Predicate predicate) noexcept {
+  std::size_t best = std::numeric_limits<std::size_t>::max();
+  std::uint64_t best_seq = std::numeric_limits<std::uint64_t>::max();
+  for (std::size_t i = 0; i < pending.size(); ++i)
+    if (predicate(pending[i]) && pending[i].seq < best_seq) {
+      best = i;
+      best_seq = pending[i].seq;
+    }
+  return best;
+}
+
+class FifoIoScheduler final : public IoScheduler {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "fifo";
+  }
+  [[nodiscard]] std::size_t pick(std::span<const PendingIo> pending,
+                                 std::uint64_t) override {
+    return min_seq_where(pending, [](const PendingIo&) { return true; });
+  }
+};
+
+class DeadlineIoScheduler final : public IoScheduler {
+ public:
+  explicit DeadlineIoScheduler(const DeadlineTargets& targets)
+      : targets_(targets) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "deadline";
+  }
+  [[nodiscard]] std::size_t pick(std::span<const PendingIo> pending,
+                                 std::uint64_t) override {
+    std::size_t best = 0;
+    std::uint64_t best_deadline = std::numeric_limits<std::uint64_t>::max();
+    std::uint64_t best_seq = std::numeric_limits<std::uint64_t>::max();
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+      const std::uint64_t deadline =
+          pending[i].enqueue_us + targets_.of(pending[i].io_class);
+      if (deadline < best_deadline ||
+          (deadline == best_deadline && pending[i].seq < best_seq)) {
+        best = i;
+        best_deadline = deadline;
+        best_seq = pending[i].seq;
+      }
+    }
+    return best;
+  }
+
+ private:
+  DeadlineTargets targets_;
+};
+
+class RebuildDeprioritizingIoScheduler final : public IoScheduler {
+ public:
+  explicit RebuildDeprioritizingIoScheduler(std::uint64_t max_delay_us)
+      : max_delay_us_(max_delay_us) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "rebuild-deprioritizing";
+  }
+  [[nodiscard]] std::size_t pick(std::span<const PendingIo> pending,
+                                 std::uint64_t now_us) override {
+    // Anti-starvation first: a background request past its bounded
+    // delay outranks everything (oldest such wins, so the bound holds
+    // for each request individually, not just the class).
+    const std::size_t overdue =
+        min_seq_where(pending, [&](const PendingIo& p) {
+          return is_background(p.io_class) &&
+                 now_us - p.enqueue_us >= max_delay_us_;
+        });
+    if (overdue != std::numeric_limits<std::size_t>::max()) return overdue;
+
+    const std::size_t foreground = min_seq_where(
+        pending, [](const PendingIo& p) { return !is_background(p.io_class); });
+    if (foreground != std::numeric_limits<std::size_t>::max())
+      return foreground;
+    return min_seq_where(pending, [](const PendingIo&) { return true; });
+  }
+
+ private:
+  std::uint64_t max_delay_us_;
+};
+
+}  // namespace
+
+std::uint64_t DeadlineTargets::of(IoClass io_class) const noexcept {
+  switch (io_class) {
+    case IoClass::kForegroundRead: return foreground_read_us;
+    case IoClass::kForegroundWrite: return foreground_write_us;
+    case IoClass::kRebuild: return rebuild_us;
+    case IoClass::kScrub: return scrub_us;
+  }
+  return scrub_us;
+}
+
+std::unique_ptr<IoScheduler> make_fifo_io_scheduler() {
+  return std::make_unique<FifoIoScheduler>();
+}
+
+std::unique_ptr<IoScheduler> make_deadline_io_scheduler(
+    const DeadlineTargets& targets) {
+  return std::make_unique<DeadlineIoScheduler>(targets);
+}
+
+std::unique_ptr<IoScheduler> make_rebuild_deprioritizing_io_scheduler(
+    std::uint64_t max_background_delay_us) {
+  return std::make_unique<RebuildDeprioritizingIoScheduler>(
+      max_background_delay_us);
+}
+
+std::unique_ptr<IoScheduler> make_io_scheduler(std::string_view name) {
+  if (name == "fifo") return make_fifo_io_scheduler();
+  if (name == "deadline") return make_deadline_io_scheduler();
+  if (name == "rebuild-deprioritizing")
+    return make_rebuild_deprioritizing_io_scheduler();
+  throw std::invalid_argument("unknown IoScheduler \"" + std::string(name) +
+                              "\" (fifo|deadline|rebuild-deprioritizing)");
+}
+
+std::vector<std::string_view> io_scheduler_names() {
+  return {"fifo", "deadline", "rebuild-deprioritizing"};
+}
+
+}  // namespace pdl::io

@@ -1,0 +1,109 @@
+#pragma once
+/// @file
+/// pdl::io::IoScheduler -- pluggable per-disk request scheduling for the
+/// async I/O engine (async_backend.hpp).
+///
+/// AsyncDiskBackend owns one submission queue per disk; each time a
+/// disk's drain loop is ready to dispatch it asks that disk's scheduler
+/// which pending request goes next.  This is the real-data-path
+/// analogue of the simulator's sim::RebuildScheduler: where the sim
+/// policies order *rebuild job batches*, these policies order *live I/O
+/// requests* competing for a disk -- foreground reads and writes
+/// against rebuild and scrub traffic (see io::IoClass).
+///
+/// Three policies ship:
+///
+///   * fifo                    -- strict submission order, the baseline;
+///   * deadline                -- every request gets a class-dependent
+///                               latency target; earliest deadline
+///                               first.  Foreground targets are tight,
+///                               background targets loose, so user I/O
+///                               overtakes rebuild bursts without ever
+///                               starving them;
+///   * rebuild-deprioritizing  -- foreground strictly first, rebuild /
+///                               scrub only when the disk is otherwise
+///                               idle -- EXCEPT that a background
+///                               request waiting longer than
+///                               max_background_delay_us jumps the
+///                               queue (bounded delay, so rebuild makes
+///                               progress under any foreground load and
+///                               mean-time-to-repair stays bounded).
+///
+/// Scheduler instances are per-disk and may keep state, but must be
+/// deterministic: the same sequence of pick() calls over the same
+/// pending sets yields the same choices.  Calls are made under the
+/// owning queue's lock -- implementations must not block.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "io/disk_backend.hpp"
+
+namespace pdl::io {
+
+/// Scheduler-visible summary of one queued request.  `seq` is a global
+/// submission counter (FIFO order across the whole backend);
+/// `enqueue_us` is microseconds since the engine started.
+struct PendingIo {
+  IoClass io_class = IoClass::kForegroundRead;
+  IoRequest::Op op = IoRequest::Op::kRead;
+  std::uint64_t offset = 0;
+  std::uint64_t size = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t enqueue_us = 0;
+};
+
+/// Per-disk dispatch policy.  See the file comment for the contract.
+class IoScheduler {
+ public:
+  virtual ~IoScheduler() = default;
+
+  /// Stable policy name ("fifo", "deadline", "rebuild-deprioritizing").
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// Index into `pending` (never empty) of the request to dispatch
+  /// next.  `now_us` is the engine clock at dispatch time, same epoch
+  /// as PendingIo::enqueue_us.
+  [[nodiscard]] virtual std::size_t pick(std::span<const PendingIo> pending,
+                                         std::uint64_t now_us) = 0;
+};
+
+/// Class-dependent latency targets for the deadline policy, in
+/// microseconds from enqueue.
+struct DeadlineTargets {
+  std::uint64_t foreground_read_us = 500;
+  std::uint64_t foreground_write_us = 1000;
+  std::uint64_t rebuild_us = 20000;
+  std::uint64_t scrub_us = 50000;
+
+  /// The target for one class.
+  [[nodiscard]] std::uint64_t of(IoClass io_class) const noexcept;
+};
+
+/// Strict submission order (lowest seq first).
+[[nodiscard]] std::unique_ptr<IoScheduler> make_fifo_io_scheduler();
+
+/// Earliest deadline first under `targets`; ties broken by seq.
+[[nodiscard]] std::unique_ptr<IoScheduler> make_deadline_io_scheduler(
+    const DeadlineTargets& targets = {});
+
+/// Foreground first; rebuild/scrub only on an otherwise-idle disk or
+/// once a background request has waited `max_background_delay_us`
+/// (bounded delay -- the anti-starvation guarantee tests assert).
+[[nodiscard]] std::unique_ptr<IoScheduler>
+make_rebuild_deprioritizing_io_scheduler(
+    std::uint64_t max_background_delay_us = 10000);
+
+/// Scheduler by name: "fifo", "deadline", or "rebuild-deprioritizing"
+/// (default knobs).  Throws std::invalid_argument for unknown names --
+/// a configuration bug, not a runtime condition.
+[[nodiscard]] std::unique_ptr<IoScheduler> make_io_scheduler(
+    std::string_view name);
+
+/// The names make_io_scheduler accepts, for bench/CLI enumeration.
+[[nodiscard]] std::vector<std::string_view> io_scheduler_names();
+
+}  // namespace pdl::io

@@ -37,6 +37,15 @@ constexpr std::uint64_t kFnvPrime = 1099511628211ull;
   return {buffer.data(), size};
 }
 
+/// Per-thread arena for the batched fan-in paths: one contiguous block
+/// the caller carves into unit-sized slices (survivor sets, rebuild
+/// waves).  Grow-only, independent of scratch(), so a path may use both.
+[[nodiscard]] std::span<std::uint8_t> arena(std::size_t size) {
+  thread_local std::vector<std::uint8_t> buffer;
+  if (buffer.size() < size) buffer.resize(size);
+  return {buffer.data(), size};
+}
+
 }  // namespace
 
 StripeStore::StripeStore(api::Array array, const StripeStoreOptions& options,
@@ -81,7 +90,7 @@ Result<StripeStore> StripeStore::create(api::Array array,
   return store;
 }
 
-std::mutex& StripeStore::shard_for(std::uint64_t logical) noexcept {
+std::shared_mutex& StripeStore::shard_for(std::uint64_t logical) noexcept {
   const api::Array::LogicalRef ref = array_.logical_ref(logical);
   const std::uint64_t instance =
       ref.stripe + ref.iteration * array_.num_stripes();
@@ -135,8 +144,13 @@ Status StripeStore::read(std::uint64_t logical, std::span<std::uint8_t> out,
         std::to_string(unit_bytes_));
 
   std::shared_lock state(sync_->state);
-  std::lock_guard stripe(shard_for(logical));
+  std::shared_lock stripe(shard_for(logical));
+  return read_locked(logical, out, receipt);
+}
 
+Status StripeStore::read_locked(std::uint64_t logical,
+                                std::span<std::uint8_t> out,
+                                ReadReceipt* receipt) {
   std::array<Physical, 64> survivors;
   const auto plan = array_.locate(logical, survivors);
   if (!plan.ok()) return plan.status();
@@ -153,29 +167,38 @@ Status StripeStore::read(std::uint64_t logical, std::span<std::uint8_t> out,
       return OkStatus();
     }
     case api::ReadPlan::Kind::kDegraded: {
+      const std::uint32_t n = plan->num_survivors;
       if (!views_.empty()) {
         // Zero-copy: XOR every survivor straight out of the disk images
         // in one blocked pass over `out`.
         std::array<std::span<const std::uint8_t>, 64> srcs;
-        for (std::uint32_t i = 0; i < plan->num_survivors; ++i)
-          srcs[i] = unit_view(survivors[i]);
-        core::xor_reconstruct_into(out, {srcs.data(), plan->num_survivors});
+        for (std::uint32_t i = 0; i < n; ++i) srcs[i] = unit_view(survivors[i]);
+        core::xor_reconstruct_into(out, {srcs.data(), n});
       } else {
-        // Streamed: first survivor lands in `out`, the rest fold in
-        // through one staging buffer.
-        if (Status loaded = load_unit(survivors[0], out); !loaded.ok())
-          return loaded;
-        const auto staging = scratch(0, unit_bytes_);
-        for (std::uint32_t i = 1; i < plan->num_survivors; ++i)
-          if (Status folded = xor_unit_into(survivors[i], out, staging);
-              !folded.ok())
-            return folded;
+        // Streamed: ONE batched submission fans every survivor read out
+        // to its disk (an async backend serves them concurrently), then
+        // a single multi-source XOR pass folds the arena into `out`.
+        const auto slab = arena(static_cast<std::size_t>(n) * unit_bytes_);
+        std::array<IoRequest, 64> requests;
+        std::array<std::span<const std::uint8_t>, 64> srcs;
+        for (std::uint32_t i = 0; i < n; ++i) {
+          const auto slice = slab.subspan(
+              static_cast<std::size_t>(i) * unit_bytes_, unit_bytes_);
+          requests[i] = IoRequest::read_of(IoClass::kForegroundRead,
+                                           survivors[i].disk,
+                                           byte_offset(survivors[i].offset),
+                                           slice);
+          srcs[i] = slice;
+        }
+        if (Status fanned = backend_->execute_batch({requests.data(), n});
+            !fanned.ok())
+          return fanned;
+        core::xor_reconstruct_into(out, {srcs.data(), n});
       }
       if (receipt) {
         receipt->kind = plan->kind;
-        receipt->num_touched = plan->num_survivors;
-        std::copy_n(survivors.begin(), plan->num_survivors,
-                    receipt->touched.begin());
+        receipt->num_touched = n;
+        std::copy_n(survivors.begin(), n, receipt->touched.begin());
       }
       return OkStatus();
     }
@@ -188,6 +211,183 @@ Status StripeStore::read(std::uint64_t logical, std::span<std::uint8_t> out,
   }
   return Status::data_loss("logical " + std::to_string(logical) +
                            " is on a stripe that lost two units");
+}
+
+Status StripeStore::read_batch(std::span<const std::uint64_t> logicals,
+                               std::span<std::uint8_t> out,
+                               std::span<Status> statuses,
+                               std::span<ReadReceipt> receipts) {
+  if (out.size() != logicals.size() * unit_bytes_)
+    return Status::invalid_argument(
+        "read_batch buffer is " + std::to_string(out.size()) + " bytes; " +
+        std::to_string(logicals.size()) + " units need " +
+        std::to_string(logicals.size() * static_cast<std::uint64_t>(
+                                             unit_bytes_)));
+  if (statuses.size() != logicals.size())
+    return Status::invalid_argument(
+        "read_batch statuses span is " + std::to_string(statuses.size()) +
+        " wide; need one per unit (" + std::to_string(logicals.size()) + ")");
+  if (!receipts.empty() && receipts.size() != logicals.size())
+    return Status::invalid_argument(
+        "read_batch receipts span is " + std::to_string(receipts.size()) +
+        " wide; need none or one per unit (" +
+        std::to_string(logicals.size()) + ")");
+  if (logicals.empty()) return OkStatus();
+
+  // Lock every involved stripe shard in a deadlock-free global order
+  // (sorted by address, deduplicated) -- the batch-wide analogue of
+  // read()'s single shard lock.  Shared: reads exclude only writers.
+  // A batch that sweeps more than kMaxHeldShards distinct shards takes
+  // the state lock exclusively instead -- writers hold state shared,
+  // so an exclusive hold excludes them wholesale -- which bounds how
+  // many locks one thread holds (ThreadSanitizer's deadlock detector
+  // aborts past 64).
+  std::vector<std::shared_mutex*> shards;
+  shards.reserve(logicals.size());
+  for (const std::uint64_t logical : logicals)
+    if (logical < num_logical_units()) shards.push_back(&shard_for(logical));
+  std::sort(shards.begin(), shards.end());
+  shards.erase(std::unique(shards.begin(), shards.end()), shards.end());
+  constexpr std::size_t kMaxHeldShards = 16;
+  std::shared_lock<std::shared_mutex> state(sync_->state, std::defer_lock);
+  std::unique_lock<std::shared_mutex> exclusive(sync_->state,
+                                                std::defer_lock);
+  std::vector<std::shared_lock<std::shared_mutex>> held;
+  if (shards.size() > kMaxHeldShards) {
+    exclusive.lock();
+  } else {
+    state.lock();
+    held.reserve(shards.size());
+    for (std::shared_mutex* shard : shards) held.emplace_back(*shard);
+  }
+
+  const auto out_slice = [&](std::size_t i) {
+    return out.subspan(i * unit_bytes_, unit_bytes_);
+  };
+
+  if (!views_.empty()) {
+    // Zero-copy backends gain nothing from gathering: serve in place.
+    Status first;
+    for (std::size_t i = 0; i < logicals.size(); ++i) {
+      statuses[i] = read_locked(logicals[i], out_slice(i),
+                                receipts.empty() ? nullptr : &receipts[i]);
+      if (!statuses[i].ok() && first.ok()) first = statuses[i];
+    }
+    return first;
+  }
+
+  // Gather phase: plan every unit, emitting backend requests for direct
+  // targets (straight into the caller's slice) and degraded survivor
+  // sets (into arena slices, XORed after the fan-out completes).
+  struct Planned {
+    api::ReadPlan::Kind kind = api::ReadPlan::Kind::kUnrecoverable;
+    std::size_t first_request = 0;  ///< index into `requests`
+    std::uint32_t num_requests = 0;
+  };
+  std::vector<Planned> planned(logicals.size());
+  std::vector<IoRequest> requests;
+  std::vector<Physical> touched;  ///< per-request physical, for receipts
+  requests.reserve(logicals.size());
+  touched.reserve(logicals.size());
+  Status first;
+  const auto fail = [&](std::size_t i, Status status) {
+    statuses[i] = std::move(status);
+    if (!statuses[i].ok() && first.ok()) first = statuses[i];
+  };
+
+  std::size_t degraded_slices = 0;
+  std::vector<std::uint32_t> survivor_counts(logicals.size(), 0);
+  std::vector<std::array<Physical, 64>> survivor_sets(logicals.size());
+  std::vector<Result<api::ReadPlan>> plans;
+  plans.reserve(logicals.size());
+  for (std::size_t i = 0; i < logicals.size(); ++i) {
+    if (logicals[i] >= num_logical_units()) {
+      plans.emplace_back(Status::out_of_range(
+          "logical " + std::to_string(logicals[i]) +
+          " past the address space (" + std::to_string(num_logical_units()) +
+          " units)"));
+      continue;
+    }
+    plans.emplace_back(array_.locate(logicals[i], survivor_sets[i]));
+    if (plans.back().ok() &&
+        plans.back()->kind == api::ReadPlan::Kind::kDegraded) {
+      survivor_counts[i] = plans.back()->num_survivors;
+      degraded_slices += plans.back()->num_survivors;
+    }
+  }
+  const auto slab = arena(degraded_slices * unit_bytes_);
+  std::size_t next_slice = 0;
+
+  for (std::size_t i = 0; i < logicals.size(); ++i) {
+    statuses[i] = OkStatus();
+    if (!receipts.empty()) {
+      receipts[i].kind = api::ReadPlan::Kind::kUnrecoverable;
+      receipts[i].num_touched = 0;
+    }
+    if (!plans[i].ok()) {
+      fail(i, plans[i].status());
+      continue;
+    }
+    const auto& plan = *plans[i];
+    planned[i].kind = plan.kind;
+    planned[i].first_request = requests.size();
+    switch (plan.kind) {
+      case api::ReadPlan::Kind::kDirect:
+        requests.push_back(IoRequest::read_of(IoClass::kForegroundRead,
+                                              plan.target.disk,
+                                              byte_offset(plan.target.offset),
+                                              out_slice(i)));
+        touched.push_back(plan.target);
+        planned[i].num_requests = 1;
+        break;
+      case api::ReadPlan::Kind::kDegraded:
+        for (std::uint32_t s = 0; s < survivor_counts[i]; ++s) {
+          const Physical survivor = survivor_sets[i][s];
+          requests.push_back(IoRequest::read_of(
+              IoClass::kForegroundRead, survivor.disk,
+              byte_offset(survivor.offset),
+              slab.subspan(next_slice * unit_bytes_, unit_bytes_)));
+          touched.push_back(survivor);
+          ++next_slice;
+        }
+        planned[i].num_requests = survivor_counts[i];
+        break;
+      case api::ReadPlan::Kind::kUnrecoverable:
+        fail(i, Status::data_loss("logical " + std::to_string(logicals[i]) +
+                                  " is on a stripe that lost two units"));
+        break;
+    }
+  }
+
+  // Fan-out phase: the whole batch crosses the backend seam ONCE.
+  if (!requests.empty()) (void)backend_->execute_batch(requests);
+
+  // Resolve phase: per-unit statuses, XOR folds, receipts.
+  for (std::size_t i = 0; i < logicals.size(); ++i) {
+    if (!statuses[i].ok()) continue;  // planning already failed it
+    const Planned& p = planned[i];
+    Status unit;
+    for (std::uint32_t r = 0; r < p.num_requests && unit.ok(); ++r)
+      unit = requests[p.first_request + r].status;
+    if (!unit.ok()) {
+      fail(i, unit);
+      continue;
+    }
+    if (p.kind == api::ReadPlan::Kind::kDegraded) {
+      std::array<std::span<const std::uint8_t>, 64> srcs;
+      for (std::uint32_t r = 0; r < p.num_requests; ++r)
+        srcs[r] = requests[p.first_request + r].read_buf;
+      core::xor_reconstruct_into(out_slice(i), {srcs.data(), p.num_requests});
+    }
+    if (!receipts.empty()) {
+      receipts[i].kind = p.kind;
+      receipts[i].num_touched = p.num_requests;
+      std::copy_n(touched.begin() + static_cast<std::ptrdiff_t>(
+                                        p.first_request),
+                  p.num_requests, receipts[i].touched.begin());
+    }
+  }
+  return first;
 }
 
 Status StripeStore::write(std::uint64_t logical,
@@ -204,7 +404,10 @@ Status StripeStore::write(std::uint64_t logical,
         " bytes; units are " + std::to_string(unit_bytes_));
 
   std::shared_lock state(sync_->state);
-  std::lock_guard stripe(shard_for(logical));
+  std::unique_lock stripe(shard_for(logical));
+  // Any landed bytes invalidate concurrently staged rebuild reads; a
+  // spurious bump (e.g. a write that then fails) only costs a retry.
+  sync_->write_epoch.fetch_add(1, std::memory_order_relaxed);
 
   std::array<Physical, 64> peers;
   const auto plan = array_.plan_write(logical, peers);
@@ -228,26 +431,43 @@ Status StripeStore::write(std::uint64_t logical,
       } else {
         const auto parity = scratch(0, unit_bytes_);
         const auto staging = scratch(1, unit_bytes_);
-        if (Status loaded = load_unit(plan->parity, parity); !loaded.ok())
-          return loaded;
-        // staging keeps the old data bytes for the rollback path below.
-        if (Status loaded = load_unit(plan->data, staging); !loaded.ok())
+        // Both RMW reads (old parity + old data) go out as ONE batched
+        // submission -- they hit different disks by construction, so an
+        // async backend overlaps them.  staging keeps the old data bytes
+        // for the compensation paths below.
+        std::array<IoRequest, 2> loads = {
+            IoRequest::read_of(IoClass::kForegroundWrite, plan->parity.disk,
+                               byte_offset(plan->parity.offset), parity),
+            IoRequest::read_of(IoClass::kForegroundWrite, plan->data.disk,
+                               byte_offset(plan->data.offset), staging)};
+        if (Status loaded = backend_->execute_batch(loads); !loaded.ok())
           return loaded;
         core::xor_into(parity, staging);
         core::xor_into(parity, data);
-        if (Status stored = store_unit(plan->parity, parity); !stored.ok())
-          return stored;
-        if (Status stored = store_unit(plan->data, data); !stored.ok()) {
-          // Torn RMW: new parity landed but the data write failed.  A
-          // bare retry of the whole write would fold the delta into the
-          // NEW parity and corrupt the stripe, so restore the old parity
-          // (P_old = P_new ^ D_old ^ D_new) first -- then the stripe is
-          // back in its consistent pre-write state and the caller's
-          // retry is safe.  Only a second I/O failure right here leaves
-          // the stripe torn.
-          core::xor_into(parity, staging);
-          core::xor_into(parity, data);
-          (void)store_unit(plan->parity, parity);
+        // Both RMW writes batched too.  The writes are concurrent, so
+        // EITHER may land alone; each partial outcome has a
+        // compensation that restores the consistent pre-write state:
+        //   * parity landed, data failed -> restore old parity
+        //     (P_old = P_new ^ D_old ^ D_new);
+        //   * data landed, parity failed -> restore the old data bytes
+        //     held in staging (old parity still on disk matches them).
+        // Either way a caller retry is then safe.  Both-failed needs no
+        // compensation (nothing landed); only a failure of the
+        // compensating write itself leaves the stripe torn -- the same
+        // window the sequential path had.
+        std::array<IoRequest, 2> stores = {
+            IoRequest::write_of(IoClass::kForegroundWrite, plan->parity.disk,
+                                byte_offset(plan->parity.offset), parity),
+            IoRequest::write_of(IoClass::kForegroundWrite, plan->data.disk,
+                                byte_offset(plan->data.offset), data)};
+        if (Status stored = backend_->execute_batch(stores); !stored.ok()) {
+          if (stores[0].status.ok() && !stores[1].status.ok()) {
+            core::xor_into(parity, staging);
+            core::xor_into(parity, data);
+            (void)store_unit(plan->parity, parity);
+          } else if (!stores[0].status.ok() && stores[1].status.ok()) {
+            (void)store_unit(plan->data, staging);
+          }
           return stored;
         }
       }
@@ -272,13 +492,25 @@ Status StripeStore::write(std::uint64_t logical,
         core::xor_parity_into(unit_view(plan->parity),
                               {srcs.data(), plan->num_peer_reads + 1u});
       } else {
+        // ONE batched submission fans the peer reads out (each peer is
+        // on a distinct disk), then parity = XOR(peers) ^ new data in a
+        // single pass over the arena.
+        const std::uint32_t n = plan->num_peer_reads;
         const auto parity = scratch(0, unit_bytes_);
-        const auto staging = scratch(1, unit_bytes_);
+        const auto slab = arena(static_cast<std::size_t>(n) * unit_bytes_);
+        std::array<IoRequest, 64> requests;
+        for (std::uint32_t i = 0; i < n; ++i)
+          requests[i] = IoRequest::read_of(
+              IoClass::kForegroundWrite, peers[i].disk,
+              byte_offset(peers[i].offset),
+              slab.subspan(static_cast<std::size_t>(i) * unit_bytes_,
+                           unit_bytes_));
+        if (Status fanned = backend_->execute_batch({requests.data(), n});
+            !fanned.ok())
+          return fanned;
         std::memcpy(parity.data(), data.data(), unit_bytes_);
-        for (std::uint32_t i = 0; i < plan->num_peer_reads; ++i)
-          if (Status folded = xor_unit_into(peers[i], parity, staging);
-              !folded.ok())
-            return folded;
+        for (std::uint32_t i = 0; i < n; ++i)
+          core::xor_into(parity, requests[i].read_buf);
         if (Status stored = store_unit(plan->parity, parity); !stored.ok())
           return stored;
       }
@@ -318,12 +550,14 @@ Status StripeStore::sync() {
 
 Status StripeStore::fail_disk(DiskId disk) {
   std::unique_lock lock(sync_->state);
+  sync_->write_epoch.fetch_add(1, std::memory_order_relaxed);
   if (Status failed = array_.fail_disk(disk); !failed.ok()) return failed;
   return backend_->discard(disk, kPoison);
 }
 
 Status StripeStore::replace_disk(DiskId disk) {
   std::unique_lock lock(sync_->state);
+  sync_->write_epoch.fetch_add(1, std::memory_order_relaxed);
   if (Status replaced = array_.replace_disk(disk); !replaced.ok())
     return replaced;
   return backend_->discard(disk, 0);
@@ -333,48 +567,211 @@ Status StripeStore::apply_step_bytes(const api::RebuildStep& step) {
   // Bytes first, every iteration of the stripe (the step reports
   // iteration-0 offsets), then the array's state transition.
   const std::uint32_t n = static_cast<std::uint32_t>(step.reads.size());
-  for (std::uint32_t it = 0; it < iterations_; ++it) {
-    const std::uint64_t lift =
-        static_cast<std::uint64_t>(it) * array_.units_per_disk();
-    const Physical target{step.target.disk, step.target.offset + lift};
-    if (!views_.empty()) {
+  if (!views_.empty()) {
+    for (std::uint32_t it = 0; it < iterations_; ++it) {
+      const std::uint64_t lift =
+          static_cast<std::uint64_t>(it) * array_.units_per_disk();
+      const Physical target{step.target.disk, step.target.offset + lift};
       std::array<std::span<const std::uint8_t>, 64> srcs;
       for (std::uint32_t i = 0; i < n; ++i)
         srcs[i] = unit_view({step.reads[i].disk, step.reads[i].offset + lift});
       core::xor_reconstruct_into(unit_view(target), {srcs.data(), n});
-    } else {
-      const auto acc = scratch(0, unit_bytes_);
-      const auto staging = scratch(1, unit_bytes_);
-      if (Status loaded = load_unit(
-              {step.reads[0].disk, step.reads[0].offset + lift}, acc);
-          !loaded.ok())
-        return loaded;
-      for (std::uint32_t i = 1; i < n; ++i)
-        if (Status folded = xor_unit_into(
-                {step.reads[i].disk, step.reads[i].offset + lift}, acc,
-                staging);
-            !folded.ok())
-          return folded;
-      if (Status stored = store_unit(target, acc); !stored.ok())
-        return stored;
     }
+    return array_.apply_rebuild_step(step);
   }
+
+  // Streamed: stage (survivor fan-in + XOR) then commit (target writes
+  // + state transition), back to back -- the caller already holds the
+  // exclusive lock.
+  std::vector<std::uint8_t> slab;
+  std::vector<IoRequest> writes;
+  if (Status staged = stage_step_streamed(step, slab, writes); !staged.ok())
+    return staged;
+  return commit_step_streamed(step, writes);
+}
+
+Status StripeStore::stage_step_streamed(const api::RebuildStep& step,
+                                        std::vector<std::uint8_t>& buffer,
+                                        std::vector<IoRequest>& writes) {
+  // The step's ENTIRE survivor fan-in -- every survivor of every
+  // iteration -- goes out as one kRebuild-tagged submission (so a
+  // rebuild-deprioritizing scheduler can hold it behind foreground
+  // I/O), then one XOR pass per iteration leaves the rebuilt units at
+  // the tail of `buffer`, which the caller keeps alive through the
+  // commit (several steps may be staged before any of them commits).
+  const std::uint32_t n = static_cast<std::uint32_t>(step.reads.size());
+  const std::size_t total = static_cast<std::size_t>(n) * iterations_;
+  buffer.resize((total + iterations_) * unit_bytes_);
+  const std::span<std::uint8_t> slab{buffer.data(), buffer.size()};
+  std::vector<IoRequest> reads;
+  reads.reserve(total);
+  for (std::uint32_t it = 0; it < iterations_; ++it) {
+    const std::uint64_t lift =
+        static_cast<std::uint64_t>(it) * array_.units_per_disk();
+    for (std::uint32_t i = 0; i < n; ++i)
+      reads.push_back(IoRequest::read_of(
+          IoClass::kRebuild, step.reads[i].disk,
+          byte_offset(step.reads[i].offset + lift),
+          slab.subspan((static_cast<std::size_t>(it) * n + i) * unit_bytes_,
+                       unit_bytes_)));
+  }
+  if (Status fanned = backend_->execute_batch(reads); !fanned.ok())
+    return fanned;
+
+  writes.clear();
+  writes.reserve(iterations_);
+  for (std::uint32_t it = 0; it < iterations_; ++it) {
+    const std::uint64_t lift =
+        static_cast<std::uint64_t>(it) * array_.units_per_disk();
+    const auto rebuilt =
+        slab.subspan((total + it) * unit_bytes_, unit_bytes_);
+    std::array<std::span<const std::uint8_t>, 64> srcs;
+    for (std::uint32_t i = 0; i < n; ++i)
+      srcs[i] = reads[static_cast<std::size_t>(it) * n + i].read_buf;
+    core::xor_reconstruct_into(rebuilt, {srcs.data(), n});
+    writes.push_back(IoRequest::write_of(IoClass::kRebuild, step.target.disk,
+                                         byte_offset(step.target.offset + lift),
+                                         rebuilt));
+  }
+  return OkStatus();
+}
+
+Status StripeStore::commit_step_streamed(const api::RebuildStep& step,
+                                         std::span<IoRequest> writes) {
+  if (Status stored = backend_->execute_batch(writes); !stored.ok())
+    return stored;
   return array_.apply_rebuild_step(step);
 }
 
 Result<std::uint64_t> StripeStore::rebuild_some(std::uint64_t max_steps,
                                                 std::uint64_t* blocked) {
-  std::unique_lock lock(sync_->state);
-  auto plan = array_.plan_rebuild();
-  if (!plan.ok()) return plan.status();
-  if (blocked) *blocked = plan->blocked;
   std::uint64_t applied = 0;
-  for (const api::RebuildStep& step : plan->steps) {
-    if (applied >= max_steps) break;
-    if (Status done = apply_step_bytes(step); !done.ok()) return done;
-    ++applied;
+  if (blocked) *blocked = 0;
+  for (;;) {
+    // Plan one batch under the exclusive lock.  The whole batch is
+    // applied before re-planning -- the same plan-once-apply-all
+    // discipline as api::Array::rebuild, so the store's target choices
+    // (spare vs replacement slot) match a bare array's step for step.
+    // View-backed stores apply the batch right here: zero-copy XOR is
+    // pure memory bandwidth, there is no disk queue to compete in.
+    std::vector<api::RebuildStep> steps;
+    std::uint64_t epoch = 0;
+    {
+      std::unique_lock lock(sync_->state);
+      auto plan = array_.plan_rebuild();
+      if (!plan.ok()) return plan.status();
+      if (blocked) *blocked = plan->blocked;
+      if (plan->steps.empty() || applied >= max_steps) return applied;
+      if (!views_.empty()) {
+        for (const api::RebuildStep& step : plan->steps) {
+          if (applied >= max_steps) break;
+          if (Status done = apply_step_bytes(step); !done.ok()) return done;
+          ++applied;
+        }
+        continue;
+      }
+      steps = std::move(plan->steps);
+      epoch = sync_->write_epoch.load(std::memory_order_relaxed);
+    }
+
+    std::size_t next = 0;
+    bool replan = false;
+    while (next < steps.size() && !replan) {
+      if (applied >= max_steps) return applied;
+      // Chunk bounds: kMaxStageChunk keeps the exclusive commit hold
+      // short, and kMaxStageShards keeps the number of simultaneously
+      // held locks small (ThreadSanitizer's deadlock detector aborts a
+      // thread holding 64+).
+      constexpr std::size_t kMaxStageChunk = 8;
+      constexpr std::size_t kMaxStageShards = 16;
+      const std::size_t chunk = static_cast<std::size_t>(std::min<std::uint64_t>(
+          {steps.size() - next, max_steps - applied, kMaxStageChunk}));
+
+      // The chunk's stripe shard locks -- shared, one per iteration
+      // instance, sorted like read_batch's -- exclude byte-level
+      // overlap with foreground writes to the staged stripes without
+      // stalling foreground reads; writes elsewhere proceed and are
+      // caught by the epoch check below.
+      std::vector<std::shared_mutex*> shards;
+      shards.reserve(chunk * iterations_);
+      for (std::size_t j = 0; j < chunk; ++j)
+        for (std::uint32_t it = 0; it < iterations_; ++it) {
+          const std::uint64_t instance =
+              steps[next + j].stripe +
+              static_cast<std::uint64_t>(it) * array_.num_stripes();
+          shards.push_back(&sync_->shards[instance % sync_->shards.size()]);
+        }
+      std::sort(shards.begin(), shards.end());
+      shards.erase(std::unique(shards.begin(), shards.end()), shards.end());
+      if (shards.size() > kMaxStageShards) {
+        // Degenerate geometry (huge iteration counts sweep most of the
+        // shard pool): apply the chunk under the exclusive lock rather
+        // than hold half the pool across a scheduler-delayed wave.
+        std::unique_lock lock(sync_->state);
+        if (sync_->write_epoch.load(std::memory_order_relaxed) != epoch) {
+          Status done = apply_step_bytes(steps[next]);
+          if (done.ok())
+            ++applied;
+          else if (done.code() != StatusCode::kFailedPrecondition)
+            return done;
+          replan = true;
+          break;
+        }
+        for (std::size_t j = 0; j < chunk; ++j) {
+          if (Status done = apply_step_bytes(steps[next + j]); !done.ok())
+            return done;
+          ++applied;
+        }
+        next += chunk;
+        continue;
+      }
+
+      // Stage the chunk under ONE SHARED lock hold: foreground reads
+      // and writes keep submitting, so rebuild reads genuinely compete
+      // in the disk queues, and the store pays one state-lock
+      // round-trip per chunk instead of per step.
+      std::vector<std::vector<std::uint8_t>> slabs(chunk);
+      std::vector<std::vector<IoRequest>> writes(chunk);
+      {
+        std::shared_lock lock(sync_->state);
+        std::vector<std::shared_lock<std::shared_mutex>> held;
+        held.reserve(shards.size());
+        for (std::shared_mutex* shard : shards) held.emplace_back(*shard);
+        for (std::size_t j = 0; j < chunk; ++j)
+          if (Status staged = stage_step_streamed(steps[next + j], slabs[j],
+                                                  writes[j]);
+              !staged.ok())
+            return staged;
+      }
+
+      // Commit the chunk under ONE exclusive lock hold.  An unchanged
+      // epoch proves no write / fail / replace landed since the plan,
+      // so the staged bytes are current and every step is exactly as
+      // valid as when planned.  Otherwise restage one step under the
+      // exclusive lock (writers are excluded now -- progress is
+      // guaranteed) and re-plan: the interloper may have been a
+      // fail/replace that reshaped the plan, which
+      // apply_rebuild_step's own staleness checks surface as
+      // kFailedPrecondition.
+      std::unique_lock lock(sync_->state);
+      if (sync_->write_epoch.load(std::memory_order_relaxed) != epoch) {
+        Status done = apply_step_bytes(steps[next]);
+        if (done.ok())
+          ++applied;
+        else if (done.code() != StatusCode::kFailedPrecondition)
+          return done;
+        replan = true;
+        break;
+      }
+      for (std::size_t j = 0; j < chunk; ++j) {
+        if (Status done = commit_step_streamed(steps[next + j], writes[j]);
+            !done.ok())
+          return done;
+        ++applied;
+      }
+      next += chunk;
+    }
   }
-  return applied;
 }
 
 Result<api::RebuildOutcome> StripeStore::rebuild() {

@@ -35,19 +35,33 @@
 /// Concurrency: the store layers the readers-writer discipline that
 /// api::Array's external-synchronization contract asks for.  A
 /// shared_mutex guards the array's online state (read/write take it
-/// shared; fail/replace/rebuild take it exclusive), and a fixed pool of
-/// stripe-instance locks -- sharded by (stripe, iteration) -- serializes
-/// byte access per stripe so parity updates are atomic with their data
-/// writes while different stripes proceed in parallel.  Lock order is
-/// always state-then-shard; each operation holds exactly one shard lock,
-/// so the scheme is deadlock-free.  The same sharding is what discharges
-/// the backend's "overlapping writes are externally serialized" demand.
+/// shared; fail/replace take it exclusive), and a fixed pool of
+/// stripe-instance rw-locks -- sharded by (stripe, iteration) -- keeps
+/// parity updates atomic with their data writes: writers hold a stripe's
+/// shard exclusively, while readers (and rebuild staging, which only
+/// reads survivors) hold it shared, so reads of the same stripe proceed
+/// in parallel and only writer/reader pairs exclude each other.  Lock
+/// order is always state-then-shard; shard locks are only ever taken
+/// together in one sorted pass (read_batch, rebuild staging), so the
+/// scheme is deadlock-free.  The same sharding is what discharges the
+/// backend's "overlapping writes are externally serialized" demand.
+///
+/// Online rebuild stages each streamed step's survivor fan-in under the
+/// SHARED state lock (plus the step's stripe shard locks, also shared),
+/// so foreground reads and writes keep submitting while rebuild reads
+/// sit in the same disk queues -- this is what makes an IoScheduler's
+/// rebuild policy observable.  The commit (target writes + array state
+/// transition) re-takes the exclusive lock and validates via a global
+/// write-epoch counter that no write / fail / replace landed since the
+/// batch was planned; an invalidated stage is re-run under the
+/// exclusive lock before re-planning, so progress is always guaranteed.
 ///
 /// Address space: logical units 0 .. num_logical_units()-1, each
 /// unit_bytes() wide; the layout tiles vertically `iterations` times, so
 /// num_logical_units() = Array::data_units_per_iteration() * iterations.
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -173,6 +187,23 @@ class StripeStore {
                             std::span<std::uint8_t> out,
                             ReadReceipt* receipt = nullptr);
 
+  /// Reads many logical units in ONE batched backend submission:
+  /// `out` is logicals.size() unit-slices back to back, `statuses[i]`
+  /// receives unit i's individual outcome (the per-unit contract of
+  /// read(): kOutOfRange, kDataLoss, kIoError, ...), and the return
+  /// value is the first non-OK status (OkStatus when every unit was
+  /// served).  One failed unit does not veto its batchmates.  Every
+  /// direct target and every degraded survivor set across the whole
+  /// batch is gathered into a single DiskBackend::execute_batch call,
+  /// so an async backend sees the full fan-out at once -- this is the
+  /// driver-facing path that turns queue_depth into real in-flight
+  /// parallelism.  `receipts`, when non-empty, must be
+  /// logicals.size() long.  Thread-safe against concurrent read/write.
+  [[nodiscard]] Status read_batch(std::span<const std::uint64_t> logicals,
+                                  std::span<std::uint8_t> out,
+                                  std::span<Status> statuses,
+                                  std::span<ReadReceipt> receipts = {});
+
   /// Writes one logical unit from `data` (exactly unit_bytes() wide),
   /// keeping parity consistent via RMW / reconstruct-write / unprotected
   /// write as the failure state dictates.  Error contract mirrors read(),
@@ -204,9 +235,13 @@ class StripeStore {
   /// from survivor bytes into their spare/replacement slots, then
   /// advances the array's rebuild state.  Returns the number of stripes
   /// repaired; 0 means nothing is currently rebuildable (`blocked`, when
-  /// given, receives the count still waiting on replace_disk).  Takes
-  /// the exclusive lock per batch, so serving threads interleave between
-  /// calls -- drive it from a rebuilder thread for online rebuild.
+  /// given, receives the count still waiting on replace_disk).  On
+  /// streamed backends each step's survivor fan-in runs under the SHARED
+  /// state lock -- foreground reads and writes proceed concurrently with
+  /// rebuild I/O, competing in the backend's disk queues -- and only the
+  /// short commit (target writes + state transition) excludes them; see
+  /// the file comment for the validation protocol.  Drive it from a
+  /// rebuilder thread for online rebuild.
   [[nodiscard]] Result<std::uint64_t> rebuild_some(
       std::uint64_t max_steps, std::uint64_t* blocked = nullptr);
 
@@ -247,9 +282,27 @@ class StripeStore {
   /// Stores `data` as the unit's bytes (view memcpy or backend write).
   [[nodiscard]] Status store_unit(Physical p,
                                   std::span<const std::uint8_t> data);
-  [[nodiscard]] std::mutex& shard_for(std::uint64_t logical) noexcept;
+  [[nodiscard]] std::shared_mutex& shard_for(std::uint64_t logical) noexcept;
+  /// read()'s body; caller holds the state lock (shared) and the
+  /// logical's shard lock.
+  [[nodiscard]] Status read_locked(std::uint64_t logical,
+                                   std::span<std::uint8_t> out,
+                                   ReadReceipt* receipt);
   /// One rebuild step, bytes first (all iterations), then array state.
   [[nodiscard]] Status apply_step_bytes(const api::RebuildStep& step);
+  /// Streamed-step staging: survivor fan-in (one kRebuild-tagged batch)
+  /// plus the XOR folds, leaving the rebuilt units in `slab` (resized as
+  /// needed; must stay alive through the commit) and the target-write
+  /// requests in `writes`.  Caller holds the state lock (shared or
+  /// exclusive) and, when shared, the step's stripe shard locks.
+  [[nodiscard]] Status stage_step_streamed(const api::RebuildStep& step,
+                                           std::vector<std::uint8_t>& slab,
+                                           std::vector<IoRequest>& writes);
+  /// Streamed-step commit: issues the staged target writes and advances
+  /// the array's rebuild state.  Caller holds the exclusive state lock
+  /// and has validated the step (or never released the lock).
+  [[nodiscard]] Status commit_step_streamed(const api::RebuildStep& step,
+                                            std::span<IoRequest> writes);
   /// checksum_disk's body; caller holds the exclusive state lock.
   [[nodiscard]] Result<std::uint64_t> checksum_disk_locked(DiskId disk) const;
 
@@ -264,7 +317,14 @@ class StripeStore {
   /// Heap-allocated so the store stays movable (Result<StripeStore>).
   struct Sync {
     std::shared_mutex state;
-    std::vector<std::mutex> shards;
+    /// Stripe-instance rw-locks: writers exclusive, readers/staging
+    /// shared (see the file comment's concurrency story).
+    std::vector<std::shared_mutex> shards;
+    /// Bumped by every byte-mutating operation (write, fail, replace)
+    /// before it touches the substrate.  Rebuild staging snapshots it
+    /// under the exclusive lock and re-checks at commit: an unchanged
+    /// epoch proves the staged survivor bytes are still current.
+    std::atomic<std::uint64_t> write_epoch{0};
     explicit Sync(std::uint32_t n) : shards(n) {}
   };
   std::unique_ptr<Sync> sync_;

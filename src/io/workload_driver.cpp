@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstring>
+#include <limits>
 #include <mutex>
 #include <random>
 #include <thread>
@@ -53,7 +54,7 @@ const char* access_pattern_name(AccessPattern pattern) noexcept {
   return "?";
 }
 
-void WorkloadStats::merge(const WorkloadStats& other) noexcept {
+void WorkloadStats::merge(const WorkloadStats& other) {
   reads += other.reads;
   writes += other.writes;
   direct_reads += other.direct_reads;
@@ -65,8 +66,23 @@ void WorkloadStats::merge(const WorkloadStats& other) noexcept {
   errors += other.errors;
   verify_failures += other.verify_failures;
   bytes_moved += other.bytes_moved;
+  read_batches += other.read_batches;
+  batched_reads += other.batched_reads;
+  read_latency_us.insert(read_latency_us.end(), other.read_latency_us.begin(),
+                         other.read_latency_us.end());
   // elapsed_seconds is wall time of the whole run; the caller sets it
   // once rather than summing per-thread times.
+}
+
+std::uint32_t WorkloadStats::read_latency_quantile_us(double p) const {
+  if (read_latency_us.empty()) return 0;
+  std::vector<std::uint32_t> sorted(read_latency_us);
+  const auto rank = static_cast<std::size_t>(
+      std::clamp(p, 0.0, 1.0) * static_cast<double>(sorted.size() - 1));
+  std::nth_element(sorted.begin(),
+                   sorted.begin() + static_cast<std::ptrdiff_t>(rank),
+                   sorted.end());
+  return sorted[rank];
 }
 
 void canonical_fill(std::uint64_t logical, std::uint64_t seed,
@@ -128,13 +144,57 @@ std::uint64_t WorkloadDriver::zipf_sample(double u) const noexcept {
 void WorkloadDriver::worker(std::uint32_t thread_index,
                             WorkloadStats& stats) const {
   const std::uint64_t n = store_.num_logical_units();
+  const std::uint32_t unit_bytes = store_.unit_bytes();
+  // Against an async backend the batch's reads go out as one
+  // StripeStore::read_batch submission (queue_depth genuinely in
+  // flight); a synchronous backend would gain nothing, so reads are
+  // issued one by one exactly as before.
+  const bool batch_reads = store_.backend().async();
   std::mt19937_64 rng(options_.seed * 0x9E3779B97F4A7C15ull + thread_index);
   std::uniform_real_distribution<double> unit_dist(0.0, 1.0);
 
-  std::vector<std::uint8_t> buffer(store_.unit_bytes());
-  std::vector<std::uint8_t> expected(store_.unit_bytes());
+  std::vector<std::uint8_t> buffer(unit_bytes);
+  std::vector<std::uint8_t> expected(unit_bytes);
   std::vector<std::uint64_t> batch(options_.queue_depth);
+  std::vector<bool> is_read(options_.queue_depth);
+  std::vector<std::uint64_t> read_addrs(options_.queue_depth);
+  std::vector<std::uint8_t> read_bytes(
+      static_cast<std::size_t>(options_.queue_depth) * unit_bytes);
+  std::vector<Status> read_statuses(options_.queue_depth);
+  std::vector<ReadReceipt> read_receipts(options_.queue_depth);
   std::uint64_t cursor = (n / options_.num_threads) * thread_index;
+
+  using clock = std::chrono::steady_clock;
+  const auto elapsed_us = [](clock::time_point since) {
+    return static_cast<std::uint32_t>(std::min<std::int64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(clock::now() -
+                                                              since)
+            .count(),
+        std::numeric_limits<std::int64_t>::max()));
+  };
+  const auto tally_read = [&](std::uint64_t logical, const Status& status,
+                              const ReadReceipt& receipt,
+                              std::span<const std::uint8_t> bytes,
+                              std::uint32_t latency_us) {
+    if (status.ok()) {
+      ++stats.reads;
+      stats.bytes_moved += unit_bytes;
+      stats.read_latency_us.push_back(latency_us);
+      if (receipt.kind == api::ReadPlan::Kind::kDegraded)
+        ++stats.degraded_reads;
+      else
+        ++stats.direct_reads;
+      if (options_.verify_reads) {
+        canonical_fill(logical, options_.seed, expected);
+        if (!std::equal(bytes.begin(), bytes.end(), expected.begin()))
+          ++stats.verify_failures;
+      }
+    } else if (status.code() == StatusCode::kDataLoss) {
+      ++stats.data_loss_ops;
+    } else {
+      ++stats.errors;
+    }
+  };
 
   std::uint64_t remaining = options_.ops_per_thread;
   while (remaining > 0) {
@@ -153,53 +213,71 @@ void WorkloadDriver::worker(std::uint32_t thread_index,
           batch[i] = zipf_sample(unit_dist(rng));
           break;
       }
+      is_read[i] = unit_dist(rng) < options_.read_fraction;
     }
+
+    // Writes first, one by one (each is already a batched parity
+    // transaction inside the store)...
     for (std::uint64_t i = 0; i < batch_size; ++i) {
+      if (is_read[i]) continue;
       const std::uint64_t logical = batch[i];
-      if (unit_dist(rng) < options_.read_fraction) {
-        ReadReceipt receipt;
-        const Status status = store_.read(logical, buffer, &receipt);
-        if (status.ok()) {
-          ++stats.reads;
-          stats.bytes_moved += store_.unit_bytes();
-          if (receipt.kind == api::ReadPlan::Kind::kDegraded)
-            ++stats.degraded_reads;
-          else
-            ++stats.direct_reads;
-          if (options_.verify_reads) {
-            canonical_fill(logical, options_.seed, expected);
-            if (buffer != expected) ++stats.verify_failures;
-          }
-        } else if (status.code() == StatusCode::kDataLoss) {
-          ++stats.data_loss_ops;
-        } else {
-          ++stats.errors;
+      canonical_fill(logical, options_.seed, buffer);
+      WriteReceipt receipt;
+      const Status status = store_.write(logical, buffer, &receipt);
+      if (status.ok()) {
+        ++stats.writes;
+        stats.bytes_moved += unit_bytes;
+        switch (receipt.kind) {
+          case api::WritePlan::Kind::kReadModifyWrite:
+            ++stats.rmw_writes;
+            break;
+          case api::WritePlan::Kind::kReconstructWrite:
+            ++stats.reconstruct_writes;
+            break;
+          case api::WritePlan::Kind::kUnprotectedWrite:
+            ++stats.unprotected_writes;
+            break;
+          case api::WritePlan::Kind::kUnrecoverable:
+            break;
         }
+      } else if (status.code() == StatusCode::kDataLoss) {
+        ++stats.data_loss_ops;
       } else {
-        canonical_fill(logical, options_.seed, buffer);
-        WriteReceipt receipt;
-        const Status status = store_.write(logical, buffer, &receipt);
-        if (status.ok()) {
-          ++stats.writes;
-          stats.bytes_moved += store_.unit_bytes();
-          switch (receipt.kind) {
-            case api::WritePlan::Kind::kReadModifyWrite:
-              ++stats.rmw_writes;
-              break;
-            case api::WritePlan::Kind::kReconstructWrite:
-              ++stats.reconstruct_writes;
-              break;
-            case api::WritePlan::Kind::kUnprotectedWrite:
-              ++stats.unprotected_writes;
-              break;
-            case api::WritePlan::Kind::kUnrecoverable:
-              break;
-          }
-        } else if (status.code() == StatusCode::kDataLoss) {
-          ++stats.data_loss_ops;
-        } else {
-          ++stats.errors;
-        }
+        ++stats.errors;
+      }
+    }
+
+    // ...then the batch's reads, as one deep submission when the
+    // backend is async.
+    std::uint32_t num_reads = 0;
+    for (std::uint64_t i = 0; i < batch_size; ++i)
+      if (is_read[i]) read_addrs[num_reads++] = batch[i];
+    if (batch_reads && num_reads > 0) {
+      const auto started = clock::now();
+      (void)store_.read_batch(
+          {read_addrs.data(), num_reads},
+          {read_bytes.data(),
+           static_cast<std::size_t>(num_reads) * unit_bytes},
+          {read_statuses.data(), num_reads},
+          {read_receipts.data(), num_reads});
+      // Batched reads complete together: the submission's wall time is
+      // each op's caller-visible latency.
+      const std::uint32_t latency = elapsed_us(started);
+      ++stats.read_batches;
+      stats.batched_reads += num_reads;
+      for (std::uint32_t i = 0; i < num_reads; ++i)
+        tally_read(read_addrs[i], read_statuses[i], read_receipts[i],
+                   {read_bytes.data() + static_cast<std::size_t>(i) *
+                                            unit_bytes,
+                    unit_bytes},
+                   latency);
+    } else {
+      for (std::uint32_t i = 0; i < num_reads; ++i) {
+        ReadReceipt receipt;
+        const auto started = clock::now();
+        const Status status = store_.read(read_addrs[i], buffer, &receipt);
+        tally_read(read_addrs[i], status, receipt, buffer,
+                   elapsed_us(started));
       }
     }
     remaining -= batch_size;

@@ -40,8 +40,12 @@ struct WorkloadOptions {
   double read_fraction = 0.7;        ///< probability an op is a read
   AccessPattern pattern = AccessPattern::kUniform;
   double zipf_theta = 0.99;          ///< zipfian skew (0 = uniform-ish)
-  /// Addresses drawn per batch and issued back-to-back (models queue
-  /// depth against the synchronous store).
+  /// Addresses drawn per batch.  Against a synchronous backend the
+  /// batch is issued back-to-back (queue depth is a modelling fiction);
+  /// against an async backend (DiskBackend::async()) each thread's
+  /// reads go out as ONE StripeStore::read_batch submission, so up to
+  /// queue_depth ops are genuinely in flight per thread and the stats
+  /// report the depth actually achieved.
   std::uint32_t queue_depth = 8;
   std::uint64_t seed = 1;
   /// Check every successful read against the canonical pattern.  Only
@@ -62,6 +66,12 @@ struct WorkloadStats {
   std::uint64_t errors = 0;          ///< any other non-OK status
   std::uint64_t verify_failures = 0; ///< reads whose bytes were wrong
   std::uint64_t bytes_moved = 0;     ///< user payload (reads + writes)
+  std::uint64_t read_batches = 0;    ///< batched read submissions issued
+  std::uint64_t batched_reads = 0;   ///< reads carried by those submissions
+  /// Caller-visible completion latency of every successful read, in
+  /// microseconds (batched reads share their submission's wall time --
+  /// that IS what the caller waited).  merge() concatenates.
+  std::vector<std::uint32_t> read_latency_us;
   double elapsed_seconds = 0;
 
   [[nodiscard]] double mb_per_second() const noexcept {
@@ -69,7 +79,18 @@ struct WorkloadStats {
                ? static_cast<double>(bytes_moved) / 1e6 / elapsed_seconds
                : 0.0;
   }
-  void merge(const WorkloadStats& other) noexcept;
+  /// Mean ops actually in flight per batched submission -- the ACHIEVED
+  /// queue depth, as opposed to WorkloadOptions::queue_depth, which is
+  /// merely configured.  1.0 for a synchronous run (no batching).
+  [[nodiscard]] double achieved_depth() const noexcept {
+    return read_batches > 0 ? static_cast<double>(batched_reads) /
+                                  static_cast<double>(read_batches)
+                            : 1.0;
+  }
+  /// The p-quantile (0 <= p <= 1) of read_latency_us, or 0 with no
+  /// samples.  p = 0.99 is the foreground-p99 the benches report.
+  [[nodiscard]] std::uint32_t read_latency_quantile_us(double p) const;
+  void merge(const WorkloadStats& other);
 };
 
 /// The canonical content of a logical unit under `seed`: what every
