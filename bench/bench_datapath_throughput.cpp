@@ -10,7 +10,7 @@
 //
 //   $ ./bench_datapath_throughput [--smoke] [--backend memory|file|both]
 //         [--async] [--scheduler fifo|deadline|rebuild-deprioritizing]
-//         [v] [k]                                          (defaults: 17 5)
+//         [--codec xor|rs] [v] [k]                         (defaults: 17 5)
 //
 // --smoke shrinks the configuration for CI (tiny units, few ops) and
 // defaults to --backend both, so every CI run exercises the file-backed
@@ -23,6 +23,10 @@
 // a queue-depth scaling curve (datapath_async_depth records, depths
 // 1/2/4/8) and a fifo vs rebuild-deprioritizing foreground-latency
 // comparison under concurrent rebuild (datapath_async_rebuild records).
+//
+// --codec rs runs every cell over the GF(2^8) Reed-Solomon P+Q codec;
+// the degraded phase then fails TWO disks at once (double-degraded
+// decodes on the serving path) and the rebuild repairs both.
 
 #include <unistd.h>
 
@@ -59,6 +63,7 @@ struct BenchConfig {
   std::uint32_t queue_depth = 8;
   bool async = false;
   std::string scheduler = "fifo";
+  core::CodecKind codec = core::CodecKind::kXorParity;
 };
 
 /// The substrate one cell runs over: the selected base backend, wrapped
@@ -132,8 +137,10 @@ bool run_one(const engine::LayoutPlan& plan, api::SparingMode sparing,
              const char* mode, const std::string& backend_kind,
              const std::filesystem::path& scratch_dir,
              const BenchConfig& config, std::uint64_t seed) {
-  auto array = api::Array::create(
-      plan.spec, {}, {.sparing = sparing, .construction = plan.construction});
+  auto array = api::Array::create(plan.spec, {},
+                                  {.sparing = sparing,
+                                   .construction = plan.construction,
+                                   .codec = config.codec});
   if (!array.ok()) {
     std::fprintf(stderr, "skipping %s/%s: %s\n",
                  core::construction_name(plan.construction).c_str(), mode,
@@ -157,16 +164,24 @@ bool run_one(const engine::LayoutPlan& plan, api::SparingMode sparing,
     std::fprintf(stderr, "fill failed: %s\n", filled.to_string().c_str());
     return false;
   }
-  const auto checksum_before = store->checksum_disk(0);
+  const auto checksums_before = store->checksum_disks();
 
   const PhaseResult healthy = run_phase(*store, config, seed);
 
-  if (!store->fail_disk(0).ok()) return false;
+  // A multi-parity codec earns its keep under MORE failures: fail as
+  // many disks as it tolerates, so the degraded phase serves through
+  // worst-case (for RS: double-degraded) decodes.
+  std::vector<layout::DiskId> failed = {0};
+  if (store->array().num_parity_units() > 1)
+    failed.push_back(plan.spec.num_disks / 2);
+  for (const layout::DiskId disk : failed)
+    if (!store->fail_disk(disk).ok()) return false;
   const PhaseResult degraded = run_phase(*store, config, seed);
 
   // Rebuilding phase: a rebuilder thread drains the repair plan in small
   // batches while the workload keeps serving.
-  if (!store->replace_disk(0).ok()) return false;
+  for (const layout::DiskId disk : failed)
+    if (!store->replace_disk(disk).ok()) return false;
   const auto rebuild_start = std::chrono::steady_clock::now();
   std::uint64_t stripes_rebuilt = 0;
   double rebuild_seconds = 0;
@@ -189,9 +204,12 @@ bool run_one(const engine::LayoutPlan& plan, api::SparingMode sparing,
   stripes_rebuilt += outcome->applied;
 
   const std::uint64_t mismatches = verify_all(*store, seed);
-  const auto checksum_after = store->checksum_disk(0);
-  const bool disk_identical = checksum_before.ok() && checksum_after.ok() &&
-                              *checksum_after == *checksum_before;
+  const auto checksums_after = store->checksum_disks();
+  bool disk_identical = checksums_before.ok() && checksums_after.ok();
+  if (disk_identical)
+    for (const layout::DiskId disk : failed)
+      disk_identical = disk_identical &&
+                       (*checksums_after)[disk] == (*checksums_before)[disk];
   const std::uint64_t verify_failures = healthy.stats.verify_failures +
                                         degraded.stats.verify_failures +
                                         rebuilding.stats.verify_failures;
@@ -206,18 +224,21 @@ bool run_one(const engine::LayoutPlan& plan, api::SparingMode sparing,
           : 0.0;
 
   std::printf(
-      "%-14s %-11s %-6s healthy %8.1f MB/s | degraded %8.1f MB/s | "
+      "%-14s %-11s %-6s %-3s healthy %8.1f MB/s | degraded %8.1f MB/s | "
       "rebuilding %8.1f MB/s | rebuild %7.1f MB/s | %s\n",
       core::construction_name(plan.construction).c_str(), mode,
-      backend_kind.c_str(), healthy.mbps, degraded.mbps, rebuilding.mbps,
-      rebuild_mbps, bench::okbad(verified));
+      backend_kind.c_str(),
+      std::string(core::codec_kind_name(config.codec)).c_str(), healthy.mbps,
+      degraded.mbps, rebuilding.mbps, rebuild_mbps, bench::okbad(verified));
 
-  // schema_version 3: added async / engine / scheduler / queue_depth /
-  // achieved_depth / read_p99_us (PR 6; v2 added "backend" in PR 5).
-  bench::json_result("datapath_throughput", /*schema_version=*/3)
+  // schema_version 4: added codec / failed_disks (PR 7; v3 added the
+  // async engine fields in PR 6; v2 added "backend" in PR 5).
+  bench::json_result("datapath_throughput", /*schema_version=*/4)
       .field("construction", core::construction_name(plan.construction))
       .field("sparing", mode)
       .field("backend", backend_kind)
+      .field("codec", std::string(core::codec_kind_name(config.codec)))
+      .field("failed_disks", static_cast<std::uint64_t>(failed.size()))
       .field("async", config.async)
       .field("engine", engine_name(*store))
       .field("scheduler", config.async ? config.scheduler : "none")
@@ -242,7 +263,7 @@ bool run_one(const engine::LayoutPlan& plan, api::SparingMode sparing,
       .field("stripes_rebuilt", stripes_rebuilt)
       .field("verify_failures", verify_failures)
       .field("post_rebuild_mismatches", mismatches)
-      .field("disk0_checksum_identical", disk_identical)
+      .field("failed_disks_checksum_identical", disk_identical)
       .field("verified", verified)
       .emit();
   return verified;
@@ -397,6 +418,7 @@ int main(int argc, char** argv) {
   bool async = false;
   std::string scheduler = "fifo";
   std::string backend_arg;
+  std::string codec_arg = "xor";
   int arg = 1;
   while (arg < argc && argv[arg][0] == '-') {
     if (std::strcmp(argv[arg], "--smoke") == 0) {
@@ -411,11 +433,15 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[arg], "--backend") == 0 && arg + 1 < argc) {
       backend_arg = argv[arg + 1];
       arg += 2;
+    } else if (std::strcmp(argv[arg], "--codec") == 0 && arg + 1 < argc) {
+      codec_arg = argv[arg + 1];
+      arg += 2;
     } else {
       std::fprintf(
           stderr,
           "usage: %s [--smoke] [--backend memory|file|both] [--async] "
-          "[--scheduler fifo|deadline|rebuild-deprioritizing] [v] [k]\n",
+          "[--scheduler fifo|deadline|rebuild-deprioritizing] "
+          "[--codec xor|rs] [v] [k]\n",
           argv[0]);
       return 1;
     }
@@ -455,6 +481,12 @@ int main(int argc, char** argv) {
   }
   config.async = async;
   config.scheduler = scheduler;
+  if (codec_arg == "rs") {
+    config.codec = core::CodecKind::kReedSolomonPQ;
+  } else if (codec_arg != "xor") {
+    std::fprintf(stderr, "unknown --codec %s (xor|rs)\n", codec_arg.c_str());
+    return 1;
+  }
   const std::uint64_t seed = 42;
 
   const std::filesystem::path scratch_root =

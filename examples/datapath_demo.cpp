@@ -13,7 +13,12 @@
 //   act 3 (faults)  -- a fault-injection decorator drips transient I/O
 //                      errors into the same workload, demonstrating that
 //                      substrate failures surface as typed kIoError
-//                      Statuses, not corruption.
+//                      Statuses, not corruption;
+//   act 4 (RS P+Q)  -- the same store over the GF(2^8) Reed-Solomon
+//                      codec: kill TWO disks at once, read every block
+//                      back through double-erasure decodes, rebuild both
+//                      replacements, and prove both disk images came
+//                      back checksum-identical.
 //
 //   $ ./datapath_demo
 
@@ -39,8 +44,11 @@ namespace {
 constexpr std::uint32_t kDisks = 17;
 constexpr std::uint32_t kStripe = 5;
 
-Result<io::StripeStore> make_store(std::unique_ptr<io::DiskBackend> backend) {
-  auto array = api::Array::create({.num_disks = kDisks, .stripe_size = kStripe});
+Result<io::StripeStore> make_store(
+    std::unique_ptr<io::DiskBackend> backend,
+    core::CodecKind codec = core::CodecKind::kXorParity) {
+  auto array = api::Array::create({.num_disks = kDisks, .stripe_size = kStripe},
+                                  {}, {.codec = codec});
   if (!array.ok()) return array.status();
   return io::StripeStore::create(std::move(array).value(),
                                  {.unit_bytes = 4096, .iterations = 2},
@@ -177,15 +185,24 @@ int main() {
     return 1;
   }
   std::vector<std::uint8_t> block(flaky_store->unit_bytes());
-  std::uint64_t served = 0, io_errors = 0, write_gave_up = 0, other = 0;
+  std::uint64_t served = 0, io_errors = 0, write_gave_up = 0, torn = 0,
+                other = 0;
   for (std::uint64_t logical = 0; logical < flaky_store->num_logical_units();
        ++logical) {
     message_fill(logical, block);
     Status written = flaky_store->write(logical, block);
-    for (int retry = 0; retry < 4 && written.code() == StatusCode::kIoError;
-         ++retry)
-      written = flaky_store->write(logical, block);  // transient: retry
-    if (written.code() == StatusCode::kIoError) {
+    for (int retry = 0;
+         retry < 4 && (written.code() == StatusCode::kIoError ||
+                       written.code() == StatusCode::kParityInconsistent);
+         ++retry) {
+      // kIoError is transient; kParityInconsistent means a partial write
+      // AND its compensation both faulted -- the stripe is marked torn,
+      // and rewriting the unit heals it with a full parity re-encode.
+      if (written.code() == StatusCode::kParityInconsistent) ++torn;
+      written = flaky_store->write(logical, block);
+    }
+    if (written.code() == StatusCode::kIoError ||
+        written.code() == StatusCode::kParityInconsistent) {
       ++write_gave_up;  // still the typed, expected code -- just unlucky
     } else if (!written.ok()) {
       ++other;
@@ -204,12 +221,74 @@ int main() {
   }
   std::printf(
       "  read sweep under 2%% fault rate: %llu served, %llu typed kIoError, "
-      "%llu writes exhausted retries, %llu other\n",
+      "%llu torn stripes healed by rewrite, %llu writes exhausted retries, "
+      "%llu other\n",
       static_cast<unsigned long long>(served),
       static_cast<unsigned long long>(io_errors),
+      static_cast<unsigned long long>(torn),
       static_cast<unsigned long long>(write_gave_up),
       static_cast<unsigned long long>(other));
   if (other != 0) return 1;  // only NON-typed errors fail the act
+
+  // ------------------------------- act 4: Reed-Solomon, two disks at once
+  std::printf("\nact 4: GF(2^8) Reed-Solomon P+Q (two concurrent failures)\n");
+  auto rs_store = make_store(io::make_memory_backend(),
+                             core::CodecKind::kReedSolomonPQ);
+  if (!rs_store.ok()) {
+    std::fprintf(stderr, "store: %s\n", rs_store.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("  array: %s\n", rs_store->array().description().c_str());
+  {
+    std::vector<std::uint8_t> rs_block(rs_store->unit_bytes());
+    for (std::uint64_t logical = 0; logical < rs_store->num_logical_units();
+         ++logical) {
+      message_fill(logical, rs_block);
+      if (!rs_store->write(logical, rs_block).ok()) return 1;
+    }
+    const layout::DiskId victims[2] = {3, 11};
+    std::uint64_t before[2];
+    for (int i = 0; i < 2; ++i) {
+      const auto sum = rs_store->checksum_disk(victims[i]);
+      if (!sum.ok()) return 1;
+      before[i] = *sum;
+      if (!rs_store->fail_disk(victims[i]).ok()) return 1;
+    }
+    if (rs_store->array().data_loss()) return 1;
+    std::printf("  disks %u and %u failed together: %llu units lost, "
+                "no data loss declared\n",
+                victims[0], victims[1],
+                static_cast<unsigned long long>(
+                    rs_store->array().lost_units()));
+
+    std::uint64_t degraded = 0, bad = 0;
+    for (std::uint64_t logical = 0; logical < rs_store->num_logical_units();
+         ++logical) {
+      io::ReadReceipt receipt;
+      if (!rs_store->read(logical, rs_block, &receipt).ok()) return 1;
+      if (receipt.kind == api::ReadPlan::Kind::kDegraded) ++degraded;
+      if (!message_check(logical, rs_block)) ++bad;
+    }
+    std::printf("  double-degraded sweep: %llu decoded reads, "
+                "%llu mismatches\n",
+                static_cast<unsigned long long>(degraded),
+                static_cast<unsigned long long>(bad));
+    if (bad != 0) return 1;
+
+    for (int i = 0; i < 2; ++i)
+      if (!rs_store->replace_disk(victims[i]).ok()) return 1;
+    const auto outcome = rs_store->rebuild();
+    if (!outcome.ok()) return 1;
+    for (int i = 0; i < 2; ++i) {
+      const auto after = rs_store->checksum_disk(victims[i]);
+      if (!after.ok()) return 1;
+      std::printf("  rebuild: disk %u checksum %016llx (%s)\n", victims[i],
+                  static_cast<unsigned long long>(*after),
+                  *after == before[i] ? "identical" : "DIFFERENT");
+      if (*after != before[i]) return 1;
+    }
+    if (!rs_store->array().healthy()) return 1;
+  }
 
   std::printf("\nall acts passed\n");
   return 0;

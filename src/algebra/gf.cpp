@@ -21,6 +21,31 @@ GaloisField::GaloisField(Elem q) : q_(q), modulus_(2) {
   build_tables();
 }
 
+GaloisField::GaloisField(Elem q, const Polynomial& modulus)
+    : q_(q), modulus_(modulus) {
+  const PrimePower pp = prime_power_decomposition(q);
+  if (pp.prime == 0)
+    throw std::invalid_argument("GaloisField: order " + std::to_string(q) +
+                                " is not a prime power");
+  p_ = static_cast<Elem>(pp.prime);
+  m_ = pp.exponent;
+  if (modulus_.modulus() != p_)
+    throw std::invalid_argument(
+        "GaloisField: modulus polynomial is over Z_" +
+        std::to_string(modulus_.modulus()) + ", field characteristic is " +
+        std::to_string(p_));
+  if (modulus_.degree() != static_cast<int>(m_))
+    throw std::invalid_argument(
+        "GaloisField: modulus degree " + std::to_string(modulus_.degree()) +
+        " does not match extension degree " + std::to_string(m_));
+  if (modulus_.coeff(m_) != 1)
+    throw std::invalid_argument("GaloisField: modulus must be monic");
+  if (m_ > 1 && !is_irreducible(modulus_))
+    throw std::invalid_argument("GaloisField: modulus " +
+                                modulus_.to_string() + " is reducible");
+  build_tables();
+}
+
 Elem GaloisField::add(Elem a, Elem b) const {
   if (p_ == 2) return a ^ b;  // characteristic 2: digit-wise sum is XOR
   if (m_ == 1) {

@@ -22,6 +22,16 @@ class GaloisField final : public Ring {
   /// deterministically, so two GaloisField(q) instances are identical.
   explicit GaloisField(Elem q);
 
+  /// Constructs GF(q) over an explicitly chosen monic irreducible modulus
+  /// (degree m, matching characteristic).  Two fields of the same order
+  /// built over different moduli are isomorphic but element indices differ,
+  /// so callers that pin a byte-level wire format (e.g. the GF(2^8)
+  /// Reed-Solomon codec, which wants x^8+x^4+x^3+x^2+1 where x itself is
+  /// primitive) use this to fix the representation.  Throws
+  /// std::invalid_argument for a non-prime-power q or a modulus that is not
+  /// monic irreducible of the right degree over Z_p.
+  GaloisField(Elem q, const Polynomial& modulus);
+
   [[nodiscard]] Elem order() const noexcept override { return q_; }
   [[nodiscard]] Elem add(Elem a, Elem b) const override;
   [[nodiscard]] Elem neg(Elem a) const override;

@@ -20,12 +20,49 @@ using layout::SparedLayout;
 using layout::Stripe;
 using layout::StripeUnit;
 
-/// Data units per layout iteration under the given sparing mode; 0 means
-/// the array could hold no data and must be rejected before the mapper
-/// (which throws) sees it.
+/// The stripe's parity positions in codec ordinal order: the layout's
+/// parity_pos (P) first, then m - 1 extra designations walking cyclically
+/// from parity_pos + 1 and skipping the spare slot.  Deterministic, so
+/// the cyclic walk spreads the extra parity (like Q) across positions --
+/// and thus disks -- exactly as the primary parity is spread by the
+/// declustered layout itself.
+[[nodiscard]] std::vector<std::uint32_t> parity_positions_of(
+    const Stripe& st, std::uint32_t spare_pos, std::uint32_t m) {
+  std::vector<std::uint32_t> positions;
+  positions.reserve(m);
+  positions.push_back(st.parity_pos);
+  const auto width = static_cast<std::uint32_t>(st.units.size());
+  for (std::uint32_t step = 1; positions.size() < m && step < width;
+       ++step) {
+    const std::uint32_t pos = (st.parity_pos + step) % width;
+    if (pos == spare_pos) continue;
+    positions.push_back(pos);
+  }
+  return positions;
+}
+
+/// Per-stripe bit masks of every parity position for the codec's m, the
+/// shape layout::AddressMapper's parity-aware constructor consumes.
+[[nodiscard]] std::vector<std::uint64_t> compute_parity_masks(
+    const Layout& layout, const SparedLayout* spared, std::uint32_t m) {
+  const auto& stripes = layout.stripes();
+  std::vector<std::uint64_t> masks(stripes.size(), 0);
+  for (std::size_t si = 0; si < stripes.size(); ++si) {
+    const std::uint32_t spare =
+        spared ? spared->spare_pos[si] : 0xffffffffu;
+    for (const std::uint32_t pos :
+         parity_positions_of(stripes[si], spare, m))
+      masks[si] |= 1ull << pos;
+  }
+  return masks;
+}
+
+/// Data units per layout iteration under the given sparing mode and
+/// parity count; 0 means the array could hold no data and must be
+/// rejected before the mapper (which throws) sees it.
 [[nodiscard]] std::uint64_t count_data_units(const Layout& layout,
-                                             bool spared) {
-  const std::size_t overhead = spared ? 2 : 1;  // parity (+ spare)
+                                             bool spared, std::uint32_t m) {
+  const std::size_t overhead = m + (spared ? 1 : 0);  // parity (+ spare)
   std::uint64_t count = 0;
   for (const Stripe& st : layout.stripes())
     if (st.units.size() > overhead) count += st.units.size() - overhead;
@@ -47,6 +84,23 @@ using layout::StripeUnit;
   return OkStatus();
 }
 
+/// Every stripe must hold the codec's m parity units, the spare (if
+/// any), and at least one data unit.
+[[nodiscard]] Status validate_codec_fit(const Layout& layout, bool spared,
+                                        core::CodecKind codec) {
+  const std::uint32_t m = core::codec_for(codec).num_parity();
+  const std::size_t overhead = m + (spared ? 1 : 0);
+  for (const Stripe& st : layout.stripes()) {
+    if (st.units.size() <= overhead)
+      return Status::invalid_argument(
+          "stripe of " + std::to_string(st.units.size()) +
+          " units cannot hold " + std::to_string(m) + " " +
+          std::string(core::codec_kind_name(codec)) + " parity units" +
+          (spared ? ", a spare," : "") + " and data");
+  }
+  return OkStatus();
+}
+
 }  // namespace
 
 std::string_view disk_state_name(DiskState state) noexcept {
@@ -59,25 +113,47 @@ std::string_view disk_state_name(DiskState state) noexcept {
 }
 
 Array::Array(std::shared_ptr<const BuiltLayout> built,
-             std::shared_ptr<const SparedLayout> spared)
+             std::shared_ptr<const SparedLayout> spared,
+             core::CodecKind codec)
     : built_(std::move(built)),
       spared_(std::move(spared)),
-      mapper_(spared_ ? layout::CompiledMapper(*spared_)
-                      : layout::CompiledMapper(built_->layout)) {
+      codec_kind_(codec),
+      num_parity_(core::codec_for(codec).num_parity()),
+      parity_mask_(compute_parity_masks(
+          spared_ ? spared_->layout : built_->layout, spared_.get(),
+          num_parity_)),
+      mapper_(layout::AddressMapper(
+          spared_ ? spared_->layout : built_->layout,
+          spared_ ? spared_->spare_pos : std::vector<std::uint32_t>{},
+          parity_mask_)) {
   const Layout& l = layout();
   const auto& stripes = l.stripes();
   const std::uint32_t n = static_cast<std::uint32_t>(stripes.size());
 
   data_units_.reserve(mapper_.data_units_per_iteration());
   disk_units_.resize(l.num_disks());
+  stripe_num_data_.resize(n);
+  parity_positions_.resize(n);
+  unit_index_.resize(n);
   for (std::uint32_t si = 0; si < n; ++si) {
     const Stripe& st = stripes[si];
+    const std::uint32_t spare =
+        spared_ ? spared_->spare_pos[si] : 0xffffffffu;
+    parity_positions_[si] = parity_positions_of(st, spare, num_parity_);
+    unit_index_[si].assign(st.units.size(), kNoUnit);
+    // Data indices in increasing position order (the codec convention and
+    // the mapper's logical numbering, kept in lockstep).
+    std::uint32_t di = 0;
     for (std::uint32_t pos = 0; pos < st.units.size(); ++pos) {
       disk_units_[st.units[pos].disk].push_back({si, pos});
-      if (pos == st.parity_pos) continue;
-      if (spared_ && pos == spared_->spare_pos[si]) continue;
+      if ((parity_mask_[si] >> pos) & 1) continue;
+      if (pos == spare) continue;
+      unit_index_[si][pos] = di++;
       data_units_.push_back({si, pos});
     }
+    stripe_num_data_[si] = di;
+    for (std::uint32_t j = 0; j < num_parity_; ++j)
+      unit_index_[si][parity_positions_[si][j]] = di + j;
   }
 
   disk_state_.assign(l.num_disks(), DiskState::kHealthy);
@@ -105,10 +181,14 @@ Result<Array> Array::create_with(engine::Engine& engine,
         "stripe sizes above 64 are not supported by the online state "
         "machine (got k=" + std::to_string(spec.stripe_size) + ")");
   const bool spare = options.sparing == SparingMode::kDistributed;
-  if (spare && spec.stripe_size < 3)
+  const std::uint32_t m = core::codec_for(options.codec).num_parity();
+  if (spec.stripe_size < m + 1 + (spare ? 1 : 0))
     return Status::invalid_argument(
-        "distributed sparing needs k >= 3 (each stripe carries data, "
-        "parity, and a spare unit)");
+        "k=" + std::to_string(spec.stripe_size) +
+        " cannot hold " + std::to_string(m) + " " +
+        std::string(core::codec_kind_name(options.codec)) +
+        " parity units" + (spare ? ", a spare," : "") +
+        " and at least one data unit per stripe");
 
   std::shared_ptr<const BuiltLayout> built;
   std::shared_ptr<const SparedLayout> spared;
@@ -144,25 +224,34 @@ Result<Array> Array::create_with(engine::Engine& engine,
       spared = std::move(s).value();
     }
   }
-  return Array(std::move(built), std::move(spared));
+  return Array(std::move(built), std::move(spared), options.codec);
 }
 
-Result<Array> Array::adopt(Layout layout) {
+Result<Array> Array::adopt(Layout layout, core::CodecKind codec) {
   if (Status valid = validate_layout(layout); !valid.ok()) return valid;
-  if (count_data_units(layout, /*spared=*/false) == 0)
+  if (Status fit = validate_codec_fit(layout, /*spared=*/false, codec);
+      !fit.ok())
+    return fit;
+  if (count_data_units(layout, /*spared=*/false,
+                       core::codec_for(codec).num_parity()) == 0)
     return Status::invalid_argument("layout holds no data units");
   auto metrics = layout::compute_metrics(layout);
   auto built = std::make_shared<const BuiltLayout>(
       BuiltLayout{std::move(layout), Construction::kExternal,
                   "externally supplied layout", std::move(metrics)});
-  return Array(std::move(built), nullptr);
+  return Array(std::move(built), nullptr, codec);
 }
 
-Result<Array> Array::adopt_spared(SparedLayout spared) {
+Result<Array> Array::adopt_spared(SparedLayout spared,
+                                  core::CodecKind codec) {
   if (Status valid = validate_layout(spared.layout); !valid.ok())
     return valid;
   if (Status valid = validate_spare_map(spared); !valid.ok()) return valid;
-  if (count_data_units(spared.layout, /*spared=*/true) == 0)
+  if (Status fit = validate_codec_fit(spared.layout, /*spared=*/true, codec);
+      !fit.ok())
+    return fit;
+  if (count_data_units(spared.layout, /*spared=*/true,
+                       core::codec_for(codec).num_parity()) == 0)
     return Status::invalid_argument(
         "layout holds no data units under distributed sparing");
   auto metrics = layout::compute_metrics(spared.layout);
@@ -172,26 +261,48 @@ Result<Array> Array::adopt_spared(SparedLayout spared) {
                   std::move(metrics)});
   auto shared_spared =
       std::make_shared<const SparedLayout>(std::move(spared));
-  return Array(std::move(built), std::move(shared_spared));
+  return Array(std::move(built), std::move(shared_spared), codec);
 }
 
 std::string Array::serialize() const {
-  return spared_ ? layout::serialize_spared_layout(*spared_)
-                 : layout::serialize_layout(layout());
+  std::string body = spared_ ? layout::serialize_spared_layout(*spared_)
+                             : layout::serialize_layout(layout());
+  if (codec_kind_ == core::CodecKind::kXorParity) return body;  // legacy form
+  return "pdl-array-codec " +
+         std::string(core::codec_kind_name(codec_kind_)) + "\n" + body;
 }
 
 Result<Array> Array::deserialize(const std::string& text) {
   std::istringstream probe(text);
   std::string magic;
   probe >> magic;
-  if (magic == "pdl-spared-layout") {
-    auto spared = layout::parse_spared_layout(text);
-    if (!spared.ok()) return spared.status();
-    return adopt_spared(std::move(spared).value());
+  core::CodecKind codec = core::CodecKind::kXorParity;
+  std::string body = text;
+  if (magic == "pdl-array-codec") {
+    std::string name;
+    probe >> name;
+    if (name == "rs") {
+      codec = core::CodecKind::kReedSolomonPQ;
+    } else if (name != "xor") {
+      return Status::parse_error("unknown codec '" + name +
+                                 "' in pdl-array-codec header");
+    }
+    const std::size_t newline = text.find('\n');
+    if (newline == std::string::npos)
+      return Status::parse_error("pdl-array-codec header without a layout");
+    body = text.substr(newline + 1);
+    probe.str(body);
+    probe.clear();
+    probe >> magic;
   }
-  auto plain = layout::parse_layout(text);
+  if (magic == "pdl-spared-layout") {
+    auto spared = layout::parse_spared_layout(body);
+    if (!spared.ok()) return spared.status();
+    return adopt_spared(std::move(spared).value(), codec);
+  }
+  auto plain = layout::parse_layout(body);
   if (!plain.ok()) return plain.status();
-  return adopt(std::move(plain).value());
+  return adopt(std::move(plain).value(), codec);
 }
 
 Status Array::save(const std::string& path) const {
@@ -295,7 +406,8 @@ const StripeUnit& Array::cur_unit(std::uint32_t stripe,
 }
 
 Result<ReadPlan> Array::locate(std::uint64_t logical,
-                               std::span<Physical> survivors) const {
+                               std::span<Physical> survivors,
+                               std::span<std::uint32_t> survivor_index) const {
   const std::uint64_t per_iter = data_units_.size();
   const std::uint64_t iteration = logical / per_iter;
   const UnitRef ref = data_units_[logical % per_iter];
@@ -314,13 +426,16 @@ Result<ReadPlan> Array::locate(std::uint64_t logical,
     return plan;
   }
 
-  // Degraded read: the survivor set is every other content unit of the
-  // stripe, at its current (redirect-aware) home -- exactly the units
-  // ScenarioSimulator reads to reconstruct on the fly.
+  // Degraded read: the survivor set is every other surviving content
+  // unit of the stripe, at its current (redirect-aware) home -- exactly
+  // the units ScenarioSimulator reads to reconstruct on the fly.  Under
+  // a multi-parity codec other units may be lost too; they are excluded
+  // here and reported through erased_index for the decode.
   const Stripe& st = layout().stripes()[ref.stripe];
   std::uint32_t count = 0;
   for (std::uint32_t p = 0; p < st.units.size(); ++p) {
     if (p == ref.pos || !is_content(ref.stripe, p)) continue;
+    if (is_lost(ref.stripe, p)) continue;
     ++count;
   }
   if (survivors.size() < count)
@@ -328,10 +443,22 @@ Result<ReadPlan> Array::locate(std::uint64_t logical,
         "survivor span holds " + std::to_string(survivors.size()) +
         " slots, stripe needs " + std::to_string(count) +
         " (max_stripe_size() - 1 always suffices)");
+  if (!survivor_index.empty() && survivor_index.size() < count)
+    return Status::invalid_argument(
+        "survivor_index span holds " + std::to_string(survivor_index.size()) +
+        " slots, stripe needs " + std::to_string(count));
+  plan.num_data = stripe_num_data_[ref.stripe];
+  plan.erased_index[plan.num_erased++] = unit_index_[ref.stripe][ref.pos];
   std::uint32_t i = 0;
   for (std::uint32_t p = 0; p < st.units.size(); ++p) {
     if (p == ref.pos || !is_content(ref.stripe, p)) continue;
+    if (is_lost(ref.stripe, p)) {
+      plan.erased_index[plan.num_erased++] = unit_index_[ref.stripe][p];
+      continue;
+    }
     const StripeUnit& u = cur_unit(ref.stripe, p);
+    if (!survivor_index.empty())
+      survivor_index[i] = unit_index_[ref.stripe][p];
     survivors[i++] = {u.disk, lift + u.offset};
   }
   plan.kind = ReadPlan::Kind::kDegraded;
@@ -340,60 +467,126 @@ Result<ReadPlan> Array::locate(std::uint64_t logical,
 }
 
 Result<WritePlan> Array::plan_write(std::uint64_t logical,
-                                    std::span<Physical> peer_reads) const {
+                                    std::span<Physical> peer_reads,
+                                    std::span<std::uint32_t> peer_index) const {
   const std::uint64_t per_iter = data_units_.size();
   const std::uint64_t iteration = logical / per_iter;
   const UnitRef ref = data_units_[logical % per_iter];
   const std::uint64_t lift =
       iteration * static_cast<std::uint64_t>(units_per_disk());
   const Stripe& st = layout().stripes()[ref.stripe];
-  const std::uint32_t parity = st.parity_pos;
+  const std::vector<std::uint32_t>& parities = parity_positions_[ref.stripe];
+  const std::uint32_t kd = stripe_num_data_[ref.stripe];
 
   const bool data_lost = is_lost(ref.stripe, ref.pos);
-  const bool parity_lost = is_lost(ref.stripe, parity);
 
   WritePlan plan;
   if (data_lost && unrecoverable_[ref.stripe]) {
     plan.kind = WritePlan::Kind::kUnrecoverable;
     return plan;
   }
-  if (!data_lost && !parity_lost) {
+  plan.num_data = kd;
+  plan.data_index = unit_index_[ref.stripe][ref.pos];
+  // The surviving parity units, ordinal order (P before Q).
+  for (std::uint32_t j = 0; j < parities.size(); ++j) {
+    const std::uint32_t pp = parities[j];
+    if (is_lost(ref.stripe, pp)) continue;
+    const StripeUnit& p = cur_unit(ref.stripe, pp);
+    plan.parity_targets[plan.num_parities] = {p.disk, lift + p.offset};
+    plan.parity_index[plan.num_parities] = j;
+    ++plan.num_parities;
+  }
+  if (plan.num_parities > 0) plan.parity = plan.parity_targets[0];
+
+  if (!data_lost && plan.num_parities > 0) {
     const StripeUnit& d = cur_unit(ref.stripe, ref.pos);
-    const StripeUnit& p = cur_unit(ref.stripe, parity);
     plan.kind = WritePlan::Kind::kReadModifyWrite;
     plan.data = {d.disk, lift + d.offset};
-    plan.parity = {p.disk, lift + p.offset};
     return plan;
   }
   if (data_lost) {
-    // Fold the new value into parity: read the other surviving content,
-    // write the parity unit.
+    // Fold the new value into the surviving parities: read the other
+    // surviving data peers, write the parity units.  Any other erased
+    // content unit is reported through erased_index so a multi-parity
+    // store can decode it before re-encoding.
+    plan.erased_index[plan.num_erased++] = plan.data_index;
     std::uint32_t count = 0;
     for (std::uint32_t p = 0; p < st.units.size(); ++p) {
-      if (p == ref.pos || p == parity || !is_content(ref.stripe, p)) continue;
+      if (p == ref.pos || !is_content(ref.stripe, p)) continue;
+      if (unit_index_[ref.stripe][p] >= kd) continue;  // parity
+      if (is_lost(ref.stripe, p)) {
+        plan.erased_index[plan.num_erased++] = unit_index_[ref.stripe][p];
+        continue;
+      }
       ++count;
     }
+    for (const std::uint32_t pp : parities)
+      if (is_lost(ref.stripe, pp))
+        plan.erased_index[plan.num_erased++] = unit_index_[ref.stripe][pp];
     if (peer_reads.size() < count)
       return Status::invalid_argument(
           "peer span holds " + std::to_string(peer_reads.size()) +
           " slots, stripe needs " + std::to_string(count));
+    if (!peer_index.empty() && peer_index.size() < count)
+      return Status::invalid_argument(
+          "peer_index span holds " + std::to_string(peer_index.size()) +
+          " slots, stripe needs " + std::to_string(count));
     std::uint32_t i = 0;
     for (std::uint32_t p = 0; p < st.units.size(); ++p) {
-      if (p == ref.pos || p == parity || !is_content(ref.stripe, p)) continue;
+      if (p == ref.pos || !is_content(ref.stripe, p)) continue;
+      if (unit_index_[ref.stripe][p] >= kd) continue;  // parity
+      if (is_lost(ref.stripe, p)) continue;
       const StripeUnit& u = cur_unit(ref.stripe, p);
+      if (!peer_index.empty()) peer_index[i] = unit_index_[ref.stripe][p];
       peer_reads[i++] = {u.disk, lift + u.offset};
     }
-    const StripeUnit& p = cur_unit(ref.stripe, parity);
     plan.kind = WritePlan::Kind::kReconstructWrite;
-    plan.parity = {p.disk, lift + p.offset};
     plan.num_peer_reads = count;
     return plan;
   }
-  // Parity lost, data intact: the stripe is unprotected; write the data.
+  // Every parity lost, data intact: the stripe is unprotected; write the
+  // data.
   const StripeUnit& d = cur_unit(ref.stripe, ref.pos);
   plan.kind = WritePlan::Kind::kUnprotectedWrite;
   plan.data = {d.disk, lift + d.offset};
   return plan;
+}
+
+Result<std::uint32_t> Array::stripe_peers(
+    std::uint64_t logical, std::span<Physical> peers,
+    std::span<std::uint32_t> peer_index) const {
+  const std::uint64_t per_iter = data_units_.size();
+  const UnitRef ref = data_units_[logical % per_iter];
+  const std::uint64_t lift =
+      (logical / per_iter) * static_cast<std::uint64_t>(units_per_disk());
+  const Stripe& st = layout().stripes()[ref.stripe];
+  const std::uint32_t kd = stripe_num_data_[ref.stripe];
+
+  std::uint32_t count = 0;
+  for (std::uint32_t p = 0; p < st.units.size(); ++p) {
+    if (p == ref.pos || !is_content(ref.stripe, p)) continue;
+    if (unit_index_[ref.stripe][p] >= kd) continue;  // parity
+    if (is_lost(ref.stripe, p)) continue;
+    ++count;
+  }
+  if (peers.size() < count)
+    return Status::invalid_argument(
+        "peer span holds " + std::to_string(peers.size()) +
+        " slots, stripe needs " + std::to_string(count));
+  if (!peer_index.empty() && peer_index.size() < count)
+    return Status::invalid_argument(
+        "peer_index span holds " + std::to_string(peer_index.size()) +
+        " slots, stripe needs " + std::to_string(count));
+  std::uint32_t i = 0;
+  for (std::uint32_t p = 0; p < st.units.size(); ++p) {
+    if (p == ref.pos || !is_content(ref.stripe, p)) continue;
+    if (unit_index_[ref.stripe][p] >= kd) continue;  // parity
+    if (is_lost(ref.stripe, p)) continue;
+    const StripeUnit& u = cur_unit(ref.stripe, p);
+    if (!peer_index.empty()) peer_index[i] = unit_index_[ref.stripe][p];
+    peers[i++] = {u.disk, lift + u.offset};
+  }
+  return count;
 }
 
 // -------------------------------------------------------------- transitions
@@ -405,10 +598,10 @@ void Array::mark_lost(std::uint32_t stripe, std::uint32_t pos) {
   }
   if (is_lost(stripe, pos)) return;
   lost_mask_[stripe] |= 1ull << pos;
-  if (std::popcount(lost_mask_[stripe]) >= 2) {
-    // Second concurrent loss: the stripe is gone.  Its previously pending
-    // unit(s) leave the rebuild queue, exactly like the simulator dropping
-    // jobs for unrecoverable stripes.
+  if (std::popcount(lost_mask_[stripe]) > static_cast<int>(num_parity_)) {
+    // One concurrent loss more than the codec tolerates: the stripe is
+    // gone.  Its previously pending unit(s) leave the rebuild queue,
+    // exactly like the simulator dropping jobs for unrecoverable stripes.
     unrecoverable_[stripe] = 1;
     ++stripes_lost_;
     const Stripe& st = layout().stripes()[stripe];
@@ -473,9 +666,10 @@ Status Array::replace_disk(DiskId disk) {
 
 std::optional<Physical> Array::rebuild_target(std::uint32_t stripe,
                                               std::uint32_t pos,
-                                              bool& to_spare) const {
+                                              bool& to_spare,
+                                              bool allow_spare) const {
   const Stripe& st = layout().stripes()[stripe];
-  if (spared_) {
+  if (spared_ && allow_spare) {
     const std::uint32_t sp = spared_->spare_pos[stripe];
     const StripeUnit& spare = st.units[sp];
     if (redirect_[stripe] == kNone &&
@@ -503,30 +697,47 @@ Result<RebuildPlan> Array::plan_rebuild() const {
       ++plan.unrecoverable;
       continue;
     }
-    // A recoverable stripe has exactly one lost unit.
-    const auto pos =
-        static_cast<std::uint32_t>(std::countr_zero(lost_mask_[si]));
-    bool to_spare = false;
-    const auto target = rebuild_target(si, pos, to_spare);
-    if (!target) {
-      ++plan.blocked;
-      continue;
+    // A recoverable stripe has at most num_parity_ lost units; plan one
+    // step per lost unit.  Only one step may claim the stripe's spare --
+    // later steps of the same stripe steer to their home slots so a
+    // planned batch stays applicable in order.
+    bool spare_free = !spared_ || redirect_[si] == kNone;
+    std::uint64_t lost = lost_mask_[si];
+    while (lost != 0) {
+      const auto pos = static_cast<std::uint32_t>(std::countr_zero(lost));
+      lost &= lost - 1;
+      bool to_spare = false;
+      const auto target = rebuild_target(si, pos, to_spare, spare_free);
+      if (!target) {
+        ++plan.blocked;
+        continue;
+      }
+      if (to_spare) spare_free = false;
+      RebuildStep step;
+      step.stripe = si;
+      step.lost_pos = pos;
+      step.to_spare = to_spare;
+      step.target = *target;
+      step.num_data = stripe_num_data_[si];
+      step.target_index = unit_index_[si][pos];
+      step.erased_index[step.num_erased++] = step.target_index;
+      const Stripe& st = stripes[si];
+      step.reads.reserve(st.units.size() - 1);
+      step.read_indices.reserve(st.units.size() - 1);
+      for (std::uint32_t p = 0; p < st.units.size(); ++p) {
+        if (p == pos || !is_content(si, p)) continue;
+        if (is_lost(si, p)) {
+          step.erased_index[step.num_erased++] = unit_index_[si][p];
+          continue;
+        }
+        const StripeUnit& u = cur_unit(si, p);
+        step.reads.push_back({u.disk, u.offset});
+        step.read_indices.push_back(unit_index_[si][p]);
+        ++plan.reads_per_disk[u.disk];
+      }
+      ++plan.writes_per_disk[target->disk];
+      plan.steps.push_back(std::move(step));
     }
-    RebuildStep step;
-    step.stripe = si;
-    step.lost_pos = pos;
-    step.to_spare = to_spare;
-    step.target = *target;
-    const Stripe& st = stripes[si];
-    step.reads.reserve(st.units.size() - 1);
-    for (std::uint32_t p = 0; p < st.units.size(); ++p) {
-      if (p == pos || !is_content(si, p)) continue;
-      const StripeUnit& u = cur_unit(si, p);
-      step.reads.push_back({u.disk, u.offset});
-      ++plan.reads_per_disk[u.disk];
-    }
-    ++plan.writes_per_disk[target->disk];
-    plan.steps.push_back(std::move(step));
   }
   return plan;
 }

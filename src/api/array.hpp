@@ -32,9 +32,11 @@
 //
 // (replace_disk moves straight to kHealthy when the disk has no lost
 // units pending -- e.g. everything was already rebuilt into distributed
-// spares.)  Stripe instances that lose two units at once are permanently
-// unrecoverable: reads/writes addressing them return kDataLoss and
-// rebuild skips them, exactly like the simulator.
+// spares.)  Stripe instances that concurrently lose more units than the
+// array's codec tolerates (one under XOR parity, two under Reed-Solomon
+// P+Q) are permanently unrecoverable: reads/writes addressing them
+// return kDataLoss / kUnrecoverable plans and rebuild skips them,
+// exactly like the simulator.
 //
 // Iterations: layouts tile vertically over large disks.  Failure state is
 // tracked per stripe (a disk failure hits every iteration alike);
@@ -58,6 +60,7 @@
 // the const calls with a reader lock; io::StripeStore wraps exactly that
 // readers-writer discipline around an owned Array.
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -66,6 +69,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/codec.hpp"
 #include "core/declustered_array.hpp"
 #include "core/status.hpp"
 #include "layout/compiled_mapper.hpp"
@@ -99,7 +103,16 @@ struct ArrayOptions {
   /// Pin a specific construction instead of letting the planner rank
   /// (bypasses the engine cache).
   std::optional<core::Construction> construction = std::nullopt;
+  /// The erasure code protecting each stripe.  kXorParity keeps the
+  /// paper's single-parity layout; kReedSolomonPQ designates one extra
+  /// parity unit per stripe (cyclically, from parity_pos + 1) and
+  /// survives any two concurrent disk failures.
+  core::CodecKind codec = core::CodecKind::kXorParity;
 };
+
+/// Upper bound on parity units per stripe across all shipped codecs
+/// (bounds the fixed-size index arrays in the plan structs).
+inline constexpr std::uint32_t kMaxParityUnits = 4;
 
 /// Online state of one physical disk (see the state machine in the file
 /// comment).
@@ -117,37 +130,69 @@ struct ReadPlan {
   /// The three ways a read can resolve.
   enum class Kind : std::uint8_t {
     kDirect = 0,         ///< unit intact: read `target`
-    kDegraded = 1,       ///< unit lost: XOR the survivor set
-    kUnrecoverable = 2,  ///< stripe lost two units; data is gone
+    kDegraded = 1,       ///< unit lost: decode from the survivor set
+    kUnrecoverable = 2,  ///< stripe lost more units than the codec bears
   };
   Kind kind = Kind::kDirect;         ///< how the read resolves
   Physical target;                   ///< kDirect: where the unit lives now
   std::uint32_t num_survivors = 0;   ///< kDegraded: units written to `out`
+  // -- codec-seam fields (kDegraded): everything core::Codec::reconstruct
+  // needs, in the codec's unit-index convention (data i -> i, parity j ->
+  // num_data + j).  Survivor indices are reported through locate()'s
+  // optional survivor_index span, parallel to `survivors`.
+  std::uint32_t num_data = 0;        ///< data units in the stripe (k_d)
+  std::uint32_t num_erased = 0;      ///< erased content units of the stripe
+  /// Codec indices of the erased units, the requested unit FIRST.
+  std::array<std::uint32_t, kMaxParityUnits> erased_index{};
 };
 
 /// Resolution of one logical small-write under the current failure state.
 struct WritePlan {
   /// The parity-maintenance strategies a small write can need.
   enum class Kind : std::uint8_t {
-    kReadModifyWrite = 0,  ///< read data+parity, write data+parity
-    kReconstructWrite = 1, ///< data lost: read peers, write parity only
-    kUnprotectedWrite = 2, ///< parity lost: write data only
-    kUnrecoverable = 3,    ///< stripe lost two units; write unservable
+    kReadModifyWrite = 0,  ///< read data+parities, write data+parities
+    kReconstructWrite = 1, ///< data lost: read peers, write parities only
+    kUnprotectedWrite = 2, ///< every parity lost: write data only
+    kUnrecoverable = 3,    ///< stripe lost too many units; write unservable
   };
   Kind kind = Kind::kReadModifyWrite;  ///< selected strategy
   Physical data;                 ///< data unit (valid unless data lost)
-  Physical parity;               ///< parity peer (valid unless parity lost)
+  Physical parity;               ///< first surviving parity (legacy alias
+                                 ///< of parity_targets[0])
   std::uint32_t num_peer_reads = 0;  ///< kReconstructWrite: peers in `out`
+  // -- codec-seam fields, in the codec's unit-index convention.
+  std::uint32_t num_data = 0;    ///< data units in the stripe (k_d)
+  std::uint32_t data_index = 0;  ///< codec index of the written unit
+  std::uint32_t num_parities = 0;  ///< surviving parity units
+  /// Surviving parity units to maintain, ordinal order (P before Q).
+  std::array<Physical, kMaxParityUnits> parity_targets{};
+  /// parity_targets[j]'s codec parity ordinal (its index is
+  /// num_data + parity_index[j]).
+  std::array<std::uint32_t, kMaxParityUnits> parity_index{};
+  /// kReconstructWrite: every erased content unit of the stripe, the
+  /// written unit FIRST -- when more than one, the store must decode the
+  /// others (from peers + surviving parities) before re-encoding.
+  std::uint32_t num_erased = 0;
+  std::array<std::uint32_t, kMaxParityUnits> erased_index{};
 };
 
-/// One stripe repair: read `reads`, XOR them, write to `target`.  Offsets
-/// are iteration-0; the step stands for every iteration of the stripe.
+/// One stripe repair: read `reads`, decode, write the lost unit to
+/// `target`.  Offsets are iteration-0; the step stands for every
+/// iteration of the stripe.
 struct RebuildStep {
   std::uint32_t stripe = 0;        ///< stripe being repaired
   std::uint32_t lost_pos = 0;      ///< position being reconstructed
   bool to_spare = false;           ///< target is the stripe's spare unit
   Physical target;                 ///< write target
-  std::vector<Physical> reads;     ///< surviving units to XOR
+  std::vector<Physical> reads;     ///< surviving units to decode from
+  // -- codec-seam fields, in the codec's unit-index convention.
+  std::uint32_t num_data = 0;      ///< data units in the stripe (k_d)
+  std::uint32_t target_index = 0;  ///< codec index of the rebuilt unit
+  std::vector<std::uint32_t> read_indices;  ///< parallel to `reads`
+  /// Every erased content unit of the stripe at plan time, this step's
+  /// unit FIRST (multi-loss stripes plan one step per lost unit).
+  std::uint32_t num_erased = 0;
+  std::array<std::uint32_t, kMaxParityUnits> erased_index{};
 };
 
 /// Everything currently rebuildable, plus load accounting.
@@ -191,11 +236,14 @@ class Array {
 
   /// Wraps an externally supplied layout (construction reported as
   /// kExternal, metrics measured).  kInvalidArgument if the layout (or
-  /// spare map) is structurally invalid.
-  [[nodiscard]] static Result<Array> adopt(layout::Layout layout);
+  /// spare map) is structurally invalid or too small for the codec.
+  [[nodiscard]] static Result<Array> adopt(
+      layout::Layout layout,
+      core::CodecKind codec = core::CodecKind::kXorParity);
   /// adopt() for an externally supplied distributed-sparing layout.
   [[nodiscard]] static Result<Array> adopt_spared(
-      layout::SparedLayout spared);
+      layout::SparedLayout spared,
+      core::CodecKind codec = core::CodecKind::kXorParity);
 
   /// Persistence: the layout plus (in distributed-sparing mode) the spare
   /// map, via layout::serialize.  Online failure state is not persisted.
@@ -232,6 +280,34 @@ class Array {
   /// replacement.
   [[nodiscard]] SparingMode sparing() const noexcept {
     return spared_ ? SparingMode::kDistributed : SparingMode::kNone;
+  }
+  /// The erasure code protecting each stripe.
+  [[nodiscard]] core::CodecKind codec_kind() const noexcept {
+    return codec_kind_;
+  }
+  /// The codec instance (stateless singleton).
+  [[nodiscard]] const core::Codec& codec() const noexcept {
+    return core::codec_for(codec_kind_);
+  }
+  /// Parity units per stripe (the codec's m).
+  [[nodiscard]] std::uint32_t num_parity_units() const noexcept {
+    return num_parity_;
+  }
+  /// Data units in one stripe (the codec's k_d for that stripe).
+  [[nodiscard]] std::uint32_t stripe_data_units(
+      std::uint32_t stripe) const noexcept {
+    return stripe_num_data_[stripe];
+  }
+  /// The stripe's parity positions in codec ordinal order (P first).
+  [[nodiscard]] const std::vector<std::uint32_t>& parity_positions(
+      std::uint32_t stripe) const noexcept {
+    return parity_positions_[stripe];
+  }
+  /// The codec unit index of a stripe position (kNoUnit for spare slots).
+  static constexpr std::uint32_t kNoUnit = 0xffffffffu;
+  [[nodiscard]] std::uint32_t unit_index(std::uint32_t stripe,
+                                         std::uint32_t pos) const noexcept {
+    return unit_index_[stripe][pos];
   }
   /// Memory footprint of the compiled serving tables (Condition 4 cost).
   [[nodiscard]] std::uint64_t table_bytes() const noexcept {
@@ -291,20 +367,37 @@ class Array {
   /// Resolves a logical read under the current failure state.  Intact
   /// units (including units rebuilt into their stripe's spare) resolve to
   /// kDirect with the unit's current position; lost units resolve to
-  /// kDegraded with the exact survivor set written to `survivors`
-  /// (max_stripe_size() - 1 bounds the count); units of a doubly-lost
-  /// stripe resolve to kUnrecoverable.  kInvalidArgument when `survivors`
-  /// is too small for the stripe.
-  [[nodiscard]] Result<ReadPlan> locate(std::uint64_t logical,
-                                        std::span<Physical> survivors) const;
+  /// kDegraded with the exact surviving (non-lost) unit set written to
+  /// `survivors` (max_stripe_size() - 1 bounds the count); units of a
+  /// stripe that lost more units than the codec tolerates resolve to
+  /// kUnrecoverable.  When `survivor_index` is non-empty it receives the
+  /// codec unit index of each survivor, parallel to `survivors` (the
+  /// decode inputs for core::Codec::reconstruct).  kInvalidArgument when
+  /// either span is too small for the stripe.
+  [[nodiscard]] Result<ReadPlan> locate(
+      std::uint64_t logical, std::span<Physical> survivors,
+      std::span<std::uint32_t> survivor_index = {}) const;
 
   /// Resolves a logical small-write to its read/write peers under the
-  /// current failure state: intact stripes read-modify-write data+parity;
-  /// a lost data unit folds into parity via the surviving peers (written
-  /// to `peer_reads`); a lost parity unit leaves an unprotected data
-  /// write.  kInvalidArgument when `peer_reads` is too small.
+  /// current failure state: stripes with the data unit and at least one
+  /// parity intact read-modify-write data + surviving parities; a lost
+  /// data unit folds into the surviving parities via the surviving data
+  /// peers (written to `peer_reads`, codec indices to `peer_index` when
+  /// non-empty); a stripe with every parity lost leaves an unprotected
+  /// data write.  kInvalidArgument when a span is too small.
   [[nodiscard]] Result<WritePlan> plan_write(
-      std::uint64_t logical, std::span<Physical> peer_reads) const;
+      std::uint64_t logical, std::span<Physical> peer_reads,
+      std::span<std::uint32_t> peer_index = {}) const;
+
+  /// The surviving data units of the logical's stripe, EXCLUDING the
+  /// addressed unit itself, at their current (redirect-aware) homes,
+  /// with codec data indices in `peer_index` when non-empty.  Returns
+  /// the peer count.  This is the read set for a full-stripe parity
+  /// re-encode (io::StripeStore's torn-parity heal).  kInvalidArgument
+  /// when a span is too small.
+  [[nodiscard]] Result<std::uint32_t> stripe_peers(
+      std::uint64_t logical, std::span<Physical> peers,
+      std::span<std::uint32_t> peer_index = {}) const;
 
   // ------------------------------------------ online failure transitions
 
@@ -368,7 +461,8 @@ class Array {
 
  private:
   Array(std::shared_ptr<const core::BuiltLayout> built,
-        std::shared_ptr<const layout::SparedLayout> spared);
+        std::shared_ptr<const layout::SparedLayout> spared,
+        core::CodecKind codec);
 
   struct UnitRef {
     std::uint32_t stripe = 0;
@@ -393,18 +487,30 @@ class Array {
       std::uint32_t stripe, std::uint32_t pos) const noexcept;
   void mark_lost(std::uint32_t stripe, std::uint32_t pos);
   /// The currently valid rebuild target for a lost unit, or nullopt when
-  /// blocked.  `to_spare` is set accordingly.
+  /// blocked.  `to_spare` is set accordingly.  allow_spare lets a planner
+  /// that already claimed the stripe's spare for an earlier step steer
+  /// later steps of the same stripe to their home slots.
   [[nodiscard]] std::optional<Physical> rebuild_target(
-      std::uint32_t stripe, std::uint32_t pos, bool& to_spare) const;
+      std::uint32_t stripe, std::uint32_t pos, bool& to_spare,
+      bool allow_spare) const;
 
   std::shared_ptr<const core::BuiltLayout> built_;
   std::shared_ptr<const layout::SparedLayout> spared_;  ///< null = dedicated
+  core::CodecKind codec_kind_;
+  std::uint32_t num_parity_;                ///< codec().num_parity()
+  std::vector<std::uint64_t> parity_mask_;  ///< all parity bits per stripe
   layout::CompiledMapper mapper_;
 
   static constexpr std::uint32_t kNone = 0xffffffffu;
 
   std::vector<UnitRef> data_units_;   ///< logical (mod D) -> (stripe, pos)
   std::vector<std::vector<HomeRef>> disk_units_;  ///< home units per disk
+  std::vector<std::uint32_t> stripe_num_data_;    ///< k_d per stripe
+  /// Parity positions per stripe in codec ordinal order (parity_pos
+  /// first, then the extra designations).
+  std::vector<std::vector<std::uint32_t>> parity_positions_;
+  /// Per stripe, per position: the codec unit index (kNoUnit for spares).
+  std::vector<std::vector<std::uint32_t>> unit_index_;
 
   // -- online state -------------------------------------------------------
   std::vector<DiskState> disk_state_;

@@ -1,0 +1,188 @@
+#include "core/gf8.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "algebra/gf.hpp"
+#include "algebra/polynomial.hpp"
+
+namespace pdl::core::gf8 {
+
+namespace {
+
+constexpr std::size_t kLanes = 8;
+constexpr std::size_t kBlock = kLanes * sizeof(std::uint64_t);  // 64 bytes
+
+/// Bit-slicing masks for bytes packed in a 64-bit word.
+constexpr std::uint64_t kLow7 = 0x7f7f7f7f7f7f7f7full;
+constexpr std::uint64_t kOnes = 0x0101010101010101ull;
+
+/// x * v for eight packed GF(2^8) bytes: shift every byte left one bit
+/// (the & kLow7 keeps bits from crossing byte boundaries), then fold the
+/// modulus into every byte whose top bit fell off -- (v >> 7) & kOnes is
+/// exactly those bytes' carry flags, and multiplying by (kModulus & 0xff)
+/// broadcasts the reduction constant 0x1d to them.
+[[nodiscard]] constexpr std::uint64_t mul2(std::uint64_t v) noexcept {
+  return ((v & kLow7) << 1) ^ (((v >> 7) & kOnes) * (kModulus & 0xff));
+}
+
+/// The log/exp tables, derived from the algebra-layer field so the byte
+/// kernels and the mathematical reference cannot drift apart.  Because x
+/// is primitive mod 0x11d the generator search finds g = 2 first, so
+/// exp_[i] == alpha^i with alpha = 2 -- asserted at construction.
+struct Tables {
+  std::uint8_t exp[510];  // doubled so exp[log a + log b] needs no mod
+  std::uint8_t log[256];
+  std::uint8_t inverse[256];  // inverse[0] unused
+
+  Tables() {
+    const algebra::GaloisField field(
+        256, algebra::Polynomial(
+                 2, std::vector<std::uint32_t>{1, 0, 1, 1, 1, 0, 0, 0, 1}));
+    if (field.primitive_element() != kAlpha)
+      throw std::logic_error("gf8: generator is not alpha = 2");
+    for (std::uint32_t i = 0; i < 255; ++i) {
+      const auto e = static_cast<std::uint8_t>(field.exp(i));
+      exp[i] = e;
+      exp[i + 255] = e;
+      log[e] = static_cast<std::uint8_t>(i);
+    }
+    log[0] = 0;  // never read; mul() guards zero operands
+    for (std::uint32_t a = 1; a < 256; ++a)
+      inverse[a] = static_cast<std::uint8_t>(
+          *field.inverse(static_cast<algebra::Elem>(a)));
+  }
+};
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+inline void check_same_size(std::size_t dst, std::size_t src,
+                            const char* what) {
+  if (dst != src)
+    throw std::invalid_argument(std::string(what) + ": size mismatch");
+}
+
+/// One blocked multiply-accumulate pass: acc ^= c * block, with the
+/// constant's bits unrolled into at most eight mul2 steps.  `cur` starts
+/// as the source block and is doubled once per bit of c.
+inline void mul_xor_block(std::uint64_t* acc, const std::uint64_t* src,
+                          std::uint8_t c) noexcept {
+  std::uint64_t cur[kLanes];
+  for (std::size_t lane = 0; lane < kLanes; ++lane) cur[lane] = src[lane];
+  std::uint32_t bits = c;
+  while (bits != 0) {
+    if (bits & 1)
+      for (std::size_t lane = 0; lane < kLanes; ++lane)
+        acc[lane] ^= cur[lane];
+    bits >>= 1;
+    if (bits != 0)
+      for (std::size_t lane = 0; lane < kLanes; ++lane)
+        cur[lane] = mul2(cur[lane]);
+  }
+}
+
+}  // namespace
+
+std::uint8_t mul(std::uint8_t a, std::uint8_t b) noexcept {
+  if (a == 0 || b == 0) return 0;
+  const Tables& t = tables();
+  return t.exp[static_cast<std::uint32_t>(t.log[a]) + t.log[b]];
+}
+
+std::uint8_t exp_alpha(std::uint32_t i) noexcept {
+  return tables().exp[i % 255];
+}
+
+std::uint8_t inv(std::uint8_t a) {
+  if (a == 0) throw std::invalid_argument("gf8::inv: inverse of zero");
+  return tables().inverse[a];
+}
+
+void mul_xor_into(std::span<std::uint8_t> dst,
+                  std::span<const std::uint8_t> src, std::uint8_t c) {
+  check_same_size(dst.size(), src.size(), "gf8::mul_xor_into");
+  if (c == 0) return;
+  std::uint8_t* d = dst.data();
+  const std::uint8_t* s = src.data();
+  const std::size_t n = dst.size();
+  std::size_t i = 0;
+  for (; i + kBlock <= n; i += kBlock) {
+    std::uint64_t acc[kLanes], from[kLanes];
+    std::memcpy(acc, d + i, kBlock);
+    std::memcpy(from, s + i, kBlock);
+    mul_xor_block(acc, from, c);
+    std::memcpy(d + i, acc, kBlock);
+  }
+  if (i < n) {
+    // Tail: stage the remainder through one zero-padded block so the
+    // bit-sliced pass stays the only multiply implementation on the
+    // vector path (padding bytes are zero and multiply to zero).
+    std::uint64_t acc[kLanes] = {}, from[kLanes] = {};
+    std::memcpy(acc, d + i, n - i);
+    std::memcpy(from, s + i, n - i);
+    mul_xor_block(acc, from, c);
+    std::memcpy(d + i, acc, n - i);
+  }
+}
+
+void mul_in_place(std::span<std::uint8_t> dst, std::uint8_t c) {
+  std::uint8_t* d = dst.data();
+  const std::size_t n = dst.size();
+  if (c == 0) {
+    std::memset(d, 0, n);
+    return;
+  }
+  if (c == 1) return;
+  if (c == 2) {
+    // The Horner-encode step: one bit-sliced doubling pass.
+    std::size_t i = 0;
+    for (; i + kBlock <= n; i += kBlock) {
+      std::uint64_t v[kLanes];
+      std::memcpy(v, d + i, kBlock);
+      for (std::size_t lane = 0; lane < kLanes; ++lane) v[lane] = mul2(v[lane]);
+      std::memcpy(d + i, v, kBlock);
+    }
+    if (i < n) {
+      std::uint64_t v[kLanes] = {};
+      std::memcpy(v, d + i, n - i);
+      for (std::size_t lane = 0; lane < kLanes; ++lane) v[lane] = mul2(v[lane]);
+      std::memcpy(d + i, v, n - i);
+    }
+    return;
+  }
+  std::size_t i = 0;
+  for (; i + kBlock <= n; i += kBlock) {
+    std::uint64_t acc[kLanes] = {}, from[kLanes];
+    std::memcpy(from, d + i, kBlock);
+    mul_xor_block(acc, from, c);
+    std::memcpy(d + i, acc, kBlock);
+  }
+  if (i < n) {
+    std::uint64_t acc[kLanes] = {}, from[kLanes] = {};
+    std::memcpy(from, d + i, n - i);
+    mul_xor_block(acc, from, c);
+    std::memcpy(d + i, acc, n - i);
+  }
+}
+
+namespace detail {
+
+void mul_xor_into_scalar(std::span<std::uint8_t> dst,
+                         std::span<const std::uint8_t> src, std::uint8_t c) {
+  check_same_size(dst.size(), src.size(), "gf8::mul_xor_into_scalar");
+  std::uint8_t* d = dst.data();
+  const std::uint8_t* s = src.data();
+  for (std::size_t i = 0; i < dst.size(); ++i) d[i] ^= mul(c, s[i]);
+}
+
+void mul_in_place_scalar(std::span<std::uint8_t> dst, std::uint8_t c) {
+  std::uint8_t* d = dst.data();
+  for (std::size_t i = 0; i < dst.size(); ++i) d[i] = mul(c, d[i]);
+}
+
+}  // namespace detail
+
+}  // namespace pdl::core::gf8

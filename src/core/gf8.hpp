@@ -1,0 +1,71 @@
+#pragma once
+/// @file
+/// GF(2^8) byte-field kernels for the Reed-Solomon codec.
+///
+/// The field is pdl::algebra::GaloisField(256) pinned to the explicit
+/// modulus x^8 + x^4 + x^3 + x^2 + 1 (0x11d), the classic Reed-Solomon
+/// polynomial.  The choice matters twice over: x itself is primitive mod
+/// 0x11d (multiplicative order 255), so the code generator alpha = 2 gives
+/// 255 distinct data coefficients alpha^i -- enough for any stripe the
+/// online state machine admits (k <= 64) -- and multiplication by 2
+/// reduces to one shift plus a conditional XOR of 0x1d, the primitive the
+/// vectorized kernels below are built from.
+///
+/// Kernel shape mirrors core/xor_codec.hpp: 64-byte blocks processed as
+/// eight std::uint64_t lanes loaded via memcpy (alignment-free), with the
+/// GF(2) carry structure bit-sliced across the packed bytes --
+/// mul2(v) = ((v & 0x7f..) << 1) ^ (((v >> 7) & 0x0101..) * 0x1d) -- so a
+/// multiply-accumulate by an arbitrary constant is at most eight
+/// shift/XOR passes, a shape GCC/Clang auto-vectorize to SSE2/AVX2.
+/// pdl::core::gf8::detail keeps scalar log/exp-table reference
+/// implementations, and a randomized differential test (test_codec) pins
+/// the vectorized paths equal to them -- and both equal to the
+/// algebra::GaloisField reference -- on every size/alignment class.
+
+#include <cstdint>
+#include <span>
+
+namespace pdl::core::gf8 {
+
+/// The modulus polynomial as a bit mask: x^8 + x^4 + x^3 + x^2 + 1.
+inline constexpr std::uint16_t kModulus = 0x11d;
+
+/// The code generator alpha = 2 (== x), primitive mod kModulus.
+inline constexpr std::uint8_t kAlpha = 2;
+
+/// a * b in GF(2^8) via the log/exp tables.
+[[nodiscard]] std::uint8_t mul(std::uint8_t a, std::uint8_t b) noexcept;
+
+/// alpha^i (exponent taken mod 255).
+[[nodiscard]] std::uint8_t exp_alpha(std::uint32_t i) noexcept;
+
+/// Multiplicative inverse of a nonzero element.
+/// @throws std::invalid_argument on 0.
+[[nodiscard]] std::uint8_t inv(std::uint8_t a);
+
+/// dst[i] ^= c * src[i] -- the Reed-Solomon multiply-accumulate, the Q
+/// parity's RMW hot loop.  c == 0 is a no-op; c == 1 degenerates to
+/// xor_into.  Spans must match in size.
+/// @throws std::invalid_argument on size mismatch.
+void mul_xor_into(std::span<std::uint8_t> dst,
+                  std::span<const std::uint8_t> src, std::uint8_t c);
+
+/// dst[i] = c * dst[i] in place (c == 2 is the Horner-encode step and
+/// runs as a single bit-sliced pass).
+void mul_in_place(std::span<std::uint8_t> dst, std::uint8_t c);
+
+/// @namespace pdl::core::gf8::detail
+/// @brief Scalar log/exp-table reference implementations the vectorized
+/// kernels are property-tested against.  Not part of the supported API.
+namespace detail {
+
+/// Scalar byte-loop mul_xor_into (one table multiply per byte).
+void mul_xor_into_scalar(std::span<std::uint8_t> dst,
+                         std::span<const std::uint8_t> src, std::uint8_t c);
+
+/// Scalar byte-loop mul_in_place.
+void mul_in_place_scalar(std::span<std::uint8_t> dst, std::uint8_t c);
+
+}  // namespace detail
+
+}  // namespace pdl::core::gf8

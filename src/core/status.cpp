@@ -14,6 +14,7 @@ std::string_view status_code_name(StatusCode code) noexcept {
     case StatusCode::kParseError: return "PARSE_ERROR";
     case StatusCode::kIoError: return "IO_ERROR";
     case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kParityInconsistent: return "PARITY_INCONSISTENT";
   }
   return "UNKNOWN";
 }

@@ -14,8 +14,11 @@
 //     stale rebuild step).  Re-inspect state and retry differently.
 //   * kUnsupported: no construction/route satisfies the request under the
 //     given policy (e.g. nothing fits the unit budget).
-//   * kDataLoss: the addressed data is unrecoverable (two units of a
-//     stripe lost).
+//   * kDataLoss: the addressed data is unrecoverable (a stripe lost more
+//     units than its codec tolerates).
+//   * kParityInconsistent: the stripe's redundancy is torn (a compensating
+//     write failed mid-RMW); the data units still hold bytes, but parity
+//     cannot be trusted until the stripe is re-encoded.
 //   * kParseError / kIoError: malformed persisted state / filesystem
 //     failure.
 //   * Exceptions remain reserved for programmer errors and internal
@@ -46,6 +49,7 @@ enum class StatusCode : std::uint8_t {
   kParseError,
   kIoError,
   kInternal,
+  kParityInconsistent,
 };
 
 [[nodiscard]] std::string_view status_code_name(StatusCode code) noexcept;
@@ -83,6 +87,9 @@ class [[nodiscard]] Status {
   }
   [[nodiscard]] static Status internal(std::string message) {
     return {StatusCode::kInternal, std::move(message)};
+  }
+  [[nodiscard]] static Status parity_inconsistent(std::string message) {
+    return {StatusCode::kParityInconsistent, std::move(message)};
   }
 
   [[nodiscard]] bool ok() const noexcept { return code_ == StatusCode::kOk; }

@@ -173,8 +173,13 @@ Status FaultInjectionBackend::write(DiskId disk, std::uint64_t offset,
   {
     std::lock_guard lock(impl_->mutex);
     ++impl_->stats.writes;
-    if (options_.write_error_probability > 0 &&
-        impl_->unit(impl_->rng) < options_.write_error_probability) {
+    const bool scripted =
+        std::find(options_.fail_write_ops.begin(),
+                  options_.fail_write_ops.end(),
+                  impl_->stats.writes) != options_.fail_write_ops.end();
+    if (scripted || (options_.write_error_probability > 0 &&
+                     impl_->unit(impl_->rng) <
+                         options_.write_error_probability)) {
       inject_error = true;
       ++impl_->stats.injected_write_errors;
     }

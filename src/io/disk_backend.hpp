@@ -369,6 +369,15 @@ struct FaultInjectionOptions {
   double bit_rot_probability = 0;
   std::uint32_t read_latency_us = 0;   ///< sleep before each read
   std::uint32_t write_latency_us = 0;  ///< sleep before each write
+  /// Scripted faults: 1-based ordinals into the decorator's lifetime
+  /// WRITE counter; the Nth write() fails with kIoError before touching
+  /// the inner backend.  Exact -- independent of the seed and of every
+  /// probability above -- which is what lets a test force a precise
+  /// partial-stripe-write interleaving (e.g. "parity landed, data
+  /// failed, and the compensating rewrite failed too"): the base
+  /// execute_batch executes its requests strictly in order, so in-batch
+  /// write ordinals are deterministic.
+  std::vector<std::uint64_t> fail_write_ops = {};
 };
 
 /// Counters of what the decorator actually did (monotonic since open).

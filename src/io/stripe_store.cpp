@@ -4,6 +4,7 @@
 #include <cstring>
 #include <string>
 
+#include "core/codec.hpp"
 #include "core/xor_codec.hpp"
 
 namespace pdl::io {
@@ -44,6 +45,29 @@ constexpr std::uint64_t kFnvPrime = 1099511628211ull;
   thread_local std::vector<std::uint8_t> buffer;
   if (buffer.size() < size) buffer.resize(size);
   return {buffer.data(), size};
+}
+
+/// Decodes erased_index[0]'s bytes into `out` from gathered survivor
+/// bytes through the codec; other erased units are decoded internally
+/// but not materialized.  For XOR parity this is exactly
+/// core::xor_reconstruct_into.
+void decode_unit(const core::Codec& codec, std::uint32_t num_data,
+                 std::span<const std::span<const std::uint8_t>> srcs,
+                 std::span<const std::uint32_t> src_index,
+                 std::span<const std::uint32_t> erased_index,
+                 std::span<std::uint8_t> out) {
+  std::array<std::span<std::uint8_t>, api::kMaxParityUnits> outs{};
+  outs[0] = out;
+  codec.reconstruct(num_data, srcs, src_index, erased_index,
+                    {outs.data(), erased_index.size()});
+}
+
+/// Whether a rebuild step must TRUST parity bytes (it decodes at least
+/// one data unit) as opposed to merely re-encoding parity from data.
+[[nodiscard]] bool step_decodes_data(const api::RebuildStep& step) {
+  for (std::uint32_t e = 0; e < step.num_erased; ++e)
+    if (step.erased_index[e] < step.num_data) return true;
+  return false;
 }
 
 }  // namespace
@@ -90,11 +114,42 @@ Result<StripeStore> StripeStore::create(api::Array array,
   return store;
 }
 
-std::shared_mutex& StripeStore::shard_for(std::uint64_t logical) noexcept {
+std::uint64_t StripeStore::instance_of(std::uint64_t logical) const noexcept {
   const api::Array::LogicalRef ref = array_.logical_ref(logical);
-  const std::uint64_t instance =
-      ref.stripe + ref.iteration * array_.num_stripes();
-  return sync_->shards[instance % sync_->shards.size()];
+  return ref.stripe + ref.iteration * array_.num_stripes();
+}
+
+std::shared_mutex& StripeStore::shard_for(std::uint64_t logical) noexcept {
+  return sync_->shards[instance_of(logical) % sync_->shards.size()];
+}
+
+// ---------------------------------------------------------- torn parity
+
+bool StripeStore::is_torn(std::uint64_t instance) const {
+  // Relaxed fast path: the happy path (no torn stripe anywhere, ever)
+  // never takes torn_mutex.  A racing mark_torn publishes its set insert
+  // before the count bump, so a non-zero count always finds a coherent
+  // set under the mutex.
+  if (sync_->torn_count.load(std::memory_order_acquire) == 0) return false;
+  std::lock_guard<std::mutex> lock(sync_->torn_mutex);
+  return sync_->torn.count(instance) != 0;
+}
+
+void StripeStore::mark_torn(std::uint64_t instance) {
+  std::lock_guard<std::mutex> lock(sync_->torn_mutex);
+  if (sync_->torn.insert(instance).second)
+    sync_->torn_count.fetch_add(1, std::memory_order_release);
+}
+
+void StripeStore::clear_torn(std::uint64_t instance) {
+  std::lock_guard<std::mutex> lock(sync_->torn_mutex);
+  if (sync_->torn.erase(instance) != 0)
+    sync_->torn_count.fetch_sub(1, std::memory_order_release);
+}
+
+bool StripeStore::parity_torn(std::uint32_t stripe,
+                              std::uint64_t iteration) const {
+  return is_torn(stripe + iteration * array_.num_stripes());
 }
 
 // ------------------------------------------------------- unit primitives
@@ -152,7 +207,9 @@ Status StripeStore::read_locked(std::uint64_t logical,
                                 std::span<std::uint8_t> out,
                                 ReadReceipt* receipt) {
   std::array<Physical, 64> survivors;
-  const auto plan = array_.locate(logical, survivors);
+  std::array<std::uint32_t, 64> survivor_idx;
+  const auto plan = array_.locate(
+      logical, survivors, {survivor_idx.data(), survivor_idx.size()});
   if (!plan.ok()) return plan.status();
 
   switch (plan->kind) {
@@ -167,20 +224,25 @@ Status StripeStore::read_locked(std::uint64_t logical,
       return OkStatus();
     }
     case api::ReadPlan::Kind::kDegraded: {
+      if (is_torn(instance_of(logical)))
+        return Status::parity_inconsistent(
+            "logical " + std::to_string(logical) +
+            " needs degraded reconstruction, but its stripe instance is "
+            "parity-torn (a prior write's compensation failed)");
       const std::uint32_t n = plan->num_survivors;
+      const std::span<const std::uint32_t> erased{plan->erased_index.data(),
+                                                  plan->num_erased};
+      std::array<std::span<const std::uint8_t>, 64> srcs;
       if (!views_.empty()) {
-        // Zero-copy: XOR every survivor straight out of the disk images
-        // in one blocked pass over `out`.
-        std::array<std::span<const std::uint8_t>, 64> srcs;
+        // Zero-copy: decode every survivor straight out of the disk
+        // images in one pass over `out`.
         for (std::uint32_t i = 0; i < n; ++i) srcs[i] = unit_view(survivors[i]);
-        core::xor_reconstruct_into(out, {srcs.data(), n});
       } else {
         // Streamed: ONE batched submission fans every survivor read out
         // to its disk (an async backend serves them concurrently), then
-        // a single multi-source XOR pass folds the arena into `out`.
+        // a single decode pass folds the arena into `out`.
         const auto slab = arena(static_cast<std::size_t>(n) * unit_bytes_);
         std::array<IoRequest, 64> requests;
-        std::array<std::span<const std::uint8_t>, 64> srcs;
         for (std::uint32_t i = 0; i < n; ++i) {
           const auto slice = slab.subspan(
               static_cast<std::size_t>(i) * unit_bytes_, unit_bytes_);
@@ -193,8 +255,9 @@ Status StripeStore::read_locked(std::uint64_t logical,
         if (Status fanned = backend_->execute_batch({requests.data(), n});
             !fanned.ok())
           return fanned;
-        core::xor_reconstruct_into(out, {srcs.data(), n});
       }
+      decode_unit(array_.codec(), plan->num_data, {srcs.data(), n},
+                  {survivor_idx.data(), n}, erased, out);
       if (receipt) {
         receipt->kind = plan->kind;
         receipt->num_touched = n;
@@ -210,7 +273,8 @@ Status StripeStore::read_locked(std::uint64_t logical,
     receipt->num_touched = 0;
   }
   return Status::data_loss("logical " + std::to_string(logical) +
-                           " is on a stripe that lost two units");
+                           " is on a stripe that lost more units than its "
+                           "codec tolerates");
 }
 
 Status StripeStore::read_batch(std::span<const std::uint64_t> logicals,
@@ -298,6 +362,7 @@ Status StripeStore::read_batch(std::span<const std::uint64_t> logicals,
   std::size_t degraded_slices = 0;
   std::vector<std::uint32_t> survivor_counts(logicals.size(), 0);
   std::vector<std::array<Physical, 64>> survivor_sets(logicals.size());
+  std::vector<std::array<std::uint32_t, 64>> survivor_indices(logicals.size());
   std::vector<Result<api::ReadPlan>> plans;
   plans.reserve(logicals.size());
   for (std::size_t i = 0; i < logicals.size(); ++i) {
@@ -308,7 +373,9 @@ Status StripeStore::read_batch(std::span<const std::uint64_t> logicals,
           " units)"));
       continue;
     }
-    plans.emplace_back(array_.locate(logicals[i], survivor_sets[i]));
+    plans.emplace_back(array_.locate(
+        logicals[i], survivor_sets[i],
+        {survivor_indices[i].data(), survivor_indices[i].size()}));
     if (plans.back().ok() &&
         plans.back()->kind == api::ReadPlan::Kind::kDegraded) {
       survivor_counts[i] = plans.back()->num_survivors;
@@ -341,6 +408,14 @@ Status StripeStore::read_batch(std::span<const std::uint64_t> logicals,
         planned[i].num_requests = 1;
         break;
       case api::ReadPlan::Kind::kDegraded:
+        if (is_torn(instance_of(logicals[i]))) {
+          fail(i, Status::parity_inconsistent(
+                      "logical " + std::to_string(logicals[i]) +
+                      " needs degraded reconstruction, but its stripe "
+                      "instance is parity-torn (a prior write's compensation "
+                      "failed)"));
+          break;
+        }
         for (std::uint32_t s = 0; s < survivor_counts[i]; ++s) {
           const Physical survivor = survivor_sets[i][s];
           requests.push_back(IoRequest::read_of(
@@ -354,7 +429,8 @@ Status StripeStore::read_batch(std::span<const std::uint64_t> logicals,
         break;
       case api::ReadPlan::Kind::kUnrecoverable:
         fail(i, Status::data_loss("logical " + std::to_string(logicals[i]) +
-                                  " is on a stripe that lost two units"));
+                                  " is on a stripe that lost more units than "
+                                  "its codec tolerates"));
         break;
     }
   }
@@ -377,7 +453,11 @@ Status StripeStore::read_batch(std::span<const std::uint64_t> logicals,
       std::array<std::span<const std::uint8_t>, 64> srcs;
       for (std::uint32_t r = 0; r < p.num_requests; ++r)
         srcs[r] = requests[p.first_request + r].read_buf;
-      core::xor_reconstruct_into(out_slice(i), {srcs.data(), p.num_requests});
+      decode_unit(array_.codec(), plans[i]->num_data,
+                  {srcs.data(), p.num_requests},
+                  {survivor_indices[i].data(), p.num_requests},
+                  {plans[i]->erased_index.data(), plans[i]->num_erased},
+                  out_slice(i));
     }
     if (!receipts.empty()) {
       receipts[i].kind = p.kind;
@@ -410,16 +490,30 @@ Status StripeStore::write(std::uint64_t logical,
   sync_->write_epoch.fetch_add(1, std::memory_order_relaxed);
 
   std::array<Physical, 64> peers;
-  const auto plan = array_.plan_write(logical, peers);
+  std::array<std::uint32_t, 64> peer_idx;
+  const auto plan = array_.plan_write(logical, peers,
+                                      {peer_idx.data(), peer_idx.size()});
   if (!plan.ok()) return plan.status();
   if (receipt) {
     receipt->kind = plan->kind;
     receipt->num_reads = 0;
     receipt->num_writes = 0;
   }
+  const std::uint64_t instance = instance_of(logical);
 
   switch (plan->kind) {
     case api::WritePlan::Kind::kReadModifyWrite: {
+      // A torn instance's parity cannot absorb a delta -- but all data
+      // units are intact here, so the write doubles as the heal: store
+      // the new data, re-encode every parity from scratch.
+      if (is_torn(instance))
+        return write_heal(logical, *plan, data, instance, receipt);
+      // The legacy single-parity fold below is XOR-only; any array whose
+      // codec keeps more than one parity (even if only one SURVIVES --
+      // the surviving one may carry a non-unit coefficient) goes through
+      // the codec-aware path.
+      if (array_.num_parity_units() > 1)
+        return write_rmw_multi(*plan, data, instance, receipt);
       // parity ^= old ^ new, then the data unit takes the new bytes.
       if (const auto p = unit_view(plan->parity); !p.empty()) {
         // Zero-copy: one blocked pass folds old parity, old data, and
@@ -461,12 +555,24 @@ Status StripeStore::write(std::uint64_t logical,
             IoRequest::write_of(IoClass::kForegroundWrite, plan->data.disk,
                                 byte_offset(plan->data.offset), data)};
         if (Status stored = backend_->execute_batch(stores); !stored.ok()) {
+          Status compensation;
           if (stores[0].status.ok() && !stores[1].status.ok()) {
             core::xor_into(parity, staging);
             core::xor_into(parity, data);
-            (void)store_unit(plan->parity, parity);
+            compensation = store_unit(plan->parity, parity);
           } else if (!stores[0].status.ok() && stores[1].status.ok()) {
-            (void)store_unit(plan->data, staging);
+            compensation = store_unit(plan->data, staging);
+          }
+          if (!compensation.ok()) {
+            // The compensating write ALSO failed: parity and data now
+            // disagree on disk and nothing in the stripe says so.  Record
+            // the tear so parity-trusting paths (degraded reads, rebuild
+            // decodes) refuse the instance until a heal re-encodes it.
+            mark_torn(instance);
+            return Status::parity_inconsistent(
+                "RMW compensation failed after a partial stripe write (" +
+                compensation.message() +
+                "); stripe instance marked parity-torn");
           }
           return stored;
         }
@@ -482,6 +588,20 @@ Status StripeStore::write(std::uint64_t logical,
       return OkStatus();
     }
     case api::WritePlan::Kind::kReconstructWrite: {
+      // The addressed data unit is lost, so the stripe's OTHER lost data
+      // (if any) can only be recovered through parity -- which a torn
+      // instance forbids trusting.  Healing is impossible too (a data
+      // unit is gone), so the write must fail until a rebuild re-creates
+      // the lost unit.
+      if (is_torn(instance))
+        return Status::parity_inconsistent(
+            "logical " + std::to_string(logical) +
+            " needs a reconstruct-write, but its stripe instance is "
+            "parity-torn and degraded (unhealable until rebuilt)");
+      if (array_.num_parity_units() > 1)
+        return write_reconstruct_multi(
+            *plan, {peers.data(), plan->num_peer_reads},
+            {peer_idx.data(), plan->num_peer_reads}, data, instance, receipt);
       // The data unit's disk is gone: fold the new value into parity so a
       // degraded read reconstructs it.  parity = XOR(peers) ^ new data.
       if (!views_.empty()) {
@@ -536,7 +656,293 @@ Status StripeStore::write(std::uint64_t logical,
       break;
   }
   return Status::data_loss("logical " + std::to_string(logical) +
-                           " is on a stripe that lost two units");
+                           " is on a stripe that lost more units than its "
+                           "codec tolerates");
+}
+
+Status StripeStore::write_rmw_multi(const api::WritePlan& plan,
+                                    std::span<const std::uint8_t> data,
+                                    std::uint64_t instance,
+                                    WriteReceipt* receipt) {
+  const core::Codec& codec = array_.codec();
+  const std::uint32_t np = plan.num_parities;
+  const auto fill_receipt = [&] {
+    if (!receipt) return;
+    receipt->num_reads = 1 + np;
+    receipt->reads[0] = plan.data;
+    receipt->num_writes = 1 + np;
+    receipt->writes[0] = plan.data;
+    for (std::uint32_t j = 0; j < np; ++j) {
+      receipt->reads[1 + j] = plan.parity_targets[j];
+      receipt->writes[1 + j] = plan.parity_targets[j];
+    }
+  };
+
+  if (!views_.empty()) {
+    // Zero-copy: fold c_j * (old ^ new) into every surviving parity
+    // image in place, then the data unit takes the new bytes.
+    const auto delta = scratch(0, unit_bytes_);
+    const auto old_data = unit_view(plan.data);
+    std::memcpy(delta.data(), old_data.data(), unit_bytes_);
+    core::xor_into(delta, data);
+    for (std::uint32_t j = 0; j < np; ++j)
+      codec.update(unit_view(plan.parity_targets[j]), plan.parity_index[j],
+                   plan.data_index, delta);
+    std::memcpy(old_data.data(), data.data(), unit_bytes_);
+    fill_receipt();
+    return OkStatus();
+  }
+
+  // Streamed: ONE batched submission loads the old data plus every
+  // surviving parity (distinct disks by construction), the coefficient
+  // folds happen in memory, then ONE batched submission stores the new
+  // data plus every new parity.
+  const auto staging = scratch(1, unit_bytes_);  // old data bytes
+  const auto delta = scratch(0, unit_bytes_);
+  const auto slab = arena(static_cast<std::size_t>(np) * unit_bytes_);
+  const auto parity_buf = [&](std::uint32_t j) {
+    return slab.subspan(static_cast<std::size_t>(j) * unit_bytes_,
+                        unit_bytes_);
+  };
+  std::array<IoRequest, 1 + api::kMaxParityUnits> loads;
+  loads[0] = IoRequest::read_of(IoClass::kForegroundWrite, plan.data.disk,
+                                byte_offset(plan.data.offset), staging);
+  for (std::uint32_t j = 0; j < np; ++j)
+    loads[1 + j] = IoRequest::read_of(
+        IoClass::kForegroundWrite, plan.parity_targets[j].disk,
+        byte_offset(plan.parity_targets[j].offset), parity_buf(j));
+  if (Status loaded = backend_->execute_batch({loads.data(), 1u + np});
+      !loaded.ok())
+    return loaded;
+  std::memcpy(delta.data(), staging.data(), unit_bytes_);
+  core::xor_into(delta, data);
+  for (std::uint32_t j = 0; j < np; ++j)
+    codec.update(parity_buf(j), plan.parity_index[j], plan.data_index, delta);
+
+  std::array<IoRequest, 1 + api::kMaxParityUnits> stores;
+  stores[0] = IoRequest::write_of(IoClass::kForegroundWrite, plan.data.disk,
+                                  byte_offset(plan.data.offset), data);
+  for (std::uint32_t j = 0; j < np; ++j)
+    stores[1 + j] = IoRequest::write_of(
+        IoClass::kForegroundWrite, plan.parity_targets[j].disk,
+        byte_offset(plan.parity_targets[j].offset), parity_buf(j));
+  if (Status stored = backend_->execute_batch({stores.data(), 1u + np});
+      !stored.ok()) {
+    // Roll every LANDED write back to the consistent pre-write state:
+    // the data unit takes its old bytes back, and a landed parity takes
+    // a second identical fold (update is an involution) before being
+    // rewritten.  A caller retry is then safe.  Only a failure of the
+    // compensation itself leaves the stripe torn.
+    Status compensation;
+    if (stores[0].status.ok()) compensation = store_unit(plan.data, staging);
+    for (std::uint32_t j = 0; j < np; ++j) {
+      if (!stores[1 + j].status.ok()) continue;
+      codec.update(parity_buf(j), plan.parity_index[j], plan.data_index,
+                   delta);
+      if (Status undone = store_unit(plan.parity_targets[j], parity_buf(j));
+          !undone.ok() && compensation.ok())
+        compensation = undone;
+    }
+    if (!compensation.ok()) {
+      mark_torn(instance);
+      return Status::parity_inconsistent(
+          "RMW compensation failed after a partial stripe write (" +
+          compensation.message() + "); stripe instance marked parity-torn");
+    }
+    return stored;
+  }
+  fill_receipt();
+  return OkStatus();
+}
+
+Status StripeStore::write_reconstruct_multi(
+    const api::WritePlan& plan, std::span<const Physical> peers,
+    std::span<const std::uint32_t> peer_index,
+    std::span<const std::uint8_t> data, std::uint64_t instance,
+    WriteReceipt* receipt) {
+  const core::Codec& codec = array_.codec();
+  const std::uint32_t n = static_cast<std::uint32_t>(peers.size());
+  const std::uint32_t np = plan.num_parities;
+  const std::uint32_t m = array_.num_parity_units();
+  const std::uint32_t kd = plan.num_data;
+
+  // Slab layout: n peer slices | np old-parity slices | m decode
+  // buffers | m re-encoded parity buffers.  The view path reads peers
+  // and old parities straight out of the disk images and skips the
+  // first two sections.
+  const auto slab = arena(
+      (static_cast<std::size_t>(n) + np + 2 * static_cast<std::size_t>(m)) *
+      unit_bytes_);
+  const auto slice = [&](std::size_t i) {
+    return slab.subspan(i * unit_bytes_, unit_bytes_);
+  };
+
+  // Survivor set for the decode AND the compensation: peers first, then
+  // the surviving OLD parities (read before anything is overwritten).
+  std::array<std::span<const std::uint8_t>, 64> survivors;
+  std::array<std::uint32_t, 64> survivor_idx;
+  if (!views_.empty()) {
+    for (std::uint32_t i = 0; i < n; ++i) survivors[i] = unit_view(peers[i]);
+    for (std::uint32_t j = 0; j < np; ++j)
+      survivors[n + j] = unit_view(plan.parity_targets[j]);
+  } else {
+    std::array<IoRequest, 64> loads;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      survivors[i] = slice(i);
+      loads[i] = IoRequest::read_of(IoClass::kForegroundWrite, peers[i].disk,
+                                    byte_offset(peers[i].offset), slice(i));
+    }
+    for (std::uint32_t j = 0; j < np; ++j) {
+      survivors[n + j] = slice(n + j);
+      loads[n + j] = IoRequest::read_of(
+          IoClass::kForegroundWrite, plan.parity_targets[j].disk,
+          byte_offset(plan.parity_targets[j].offset), slice(n + j));
+    }
+    if (Status loaded = backend_->execute_batch({loads.data(), n + np});
+        !loaded.ok())
+      return loaded;
+  }
+  for (std::uint32_t i = 0; i < n; ++i) survivor_idx[i] = peer_index[i];
+  for (std::uint32_t j = 0; j < np; ++j)
+    survivor_idx[n + j] = kd + plan.parity_index[j];
+
+  // Assemble the full data set: the new bytes stand in for the lost
+  // addressed unit, and any OTHER erased data unit is decoded from the
+  // old stripe state first (the survivor set excludes every erased
+  // unit, so the decode sees a consistent code word).
+  std::array<std::span<const std::uint8_t>, 64> data_spans;
+  for (std::uint32_t i = 0; i < n; ++i) data_spans[peer_index[i]] = survivors[i];
+  data_spans[plan.data_index] = data;
+  bool any_decode = false;
+  std::array<std::span<std::uint8_t>, api::kMaxParityUnits> outs{};
+  for (std::uint32_t e = 1; e < plan.num_erased; ++e) {
+    if (plan.erased_index[e] >= kd) continue;  // erased parity: re-encoded below
+    outs[e] = slice(static_cast<std::size_t>(n) + np + e);
+    any_decode = true;
+  }
+  if (any_decode) {
+    codec.reconstruct(kd, {survivors.data(), n + np},
+                      {survivor_idx.data(), n + np},
+                      {plan.erased_index.data(), plan.num_erased},
+                      {outs.data(), plan.num_erased});
+    for (std::uint32_t e = 1; e < plan.num_erased; ++e)
+      if (plan.erased_index[e] < kd) data_spans[plan.erased_index[e]] = outs[e];
+  }
+
+  // Re-encode EVERY parity from the assembled data, then store the
+  // surviving ones (the erased parities have nowhere to go -- rebuild
+  // re-creates them).
+  std::array<std::span<std::uint8_t>, api::kMaxParityUnits> parity_out;
+  for (std::uint32_t j = 0; j < m; ++j)
+    parity_out[j] = slice(static_cast<std::size_t>(n) + np + m + j);
+  codec.encode({data_spans.data(), kd}, {parity_out.data(), m});
+
+  if (!views_.empty()) {
+    for (std::uint32_t j = 0; j < np; ++j)
+      std::memcpy(unit_view(plan.parity_targets[j]).data(),
+                  parity_out[plan.parity_index[j]].data(), unit_bytes_);
+  } else {
+    std::array<IoRequest, api::kMaxParityUnits> stores;
+    for (std::uint32_t j = 0; j < np; ++j)
+      stores[j] = IoRequest::write_of(
+          IoClass::kForegroundWrite, plan.parity_targets[j].disk,
+          byte_offset(plan.parity_targets[j].offset),
+          parity_out[plan.parity_index[j]]);
+    if (Status stored = backend_->execute_batch({stores.data(), np});
+        !stored.ok()) {
+      // Restore every LANDED parity from the old bytes read above, so
+      // the stripe still encodes the OLD value of the lost unit and a
+      // degraded read stays consistent.  Only a failed restore tears it.
+      Status compensation;
+      for (std::uint32_t j = 0; j < np; ++j) {
+        if (!stores[j].status.ok()) continue;
+        if (Status undone =
+                store_unit(plan.parity_targets[j], survivors[n + j]);
+            !undone.ok() && compensation.ok())
+          compensation = undone;
+      }
+      if (!compensation.ok()) {
+        mark_torn(instance);
+        return Status::parity_inconsistent(
+            "reconstruct-write compensation failed after a partial parity "
+            "update (" +
+            compensation.message() + "); stripe instance marked parity-torn");
+      }
+      return stored;
+    }
+  }
+  if (receipt) {
+    receipt->num_reads = n + np;
+    for (std::uint32_t i = 0; i < n; ++i) receipt->reads[i] = peers[i];
+    for (std::uint32_t j = 0; j < np; ++j)
+      receipt->reads[n + j] = plan.parity_targets[j];
+    receipt->num_writes = np;
+    for (std::uint32_t j = 0; j < np; ++j)
+      receipt->writes[j] = plan.parity_targets[j];
+  }
+  return OkStatus();
+}
+
+Status StripeStore::write_heal(std::uint64_t logical,
+                               const api::WritePlan& plan,
+                               std::span<const std::uint8_t> data,
+                               std::uint64_t instance,
+                               WriteReceipt* receipt) {
+  const core::Codec& codec = array_.codec();
+  const std::uint32_t kd = plan.num_data;
+  const std::uint32_t m = array_.num_parity_units();
+  std::array<Physical, 64> peers;
+  std::array<std::uint32_t, 64> peer_idx;
+  const auto count =
+      array_.stripe_peers(logical, peers, {peer_idx.data(), peer_idx.size()});
+  if (!count.ok()) return count.status();
+  if (*count + 1 != kd)
+    return Status::parity_inconsistent(
+        "stripe instance is parity-torn AND degraded: a peer data unit is "
+        "lost, so its parity cannot be re-encoded from data (unhealable "
+        "until the lost unit is rebuilt from a replacement image)");
+
+  // Heal = full-stripe re-encode: every peer's bytes plus the incoming
+  // write give the complete data set; the codec then yields parity that
+  // is consistent BY CONSTRUCTION, regardless of what the torn parity
+  // units currently hold.  Heals are rare (they need a double fault
+  // first), so the peer reads go out sequentially.
+  const auto slab = arena(
+      (static_cast<std::size_t>(*count) + m) * unit_bytes_);
+  std::array<std::span<const std::uint8_t>, 64> data_spans;
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    const auto buf =
+        slab.subspan(static_cast<std::size_t>(i) * unit_bytes_, unit_bytes_);
+    if (Status loaded = load_unit(peers[i], buf); !loaded.ok()) return loaded;
+    data_spans[peer_idx[i]] = buf;
+  }
+  data_spans[plan.data_index] = data;
+  std::array<std::span<std::uint8_t>, api::kMaxParityUnits> parity_out;
+  for (std::uint32_t j = 0; j < m; ++j)
+    parity_out[j] = slab.subspan(
+        (static_cast<std::size_t>(*count) + j) * unit_bytes_, unit_bytes_);
+  codec.encode({data_spans.data(), kd}, {parity_out.data(), m});
+
+  // Data first: if a parity write then fails, the stripe simply STAYS
+  // torn and the heal can be retried.  Clearing the tear before all
+  // writes land would let a parity-trusting read through too early.
+  if (Status stored = store_unit(plan.data, data); !stored.ok())
+    return stored;
+  for (std::uint32_t j = 0; j < plan.num_parities; ++j)
+    if (Status stored = store_unit(plan.parity_targets[j],
+                                   parity_out[plan.parity_index[j]]);
+        !stored.ok())
+      return stored;
+  clear_torn(instance);
+  if (receipt) {
+    receipt->num_reads = *count;
+    std::copy_n(peers.begin(), *count, receipt->reads.begin());
+    receipt->num_writes = 1 + plan.num_parities;
+    receipt->writes[0] = plan.data;
+    for (std::uint32_t j = 0; j < plan.num_parities; ++j)
+      receipt->writes[1 + j] = plan.parity_targets[j];
+  }
+  return OkStatus();
 }
 
 Status StripeStore::sync() {
@@ -564,10 +970,29 @@ Status StripeStore::replace_disk(DiskId disk) {
 }
 
 Status StripeStore::apply_step_bytes(const api::RebuildStep& step) {
+  // A step that decodes DATA through parity must refuse torn instances:
+  // their parity no longer encodes the on-disk data, so the decode would
+  // materialize garbage as if it were the lost unit.  (A step that only
+  // re-encodes parity FROM data is safe -- it overwrites, not trusts,
+  // the parity bytes.)
+  if (step_decodes_data(step))
+    for (std::uint32_t it = 0; it < iterations_; ++it)
+      if (is_torn(step.stripe +
+                  static_cast<std::uint64_t>(it) * array_.num_stripes()))
+        return Status::parity_inconsistent(
+            "rebuild step for stripe " + std::to_string(step.stripe) +
+            " would decode data through a parity-torn instance");
+
   // Bytes first, every iteration of the stripe (the step reports
   // iteration-0 offsets), then the array's state transition.
   const std::uint32_t n = static_cast<std::uint32_t>(step.reads.size());
   if (!views_.empty()) {
+    // This commit changes survivor bytes other rebuilders may have
+    // staged: bump the epoch so their commits replan instead of landing
+    // stale bytes (the caller holds the exclusive state lock).
+    sync_->write_epoch.fetch_add(1, std::memory_order_relaxed);
+    const std::span<const std::uint32_t> erased{step.erased_index.data(),
+                                                step.num_erased};
     for (std::uint32_t it = 0; it < iterations_; ++it) {
       const std::uint64_t lift =
           static_cast<std::uint64_t>(it) * array_.units_per_disk();
@@ -575,7 +1000,8 @@ Status StripeStore::apply_step_bytes(const api::RebuildStep& step) {
       std::array<std::span<const std::uint8_t>, 64> srcs;
       for (std::uint32_t i = 0; i < n; ++i)
         srcs[i] = unit_view({step.reads[i].disk, step.reads[i].offset + lift});
-      core::xor_reconstruct_into(unit_view(target), {srcs.data(), n});
+      decode_unit(array_.codec(), step.num_data, {srcs.data(), n},
+                  step.read_indices, erased, unit_view(target));
     }
     return array_.apply_rebuild_step(step);
   }
@@ -599,6 +1025,13 @@ Status StripeStore::stage_step_streamed(const api::RebuildStep& step,
   // I/O), then one XOR pass per iteration leaves the rebuilt units at
   // the tail of `buffer`, which the caller keeps alive through the
   // commit (several steps may be staged before any of them commits).
+  if (step_decodes_data(step))
+    for (std::uint32_t it = 0; it < iterations_; ++it)
+      if (is_torn(step.stripe +
+                  static_cast<std::uint64_t>(it) * array_.num_stripes()))
+        return Status::parity_inconsistent(
+            "rebuild step for stripe " + std::to_string(step.stripe) +
+            " would decode data through a parity-torn instance");
   const std::uint32_t n = static_cast<std::uint32_t>(step.reads.size());
   const std::size_t total = static_cast<std::size_t>(n) * iterations_;
   buffer.resize((total + iterations_) * unit_bytes_);
@@ -620,6 +1053,8 @@ Status StripeStore::stage_step_streamed(const api::RebuildStep& step,
 
   writes.clear();
   writes.reserve(iterations_);
+  const std::span<const std::uint32_t> erased{step.erased_index.data(),
+                                              step.num_erased};
   for (std::uint32_t it = 0; it < iterations_; ++it) {
     const std::uint64_t lift =
         static_cast<std::uint64_t>(it) * array_.units_per_disk();
@@ -628,7 +1063,8 @@ Status StripeStore::stage_step_streamed(const api::RebuildStep& step,
     std::array<std::span<const std::uint8_t>, 64> srcs;
     for (std::uint32_t i = 0; i < n; ++i)
       srcs[i] = reads[static_cast<std::size_t>(it) * n + i].read_buf;
-    core::xor_reconstruct_into(rebuilt, {srcs.data(), n});
+    decode_unit(array_.codec(), step.num_data, {srcs.data(), n},
+                step.read_indices, erased, rebuilt);
     writes.push_back(IoRequest::write_of(IoClass::kRebuild, step.target.disk,
                                          byte_offset(step.target.offset + lift),
                                          rebuilt));
@@ -640,6 +1076,15 @@ Status StripeStore::commit_step_streamed(const api::RebuildStep& step,
                                          std::span<IoRequest> writes) {
   if (Status stored = backend_->execute_batch(writes); !stored.ok())
     return stored;
+  // The landed target bytes are survivor bytes from any OTHER
+  // rebuilder's perspective: bump the epoch so a concurrently staged
+  // chunk replans instead of committing stale reads.  (Before this
+  // bump, a second rebuilder's staleness was only caught by
+  // apply_rebuild_step's kFailedPrecondition -- a hard error rather
+  // than a retry.)  The caller holds the exclusive state lock, and
+  // every epoch access happens under the state mutex, so relaxed
+  // ordering suffices.
+  sync_->write_epoch.fetch_add(1, std::memory_order_relaxed);
   return array_.apply_rebuild_step(step);
 }
 
@@ -722,6 +1167,11 @@ Result<std::uint64_t> StripeStore::rebuild_some(std::uint64_t max_steps,
             return done;
           ++applied;
         }
+        // Our own commits bumped the epoch; re-snapshot under the still-
+        // held exclusive lock so the NEXT chunk is not spuriously
+        // replanned.  Sound: staged reads never include lost targets,
+        // so this thread's commits cannot invalidate its later chunks.
+        epoch = sync_->write_epoch.load(std::memory_order_relaxed);
         next += chunk;
         continue;
       }
@@ -769,6 +1219,11 @@ Result<std::uint64_t> StripeStore::rebuild_some(std::uint64_t max_steps,
           return done;
         ++applied;
       }
+      // Re-snapshot: the commits above bumped the epoch (see
+      // commit_step_streamed), and this thread's own commits never
+      // invalidate its later staged chunks (staged reads exclude every
+      // lost target), so the next chunk must not replan on our account.
+      epoch = sync_->write_epoch.load(std::memory_order_relaxed);
       next += chunk;
     }
   }

@@ -10,18 +10,30 @@
 /// Array::plan_write:
 ///
 ///   * healthy reads copy the unit's bytes straight out of its home disk;
-///   * degraded reads XOR the survivor units into the caller's buffer
-///     (core::xor_reconstruct_into -- Figure 1's "any single lost unit is
-///     the XOR of the survivors", executed for real);
-///   * small writes do a real read-modify-write parity update (parity ^=
-///     old ^ new), a reconstruct-write when the data unit is lost (parity
-///     = XOR(surviving peers) ^ new data), or an unprotected data write
-///     when the parity unit is lost;
+///   * degraded reads decode the survivor units into the caller's buffer
+///     through the array's core::Codec (XOR parity: Figure 1's "any
+///     single lost unit is the XOR of the survivors"; Reed-Solomon P+Q:
+///     a GF(2^8) two-erasure decode -- both executed for real);
+///   * small writes do a real read-modify-write delta fold into every
+///     surviving parity (parity ^= c * (old ^ new)), a reconstruct-write
+///     when the data unit is lost (surviving parities re-encoded from
+///     the peers, decoding any second erased unit first), or an
+///     unprotected data write when every parity unit is lost;
 ///   * fail_disk physically destroys the disk's contents (poison fill),
 ///     replace_disk attaches zeroed platters, and rebuild() regenerates
 ///     every lost unit from survivor bytes into its spare or replacement
-///     slot -- after which the store serves the exact bytes written before
-///     the failure (checksum-identical for in-place rebuilds).
+///     slot -- under Reed-Solomon through TWO concurrent disk failures --
+///     after which the store serves the exact bytes written before the
+///     failure (checksum-identical for in-place rebuilds).
+///
+/// Torn parity: when a write's compensation path itself fails (two
+/// substrate faults inside one RMW), the stripe instance's parity no
+/// longer matches its data.  The store marks the instance TORN and every
+/// parity-trusting operation on it (degraded reads, RMW, rebuild of a
+/// data unit) returns a typed kParityInconsistent Status instead of
+/// serving silently-wrong reconstructions.  A later successful write to
+/// the instance heals it: the store re-encodes every surviving parity
+/// from the full data set and clears the flag.
 ///
 /// Backends: when the backend exposes zero-copy memory views
 /// (MemoryBackend), the store serves straight out of the disk images with
@@ -67,6 +79,7 @@
 #include <mutex>
 #include <shared_mutex>
 #include <span>
+#include <unordered_set>
 #include <vector>
 
 #include "api/array.hpp"
@@ -114,7 +127,9 @@ struct WriteReceipt {
   /// Valid prefix length of `writes`.
   std::uint32_t num_writes = 0;
   std::array<Physical, 64> reads;  ///< first num_reads are valid
-  std::array<Physical, 2> writes;  ///< first num_writes are valid
+  /// First num_writes are valid: the data unit and every maintained
+  /// parity (one under XOR, up to api::kMaxParityUnits under RS).
+  std::array<Physical, 1 + api::kMaxParityUnits> writes;
 
   /// Units read for parity maintenance, over the inline storage.
   [[nodiscard]] std::span<const Physical> read_units() const noexcept {
@@ -210,10 +225,13 @@ class StripeStore {
   /// with one addition: when the data write of an RMW fails after the
   /// new parity already landed, the store rolls the parity back to its
   /// pre-write value before returning the kIoError, so the stripe is
-  /// consistent and retrying the write is safe.  Only a second substrate
-  /// failure during that rollback leaves the stripe's parity torn (the
-  /// same window a crash leaves on real arrays).  Thread-safe against
-  /// concurrent read/write.
+  /// consistent and retrying the write is safe.  A second substrate
+  /// failure during that rollback (the window a crash leaves on real
+  /// arrays) marks the stripe instance TORN and returns
+  /// kParityInconsistent; parity-trusting operations on the instance
+  /// keep returning kParityInconsistent until a successful write to it
+  /// heals the parity (full re-encode).  Thread-safe against concurrent
+  /// read/write.
   [[nodiscard]] Status write(std::uint64_t logical,
                              std::span<const std::uint8_t> data,
                              WriteReceipt* receipt = nullptr);
@@ -258,6 +276,17 @@ class StripeStore {
   /// lock -- the vector is a cross-disk-consistent snapshot.
   [[nodiscard]] Result<std::vector<std::uint64_t>> checksum_disks() const;
 
+  // ------------------------------------------------------- torn parity
+
+  /// Stripe instances currently marked parity-torn (see the file
+  /// comment).  0 on the happy path.
+  [[nodiscard]] std::uint64_t torn_parity_instances() const noexcept {
+    return sync_->torn_count.load(std::memory_order_relaxed);
+  }
+  /// Whether one (stripe, iteration) instance is marked parity-torn.
+  [[nodiscard]] bool parity_torn(std::uint32_t stripe,
+                                 std::uint64_t iteration) const;
+
  private:
   StripeStore(api::Array array, const StripeStoreOptions& options,
               std::unique_ptr<DiskBackend> backend);
@@ -283,11 +312,38 @@ class StripeStore {
   [[nodiscard]] Status store_unit(Physical p,
                                   std::span<const std::uint8_t> data);
   [[nodiscard]] std::shared_mutex& shard_for(std::uint64_t logical) noexcept;
+  /// The (stripe, iteration) instance key of a logical unit -- the torn
+  /// set's and the shard hash's common currency.
+  [[nodiscard]] std::uint64_t instance_of(std::uint64_t logical)
+      const noexcept;
+  [[nodiscard]] bool is_torn(std::uint64_t instance) const;
+  void mark_torn(std::uint64_t instance);
+  void clear_torn(std::uint64_t instance);
   /// read()'s body; caller holds the state lock (shared) and the
   /// logical's shard lock.
   [[nodiscard]] Status read_locked(std::uint64_t logical,
                                    std::span<std::uint8_t> out,
                                    ReadReceipt* receipt);
+  /// RMW fold into multiple surviving parities (Reed-Solomon data path);
+  /// caller holds the locks and has bumped the epoch.
+  [[nodiscard]] Status write_rmw_multi(const api::WritePlan& plan,
+                                       std::span<const std::uint8_t> data,
+                                       std::uint64_t instance,
+                                       WriteReceipt* receipt);
+  /// Reconstruct-write re-encoding multiple surviving parities (decoding
+  /// any second erased unit first); caller holds the locks.
+  [[nodiscard]] Status write_reconstruct_multi(
+      const api::WritePlan& plan, std::span<const Physical> peers,
+      std::span<const std::uint32_t> peer_index,
+      std::span<const std::uint8_t> data, std::uint64_t instance,
+      WriteReceipt* receipt);
+  /// Torn-parity heal: write the data unit and re-encode EVERY surviving
+  /// parity from the full data set, clearing the torn flag on success.
+  [[nodiscard]] Status write_heal(std::uint64_t logical,
+                                  const api::WritePlan& plan,
+                                  std::span<const std::uint8_t> data,
+                                  std::uint64_t instance,
+                                  WriteReceipt* receipt);
   /// One rebuild step, bytes first (all iterations), then array state.
   [[nodiscard]] Status apply_step_bytes(const api::RebuildStep& step);
   /// Streamed-step staging: survivor fan-in (one kRebuild-tagged batch)
@@ -320,11 +376,26 @@ class StripeStore {
     /// Stripe-instance rw-locks: writers exclusive, readers/staging
     /// shared (see the file comment's concurrency story).
     std::vector<std::shared_mutex> shards;
-    /// Bumped by every byte-mutating operation (write, fail, replace)
-    /// before it touches the substrate.  Rebuild staging snapshots it
-    /// under the exclusive lock and re-checks at commit: an unchanged
-    /// epoch proves the staged survivor bytes are still current.
+    /// Bumped by every byte-mutating operation -- write, fail, replace,
+    /// AND every rebuild commit (commit_step_streamed / the view-path
+    /// apply) -- so one rebuilder's committed step invalidates another
+    /// rebuilder's concurrently staged chunk instead of surfacing as a
+    /// spurious hard kFailedPrecondition at its commit.  Rebuild staging
+    /// snapshots the epoch under the exclusive lock and re-checks at
+    /// commit: an unchanged epoch proves the staged survivor bytes are
+    /// still current.  Relaxed ordering suffices: every load and store
+    /// of the epoch happens with the state mutex held (shared or
+    /// exclusive), so the mutex provides the happens-before edges and
+    /// the counter only needs atomicity against torn increments from
+    /// concurrent shared-lock holders.
     std::atomic<std::uint64_t> write_epoch{0};
+    /// Torn-parity tracking (see the file comment): instances whose
+    /// parity no longer matches their data after a double substrate
+    /// fault.  torn_count is a relaxed fast-path gate so the happy path
+    /// never takes torn_mutex.
+    std::atomic<std::uint64_t> torn_count{0};
+    mutable std::mutex torn_mutex;
+    std::unordered_set<std::uint64_t> torn;
     explicit Sync(std::uint32_t n) : shards(n) {}
   };
   std::unique_ptr<Sync> sync_;

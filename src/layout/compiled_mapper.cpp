@@ -46,7 +46,11 @@ CompiledMapper::CompiledMapper(const AddressMapper& mapper)
     }
   }
 
+  // The numbering below consumes the mapper's parity masks (not a
+  // re-derivation from parity_pos), so a multi-parity mapper and its
+  // compiled form can never disagree about which positions hold data.
   const std::vector<std::uint32_t>& spare_pos = mapper.spare_positions();
+  const std::vector<std::uint64_t>& parity_mask = mapper.parity_masks();
   std::uint64_t logical = 0;
   for (std::size_t si = 0; si < stripes.size(); ++si) {
     const Stripe& st = stripes[si];
@@ -57,7 +61,7 @@ CompiledMapper::CompiledMapper(const AddressMapper& mapper)
         inverse_[static_cast<std::size_t>(sp.disk) * s_ + sp.offset] = kSpare;
         continue;
       }
-      if (pos == st.parity_pos) continue;
+      if ((parity_mask[si] >> pos) & 1) continue;
       const StripeUnit& u = st.units[pos];
       words_[data_disk_ + logical] = u.disk;
       words_[data_offset_ + logical] = u.offset;

@@ -9,16 +9,31 @@ AddressMapper::AddressMapper(const Layout& layout)
 
 AddressMapper::AddressMapper(const Layout& layout,
                              const std::vector<std::uint32_t>& spare_pos)
+    : AddressMapper(layout, spare_pos, {}) {}
+
+AddressMapper::AddressMapper(const Layout& layout,
+                             const std::vector<std::uint32_t>& spare_pos,
+                             const std::vector<std::uint64_t>& parity_mask)
     : v_(layout.num_disks()),
       s_(layout.units_per_disk()),
       stripes_(layout.stripes()),
-      spare_pos_(spare_pos) {
+      spare_pos_(spare_pos),
+      parity_mask_(parity_mask) {
   const auto errors = layout.validate();
   if (!errors.empty())
     throw std::invalid_argument("AddressMapper: invalid layout: " +
                                 errors.front());
   if (!spare_pos_.empty() && spare_pos_.size() != stripes_.size())
     throw std::invalid_argument("AddressMapper: spare_pos size mismatch");
+  if (!parity_mask_.empty() && parity_mask_.size() != stripes_.size())
+    throw std::invalid_argument("AddressMapper: parity_mask size mismatch");
+  // Materialize the single-parity mask when none was supplied, so every
+  // consumer (CompiledMapper, api::Array) can rely on parity_masks().
+  if (parity_mask_.empty()) {
+    parity_mask_.reserve(stripes_.size());
+    for (const Stripe& st : stripes_)
+      parity_mask_.push_back(1ull << st.parity_pos);
+  }
 
   inverse_.assign(static_cast<std::size_t>(v_) * s_, kParity);
   // Logical data units are numbered stripe-major, skipping parity units
@@ -30,13 +45,23 @@ AddressMapper::AddressMapper(const Layout& layout,
     if (!spare_pos_.empty() &&
         (spare_pos_[si] >= st.units.size() || spare_pos_[si] == st.parity_pos))
       throw std::invalid_argument("AddressMapper: invalid spare position");
+    const std::uint64_t mask = parity_mask_[si];
+    if ((mask & (1ull << st.parity_pos)) == 0)
+      throw std::invalid_argument(
+          "AddressMapper: parity_mask must include the primary parity");
+    if (st.units.size() < 64 && (mask >> st.units.size()) != 0)
+      throw std::invalid_argument(
+          "AddressMapper: parity_mask names an out-of-range position");
+    if (!spare_pos_.empty() && (mask & (1ull << spare_pos_[si])) != 0)
+      throw std::invalid_argument(
+          "AddressMapper: spare position masked as parity");
     for (std::uint32_t pos = 0; pos < st.units.size(); ++pos) {
       const StripeUnit& u = st.units[pos];
       if (!spare_pos_.empty() && pos == spare_pos_[si]) {
         inverse_[static_cast<std::size_t>(u.disk) * s_ + u.offset] = kSpare;
         continue;
       }
-      if (pos == st.parity_pos) continue;
+      if ((mask >> pos) & 1) continue;
       inverse_[static_cast<std::size_t>(u.disk) * s_ + u.offset] =
           data_units_.size();
       data_units_.push_back({u.disk, u.offset, si});
@@ -85,7 +110,8 @@ std::uint64_t AddressMapper::logical_at(Physical position) const {
 
 std::uint64_t AddressMapper::table_bytes() const noexcept {
   std::uint64_t bytes = data_units_.size() * sizeof(TableEntry) +
-                        inverse_.size() * sizeof(std::uint64_t);
+                        inverse_.size() * sizeof(std::uint64_t) +
+                        parity_mask_.size() * sizeof(std::uint64_t);
   for (const Stripe& st : stripes_) {
     bytes += st.units.size() * sizeof(StripeUnit) + sizeof(std::uint32_t);
   }

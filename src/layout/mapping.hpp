@@ -25,6 +25,17 @@ class AddressMapper {
   AddressMapper(const Layout& layout,
                 const std::vector<std::uint32_t>& spare_pos);
 
+  /// A mapper for multi-parity codecs: parity_mask[s] is a bit mask over
+  /// stripe s's positions naming EVERY parity unit (it must include the
+  /// layout's parity_pos, the primary parity P).  All masked positions are
+  /// excluded from the logical data numbering and report kParity in the
+  /// inverse map; parity_of() still answers with the primary parity.
+  /// spare_pos may be empty (no distributed sparing); a spare position
+  /// must not be masked as parity.
+  AddressMapper(const Layout& layout,
+                const std::vector<std::uint32_t>& spare_pos,
+                const std::vector<std::uint64_t>& parity_mask);
+
   /// A physical position on an arbitrarily large disk.
   struct Physical {
     DiskId disk = 0;
@@ -66,6 +77,14 @@ class AddressMapper {
     return spare_pos_;
   }
 
+  /// Per-stripe bit mask of every parity position (always materialized:
+  /// single-parity mappers report one bit at each stripe's parity_pos).
+  /// CompiledMapper consumes this so the two numberings stay in lockstep.
+  [[nodiscard]] const std::vector<std::uint64_t>& parity_masks()
+      const noexcept {
+    return parity_mask_;
+  }
+
   /// Memory footprint of the lookup tables in bytes (Condition 4 metric).
   [[nodiscard]] std::uint64_t table_bytes() const noexcept;
 
@@ -87,6 +106,7 @@ class AddressMapper {
                                              // or kParity / kSpare
   std::vector<Stripe> stripes_;              // copy of the stripe table
   std::vector<std::uint32_t> spare_pos_;     // empty unless spare-aware
+  std::vector<std::uint64_t> parity_mask_;   // parity bits per stripe
 };
 
 }  // namespace pdl::layout

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <cstdio>
 #include <vector>
 
@@ -374,6 +375,81 @@ TEST(ArrayPersistence, RoundTripsPlainAndSpared) {
   EXPECT_EQ(reloaded->data_units_per_iteration(),
             spared->data_units_per_iteration());
   std::remove(path.c_str());
+}
+
+TEST(ArrayPersistence, CodecSurvivesSerializeRoundTrip) {
+  const auto rs =
+      Array::create({.num_disks = 9, .stripe_size = 4}, {},
+                    {.codec = core::CodecKind::kReedSolomonPQ});
+  ASSERT_TRUE(rs.ok()) << rs.status().to_string();
+  const std::string text = rs->serialize();
+  EXPECT_EQ(text.rfind("pdl-array-codec rs", 0), 0u)
+      << "serialized form must carry the codec header: " << text.substr(0, 40);
+  const auto restored = Array::deserialize(text);
+  ASSERT_TRUE(restored.ok()) << restored.status().to_string();
+  EXPECT_EQ(restored->codec_kind(), core::CodecKind::kReedSolomonPQ);
+  EXPECT_EQ(restored->num_parity_units(), 2u);
+  EXPECT_EQ(restored->data_units_per_iteration(),
+            rs->data_units_per_iteration());
+  for (std::uint64_t l = 0; l < rs->data_units_per_iteration(); ++l)
+    EXPECT_EQ(restored->map(l), rs->map(l));
+
+  // XOR arrays keep the legacy (headerless) form, so files written by
+  // earlier versions and by this one stay mutually readable.
+  const auto xor_array = Array::create({.num_disks = 9, .stripe_size = 4});
+  ASSERT_TRUE(xor_array.ok());
+  EXPECT_EQ(xor_array->serialize().rfind("pdl-array-codec", 0),
+            std::string::npos);
+  EXPECT_EQ(Array::deserialize("pdl-array-codec lrc\npdl-layout 1 1\n")
+                .status()
+                .code(),
+            StatusCode::kParseError);
+}
+
+TEST(ArrayState, ReedSolomonSurvivesTwoFailuresAndPlansBothParities) {
+  auto array = Array::create({.num_disks = 17, .stripe_size = 5}, {},
+                             {.codec = core::CodecKind::kReedSolomonPQ});
+  ASSERT_TRUE(array.ok()) << array.status().to_string();
+  EXPECT_EQ(array->num_parity_units(), 2u);
+
+  // Healthy plans carry both parity targets in ordinal order (P then Q).
+  std::array<Physical, 64> peers;
+  const auto healthy_plan = array->plan_write(0, peers);
+  ASSERT_TRUE(healthy_plan.ok());
+  EXPECT_EQ(healthy_plan->kind, WritePlan::Kind::kReadModifyWrite);
+  EXPECT_EQ(healthy_plan->num_parities, 2u);
+  EXPECT_EQ(healthy_plan->parity_index[0], 0u);
+  EXPECT_EQ(healthy_plan->parity_index[1], 1u);
+  EXPECT_EQ(healthy_plan->parity, healthy_plan->parity_targets[0]);
+
+  // Two failed disks: where XOR declares loss, RS still resolves every
+  // logical (locate never reports kUnrecoverable, plan_write never
+  // kUnrecoverable), and the erased set it reports stays within two.
+  ASSERT_TRUE(array->fail_disk(0).ok());
+  ASSERT_TRUE(array->fail_disk(8).ok());
+  EXPECT_FALSE(array->data_loss());
+  std::array<Physical, 64> survivors;
+  std::array<std::uint32_t, 64> survivor_idx;
+  for (std::uint64_t l = 0; l < array->data_units_per_iteration(); ++l) {
+    const auto plan =
+        array->locate(l, survivors, {survivor_idx.data(), 64});
+    ASSERT_TRUE(plan.ok());
+    ASSERT_NE(plan->kind, ReadPlan::Kind::kUnrecoverable) << "logical " << l;
+    if (plan->kind == ReadPlan::Kind::kDegraded) {
+      EXPECT_GE(plan->num_erased, 1u);
+      EXPECT_LE(plan->num_erased, 2u);
+      EXPECT_EQ(plan->num_survivors + plan->num_erased,
+                plan->num_data + 2u);
+    }
+    const auto wplan = array->plan_write(l, peers);
+    ASSERT_TRUE(wplan.ok());
+    EXPECT_NE(wplan->kind, WritePlan::Kind::kUnrecoverable)
+        << "logical " << l;
+  }
+
+  // A third failure is finally beyond the code.
+  ASSERT_TRUE(array->fail_disk(4).ok());
+  EXPECT_TRUE(array->data_loss());
 }
 
 TEST(ArrayPersistence, MalformedInputsAreTypedErrors) {

@@ -27,9 +27,11 @@ namespace {
 
 constexpr std::uint64_t kSeed = 0xC0CC;
 
-Result<StripeStore> make_store(api::SparingMode sparing) {
+Result<StripeStore> make_store(
+    api::SparingMode sparing,
+    core::CodecKind codec = core::CodecKind::kXorParity) {
   auto array = api::Array::create({.num_disks = 17, .stripe_size = 5}, {},
-                                  {.sparing = sparing});
+                                  {.sparing = sparing, .codec = codec});
   if (!array.ok()) return array.status();
   return StripeStore::create(std::move(array).value(),
                              {.unit_bytes = 64, .iterations = 2,
@@ -167,6 +169,96 @@ TEST(DatapathConcurrent, FailureAndRebuildUnderFireDedicated) {
 
 TEST(DatapathConcurrent, FailureAndRebuildUnderFireDistributed) {
   stress_with_failures(api::SparingMode::kDistributed);
+}
+
+TEST(DatapathConcurrent, DoubleFailureRebuildUnderFireReedSolomon) {
+  // The RS store under TWO concurrently failed disks: every stripe may
+  // lose up to two units -- still within P+Q tolerance, so every read
+  // and write must keep succeeding (double-degraded decodes, multi-
+  // parity RMWs, and reconstruct-writes all race the rebuild here).
+  // The staged-shard/exclusive-commit rebuild interleaves with the
+  // writers, pinning the write-epoch invalidation protocol under TSan:
+  // a writer's RMW that lands between stage and commit must bump the
+  // epoch and force a re-stage, never a stale-parity commit.
+  auto store = make_store(api::SparingMode::kDistributed,
+                          core::CodecKind::kReedSolomonPQ);
+  ASSERT_TRUE(store.ok()) << store.status().to_string();
+  const std::uint64_t n = store->num_logical_units();
+  ASSERT_TRUE(fill_canonical(*store, 0, n, kSeed).ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> read_failures{0};
+  std::atomic<std::uint64_t> write_failures{0};
+  std::atomic<std::uint64_t> ops{0};
+
+  std::vector<std::thread> threads;
+  const std::uint64_t half = n / 2;
+  for (std::uint32_t w = 0; w < 3; ++w) {
+    threads.emplace_back([&, w] {
+      const std::uint64_t first = w < 2 ? w * half : half / 2;
+      std::mt19937_64 rng(kSeed * 31 + w);
+      std::vector<std::uint8_t> unit(store->unit_bytes());
+      std::uint64_t mine = 0;
+      while (!stop.load(std::memory_order_relaxed) && mine < 120000) {
+        const std::uint64_t logical = first + rng() % half;
+        canonical_fill(logical, kSeed, unit);
+        if (!store->write(logical, unit).ok()) ++write_failures;
+        ++ops;
+        if ((++mine & 127) == 0) std::this_thread::yield();
+      }
+    });
+  }
+  for (std::uint32_t r = 0; r < 2; ++r) {
+    threads.emplace_back([&, r] {
+      std::mt19937_64 rng(kSeed * 77 + r);
+      std::vector<std::uint8_t> unit(store->unit_bytes());
+      std::vector<std::uint8_t> expected(store->unit_bytes());
+      std::uint64_t mine = 0;
+      while (!stop.load(std::memory_order_relaxed) && mine < 120000) {
+        const std::uint64_t logical = rng() % n;
+        if ((++mine & 127) == 0) std::this_thread::yield();
+        if (!store->read(logical, unit).ok()) {
+          ++read_failures;
+          continue;
+        }
+        canonical_fill(logical, kSeed, expected);
+        if (unit != expected) ++read_failures;
+        ++ops;
+      }
+    });
+  }
+
+  // Two overlapping failures, then a rebuild that runs with BOTH
+  // replacements attached -- steps decoding through two erasures.
+  ASSERT_TRUE(store->fail_disk(3).ok());
+  std::this_thread::sleep_for(std::chrono::microseconds(300));
+  ASSERT_TRUE(store->fail_disk(11).ok());
+  std::this_thread::sleep_for(std::chrono::microseconds(300));
+  ASSERT_TRUE(store->replace_disk(3).ok());
+  ASSERT_TRUE(store->replace_disk(11).ok());
+  for (;;) {
+    const auto applied = store->rebuild_some(64);
+    ASSERT_TRUE(applied.ok()) << applied.status().to_string();
+    if (*applied == 0) break;
+    std::this_thread::sleep_for(std::chrono::microseconds(300));
+  }
+
+  for (int i = 0; i < 10000 && ops.load() < 300000; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  stop.store(true);
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(read_failures.load(), 0u);
+  EXPECT_EQ(write_failures.load(), 0u);
+  EXPECT_FALSE(store->array().data_loss());
+
+  std::vector<std::uint8_t> unit(store->unit_bytes());
+  std::vector<std::uint8_t> expected(store->unit_bytes());
+  for (std::uint64_t logical = 0; logical < n; ++logical) {
+    ASSERT_TRUE(store->read(logical, unit).ok()) << "logical " << logical;
+    canonical_fill(logical, kSeed, expected);
+    ASSERT_EQ(unit, expected) << "logical " << logical;
+  }
 }
 
 TEST(DatapathConcurrent, WorkloadDriverMixesUnderFailure) {

@@ -6,10 +6,12 @@
 // touched -- must match what Array::locate says on an identically-driven
 // reference array, and every served byte must equal what was written.
 // Write receipts are pinned to Array::plan_write the same way, and the
-// single-failure dedicated-replacement case proves rebuild restores
-// checksum-identical disk contents.  Running the identical matrix over
-// both backends is what pins the DiskBackend seam: the substrate must be
-// invisible to every byte served.
+// dedicated-replacement cases prove rebuild restores checksum-identical
+// disk contents through every failure count the codec tolerates (one
+// under XOR, two under Reed-Solomon P+Q).  Running the identical matrix
+// over both backends and both codecs is what pins the DiskBackend and
+// Codec seams: neither substrate nor code may be visible in any byte
+// served.
 
 #include <gtest/gtest.h>
 
@@ -54,6 +56,7 @@ struct Case {
   api::SparingMode sparing;
   std::vector<layout::DiskId> failures;
   BackendKind backend = BackendKind::kMemory;
+  core::CodecKind codec = core::CodecKind::kXorParity;
 };
 
 /// Scratch directory for one file-backed case, unique per process.
@@ -62,6 +65,7 @@ std::filesystem::path case_scratch_dir(const Case& c) {
          ("pdl_datapath_diff_" +
           std::to_string(static_cast<unsigned long>(::getpid()))) /
          (core::construction_name(c.construction) + "_" +
+          std::string(core::codec_kind_name(c.codec)) + "_" +
           (c.sparing == api::SparingMode::kDistributed ? "d" : "n") + "_" +
           std::to_string(c.failures.size()));
 }
@@ -74,6 +78,8 @@ std::unique_ptr<io::DiskBackend> make_case_backend(const Case& c) {
 
 std::string describe(const Case& c) {
   std::string text = core::construction_name(c.construction);
+  text += "/";
+  text += core::codec_kind_name(c.codec);
   text += c.sparing == api::SparingMode::kDistributed ? "/distributed"
                                                       : "/dedicated";
   text += c.backend == BackendKind::kFile ? "/file" : "/memory";
@@ -141,21 +147,43 @@ void expect_writes_match(StripeStore& store, const api::Array& reference,
     const Status status = store.write(logical, unit, &receipt);
 
     ASSERT_EQ(receipt.kind, plan->kind) << context << " logical " << logical;
+    const bool multi = reference.num_parity_units() > 1;
     switch (plan->kind) {
       case api::WritePlan::Kind::kReadModifyWrite:
         ASSERT_TRUE(status.ok()) << context;
-        ASSERT_EQ(receipt.num_writes, 2u);
-        EXPECT_EQ(receipt.writes[0], plan->data);
-        EXPECT_EQ(receipt.writes[1], plan->parity);
+        if (multi) {
+          ASSERT_EQ(receipt.num_writes, 1u + plan->num_parities);
+          EXPECT_EQ(receipt.writes[0], plan->data);
+          for (std::uint32_t j = 0; j < plan->num_parities; ++j)
+            EXPECT_EQ(receipt.writes[1 + j], plan->parity_targets[j])
+                << context << " logical " << logical << " parity " << j;
+        } else {
+          // The m = 1 receipt shape is pinned byte-for-byte: the codec
+          // seam must not disturb the legacy XOR fast path.
+          ASSERT_EQ(receipt.num_writes, 2u);
+          EXPECT_EQ(receipt.writes[0], plan->data);
+          EXPECT_EQ(receipt.writes[1], plan->parity);
+        }
         break;
       case api::WritePlan::Kind::kReconstructWrite:
         ASSERT_TRUE(status.ok()) << context;
-        ASSERT_EQ(receipt.num_reads, plan->num_peer_reads);
         for (std::uint32_t i = 0; i < plan->num_peer_reads; ++i)
           EXPECT_EQ(receipt.reads[i], peers[i])
               << context << " logical " << logical << " peer " << i;
-        ASSERT_EQ(receipt.num_writes, 1u);
-        EXPECT_EQ(receipt.writes[0], plan->parity);
+        if (multi) {
+          // Multi-parity reconstruct-writes also read the old surviving
+          // parities (for second-erasure decode and rollback).
+          ASSERT_EQ(receipt.num_reads,
+                    plan->num_peer_reads + plan->num_parities);
+          ASSERT_EQ(receipt.num_writes, plan->num_parities);
+          for (std::uint32_t j = 0; j < plan->num_parities; ++j)
+            EXPECT_EQ(receipt.writes[j], plan->parity_targets[j])
+                << context << " logical " << logical << " parity " << j;
+        } else {
+          ASSERT_EQ(receipt.num_reads, plan->num_peer_reads);
+          ASSERT_EQ(receipt.num_writes, 1u);
+          EXPECT_EQ(receipt.writes[0], plan->parity);
+        }
         break;
       case api::WritePlan::Kind::kUnprotectedWrite:
         ASSERT_TRUE(status.ok()) << context;
@@ -174,7 +202,8 @@ void run_case(const Case& c) {
   const std::string context = describe(c);
   const core::ArraySpec spec{kV, kK};
   const api::ArrayOptions options{.sparing = c.sparing,
-                                  .construction = c.construction};
+                                  .construction = c.construction,
+                                  .codec = c.codec};
   auto store_array = api::Array::create(spec, {}, options);
   auto reference = api::Array::create(spec, {}, options);
   ASSERT_TRUE(store_array.ok()) << context << ": "
@@ -224,17 +253,23 @@ void run_case(const Case& c) {
 
   expect_reads_match(*store, *reference, context + " [rebuilt]");
 
-  if (c.failures.size() == 1 && c.sparing == api::SparingMode::kNone) {
-    // Dedicated replacement rebuilds in place: the replacement disk must
-    // be checksum-identical to the disk's pre-failure contents (the
-    // rewrites above re-stored canonical bytes, so content never moved).
-    const auto rebuilt_sum = store->checksum_disk(c.failures.front());
-    ASSERT_TRUE(rebuilt_sum.ok()) << context;
-    EXPECT_EQ(*rebuilt_sum, healthy_sums[c.failures.front()])
-        << context << ": rebuilt disk contents differ from pre-failure";
+  // Dedicated replacement rebuilds in place: every rebuilt disk must be
+  // checksum-identical to its pre-failure contents (the rewrites above
+  // re-stored canonical bytes, so content never moved).  XOR arrays can
+  // only promise this through one failure; Reed-Solomon through two.
+  const std::size_t tolerated = store->array().num_parity_units();
+  if (!c.failures.empty() && c.failures.size() <= tolerated &&
+      c.sparing == api::SparingMode::kNone) {
+    for (const layout::DiskId disk : c.failures) {
+      const auto rebuilt_sum = store->checksum_disk(disk);
+      ASSERT_TRUE(rebuilt_sum.ok()) << context;
+      EXPECT_EQ(*rebuilt_sum, healthy_sums[disk])
+          << context << ": rebuilt disk " << disk
+          << " contents differ from pre-failure";
+    }
     EXPECT_TRUE(store->array().healthy()) << context;
   }
-  if (c.failures.size() <= 1) {
+  if (c.failures.size() <= tolerated) {
     EXPECT_FALSE(store->array().data_loss()) << context;
   }
 }
@@ -254,9 +289,9 @@ TEST(DatapathDifferential, AtLeastFourConstructionsApply) {
 }
 
 /// The full construction x sparing x failure-count matrix over one
-/// backend -- ONE definition, so the memory and file sweeps can never
-/// silently diverge in coverage.
-void run_full_matrix(BackendKind backend) {
+/// backend and codec -- ONE definition, so the memory/file and XOR/RS
+/// sweeps can never silently diverge in coverage.
+void run_full_matrix(BackendKind backend, core::CodecKind codec) {
   const auto constructions = applicable_constructions();
   ASSERT_GE(constructions.size(), 3u);
   for (const core::Construction construction : constructions) {
@@ -264,6 +299,7 @@ void run_full_matrix(BackendKind backend) {
          {api::SparingMode::kNone, api::SparingMode::kDistributed}) {
       for (const std::uint32_t failures : {0u, 1u, 2u}) {
         Case c{construction, sparing, {}};
+        c.codec = codec;
         if (failures >= 1) c.failures.push_back(0);
         if (failures >= 2) c.failures.push_back(kV / 2);
         run_case_cleanup(c, backend);
@@ -274,14 +310,26 @@ void run_full_matrix(BackendKind backend) {
 }
 
 TEST(DatapathDifferential, AllConstructionsFailuresAndSparingModes) {
-  run_full_matrix(BackendKind::kMemory);
+  run_full_matrix(BackendKind::kMemory, core::CodecKind::kXorParity);
 }
 
 // The identical matrix over pread/pwrite file images: the DiskBackend
 // seam must be invisible -- every receipt, byte, and checksum that held
 // for the memory substrate must hold for the persistent one.
 TEST(DatapathDifferential, AllCasesOverFileBackend) {
-  run_full_matrix(BackendKind::kFile);
+  run_full_matrix(BackendKind::kFile, core::CodecKind::kXorParity);
+}
+
+// The identical matrix under GF(2^8) Reed-Solomon P+Q: the paper's
+// layouts carry the second parity through the same declustered mapping,
+// and TWO concurrent failures must now serve every byte and rebuild
+// checksum-identical disk contents.
+TEST(DatapathDifferential, ReedSolomonMatrixOverMemoryBackend) {
+  run_full_matrix(BackendKind::kMemory, core::CodecKind::kReedSolomonPQ);
+}
+
+TEST(DatapathDifferential, ReedSolomonMatrixOverFileBackend) {
+  run_full_matrix(BackendKind::kFile, core::CodecKind::kReedSolomonPQ);
 }
 
 }  // namespace

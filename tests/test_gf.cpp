@@ -17,6 +17,38 @@ TEST(GaloisField, RejectsNonPrimePowers) {
   EXPECT_THROW(GaloisField(0), std::invalid_argument);
 }
 
+TEST(GaloisField, ExplicitModulusPinsTheRepresentation) {
+  // The RS codec's modulus x^8+x^4+x^3+x^2+1 (0x11d), little-endian
+  // coefficients.  Under it, x (element 2) is primitive and byte values
+  // ARE polynomial bit patterns -- the property the wire format pins.
+  const Polynomial rs_mod(2, std::vector<std::uint32_t>{1, 0, 1, 1, 1,
+                                                        0, 0, 0, 1});
+  const GaloisField field(256, rs_mod);
+  EXPECT_EQ(field.order(), 256u);
+  EXPECT_EQ(field.characteristic(), 2u);
+  // x * x^7 = x^8 = x^4+x^3+x^2+1 = 0x1d under this modulus.
+  EXPECT_EQ(field.mul(2, 0x80), 0x1Du);
+  // Element 2 generates the full multiplicative group.
+  Elem power = 1;
+  std::set<Elem> seen;
+  for (int i = 0; i < 255; ++i) {
+    seen.insert(power);
+    power = field.mul(power, 2);
+  }
+  EXPECT_EQ(power, 1u);  // order divides 255 and lands back at 1
+  EXPECT_EQ(seen.size(), 255u);
+
+  // Reducible moduli (x^8+1 = (x+1)^8 over Z_2) and wrong-degree ones
+  // are rejected.
+  EXPECT_THROW(
+      GaloisField(256, Polynomial(2, std::vector<std::uint32_t>{
+                                         1, 0, 0, 0, 0, 0, 0, 0, 1})),
+      std::invalid_argument);
+  EXPECT_THROW(
+      GaloisField(256, Polynomial(2, std::vector<std::uint32_t>{1, 1, 1})),
+      std::invalid_argument);
+}
+
 // Exhaustive ring-axiom check on small fields.
 class GfAxioms : public ::testing::TestWithParam<Elem> {};
 

@@ -38,6 +38,21 @@ TEST(Status, EveryCodeHasAStableName) {
   EXPECT_EQ(status_code_name(StatusCode::kInternal), "INTERNAL");
   EXPECT_EQ(status_code_name(StatusCode::kNotFound), "NOT_FOUND");
   EXPECT_EQ(status_code_name(StatusCode::kOutOfRange), "OUT_OF_RANGE");
+  EXPECT_EQ(status_code_name(StatusCode::kParityInconsistent),
+            "PARITY_INCONSISTENT");
+}
+
+TEST(Status, ParityInconsistentIsItsOwnCode) {
+  // The torn-parity window surfaces through this code; callers branch on
+  // it (retry the write to heal vs. fail a decode), so it must stay
+  // distinct from both kIoError and kDataLoss.
+  const Status status = Status::parity_inconsistent("stripe 7 torn");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kParityInconsistent);
+  EXPECT_EQ(status.message(), "stripe 7 torn");
+  EXPECT_NE(status.code(), StatusCode::kIoError);
+  EXPECT_NE(status.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(status.to_string(), "PARITY_INCONSISTENT: stripe 7 torn");
 }
 
 TEST(Result, HoldsValue) {
