@@ -231,9 +231,10 @@ bool run_one(const engine::LayoutPlan& plan, api::SparingMode sparing,
       std::string(core::codec_kind_name(config.codec)).c_str(), healthy.mbps,
       degraded.mbps, rebuilding.mbps, rebuild_mbps, bench::okbad(verified));
 
-  // schema_version 4: added codec / failed_disks (PR 7; v3 added the
-  // async engine fields in PR 6; v2 added "backend" in PR 5).
-  bench::json_result("datapath_throughput", /*schema_version=*/4)
+  // schema_version 5: added write p50/p99 latency fields (PR 8; v4 added
+  // codec / failed_disks in PR 7; v3 the async engine fields in PR 6; v2
+  // "backend" in PR 5).
+  bench::json_result("datapath_throughput", /*schema_version=*/5)
       .field("construction", core::construction_name(plan.construction))
       .field("sparing", mode)
       .field("backend", backend_kind)
@@ -246,6 +247,10 @@ bool run_one(const engine::LayoutPlan& plan, api::SparingMode sparing,
       .field("achieved_depth", healthy.stats.achieved_depth())
       .field("read_p99_us", static_cast<std::uint64_t>(
                                 healthy.stats.read_latency_quantile_us(0.99)))
+      .field("write_p50_us", static_cast<std::uint64_t>(
+                                 healthy.stats.write_latency_quantile_us(0.50)))
+      .field("write_p99_us", static_cast<std::uint64_t>(
+                                 healthy.stats.write_latency_quantile_us(0.99)))
       .field("v", static_cast<std::uint64_t>(plan.spec.num_disks))
       .field("k", static_cast<std::uint64_t>(plan.spec.stripe_size))
       .field("units_per_disk", static_cast<std::uint64_t>(plan.units_per_disk))

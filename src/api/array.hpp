@@ -270,6 +270,32 @@ class Array {
   [[nodiscard]] std::uint64_t data_units_per_iteration() const noexcept {
     return mapper_.data_units_per_iteration();
   }
+  /// Logical data units across `iterations` vertical tilings -- the
+  /// array's addressable capacity in units.  Byte-path and fleet-router
+  /// callers use this instead of recomputing from layout internals.
+  [[nodiscard]] std::uint64_t capacity_units(
+      std::uint64_t iterations) const noexcept {
+    return data_units_per_iteration() * iterations;
+  }
+  /// Logical byte capacity at `unit_bytes` granularity across
+  /// `iterations` tilings (what a StripeStore over this array serves).
+  [[nodiscard]] std::uint64_t capacity_bytes(
+      std::uint32_t unit_bytes, std::uint64_t iterations) const noexcept {
+    return capacity_units(iterations) * unit_bytes;
+  }
+  /// Bytes of one physical disk image at `unit_bytes` granularity
+  /// across `iterations` tilings (the backend-geometry sizing).
+  [[nodiscard]] std::uint64_t disk_bytes(
+      std::uint32_t unit_bytes, std::uint64_t iterations) const noexcept {
+    return static_cast<std::uint64_t>(units_per_disk()) * iterations *
+           unit_bytes;
+  }
+  /// Widest stripe's full byte footprint at `unit_bytes` granularity
+  /// (bounds survivor-fan-in buffer sizes on the byte path).
+  [[nodiscard]] std::uint64_t max_stripe_bytes(
+      std::uint32_t unit_bytes) const noexcept {
+    return static_cast<std::uint64_t>(max_stripe_size()) * unit_bytes;
+  }
   /// Which paper construction built the layout (kExternal for adopt()).
   [[nodiscard]] core::Construction construction() const noexcept;
   /// Human-readable provenance of the layout.

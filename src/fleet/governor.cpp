@@ -1,0 +1,203 @@
+#include "fleet/governor.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+namespace pdl::fleet {
+
+namespace {
+
+[[nodiscard]] std::uint64_t now_us() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+constexpr double kUnlimited = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+std::string_view governor_policy_name(GovernorPolicy policy) noexcept {
+  switch (policy) {
+    case GovernorPolicy::kFifo: return "fifo";
+    case GovernorPolicy::kFairShare: return "fair-share";
+    case GovernorPolicy::kForegroundProtecting:
+      return "foreground-protecting";
+  }
+  return "?";
+}
+
+Result<GovernorPolicy> governor_policy_from_name(std::string_view name) {
+  for (const GovernorPolicy policy :
+       {GovernorPolicy::kFifo, GovernorPolicy::kFairShare,
+        GovernorPolicy::kForegroundProtecting})
+    if (name == governor_policy_name(policy)) return policy;
+  return Status::parse_error("unknown governor policy: " +
+                             std::string(name));
+}
+
+RebuildGovernor::RebuildGovernor(const GovernorOptions& options)
+    : options_(options), state_(std::make_unique<State>()) {
+  state_->tokens = static_cast<double>(options_.burst_bytes);
+  state_->last_refill_us = now_us();
+}
+
+Result<RebuildGovernor> RebuildGovernor::create(
+    const GovernorOptions& options) {
+  if (options.rebuild_bytes_per_sec < 0)
+    return Status::invalid_argument(
+        "rebuild_bytes_per_sec must be >= 0 (0 = unlimited)");
+  if (options.policy == GovernorPolicy::kForegroundProtecting &&
+      !(options.protected_bytes_per_sec > 0))
+    return Status::invalid_argument(
+        "foreground-protecting needs protected_bytes_per_sec > 0: a zero "
+        "floor would starve rebuild whenever foreground traffic persists");
+  return RebuildGovernor(options);
+}
+
+double RebuildGovernor::effective_rate_locked() const noexcept {
+  const double configured = options_.rebuild_bytes_per_sec > 0
+                                ? options_.rebuild_bytes_per_sec
+                                : kUnlimited;
+  if (options_.policy != GovernorPolicy::kForegroundProtecting)
+    return configured;
+  return foreground_active()
+             ? std::min(configured, options_.protected_bytes_per_sec)
+             : configured;
+}
+
+void RebuildGovernor::refill_locked(std::uint64_t now) {
+  const double rate = effective_rate_locked();
+  if (std::isinf(rate)) {
+    state_->tokens = static_cast<double>(options_.burst_bytes);
+  } else if (now > state_->last_refill_us) {
+    const double dt = static_cast<double>(now - state_->last_refill_us) / 1e6;
+    state_->tokens = std::min(static_cast<double>(options_.burst_bytes),
+                              state_->tokens + rate * dt);
+  }
+  state_->last_refill_us = std::max(state_->last_refill_us, now);
+}
+
+bool RebuildGovernor::my_turn_locked(std::uint64_t ticket) const {
+  // The waiter list is in arrival order; under fifo (and protecting,
+  // which only changes the rate) the head goes first.  Under fair-share
+  // the least-granted waiting *shard* goes first, ties by arrival.
+  if (state_->waiters.empty()) return true;
+  if (options_.policy != GovernorPolicy::kFairShare)
+    return state_->waiters.front().ticket == ticket;
+  const Waiter* best = &state_->waiters.front();
+  for (const Waiter& w : state_->waiters) {
+    const auto granted = [&](const Waiter& x) {
+      return x.shard < state_->per_shard.size()
+                 ? state_->per_shard[x.shard].granted_bytes
+                 : 0;
+    };
+    if (granted(w) < granted(*best) ||
+        (granted(w) == granted(*best) && w.ticket < best->ticket))
+      best = &w;
+  }
+  return best->ticket == ticket;
+}
+
+std::uint64_t RebuildGovernor::acquire(std::uint32_t shard,
+                                       std::uint64_t bytes,
+                                       io::IoClass io_class) {
+  // Foreground classes are never budgeted here; account them as rebuild
+  // rather than corrupting the foreground counters.
+  (void)io_class;
+  const std::uint64_t started = now_us();
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  if (shard >= state_->per_shard.size())
+    state_->per_shard.resize(shard + 1);
+
+  const std::uint64_t ticket = state_->next_ticket++;
+  state_->waiters.push_back({ticket, shard});
+  bool waited = false;
+
+  for (;;) {
+    refill_locked(now_us());
+    if (my_turn_locked(ticket) && state_->tokens >= 0) break;
+    waited = true;
+    const double rate = effective_rate_locked();
+    if (my_turn_locked(ticket) && !std::isinf(rate) && rate > 0) {
+      // Sleep just long enough for the bucket to climb back to zero;
+      // re-check afterwards (the rate may have changed mid-sleep when
+      // foreground traffic arrived or went quiet).
+      const double deficit_sec = -state_->tokens / rate;
+      const auto wake = std::chrono::microseconds(
+          std::max<std::int64_t>(
+              100, static_cast<std::int64_t>(deficit_sec * 1e6)));
+      state_->cv.wait_for(lock, wake);
+    } else {
+      state_->cv.wait_for(lock, std::chrono::milliseconds(10));
+    }
+  }
+
+  state_->waiters.erase(
+      std::find_if(state_->waiters.begin(), state_->waiters.end(),
+                   [&](const Waiter& w) { return w.ticket == ticket; }));
+  state_->tokens -= static_cast<double>(bytes);
+
+  const std::uint64_t blocked = waited ? now_us() - started : 0;
+  const bool throttled =
+      options_.policy == GovernorPolicy::kForegroundProtecting &&
+      foreground_active();
+  auto charge = [&](GovernorStats& s) {
+    ++s.grants;
+    s.granted_bytes += bytes;
+    if (waited) {
+      ++s.waits;
+      s.wait_us += blocked;
+    }
+    if (throttled) ++s.throttled_grants;
+  };
+  charge(state_->fleet);
+  charge(state_->per_shard[shard]);
+  lock.unlock();
+  state_->cv.notify_all();
+  return blocked;
+}
+
+void RebuildGovernor::refund(std::uint32_t shard, std::uint64_t bytes) {
+  if (bytes == 0) return;
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    state_->tokens =
+        std::min(static_cast<double>(options_.burst_bytes),
+                 state_->tokens + static_cast<double>(bytes));
+    state_->fleet.refunded_bytes += bytes;
+    if (shard < state_->per_shard.size())
+      state_->per_shard[shard].refunded_bytes += bytes;
+  }
+  state_->cv.notify_all();
+}
+
+void RebuildGovernor::note_foreground(std::uint64_t bytes) noexcept {
+  state_->foreground_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  state_->foreground_last_us.store(now_us(), std::memory_order_relaxed);
+}
+
+bool RebuildGovernor::foreground_active() const noexcept {
+  const std::uint64_t last =
+      state_->foreground_last_us.load(std::memory_order_relaxed);
+  return last != 0 && now_us() - last <= options_.foreground_window_us;
+}
+
+GovernorStats RebuildGovernor::stats() const {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  GovernorStats out = state_->fleet;
+  out.foreground_bytes =
+      state_->foreground_bytes.load(std::memory_order_relaxed);
+  return out;
+}
+
+GovernorStats RebuildGovernor::shard_stats(std::uint32_t shard) const {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  if (shard >= state_->per_shard.size()) return {};
+  return state_->per_shard[shard];
+}
+
+}  // namespace pdl::fleet

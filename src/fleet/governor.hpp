@@ -1,0 +1,191 @@
+#pragma once
+/// @file
+/// pdl::fleet::RebuildGovernor -- the fleet-wide rebuild-bandwidth
+/// budget.
+///
+/// One array rebuilds as fast as its disks allow; a fleet of arrays
+/// rebuilding concurrently must not eat the machine out from under the
+/// foreground traffic.  The governor is a token bucket over *rebuilt
+/// bytes* (the write side of reconstruction -- the quantity the benches
+/// report as rebuild MB/s): every governed rebuild pass acquires its
+/// byte budget before touching the data path, blocks until the bucket
+/// covers it, and refunds whatever the pass did not use.  This is the
+/// fleet-level sibling of the per-disk io::IoScheduler policies from the
+/// async engine: the scheduler reorders requests already queued on one
+/// disk, while the governor decides how many rebuild bytes enter the
+/// system at all -- both keyed by the same io::IoClass traffic taxonomy
+/// (the governor budgets kRebuild/kScrub work and observes
+/// kForegroundRead/kForegroundWrite bytes reported by the serving path).
+///
+/// Three policies ship:
+///
+///   * fifo                  -- waiters drain in arrival order at the
+///                              configured rebuild rate (unlimited by
+///                              default): the baseline, no fairness and
+///                              no foreground awareness;
+///   * fair-share            -- same bucket, but when several shards
+///                              wait, the grant goes to the shard with
+///                              the least bytes granted so far, so one
+///                              big shard's rebuild cannot monopolize
+///                              the budget (long-term per-shard
+///                              fairness);
+///   * foreground-protecting -- while foreground traffic has been
+///                              observed within foreground_window_us,
+///                              the refill rate drops to
+///                              protected_bytes_per_sec (a strictly
+///                              positive floor, so rebuild always makes
+///                              progress and mean-time-to-repair stays
+///                              bounded -- the anti-starvation
+///                              guarantee); an idle fleet rebuilds at
+///                              the full rate.
+///
+/// Thread safety: all entry points are safe from any thread.  acquire()
+/// blocks (condition variable, no spinning); note_foreground() is a
+/// lock-free pair of relaxed atomics, cheap enough for the per-op
+/// serving path.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+#include "core/status.hpp"
+#include "io/disk_backend.hpp"
+
+/// @namespace pdl::fleet
+/// @brief The multi-array tier: Fleet shards one logical block space
+/// over many io::StripeStores, with governed rebuild bandwidth and
+/// online extent migration.
+namespace pdl::fleet {
+
+/// How the governor arbitrates rebuild bandwidth across shards.
+enum class GovernorPolicy : std::uint8_t {
+  kFifo = 0,                  ///< arrival order, fixed rate
+  kFairShare = 1,             ///< least-granted shard first, fixed rate
+  kForegroundProtecting = 2,  ///< throttle to a floor while foreground is hot
+};
+
+/// Human-readable policy name ("fifo", "fair-share",
+/// "foreground-protecting").
+[[nodiscard]] std::string_view governor_policy_name(
+    GovernorPolicy policy) noexcept;
+
+/// Policy by name (the inverse of governor_policy_name).  kParseError
+/// for unknown names.
+[[nodiscard]] Result<GovernorPolicy> governor_policy_from_name(
+    std::string_view name);
+
+/// Construction knobs for RebuildGovernor.
+struct GovernorOptions {
+  GovernorPolicy policy = GovernorPolicy::kFifo;
+  /// Steady-state rebuild budget in bytes/second; 0 means unlimited
+  /// (grants never wait except behind the protecting floor).
+  double rebuild_bytes_per_sec = 0;
+  /// foreground-protecting only: the refill rate while foreground
+  /// traffic is active.  Must be > 0 (validated) -- the non-starvation
+  /// floor.
+  double protected_bytes_per_sec = 4.0 * 1024 * 1024;
+  /// How recently foreground bytes must have been observed for the
+  /// protecting policy to consider the fleet "busy".
+  std::uint64_t foreground_window_us = 20000;
+  /// Token-bucket burst capacity: how many bytes a quiet period can
+  /// bank for an instant grant later.
+  std::uint64_t burst_bytes = 1 << 20;
+};
+
+/// What the governor has done since construction (monotonic).  Per-shard
+/// snapshots carry the same fields scoped to one shard (foreground_bytes
+/// is fleet-wide and reported as 0 in per-shard snapshots).
+struct GovernorStats {
+  std::uint64_t grants = 0;          ///< acquire() calls completed
+  std::uint64_t granted_bytes = 0;   ///< budget handed out
+  std::uint64_t refunded_bytes = 0;  ///< budget handed back unused
+  std::uint64_t waits = 0;           ///< grants that had to block
+  std::uint64_t wait_us = 0;         ///< total blocked microseconds
+  std::uint64_t throttled_grants = 0;  ///< grants paid at the protected rate
+  std::uint64_t foreground_bytes = 0;  ///< serving bytes observed
+};
+
+/// The fleet-wide rebuild-bandwidth budget.  See the file comment for
+/// the policy semantics and threading contract.
+class RebuildGovernor {
+ public:
+  /// kInvalidArgument for a non-positive protecting floor or negative
+  /// rates.
+  [[nodiscard]] static Result<RebuildGovernor> create(
+      const GovernorOptions& options);
+
+  RebuildGovernor(RebuildGovernor&&) noexcept = default;
+  RebuildGovernor& operator=(RebuildGovernor&&) noexcept = default;
+
+  /// Blocks until the bucket covers `bytes` of rebuild work for `shard`
+  /// (and, under fair-share, until it is this shard's turn), then debits
+  /// the bucket.  Returns the microseconds spent blocked (0 for an
+  /// immediate grant).  `io_class` must be a background class (kRebuild
+  /// or kScrub) -- foreground classes are not budgeted here and are
+  /// rejected by assert-like clamping to kRebuild accounting.
+  std::uint64_t acquire(std::uint32_t shard, std::uint64_t bytes,
+                        io::IoClass io_class = io::IoClass::kRebuild);
+
+  /// Returns unused budget from a prior acquire (a rebuild pass that
+  /// repaired fewer stripes than it reserved).
+  void refund(std::uint32_t shard, std::uint64_t bytes);
+
+  /// Reports `bytes` of foreground serving traffic.  Lock-free; called
+  /// by the fleet on every read/write so the protecting policy can see
+  /// load.
+  void note_foreground(std::uint64_t bytes) noexcept;
+
+  /// Whether foreground traffic was observed within
+  /// foreground_window_us of now.
+  [[nodiscard]] bool foreground_active() const noexcept;
+
+  /// Fleet-wide counters.
+  [[nodiscard]] GovernorStats stats() const;
+  /// One shard's counters (zeroes for a shard never seen).
+  [[nodiscard]] GovernorStats shard_stats(std::uint32_t shard) const;
+
+  /// The options the governor was built with.
+  [[nodiscard]] const GovernorOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  explicit RebuildGovernor(const GovernorOptions& options);
+
+  /// Effective refill rate right now (infinity encodes unlimited).
+  [[nodiscard]] double effective_rate_locked() const noexcept;
+  /// Rolls wall time forward into bucket tokens.
+  void refill_locked(std::uint64_t now_us);
+  /// Whether `ticket` is the waiter the policy serves next.
+  [[nodiscard]] bool my_turn_locked(std::uint64_t ticket) const;
+
+  GovernorOptions options_;
+
+  struct Waiter {
+    std::uint64_t ticket = 0;
+    std::uint32_t shard = 0;
+  };
+  /// Everything mutable lives behind one heap block so the governor
+  /// stays movable (Result<RebuildGovernor>).
+  struct State {
+    std::mutex mutex;
+    std::condition_variable cv;
+    double tokens = 0;               ///< may go negative (grant debt)
+    std::uint64_t last_refill_us = 0;
+    std::uint64_t next_ticket = 0;
+    std::vector<Waiter> waiters;     ///< arrival order
+    GovernorStats fleet;
+    std::vector<GovernorStats> per_shard;
+    /// note_foreground's lock-free side: last-activity stamp + byte
+    /// count, folded into `fleet` lazily under the mutex.
+    std::atomic<std::uint64_t> foreground_last_us{0};
+    std::atomic<std::uint64_t> foreground_bytes{0};
+  };
+  std::unique_ptr<State> state_;
+};
+
+}  // namespace pdl::fleet

@@ -163,11 +163,17 @@ class StripeStore {
 
   /// Logical units addressable through the store.
   [[nodiscard]] std::uint64_t num_logical_units() const noexcept {
-    return array_.data_units_per_iteration() * iterations_;
+    return array_.capacity_units(iterations_);
   }
   /// Bytes per logical unit (the I/O granularity).
   [[nodiscard]] std::uint32_t unit_bytes() const noexcept {
     return unit_bytes_;
+  }
+  /// Logical byte capacity of the store (num_logical_units x unit_bytes
+  /// -- the extent of addressable user bytes, e.g. for a fleet router
+  /// sizing shard extents).
+  [[nodiscard]] std::uint64_t logical_bytes() const noexcept {
+    return array_.capacity_bytes(unit_bytes_, iterations_);
   }
   /// Vertical layout repetitions per disk.
   [[nodiscard]] std::uint32_t iterations() const noexcept {
@@ -175,8 +181,7 @@ class StripeStore {
   }
   /// Bytes per physical disk image.
   [[nodiscard]] std::uint64_t disk_bytes() const noexcept {
-    return static_cast<std::uint64_t>(array_.units_per_disk()) *
-           iterations_ * unit_bytes_;
+    return array_.disk_bytes(unit_bytes_, iterations_);
   }
   /// The owned array's read-only surface.  Do NOT mutate the array's
   /// online state behind the store's back -- use the store's own

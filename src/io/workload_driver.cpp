@@ -70,19 +70,35 @@ void WorkloadStats::merge(const WorkloadStats& other) {
   batched_reads += other.batched_reads;
   read_latency_us.insert(read_latency_us.end(), other.read_latency_us.begin(),
                          other.read_latency_us.end());
+  write_latency_us.insert(write_latency_us.end(),
+                          other.write_latency_us.begin(),
+                          other.write_latency_us.end());
   // elapsed_seconds is wall time of the whole run; the caller sets it
   // once rather than summing per-thread times.
 }
 
-std::uint32_t WorkloadStats::read_latency_quantile_us(double p) const {
-  if (read_latency_us.empty()) return 0;
-  std::vector<std::uint32_t> sorted(read_latency_us);
+namespace {
+
+[[nodiscard]] std::uint32_t latency_quantile_us(
+    const std::vector<std::uint32_t>& samples, double p) {
+  if (samples.empty()) return 0;
+  std::vector<std::uint32_t> sorted(samples);
   const auto rank = static_cast<std::size_t>(
       std::clamp(p, 0.0, 1.0) * static_cast<double>(sorted.size() - 1));
   std::nth_element(sorted.begin(),
                    sorted.begin() + static_cast<std::ptrdiff_t>(rank),
                    sorted.end());
   return sorted[rank];
+}
+
+}  // namespace
+
+std::uint32_t WorkloadStats::read_latency_quantile_us(double p) const {
+  return latency_quantile_us(read_latency_us, p);
+}
+
+std::uint32_t WorkloadStats::write_latency_quantile_us(double p) const {
+  return latency_quantile_us(write_latency_us, p);
 }
 
 void canonical_fill(std::uint64_t logical, std::uint64_t seed,
@@ -223,10 +239,12 @@ void WorkloadDriver::worker(std::uint32_t thread_index,
       const std::uint64_t logical = batch[i];
       canonical_fill(logical, options_.seed, buffer);
       WriteReceipt receipt;
+      const auto write_started = clock::now();
       const Status status = store_.write(logical, buffer, &receipt);
       if (status.ok()) {
         ++stats.writes;
         stats.bytes_moved += unit_bytes;
+        stats.write_latency_us.push_back(elapsed_us(write_started));
         switch (receipt.kind) {
           case api::WritePlan::Kind::kReadModifyWrite:
             ++stats.rmw_writes;

@@ -72,6 +72,10 @@ struct WorkloadStats {
   /// microseconds (batched reads share their submission's wall time --
   /// that IS what the caller waited).  merge() concatenates.
   std::vector<std::uint32_t> read_latency_us;
+  /// Caller-visible completion latency of every successful write, in
+  /// microseconds (the full parity transaction -- RMW fan-in included --
+  /// is what the caller waited).  merge() concatenates.
+  std::vector<std::uint32_t> write_latency_us;
   double elapsed_seconds = 0;
 
   [[nodiscard]] double mb_per_second() const noexcept {
@@ -90,6 +94,9 @@ struct WorkloadStats {
   /// The p-quantile (0 <= p <= 1) of read_latency_us, or 0 with no
   /// samples.  p = 0.99 is the foreground-p99 the benches report.
   [[nodiscard]] std::uint32_t read_latency_quantile_us(double p) const;
+  /// The p-quantile (0 <= p <= 1) of write_latency_us, or 0 with no
+  /// samples.
+  [[nodiscard]] std::uint32_t write_latency_quantile_us(double p) const;
   void merge(const WorkloadStats& other);
 };
 
