@@ -10,7 +10,7 @@
 //
 //   $ ./bench_datapath_throughput [--smoke] [--backend memory|file|both]
 //         [--async] [--scheduler fifo|deadline|rebuild-deprioritizing]
-//         [--codec xor|rs] [v] [k]                         (defaults: 17 5)
+//         [--codec xor|rs] [--integrity] [v] [k]           (defaults: 17 5)
 //
 // --smoke shrinks the configuration for CI (tiny units, few ops) and
 // defaults to --backend both, so every CI run exercises the file-backed
@@ -27,6 +27,15 @@
 // --codec rs runs every cell over the GF(2^8) Reed-Solomon P+Q codec;
 // the degraded phase then fails TWO disks at once (double-degraded
 // decodes on the serving path) and the rebuild repairs both.
+//
+// --integrity runs the whole matrix with per-unit CRC32C checksums on
+// (measuring the verify tax) and appends a detect-and-heal experiment
+// (datapath_integrity records): seeded single-bit rot -- persistent
+// on-media flips plus a FaultInjectionBackend transient read flip -- on
+// a healthy store must be detected on read, counted, healed in place,
+// and the post-heal data region must checksum-identical to the
+// pre-corruption oracle.  The record's "integrity_ok" field is the CI
+// gate.
 
 #include <unistd.h>
 
@@ -37,6 +46,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <limits>
 #include <memory>
 #include <string>
 #include <thread>
@@ -47,6 +57,7 @@
 #include "engine/planner.hpp"
 #include "io/async_backend.hpp"
 #include "io/disk_backend.hpp"
+#include "io/scrubber.hpp"
 #include "io/stripe_store.hpp"
 #include "io/workload_driver.hpp"
 
@@ -64,6 +75,7 @@ struct BenchConfig {
   bool async = false;
   std::string scheduler = "fifo";
   core::CodecKind codec = core::CodecKind::kXorParity;
+  bool integrity = false;
 };
 
 /// The substrate one cell runs over: the selected base backend, wrapped
@@ -140,7 +152,8 @@ bool run_one(const engine::LayoutPlan& plan, api::SparingMode sparing,
   auto array = api::Array::create(plan.spec, {},
                                   {.sparing = sparing,
                                    .construction = plan.construction,
-                                   .codec = config.codec});
+                                   .codec = config.codec,
+                                   .integrity = config.integrity});
   if (!array.ok()) {
     std::fprintf(stderr, "skipping %s/%s: %s\n",
                  core::construction_name(plan.construction).c_str(), mode,
@@ -231,14 +244,15 @@ bool run_one(const engine::LayoutPlan& plan, api::SparingMode sparing,
       std::string(core::codec_kind_name(config.codec)).c_str(), healthy.mbps,
       degraded.mbps, rebuilding.mbps, rebuild_mbps, bench::okbad(verified));
 
-  // schema_version 5: added write p50/p99 latency fields (PR 8; v4 added
-  // codec / failed_disks in PR 7; v3 the async engine fields in PR 6; v2
-  // "backend" in PR 5).
-  bench::json_result("datapath_throughput", /*schema_version=*/5)
+  // schema_version 6: added the "integrity" field (PR 9; v5 added write
+  // p50/p99 latency in PR 8; v4 codec / failed_disks in PR 7; v3 the
+  // async engine fields in PR 6; v2 "backend" in PR 5).
+  bench::json_result("datapath_throughput", /*schema_version=*/6)
       .field("construction", core::construction_name(plan.construction))
       .field("sparing", mode)
       .field("backend", backend_kind)
       .field("codec", std::string(core::codec_kind_name(config.codec)))
+      .field("integrity", config.integrity)
       .field("failed_disks", static_cast<std::uint64_t>(failed.size()))
       .field("async", config.async)
       .field("engine", engine_name(*store))
@@ -416,11 +430,133 @@ bool run_scheduler_compare(const engine::LayoutPlan& plan,
   return ok;
 }
 
+/// The --integrity acceptance experiment: seeded single-bit rot on a
+/// HEALTHY store must be detected on read, counted, healed in place,
+/// and leave the data region checksum-identical to the pre-corruption
+/// oracle.  Two rot flavours are seeded: persistent on-media flips
+/// (written behind the store's back -- the heal path must rewrite the
+/// unit) and one FaultInjectionBackend transient read flip (the
+/// heal-and-retry path must re-serve correct bytes).  A Scrubber sweep
+/// and verify_stripes() then prove the store is fully consistent.
+bool run_integrity_smoke(const engine::LayoutPlan& plan,
+                         const std::string& backend_kind,
+                         const std::filesystem::path& scratch_dir,
+                         const BenchConfig& config, std::uint64_t seed) {
+  auto array =
+      api::Array::create(plan.spec, {},
+                         {.construction = plan.construction,
+                          .codec = config.codec,
+                          .integrity = true});
+  if (!array.ok()) return true;  // inapplicable layout, not a failure
+
+  // The fault decorator hides the substrate's memory views, so every
+  // unit crosses the streamed read path where rot can be injected.
+  std::unique_ptr<io::DiskBackend> base =
+      backend_kind == "file"
+          ? io::make_file_backend({.directory = scratch_dir.string()})
+          : io::make_memory_backend();
+  auto fault = std::make_unique<io::FaultInjectionBackend>(
+      std::move(base), io::FaultInjectionOptions{.seed = seed});
+  io::FaultInjectionBackend* fault_ptr = fault.get();
+  std::unique_ptr<io::DiskBackend> backend = std::move(fault);
+  if (config.async)
+    backend = io::make_async_backend(std::move(backend),
+                                     {.scheduler = config.scheduler});
+
+  auto store = io::StripeStore::create(
+      std::move(array).value(),
+      {.unit_bytes = config.unit_bytes, .iterations = config.iterations},
+      std::move(backend));
+  if (!store.ok()) {
+    std::fprintf(stderr, "integrity store creation failed: %s\n",
+                 store.status().to_string().c_str());
+    return false;
+  }
+  if (!io::fill_canonical(*store, 0, store->num_logical_units(), seed).ok())
+    return false;
+  const auto oracle = store->checksum_disks();
+  if (!oracle.ok()) return false;
+
+  // Persistent rot: flip one bit in three spread-out units, behind the
+  // store's back (the CRC cache still claims the original bytes).
+  const std::uint64_t stride =
+      std::max<std::uint64_t>(1, store->num_logical_units() / 3);
+  std::uint64_t corrupted = 0;
+  for (std::uint64_t logical = 0; logical < store->num_logical_units() &&
+                                  corrupted < 3;
+       logical += stride, ++corrupted) {
+    const api::Physical p = store->array().map(logical);
+    const std::uint64_t byte =
+        static_cast<std::uint64_t>(p.offset) * config.unit_bytes;
+    std::uint8_t media = 0;
+    if (!store->backend().read(p.disk, byte, {&media, 1}).ok()) return false;
+    media ^= 0x10;
+    if (!store->backend().write(p.disk, byte, {&media, 1}).ok()) return false;
+  }
+  // Transient rot: one scripted read-buffer flip on the very next
+  // backend read op.
+  const std::uint64_t next_read[] = {fault_ptr->stats().reads + 1};
+  fault_ptr->arm_rot_on_reads(next_read);
+
+  // Every byte must still come back canonical: the read path detects
+  // each mismatch, reconstructs through the codec, retries.
+  const std::uint64_t mismatched_units = verify_all(*store, seed);
+
+  // A paced scrub sweep and the parity re-encode audit close the loop:
+  // nothing left to heal, no instance inconsistent.
+  io::Scrubber scrubber(*store, {.instances_per_pass = 8});
+  const auto sweep = scrubber.run_sweep();
+  const auto inconsistent = store->verify_stripes();
+  const auto after = store->checksum_disks();
+  const io::IntegrityStats stats = store->integrity_stats();
+
+  bool checksum_identical = after.ok();
+  if (checksum_identical)
+    for (std::size_t d = 0; d < oracle->size(); ++d)
+      checksum_identical =
+          checksum_identical && (*after)[d] == (*oracle)[d];
+
+  const bool integrity_ok =
+      mismatched_units == 0 && checksum_identical && sweep.ok() &&
+      sweep.value().unhealable == 0 && inconsistent.ok() &&
+      inconsistent.value() == 0 && stats.mismatches >= corrupted &&
+      stats.healed >= corrupted && stats.verified > 0;
+
+  std::printf(
+      "integrity %-6s rotted %llu units  detected %llu  healed %llu  "
+      "verified %llu  %s\n",
+      backend_kind.c_str(), static_cast<unsigned long long>(corrupted + 1),
+      static_cast<unsigned long long>(stats.mismatches),
+      static_cast<unsigned long long>(stats.healed),
+      static_cast<unsigned long long>(stats.verified),
+      bench::okbad(integrity_ok));
+
+  bench::json_result("datapath_integrity")
+      .field("backend", backend_kind)
+      .field("codec", std::string(core::codec_kind_name(config.codec)))
+      .field("async", config.async)
+      .field("units_corrupted", corrupted)
+      .field("crc_verified", stats.verified)
+      .field("crc_mismatches", stats.mismatches)
+      .field("crc_healed", stats.healed)
+      .field("crc_unhealable", stats.unhealable)
+      .field("crc_adopted", stats.adopted)
+      .field("instances_scrubbed", stats.scrubbed)
+      .field("inconsistent_instances",
+             inconsistent.ok() ? inconsistent.value()
+                               : std::numeric_limits<std::uint64_t>::max())
+      .field("post_heal_checksum_identical", checksum_identical)
+      .field("integrity_ok", integrity_ok)
+      .emit();
+  return integrity_ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool smoke = false;
   bool async = false;
+  bool integrity = false;
   std::string scheduler = "fifo";
   std::string backend_arg;
   std::string codec_arg = "xor";
@@ -441,12 +577,15 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[arg], "--codec") == 0 && arg + 1 < argc) {
       codec_arg = argv[arg + 1];
       arg += 2;
+    } else if (std::strcmp(argv[arg], "--integrity") == 0) {
+      integrity = true;
+      ++arg;
     } else {
       std::fprintf(
           stderr,
           "usage: %s [--smoke] [--backend memory|file|both] [--async] "
           "[--scheduler fifo|deadline|rebuild-deprioritizing] "
-          "[--codec xor|rs] [v] [k]\n",
+          "[--codec xor|rs] [--integrity] [v] [k]\n",
           argv[0]);
       return 1;
     }
@@ -486,6 +625,7 @@ int main(int argc, char** argv) {
   }
   config.async = async;
   config.scheduler = scheduler;
+  config.integrity = integrity;
   if (codec_arg == "rs") {
     config.codec = core::CodecKind::kReedSolomonPQ;
   } else if (codec_arg != "xor") {
@@ -526,9 +666,9 @@ int main(int argc, char** argv) {
       }
     }
   }
-  // The async-only experiments: one representative layout (the planner's
+  // The opt-in experiments: one representative layout (the planner's
   // top pick that actually constructs), per backend kind.
-  if (async && !plans.empty()) {
+  if ((async || integrity) && !plans.empty()) {
     const engine::LayoutPlan* pick = nullptr;
     for (const auto& plan : plans) {
       if (plan.units_per_disk > 2000) continue;
@@ -539,7 +679,19 @@ int main(int argc, char** argv) {
         break;
       }
     }
-    if (pick != nullptr) {
+    if (pick != nullptr && integrity) {
+      bench::rule();
+      for (const std::string& backend_kind : backends) {
+        const std::filesystem::path scratch_dir =
+            scratch_root / ("integrity_" + backend_kind);
+        if (!run_integrity_smoke(*pick, backend_kind, scratch_dir, config,
+                                 seed))
+          any_failed = true;
+        std::error_code ec;
+        std::filesystem::remove_all(scratch_dir, ec);
+      }
+    }
+    if (pick != nullptr && async) {
       bench::rule();
       for (const std::string& backend_kind : backends) {
         const std::filesystem::path scratch_dir =

@@ -224,10 +224,13 @@ Result<Array> Array::create_with(engine::Engine& engine,
       spared = std::move(s).value();
     }
   }
-  return Array(std::move(built), std::move(spared), options.codec);
+  Array array(std::move(built), std::move(spared), options.codec);
+  array.integrity_ = options.integrity;
+  return array;
 }
 
-Result<Array> Array::adopt(Layout layout, core::CodecKind codec) {
+Result<Array> Array::adopt(Layout layout, core::CodecKind codec,
+                           bool integrity) {
   if (Status valid = validate_layout(layout); !valid.ok()) return valid;
   if (Status fit = validate_codec_fit(layout, /*spared=*/false, codec);
       !fit.ok())
@@ -239,11 +242,13 @@ Result<Array> Array::adopt(Layout layout, core::CodecKind codec) {
   auto built = std::make_shared<const BuiltLayout>(
       BuiltLayout{std::move(layout), Construction::kExternal,
                   "externally supplied layout", std::move(metrics)});
-  return Array(std::move(built), nullptr, codec);
+  Array array(std::move(built), nullptr, codec);
+  array.integrity_ = integrity;
+  return array;
 }
 
 Result<Array> Array::adopt_spared(SparedLayout spared,
-                                  core::CodecKind codec) {
+                                  core::CodecKind codec, bool integrity) {
   if (Status valid = validate_layout(spared.layout); !valid.ok())
     return valid;
   if (Status valid = validate_spare_map(spared); !valid.ok()) return valid;
@@ -261,15 +266,23 @@ Result<Array> Array::adopt_spared(SparedLayout spared,
                   std::move(metrics)});
   auto shared_spared =
       std::make_shared<const SparedLayout>(std::move(spared));
-  return Array(std::move(built), std::move(shared_spared), codec);
+  Array array(std::move(built), std::move(shared_spared), codec);
+  array.integrity_ = integrity;
+  return array;
 }
 
 std::string Array::serialize() const {
   std::string body = spared_ ? layout::serialize_spared_layout(*spared_)
                              : layout::serialize_layout(layout());
-  if (codec_kind_ == core::CodecKind::kXorParity) return body;  // legacy form
-  return "pdl-array-codec " +
-         std::string(core::codec_kind_name(codec_kind_)) + "\n" + body;
+  if (codec_kind_ != core::CodecKind::kXorParity)
+    body = "pdl-array-codec " +
+           std::string(core::codec_kind_name(codec_kind_)) + "\n" + body;
+  // The integrity header composes outermost: it changes the on-media disk
+  // format (the CRC region), so a reopened store must see it before
+  // anything else.  XOR arrays without integrity keep the legacy
+  // headerless form.
+  if (integrity_) body = "pdl-array-integrity crc32c\n" + body;
+  return body;
 }
 
 Result<Array> Array::deserialize(const std::string& text) {
@@ -277,7 +290,24 @@ Result<Array> Array::deserialize(const std::string& text) {
   std::string magic;
   probe >> magic;
   core::CodecKind codec = core::CodecKind::kXorParity;
+  bool integrity = false;
   std::string body = text;
+  if (magic == "pdl-array-integrity") {
+    std::string scheme;
+    probe >> scheme;
+    if (scheme != "crc32c")
+      return Status::parse_error("unknown checksum scheme '" + scheme +
+                                 "' in pdl-array-integrity header");
+    integrity = true;
+    const std::size_t newline = body.find('\n');
+    if (newline == std::string::npos)
+      return Status::parse_error(
+          "pdl-array-integrity header without a layout");
+    body = body.substr(newline + 1);
+    probe.str(body);
+    probe.clear();
+    probe >> magic;
+  }
   if (magic == "pdl-array-codec") {
     std::string name;
     probe >> name;
@@ -287,10 +317,10 @@ Result<Array> Array::deserialize(const std::string& text) {
       return Status::parse_error("unknown codec '" + name +
                                  "' in pdl-array-codec header");
     }
-    const std::size_t newline = text.find('\n');
+    const std::size_t newline = body.find('\n');
     if (newline == std::string::npos)
       return Status::parse_error("pdl-array-codec header without a layout");
-    body = text.substr(newline + 1);
+    body = body.substr(newline + 1);
     probe.str(body);
     probe.clear();
     probe >> magic;
@@ -298,16 +328,23 @@ Result<Array> Array::deserialize(const std::string& text) {
   if (magic == "pdl-spared-layout") {
     auto spared = layout::parse_spared_layout(body);
     if (!spared.ok()) return spared.status();
-    return adopt_spared(std::move(spared).value(), codec);
+    return adopt_spared(std::move(spared).value(), codec, integrity);
   }
   auto plain = layout::parse_layout(body);
   if (!plain.ok()) return plain.status();
-  return adopt(std::move(plain).value(), codec);
+  return adopt(std::move(plain).value(), codec, integrity);
 }
 
 Status Array::save(const std::string& path) const {
-  return spared_ ? layout::save_spared_layout(path, *spared_)
-                 : layout::save_layout(path, layout());
+  // Through serialize(), not layout::save_*, so the codec and integrity
+  // headers survive the round trip (save_layout would silently drop them
+  // and a load() would come back as a headerless XOR array).
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::io_error("cannot open " + path + " for writing");
+  out << serialize();
+  out.close();
+  if (!out) return Status::io_error("write failed: " + path);
+  return OkStatus();
 }
 
 Result<Array> Array::load(const std::string& path) {
@@ -587,6 +624,29 @@ Result<std::uint32_t> Array::stripe_peers(
     peers[i++] = {u.disk, lift + u.offset};
   }
   return count;
+}
+
+Result<std::uint32_t> Array::stripe_units(
+    std::uint32_t stripe, std::span<StripeUnitStatus> out) const {
+  if (stripe >= num_stripes())
+    return Status::invalid_argument("stripe " + std::to_string(stripe) +
+                                    " out of range");
+  const Stripe& st = layout().stripes()[stripe];
+  const std::uint32_t width = stripe_num_data_[stripe] + num_parity_;
+  if (out.size() < width)
+    return Status::invalid_argument(
+        "unit span holds " + std::to_string(out.size()) +
+        " slots, stripe needs " + std::to_string(width));
+  for (std::uint32_t p = 0; p < st.units.size(); ++p) {
+    if (!is_content(stripe, p)) continue;
+    const std::uint32_t index = unit_index_[stripe][p];
+    const bool lost = is_lost(stripe, p);
+    // A lost unit has no readable copy; its home slot is still the
+    // address rebuild will repopulate, so report that.
+    const StripeUnit& u = lost ? st.units[p] : cur_unit(stripe, p);
+    out[index] = {index, {u.disk, u.offset}, lost};
+  }
+  return width;
 }
 
 // -------------------------------------------------------------- transitions

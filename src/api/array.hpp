@@ -108,6 +108,11 @@ struct ArrayOptions {
   /// parity unit per stripe (cyclically, from parity_pos + 1) and
   /// survives any two concurrent disk failures.
   core::CodecKind codec = core::CodecKind::kXorParity;
+  /// Enable per-unit CRC32C end-to-end integrity: an io::StripeStore over
+  /// this array keeps a checksum per physical unit, verifies it on every
+  /// read path, and heals mismatches through the codec.  Persisted in
+  /// serialize() so reopened stores agree on the on-media format.
+  bool integrity = false;
 };
 
 /// Upper bound on parity units per stripe across all shipped codecs
@@ -239,11 +244,13 @@ class Array {
   /// spare map) is structurally invalid or too small for the codec.
   [[nodiscard]] static Result<Array> adopt(
       layout::Layout layout,
-      core::CodecKind codec = core::CodecKind::kXorParity);
+      core::CodecKind codec = core::CodecKind::kXorParity,
+      bool integrity = false);
   /// adopt() for an externally supplied distributed-sparing layout.
   [[nodiscard]] static Result<Array> adopt_spared(
       layout::SparedLayout spared,
-      core::CodecKind codec = core::CodecKind::kXorParity);
+      core::CodecKind codec = core::CodecKind::kXorParity,
+      bool integrity = false);
 
   /// Persistence: the layout plus (in distributed-sparing mode) the spare
   /// map, via layout::serialize.  Online failure state is not persisted.
@@ -311,6 +318,9 @@ class Array {
   [[nodiscard]] core::CodecKind codec_kind() const noexcept {
     return codec_kind_;
   }
+  /// Whether per-unit checksum integrity was requested at creation
+  /// (io::StripeStore consumes this to size and verify the CRC region).
+  [[nodiscard]] bool integrity() const noexcept { return integrity_; }
   /// The codec instance (stateless singleton).
   [[nodiscard]] const core::Codec& codec() const noexcept {
     return core::codec_for(codec_kind_);
@@ -425,6 +435,23 @@ class Array {
       std::uint64_t logical, std::span<Physical> peers,
       std::span<std::uint32_t> peer_index = {}) const;
 
+  /// One content unit of a stripe as the scrub/heal path sees it: its
+  /// codec index, its current (redirect-aware) iteration-0 home, and
+  /// whether it is presently lost to a disk failure.
+  struct StripeUnitStatus {
+    std::uint32_t index = 0;  ///< codec unit index (data i, parity k_d+j)
+    Physical unit;            ///< current home, iteration 0
+    bool lost = false;        ///< true: no readable copy exists on media
+  };
+  /// Every content unit (data + parity, spares excluded) of `stripe`
+  /// under the current failure state, in codec-index order, written to
+  /// `out`.  Returns the unit count (stripe_data_units + parities).
+  /// This is the full-stripe read/verify set for the integrity layer's
+  /// scrub and heal paths.  kInvalidArgument when `stripe` is out of
+  /// range or `out` is smaller than the stripe's content width.
+  [[nodiscard]] Result<std::uint32_t> stripe_units(
+      std::uint32_t stripe, std::span<StripeUnitStatus> out) const;
+
   // ------------------------------------------ online failure transitions
 
   /// Marks a healthy disk failed, recording every newly lost unit and any
@@ -523,6 +550,7 @@ class Array {
   std::shared_ptr<const core::BuiltLayout> built_;
   std::shared_ptr<const layout::SparedLayout> spared_;  ///< null = dedicated
   core::CodecKind codec_kind_;
+  bool integrity_ = false;  ///< per-unit checksums requested at creation
   std::uint32_t num_parity_;                ///< codec().num_parity()
   std::vector<std::uint64_t> parity_mask_;  ///< all parity bits per stripe
   layout::CompiledMapper mapper_;

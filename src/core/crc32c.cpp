@@ -1,0 +1,93 @@
+#include "core/crc32c.hpp"
+
+#include <array>
+#include <cstring>
+
+#if defined(__SSE4_2__)
+#include <nmmintrin.h>
+#endif
+
+namespace pdl::core {
+
+namespace {
+
+constexpr std::uint32_t kPoly = 0x82F63B78u;  // Castagnoli, reflected
+
+/// The eight slicing tables: table[0] is the classic byte-at-a-time
+/// table, table[j] advances a byte seen j positions earlier.
+struct Tables {
+  std::array<std::array<std::uint32_t, 256>, 8> t;
+
+  Tables() noexcept {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit)
+        crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+      t[0][i] = crc;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i)
+      for (std::size_t j = 1; j < 8; ++j)
+        t[j][i] = (t[j - 1][i] >> 8) ^ t[0][t[j - 1][i] & 0xFFu];
+  }
+};
+
+const Tables& tables() noexcept {
+  static const Tables instance;
+  return instance;
+}
+
+[[nodiscard]] std::uint32_t crc32c_sw(std::span<const std::uint8_t> data,
+                                      std::uint32_t crc) noexcept {
+  const Tables& tab = tables();
+  const std::uint8_t* p = data.data();
+  std::size_t n = data.size();
+
+  while (n >= 8) {
+    std::uint64_t word;
+    std::memcpy(&word, p, 8);
+    // Little-endian layout assumed (the library targets x86-64/aarch64
+    // Linux); the bytes fold low-to-high through the eight tables.
+    word ^= crc;
+    crc = tab.t[7][word & 0xFFu] ^ tab.t[6][(word >> 8) & 0xFFu] ^
+          tab.t[5][(word >> 16) & 0xFFu] ^ tab.t[4][(word >> 24) & 0xFFu] ^
+          tab.t[3][(word >> 32) & 0xFFu] ^ tab.t[2][(word >> 40) & 0xFFu] ^
+          tab.t[1][(word >> 48) & 0xFFu] ^ tab.t[0][(word >> 56) & 0xFFu];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) crc = (crc >> 8) ^ tab.t[0][(crc ^ *p++) & 0xFFu];
+  return crc;
+}
+
+#if defined(__SSE4_2__)
+
+[[nodiscard]] std::uint32_t crc32c_hw(std::span<const std::uint8_t> data,
+                                      std::uint32_t crc) noexcept {
+  const std::uint8_t* p = data.data();
+  std::size_t n = data.size();
+  while (n >= 8) {
+    std::uint64_t word;
+    std::memcpy(&word, p, 8);
+    crc = static_cast<std::uint32_t>(_mm_crc32_u64(crc, word));
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) crc = _mm_crc32_u8(crc, *p++);
+  return crc;
+}
+
+#endif  // __SSE4_2__
+
+}  // namespace
+
+std::uint32_t crc32c(std::span<const std::uint8_t> data,
+                     std::uint32_t seed) noexcept {
+  const std::uint32_t crc = seed ^ 0xFFFFFFFFu;
+#if defined(__SSE4_2__)
+  return crc32c_hw(data, crc) ^ 0xFFFFFFFFu;
+#else
+  return crc32c_sw(data, crc) ^ 0xFFFFFFFFu;
+#endif
+}
+
+}  // namespace pdl::core

@@ -15,6 +15,7 @@ std::string_view status_code_name(StatusCode code) noexcept {
     case StatusCode::kIoError: return "IO_ERROR";
     case StatusCode::kInternal: return "INTERNAL";
     case StatusCode::kParityInconsistent: return "PARITY_INCONSISTENT";
+    case StatusCode::kChecksumMismatch: return "CHECKSUM_MISMATCH";
   }
   return "UNKNOWN";
 }

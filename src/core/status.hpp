@@ -19,6 +19,9 @@
 //   * kParityInconsistent: the stripe's redundancy is torn (a compensating
 //     write failed mid-RMW); the data units still hold bytes, but parity
 //     cannot be trusted until the stripe is re-encoded.
+//   * kChecksumMismatch: a stored unit failed per-unit checksum
+//     verification and could not be reconstructed from redundancy (rot
+//     plus existing erasures exceeded the codec's tolerance).
 //   * kParseError / kIoError: malformed persisted state / filesystem
 //     failure.
 //   * Exceptions remain reserved for programmer errors and internal
@@ -50,6 +53,7 @@ enum class StatusCode : std::uint8_t {
   kIoError,
   kInternal,
   kParityInconsistent,
+  kChecksumMismatch,
 };
 
 [[nodiscard]] std::string_view status_code_name(StatusCode code) noexcept;
@@ -90,6 +94,9 @@ class [[nodiscard]] Status {
   }
   [[nodiscard]] static Status parity_inconsistent(std::string message) {
     return {StatusCode::kParityInconsistent, std::move(message)};
+  }
+  [[nodiscard]] static Status checksum_mismatch(std::string message) {
+    return {StatusCode::kChecksumMismatch, std::move(message)};
   }
 
   [[nodiscard]] bool ok() const noexcept { return code_ == StatusCode::kOk; }

@@ -333,6 +333,71 @@ Result<api::RebuildOutcome> Fleet::rebuild_all() {
   return total;
 }
 
+Result<io::ScrubReport> Fleet::scrub_some(std::uint32_t shard,
+                                          std::uint64_t max_instances,
+                                          std::uint64_t* blocked) {
+  std::uint64_t estimate = 0;
+  {
+    std::shared_lock<std::shared_mutex> lock(sync_->map);
+    if (shard >= stores_.size())
+      return Status::invalid_argument("no shard " + std::to_string(shard));
+    if (!stores_[shard]->integrity()) return io::ScrubReport{};
+    // A scrub instance reads every unit of one stripe; the reservation
+    // is that read footprint (heal writes are the rare case), with the
+    // unused remainder refunded after the pass.
+    estimate = max_instances * stores_[shard]->array().max_stripe_size() *
+               block_bytes_;
+  }
+  // Reserve OUTSIDE the map lock, like rebuild_some: acquire() may
+  // block a long time under a throttling policy.
+  const std::uint64_t waited =
+      governor_->acquire(shard, estimate, io::IoClass::kScrub);
+  if (blocked) *blocked = waited;
+
+  std::shared_lock<std::shared_mutex> lock(sync_->map);
+  if (shard >= stores_.size()) {
+    governor_->refund(shard, estimate);
+    return Status::invalid_argument("no shard " + std::to_string(shard));
+  }
+  auto report = stores_[shard]->scrub_some(max_instances);
+  const std::uint64_t used =
+      report.ok() ? report.value().instances *
+                        stores_[shard]->array().max_stripe_size() *
+                        block_bytes_
+                  : 0;
+  if (used < estimate) governor_->refund(shard, estimate - used);
+  return report;
+}
+
+Result<io::ScrubReport> Fleet::scrub_all() {
+  // Small governed passes, like rebuild(): one huge reservation would
+  // defeat the pacing policy.
+  constexpr std::uint64_t kPassInstances = 16;
+  io::ScrubReport total;
+  for (std::uint32_t s = 0; s < num_shards(); ++s) {
+    std::uint64_t remaining = 0;
+    {
+      std::shared_lock<std::shared_mutex> lock(sync_->map);
+      if (stores_[s]->integrity())
+        remaining =
+            static_cast<std::uint64_t>(stores_[s]->array().num_stripes()) *
+            stores_[s]->iterations();
+    }
+    while (remaining > 0) {
+      const std::uint64_t batch = std::min(remaining, kPassInstances);
+      auto report = scrub_some(s, batch);
+      if (!report.ok()) return report.status();
+      total.instances += report.value().instances;
+      total.mismatches += report.value().mismatches;
+      total.healed += report.value().healed;
+      total.unhealable += report.value().unhealable;
+      total.skipped += report.value().skipped;
+      remaining -= batch;
+    }
+  }
+  return total;
+}
+
 bool Fleet::healthy() const {
   std::shared_lock<std::shared_mutex> lock(sync_->map);
   for (const auto& store : stores_)
@@ -723,14 +788,31 @@ Result<Fleet> Fleet::deserialize(const std::string& text,
     if (!(in >> word >> e.first >> e.count >> e.shard >> e.base) ||
         word != "extent")
       return Status::parse_error("bad extent line '" + line + "'");
+    if (e.count == 0)
+      return Status::parse_error("extent covers zero blocks");
     if (e.first != next_block)
-      return Status::parse_error("extents are not contiguous from block 0");
+      return Status::parse_error(
+          "extents leave a gap or overlap in the block space (extent " +
+          std::to_string(i) + " starts at " + std::to_string(e.first) +
+          ", expected " + std::to_string(next_block) + ")");
     if (e.shard >= fleet.stores_.size())
       return Status::parse_error("extent names an unknown shard");
     if (e.base + e.count > fleet.stores_[e.shard]->num_logical_units())
       return Status::parse_error("extent exceeds its shard's capacity");
     if (e.base + e.count > fleet.shard_alloc_[e.shard])
       return Status::parse_error("extent exceeds its shard's allocation");
+    // Distinct block ranges must not alias the same shard-local units:
+    // an overlapping pair would serve two fleet blocks from one unit
+    // (and one write would clobber the other block).
+    for (const Extent& prior : fleet.extents_)
+      if (prior.shard == e.shard && e.base < prior.base + prior.count &&
+          prior.base < e.base + e.count)
+        return Status::parse_error(
+            "extents overlap on shard " + std::to_string(e.shard) +
+            ": units [" + std::to_string(e.base) + ", " +
+            std::to_string(e.base + e.count) + ") collide with [" +
+            std::to_string(prior.base) + ", " +
+            std::to_string(prior.base + prior.count) + ")");
     next_block += e.count;
     fleet.extents_.push_back(e);
   }

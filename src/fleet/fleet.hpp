@@ -245,6 +245,20 @@ class Fleet {
   /// order, decides the bandwidth split when driven concurrently).
   [[nodiscard]] Result<api::RebuildOutcome> rebuild_all();
 
+  /// Governed scrub pass: reserves the instances' read footprint from
+  /// the shared governor as io::IoClass::kScrub work (blocking until
+  /// the budget allows -- scrub and rebuild share one background-bytes
+  /// bucket), verifies and heals up to max_instances stripe instances
+  /// on the shard, and refunds the unused reservation.  A shard built
+  /// without integrity returns an empty report immediately.
+  [[nodiscard]] Result<io::ScrubReport> scrub_some(
+      std::uint32_t shard, std::uint64_t max_instances,
+      std::uint64_t* blocked = nullptr);
+
+  /// One governed full sweep: every instance of every shard, in small
+  /// governed passes (shard order; the governor decides the pacing).
+  [[nodiscard]] Result<io::ScrubReport> scrub_all();
+
   /// True when every shard is fully healthy.
   [[nodiscard]] bool healthy() const;
 

@@ -106,8 +106,10 @@ std::uint64_t RebuildGovernor::acquire(std::uint32_t shard,
                                        std::uint64_t bytes,
                                        io::IoClass io_class) {
   // Foreground classes are never budgeted here; account them as rebuild
-  // rather than corrupting the foreground counters.
-  (void)io_class;
+  // rather than corrupting the foreground counters.  Scrub grants share
+  // the rebuild bucket (one background-bytes budget) but are counted
+  // separately so operators can see verify traffic apart from repair.
+  const bool scrub = io_class == io::IoClass::kScrub;
   const std::uint64_t started = now_us();
   std::unique_lock<std::mutex> lock(state_->mutex);
   if (shard >= state_->per_shard.size())
@@ -153,6 +155,10 @@ std::uint64_t RebuildGovernor::acquire(std::uint32_t shard,
       s.wait_us += blocked;
     }
     if (throttled) ++s.throttled_grants;
+    if (scrub) {
+      ++s.scrub_grants;
+      s.scrub_granted_bytes += bytes;
+    }
   };
   charge(state_->fleet);
   charge(state_->per_shard[shard]);

@@ -107,6 +107,8 @@ struct GovernorStats {
   std::uint64_t wait_us = 0;         ///< total blocked microseconds
   std::uint64_t throttled_grants = 0;  ///< grants paid at the protected rate
   std::uint64_t foreground_bytes = 0;  ///< serving bytes observed
+  std::uint64_t scrub_grants = 0;      ///< grants classed io::IoClass::kScrub
+  std::uint64_t scrub_granted_bytes = 0;  ///< budget handed to scrub work
 };
 
 /// The fleet-wide rebuild-bandwidth budget.  See the file comment for

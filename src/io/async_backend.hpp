@@ -141,6 +141,20 @@ class AsyncDiskBackend final : public DiskBackend {
   /// non-OK request status, with per-request statuses in the batch.
   [[nodiscard]] Status execute_batch(std::span<IoRequest> batch) override;
   [[nodiscard]] bool async() const noexcept override { return true; }
+  // Journal calls pass straight through to the substrate.  Safe with the
+  // queues: the store calls journal_begin BEFORE submitting a batch's
+  // writes and journal_commit after wait(), so the record always covers
+  // writes that have not yet been (fully) issued.
+  [[nodiscard]] bool journaled() const noexcept override {
+    return inner_->journaled();
+  }
+  [[nodiscard]] Result<std::uint64_t> journal_begin(
+      std::span<const IoRequest> batch) override {
+    return inner_->journal_begin(batch);
+  }
+  [[nodiscard]] Status journal_commit(std::uint64_t token) override {
+    return inner_->journal_commit(token);
+  }
 
   // ------------------------------------------------- batched submission
 

@@ -107,6 +107,9 @@ struct FaultInjectionBackend::Impl {
   std::mt19937_64 rng;
   std::uniform_real_distribution<double> unit{0.0, 1.0};
   FaultInjectionStats stats;
+  /// Scripted rot ordinals: the options' list plus arm_rot_on_reads()
+  /// appends, consulted under the mutex so runtime arming is race-free.
+  std::vector<std::uint64_t> rot_read_ops;
 
   explicit Impl(std::uint64_t seed) : rng(seed) {}
 };
@@ -115,7 +118,9 @@ FaultInjectionBackend::FaultInjectionBackend(
     std::unique_ptr<DiskBackend> inner, const FaultInjectionOptions& options)
     : inner_(std::move(inner)),
       options_(options),
-      impl_(std::make_unique<Impl>(options.seed)) {}
+      impl_(std::make_unique<Impl>(options.seed)) {
+  impl_->rot_read_ops = options_.rot_read_ops;
+}
 
 FaultInjectionBackend::~FaultInjectionBackend() = default;
 
@@ -137,10 +142,17 @@ Status FaultInjectionBackend::read(DiskId disk, std::uint64_t offset,
   {
     std::lock_guard lock(impl_->mutex);
     ++impl_->stats.reads;
+    const bool scripted_rot =
+        !out.empty() &&
+        std::find(impl_->rot_read_ops.begin(), impl_->rot_read_ops.end(),
+                  impl_->stats.reads) != impl_->rot_read_ops.end();
     if (options_.read_error_probability > 0 &&
         impl_->unit(impl_->rng) < options_.read_error_probability) {
       inject_error = true;
       ++impl_->stats.injected_read_errors;
+    } else if (scripted_rot) {
+      inject_rot = true;
+      rot_bit = impl_->rng() % (out.size() * 8);
     } else if (!out.empty() && options_.bit_rot_probability > 0 &&
                impl_->unit(impl_->rng) < options_.bit_rot_probability) {
       inject_rot = true;
@@ -200,6 +212,13 @@ Status FaultInjectionBackend::discard(DiskId disk, std::uint8_t fill) {
 FaultInjectionStats FaultInjectionBackend::stats() const {
   std::lock_guard lock(impl_->mutex);
   return impl_->stats;
+}
+
+void FaultInjectionBackend::arm_rot_on_reads(
+    std::span<const std::uint64_t> ordinals) {
+  std::lock_guard lock(impl_->mutex);
+  impl_->rot_read_ops.insert(impl_->rot_read_ops.end(), ordinals.begin(),
+                             ordinals.end());
 }
 
 // ------------------------------------------------------------- factories

@@ -224,6 +224,42 @@ class DiskBackend {
   [[nodiscard]] virtual std::uint32_t io_alignment() const noexcept {
     return 1;
   }
+
+  // ------------------------------------------- write-ahead journal seam
+  //
+  // A crash between the writes of one parity-maintenance batch (data
+  // landed, parity did not) leaves the substrate torn in a way no
+  // in-process protocol can repair.  A journaled backend closes the hole:
+  // the caller records the batch's full write payloads FIRST
+  // (journal_begin), performs the in-place writes, then retires the
+  // record (journal_commit).  open() on a substrate with un-retired
+  // records re-applies them -- replaying a complete record is idempotent
+  // and lands the substrate in the batch's post-image -- or discards
+  // records whose self-checksum shows the journal append itself tore.
+
+  /// True when this backend persists journal records across open()
+  /// (FileBackend).  The default is an unjournaled substrate; callers
+  /// fall back to in-process torn-write protocols.
+  [[nodiscard]] virtual bool journaled() const noexcept { return false; }
+
+  /// Durably records the write requests of one atomic batch (reads in
+  /// `batch` are ignored) and returns an opaque token for
+  /// journal_commit.  kUnsupported on unjournaled backends or when the
+  /// batch exceeds the journal's record capacity -- the caller proceeds
+  /// unjournaled.  Thread-safe.
+  [[nodiscard]] virtual Result<std::uint64_t> journal_begin(
+      std::span<const IoRequest> batch) {
+    (void)batch;
+    return Status::unsupported("backend has no write-ahead journal");
+  }
+
+  /// Retires a journal_begin record once its in-place writes have been
+  /// issued (they need not be durable: replaying the record reproduces
+  /// them).  Every token must be committed exactly once.
+  [[nodiscard]] virtual Status journal_commit(std::uint64_t token) {
+    (void)token;
+    return Status::unsupported("backend has no write-ahead journal");
+  }
 };
 
 // ---------------------------------------------------------------- memory
@@ -288,6 +324,20 @@ struct FileBackendOptions {
   /// practice: size every unit_bytes as a multiple of 4096 and direct
   /// I/O stays engaged; anything else still works, just buffered.
   bool direct_io = false;
+  /// Keep a write-ahead journal (`journal.bin` beside the images) for
+  /// atomic write batches: journal_begin/journal_commit become
+  /// available, and open() replays or discards un-retired records left
+  /// by a crash (see DiskBackend's journal seam).  On by default --
+  /// the cost is one extra sequential pwrite per journaled batch.
+  bool journal = true;
+};
+
+/// Journal activity counters (monotonic since open()).
+struct FileJournalStats {
+  std::uint64_t records = 0;    ///< journal_begin records written
+  std::uint64_t commits = 0;    ///< records retired by journal_commit
+  std::uint64_t replayed = 0;   ///< valid records re-applied at open()
+  std::uint64_t discarded = 0;  ///< torn records dropped at open()
 };
 
 /// File-per-disk substrate driven with pread/pwrite at caller offsets
@@ -327,6 +377,12 @@ class FileBackend final : public DiskBackend {
   }
   [[nodiscard]] int native_handle(DiskId disk) const noexcept override;
   [[nodiscard]] std::uint32_t io_alignment() const noexcept override;
+  [[nodiscard]] bool journaled() const noexcept override {
+    return options_.journal;
+  }
+  [[nodiscard]] Result<std::uint64_t> journal_begin(
+      std::span<const IoRequest> batch) override;
+  [[nodiscard]] Status journal_commit(std::uint64_t token) override;
 
   /// The image file backing `disk` (valid after open()).
   [[nodiscard]] std::string disk_path(DiskId disk) const;
@@ -335,6 +391,9 @@ class FileBackend final : public DiskBackend {
   /// options, accepted by the filesystem, and not yet downgraded by a
   /// misaligned op -- see the FileBackendOptions::direct_io contract).
   [[nodiscard]] bool direct_io_active() const noexcept;
+
+  /// Journal activity since open() (zeros when options.journal is off).
+  [[nodiscard]] FileJournalStats journal_stats() const;
 
  private:
   [[nodiscard]] Status check(DiskId disk, std::uint64_t offset,
@@ -347,11 +406,16 @@ class FileBackend final : public DiskBackend {
   [[nodiscard]] Status write_direct(DiskId disk, std::uint64_t offset,
                                     std::span<const std::uint8_t> data);
 
+  [[nodiscard]] Status open_journal();
+  [[nodiscard]] Status replay_journal();
+
   FileBackendOptions options_;
   BackendGeometry geometry_;
   std::vector<int> fds_;  ///< one O_RDWR descriptor per disk
   struct DirectState;     ///< atomic active flag + fallback mutex
   std::unique_ptr<DirectState> direct_;
+  struct JournalState;    ///< slot allocator + fd + stats behind a mutex
+  std::unique_ptr<JournalState> journal_;
 };
 
 // ------------------------------------------------------- fault injection
@@ -378,6 +442,12 @@ struct FaultInjectionOptions {
   /// execute_batch executes its requests strictly in order, so in-batch
   /// write ordinals are deterministic.
   std::vector<std::uint64_t> fail_write_ops = {};
+  /// Scripted bit-rot: 1-based ordinals into the decorator's lifetime
+  /// READ counter; the Nth read() succeeds but flips one seeded bit of
+  /// the returned payload.  Exact like fail_write_ops -- the integrity
+  /// tests use it to corrupt precisely the next unit a healthy read will
+  /// fetch.  arm_rot_on_reads() appends ordinals at runtime.
+  std::vector<std::uint64_t> rot_read_ops = {};
 };
 
 /// Counters of what the decorator actually did (monotonic since open).
@@ -413,9 +483,27 @@ class FaultInjectionBackend final : public DiskBackend {
   [[nodiscard]] std::string_view name() const noexcept override {
     return "fault-injection";
   }
+  // Journal calls pass through untouched: the decorator injects faults
+  // into the data path only, never into crash-consistency bookkeeping.
+  [[nodiscard]] bool journaled() const noexcept override {
+    return inner_->journaled();
+  }
+  [[nodiscard]] Result<std::uint64_t> journal_begin(
+      std::span<const IoRequest> batch) override {
+    return inner_->journal_begin(batch);
+  }
+  [[nodiscard]] Status journal_commit(std::uint64_t token) override {
+    return inner_->journal_commit(token);
+  }
 
   /// Snapshot of the injection counters.
   [[nodiscard]] FaultInjectionStats stats() const;
+
+  /// Appends scripted rot ordinals (1-based lifetime read ordinals, like
+  /// FaultInjectionOptions::rot_read_ops) at runtime: a test reads
+  /// stats().reads and arms exactly the next read it knows the store
+  /// will issue.  Thread-safe.
+  void arm_rot_on_reads(std::span<const std::uint64_t> ordinals);
 
  private:
   struct Impl;  ///< PRNG + counters behind a mutex

@@ -1,0 +1,142 @@
+#include "io/scrubber.hpp"
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace pdl::io {
+
+struct Scrubber::Impl {
+  mutable std::mutex mutex;        ///< pass serialization + totals
+  std::condition_variable cv;      ///< interruptible background sleep
+  ScrubReport total;
+  std::uint64_t passes = 0;
+  Status last_error;
+  bool stop_requested = false;
+  bool thread_running = false;
+  std::thread sweeper;
+};
+
+namespace {
+
+void fold(ScrubReport& total, const ScrubReport& pass) {
+  total.instances += pass.instances;
+  total.mismatches += pass.mismatches;
+  total.healed += pass.healed;
+  total.unhealable += pass.unhealable;
+  total.skipped += pass.skipped;
+}
+
+}  // namespace
+
+Scrubber::Scrubber(StripeStore& store, ScrubberOptions options)
+    : store_(store),
+      options_(options),
+      impl_(std::make_unique<Impl>()) {
+  if (options_.instances_per_pass == 0) options_.instances_per_pass = 1;
+}
+
+Scrubber::~Scrubber() { stop(); }
+
+Result<ScrubReport> Scrubber::run_pass() {
+  // One pass in flight: a second caller queues here rather than racing
+  // the cursor (scrub parallelism belongs across stores, not within).
+  std::unique_lock<std::mutex> lock(impl_->mutex);
+  // The pass reads every unit of each instance's stripe; that footprint
+  // is the pacing currency, refunded pro rata for a short final slice.
+  const std::uint64_t per_instance =
+      store_.array().max_stripe_bytes(store_.unit_bytes());
+  const std::uint64_t estimate = options_.instances_per_pass * per_instance;
+  if (options_.pacer.acquire) {
+    lock.unlock();  // acquire may block a long time; don't hold the pass
+    options_.pacer.acquire(estimate);
+    lock.lock();
+  }
+  auto report = store_.scrub_some(options_.instances_per_pass);
+  const std::uint64_t used =
+      report.ok() ? report.value().instances * per_instance : 0;
+  if (options_.pacer.refund && used < estimate)
+    options_.pacer.refund(estimate - used);
+  if (!report.ok()) return report;
+  fold(impl_->total, report.value());
+  ++impl_->passes;
+  return report;
+}
+
+Result<ScrubReport> Scrubber::run_sweep() {
+  const std::uint64_t instances =
+      static_cast<std::uint64_t>(store_.array().num_stripes()) *
+      store_.iterations();
+  ScrubReport sweep;
+  for (std::uint64_t done = 0; done < instances;
+       done += options_.instances_per_pass) {
+    auto pass = run_pass();
+    if (!pass.ok()) return pass;
+    fold(sweep, pass.value());
+    if (pass.value().instances == 0) break;  // integrity off: nothing to do
+  }
+  return sweep;
+}
+
+void Scrubber::start() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  if (impl_->thread_running) return;
+  impl_->stop_requested = false;
+  impl_->thread_running = true;
+  impl_->sweeper = std::thread([this] {
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(impl_->mutex);
+        if (impl_->stop_requested) break;
+      }
+      auto pass = run_pass();
+      std::unique_lock<std::mutex> lock(impl_->mutex);
+      if (!pass.ok()) {
+        // Substrate failure: record it and park (spinning on a broken
+        // backend would just melt the error counters).
+        if (impl_->last_error.ok()) impl_->last_error = pass.status();
+        impl_->cv.wait(lock, [&] { return impl_->stop_requested; });
+        break;
+      }
+      if (impl_->stop_requested) break;
+      if (options_.pass_interval_us > 0)
+        impl_->cv.wait_for(lock,
+                           std::chrono::microseconds(options_.pass_interval_us),
+                           [&] { return impl_->stop_requested; });
+    }
+  });
+}
+
+void Scrubber::stop() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stop_requested = true;
+  }
+  impl_->cv.notify_all();
+  if (impl_->sweeper.joinable()) impl_->sweeper.join();
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->thread_running = false;
+}
+
+bool Scrubber::running() const noexcept {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->thread_running;
+}
+
+ScrubReport Scrubber::total() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->total;
+}
+
+std::uint64_t Scrubber::passes() const noexcept {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->passes;
+}
+
+Status Scrubber::last_error() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->last_error;
+}
+
+}  // namespace pdl::io

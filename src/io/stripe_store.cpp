@@ -5,6 +5,7 @@
 #include <string>
 
 #include "core/codec.hpp"
+#include "core/crc32c.hpp"
 #include "core/xor_codec.hpp"
 
 namespace pdl::io {
@@ -96,8 +97,17 @@ Result<StripeStore> StripeStore::create(api::Array array,
   if (!backend) backend = make_memory_backend();
 
   StripeStore store(std::move(array), options, std::move(backend));
-  const BackendGeometry geometry{store.array_.num_disks(),
-                                 store.disk_bytes()};
+  store.integrity_ = store.array_.integrity();
+  store.crc_base_ = store.disk_bytes();
+  // Under integrity each disk's media grows by a checksum region: one
+  // CRC32C word per physical unit, appended after the data region.  A
+  // persistent backend's manifest pins the extended size, so reopening
+  // an image with the wrong integrity setting fails the geometry check
+  // instead of silently mixing formats.
+  const std::uint64_t units_per_disk = store.disk_bytes() / options.unit_bytes;
+  const std::uint64_t media_bytes =
+      store.disk_bytes() + (store.integrity_ ? units_per_disk * 4 : 0);
+  const BackendGeometry geometry{store.array_.num_disks(), media_bytes};
   if (Status opened = store.backend_->open(geometry); !opened.ok())
     return opened;
 
@@ -111,6 +121,27 @@ Result<StripeStore> StripeStore::create(api::Array array,
     views.push_back(view);
   }
   if (views.size() == geometry.num_disks) store.views_ = std::move(views);
+
+  // Load the checksum cache from media: fresh disks are all-zero
+  // ("unverified" -- scrub adopts them), a reopened image supplies the
+  // previous process's checksums.
+  if (store.integrity_) {
+    const std::size_t units = static_cast<std::size_t>(units_per_disk);
+    store.crc_.resize(geometry.num_disks);
+    std::vector<std::uint8_t> raw(units * 4);
+    for (DiskId disk = 0; disk < geometry.num_disks; ++disk) {
+      if (!store.views_.empty()) {
+        std::memcpy(raw.data(),
+                    store.views_[disk].data() + store.crc_base_, units * 4);
+      } else if (Status read = store.backend_->read(
+                     disk, store.crc_base_, {raw.data(), raw.size()});
+                 !read.ok()) {
+        return read;
+      }
+      store.crc_[disk].resize(units);
+      std::memcpy(store.crc_[disk].data(), raw.data(), units * 4);
+    }
+  }
   return store;
 }
 
@@ -184,6 +215,91 @@ Status StripeStore::store_unit(Physical p,
   return backend_->write(p.disk, byte_offset(p.offset), data);
 }
 
+// ---------------------------------------------------- integrity internals
+
+bool StripeStore::verify_unit_crc(Physical p,
+                                  std::span<const std::uint8_t> bytes) {
+  if (!integrity_) return true;
+  const std::uint32_t stored = crc_[p.disk][p.offset];
+  if (stored == 0) return true;  // unverified: no claim to check against
+  if (core::crc32c_nonzero(bytes) == stored) {
+    sync_->crc_verified.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  sync_->crc_mismatches.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+Status StripeStore::crc_persist(Physical p) {
+  if (!integrity_) return OkStatus();
+  const std::uint32_t value = crc_[p.disk][p.offset];
+  std::array<std::uint8_t, 4> word;
+  std::memcpy(word.data(), &value, 4);
+  if (!views_.empty()) {
+    std::memcpy(views_[p.disk].data() + crc_media_offset(p.offset),
+                word.data(), 4);
+    return OkStatus();
+  }
+  return backend_->write(p.disk, crc_media_offset(p.offset), word);
+}
+
+Status StripeStore::set_fresh_crc(Physical p,
+                                  std::span<const std::uint8_t> bytes) {
+  if (!integrity_) return OkStatus();
+  crc_[p.disk][p.offset] = core::crc32c_nonzero(bytes);
+  return crc_persist(p);
+}
+
+std::uint32_t StripeStore::stage_crc_writes(
+    std::span<IoRequest> requests, std::uint32_t count,
+    std::span<std::array<std::uint8_t, 4>> staging) {
+  if (!integrity_) return count;
+  std::uint32_t total = count;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const IoRequest& w = requests[i];
+    const std::uint64_t unit = w.offset / unit_bytes_;
+    const std::uint32_t crc = core::crc32c_nonzero(w.write_buf);
+    std::memcpy(staging[i].data(), &crc, 4);
+    requests[total++] = IoRequest::write_of(w.io_class, w.disk,
+                                            crc_media_offset(unit),
+                                            staging[i]);
+  }
+  return total;
+}
+
+void StripeStore::commit_staged_crcs(
+    std::span<const IoRequest> units,
+    std::span<const std::array<std::uint8_t, 4>> staging) {
+  if (!integrity_) return;
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    std::uint32_t crc = 0;
+    std::memcpy(&crc, staging[i].data(), 4);
+    crc_[units[i].disk][units[i].offset / unit_bytes_] = crc;
+  }
+}
+
+Status StripeStore::execute_batch_journaled(std::span<IoRequest> batch) {
+  if (!backend_->journaled()) return backend_->execute_batch(batch);
+  auto token = backend_->journal_begin(batch);
+  if (!token.ok()) {
+    // kUnsupported (no writes, record too big) degrades to the plain
+    // unjournaled batch; a real journal failure aborts before any
+    // in-place write starts.
+    if (token.status().code() == StatusCode::kUnsupported)
+      return backend_->execute_batch(batch);
+    return token.status();
+  }
+  const Status executed = backend_->execute_batch(batch);
+  // Retire the record on EVERY exit: on success the writes are all
+  // in place; on partial failure the caller compensates back to the
+  // pre-write image -- either way the record must not replay over the
+  // state this call reports.  A crash BETWEEN the in-place writes and
+  // this retire replays the full record, which is exactly the
+  // consistent post-image.
+  (void)backend_->journal_commit(*token);
+  return executed;
+}
+
 // -------------------------------------------------------------- data path
 
 Status StripeStore::read(std::uint64_t logical, std::span<std::uint8_t> out,
@@ -199,8 +315,23 @@ Status StripeStore::read(std::uint64_t logical, std::span<std::uint8_t> out,
         std::to_string(unit_bytes_));
 
   std::shared_lock state(sync_->state);
-  std::shared_lock stripe(shard_for(logical));
-  return read_locked(logical, out, receipt);
+  for (int attempt = 0;; ++attempt) {
+    Status served;
+    {
+      std::shared_lock stripe(shard_for(logical));
+      served = read_locked(logical, out, receipt);
+    }
+    if (served.code() != StatusCode::kChecksumMismatch || attempt > 0)
+      return served;
+    // Detected rot: upgrade to the writer lock, heal the instance
+    // through the codec, and retry the read once.  An unhealable
+    // instance (rot past the codec's tolerance) surfaces the mismatch.
+    const api::Array::LogicalRef ref = array_.logical_ref(logical);
+    std::unique_lock stripe(shard_for(logical));
+    (void)heal_instance_locked(ref.stripe,
+                               static_cast<std::uint32_t>(ref.iteration),
+                               nullptr);
+  }
 }
 
 Status StripeStore::read_locked(std::uint64_t logical,
@@ -216,6 +347,12 @@ Status StripeStore::read_locked(std::uint64_t logical,
     case api::ReadPlan::Kind::kDirect: {
       if (Status loaded = load_unit(plan->target, out); !loaded.ok())
         return loaded;
+      if (!verify_unit_crc(plan->target, out))
+        return Status::checksum_mismatch(
+            "logical " + std::to_string(logical) + " (disk " +
+            std::to_string(plan->target.disk) + ", unit " +
+            std::to_string(plan->target.offset) +
+            ") failed CRC32C verification");
       if (receipt) {
         receipt->kind = plan->kind;
         receipt->num_touched = 1;
@@ -256,6 +393,15 @@ Status StripeStore::read_locked(std::uint64_t logical,
             !fanned.ok())
           return fanned;
       }
+      // A degraded decode trusts every survivor byte: rot in ANY of
+      // them would silently materialize as the "reconstructed" unit.
+      for (std::uint32_t i = 0; i < n && integrity_; ++i)
+        if (!verify_unit_crc(survivors[i], srcs[i]))
+          return Status::checksum_mismatch(
+              "degraded read of logical " + std::to_string(logical) +
+              ": survivor (disk " + std::to_string(survivors[i].disk) +
+              ", unit " + std::to_string(survivors[i].offset) +
+              ") failed CRC32C verification");
       decode_unit(array_.codec(), plan->num_data, {srcs.data(), n},
                   {survivor_idx.data(), n}, erased, out);
       if (receipt) {
@@ -281,6 +427,30 @@ Status StripeStore::read_batch(std::span<const std::uint64_t> logicals,
                                std::span<std::uint8_t> out,
                                std::span<Status> statuses,
                                std::span<ReadReceipt> receipts) {
+  Status first = read_batch_once(logicals, out, statuses, receipts);
+  if (!integrity_ || statuses.size() != logicals.size()) return first;
+  bool any_mismatch = false;
+  for (const Status& s : statuses)
+    if (s.code() == StatusCode::kChecksumMismatch) any_mismatch = true;
+  if (!any_mismatch) return first;
+  // Heal-and-retry pass: the batch's locks are released, so each
+  // mismatched unit goes back through read(), whose writer-locked heal
+  // reconstructs the rotten bytes before re-serving.
+  first = OkStatus();
+  for (std::size_t i = 0; i < logicals.size(); ++i) {
+    if (statuses[i].code() == StatusCode::kChecksumMismatch)
+      statuses[i] = read(logicals[i],
+                         out.subspan(i * unit_bytes_, unit_bytes_),
+                         receipts.empty() ? nullptr : &receipts[i]);
+    if (!statuses[i].ok() && first.ok()) first = statuses[i];
+  }
+  return first;
+}
+
+Status StripeStore::read_batch_once(std::span<const std::uint64_t> logicals,
+                                    std::span<std::uint8_t> out,
+                                    std::span<Status> statuses,
+                                    std::span<ReadReceipt> receipts) {
   if (out.size() != logicals.size() * unit_bytes_)
     return Status::invalid_argument(
         "read_batch buffer is " + std::to_string(out.size()) + " bytes; " +
@@ -449,6 +619,29 @@ Status StripeStore::read_batch(std::span<const std::uint64_t> logicals,
       fail(i, unit);
       continue;
     }
+    if (integrity_) {
+      // Verify everything this unit's resolution touched: the direct
+      // target (caller's slice) or every degraded survivor (arena).
+      Status verified;
+      for (std::uint32_t r = 0; r < p.num_requests && verified.ok(); ++r) {
+        const Physical touched_unit = touched[p.first_request + r];
+        const auto bytes =
+            p.kind == api::ReadPlan::Kind::kDirect
+                ? std::span<const std::uint8_t>(out_slice(i))
+                : std::span<const std::uint8_t>(
+                      requests[p.first_request + r].read_buf);
+        if (!verify_unit_crc(touched_unit, bytes))
+          verified = Status::checksum_mismatch(
+              "batched read of logical " + std::to_string(logicals[i]) +
+              ": unit (disk " + std::to_string(touched_unit.disk) +
+              ", unit " + std::to_string(touched_unit.offset) +
+              ") failed CRC32C verification");
+      }
+      if (!verified.ok()) {
+        fail(i, std::move(verified));
+        continue;
+      }
+    }
     if (p.kind == api::ReadPlan::Kind::kDegraded) {
       std::array<std::span<const std::uint8_t>, 64> srcs;
       for (std::uint32_t r = 0; r < p.num_requests; ++r)
@@ -489,6 +682,23 @@ Status StripeStore::write(std::uint64_t logical,
   // spurious bump (e.g. a write that then fails) only costs a retry.
   sync_->write_epoch.fetch_add(1, std::memory_order_relaxed);
 
+  for (int attempt = 0;; ++attempt) {
+    Status wrote = write_locked(logical, data, receipt);
+    if (wrote.code() != StatusCode::kChecksumMismatch || attempt > 0)
+      return wrote;
+    // A unit loaded for parity maintenance (old data, old parity, or a
+    // reconstruct peer) failed verification: heal the instance under
+    // the already-held writer lock and retry the plan once.
+    const api::Array::LogicalRef ref = array_.logical_ref(logical);
+    (void)heal_instance_locked(ref.stripe,
+                               static_cast<std::uint32_t>(ref.iteration),
+                               nullptr);
+  }
+}
+
+Status StripeStore::write_locked(std::uint64_t logical,
+                                 std::span<const std::uint8_t> data,
+                                 WriteReceipt* receipt) {
   std::array<Physical, 64> peers;
   std::array<std::uint32_t, 64> peer_idx;
   const auto plan = array_.plan_write(logical, peers,
@@ -516,12 +726,21 @@ Status StripeStore::write(std::uint64_t logical,
         return write_rmw_multi(*plan, data, instance, receipt);
       // parity ^= old ^ new, then the data unit takes the new bytes.
       if (const auto p = unit_view(plan->parity); !p.empty()) {
+        // Verify BEFORE the in-place fold: rot in the old parity or old
+        // data would otherwise be laundered into the new parity.
+        if (!verify_unit_crc(plan->parity, p) ||
+            !verify_unit_crc(plan->data, unit_view(plan->data)))
+          return Status::checksum_mismatch(
+              "RMW of logical " + std::to_string(logical) +
+              ": a pre-image unit failed CRC32C verification");
         // Zero-copy: one blocked pass folds old parity, old data, and
         // new data into the parity image in place.
         const std::span<const std::uint8_t> srcs[] = {
             p, unit_view(plan->data), data};
         core::xor_parity_into(p, srcs);
         std::memcpy(unit_view(plan->data).data(), data.data(), unit_bytes_);
+        if (Status crc = set_fresh_crc(plan->parity, p); !crc.ok()) return crc;
+        if (Status crc = set_fresh_crc(plan->data, data); !crc.ok()) return crc;
       } else {
         const auto parity = scratch(0, unit_bytes_);
         const auto staging = scratch(1, unit_bytes_);
@@ -536,6 +755,11 @@ Status StripeStore::write(std::uint64_t logical,
                                byte_offset(plan->data.offset), staging)};
         if (Status loaded = backend_->execute_batch(loads); !loaded.ok())
           return loaded;
+        if (!verify_unit_crc(plan->parity, parity) ||
+            !verify_unit_crc(plan->data, staging))
+          return Status::checksum_mismatch(
+              "RMW of logical " + std::to_string(logical) +
+              ": a pre-image unit failed CRC32C verification");
         core::xor_into(parity, staging);
         core::xor_into(parity, data);
         // Both RMW writes batched too.  The writes are concurrent, so
@@ -549,12 +773,19 @@ Status StripeStore::write(std::uint64_t logical,
         // compensation (nothing landed); only a failure of the
         // compensating write itself leaves the stripe torn -- the same
         // window the sequential path had.
-        std::array<IoRequest, 2> stores = {
+        std::array<IoRequest, 4> stores;
+        stores[0] =
             IoRequest::write_of(IoClass::kForegroundWrite, plan->parity.disk,
-                                byte_offset(plan->parity.offset), parity),
+                                byte_offset(plan->parity.offset), parity);
+        stores[1] =
             IoRequest::write_of(IoClass::kForegroundWrite, plan->data.disk,
-                                byte_offset(plan->data.offset), data)};
-        if (Status stored = backend_->execute_batch(stores); !stored.ok()) {
+                                byte_offset(plan->data.offset), data);
+        std::array<std::array<std::uint8_t, 4>, 2> crc_staging;
+        const std::uint32_t total =
+            stage_crc_writes(stores, 2, crc_staging);
+        if (Status stored =
+                execute_batch_journaled({stores.data(), total});
+            !stored.ok()) {
           Status compensation;
           if (stores[0].status.ok() && !stores[1].status.ok()) {
             core::xor_into(parity, staging);
@@ -562,6 +793,14 @@ Status StripeStore::write(std::uint64_t logical,
             compensation = store_unit(plan->parity, parity);
           } else if (!stores[0].status.ok() && stores[1].status.ok()) {
             compensation = store_unit(plan->data, staging);
+          }
+          if (compensation.ok() && integrity_) {
+            // Restore the PRE-write checksums too (the cache still
+            // holds them): a landed checksum write would otherwise
+            // leave media claiming the new bytes.  Best-effort -- a
+            // stale media checksum only costs a reopen-time heal.
+            (void)crc_persist(plan->parity);
+            (void)crc_persist(plan->data);
           }
           if (!compensation.ok()) {
             // The compensating write ALSO failed: parity and data now
@@ -576,6 +815,7 @@ Status StripeStore::write(std::uint64_t logical,
           }
           return stored;
         }
+        commit_staged_crcs({stores.data(), 2}, crc_staging);
       }
       if (receipt) {
         receipt->num_reads = 2;
@@ -606,11 +846,21 @@ Status StripeStore::write(std::uint64_t logical,
       // degraded read reconstructs it.  parity = XOR(peers) ^ new data.
       if (!views_.empty()) {
         std::array<std::span<const std::uint8_t>, 64> srcs;
-        for (std::uint32_t i = 0; i < plan->num_peer_reads; ++i)
+        for (std::uint32_t i = 0; i < plan->num_peer_reads; ++i) {
           srcs[i] = unit_view(peers[i]);
+          if (!verify_unit_crc(peers[i], srcs[i]))
+            return Status::checksum_mismatch(
+                "reconstruct-write of logical " + std::to_string(logical) +
+                ": peer (disk " + std::to_string(peers[i].disk) + ", unit " +
+                std::to_string(peers[i].offset) +
+                ") failed CRC32C verification");
+        }
         srcs[plan->num_peer_reads] = data;
         core::xor_parity_into(unit_view(plan->parity),
                               {srcs.data(), plan->num_peer_reads + 1u});
+        if (Status crc = set_fresh_crc(plan->parity, unit_view(plan->parity));
+            !crc.ok())
+          return crc;
       } else {
         // ONE batched submission fans the peer reads out (each peer is
         // on a distinct disk), then parity = XOR(peers) ^ new data in a
@@ -628,11 +878,26 @@ Status StripeStore::write(std::uint64_t logical,
         if (Status fanned = backend_->execute_batch({requests.data(), n});
             !fanned.ok())
           return fanned;
+        for (std::uint32_t i = 0; i < n && integrity_; ++i)
+          if (!verify_unit_crc(peers[i], requests[i].read_buf))
+            return Status::checksum_mismatch(
+                "reconstruct-write of logical " + std::to_string(logical) +
+                ": peer (disk " + std::to_string(peers[i].disk) + ", unit " +
+                std::to_string(peers[i].offset) +
+                ") failed CRC32C verification");
         std::memcpy(parity.data(), data.data(), unit_bytes_);
         for (std::uint32_t i = 0; i < n; ++i)
           core::xor_into(parity, requests[i].read_buf);
-        if (Status stored = store_unit(plan->parity, parity); !stored.ok())
+        std::array<IoRequest, 2> stores;
+        stores[0] =
+            IoRequest::write_of(IoClass::kForegroundWrite, plan->parity.disk,
+                                byte_offset(plan->parity.offset), parity);
+        std::array<std::array<std::uint8_t, 4>, 1> crc_staging;
+        const std::uint32_t total = stage_crc_writes(stores, 1, crc_staging);
+        if (Status stored = execute_batch_journaled({stores.data(), total});
+            !stored.ok())
           return stored;
+        commit_staged_crcs({stores.data(), 1}, crc_staging);
       }
       if (receipt) {
         receipt->num_reads = plan->num_peer_reads;
@@ -646,6 +911,7 @@ Status StripeStore::write(std::uint64_t logical,
     case api::WritePlan::Kind::kUnprotectedWrite: {
       if (Status stored = store_unit(plan->data, data); !stored.ok())
         return stored;
+      if (Status crc = set_fresh_crc(plan->data, data); !crc.ok()) return crc;
       if (receipt) {
         receipt->num_writes = 1;
         receipt->writes[0] = plan->data;
@@ -680,15 +946,32 @@ Status StripeStore::write_rmw_multi(const api::WritePlan& plan,
 
   if (!views_.empty()) {
     // Zero-copy: fold c_j * (old ^ new) into every surviving parity
-    // image in place, then the data unit takes the new bytes.
+    // image in place, then the data unit takes the new bytes.  Verify
+    // every pre-image unit BEFORE the first in-place fold.
     const auto delta = scratch(0, unit_bytes_);
     const auto old_data = unit_view(plan.data);
+    if (!verify_unit_crc(plan.data, old_data))
+      return Status::checksum_mismatch(
+          "RMW: the old data unit failed CRC32C verification");
+    for (std::uint32_t j = 0; j < np && integrity_; ++j)
+      if (!verify_unit_crc(plan.parity_targets[j],
+                           unit_view(plan.parity_targets[j])))
+        return Status::checksum_mismatch(
+            "RMW: an old parity unit failed CRC32C verification");
     std::memcpy(delta.data(), old_data.data(), unit_bytes_);
     core::xor_into(delta, data);
     for (std::uint32_t j = 0; j < np; ++j)
       codec.update(unit_view(plan.parity_targets[j]), plan.parity_index[j],
                    plan.data_index, delta);
     std::memcpy(old_data.data(), data.data(), unit_bytes_);
+    if (integrity_) {
+      if (Status crc = set_fresh_crc(plan.data, data); !crc.ok()) return crc;
+      for (std::uint32_t j = 0; j < np; ++j)
+        if (Status crc = set_fresh_crc(plan.parity_targets[j],
+                                       unit_view(plan.parity_targets[j]));
+            !crc.ok())
+          return crc;
+    }
     fill_receipt();
     return OkStatus();
   }
@@ -714,19 +997,31 @@ Status StripeStore::write_rmw_multi(const api::WritePlan& plan,
   if (Status loaded = backend_->execute_batch({loads.data(), 1u + np});
       !loaded.ok())
     return loaded;
+  if (integrity_) {
+    if (!verify_unit_crc(plan.data, staging))
+      return Status::checksum_mismatch(
+          "RMW: the old data unit failed CRC32C verification");
+    for (std::uint32_t j = 0; j < np; ++j)
+      if (!verify_unit_crc(plan.parity_targets[j], parity_buf(j)))
+        return Status::checksum_mismatch(
+            "RMW: an old parity unit failed CRC32C verification");
+  }
   std::memcpy(delta.data(), staging.data(), unit_bytes_);
   core::xor_into(delta, data);
   for (std::uint32_t j = 0; j < np; ++j)
     codec.update(parity_buf(j), plan.parity_index[j], plan.data_index, delta);
 
-  std::array<IoRequest, 1 + api::kMaxParityUnits> stores;
+  std::array<IoRequest, 2 * (1 + api::kMaxParityUnits)> stores;
   stores[0] = IoRequest::write_of(IoClass::kForegroundWrite, plan.data.disk,
                                   byte_offset(plan.data.offset), data);
   for (std::uint32_t j = 0; j < np; ++j)
     stores[1 + j] = IoRequest::write_of(
         IoClass::kForegroundWrite, plan.parity_targets[j].disk,
         byte_offset(plan.parity_targets[j].offset), parity_buf(j));
-  if (Status stored = backend_->execute_batch({stores.data(), 1u + np});
+  std::array<std::array<std::uint8_t, 4>, 1 + api::kMaxParityUnits>
+      crc_staging;
+  const std::uint32_t total = stage_crc_writes(stores, 1u + np, crc_staging);
+  if (Status stored = execute_batch_journaled({stores.data(), total});
       !stored.ok()) {
     // Roll every LANDED write back to the consistent pre-write state:
     // the data unit takes its old bytes back, and a landed parity takes
@@ -743,6 +1038,14 @@ Status StripeStore::write_rmw_multi(const api::WritePlan& plan,
           !undone.ok() && compensation.ok())
         compensation = undone;
     }
+    if (compensation.ok() && integrity_) {
+      // Best-effort restore of the pre-write checksums (the cache
+      // still holds them); a stale media word is caught by the
+      // reopen-time heal.
+      (void)crc_persist(plan.data);
+      for (std::uint32_t j = 0; j < np; ++j)
+        (void)crc_persist(plan.parity_targets[j]);
+    }
     if (!compensation.ok()) {
       mark_torn(instance);
       return Status::parity_inconsistent(
@@ -751,6 +1054,7 @@ Status StripeStore::write_rmw_multi(const api::WritePlan& plan,
     }
     return stored;
   }
+  commit_staged_crcs({stores.data(), 1u + np}, crc_staging);
   fill_receipt();
   return OkStatus();
 }
@@ -805,6 +1109,18 @@ Status StripeStore::write_reconstruct_multi(
   for (std::uint32_t i = 0; i < n; ++i) survivor_idx[i] = peer_index[i];
   for (std::uint32_t j = 0; j < np; ++j)
     survivor_idx[n + j] = kd + plan.parity_index[j];
+  if (integrity_) {
+    // The decode AND the re-encode below trust every survivor byte.
+    for (std::uint32_t i = 0; i < n; ++i)
+      if (!verify_unit_crc(peers[i], survivors[i]))
+        return Status::checksum_mismatch(
+            "reconstruct-write: a peer unit failed CRC32C verification");
+    for (std::uint32_t j = 0; j < np; ++j)
+      if (!verify_unit_crc(plan.parity_targets[j], survivors[n + j]))
+        return Status::checksum_mismatch(
+            "reconstruct-write: an old parity unit failed CRC32C "
+            "verification");
+  }
 
   // Assemble the full data set: the new bytes stand in for the lost
   // addressed unit, and any OTHER erased data unit is decoded from the
@@ -838,17 +1154,24 @@ Status StripeStore::write_reconstruct_multi(
   codec.encode({data_spans.data(), kd}, {parity_out.data(), m});
 
   if (!views_.empty()) {
-    for (std::uint32_t j = 0; j < np; ++j)
+    for (std::uint32_t j = 0; j < np; ++j) {
       std::memcpy(unit_view(plan.parity_targets[j]).data(),
                   parity_out[plan.parity_index[j]].data(), unit_bytes_);
+      if (Status crc = set_fresh_crc(plan.parity_targets[j],
+                                     parity_out[plan.parity_index[j]]);
+          !crc.ok())
+        return crc;
+    }
   } else {
-    std::array<IoRequest, api::kMaxParityUnits> stores;
+    std::array<IoRequest, 2 * api::kMaxParityUnits> stores;
     for (std::uint32_t j = 0; j < np; ++j)
       stores[j] = IoRequest::write_of(
           IoClass::kForegroundWrite, plan.parity_targets[j].disk,
           byte_offset(plan.parity_targets[j].offset),
           parity_out[plan.parity_index[j]]);
-    if (Status stored = backend_->execute_batch({stores.data(), np});
+    std::array<std::array<std::uint8_t, 4>, api::kMaxParityUnits> crc_staging;
+    const std::uint32_t total = stage_crc_writes(stores, np, crc_staging);
+    if (Status stored = execute_batch_journaled({stores.data(), total});
         !stored.ok()) {
       // Restore every LANDED parity from the old bytes read above, so
       // the stripe still encodes the OLD value of the lost unit and a
@@ -861,6 +1184,9 @@ Status StripeStore::write_reconstruct_multi(
             !undone.ok() && compensation.ok())
           compensation = undone;
       }
+      if (compensation.ok() && integrity_)
+        for (std::uint32_t j = 0; j < np; ++j)
+          (void)crc_persist(plan.parity_targets[j]);
       if (!compensation.ok()) {
         mark_torn(instance);
         return Status::parity_inconsistent(
@@ -870,6 +1196,7 @@ Status StripeStore::write_reconstruct_multi(
       }
       return stored;
     }
+    commit_staged_crcs({stores.data(), np}, crc_staging);
   }
   if (receipt) {
     receipt->num_reads = n + np;
@@ -926,13 +1253,22 @@ Status StripeStore::write_heal(std::uint64_t logical,
   // Data first: if a parity write then fails, the stripe simply STAYS
   // torn and the heal can be retried.  Clearing the tear before all
   // writes land would let a parity-trusting read through too early.
+  // (Peer checksums are NOT verified here: a torn instance's parity is
+  // untrustworthy by definition, so rot in a peer would be unhealable
+  // anyway -- the re-encode takes the peers as ground truth.)
   if (Status stored = store_unit(plan.data, data); !stored.ok())
     return stored;
-  for (std::uint32_t j = 0; j < plan.num_parities; ++j)
+  if (Status crc = set_fresh_crc(plan.data, data); !crc.ok()) return crc;
+  for (std::uint32_t j = 0; j < plan.num_parities; ++j) {
     if (Status stored = store_unit(plan.parity_targets[j],
                                    parity_out[plan.parity_index[j]]);
         !stored.ok())
       return stored;
+    if (Status crc = set_fresh_crc(plan.parity_targets[j],
+                                   parity_out[plan.parity_index[j]]);
+        !crc.ok())
+      return crc;
+  }
   clear_torn(instance);
   if (receipt) {
     receipt->num_reads = *count;
@@ -958,7 +1294,9 @@ Status StripeStore::fail_disk(DiskId disk) {
   std::unique_lock lock(sync_->state);
   sync_->write_epoch.fetch_add(1, std::memory_order_relaxed);
   if (Status failed = array_.fail_disk(disk); !failed.ok()) return failed;
-  return backend_->discard(disk, kPoison);
+  if (Status discarded = backend_->discard(disk, kPoison); !discarded.ok())
+    return discarded;
+  return reset_disk_crcs(disk);
 }
 
 Status StripeStore::replace_disk(DiskId disk) {
@@ -966,7 +1304,24 @@ Status StripeStore::replace_disk(DiskId disk) {
   sync_->write_epoch.fetch_add(1, std::memory_order_relaxed);
   if (Status replaced = array_.replace_disk(disk); !replaced.ok())
     return replaced;
-  return backend_->discard(disk, 0);
+  if (Status discarded = backend_->discard(disk, 0); !discarded.ok())
+    return discarded;
+  return reset_disk_crcs(disk);
+}
+
+Status StripeStore::reset_disk_crcs(DiskId disk) {
+  // A discarded disk's units carry no valid checksums: zero the cache
+  // and the media region ("unverified") so rebuilt units start clean --
+  // discard() itself filled the region with the fill byte, which for
+  // the poison fill would read as garbage claims.
+  if (!integrity_) return OkStatus();
+  std::fill(crc_[disk].begin(), crc_[disk].end(), 0u);
+  if (!views_.empty()) {
+    std::memset(views_[disk].data() + crc_base_, 0, crc_[disk].size() * 4);
+    return OkStatus();
+  }
+  const std::vector<std::uint8_t> zeros(crc_[disk].size() * 4, 0);
+  return backend_->write(disk, crc_base_, zeros);
 }
 
 Status StripeStore::apply_step_bytes(const api::RebuildStep& step) {
@@ -998,10 +1353,18 @@ Status StripeStore::apply_step_bytes(const api::RebuildStep& step) {
           static_cast<std::uint64_t>(it) * array_.units_per_disk();
       const Physical target{step.target.disk, step.target.offset + lift};
       std::array<std::span<const std::uint8_t>, 64> srcs;
-      for (std::uint32_t i = 0; i < n; ++i)
-        srcs[i] = unit_view({step.reads[i].disk, step.reads[i].offset + lift});
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const Physical src{step.reads[i].disk, step.reads[i].offset + lift};
+        srcs[i] = unit_view(src);
+        if (!verify_unit_crc(src, srcs[i]))
+          return Status::checksum_mismatch(
+              "rebuild of stripe " + std::to_string(step.stripe) +
+              ": a survivor unit failed CRC32C verification");
+      }
       decode_unit(array_.codec(), step.num_data, {srcs.data(), n},
                   step.read_indices, erased, unit_view(target));
+      if (Status crc = set_fresh_crc(target, unit_view(target)); !crc.ok())
+        return crc;
     }
     return array_.apply_rebuild_step(step);
   }
@@ -1050,6 +1413,19 @@ Status StripeStore::stage_step_streamed(const api::RebuildStep& step,
   }
   if (Status fanned = backend_->execute_batch(reads); !fanned.ok())
     return fanned;
+  if (integrity_)
+    for (std::uint32_t it = 0; it < iterations_; ++it) {
+      const std::uint64_t lift =
+          static_cast<std::uint64_t>(it) * array_.units_per_disk();
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const Physical src{step.reads[i].disk, step.reads[i].offset + lift};
+        if (!verify_unit_crc(
+                src, reads[static_cast<std::size_t>(it) * n + i].read_buf))
+          return Status::checksum_mismatch(
+              "rebuild of stripe " + std::to_string(step.stripe) +
+              ": a survivor unit failed CRC32C verification");
+      }
+    }
 
   writes.clear();
   writes.reserve(iterations_);
@@ -1076,6 +1452,15 @@ Status StripeStore::commit_step_streamed(const api::RebuildStep& step,
                                          std::span<IoRequest> writes) {
   if (Status stored = backend_->execute_batch(writes); !stored.ok())
     return stored;
+  // Rebuilt targets get fresh checksums.  (Not journaled: a crash here
+  // leaves at most the target units checksum-stale, which the
+  // reopen-time heal reconstructs -- rebuild is re-runnable anyway.)
+  if (integrity_)
+    for (const IoRequest& w : writes) {
+      const Physical target{w.disk, w.offset / unit_bytes_};
+      if (Status crc = set_fresh_crc(target, w.write_buf); !crc.ok())
+        return crc;
+    }
   // The landed target bytes are survivor bytes from any OTHER
   // rebuilder's perspective: bump the epoch so a concurrently staged
   // chunk replans instead of committing stale reads.  (Before this
@@ -1086,6 +1471,17 @@ Status StripeStore::commit_step_streamed(const api::RebuildStep& step,
   // ordering suffices.
   sync_->write_epoch.fetch_add(1, std::memory_order_relaxed);
   return array_.apply_rebuild_step(step);
+}
+
+Status StripeStore::apply_step_healing(const api::RebuildStep& step) {
+  Status done = apply_step_bytes(step);
+  if (done.code() != StatusCode::kChecksumMismatch) return done;
+  // A survivor failed verification: heal every iteration instance of
+  // the stripe (the exclusive state lock excludes all other traffic),
+  // then retry the step once.  Unhealable rot surfaces the mismatch.
+  for (std::uint32_t it = 0; it < iterations_; ++it)
+    (void)heal_instance_locked(step.stripe, it, nullptr);
+  return apply_step_bytes(step);
 }
 
 Result<std::uint64_t> StripeStore::rebuild_some(std::uint64_t max_steps,
@@ -1110,7 +1506,7 @@ Result<std::uint64_t> StripeStore::rebuild_some(std::uint64_t max_steps,
       if (!views_.empty()) {
         for (const api::RebuildStep& step : plan->steps) {
           if (applied >= max_steps) break;
-          if (Status done = apply_step_bytes(step); !done.ok()) return done;
+          if (Status done = apply_step_healing(step); !done.ok()) return done;
           ++applied;
         }
         continue;
@@ -1154,7 +1550,7 @@ Result<std::uint64_t> StripeStore::rebuild_some(std::uint64_t max_steps,
         // than hold half the pool across a scheduler-delayed wave.
         std::unique_lock lock(sync_->state);
         if (sync_->write_epoch.load(std::memory_order_relaxed) != epoch) {
-          Status done = apply_step_bytes(steps[next]);
+          Status done = apply_step_healing(steps[next]);
           if (done.ok())
             ++applied;
           else if (done.code() != StatusCode::kFailedPrecondition)
@@ -1163,7 +1559,7 @@ Result<std::uint64_t> StripeStore::rebuild_some(std::uint64_t max_steps,
           break;
         }
         for (std::size_t j = 0; j < chunk; ++j) {
-          if (Status done = apply_step_bytes(steps[next + j]); !done.ok())
+          if (Status done = apply_step_healing(steps[next + j]); !done.ok())
             return done;
           ++applied;
         }
@@ -1182,6 +1578,8 @@ Result<std::uint64_t> StripeStore::rebuild_some(std::uint64_t max_steps,
       // round-trip per chunk instead of per step.
       std::vector<std::vector<std::uint8_t>> slabs(chunk);
       std::vector<std::vector<IoRequest>> writes(chunk);
+      Status staging_rot;
+      std::size_t rot_step = 0;
       {
         std::shared_lock lock(sync_->state);
         std::vector<std::shared_lock<std::shared_mutex>> held;
@@ -1190,8 +1588,28 @@ Result<std::uint64_t> StripeStore::rebuild_some(std::uint64_t max_steps,
         for (std::size_t j = 0; j < chunk; ++j)
           if (Status staged = stage_step_streamed(steps[next + j], slabs[j],
                                                   writes[j]);
-              !staged.ok())
-            return staged;
+              !staged.ok()) {
+            if (staged.code() != StatusCode::kChecksumMismatch) return staged;
+            staging_rot = std::move(staged);
+            rot_step = j;
+            break;
+          }
+      }
+      if (!staging_rot.ok()) {
+        // A staged survivor failed verification: heal the step's
+        // instances under the exclusive lock (the heal's writes bump
+        // the epoch, invalidating any other rebuilder's staged bytes)
+        // and re-plan.  Unhealable rot surfaces on the retried stage.
+        std::unique_lock lock(sync_->state);
+        Status healed;
+        for (std::uint32_t it = 0; it < iterations_; ++it) {
+          Status one =
+              heal_instance_locked(steps[next + rot_step].stripe, it, nullptr);
+          if (!one.ok() && healed.ok()) healed = one;
+        }
+        if (!healed.ok()) return staging_rot;  // unhealable (or torn): stop
+        replan = true;
+        break;
       }
 
       // Commit the chunk under ONE exclusive lock hold.  An unchanged
@@ -1205,7 +1623,7 @@ Result<std::uint64_t> StripeStore::rebuild_some(std::uint64_t max_steps,
       // kFailedPrecondition.
       std::unique_lock lock(sync_->state);
       if (sync_->write_epoch.load(std::memory_order_relaxed) != epoch) {
-        Status done = apply_step_bytes(steps[next]);
+        Status done = apply_step_healing(steps[next]);
         if (done.ok())
           ++applied;
         else if (done.code() != StatusCode::kFailedPrecondition)
@@ -1248,8 +1666,12 @@ Result<api::RebuildOutcome> StripeStore::rebuild() {
 // ------------------------------------------------------------ verification
 
 Result<std::uint64_t> StripeStore::checksum_disk_locked(DiskId disk) const {
+  // Data region only: the checksum region (under integrity) is derived
+  // state, and two stores with identical content must checksum equal
+  // regardless of which units have been verified/adopted so far.
   if (!views_.empty() && disk < views_.size())
-    return fnv1a(kFnvOffset, views_[disk]);
+    return fnv1a(kFnvOffset,
+                 views_[disk].first(static_cast<std::size_t>(disk_bytes())));
 
   // Stream the image through a bounded buffer.
   constexpr std::uint64_t kChunk = 1u << 18;
@@ -1287,6 +1709,258 @@ Result<std::vector<std::uint64_t>> StripeStore::checksum_disks() const {
     sums.push_back(*sum);
   }
   return sums;
+}
+
+// --------------------------------------------------------------- integrity
+
+IntegrityStats StripeStore::integrity_stats() const noexcept {
+  IntegrityStats s;
+  s.verified = sync_->crc_verified.load(std::memory_order_relaxed);
+  s.mismatches = sync_->crc_mismatches.load(std::memory_order_relaxed);
+  s.healed = sync_->crc_healed.load(std::memory_order_relaxed);
+  s.unhealable = sync_->crc_unhealable.load(std::memory_order_relaxed);
+  s.adopted = sync_->crc_adopted.load(std::memory_order_relaxed);
+  s.scrubbed = sync_->scrubbed.load(std::memory_order_relaxed);
+  return s;
+}
+
+Status StripeStore::heal_instance_locked(std::uint32_t stripe,
+                                         std::uint32_t iteration,
+                                         ScrubReport* report) {
+  if (!integrity_) return OkStatus();
+  if (stripe >= array_.num_stripes() || iteration >= iterations_)
+    return Status::invalid_argument("heal: stripe/iteration out of range");
+  const std::uint64_t instance =
+      stripe + static_cast<std::uint64_t>(iteration) * array_.num_stripes();
+  if (is_torn(instance)) {
+    // A torn instance's parity is untrustworthy independent of
+    // checksums; the write-path heal (full re-encode) owns it.
+    if (report) ++report->skipped;
+    return Status::parity_inconsistent(
+        "stripe instance is parity-torn; a successful write heals it");
+  }
+  const core::Codec& codec = array_.codec();
+  const std::uint32_t m = array_.num_parity_units();
+  std::array<api::Array::StripeUnitStatus, 64> units;
+  const auto width_r = array_.stripe_units(stripe, units);
+  if (!width_r.ok()) return width_r.status();
+  const std::uint32_t width = *width_r;
+  const std::uint32_t kd = width - m;
+  const std::uint64_t lift =
+      static_cast<std::uint64_t>(iteration) * array_.units_per_disk();
+
+  // Load every present unit: views in place, one kScrub batch else.
+  const auto slab = arena(static_cast<std::size_t>(width) * unit_bytes_);
+  std::array<std::span<const std::uint8_t>, 64> bytes{};
+  std::array<Physical, 64> homes;
+  std::array<bool, 64> present{};
+  std::array<IoRequest, 64> loads;
+  std::uint32_t num_loads = 0;
+  for (std::uint32_t u = 0; u < width; ++u) {
+    if (units[u].lost) continue;
+    present[u] = true;
+    homes[u] = Physical{units[u].unit.disk, units[u].unit.offset + lift};
+    if (!views_.empty()) {
+      bytes[u] = unit_view(homes[u]);
+    } else {
+      const auto slice =
+          slab.subspan(static_cast<std::size_t>(u) * unit_bytes_, unit_bytes_);
+      loads[num_loads++] = IoRequest::read_of(
+          IoClass::kScrub, homes[u].disk, byte_offset(homes[u].offset), slice);
+      bytes[u] = slice;
+    }
+  }
+  if (num_loads > 0)
+    if (Status fanned = backend_->execute_batch({loads.data(), num_loads});
+        !fanned.ok())
+      return fanned;
+
+  // Classify: lost units are erased; present units whose stored
+  // checksum disagrees with their bytes are erased too (detected rot).
+  std::array<std::uint32_t, 64> erased_idx;
+  std::uint32_t num_erased = 0;
+  std::array<bool, 64> bad{};
+  std::uint32_t num_bad = 0;
+  for (std::uint32_t u = 0; u < width; ++u) {
+    if (!present[u]) {
+      erased_idx[num_erased++] = u;
+      continue;
+    }
+    const std::uint32_t stored = crc_[homes[u].disk][homes[u].offset];
+    if (stored == 0) continue;  // unverified: adopted below
+    if (core::crc32c_nonzero(bytes[u]) == stored) {
+      sync_->crc_verified.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    sync_->crc_mismatches.fetch_add(1, std::memory_order_relaxed);
+    if (report) ++report->mismatches;
+    bad[u] = true;
+    erased_idx[num_erased++] = u;
+    ++num_bad;
+  }
+
+  if (num_erased > m) {
+    sync_->crc_unhealable.fetch_add(1, std::memory_order_relaxed);
+    if (report) ++report->unhealable;
+    return Status::checksum_mismatch(
+        "stripe " + std::to_string(stripe) + " iteration " +
+        std::to_string(iteration) + ": " + std::to_string(num_bad) +
+        " checksum-bad unit(s) plus " + std::to_string(num_erased - num_bad) +
+        " lost unit(s) exceed the codec's tolerance of " + std::to_string(m));
+  }
+
+  if (num_bad > 0) {
+    // Mismatch == erasure: reconstruct each bad unit from the good
+    // survivors (lost units stay erased but unmaterialized) and
+    // rewrite it with a fresh checksum -- one journaled record on
+    // streamed backends, so a crash mid-heal replays whole.
+    std::array<std::span<const std::uint8_t>, 64> survivors;
+    std::array<std::uint32_t, 64> survivor_idx;
+    std::uint32_t ns = 0;
+    for (std::uint32_t u = 0; u < width; ++u)
+      if (present[u] && !bad[u]) {
+        survivors[ns] = bytes[u];
+        survivor_idx[ns++] = u;
+      }
+    const auto heal_slab =
+        scratch(0, static_cast<std::size_t>(num_bad) * unit_bytes_);
+    std::array<std::span<std::uint8_t>, api::kMaxParityUnits> outs{};
+    std::uint32_t buf = 0;
+    for (std::uint32_t e = 0; e < num_erased; ++e)
+      if (bad[erased_idx[e]])
+        outs[e] = heal_slab.subspan(
+            static_cast<std::size_t>(buf++) * unit_bytes_, unit_bytes_);
+    codec.reconstruct(kd, {survivors.data(), ns}, {survivor_idx.data(), ns},
+                      {erased_idx.data(), num_erased},
+                      {outs.data(), num_erased});
+    // The healed bytes are landed state: bump the epoch so any
+    // concurrently staged rebuild chunk replans over them.
+    sync_->write_epoch.fetch_add(1, std::memory_order_relaxed);
+    if (!views_.empty()) {
+      for (std::uint32_t e = 0; e < num_erased; ++e) {
+        const std::uint32_t u = erased_idx[e];
+        if (!bad[u]) continue;
+        std::memcpy(unit_view(homes[u]).data(), outs[e].data(), unit_bytes_);
+        if (Status crc = set_fresh_crc(homes[u], outs[e]); !crc.ok())
+          return crc;
+      }
+    } else {
+      std::array<IoRequest, 2 * api::kMaxParityUnits> stores;
+      std::array<std::array<std::uint8_t, 4>, api::kMaxParityUnits> staging;
+      std::uint32_t num_stores = 0;
+      for (std::uint32_t e = 0; e < num_erased; ++e) {
+        const std::uint32_t u = erased_idx[e];
+        if (!bad[u]) continue;
+        stores[num_stores++] =
+            IoRequest::write_of(IoClass::kScrub, homes[u].disk,
+                                byte_offset(homes[u].offset), outs[e]);
+      }
+      const std::uint32_t total = stage_crc_writes(stores, num_stores, staging);
+      if (Status stored = execute_batch_journaled({stores.data(), total});
+          !stored.ok())
+        return stored;
+      commit_staged_crcs({stores.data(), num_stores}, staging);
+    }
+    sync_->crc_healed.fetch_add(num_bad, std::memory_order_relaxed);
+    if (report) report->healed += num_bad;
+  }
+
+  // Adopt unverified good units: their current bytes become the claim,
+  // so future reads of them are actually verified.
+  for (std::uint32_t u = 0; u < width; ++u) {
+    if (!present[u] || bad[u]) continue;
+    if (crc_[homes[u].disk][homes[u].offset] != 0) continue;
+    if (Status crc = set_fresh_crc(homes[u], bytes[u]); !crc.ok()) return crc;
+    sync_->crc_adopted.fetch_add(1, std::memory_order_relaxed);
+  }
+  return OkStatus();
+}
+
+Result<ScrubReport> StripeStore::scrub_some(std::uint64_t max_instances) {
+  ScrubReport report;
+  if (!integrity_) return report;
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(array_.num_stripes()) * iterations_;
+  for (std::uint64_t i = 0; i < max_instances; ++i) {
+    const std::uint64_t instance =
+        sync_->scrub_cursor.fetch_add(1, std::memory_order_relaxed) % total;
+    const std::uint32_t stripe =
+        static_cast<std::uint32_t>(instance % array_.num_stripes());
+    const std::uint32_t iteration =
+        static_cast<std::uint32_t>(instance / array_.num_stripes());
+    std::shared_lock state(sync_->state);
+    std::unique_lock shard(sync_->shards[instance % sync_->shards.size()]);
+    const Status healed = heal_instance_locked(stripe, iteration, &report);
+    ++report.instances;
+    sync_->scrubbed.fetch_add(1, std::memory_order_relaxed);
+    // Rot past tolerance and torn instances are counted, not fatal (the
+    // sweep continues); only substrate errors abort the slice.
+    if (!healed.ok() && healed.code() != StatusCode::kChecksumMismatch &&
+        healed.code() != StatusCode::kParityInconsistent)
+      return healed;
+  }
+  return report;
+}
+
+Result<ScrubReport> StripeStore::scrub() {
+  return scrub_some(static_cast<std::uint64_t>(array_.num_stripes()) *
+                    iterations_);
+}
+
+Result<std::uint64_t> StripeStore::verify_stripes() {
+  std::unique_lock lock(sync_->state);
+  const core::Codec& codec = array_.codec();
+  const std::uint32_t m = array_.num_parity_units();
+  std::uint64_t inconsistent = 0;
+  std::array<api::Array::StripeUnitStatus, 64> units;
+  for (std::uint32_t stripe = 0; stripe < array_.num_stripes(); ++stripe) {
+    const auto width_r = array_.stripe_units(stripe, units);
+    if (!width_r.ok()) return width_r.status();
+    const std::uint32_t width = *width_r;
+    const std::uint32_t kd = width - m;
+    bool complete = true;
+    for (std::uint32_t u = 0; u < width; ++u)
+      if (units[u].lost) complete = false;
+    if (!complete) continue;  // degraded stripes cannot be byte-verified
+    for (std::uint32_t it = 0; it < iterations_; ++it) {
+      const std::uint64_t lift =
+          static_cast<std::uint64_t>(it) * array_.units_per_disk();
+      const auto slab =
+          arena(static_cast<std::size_t>(width + m) * unit_bytes_);
+      bool bad = is_torn(stripe +
+                         static_cast<std::uint64_t>(it) * array_.num_stripes());
+      std::array<std::span<const std::uint8_t>, 64> data_spans{};
+      std::array<std::span<const std::uint8_t>, api::kMaxParityUnits> actual{};
+      Status io;
+      for (std::uint32_t u = 0; u < width && io.ok(); ++u) {
+        const Physical home{units[u].unit.disk, units[u].unit.offset + lift};
+        const auto buf = slab.subspan(
+            static_cast<std::size_t>(u) * unit_bytes_, unit_bytes_);
+        io = load_unit(home, buf);
+        if (!io.ok()) break;
+        if (integrity_) {
+          const std::uint32_t stored = crc_[home.disk][home.offset];
+          if (stored != 0 && core::crc32c_nonzero(buf) != stored) bad = true;
+        }
+        if (u < kd)
+          data_spans[u] = buf;
+        else
+          actual[u - kd] = buf;
+      }
+      if (!io.ok()) return io;
+      // Parity must re-encode byte-identically from the stored data.
+      std::array<std::span<std::uint8_t>, api::kMaxParityUnits> expect{};
+      for (std::uint32_t j = 0; j < m; ++j)
+        expect[j] = slab.subspan(
+            static_cast<std::size_t>(width + j) * unit_bytes_, unit_bytes_);
+      codec.encode({data_spans.data(), kd}, {expect.data(), m});
+      for (std::uint32_t j = 0; j < m; ++j)
+        if (std::memcmp(expect[j].data(), actual[j].data(), unit_bytes_) != 0)
+          bad = true;
+      if (bad) ++inconsistent;
+    }
+  }
+  return inconsistent;
 }
 
 }  // namespace pdl::io

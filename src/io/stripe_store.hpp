@@ -91,6 +91,26 @@ namespace pdl::io {
 using api::Physical;
 using layout::DiskId;
 
+/// Monotonic counters of the end-to-end integrity layer.  All zero when
+/// the store's array was created without api::ArrayOptions::integrity.
+struct IntegrityStats {
+  std::uint64_t verified = 0;    ///< unit checks whose checksum matched
+  std::uint64_t mismatches = 0;  ///< checksum mismatches detected
+  std::uint64_t healed = 0;      ///< units reconstructed and rewritten
+  std::uint64_t unhealable = 0;  ///< heal attempts past codec tolerance
+  std::uint64_t adopted = 0;     ///< unverified units given a checksum
+  std::uint64_t scrubbed = 0;    ///< stripe instances swept by scrub
+};
+
+/// What one scrub slice (scrub_some) actually did.
+struct ScrubReport {
+  std::uint64_t instances = 0;   ///< stripe instances swept
+  std::uint64_t mismatches = 0;  ///< bad units found
+  std::uint64_t healed = 0;      ///< bad units healed in place
+  std::uint64_t unhealable = 0;  ///< instances past codec tolerance
+  std::uint64_t skipped = 0;     ///< parity-torn instances left alone
+};
+
 /// Construction knobs for StripeStore::create.
 struct StripeStoreOptions {
   /// Bytes per stripe unit (the store's I/O granularity).
@@ -281,6 +301,42 @@ class StripeStore {
   /// lock -- the vector is a cross-disk-consistent snapshot.
   [[nodiscard]] Result<std::vector<std::uint64_t>> checksum_disks() const;
 
+  // ----------------------------------------------------------- integrity
+
+  /// Whether the per-unit CRC32C layer is active (the bound array was
+  /// created with api::ArrayOptions::integrity).  When active, every
+  /// read path verifies the touched units against a per-disk checksum
+  /// region appended after the data region, a mismatch is treated as an
+  /// erasure and healed through the codec, and every store refreshes
+  /// the written units' checksums.
+  [[nodiscard]] bool integrity() const noexcept { return integrity_; }
+
+  /// Snapshot of the integrity counters (verify / mismatch / heal /
+  /// scrub activity since create).
+  [[nodiscard]] IntegrityStats integrity_stats() const noexcept;
+
+  /// Sweeps up to max_instances stripe instances from a persistent
+  /// cursor (wrapping), verifying every present unit's checksum under
+  /// kScrub-tagged reads and healing mismatches in place through the
+  /// codec.  Unverified units (checksum 0: written before the layer
+  /// existed, or a replaced disk's zeroed platters) are ADOPTED -- given
+  /// a checksum over their current bytes.  Torn instances are skipped
+  /// (a successful write heals them); unhealable instances (rot beyond
+  /// the codec's tolerance) are counted and left for rebuild.  A no-op
+  /// (empty report) when integrity is off.  Thread-safe; pace it from a
+  /// scrubber thread (io::Scrubber) or a fleet's governed driver.
+  [[nodiscard]] Result<ScrubReport> scrub_some(std::uint64_t max_instances);
+
+  /// One full scrub cycle: every stripe instance swept exactly once.
+  [[nodiscard]] Result<ScrubReport> scrub();
+
+  /// Counts stripe instances whose stored parity does NOT byte-identical
+  /// re-encode from their stored data (plus any instance still marked
+  /// torn), under one exclusive lock.  Degraded stripes (a lost unit)
+  /// are skipped -- they cannot be byte-verified.  0 on a consistent
+  /// store; the crash-recovery harness's acceptance check.
+  [[nodiscard]] Result<std::uint64_t> verify_stripes();
+
   // ------------------------------------------------------- torn parity
 
   /// Stripe instances currently marked parity-torn (see the file
@@ -325,10 +381,26 @@ class StripeStore {
   void mark_torn(std::uint64_t instance);
   void clear_torn(std::uint64_t instance);
   /// read()'s body; caller holds the state lock (shared) and the
-  /// logical's shard lock.
+  /// logical's shard lock.  kChecksumMismatch (internal sentinel) when a
+  /// touched unit fails verification -- the public read() heals and
+  /// retries before surfacing it.
   [[nodiscard]] Status read_locked(std::uint64_t logical,
                                    std::span<std::uint8_t> out,
                                    ReadReceipt* receipt);
+  /// read_batch's single-pass body (locks, gather, fan-out, resolve);
+  /// the public read_batch retries kChecksumMismatch units through
+  /// read() -- which heals -- after this returns.
+  [[nodiscard]] Status read_batch_once(std::span<const std::uint64_t> logicals,
+                                       std::span<std::uint8_t> out,
+                                       std::span<Status> statuses,
+                                       std::span<ReadReceipt> receipts);
+  /// write()'s plan-and-dispatch body; caller holds the state lock
+  /// (shared) and the logical's shard lock (exclusive) and has bumped
+  /// the epoch.  kChecksumMismatch when a unit loaded for parity
+  /// maintenance fails verification -- write() heals and retries.
+  [[nodiscard]] Status write_locked(std::uint64_t logical,
+                                    std::span<const std::uint8_t> data,
+                                    WriteReceipt* receipt);
   /// RMW fold into multiple surviving parities (Reed-Solomon data path);
   /// caller holds the locks and has bumped the epoch.
   [[nodiscard]] Status write_rmw_multi(const api::WritePlan& plan,
@@ -367,13 +439,77 @@ class StripeStore {
   /// checksum_disk's body; caller holds the exclusive state lock.
   [[nodiscard]] Result<std::uint64_t> checksum_disk_locked(DiskId disk) const;
 
+  // ------------------------------------------------- integrity internals
+
+  /// Byte offset of a unit's stored checksum within its disk's media
+  /// (the checksum region starts at crc_base_ == disk_bytes()).
+  [[nodiscard]] std::uint64_t crc_media_offset(std::uint64_t unit_offset)
+      const noexcept {
+    return crc_base_ + unit_offset * 4;
+  }
+  /// Verifies `bytes` against the unit's cached checksum, counting the
+  /// outcome.  true when they match, the layer is off, or the stored
+  /// checksum is 0 (unverified -- never written through this layer).
+  [[nodiscard]] bool verify_unit_crc(Physical p,
+                                     std::span<const std::uint8_t> bytes);
+  /// Writes the unit's CACHED checksum to its media slot (view memcpy
+  /// or backend write) -- the compensation paths' restore primitive.
+  [[nodiscard]] Status crc_persist(Physical p);
+  /// Computes, caches, and persists a fresh checksum over `bytes`.
+  /// No-op when the layer is off.
+  [[nodiscard]] Status set_fresh_crc(Physical p,
+                                     std::span<const std::uint8_t> bytes);
+  /// Appends one checksum-region write per unit-write in
+  /// requests[0..count) (staging the 4 bytes in `staging`, which must
+  /// outlive the batch) and returns the new total count.  The checksums
+  /// ride in the SAME batch -- and the same journal record -- as the
+  /// unit writes, so replay restores units and checksums together.
+  [[nodiscard]] std::uint32_t stage_crc_writes(
+      std::span<IoRequest> requests, std::uint32_t count,
+      std::span<std::array<std::uint8_t, 4>> staging);
+  /// Adopts the staged checksums into the cache after their batch
+  /// landed (units[i] is the i'th unit write, staging[i] its checksum).
+  void commit_staged_crcs(std::span<const IoRequest> units,
+                          std::span<const std::array<std::uint8_t, 4>> staging);
+  /// execute_batch through the backend's write-ahead journal when it
+  /// has one: the record is durable before the in-place writes start
+  /// and retired after they finish, closing the crash-mid-RMW hole.
+  [[nodiscard]] Status execute_batch_journaled(std::span<IoRequest> batch);
+  /// Verifies every present unit of one stripe instance and
+  /// reconstructs + rewrites the mismatching ones through the codec
+  /// (mismatch == erasure; healable while lost + bad <= m).  Unverified
+  /// units are adopted.  Caller holds the state lock (shared or
+  /// exclusive) and, when shared, the instance's shard lock
+  /// exclusively.  kParityInconsistent for torn instances,
+  /// kChecksumMismatch when rot exceeds the codec's tolerance.
+  [[nodiscard]] Status heal_instance_locked(std::uint32_t stripe,
+                                            std::uint32_t iteration,
+                                            ScrubReport* report);
+  /// apply_step_bytes with one heal-and-retry round on detected rot;
+  /// caller holds the exclusive state lock.
+  [[nodiscard]] Status apply_step_healing(const api::RebuildStep& step);
+  /// Zeroes a discarded disk's checksum cache and media region
+  /// ("unverified"); caller holds the exclusive state lock.
+  [[nodiscard]] Status reset_disk_crcs(DiskId disk);
+
   api::Array array_;
   std::uint32_t unit_bytes_ = 0;
   std::uint32_t iterations_ = 0;
   std::unique_ptr<DiskBackend> backend_;
-  /// Cached zero-copy views, one per disk; empty when the backend does
-  /// not expose them (then every access goes through read/write).
+  /// Cached zero-copy views, one per disk, covering the FULL media
+  /// (data region plus, under integrity, the checksum region); empty
+  /// when the backend does not expose them (then every access goes
+  /// through read/write).
   std::vector<std::span<std::uint8_t>> views_;
+  /// Whether the per-unit checksum layer is active (array integrity).
+  bool integrity_ = false;
+  /// Start of the per-disk checksum region (== disk_bytes()).
+  std::uint64_t crc_base_ = 0;
+  /// In-process checksum cache, [disk][physical unit offset] -- the
+  /// authority for verification (loaded from media at create).  0 means
+  /// unverified.  An entry is only touched under its instance's shard
+  /// lock (or the exclusive state lock), like the unit bytes it covers.
+  std::vector<std::vector<std::uint32_t>> crc_;
 
   /// Heap-allocated so the store stays movable (Result<StripeStore>).
   struct Sync {
@@ -401,6 +537,16 @@ class StripeStore {
     std::atomic<std::uint64_t> torn_count{0};
     mutable std::mutex torn_mutex;
     std::unordered_set<std::uint64_t> torn;
+    /// Integrity counters (IntegrityStats snapshot source) and the
+    /// scrub sweep cursor.  Relaxed: they are statistics, ordered by
+    /// the locks their bumping paths already hold.
+    std::atomic<std::uint64_t> crc_verified{0};
+    std::atomic<std::uint64_t> crc_mismatches{0};
+    std::atomic<std::uint64_t> crc_healed{0};
+    std::atomic<std::uint64_t> crc_unhealable{0};
+    std::atomic<std::uint64_t> crc_adopted{0};
+    std::atomic<std::uint64_t> scrubbed{0};
+    std::atomic<std::uint64_t> scrub_cursor{0};
     explicit Sync(std::uint32_t n) : shards(n) {}
   };
   std::unique_ptr<Sync> sync_;

@@ -81,10 +81,17 @@ namespace {
 
 [[nodiscard]] std::uint32_t latency_quantile_us(
     const std::vector<std::uint32_t>& samples, double p) {
+  // Nearest-rank convention: the p-quantile of n samples is the
+  // ceil(p*n)-th smallest (1-based), clamped into [1, n].  The previous
+  // floor(p*(n-1)) spelling sat one rank low on small sample sets --
+  // e.g. p99 of 100 samples returned the 99th value, not the 100th --
+  // systematically underreporting tail latency.
   if (samples.empty()) return 0;
   std::vector<std::uint32_t> sorted(samples);
-  const auto rank = static_cast<std::size_t>(
-      std::clamp(p, 0.0, 1.0) * static_cast<double>(sorted.size() - 1));
+  const double clamped = std::clamp(p, 0.0, 1.0);
+  const auto wanted = static_cast<std::size_t>(
+      std::ceil(clamped * static_cast<double>(sorted.size())));
+  const std::size_t rank = std::clamp<std::size_t>(wanted, 1, sorted.size()) - 1;
   std::nth_element(sorted.begin(),
                    sorted.begin() + static_cast<std::ptrdiff_t>(rank),
                    sorted.end());

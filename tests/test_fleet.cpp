@@ -25,10 +25,13 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cstdint>
 #include <filesystem>
 #include <random>
+#include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -427,6 +430,80 @@ TEST(Fleet, SerializationRoundTripsTheShardMap) {
                 .status()
                 .code(),
             StatusCode::kParseError);
+}
+
+TEST(Fleet, DeserializeRejectsMalformedExtents) {
+  Fleet fleet = make_fleet();
+  const std::string text = fleet.serialize();
+
+  // Split the serialized text into lines, locate the extents section
+  // (searching from the end -- embedded array headers are opaque), and
+  // parse the extent quadruples so each variant below can mutate them.
+  std::vector<std::string> lines;
+  {
+    std::istringstream in(text);
+    for (std::string line; std::getline(in, line);) lines.push_back(line);
+  }
+  std::size_t extents_at = lines.size();
+  for (std::size_t i = lines.size(); i-- > 0;)
+    if (lines[i].rfind("extents ", 0) == 0) {
+      extents_at = i;
+      break;
+    }
+  ASSERT_LT(extents_at, lines.size());
+  using Quad = std::array<std::uint64_t, 4>;  // first count shard base
+  std::vector<Quad> extents;
+  for (std::size_t i = extents_at + 1; i < lines.size(); ++i) {
+    if (lines[i].rfind("extent ", 0) != 0) break;
+    std::istringstream in(lines[i]);
+    std::string word;
+    Quad q{};
+    ASSERT_TRUE(static_cast<bool>(in >> word >> q[0] >> q[1] >> q[2] >> q[3]));
+    extents.push_back(q);
+  }
+  ASSERT_GE(extents.size(), 3u);
+
+  const auto rebuild = [&](const std::vector<Quad>& es) {
+    std::string out;
+    for (std::size_t i = 0; i < extents_at; ++i) out += lines[i] + "\n";
+    out += "extents " + std::to_string(es.size()) + "\n";
+    for (const Quad& q : es)
+      out += "extent " + std::to_string(q[0]) + " " + std::to_string(q[1]) +
+             " " + std::to_string(q[2]) + " " + std::to_string(q[3]) + "\n";
+    out += "end pdl-fleet\n";
+    return out;
+  };
+
+  // The reassembled, unmutated text must still parse (pins the helper).
+  ASSERT_TRUE(Fleet::deserialize(rebuild(extents)).ok());
+
+  const auto expect_rejected = [&](std::vector<Quad> es, const char* what) {
+    const auto result = Fleet::deserialize(rebuild(es));
+    ASSERT_FALSE(result.ok()) << what;
+    EXPECT_EQ(result.status().code(), StatusCode::kParseError) << what;
+  };
+
+  {  // An extent covering zero blocks is meaningless.
+    auto es = extents;
+    es[0][1] = 0;
+    expect_rejected(es, "zero-count extent");
+  }
+  {  // A hole in the block space: extent 1 starts one block late.
+    auto es = extents;
+    es[1][0] += 1;
+    expect_rejected(es, "gap in block space");
+  }
+  {  // Block-space overlap: extent 1 starts one block early.
+    auto es = extents;
+    es[1][0] -= 1;
+    expect_rejected(es, "overlap in block space");
+  }
+  {  // Shard-local aliasing: two block ranges backed by the SAME unit
+    // of shard 0 -- contiguous in block space, so only the per-shard
+    // overlap check can catch it.
+    const std::vector<Quad> es = {{0, 1, 0, 0}, {1, 1, 0, 0}};
+    expect_rejected(es, "shard-local unit aliasing");
+  }
 }
 
 TEST(Fleet, SaveLoadRoundTripsThroughAFile) {

@@ -40,6 +40,23 @@ TEST(Status, EveryCodeHasAStableName) {
   EXPECT_EQ(status_code_name(StatusCode::kOutOfRange), "OUT_OF_RANGE");
   EXPECT_EQ(status_code_name(StatusCode::kParityInconsistent),
             "PARITY_INCONSISTENT");
+  EXPECT_EQ(status_code_name(StatusCode::kChecksumMismatch),
+            "CHECKSUM_MISMATCH");
+}
+
+TEST(Status, ChecksumMismatchIsItsOwnCode) {
+  // The integrity layer's detection signal: the read path branches on it
+  // (treat the unit as an erasure and heal through the codec), so it
+  // must stay distinct from kIoError (substrate broke), kDataLoss
+  // (erasure budget exhausted), and kParityInconsistent (torn write).
+  const Status status = Status::checksum_mismatch("unit 9 rotted");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kChecksumMismatch);
+  EXPECT_EQ(status.message(), "unit 9 rotted");
+  EXPECT_NE(status.code(), StatusCode::kIoError);
+  EXPECT_NE(status.code(), StatusCode::kDataLoss);
+  EXPECT_NE(status.code(), StatusCode::kParityInconsistent);
+  EXPECT_EQ(status.to_string(), "CHECKSUM_MISMATCH: unit 9 rotted");
 }
 
 TEST(Status, ParityInconsistentIsItsOwnCode) {

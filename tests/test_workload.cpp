@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
+#include "io/workload_driver.hpp"
+
 namespace pdl::sim {
 namespace {
 
@@ -89,3 +94,63 @@ TEST(Workload, InvalidConfigRejected) {
 
 }  // namespace
 }  // namespace pdl::sim
+
+// Latency quantiles of the I/O workload driver's stats.  The convention
+// is pinned to nearest-rank: rank = clamp(ceil(p * n), 1, n), so p99
+// over 100 samples is the 99th order statistic (not the 100th, as a
+// floor(p * (n - 1)) index would give), p = 0 is the minimum, and p = 1
+// is the maximum.
+namespace pdl::io {
+namespace {
+
+/// Stats whose read latencies are exactly `samples` (shuffled order
+/// must not matter -- the quantile sorts internally).
+WorkloadStats stats_with(std::vector<std::uint32_t> samples) {
+  WorkloadStats stats;
+  stats.read_latency_us = samples;
+  // Mirror into the write vector reversed: both accessors share the
+  // nearest-rank helper and must agree on every pin below.
+  stats.write_latency_us.assign(samples.rbegin(), samples.rend());
+  return stats;
+}
+
+TEST(WorkloadQuantile, EmptyAndSingleSample) {
+  const WorkloadStats empty;
+  EXPECT_EQ(empty.read_latency_quantile_us(0.0), 0u);
+  EXPECT_EQ(empty.read_latency_quantile_us(0.99), 0u);
+  EXPECT_EQ(empty.write_latency_quantile_us(1.0), 0u);
+
+  const WorkloadStats one = stats_with({7});
+  for (const double p : {0.0, 0.01, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(one.read_latency_quantile_us(p), 7u) << "p=" << p;
+    EXPECT_EQ(one.write_latency_quantile_us(p), 7u) << "p=" << p;
+  }
+}
+
+TEST(WorkloadQuantile, NearestRankPins) {
+  // 1..100 shuffled-ish: nearest-rank makes every pin exact.
+  std::vector<std::uint32_t> samples;
+  for (std::uint32_t v = 100; v >= 1; --v) samples.push_back(v);
+  const WorkloadStats stats = stats_with(samples);
+
+  EXPECT_EQ(stats.read_latency_quantile_us(0.0), 1u);    // min
+  EXPECT_EQ(stats.read_latency_quantile_us(0.01), 1u);   // ceil(1) = 1st
+  EXPECT_EQ(stats.read_latency_quantile_us(0.50), 50u);  // ceil(50) = 50th
+  EXPECT_EQ(stats.read_latency_quantile_us(0.99), 99u);  // 99th, NOT 100th
+  EXPECT_EQ(stats.read_latency_quantile_us(0.995), 100u);  // ceil(99.5)
+  EXPECT_EQ(stats.read_latency_quantile_us(1.0), 100u);  // max
+  EXPECT_EQ(stats.write_latency_quantile_us(0.99), 99u);
+}
+
+TEST(WorkloadQuantile, FractionalRanksRoundUpAndClampOutOfRange) {
+  const WorkloadStats three = stats_with({10, 20, 30});
+  EXPECT_EQ(three.read_latency_quantile_us(0.33), 10u);  // ceil(0.99) = 1st
+  EXPECT_EQ(three.read_latency_quantile_us(0.34), 20u);  // ceil(1.02) = 2nd
+  EXPECT_EQ(three.read_latency_quantile_us(0.67), 30u);  // ceil(2.01) = 3rd
+  // Out-of-range p clamps rather than indexing out of bounds.
+  EXPECT_EQ(three.read_latency_quantile_us(-0.5), 10u);
+  EXPECT_EQ(three.read_latency_quantile_us(2.0), 30u);
+}
+
+}  // namespace
+}  // namespace pdl::io
