@@ -11,13 +11,22 @@
 // find ZERO inconsistent stripe instances -- no half-applied RMW may
 // survive a crash.
 //
-//   $ ./bench_crash_recovery --workload --dir DIR [--seed N]   # killed
-//   $ ./bench_crash_recovery --recover  --dir DIR [--seed N]
+//   $ ./bench_crash_recovery --workload --dir DIR [--seed N] [--cache]
+//   $ ./bench_crash_recovery --recover  --dir DIR [--seed N] [--cache]
+//
+// --cache runs the workload leg through the StripeCache's parity-delta
+// batching path with deliberately aggressive fold knobs (tiny dirty
+// budget, zero flush interval, writes skewed onto a hot span), so the
+// SIGKILL routinely lands inside a multi-unit fold batch rather than a
+// single RMW.  Folds ride the same journaled batch protocol, so the
+// recovery leg is unchanged: replay must still leave zero inconsistent
+// instances.
 //
 // --recover emits one crash_recovery JSON record; its
 // "recovered_consistent" field is what scripts/crash-recovery-smoke.sh
 // (and CI) greps for.  Exit status mirrors the field.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -46,7 +55,8 @@ constexpr std::uint32_t kIterations = 2;
 /// shipped RMW -- three in-place writes per update, the largest torn
 /// window) with per-unit checksums on.
 Result<io::StripeStore> open_store(const std::string& dir,
-                                   io::FileBackend** backend_out) {
+                                   io::FileBackend** backend_out,
+                                   bool cache) {
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);  // backend would, but the
   const std::string array_path = dir + "/array.pdl";  // array saves first
@@ -63,14 +73,24 @@ Result<io::StripeStore> open_store(const std::string& dir,
   auto backend = std::make_unique<io::FileBackend>(
       io::FileBackendOptions{.directory = dir});
   if (backend_out) *backend_out = backend.get();
-  return io::StripeStore::create(
-      std::move(array).value(),
-      {.unit_bytes = kUnitBytes, .iterations = kIterations},
-      std::move(backend));
+  io::StripeStoreOptions options{.unit_bytes = kUnitBytes,
+                                 .iterations = kIterations};
+  if (cache) {
+    // Everything is hot immediately and the dirty budget is tiny, so
+    // nearly every write absorbs into a delta and folds land every few
+    // ops -- the SIGKILL has a fold batch in flight most of the time.
+    options.cache.enabled = true;
+    options.cache.hot_threshold = 1;
+    options.cache.max_dirty_instances = 8;
+    options.cache.max_dirty_units = 2;
+    options.cache.flush_interval_us = 0;
+  }
+  return io::StripeStore::create(std::move(array).value(), options,
+                                 std::move(backend));
 }
 
-int run_workload(const std::string& dir, std::uint64_t seed) {
-  auto store = open_store(dir, nullptr);
+int run_workload(const std::string& dir, std::uint64_t seed, bool cache) {
+  auto store = open_store(dir, nullptr, cache);
   if (!store.ok()) {
     std::fprintf(stderr, "workload store creation failed: %s\n",
                  store.status().to_string().c_str());
@@ -89,8 +109,13 @@ int run_workload(const std::string& dir, std::uint64_t seed) {
 
   std::mt19937_64 rng(seed);
   std::vector<std::uint8_t> unit(kUnitBytes);
+  // With the cache on, 3 of 4 writes land in a small hot span so the
+  // same stripe instances keep re-absorbing and folding.
+  const std::uint64_t total = store->num_logical_units();
+  const std::uint64_t hot_span = std::max<std::uint64_t>(total / 16, 1);
   for (std::uint64_t op = 0;; ++op) {
-    const std::uint64_t logical = rng() % store->num_logical_units();
+    std::uint64_t logical = rng() % total;
+    if (cache && (rng() & 3u) != 0) logical %= hot_span;
     io::canonical_fill(logical, seed ^ (op * 0x9E3779B97F4A7C15ull), unit);
     if (Status written = store->write(logical, unit); !written.ok()) {
       std::fprintf(stderr, "write failed at op %llu: %s\n",
@@ -101,9 +126,11 @@ int run_workload(const std::string& dir, std::uint64_t seed) {
   }
 }
 
-int run_recover(const std::string& dir, std::uint64_t /*seed*/) {
+int run_recover(const std::string& dir, std::uint64_t /*seed*/, bool cache) {
   io::FileBackend* backend = nullptr;
-  auto store = open_store(dir, &backend);
+  // Recovery always reopens with the cache OFF: the gate must judge the
+  // replayed media alone, with no write-path batching in front of it.
+  auto store = open_store(dir, &backend, /*cache=*/false);
   if (!store.ok()) {
     std::fprintf(stderr, "recovery reopen failed: %s\n",
                  store.status().to_string().c_str());
@@ -139,7 +166,7 @@ int run_recover(const std::string& dir, std::uint64_t /*seed*/) {
                   sweep.ok() ? sweep.value().unhealable : ~0ull),
               bench::okbad(consistent));
 
-  bench::json_result("crash_recovery")
+  bench::json_result("crash_recovery", 2)  // v2: added "cache"
       .field("journal_replayed", journal.replayed)
       .field("journal_discarded", journal.discarded)
       .field("inconsistent_instances",
@@ -152,6 +179,7 @@ int run_recover(const std::string& dir, std::uint64_t /*seed*/) {
              std::uint64_t{sweep.ok() ? sweep.value().unhealable : ~0ull})
       .field("crc_verified", stats.verified)
       .field("crc_healed", stats.healed)
+      .field("cache", cache)
       .field("recovered_consistent", consistent)
       .emit();
   return consistent ? 0 : 1;
@@ -162,6 +190,7 @@ int run_recover(const std::string& dir, std::uint64_t /*seed*/) {
 int main(int argc, char** argv) {
   bool workload = false;
   bool recover = false;
+  bool cache = false;
   std::string dir;
   std::uint64_t seed = 42;
   for (int arg = 1; arg < argc; ++arg) {
@@ -169,22 +198,27 @@ int main(int argc, char** argv) {
       workload = true;
     } else if (std::strcmp(argv[arg], "--recover") == 0) {
       recover = true;
+    } else if (std::strcmp(argv[arg], "--cache") == 0) {
+      cache = true;
     } else if (std::strcmp(argv[arg], "--dir") == 0 && arg + 1 < argc) {
       dir = argv[++arg];
     } else if (std::strcmp(argv[arg], "--seed") == 0 && arg + 1 < argc) {
       seed = std::strtoull(argv[++arg], nullptr, 10);
     } else {
-      std::fprintf(stderr,
-                   "usage: %s (--workload|--recover) --dir DIR [--seed N]\n",
-                   argv[0]);
+      std::fprintf(
+          stderr,
+          "usage: %s (--workload|--recover) --dir DIR [--seed N] [--cache]\n",
+          argv[0]);
       return 1;
     }
   }
   if (workload == recover || dir.empty()) {
-    std::fprintf(stderr,
-                 "usage: %s (--workload|--recover) --dir DIR [--seed N]\n",
-                 argv[0]);
+    std::fprintf(
+        stderr,
+        "usage: %s (--workload|--recover) --dir DIR [--seed N] [--cache]\n",
+        argv[0]);
     return 1;
   }
-  return workload ? run_workload(dir, seed) : run_recover(dir, seed);
+  return workload ? run_workload(dir, seed, cache)
+                  : run_recover(dir, seed, cache);
 }

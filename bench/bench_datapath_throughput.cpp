@@ -10,7 +10,7 @@
 //
 //   $ ./bench_datapath_throughput [--smoke] [--backend memory|file|both]
 //         [--async] [--scheduler fifo|deadline|rebuild-deprioritizing]
-//         [--codec xor|rs] [--integrity] [v] [k]           (defaults: 17 5)
+//         [--codec xor|rs] [--integrity] [--cache] [v] [k] (defaults: 17 5)
 //
 // --smoke shrinks the configuration for CI (tiny units, few ops) and
 // defaults to --backend both, so every CI run exercises the file-backed
@@ -36,6 +36,12 @@
 // and the post-heal data region must checksum-identical to the
 // pre-corruption oracle.  The record's "integrity_ok" field is the CI
 // gate.
+//
+// --cache appends the hot-stripe-cache comparison (datapath_cache
+// records): identical zipfian(0.99) write-heavy streams against a
+// cache-enabled store and an uncached twin; hit rate and both MB/s are
+// reported, and the "checksum_identical" field -- media images equal
+// after flush_cache() -- plus clean parity audits gate CI.
 
 #include <unistd.h>
 
@@ -551,12 +557,135 @@ bool run_integrity_smoke(const engine::LayoutPlan& plan,
   return integrity_ok;
 }
 
+/// The --cache acceptance experiment: identical zipfian(0.99)
+/// write-heavy streams against a cache-enabled store and an uncached
+/// twin over the same substrate.  Reports the hit rate, the absorb/fold
+/// counters, and both throughputs; acceptance is behavioural (hits,
+/// absorbs, and folds all happened) plus the delta-fold oracle: after
+/// flush_cache() both media images are checksum-identical -- the folded
+/// parity is byte-for-byte what per-op RMW wrote on the twin -- and
+/// both parity audits come back clean.  cached_faster is reported but
+/// NOT gated (shared CI runners make relative throughput flaky).
+bool run_cache_compare(const engine::LayoutPlan& plan,
+                       const std::string& backend_kind,
+                       const std::filesystem::path& scratch_dir,
+                       const BenchConfig& config, std::uint64_t seed) {
+  const auto make_store = [&](bool cached) {
+    auto array = api::Array::create(plan.spec, {},
+                                    {.construction = plan.construction,
+                                     .codec = config.codec,
+                                     .integrity = config.integrity});
+    if (!array.ok()) return pdl::Result<io::StripeStore>(array.status());
+    io::StripeStoreOptions options{.unit_bytes = config.unit_bytes,
+                                   .iterations = config.iterations};
+    if (cached) {
+      options.cache.enabled = true;
+      options.cache.hot_threshold = 4;
+    }
+    return io::StripeStore::create(
+        std::move(array).value(), options,
+        make_backend(backend_kind, scratch_dir / (cached ? "c" : "u"),
+                     config));
+  };
+  auto cached = make_store(true);
+  auto uncached = make_store(false);
+  if (!cached.ok() || !uncached.ok()) {
+    std::fprintf(stderr, "cache store creation failed: %s\n",
+                 (cached.ok() ? uncached : cached).status()
+                     .to_string()
+                     .c_str());
+    return false;
+  }
+  const std::uint64_t n = cached->num_logical_units();
+  if (!io::fill_canonical(*cached, 0, n, seed).ok() ||
+      !io::fill_canonical(*uncached, 0, n, seed).ok())
+    return false;
+  if (!cached->flush_cache().ok()) return false;
+
+  // Write-heavy zipfian(0.99): the workload the cache layer exists for.
+  // Every read is verified against the canonical pattern in flight.
+  const io::WorkloadOptions workload{.num_threads = config.threads,
+                                     .ops_per_thread = config.ops_per_thread,
+                                     .read_fraction = 0.3,
+                                     .pattern = io::AccessPattern::kZipfian,
+                                     .zipf_theta = 0.99,
+                                     .queue_depth = config.queue_depth,
+                                     .seed = seed,
+                                     .verify_reads = true};
+  io::WorkloadStats cached_stats = io::WorkloadDriver(*cached, workload).run();
+  io::WorkloadStats uncached_stats =
+      io::WorkloadDriver(*uncached, workload).run();
+
+  // Fold everything, then compare the media images and audit parity.
+  if (!cached->flush_cache().ok()) return false;
+  const io::HotnessStats hotness = cached->hotness_stats();
+  const auto sums_c = cached->checksum_disks();
+  const auto sums_u = uncached->checksum_disks();
+  bool checksum_identical =
+      sums_c.ok() && sums_u.ok() && sums_c->size() == sums_u->size();
+  if (checksum_identical)
+    for (std::size_t d = 0; d < sums_c->size(); ++d)
+      checksum_identical = checksum_identical && (*sums_c)[d] == (*sums_u)[d];
+  const auto sweep_c = cached->verify_stripes();
+  const auto sweep_u = uncached->verify_stripes();
+
+  const bool cache_ok =
+      cached_stats.verify_failures == 0 &&
+      uncached_stats.verify_failures == 0 && cached_stats.errors == 0 &&
+      uncached_stats.errors == 0 && hotness.hit_rate() > 0.0 &&
+      hotness.absorbed_writes > 0 && hotness.folds > 0 &&
+      hotness.dirty_instances == 0 && checksum_identical && sweep_c.ok() &&
+      sweep_c.value() == 0 && sweep_u.ok() && sweep_u.value() == 0;
+  const bool cached_faster =
+      cached_stats.mb_per_second() > uncached_stats.mb_per_second();
+
+  std::printf(
+      "cache  %-6s hit-rate %5.1f%%  absorbed %llu  folds %llu  "
+      "cached %8.1f MB/s  uncached %8.1f MB/s  %s\n",
+      backend_kind.c_str(), hotness.hit_rate() * 100.0,
+      static_cast<unsigned long long>(hotness.absorbed_writes),
+      static_cast<unsigned long long>(hotness.folds),
+      cached_stats.mb_per_second(), uncached_stats.mb_per_second(),
+      bench::okbad(cache_ok));
+
+  bench::json_result("datapath_cache")
+      .field("backend", backend_kind)
+      .field("codec", std::string(core::codec_kind_name(config.codec)))
+      .field("async", config.async)
+      .field("integrity", config.integrity)
+      .field("zipf_theta", 0.99)
+      .field("read_fraction", 0.3)
+      .field("cache_hit_rate", hotness.hit_rate())
+      .field("cache_hits", hotness.hits)
+      .field("cache_misses", hotness.misses)
+      .field("cache_fills", hotness.fills)
+      .field("cache_evictions", hotness.evictions)
+      .field("absorbed_writes", hotness.absorbed_writes)
+      .field("folds", hotness.folds)
+      .field("folded_units", hotness.folded_units)
+      .field("hotness_decays", hotness.decays)
+      .field("cached_mb_per_s", cached_stats.mb_per_second())
+      .field("uncached_mb_per_s", uncached_stats.mb_per_second())
+      .field("cached_write_p99_us",
+             static_cast<std::uint64_t>(
+                 cached_stats.write_latency_quantile_us(0.99)))
+      .field("uncached_write_p99_us",
+             static_cast<std::uint64_t>(
+                 uncached_stats.write_latency_quantile_us(0.99)))
+      .field("cached_faster", cached_faster)
+      .field("checksum_identical", checksum_identical)
+      .field("cache_ok", cache_ok)
+      .emit();
+  return cache_ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool smoke = false;
   bool async = false;
   bool integrity = false;
+  bool cache = false;
   std::string scheduler = "fifo";
   std::string backend_arg;
   std::string codec_arg = "xor";
@@ -580,12 +709,15 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[arg], "--integrity") == 0) {
       integrity = true;
       ++arg;
+    } else if (std::strcmp(argv[arg], "--cache") == 0) {
+      cache = true;
+      ++arg;
     } else {
       std::fprintf(
           stderr,
           "usage: %s [--smoke] [--backend memory|file|both] [--async] "
           "[--scheduler fifo|deadline|rebuild-deprioritizing] "
-          "[--codec xor|rs] [--integrity] [v] [k]\n",
+          "[--codec xor|rs] [--integrity] [--cache] [v] [k]\n",
           argv[0]);
       return 1;
     }
@@ -668,7 +800,7 @@ int main(int argc, char** argv) {
   }
   // The opt-in experiments: one representative layout (the planner's
   // top pick that actually constructs), per backend kind.
-  if ((async || integrity) && !plans.empty()) {
+  if ((async || integrity || cache) && !plans.empty()) {
     const engine::LayoutPlan* pick = nullptr;
     for (const auto& plan : plans) {
       if (plan.units_per_disk > 2000) continue;
@@ -686,6 +818,18 @@ int main(int argc, char** argv) {
             scratch_root / ("integrity_" + backend_kind);
         if (!run_integrity_smoke(*pick, backend_kind, scratch_dir, config,
                                  seed))
+          any_failed = true;
+        std::error_code ec;
+        std::filesystem::remove_all(scratch_dir, ec);
+      }
+    }
+    if (pick != nullptr && cache) {
+      bench::rule();
+      for (const std::string& backend_kind : backends) {
+        const std::filesystem::path scratch_dir =
+            scratch_root / ("cache_" + backend_kind);
+        if (!run_cache_compare(*pick, backend_kind, scratch_dir, config,
+                               seed))
           any_failed = true;
         std::error_code ec;
         std::filesystem::remove_all(scratch_dir, ec);

@@ -9,18 +9,29 @@
 # journal replay.  Several rounds reuse one directory, so recovery is
 # also exercised over a store that already survived earlier crashes.
 #
-#   usage: crash-recovery-smoke.sh <path-to-bench_crash_recovery> [rounds]
+# With --cache the workload leg runs through the StripeCache's
+# parity-delta batching (aggressive fold knobs, hot-span-skewed writes),
+# so the SIGKILL lands mid-fold -- a multi-unit journaled batch -- and
+# replay must still come back consistent.
+#
+#   usage: crash-recovery-smoke.sh <path-to-bench_crash_recovery> [rounds] [--cache]
 
 set -u
 
-BENCH="${1:?usage: crash-recovery-smoke.sh <path-to-bench_crash_recovery> [rounds]}"
+BENCH="${1:?usage: crash-recovery-smoke.sh <path-to-bench_crash_recovery> [rounds] [--cache]}"
 ROUNDS="${2:-3}"
+CACHE_FLAG=""
+if [ "${3:-}" = "--cache" ] || [ "${2:-}" = "--cache" ]; then
+  CACHE_FLAG="--cache"
+  [ "${2:-}" = "--cache" ] && ROUNDS=3
+fi
 DIR="$(mktemp -d "${TMPDIR:-/tmp}/pdl_crash_smoke.XXXXXX")"
 trap 'rm -rf "$DIR"' EXIT
 
 for round in $(seq 1 "$ROUNDS"); do
   : > "$DIR/workload.log"
-  "$BENCH" --workload --dir "$DIR/store" > "$DIR/workload.log" 2>&1 &
+  # shellcheck disable=SC2086  # CACHE_FLAG is empty or a single flag
+  "$BENCH" --workload --dir "$DIR/store" $CACHE_FLAG > "$DIR/workload.log" 2>&1 &
   PID=$!
 
   # Wait for the fill to finish so the kill lands inside the RMW loop.
@@ -49,7 +60,8 @@ for round in $(seq 1 "$ROUNDS"); do
   kill -9 "$PID" 2>/dev/null || true
   wait "$PID" 2>/dev/null || true
 
-  if ! OUT="$("$BENCH" --recover --dir "$DIR/store")"; then
+  # shellcheck disable=SC2086
+  if ! OUT="$("$BENCH" --recover --dir "$DIR/store" $CACHE_FLAG)"; then
     echo "$OUT"
     echo "crash-recovery smoke: recover run FAILED (round $round)"
     exit 1
@@ -61,4 +73,4 @@ for round in $(seq 1 "$ROUNDS"); do
   fi
 done
 
-echo "crash-recovery smoke: OK ($ROUNDS rounds)"
+echo "crash-recovery smoke: OK ($ROUNDS rounds${CACHE_FLAG:+, cache})"

@@ -34,9 +34,11 @@ WorkloadDriver::WorkloadDriver(Fleet& fleet, io::WorkloadOptions options)
     // YCSB ZipfianGenerator parameters; theta = 1 is a pole, so clamp.
     const double theta = std::clamp(options_.zipf_theta, 0.01, 0.99);
     const auto n = static_cast<double>(fleet_.num_blocks());
-    double zetan = 0;
-    for (std::uint64_t i = 1; i <= fleet_.num_blocks(); ++i)
-      zetan += 1.0 / std::pow(static_cast<double>(i), theta);
+    // The cached io helper, not an inline O(n) pass: re-constructing a
+    // driver per phase over the same fleet was paying the full harmonic
+    // sum every time, and an independent summation here could drift
+    // from the io driver's value for identical (n, theta).
+    const double zetan = io::zipf_zetan(fleet_.num_blocks(), theta);
     zipf_zetan_ = zetan;
     zipf_zeta2_ = 1.0 + 1.0 / std::pow(2.0, theta);
     zipf_alpha_ = 1.0 / (1.0 - theta);

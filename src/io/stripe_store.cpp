@@ -99,6 +99,9 @@ Result<StripeStore> StripeStore::create(api::Array array,
   StripeStore store(std::move(array), options, std::move(backend));
   store.integrity_ = store.array_.integrity();
   store.crc_base_ = store.disk_bytes();
+  if (options.cache.enabled)
+    store.cache_ = std::make_unique<StripeCache>(options.cache,
+                                                 options.unit_bytes);
   // Under integrity each disk's media grows by a checksum region: one
   // CRC32C word per physical unit, appended after the data region.  A
   // persistent backend's manifest pins the extended size, so reopening
@@ -345,6 +348,47 @@ Status StripeStore::read_locked(std::uint64_t logical,
 
   switch (plan->kind) {
     case api::ReadPlan::Kind::kDirect: {
+      if (cache_) {
+        const std::uint64_t instance = instance_of(logical);
+        const std::uint32_t heat = cache_->note(instance);
+        // Read-your-writes: an absorbed (not yet folded) write's pinned
+        // bytes are the unit's current value; media is one fold behind.
+        if (StripeCache::DirtyEntry* entry = cache_->dirty_find(instance))
+          if (const StripeCache::DirtyUnit* unit = entry->find(logical)) {
+            std::memcpy(out.data(), unit->bytes.data(), unit_bytes_);
+            cache_->count_hit();
+            if (receipt) {
+              receipt->kind = plan->kind;
+              receipt->num_touched = 0;
+            }
+            return OkStatus();
+          }
+        if (cache_->lookup(logical, out)) {
+          // Cached payloads were CRC-verified at fill and invalidated
+          // on every write -- serving them touches no disk.
+          if (receipt) {
+            receipt->kind = plan->kind;
+            receipt->num_touched = 0;
+          }
+          return OkStatus();
+        }
+        if (Status loaded = load_unit(plan->target, out); !loaded.ok())
+          return loaded;
+        if (!verify_unit_crc(plan->target, out))
+          return Status::checksum_mismatch(
+              "logical " + std::to_string(logical) + " (disk " +
+              std::to_string(plan->target.disk) + ", unit " +
+              std::to_string(plan->target.offset) +
+              ") failed CRC32C verification");
+        if (heat >= cache_->options().hot_threshold)
+          cache_->fill(logical, out);
+        if (receipt) {
+          receipt->kind = plan->kind;
+          receipt->num_touched = 1;
+          receipt->touched[0] = plan->target;
+        }
+        return OkStatus();
+      }
       if (Status loaded = load_unit(plan->target, out); !loaded.ok())
         return loaded;
       if (!verify_unit_crc(plan->target, out))
@@ -366,6 +410,21 @@ Status StripeStore::read_locked(std::uint64_t logical,
             "logical " + std::to_string(logical) +
             " needs degraded reconstruction, but its stripe instance is "
             "parity-torn (a prior write's compensation failed)");
+      std::uint32_t heat = 0;
+      if (cache_) {
+        // The cache is keyed by LOGICAL address and holds logical
+        // content, so a hit legitimately short-circuits the whole
+        // survivor fan-in + decode (dirty instances are never degraded
+        // -- fail_disk flushes the table first -- so no pin check).
+        heat = cache_->note(instance_of(logical));
+        if (cache_->lookup(logical, out)) {
+          if (receipt) {
+            receipt->kind = plan->kind;
+            receipt->num_touched = 0;
+          }
+          return OkStatus();
+        }
+      }
       const std::uint32_t n = plan->num_survivors;
       const std::span<const std::uint32_t> erased{plan->erased_index.data(),
                                                   plan->num_erased};
@@ -404,6 +463,10 @@ Status StripeStore::read_locked(std::uint64_t logical,
               ") failed CRC32C verification");
       decode_unit(array_.codec(), plan->num_data, {srcs.data(), n},
                   {survivor_idx.data(), n}, erased, out);
+      // Caching the decoded content lets the NEXT read of this hot unit
+      // skip the whole fan-in; invalidate-on-write keeps it coherent.
+      if (cache_ && heat >= cache_->options().hot_threshold)
+        cache_->fill(logical, out);
       if (receipt) {
         receipt->kind = plan->kind;
         receipt->num_touched = n;
@@ -517,6 +580,8 @@ Status StripeStore::read_batch_once(std::span<const std::uint64_t> logicals,
     api::ReadPlan::Kind kind = api::ReadPlan::Kind::kUnrecoverable;
     std::size_t first_request = 0;  ///< index into `requests`
     std::uint32_t num_requests = 0;
+    bool served = false;     ///< resolved from the cache in the gather phase
+    std::uint32_t heat = 0;  ///< hotness estimate, for fill-on-miss
   };
   std::vector<Planned> planned(logicals.size());
   std::vector<IoRequest> requests;
@@ -568,6 +633,33 @@ Status StripeStore::read_batch_once(std::span<const std::uint64_t> logicals,
     const auto& plan = *plans[i];
     planned[i].kind = plan.kind;
     planned[i].first_request = requests.size();
+    // Cache probe: pinned dirty bytes, then the read cache -- a hit
+    // drops the unit from the fan-out entirely.  Torn degraded units
+    // must still fail below, exactly as an uncached batch would.
+    if (cache_ && (plan.kind == api::ReadPlan::Kind::kDirect ||
+                   plan.kind == api::ReadPlan::Kind::kDegraded)) {
+      const std::uint64_t instance = instance_of(logicals[i]);
+      planned[i].heat = cache_->note(instance);
+      if (plan.kind == api::ReadPlan::Kind::kDirect)
+        if (StripeCache::DirtyEntry* entry = cache_->dirty_find(instance))
+          if (const StripeCache::DirtyUnit* unit = entry->find(logicals[i])) {
+            std::memcpy(out_slice(i).data(), unit->bytes.data(), unit_bytes_);
+            cache_->count_hit();
+            planned[i].served = true;
+          }
+      if (!planned[i].served &&
+          !(plan.kind == api::ReadPlan::Kind::kDegraded &&
+            is_torn(instance)) &&
+          cache_->lookup(logicals[i], out_slice(i)))
+        planned[i].served = true;
+      if (planned[i].served) {
+        if (!receipts.empty()) {
+          receipts[i].kind = plan.kind;
+          receipts[i].num_touched = 0;
+        }
+        continue;
+      }
+    }
     switch (plan.kind) {
       case api::ReadPlan::Kind::kDirect:
         requests.push_back(IoRequest::read_of(IoClass::kForegroundRead,
@@ -612,6 +704,7 @@ Status StripeStore::read_batch_once(std::span<const std::uint64_t> logicals,
   for (std::size_t i = 0; i < logicals.size(); ++i) {
     if (!statuses[i].ok()) continue;  // planning already failed it
     const Planned& p = planned[i];
+    if (p.served) continue;  // cache hit: bytes and receipt already final
     Status unit;
     for (std::uint32_t r = 0; r < p.num_requests && unit.ok(); ++r)
       unit = requests[p.first_request + r].status;
@@ -652,6 +745,8 @@ Status StripeStore::read_batch_once(std::span<const std::uint64_t> logicals,
                   {plans[i]->erased_index.data(), plans[i]->num_erased},
                   out_slice(i));
     }
+    if (cache_ && p.heat >= cache_->options().hot_threshold)
+      cache_->fill(logicals[i], out_slice(i));
     if (!receipts.empty()) {
       receipts[i].kind = p.kind;
       receipts[i].num_touched = p.num_requests;
@@ -677,6 +772,13 @@ Status StripeStore::write(std::uint64_t logical,
         " bytes; units are " + std::to_string(unit_bytes_));
 
   std::shared_lock state(sync_->state);
+  // Time-triggered flush sweep, BEFORE taking this write's own shard
+  // lock (the sweep takes each dirty instance's shard lock in turn --
+  // including, possibly, this write's).  One writer wins the interval
+  // CAS and pays the sweep; errors are not this write's to report (the
+  // entries stay dirty and the next trigger retries).
+  if (cache_ && cache_->any_dirty() && cache_->flush_due())
+    (void)flush_dirty_shared();
   std::unique_lock stripe(shard_for(logical));
   // Any landed bytes invalidate concurrently staged rebuild reads; a
   // spurious bump (e.g. a write that then fails) only costs a retry.
@@ -710,14 +812,43 @@ Status StripeStore::write_locked(std::uint64_t logical,
     receipt->num_writes = 0;
   }
   const std::uint64_t instance = instance_of(logical);
+  if (cache_) {
+    cache_->note(instance);
+    // The ONE coherence rule: every write drops the unit's cached
+    // payload (the absorb path re-pins the new bytes itself).
+    cache_->invalidate(logical);
+  }
 
   switch (plan->kind) {
     case api::WritePlan::Kind::kReadModifyWrite: {
       // A torn instance's parity cannot absorb a delta -- but all data
       // units are intact here, so the write doubles as the heal: store
       // the new data, re-encode every parity from scratch.
-      if (is_torn(instance))
+      if (is_torn(instance)) {
+        if (cache_)
+          if (StripeCache::DirtyEntry* entry = cache_->dirty_find(instance)) {
+            // Torn WITH absorbed writes pending: a plain write_heal
+            // would re-encode from stale media peers.  Pin this write
+            // into the entry and fold the whole instance as one
+            // re-encode (media data with the pinned bytes overlaid),
+            // which heals the parity AND lands every absorbed write.
+            if (StripeCache::DirtyUnit* unit = entry->find(logical)) {
+              unit->bytes.assign(data.begin(), data.end());
+            } else {
+              entry->units.push_back(
+                  {logical, plan->data, plan->data_index,
+                   std::vector<std::uint8_t>(data.begin(), data.end())});
+            }
+            return fold_reencode_locked(instance, entry);
+          }
         return write_heal(logical, *plan, data, instance, receipt);
+      }
+      if (cache_ && array_.healthy()) {
+        bool handled = false;
+        Status absorbed = absorb_rmw(*plan, logical, data, instance,
+                                     receipt, &handled);
+        if (handled) return absorbed;
+      }
       // The legacy single-parity fold below is XOR-only; any array whose
       // codec keeps more than one parity (even if only one SURVIVES --
       // the surviving one may carry a non-unit coefficient) goes through
@@ -1281,8 +1412,409 @@ Status StripeStore::write_heal(std::uint64_t logical,
   return OkStatus();
 }
 
+// ------------------------------------------------------ cache internals
+
+Status StripeStore::absorb_rmw(const api::WritePlan& plan,
+                               std::uint64_t logical,
+                               std::span<const std::uint8_t> data,
+                               std::uint64_t instance, WriteReceipt* receipt,
+                               bool* handled) {
+  *handled = false;
+  StripeCache::DirtyEntry* entry = cache_->dirty_find(instance);
+  if (!entry) {
+    // Only HOT instances are worth pinning memory for; everything else
+    // falls through to the immediate RMW paths.  So does a hot
+    // instance when the table is full.
+    if (!cache_->hot(instance)) return OkStatus();
+    bool created = false;
+    entry = cache_->dirty_ensure(instance, plan.num_parities, &created);
+    if (!entry) return OkStatus();
+    if (created)
+      for (std::uint32_t j = 0; j < plan.num_parities; ++j) {
+        entry->parity_home[j] = plan.parity_targets[j];
+        entry->parity_index[j] = plan.parity_index[j];
+      }
+  }
+  *handled = true;
+
+  // Old bytes: the previously PINNED value when re-writing an
+  // already-dirty unit (zero media traffic -- this is where the hot
+  // set's RMW tax disappears), otherwise the unit's media pre-image.
+  const core::Codec& codec = array_.codec();
+  StripeCache::DirtyUnit* unit = entry->find(logical);
+  std::span<const std::uint8_t> old;
+  if (unit) {
+    old = unit->bytes;
+  } else {
+    const auto staging = scratch(1, unit_bytes_);
+    Status pre;
+    if (Status loaded = load_unit(plan.data, staging); !loaded.ok())
+      pre = loaded;
+    else if (!verify_unit_crc(plan.data, staging))
+      pre = Status::checksum_mismatch(
+          "absorbed RMW: the old data unit failed CRC32C verification");
+    if (!pre.ok()) {
+      if (entry->units.empty()) cache_->dirty_erase(instance);
+      return pre;
+    }
+    old = staging;
+  }
+
+  // Accumulate c_j * (old ^ new) into each parity's delta, then pin
+  // the new bytes as the unit's current value.  Re-absorbing the same
+  // unit is exact: its pinned bytes are the "old" the delta folds
+  // against, so the accumulated sum telescopes.
+  const auto delta = scratch(0, unit_bytes_);
+  std::memcpy(delta.data(), old.data(), unit_bytes_);
+  core::xor_into(delta, data);
+  for (std::uint32_t j = 0; j < entry->num_parity; ++j)
+    codec.update(entry->delta[j], entry->parity_index[j], plan.data_index,
+                 delta);
+  if (unit) {
+    unit->bytes.assign(data.begin(), data.end());
+  } else {
+    entry->units.push_back(
+        {logical, plan.data, plan.data_index,
+         std::vector<std::uint8_t>(data.begin(), data.end())});
+  }
+  cache_->count_absorb();
+  if (receipt) {
+    // Same shape an immediate RMW would report: the units the write
+    // LOGICALLY involves (the fold does the physical I/O later).
+    receipt->num_reads = 1 + entry->num_parity;
+    receipt->reads[0] = plan.data;
+    receipt->num_writes = 1 + entry->num_parity;
+    receipt->writes[0] = plan.data;
+    for (std::uint32_t j = 0; j < entry->num_parity; ++j) {
+      receipt->reads[1 + j] = entry->parity_home[j];
+      receipt->writes[1 + j] = entry->parity_home[j];
+    }
+  }
+
+  // Size trigger: a full entry folds inline under the already-held
+  // locks (this bounds the fold's journal record too).  Capped at the
+  // stripe's data width -- a narrow stripe (RS P+Q keeps few data
+  // units) fills completely before a large max_dirty_units would ever
+  // fire.  A kChecksumMismatch propagates to write()'s heal-and-retry
+  // loop; the retried write re-absorbs idempotently and re-triggers.
+  const std::size_t fold_at = std::min<std::size_t>(
+      cache_->options().max_dirty_units, plan.num_data);
+  if (entry->units.size() >= std::max<std::size_t>(fold_at, 1))
+    return fold_instance_locked(instance);
+  return OkStatus();
+}
+
+Status StripeStore::fold_instance_locked(std::uint64_t instance) {
+  StripeCache::DirtyEntry* entry = cache_->dirty_find(instance);
+  if (!entry) return OkStatus();
+  if (entry->units.empty()) {
+    cache_->dirty_erase(instance);
+    return OkStatus();
+  }
+  if (is_torn(instance)) return fold_reencode_locked(instance, entry);
+
+  const std::uint32_t np = entry->num_parity;
+  const auto nd = static_cast<std::uint32_t>(entry->units.size());
+  // Local slab, NOT the thread_local scratch/arena (the inline-fold
+  // caller is mid-absorb and may hold both): np parity pre-images,
+  // then nd dirty-unit media pre-images (compensation needs them).
+  std::vector<std::uint8_t> slab(
+      (static_cast<std::size_t>(np) + nd) * unit_bytes_);
+  const auto slice = [&](std::size_t i) {
+    return std::span<std::uint8_t>(slab).subspan(i * unit_bytes_,
+                                                 unit_bytes_);
+  };
+  if (!views_.empty()) {
+    for (std::uint32_t j = 0; j < np; ++j)
+      std::memcpy(slice(j).data(), unit_view(entry->parity_home[j]).data(),
+                  unit_bytes_);
+    for (std::uint32_t i = 0; i < nd; ++i)
+      std::memcpy(slice(np + i).data(),
+                  unit_view(entry->units[i].home).data(), unit_bytes_);
+  } else {
+    std::vector<IoRequest> loads;
+    loads.reserve(static_cast<std::size_t>(np) + nd);
+    for (std::uint32_t j = 0; j < np; ++j)
+      loads.push_back(IoRequest::read_of(
+          IoClass::kForegroundWrite, entry->parity_home[j].disk,
+          byte_offset(entry->parity_home[j].offset), slice(j)));
+    for (std::uint32_t i = 0; i < nd; ++i)
+      loads.push_back(IoRequest::read_of(
+          IoClass::kForegroundWrite, entry->units[i].home.disk,
+          byte_offset(entry->units[i].home.offset), slice(np + i)));
+    if (Status loaded = backend_->execute_batch(loads); !loaded.ok())
+      return loaded;
+  }
+  if (integrity_) {
+    // Verify every pre-image BEFORE folding -- rot would otherwise be
+    // laundered into the new parity.  The entry survives the failure:
+    // the caller heals (which restores the original code word, keeping
+    // the accumulated deltas applicable) and retries.
+    for (std::uint32_t j = 0; j < np; ++j)
+      if (!verify_unit_crc(entry->parity_home[j], slice(j)))
+        return Status::checksum_mismatch(
+            "parity-delta fold: an old parity unit failed CRC32C "
+            "verification");
+    for (std::uint32_t i = 0; i < nd; ++i)
+      if (!verify_unit_crc(entry->units[i].home, slice(np + i)))
+        return Status::checksum_mismatch(
+            "parity-delta fold: a dirty unit's media pre-image failed "
+            "CRC32C verification");
+  }
+
+  // parity_new = parity_old ^ accumulated delta.  Linearity over the
+  // codec's field makes this byte-identical to folding every absorbed
+  // write through per-op RMW, in any order.
+  for (std::uint32_t j = 0; j < np; ++j)
+    core::xor_into(slice(j), entry->delta[j]);
+
+  // The folded bytes are landed state: staged rebuild chunks replan.
+  sync_->write_epoch.fetch_add(1, std::memory_order_relaxed);
+  if (!views_.empty()) {
+    for (std::uint32_t i = 0; i < nd; ++i) {
+      const StripeCache::DirtyUnit& u = entry->units[i];
+      std::memcpy(unit_view(u.home).data(), u.bytes.data(), unit_bytes_);
+      if (Status crc = set_fresh_crc(u.home, u.bytes); !crc.ok()) return crc;
+    }
+    for (std::uint32_t j = 0; j < np; ++j) {
+      std::memcpy(unit_view(entry->parity_home[j]).data(), slice(j).data(),
+                  unit_bytes_);
+      if (Status crc = set_fresh_crc(entry->parity_home[j], slice(j));
+          !crc.ok())
+        return crc;
+    }
+  } else {
+    // ONE journaled batch: every dirty data unit, every folded parity,
+    // and their checksums.  A crash mid-fold replays the whole record
+    // -- the consistent post-image -- on reopen.
+    std::vector<IoRequest> stores(2 * (static_cast<std::size_t>(np) + nd));
+    std::vector<std::array<std::uint8_t, 4>> crc_staging(
+        static_cast<std::size_t>(np) + nd);
+    for (std::uint32_t i = 0; i < nd; ++i)
+      stores[i] = IoRequest::write_of(
+          IoClass::kForegroundWrite, entry->units[i].home.disk,
+          byte_offset(entry->units[i].home.offset), entry->units[i].bytes);
+    for (std::uint32_t j = 0; j < np; ++j)
+      stores[nd + j] = IoRequest::write_of(
+          IoClass::kForegroundWrite, entry->parity_home[j].disk,
+          byte_offset(entry->parity_home[j].offset), slice(j));
+    const std::uint32_t total =
+        stage_crc_writes(stores, nd + np, crc_staging);
+    if (Status stored = execute_batch_journaled({stores.data(), total});
+        !stored.ok()) {
+      // Roll every LANDED write back to its pre-image so the stripe
+      // returns to the consistent pre-fold code word; the entry is
+      // KEPT (its deltas are still valid against that image) and a
+      // later flush retries.  Only a failed compensation tears.
+      Status compensation;
+      for (std::uint32_t i = 0; i < nd; ++i) {
+        if (!stores[i].status.ok()) continue;
+        if (Status undone = store_unit(entry->units[i].home, slice(np + i));
+            !undone.ok() && compensation.ok())
+          compensation = undone;
+      }
+      for (std::uint32_t j = 0; j < np; ++j) {
+        if (!stores[nd + j].status.ok()) continue;
+        core::xor_into(slice(j), entry->delta[j]);  // involution: pre-image
+        if (Status undone = store_unit(entry->parity_home[j], slice(j));
+            !undone.ok() && compensation.ok())
+          compensation = undone;
+      }
+      if (compensation.ok() && integrity_) {
+        for (std::uint32_t i = 0; i < nd; ++i)
+          (void)crc_persist(entry->units[i].home);
+        for (std::uint32_t j = 0; j < np; ++j)
+          (void)crc_persist(entry->parity_home[j]);
+      }
+      if (!compensation.ok()) {
+        mark_torn(instance);
+        return Status::parity_inconsistent(
+            "parity-delta fold compensation failed after a partial batch "
+            "(" +
+            compensation.message() + "); stripe instance marked parity-torn");
+      }
+      return stored;
+    }
+    commit_staged_crcs({stores.data(), nd + np}, crc_staging);
+  }
+  cache_->count_fold(nd);
+  cache_->dirty_erase(instance);
+  return OkStatus();
+}
+
+Status StripeStore::fold_reencode_locked(std::uint64_t instance,
+                                         StripeCache::DirtyEntry* entry) {
+  // Torn + dirty: the accumulated deltas are useless (the parity they
+  // would fold into no longer matches the data), but the instance is
+  // still FULLY PRESENT (dirty implies healthy), so re-encode every
+  // parity from the complete data set -- media bytes with the pinned
+  // dirty writes overlaid -- exactly like write_heal, landing the
+  // absorbed writes and clearing the tear in one journaled batch.
+  // Like write_heal, pre-images are NOT checksum-verified: a torn
+  // instance's parity is untrustworthy by definition, so the re-encode
+  // takes the data bytes as ground truth.
+  const core::Codec& codec = array_.codec();
+  const std::uint32_t m = array_.num_parity_units();
+  const auto stripe = static_cast<std::uint32_t>(instance %
+                                                 array_.num_stripes());
+  const auto iteration = static_cast<std::uint32_t>(instance /
+                                                    array_.num_stripes());
+  const std::uint64_t lift =
+      static_cast<std::uint64_t>(iteration) * array_.units_per_disk();
+  std::array<api::Array::StripeUnitStatus, 64> units;
+  const auto width_r = array_.stripe_units(stripe, units);
+  if (!width_r.ok()) return width_r.status();
+  const std::uint32_t width = *width_r;
+  const std::uint32_t kd = width - m;
+  const auto nd = static_cast<std::uint32_t>(entry->units.size());
+
+  // Slab: width media pre-images (compensation), then m new parities.
+  std::vector<std::uint8_t> slab(
+      (static_cast<std::size_t>(width) + m) * unit_bytes_);
+  const auto slice = [&](std::size_t i) {
+    return std::span<std::uint8_t>(slab).subspan(i * unit_bytes_,
+                                                 unit_bytes_);
+  };
+  std::array<Physical, 64> homes;
+  for (std::uint32_t u = 0; u < width; ++u)
+    homes[u] = Physical{units[u].unit.disk, units[u].unit.offset + lift};
+  if (!views_.empty()) {
+    for (std::uint32_t u = 0; u < width; ++u)
+      std::memcpy(slice(u).data(), unit_view(homes[u]).data(), unit_bytes_);
+  } else {
+    std::vector<IoRequest> loads;
+    loads.reserve(width);
+    for (std::uint32_t u = 0; u < width; ++u)
+      loads.push_back(IoRequest::read_of(IoClass::kForegroundWrite,
+                                         homes[u].disk,
+                                         byte_offset(homes[u].offset),
+                                         slice(u)));
+    if (Status loaded = backend_->execute_batch(loads); !loaded.ok())
+      return loaded;
+  }
+
+  // Data set = media bytes with every pinned dirty write overlaid.
+  std::array<std::span<const std::uint8_t>, 64> data_spans;
+  for (std::uint32_t u = 0; u < kd; ++u) data_spans[u] = slice(u);
+  for (const StripeCache::DirtyUnit& u : entry->units)
+    data_spans[u.data_index] = u.bytes;
+  std::array<std::span<std::uint8_t>, api::kMaxParityUnits> parity_out;
+  for (std::uint32_t j = 0; j < m; ++j)
+    parity_out[j] = slice(static_cast<std::size_t>(width) + j);
+  codec.encode({data_spans.data(), kd}, {parity_out.data(), m});
+
+  sync_->write_epoch.fetch_add(1, std::memory_order_relaxed);
+  if (!views_.empty()) {
+    for (const StripeCache::DirtyUnit& u : entry->units) {
+      std::memcpy(unit_view(u.home).data(), u.bytes.data(), unit_bytes_);
+      if (Status crc = set_fresh_crc(u.home, u.bytes); !crc.ok()) return crc;
+    }
+    for (std::uint32_t j = 0; j < m; ++j) {
+      std::memcpy(unit_view(homes[kd + j]).data(), parity_out[j].data(),
+                  unit_bytes_);
+      if (Status crc = set_fresh_crc(homes[kd + j], parity_out[j]);
+          !crc.ok())
+        return crc;
+    }
+  } else {
+    std::vector<IoRequest> stores(2 * (static_cast<std::size_t>(nd) + m));
+    std::vector<std::array<std::uint8_t, 4>> crc_staging(
+        static_cast<std::size_t>(nd) + m);
+    for (std::uint32_t i = 0; i < nd; ++i)
+      stores[i] = IoRequest::write_of(
+          IoClass::kForegroundWrite, entry->units[i].home.disk,
+          byte_offset(entry->units[i].home.offset), entry->units[i].bytes);
+    for (std::uint32_t j = 0; j < m; ++j)
+      stores[nd + j] = IoRequest::write_of(IoClass::kForegroundWrite,
+                                           homes[kd + j].disk,
+                                           byte_offset(homes[kd + j].offset),
+                                           parity_out[j]);
+    const std::uint32_t total = stage_crc_writes(stores, nd + m, crc_staging);
+    if (Status stored = execute_batch_journaled({stores.data(), total});
+        !stored.ok()) {
+      // Restore every landed write from its media pre-image: the
+      // instance returns to its pre-fold (still torn) state and the
+      // entry is kept for a later retry.
+      Status compensation;
+      for (std::uint32_t i = 0; i < nd; ++i) {
+        if (!stores[i].status.ok()) continue;
+        if (Status undone = store_unit(entry->units[i].home,
+                                       slice(entry->units[i].data_index));
+            !undone.ok() && compensation.ok())
+          compensation = undone;
+      }
+      for (std::uint32_t j = 0; j < m; ++j) {
+        if (!stores[nd + j].status.ok()) continue;
+        if (Status undone = store_unit(homes[kd + j], slice(kd + j));
+            !undone.ok() && compensation.ok())
+          compensation = undone;
+      }
+      if (compensation.ok() && integrity_) {
+        for (std::uint32_t i = 0; i < nd; ++i)
+          (void)crc_persist(entry->units[i].home);
+        for (std::uint32_t j = 0; j < m; ++j)
+          (void)crc_persist(homes[kd + j]);
+      }
+      // The instance was torn coming in and stays torn; a failed
+      // compensation changes nothing about that.
+      return stored;
+    }
+    commit_staged_crcs({stores.data(), nd + m}, crc_staging);
+  }
+  clear_torn(instance);
+  cache_->count_fold(nd);
+  cache_->dirty_erase(instance);
+  return OkStatus();
+}
+
+Status StripeStore::flush_dirty_shared() {
+  Status first;
+  for (const std::uint64_t instance : cache_->dirty_instances()) {
+    std::unique_lock shard(sync_->shards[instance % sync_->shards.size()]);
+    Status folded = fold_instance_locked(instance);
+    if (folded.code() == StatusCode::kChecksumMismatch) {
+      // A rotten pre-image: heal it in place (we hold the instance's
+      // shard exclusively) and retry the fold once.
+      (void)heal_instance_locked(
+          static_cast<std::uint32_t>(instance % array_.num_stripes()),
+          static_cast<std::uint32_t>(instance / array_.num_stripes()),
+          nullptr);
+      folded = fold_instance_locked(instance);
+    }
+    if (!folded.ok() && first.ok()) first = folded;
+  }
+  return first;
+}
+
+Status StripeStore::flush_dirty_exclusive() {
+  if (!cache_ || !cache_->any_dirty()) return OkStatus();
+  Status first;
+  for (const std::uint64_t instance : cache_->dirty_instances()) {
+    Status folded = fold_instance_locked(instance);
+    if (folded.code() == StatusCode::kChecksumMismatch) {
+      (void)heal_instance_locked(
+          static_cast<std::uint32_t>(instance % array_.num_stripes()),
+          static_cast<std::uint32_t>(instance / array_.num_stripes()),
+          nullptr);
+      folded = fold_instance_locked(instance);
+    }
+    if (!folded.ok() && first.ok()) first = folded;
+  }
+  return first;
+}
+
+Status StripeStore::flush_cache() {
+  if (!cache_) return OkStatus();
+  std::shared_lock state(sync_->state);
+  return flush_dirty_shared();
+}
+
 Status StripeStore::sync() {
   std::unique_lock lock(sync_->state);  // exclude in-flight writers
+  // Absorbed writes are not durable until folded: flush first, so the
+  // backend sync below covers them.
+  if (Status flushed = flush_dirty_exclusive(); !flushed.ok())
+    return flushed;
   for (DiskId disk = 0; disk < array_.num_disks(); ++disk)
     if (Status synced = backend_->sync(disk); !synced.ok()) return synced;
   return OkStatus();
@@ -1292,6 +1824,13 @@ Status StripeStore::sync() {
 
 Status StripeStore::fail_disk(DiskId disk) {
   std::unique_lock lock(sync_->state);
+  // Fold every absorbed write FIRST: the dirty-table invariant (dirty
+  // implies a fully healthy stripe) must hold before the failure lands,
+  // and folding against the still-complete array is the only fold that
+  // is consistent.  On a fold error the failure is refused -- the
+  // caller retries after the underlying fault clears.
+  if (Status flushed = flush_dirty_exclusive(); !flushed.ok())
+    return flushed;
   sync_->write_epoch.fetch_add(1, std::memory_order_relaxed);
   if (Status failed = array_.fail_disk(disk); !failed.ok()) return failed;
   if (Status discarded = backend_->discard(disk, kPoison); !discarded.ok())
@@ -1909,6 +2448,10 @@ Result<ScrubReport> StripeStore::scrub() {
 
 Result<std::uint64_t> StripeStore::verify_stripes() {
   std::unique_lock lock(sync_->state);
+  // Media is only a consistent code word modulo the dirty table: fold
+  // everything first so the sweep verifies the real current state.
+  if (Status flushed = flush_dirty_exclusive(); !flushed.ok())
+    return flushed;
   const core::Codec& codec = array_.codec();
   const std::uint32_t m = array_.num_parity_units();
   std::uint64_t inconsistent = 0;

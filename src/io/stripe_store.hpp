@@ -85,6 +85,7 @@
 #include "api/array.hpp"
 #include "core/status.hpp"
 #include "io/disk_backend.hpp"
+#include "io/stripe_cache.hpp"
 
 namespace pdl::io {
 
@@ -119,6 +120,10 @@ struct StripeStoreOptions {
   std::uint32_t iterations = 1;
   /// Stripe-instance lock pool size (power of parallelism vs memory).
   std::uint32_t lock_shards = 64;
+  /// Workload-aware cache layer (hotness tracking, hot-unit read cache,
+  /// parity-delta write batching).  Off by default; see
+  /// docs/ARCHITECTURE.md "Caching and write batching".
+  StripeCacheOptions cache = {};
 };
 
 /// What one read physically did: its resolution kind and every unit it
@@ -337,6 +342,37 @@ class StripeStore {
   /// store; the crash-recovery harness's acceptance check.
   [[nodiscard]] Result<std::uint64_t> verify_stripes();
 
+  // ------------------------------------------------------------- cache
+
+  /// Whether the workload-aware cache layer is active
+  /// (StripeStoreOptions::cache.enabled at create).
+  [[nodiscard]] bool cache_enabled() const noexcept {
+    return cache_ != nullptr;
+  }
+
+  /// Snapshot of the cache layer's counters (all zero when disabled).
+  [[nodiscard]] HotnessStats hotness_stats() const noexcept {
+    return cache_ ? cache_->stats() : HotnessStats{};
+  }
+
+  /// Current count-min hotness estimate of one stripe instance (an
+  /// upper bound on its recent foreground accesses; 0 when the cache
+  /// layer is off).  The fleet tier aggregates this per shard for the
+  /// governor's foreground-protecting policy.
+  [[nodiscard]] std::uint32_t hotness(std::uint32_t stripe,
+                                      std::uint64_t iteration) const noexcept {
+    return cache_ ? cache_->estimate(stripe +
+                                     iteration * array_.num_stripes())
+                  : 0;
+  }
+
+  /// Folds every dirty stripe instance's batched parity deltas (and
+  /// pinned data) to media, one journaled batch per instance.  A no-op
+  /// without the cache layer.  sync(), fail_disk(), and
+  /// verify_stripes() flush implicitly; call this before comparing
+  /// media checksums against an uncached store.  Thread-safe.
+  [[nodiscard]] Status flush_cache();
+
   // ------------------------------------------------------- torn parity
 
   /// Stripe instances currently marked parity-torn (see the file
@@ -492,6 +528,42 @@ class StripeStore {
   /// ("unverified"); caller holds the exclusive state lock.
   [[nodiscard]] Status reset_disk_crcs(DiskId disk);
 
+  // ----------------------------------------------------- cache internals
+
+  /// Absorbs an RMW write into the dirty-delta table when the instance
+  /// is hot (or already dirty): pins the new bytes, accumulates the
+  /// codec delta per surviving parity, and touches NO media except a
+  /// possible pre-image read.  Sets *handled=false (and returns OK)
+  /// when the write should fall through to the immediate RMW paths
+  /// (cold instance, table full).  Caller holds write_locked's locks;
+  /// plan must be a zero-erasure kReadModifyWrite on a non-torn
+  /// instance.  Folds inline when the entry hits max_dirty_units.
+  [[nodiscard]] Status absorb_rmw(const api::WritePlan& plan,
+                                  std::uint64_t logical,
+                                  std::span<const std::uint8_t> data,
+                                  std::uint64_t instance,
+                                  WriteReceipt* receipt, bool* handled);
+  /// Folds one dirty instance to media: one journaled batch writing
+  /// every pinned data unit plus each parity's old bytes XOR its
+  /// accumulated delta (linearity makes that byte-identical to per-op
+  /// RMW).  Partial failure compensates back to the pre-fold image
+  /// (entry kept -- the deltas stay valid); a failed compensation
+  /// marks the instance torn.  kChecksumMismatch when a pre-image
+  /// fails verification -- callers heal and retry.  Caller holds the
+  /// state lock (shared, with the instance's shard lock exclusive) or
+  /// the exclusive state lock.
+  [[nodiscard]] Status fold_instance_locked(std::uint64_t instance);
+  /// Torn-instance fold: full-stripe re-encode from media data with
+  /// the pinned dirty bytes overlaid (the dirty-table analogue of
+  /// write_heal), clearing the torn flag on success.
+  [[nodiscard]] Status fold_reencode_locked(std::uint64_t instance,
+                                            StripeCache::DirtyEntry* entry);
+  /// Folds every dirty instance, taking each instance's shard lock
+  /// exclusively in turn; caller holds the state lock shared.
+  [[nodiscard]] Status flush_dirty_shared();
+  /// Folds every dirty instance; caller holds the exclusive state lock.
+  [[nodiscard]] Status flush_dirty_exclusive();
+
   api::Array array_;
   std::uint32_t unit_bytes_ = 0;
   std::uint32_t iterations_ = 0;
@@ -510,6 +582,11 @@ class StripeStore {
   /// unverified.  An entry is only touched under its instance's shard
   /// lock (or the exclusive state lock), like the unit bytes it covers.
   std::vector<std::vector<std::uint32_t>> crc_;
+  /// The workload-aware cache layer; null unless options.cache.enabled.
+  /// Dirty entries only ever cover FULLY HEALTHY stripe instances: the
+  /// absorb path requires a zero-erasure plan, and fail_disk flushes
+  /// the whole table before introducing an erasure.
+  std::unique_ptr<StripeCache> cache_;
 
   /// Heap-allocated so the store stays movable (Result<StripeStore>).
   struct Sync {

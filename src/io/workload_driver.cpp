@@ -21,11 +21,9 @@ namespace {
   return z ^ (z >> 31);
 }
 
-/// zeta(n, theta) = sum_{i=1..n} i^-theta is an O(n) pass, noticeable on
-/// multi-million-unit stores -- and multi-phase harnesses (one driver per
-/// healthy/degraded/rebuilding phase over the same store) would pay it
-/// per phase.  Cache it per (n, theta).
-[[nodiscard]] double zetan_for(std::uint64_t n, double theta) {
+}  // namespace
+
+double zipf_zetan(std::uint64_t n, double theta) {
   static std::mutex mutex;
   static std::vector<std::pair<std::pair<std::uint64_t, double>, double>>
       cache;
@@ -42,8 +40,6 @@ namespace {
   cache.push_back({{n, theta}, zetan});
   return zetan;
 }
-
-}  // namespace
 
 const char* access_pattern_name(AccessPattern pattern) noexcept {
   switch (pattern) {
@@ -143,7 +139,7 @@ WorkloadDriver::WorkloadDriver(StripeStore& store, WorkloadOptions options)
     // YCSB ZipfianGenerator parameters; theta = 1 is a pole, so clamp.
     const double theta = std::clamp(options_.zipf_theta, 0.01, 0.99);
     const auto n = static_cast<double>(store_.num_logical_units());
-    const double zetan = zetan_for(store_.num_logical_units(), theta);
+    const double zetan = zipf_zetan(store_.num_logical_units(), theta);
     zipf_zetan_ = zetan;
     zipf_zeta2_ = 1.0 + 1.0 / std::pow(2.0, theta);
     zipf_alpha_ = 1.0 / (1.0 - theta);

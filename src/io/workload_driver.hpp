@@ -110,6 +110,14 @@ void canonical_fill(std::uint64_t logical, std::uint64_t seed,
 [[nodiscard]] Status fill_canonical(StripeStore& store, std::uint64_t first,
                                     std::uint64_t last, std::uint64_t seed);
 
+/// The zipfian harmonic normalizer zeta(n, theta) = sum_{i=1..n}
+/// i^-theta, cached process-wide per (n, theta): the sum is an O(n)
+/// pass, noticeable on multi-million-unit spaces, and every driver over
+/// the same geometry (multi-phase harnesses, fleet shards) would
+/// otherwise pay it per construction.  Pure in its arguments, so the
+/// cache also pins determinism: every caller sees the identical value.
+[[nodiscard]] double zipf_zetan(std::uint64_t n, double theta);
+
 class WorkloadDriver {
  public:
   /// The store must outlive the driver; run() may be called repeatedly

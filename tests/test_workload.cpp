@@ -2,9 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
+#include "api/array.hpp"
 #include "io/workload_driver.hpp"
 
 namespace pdl::sim {
@@ -150,6 +152,55 @@ TEST(WorkloadQuantile, FractionalRanksRoundUpAndClampOutOfRange) {
   // Out-of-range p clamps rather than indexing out of bounds.
   EXPECT_EQ(three.read_latency_quantile_us(-0.5), 10u);
   EXPECT_EQ(three.read_latency_quantile_us(2.0), 30u);
+}
+
+// The zipfian harmonic normalizer is computed ONCE per (n, theta) by the
+// shared io::zipf_zetan helper (the fleet driver used to recompute it
+// inline per construction).  Regression: the cached value is exactly the
+// direct harmonic sum, every call is bitwise-identical, and a
+// fixed-seed single-threaded zipfian run is deterministic end to end.
+TEST(ZipfZetan, CachedValueMatchesDirectSumBitwise) {
+  constexpr std::uint64_t kN = 4096;
+  constexpr double kTheta = 0.99;
+  double direct = 0;
+  for (std::uint64_t i = 1; i <= kN; ++i)
+    direct += 1.0 / std::pow(static_cast<double>(i), kTheta);
+  const double first = zipf_zetan(kN, kTheta);
+  const double second = zipf_zetan(kN, kTheta);  // cache hit
+  EXPECT_EQ(first, direct);   // same summation order: bitwise equal
+  EXPECT_EQ(first, second);   // the cache returns the identical value
+  EXPECT_NE(zipf_zetan(kN, 0.5), first);
+  EXPECT_NE(zipf_zetan(kN / 2, kTheta), first);
+}
+
+TEST(ZipfZetan, FixedSeedZipfianRunIsDeterministic) {
+  const auto make = [] {
+    auto array = api::Array::create({13, 4}, {}, {});
+    EXPECT_TRUE(array.ok());
+    return StripeStore::create(std::move(array).value(), {.unit_bytes = 64});
+  };
+  auto a = make();
+  auto b = make();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  const WorkloadOptions options{.num_threads = 1,
+                                .ops_per_thread = 2000,
+                                .read_fraction = 0.5,
+                                .pattern = AccessPattern::kZipfian,
+                                .zipf_theta = 0.99,
+                                .seed = 42};
+  WorkloadStats sa = WorkloadDriver(*a, options).run();
+  WorkloadStats sb = WorkloadDriver(*b, options).run();
+  EXPECT_EQ(sa.reads, sb.reads);
+  EXPECT_EQ(sa.writes, sb.writes);
+  EXPECT_EQ(sa.bytes_moved, sb.bytes_moved);
+  EXPECT_EQ(sa.errors, 0u);
+  // Identical op streams leave identical media behind.
+  const auto sums_a = a->checksum_disks();
+  const auto sums_b = b->checksum_disks();
+  ASSERT_TRUE(sums_a.ok());
+  ASSERT_TRUE(sums_b.ok());
+  EXPECT_EQ(*sums_a, *sums_b);
 }
 
 }  // namespace
